@@ -1,0 +1,52 @@
+//! Criterion benches for the end-to-end system: whole-clip analysis at
+//! the compact and default resolutions, plus scene generation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slj::prelude::*;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+
+    g.bench_function("generate_clip_320x240_20f", |b| {
+        let scene = SceneConfig::default();
+        b.iter(|| SyntheticJump::generate(black_box(&scene), &JumpConfig::default(), 5))
+    });
+
+    let compact = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::default()
+    };
+    let jump_small = SyntheticJump::generate(&compact, &JumpConfig::default(), 5);
+    g.bench_function("analyze_fast_160x120_20f", |b| {
+        let analyzer = JumpAnalyzer::new(AnalyzerConfig::fast());
+        b.iter(|| {
+            analyzer
+                .analyze(
+                    black_box(&jump_small.video),
+                    &compact.camera,
+                    jump_small.poses.poses()[0],
+                )
+                .unwrap()
+        })
+    });
+
+    let scene = SceneConfig::default();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 5);
+    g.bench_function("analyze_default_320x240_20f", |b| {
+        let analyzer = JumpAnalyzer::new(AnalyzerConfig::default());
+        b.iter(|| {
+            analyzer
+                .analyze(black_box(&jump.video), &scene.camera, jump.poses.poses()[0])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the Eq. 3 fitness function: cost per
+//! evaluation at different subsampling strides, and the split between
+//! the Eq. 3 term and the coverage penalty.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slj_ga::fitness::SilhouetteFitness;
+use slj_motion::{BodyDims, Pose};
+use slj_video::render::render_silhouette;
+use slj_video::Camera;
+use std::hint::black_box;
+
+fn bench_fitness(c: &mut Criterion) {
+    let dims = BodyDims::default();
+    let camera = Camera::default();
+    let mut pose = Pose::standing(&dims);
+    pose.center.x = 0.6;
+    let sil = render_silhouette(&pose, &dims, &camera);
+
+    let mut g = c.benchmark_group("fitness");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for stride in [1usize, 2, 4, 8] {
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, stride).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_stride", stride),
+            &stride,
+            |b, _| b.iter(|| fit.evaluate(black_box(&pose), &dims)),
+        );
+    }
+    let fit = SilhouetteFitness::new(&sil, &dims, &camera, 2).unwrap();
+    g.bench_function("eq3_only_stride2", |b| {
+        b.iter(|| fit.evaluate_eq3(black_box(&pose), &dims))
+    });
+    g.bench_function("outside_penalty_only", |b| {
+        b.iter(|| fit.outside_penalty(black_box(&pose), &dims))
+    });
+    g.bench_function("prepare_evaluator", |b| {
+        b.iter(|| SilhouetteFitness::new(black_box(&sil), &dims, &camera, 2).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fitness);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benches for the GA: per-frame temporal estimation, the
+//! non-temporal baseline of [5], and the serial vs parallel fitness
+//! evaluation of the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slj_ga::engine::{evolve, GaConfig};
+use slj_ga::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_DELTA_ANGLES};
+use slj_motion::{synthesize_jump, JumpConfig};
+use slj_video::render::render_silhouette;
+use slj_video::Camera;
+use std::hint::black_box;
+
+fn bench_ga(c: &mut Criterion) {
+    let jump_cfg = JumpConfig::default();
+    let truth = synthesize_jump(&jump_cfg);
+    let camera = Camera::default();
+    let prev = truth.poses()[0];
+    let target = truth.poses()[1];
+    let sil = render_silhouette(&target, &jump_cfg.dims, &camera);
+    let init = InitStrategy::Temporal {
+        previous: prev,
+        delta_center: 0.12,
+        delta_angles: DEFAULT_DELTA_ANGLES,
+    };
+    let problem_cfg = PoseProblemConfig::default();
+
+    let mut g = c.benchmark_group("ga");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("temporal_frame_default_budget", |b| {
+        let problem =
+            PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
+        let ga = GaConfig {
+            population_size: 100,
+            max_generations: 40,
+            patience: Some(10),
+            ..GaConfig::default()
+        };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            evolve(black_box(&problem), &ga, &mut rng).unwrap()
+        })
+    });
+    g.bench_function("single_generation_pop100", |b| {
+        let problem =
+            PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
+        let ga = GaConfig {
+            population_size: 100,
+            max_generations: 1,
+            patience: None,
+            ..GaConfig::default()
+        };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            evolve(black_box(&problem), &ga, &mut rng).unwrap()
+        })
+    });
+    for threads in [1usize, 4] {
+        g.bench_function(format!("ten_generations_pop200_threads{threads}"), |b| {
+            let problem =
+                PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
+            let ga = GaConfig {
+                population_size: 200,
+                max_generations: 10,
+                patience: None,
+                threads,
+                ..GaConfig::default()
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                evolve(black_box(&problem), &ga, &mut rng).unwrap()
+            })
+        });
+    }
+    g.bench_function("particle_filter_frame_400p", |b| {
+        use slj_ga::particle::{ParticleFilter, ParticleFilterConfig};
+        let sils = [sil.clone(), sil.clone()];
+        let pf = ParticleFilter::new(ParticleFilterConfig {
+            particles: 400,
+            seed: 7,
+            ..ParticleFilterConfig::default()
+        });
+        b.iter(|| {
+            pf.track(black_box(&sils), prev, &jump_cfg.dims, &camera)
+                .unwrap()
+        })
+    });
+    g.bench_function("full_range_frame_50gens", |b| {
+        let problem = PoseProblem::new(
+            &sil,
+            &jump_cfg.dims,
+            &camera,
+            InitStrategy::FullRange,
+            problem_cfg,
+        )
+        .unwrap();
+        let ga = GaConfig {
+            population_size: 100,
+            max_generations: 50,
+            patience: None,
+            ..GaConfig::default()
+        };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            evolve(black_box(&problem), &ga, &mut rng).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the Section 2 segmentation pipeline: cost of
+//! each step and of the composed pipeline, per frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slj_motion::JumpConfig;
+use slj_segment::background::{BackgroundConfig, BackgroundEstimator, UpdateMode};
+use slj_segment::cleanup::{HoleFiller, NoiseFilter, SpotRemover};
+use slj_segment::foreground::ForegroundExtractor;
+use slj_segment::pipeline::{PipelineConfig, SegmentPipeline};
+use slj_segment::shadow::ShadowDetector;
+use slj_video::{SceneConfig, SyntheticJump};
+use std::hint::black_box;
+
+fn bench_segmentation(c: &mut Criterion) {
+    let scene = SceneConfig::default();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 77);
+    let background = BackgroundEstimator::new(BackgroundConfig::default())
+        .estimate(&jump.video)
+        .unwrap();
+    let frame = &jump.video.frames()[10];
+    let extractor = ForegroundExtractor::default();
+    let raw = extractor.extract(frame, &background.image);
+    let denoised = NoiseFilter::default().apply(&raw);
+    let despotted = SpotRemover::default().apply(&denoised);
+    let filled = HoleFiller::default().apply(&despotted);
+
+    let mut g = c.benchmark_group("segmentation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("background_last_stable_20f", |b| {
+        let est = BackgroundEstimator::new(BackgroundConfig {
+            mode: UpdateMode::LastStable,
+            ..BackgroundConfig::default()
+        });
+        b.iter(|| est.estimate(black_box(&jump.video)).unwrap())
+    });
+    g.bench_function("background_median_20f", |b| {
+        let est = BackgroundEstimator::new(BackgroundConfig::default());
+        b.iter(|| est.estimate(black_box(&jump.video)).unwrap())
+    });
+    g.bench_function("subtract_frame", |b| {
+        b.iter(|| extractor.extract(black_box(frame), black_box(&background.image)))
+    });
+    g.bench_function("noise_filter_frame", |b| {
+        let f = NoiseFilter::default();
+        b.iter(|| f.apply(black_box(&raw)))
+    });
+    g.bench_function("spot_removal_frame", |b| {
+        let f = SpotRemover::default();
+        b.iter(|| f.apply(black_box(&denoised)))
+    });
+    g.bench_function("hole_fill_flood_frame", |b| {
+        let f = HoleFiller::default();
+        b.iter(|| f.apply(black_box(&despotted)))
+    });
+    g.bench_function("hole_fill_paper_frame", |b| {
+        let f = HoleFiller::paper();
+        b.iter(|| f.apply(black_box(&despotted)))
+    });
+    g.bench_function("box_blur_r1_frame", |b| {
+        b.iter(|| slj_imgproc::filter::box_blur(black_box(frame), 1))
+    });
+    g.bench_function("median_filter_frame", |b| {
+        b.iter(|| slj_imgproc::filter::median_filter(black_box(frame)))
+    });
+    g.bench_function("ghost_suppression_frame", |b| {
+        let det = slj_segment::ghosts::GhostDetector::default();
+        let prev = &jump.video.frames()[9];
+        b.iter(|| {
+            det.suppress(black_box(&despotted), black_box(frame), Some(prev))
+                .unwrap()
+        })
+    });
+    g.bench_function("shadow_removal_frame", |b| {
+        let det = ShadowDetector::default();
+        b.iter(|| det.remove_shadows(black_box(frame), black_box(&background.image), &filled))
+    });
+    g.bench_function("full_pipeline_20f", |b| {
+        let pipeline = SegmentPipeline::new(PipelineConfig::default());
+        b.iter(|| pipeline.run(black_box(&jump.video)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

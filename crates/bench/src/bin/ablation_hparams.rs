@@ -1,0 +1,80 @@
+//! Ablation C — GA hyper-parameters at a fixed evaluation budget.
+//!
+//! The paper fixes crossover rate 0.2 and per-group mutation 0.01
+//! without a sweep ("we can set the crossover rate to 0.2"). This
+//! ablation sweeps population size × mutation rate at a constant budget
+//! of ~6000 fitness evaluations on the frame-2 temporal fitting problem,
+//! reporting final fitness and pose error.
+
+use slj::prelude::*;
+use slj_bench::{banner, f1, f3, print_table};
+use slj_ga::engine::{evolve, GaConfig};
+use slj_ga::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_DELTA_ANGLES};
+use slj_video::render::render_silhouette;
+
+fn main() {
+    let seed = 1103;
+    banner(
+        "Ablation C",
+        "population size x mutation rate at ~6000 evaluations (temporal init)",
+        seed,
+    );
+    let jump_cfg = JumpConfig::default();
+    let truth = synthesize_jump(&jump_cfg);
+    let camera = Camera::default();
+    let prev = truth.poses()[0];
+    let target = truth.poses()[1];
+    let sil = render_silhouette(&target, &jump_cfg.dims, &camera);
+    let init = InitStrategy::Temporal {
+        previous: prev,
+        delta_center: 0.12,
+        delta_angles: DEFAULT_DELTA_ANGLES,
+    };
+
+    const BUDGET: usize = 6000;
+    let mut rows = Vec::new();
+    for pop in [20usize, 50, 100, 200] {
+        for mutation in [0.0, 0.01, 0.05, 0.20] {
+            let problem_cfg = PoseProblemConfig {
+                mutation_rate: mutation,
+                ..PoseProblemConfig::default()
+            };
+            let problem =
+                PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg)
+                    .expect("problem");
+            let ga = GaConfig {
+                population_size: pop,
+                max_generations: BUDGET / pop,
+                patience: None,
+                ..GaConfig::default()
+            };
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+            let run = evolve(&problem, &ga, &mut rng).expect("evolve");
+            let err = run.best.error_against(&target);
+            rows.push(vec![
+                pop.to_string(),
+                format!("{mutation:.2}"),
+                run.evaluations.to_string(),
+                f3(run.best_fitness),
+                f1(err.mean_angle_error()),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "population",
+            "mutation rate",
+            "evaluations",
+            "final fitness",
+            "mean angle err (deg)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: with temporal seeding the search is forgiving — any\n\
+         moderate population with a small-but-nonzero mutation rate lands in\n\
+         the same basin; the paper's 0.01 sits inside the plateau. Zero\n\
+         mutation relies on the seeded diversity alone and is slightly\n\
+         worse; very aggressive mutation wastes budget."
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 1 — background estimation by change detection.
+//!
+//! The paper shows, qualitatively, the first frame of a jump clip next
+//! to the background recovered by change detection. With ground truth
+//! available this becomes quantitative: per-pixel mean absolute error
+//! (MAE) against the true background and the fraction of pixels that
+//! ever stabilised, as a function of clip length, for the paper's
+//! last-stable update rule and this reproduction's median extension.
+//!
+//! Panels `fig1_*.ppm/pgm` are written to `target/figures/`.
+
+use slj::prelude::*;
+use slj_bench::{banner, f3, figures_dir, print_table};
+use slj_segment::background::{BackgroundConfig, BackgroundEstimator, UpdateMode};
+
+fn main() {
+    let seed = 1001;
+    banner(
+        "Figure 1",
+        "background estimation: MAE (intensity levels) and coverage vs clip length",
+        seed,
+    );
+
+    let scene = SceneConfig::default();
+    let mut rows = Vec::new();
+    for frames in [5usize, 10, 20, 40] {
+        let jump_cfg = JumpConfig {
+            frames,
+            ..JumpConfig::default()
+        };
+        let jump = SyntheticJump::generate(&scene, &jump_cfg, seed);
+        for (label, mode) in [
+            ("last-stable (paper)", UpdateMode::LastStable),
+            ("median (ours)", UpdateMode::MedianOfStable),
+        ] {
+            let est = BackgroundEstimator::new(BackgroundConfig {
+                mode,
+                ..BackgroundConfig::default()
+            })
+            .estimate(&jump.video)
+            .expect("clip has at least two frames");
+            let mae = est.mae_against(&jump.true_background).expect("same dims");
+            rows.push(vec![
+                frames.to_string(),
+                label.to_owned(),
+                f3(mae),
+                f3(est.coverage()),
+            ]);
+        }
+    }
+    print_table(&["frames", "update rule", "MAE", "coverage"], &rows);
+
+    // Panels: first frame, estimated background (both modes), truth.
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), seed);
+    let dir = figures_dir();
+    slj_imgproc::io::save_ppm(&jump.video.frames()[0], dir.join("fig1_first_frame.ppm"))
+        .expect("write panel");
+    slj_imgproc::io::save_ppm(&jump.true_background, dir.join("fig1_true_background.ppm"))
+        .expect("write panel");
+    for (name, mode) in [
+        ("fig1_background_last_stable.ppm", UpdateMode::LastStable),
+        ("fig1_background_median.ppm", UpdateMode::MedianOfStable),
+    ] {
+        let est = BackgroundEstimator::new(BackgroundConfig {
+            mode,
+            ..BackgroundConfig::default()
+        })
+        .estimate(&jump.video)
+        .expect("estimate");
+        slj_imgproc::io::save_ppm(&est.image, dir.join(name)).expect("write panel");
+    }
+    println!("\npanels written to {}", dir.display());
+    println!(
+        "\nReading: both rules recover the occluded background; the paper's\n\
+         last-stable rule burns the landed jumper into the estimate on longer\n\
+         clips (rising MAE), the median rule does not."
+    );
+}

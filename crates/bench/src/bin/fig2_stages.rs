@@ -1,0 +1,66 @@
+//! Figure 2 — foreground extraction, panel by panel.
+//!
+//! The paper's Fig. 2 shows the foreground (a) after background
+//! subtraction, (b) after noise removal, (c) after small-spot removal,
+//! (d) after hole filling. Against ground-truth silhouettes each panel
+//! becomes a precision/recall/IoU row, micro-averaged over the clip
+//! (edge frames skipped). Panels for the middle frame are written to
+//! `target/figures/`.
+
+use slj::prelude::*;
+use slj_bench::{banner, f3, figures_dir, print_table};
+use slj_segment::metrics::evaluate_clip;
+use slj_segment::pipeline::SegmentPipeline;
+
+fn main() {
+    let seed = 1002;
+    banner(
+        "Figure 2",
+        "per-stage foreground quality vs ground truth (micro-averaged, edge frames skipped)",
+        seed,
+    );
+
+    let scene = SceneConfig::default();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), seed);
+    let result = SegmentPipeline::new(PipelineConfig::default())
+        .run(&jump.video)
+        .expect("pipeline");
+    let clip = evaluate_clip(&result, &jump.silhouettes, 2).expect("metrics");
+
+    let s = &clip.stages;
+    let row = |label: &str, m: &slj_imgproc::mask::MaskMetrics| {
+        vec![
+            label.to_owned(),
+            f3(m.precision()),
+            f3(m.recall()),
+            f3(m.iou()),
+            f3(m.f1()),
+        ]
+    };
+    print_table(
+        &["stage (Fig. 2 panel)", "precision", "recall", "IoU", "F1"],
+        &[
+            row("(a) raw subtraction", &s.raw),
+            row("(b) 8-neighbour noise filter", &s.denoised),
+            row("(c) small-spot removal", &s.despotted),
+            row("(d) hole fill", &s.filled),
+            row("(-) + shadow removal (Fig. 3)", &s.final_mask),
+        ],
+    );
+
+    let k = jump.len() / 2;
+    let dir = figures_dir();
+    let st = &result.frames[k];
+    slj_imgproc::io::save_ppm(&jump.video.frames()[k], dir.join("fig2_frame.ppm")).unwrap();
+    slj_imgproc::io::save_mask_pgm(&st.raw, dir.join("fig2a_raw.pgm")).unwrap();
+    slj_imgproc::io::save_mask_pgm(&st.denoised, dir.join("fig2b_denoised.pgm")).unwrap();
+    slj_imgproc::io::save_mask_pgm(&st.despotted, dir.join("fig2c_despotted.pgm")).unwrap();
+    slj_imgproc::io::save_mask_pgm(&st.filled, dir.join("fig2d_filled.pgm")).unwrap();
+    slj_imgproc::io::save_mask_pgm(&jump.silhouettes[k], dir.join("fig2_truth.pgm")).unwrap();
+    println!("\npanels (frame {k}) written to {}", dir.display());
+    println!(
+        "\nReading: precision climbs panel by panel exactly as the paper's\n\
+         imagery suggests; the residual gap to IoU 1.0 is the cast shadow,\n\
+         removed in Fig. 3's step."
+    );
+}

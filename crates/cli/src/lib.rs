@@ -1,0 +1,71 @@
+//! Command-line front end for the slj system.
+//!
+//! The paper's future work imagines a service where "the user will be
+//! able to upload a video sequence of a standing long jump … and the
+//! system will be able to respond with advices". This crate is that
+//! workflow as a local tool:
+//!
+//! ```text
+//! slj synth   --out clip/ --seed 7 --flaws shallow-crouch   # make footage
+//! slj analyze --clip clip/ --report report.json             # segment+track+score
+//! slj score   --clip clip/                                  # score the true poses
+//! ```
+//!
+//! `synth` writes a frame directory (PPM + `clip.json`) plus a
+//! `truth.json` carrying the scene calibration (camera, body
+//! dimensions), the ground-truth poses, and the first-frame stick model
+//! that stands in for the paper's hand-drawn initialisation. `analyze`
+//! needs only the clip directory: it reads the calibration and first
+//! pose from `truth.json` — exactly the information the paper's manual
+//! step provides.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+pub mod truth;
+
+pub use error::CliError;
+
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+slj — motion analysis for the standing long jump
+
+USAGE:
+  slj synth   --out DIR [--seed N] [--frames N] [--flaws a,b,c]
+              [--distance M] [--height M] [--compact] [--clean]
+  slj analyze --clip DIR [--report FILE.json] [--report-md FILE.md]
+              [--fast | --paper] [--half-res]
+  slj score   --clip DIR
+  slj flaws
+  slj help
+
+COMMANDS:
+  synth     render a synthetic jump clip with ground truth
+  analyze   run segmentation + GA pose tracking + scoring on a clip
+  score     score a clip's ground-truth poses (no vision)
+  flaws     list the injectable technique faults
+";
+
+/// Parses and executes one invocation, writing human-readable output to
+/// `out`. The first element of `args` must be the subcommand (the
+/// binary name is already stripped).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags or any
+/// failure of the underlying operation.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("synth") => commands::synth(&args[1..], out),
+        Some("analyze") => commands::analyze(&args[1..], out),
+        Some("score") => commands::score(&args[1..], out),
+        Some("flaws") => commands::flaws(out),
+        Some("help") | None => {
+            out.write_all(USAGE.as_bytes())?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}

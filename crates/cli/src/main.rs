@@ -1,0 +1,18 @@
+//! The `slj` binary: see `slj help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match slj_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, slj_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", slj_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

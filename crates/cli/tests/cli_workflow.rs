@@ -1,0 +1,144 @@
+//! End-to-end tests of the CLI workflow: synth → score → analyze, all
+//! through the public `run` entry point (as the binary would call it).
+
+use slj_cli::{run, CliError};
+use std::path::PathBuf;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+fn invoke(cmd: &str) -> Result<String, CliError> {
+    let mut out = Vec::new();
+    run(&argv(cmd), &mut out)?;
+    Ok(String::from_utf8(out).expect("utf-8 output"))
+}
+
+fn temp_clip(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slj_cli_test_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let text = invoke("help").unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("synth"));
+    assert!(text.contains("analyze"));
+    // No args behaves like help.
+    let mut out = Vec::new();
+    run(&[], &mut out).unwrap();
+    assert!(!out.is_empty());
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let err = invoke("frobnicate").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+    assert!(err.to_string().contains("frobnicate"));
+}
+
+#[test]
+fn flaws_lists_all_seven() {
+    let text = invoke("flaws").unwrap();
+    for name in [
+        "shallow-crouch",
+        "no-neck-bend",
+        "no-arm-swing-back",
+        "straight-arms",
+        "stiff-landing",
+        "upright-trunk",
+        "arms-stay-back",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn synth_then_score_reports_the_injected_fault() {
+    let dir = temp_clip("synth_score");
+    let synth_out = invoke(&format!(
+        "synth --out {} --seed 5 --compact --clean --flaws shallow-crouch",
+        dir.display()
+    ))
+    .unwrap();
+    assert!(synth_out.contains("20 frames"));
+    assert!(synth_out.contains("shallow-crouch"));
+    assert!(dir.join("clip.json").exists());
+    assert!(dir.join("truth.json").exists());
+    assert!(dir.join("frame_0000.ppm").exists());
+
+    let score_out = invoke(&format!("score --clip {}", dir.display())).unwrap();
+    assert!(score_out.contains("Score: 6/7"), "{score_out}");
+    assert!(score_out.contains("R1"), "{score_out}");
+    assert!(score_out.contains("Bend your knees"), "{score_out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_runs_the_full_pipeline_and_writes_report() {
+    let dir = temp_clip("analyze");
+    invoke(&format!(
+        "synth --out {} --seed 6 --compact",
+        dir.display()
+    ))
+    .unwrap();
+    let report_path = dir.join("report.json");
+    let md_path = dir.join("report.md");
+    let text = invoke(&format!(
+        "analyze --clip {} --fast --report {} --report-md {}",
+        dir.display(),
+        report_path.display(),
+        md_path.display()
+    ))
+    .unwrap();
+    assert!(text.contains("Score:"), "{text}");
+    assert!(text.contains("phase timeline:"), "{text}");
+    assert!(text.contains("rule traces:"), "{text}");
+    assert!(text.contains('F'), "timeline should contain flight frames: {text}");
+    assert!(text.contains("measured jump:"), "{text}");
+    assert!(text.contains("vs ground truth"), "{text}");
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    let summary: slj::AnalysisSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(summary.frames, 20);
+    let md = std::fs::read_to_string(&md_path).unwrap();
+    assert!(md.contains("# Standing long jump"), "{md}");
+    assert!(md.contains("## Measurement"), "{md}");
+    assert!(summary.score >= 5, "pipeline scored only {}", summary.score);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_half_res_works() {
+    let dir = temp_clip("half_res");
+    invoke(&format!("synth --out {} --seed 8", dir.display())).unwrap();
+    let text = invoke(&format!("analyze --clip {} --fast --half-res", dir.display())).unwrap();
+    assert!(text.contains("half resolution (160x120)"), "{text}");
+    assert!(text.contains("Score:"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn synth_validates_inputs() {
+    let dir = temp_clip("validate");
+    for bad in [
+        format!("synth --out {} --frames 1", dir.display()),
+        format!("synth --out {} --height 9", dir.display()),
+        format!("synth --out {} --flaws backflip", dir.display()),
+        "synth".to_owned(),
+        format!("synth --out {} --bogus 1", dir.display()),
+    ] {
+        let err = invoke(&bad).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{bad} should be usage error");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_conflicting_modes_and_missing_clip() {
+    let err = invoke("analyze --clip nowhere --fast --paper").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+    let err = invoke("analyze --clip definitely_missing_dir_12345").unwrap_err();
+    assert!(!matches!(err, CliError::Usage(_)));
+}

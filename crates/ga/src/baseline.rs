@@ -1,0 +1,339 @@
+//! Comparison baselines for the temporal GA.
+//!
+//! * [`SingleFrameEstimator`] — Shoji et al. \[5\] as the paper describes
+//!   it: full-range initialisation, no temporal information, ~200
+//!   generations ("a proper stick model with a high accuracy can be
+//!   found in 200 generations").
+//! * [`RandomSearch`] — draws N chromosomes from the same initial
+//!   distribution and keeps the best: the floor any evolutionary
+//!   strategy must beat at equal evaluation budget.
+//! * [`HillClimber`] — single-chain stochastic hill climbing from the
+//!   seed pose: the greedy alternative to a population.
+
+use crate::engine::{evolve, GaConfig, GaRun, Problem};
+use crate::error::GaError;
+use crate::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::Mask;
+use slj_motion::{BodyDims, Pose};
+use slj_video::Camera;
+
+/// The non-temporal single-frame GA of \[5\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SingleFrameEstimator {
+    /// GA engine parameters (defaults to 200 generations, no early
+    /// stopping, as \[5\] reports).
+    pub ga: GaConfig,
+    /// Genetic-operator parameters.
+    pub problem: PoseProblemConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SingleFrameEstimator {
+    fn default() -> Self {
+        SingleFrameEstimator {
+            ga: GaConfig {
+                population_size: 100,
+                max_generations: 200,
+                patience: None,
+                ..GaConfig::default()
+            },
+            problem: PoseProblemConfig::default(),
+            seed: 0xBA5E,
+        }
+    }
+}
+
+impl SingleFrameEstimator {
+    /// Estimates a pose from a single silhouette with no temporal prior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GaError`] from problem construction and evolution
+    /// (blank silhouette, failed initialisation, bad config).
+    pub fn estimate(
+        &self,
+        silhouette: &Mask,
+        dims: &BodyDims,
+        camera: &Camera,
+    ) -> Result<GaRun<Pose>, GaError> {
+        let problem = PoseProblem::new(
+            silhouette,
+            dims,
+            camera,
+            InitStrategy::FullRange,
+            self.problem,
+        )?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        evolve(&problem, &self.ga, &mut rng)
+    }
+}
+
+/// Pure random search over a problem's initial distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomSearch {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch {
+            samples: 2000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The outcome of a baseline search.
+#[derive(Debug, Clone)]
+pub struct SearchRun<G> {
+    /// Best genome found.
+    pub best: G,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Fitness evaluations spent.
+    pub evaluations: usize,
+    /// Evaluation index (0-based) at which the best was found.
+    pub found_at: usize,
+}
+
+impl RandomSearch {
+    /// Runs random search over any [`Problem`]. Invalid samples are
+    /// skipped but still count against the budget (they cost a validity
+    /// check, not a fitness evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::InitFailed`] when no valid sample was found in
+    /// the whole budget.
+    pub fn run<P: Problem>(&self, problem: &P) -> Result<SearchRun<P::Genome>, GaError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(P::Genome, f64, usize)> = None;
+        let mut evaluations = 0usize;
+        for i in 0..self.samples {
+            let g = problem.random_genome(&mut rng);
+            if !problem.is_valid(&g) {
+                continue;
+            }
+            let f = problem.fitness(&g);
+            evaluations += 1;
+            if best.as_ref().map_or(true, |(_, bf, _)| f < *bf) {
+                best = Some((g, f, i));
+            }
+        }
+        match best {
+            Some((best, best_fitness, found_at)) => Ok(SearchRun {
+                best,
+                best_fitness,
+                evaluations,
+                found_at,
+            }),
+            None => Err(GaError::InitFailed {
+                attempts: self.samples,
+            }),
+        }
+    }
+}
+
+/// Stochastic hill climbing over poses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillClimber {
+    /// Number of proposal steps.
+    pub iterations: usize,
+    /// Angle proposal half-range, degrees.
+    pub angle_step: f64,
+    /// Centre proposal half-range, metres.
+    pub center_step: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HillClimber {
+    fn default() -> Self {
+        HillClimber {
+            iterations: 2000,
+            angle_step: 8.0,
+            center_step: 0.02,
+            seed: 0xC11B,
+        }
+    }
+}
+
+impl HillClimber {
+    /// Climbs from `start`, evaluating with the given problem's fitness
+    /// (validity is enforced on proposals; invalid proposals are
+    /// rejected).
+    pub fn run(
+        &self,
+        problem: &PoseProblem,
+        start: Pose,
+    ) -> SearchRun<Pose> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = start;
+        let mut current_f = problem.fitness(&current);
+        let mut evaluations = 1usize;
+        let mut found_at = 0usize;
+        for i in 0..self.iterations {
+            let mut proposal = current;
+            // Perturb one random gene group's worth of state: either the
+            // centre or one stick angle.
+            if rng.gen_bool(0.2) {
+                proposal.center.x += rng.gen_range(-self.center_step..=self.center_step);
+                proposal.center.y += rng.gen_range(-self.center_step..=self.center_step);
+            } else {
+                let l = rng.gen_range(0..slj_motion::model::STICK_COUNT);
+                proposal.angles[l] =
+                    proposal.angles[l] + rng.gen_range(-self.angle_step..=self.angle_step);
+            }
+            if !problem.is_valid(&proposal) {
+                continue;
+            }
+            let f = problem.fitness(&proposal);
+            evaluations += 1;
+            if f < current_f {
+                current = proposal;
+                current_f = f;
+                found_at = i + 1;
+            }
+        }
+        SearchRun {
+            best: current,
+            best_fitness: current_f,
+            evaluations,
+            found_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pose_problem::DEFAULT_DELTA_ANGLES;
+    use slj_video::render::render_silhouette;
+
+    fn setup() -> (Mask, BodyDims, Camera, Pose) {
+        let dims = BodyDims::default();
+        let camera = Camera::default();
+        let mut pose = Pose::standing(&dims);
+        pose.center.x = 0.6;
+        let sil = render_silhouette(&pose, &dims, &camera);
+        (sil, dims, camera, pose)
+    }
+
+    fn temporal_problem(sil: &Mask, dims: &BodyDims, camera: &Camera, prev: Pose) -> PoseProblem {
+        PoseProblem::new(
+            sil,
+            dims,
+            camera,
+            InitStrategy::Temporal {
+                previous: prev,
+                delta_center: 0.1,
+                delta_angles: DEFAULT_DELTA_ANGLES,
+            },
+            PoseProblemConfig {
+                stride: 4,
+                ..PoseProblemConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_frame_estimator_converges_with_budget() {
+        let (sil, dims, camera, truth) = setup();
+        // Give the baseline the budget [5] reports it needs: ~200
+        // generations from a full-range initial population.
+        let est = SingleFrameEstimator {
+            ga: GaConfig {
+                population_size: 80,
+                max_generations: 200,
+                patience: None,
+                ..GaConfig::default()
+            },
+            problem: PoseProblemConfig {
+                stride: 4,
+                ..PoseProblemConfig::default()
+            },
+            seed: 1,
+        };
+        let run = est.estimate(&sil, &dims, &camera).unwrap();
+        let err = run.best.error_against(&truth);
+        assert!(err.center_distance < 0.25, "centre off {}", err.center_distance);
+        assert!(run.best_fitness < 1.5, "fitness {}", run.best_fitness);
+        // And it genuinely needed many generations (no temporal prior).
+        assert!(
+            run.generations_to_near_best(0.10) > 5,
+            "full-range search converged suspiciously fast: {}",
+            run.generations_to_near_best(0.10)
+        );
+    }
+
+    #[test]
+    fn random_search_finds_reasonable_pose_with_temporal_prior() {
+        let (sil, dims, camera, truth) = setup();
+        let problem = temporal_problem(&sil, &dims, &camera, truth);
+        let rs = RandomSearch {
+            samples: 300,
+            seed: 2,
+        };
+        let run = rs.run(&problem).unwrap();
+        assert!(run.best_fitness < 1.5, "fitness {}", run.best_fitness);
+        assert!(run.evaluations > 0 && run.evaluations <= 300);
+        assert!(run.found_at < 300);
+    }
+
+    #[test]
+    fn hill_climber_improves_from_perturbed_start() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (sil, dims, camera, truth) = setup();
+        let problem = temporal_problem(&sil, &dims, &camera, truth);
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = slj_motion::synth::perturb_pose(&truth, 0.02, 12.0, &mut rng);
+        let start_f = problem.fitness_fn().evaluate(&start, &dims);
+        let hc = HillClimber {
+            iterations: 300,
+            seed: 4,
+            ..HillClimber::default()
+        };
+        let run = hc.run(&problem, start);
+        assert!(run.best_fitness <= start_f, "{} > {start_f}", run.best_fitness);
+        assert!(run.best_fitness < start_f * 0.95 || start_f < 0.3);
+    }
+
+    #[test]
+    fn hill_climber_on_optimum_stays_put() {
+        let (sil, dims, camera, truth) = setup();
+        let problem = temporal_problem(&sil, &dims, &camera, truth);
+        let hc = HillClimber {
+            iterations: 50,
+            seed: 5,
+            ..HillClimber::default()
+        };
+        let run = hc.run(&problem, truth);
+        let err = run.best.error_against(&truth);
+        // May wiggle within noise but must not wander off.
+        assert!(err.center_distance < 0.05);
+        assert!(err.mean_angle_error() < 10.0);
+    }
+
+    #[test]
+    fn random_search_deterministic() {
+        let (sil, dims, camera, truth) = setup();
+        let problem = temporal_problem(&sil, &dims, &camera, truth);
+        let rs = RandomSearch {
+            samples: 100,
+            seed: 6,
+        };
+        let a = rs.run(&problem).unwrap();
+        let b = rs.run(&problem).unwrap();
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.found_at, b.found_at);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the GA crate.
+
+use std::fmt;
+
+/// Error returned by fallible `slj-ga` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GaError {
+    /// No valid chromosome could be generated for the initial population
+    /// (e.g. the silhouette is blank or the seed pose is far outside it).
+    InitFailed {
+        /// Generation attempts made.
+        attempts: usize,
+    },
+    /// A configuration value is out of range.
+    BadConfig {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The silhouette has no foreground pixels, so Eq. 3 is undefined.
+    EmptySilhouette,
+    /// Tracking was asked to run over an empty silhouette sequence.
+    NoFrames,
+}
+
+impl fmt::Display for GaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaError::InitFailed { attempts } => {
+                write!(f, "no valid chromosome found after {attempts} attempts")
+            }
+            GaError::BadConfig { what } => write!(f, "bad configuration: {what}"),
+            GaError::EmptySilhouette => write!(f, "silhouette has no foreground pixels"),
+            GaError::NoFrames => write!(f, "no frames to track"),
+        }
+    }
+}
+
+impl std::error::Error for GaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(GaError::InitFailed { attempts: 10 }.to_string().contains("10"));
+        assert!(GaError::BadConfig { what: "population_size" }
+            .to_string()
+            .contains("population_size"));
+        assert!(!GaError::EmptySilhouette.to_string().is_empty());
+        assert!(!GaError::NoFrames.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<GaError>();
+    }
+}

@@ -1,0 +1,370 @@
+//! Eq. 3 — the silhouette-fit cost.
+//!
+//! ```text
+//! F_S = ( Σ_{(x_i, y_j) ∈ silhouette}  min_{l = 0..7}  d((x_i, y_j), S_l) / t_l ) / N
+//! ```
+//!
+//! where `d` is the distance from a silhouette pixel to stick `S_l`,
+//! `t_l` is "the average thickness of the area surrounding stick S_l"
+//! (known exactly here: the renderer's capsule radius), and `N` is the
+//! silhouette's pixel count. A model that threads every stick through
+//! the middle of its body part scores ≲ 1; the smaller, the better.
+//!
+//! The cost of one evaluation is `O(points × 8)`. [`SilhouetteFitness`]
+//! optionally subsamples the silhouette with a stride — the estimator is
+//! unbiased for ranking purposes and the Fig. 7 ablation/benches measure
+//! the speed/accuracy trade-off.
+
+use crate::error::GaError;
+use slj_imgproc::geometry::Point2;
+use slj_imgproc::mask::Mask;
+use slj_video::Camera;
+use slj_motion::model::ALL_STICKS;
+use slj_motion::{BodyDims, Pose};
+
+/// Number of axis samples per stick for the model→silhouette coverage
+/// term.
+const MODEL_SAMPLES_PER_STICK: usize = 7;
+
+/// A prepared Eq. 3 evaluator for one silhouette.
+///
+/// Eq. 3 is one-directional — it asks how well the *silhouette* is
+/// explained by the model, so a stick poking into empty space costs
+/// nothing. The paper compensates with a hard constraint (chromosomes
+/// "not in the boundary of the silhouette" are removed outright); real
+/// pipeline silhouettes make that constraint too brittle to enforce
+/// exactly, so this evaluator adds the soft complement: a penalty for
+/// model axis samples that lie outside the silhouette, weighted by
+/// `outside_weight` (0 recovers the paper's pure Eq. 3).
+#[derive(Debug, Clone)]
+pub struct SilhouetteFitness {
+    /// Silhouette pixel centres, image space.
+    points: Vec<Point2>,
+    /// Total silhouette pixel count N (before subsampling).
+    total_points: usize,
+    /// Per-stick thickness t_l in pixels, paper order.
+    thickness_px: [f64; 8],
+    /// The camera used to project candidate poses.
+    camera: Camera,
+    /// Chamfer distance field of the silhouette (for the coverage term).
+    distance_field: slj_imgproc::distance::DistanceField,
+    /// Weight of the model-outside-silhouette penalty.
+    outside_weight: f64,
+}
+
+impl SilhouetteFitness {
+    /// Prepares an evaluator over every `stride`-th silhouette pixel
+    /// (`stride = 1` uses all pixels), with the default coverage-term
+    /// weight of 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::EmptySilhouette`] when the mask has no
+    /// foreground and [`GaError::BadConfig`] when `stride == 0`.
+    pub fn new(
+        silhouette: &Mask,
+        dims: &BodyDims,
+        camera: &Camera,
+        stride: usize,
+    ) -> Result<Self, GaError> {
+        Self::with_outside_weight(silhouette, dims, camera, stride, 1.0)
+    }
+
+    /// As [`SilhouetteFitness::new`] with an explicit coverage-term
+    /// weight (`0.0` = the paper's pure Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::EmptySilhouette`] when the mask has no
+    /// foreground and [`GaError::BadConfig`] when `stride == 0` or the
+    /// weight is negative/non-finite.
+    pub fn with_outside_weight(
+        silhouette: &Mask,
+        dims: &BodyDims,
+        camera: &Camera,
+        stride: usize,
+        outside_weight: f64,
+    ) -> Result<Self, GaError> {
+        if stride == 0 {
+            return Err(GaError::BadConfig {
+                what: "stride must be positive",
+            });
+        }
+        if !outside_weight.is_finite() || outside_weight < 0.0 {
+            return Err(GaError::BadConfig {
+                what: "outside_weight must be finite and non-negative",
+            });
+        }
+        let total_points = silhouette.count();
+        if total_points == 0 {
+            return Err(GaError::EmptySilhouette);
+        }
+        let points: Vec<Point2> = silhouette
+            .foreground_pixels()
+            .step_by(stride)
+            .map(|(x, y)| Point2::new(x as f64, y as f64))
+            .collect();
+        let mut thickness_px = [0.0; 8];
+        for s in ALL_STICKS {
+            thickness_px[s.index()] = camera.length_to_pixels(dims.thickness(s)).max(1e-6);
+        }
+        Ok(SilhouetteFitness {
+            points,
+            total_points,
+            thickness_px,
+            camera: *camera,
+            distance_field: slj_imgproc::distance::DistanceField::new(silhouette),
+            outside_weight,
+        })
+    }
+
+    /// Number of points actually evaluated per call.
+    pub fn sample_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Total silhouette pixel count N.
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// Evaluates the full cost: Eq. 3 plus `outside_weight` times the
+    /// coverage penalty. Lower is better.
+    pub fn evaluate(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        let image_segs = self.project(pose, dims);
+        let eq3 = self.eq3_from_segments(&image_segs);
+        if self.outside_weight == 0.0 {
+            eq3
+        } else {
+            eq3 + self.outside_weight * self.outside_penalty_from_segments(&image_segs)
+        }
+    }
+
+    /// Evaluates the paper's pure Eq. 3 term only.
+    pub fn evaluate_eq3(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        let image_segs = self.project(pose, dims);
+        self.eq3_from_segments(&image_segs)
+    }
+
+    /// Evaluates the coverage penalty only: the mean, over evenly-spaced
+    /// model axis samples, of how far each sample lies outside the
+    /// silhouette, in units of its stick's thickness.
+    pub fn outside_penalty(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        let image_segs = self.project(pose, dims);
+        self.outside_penalty_from_segments(&image_segs)
+    }
+
+    fn project(&self, pose: &Pose, dims: &BodyDims) -> [(Point2, Point2); 8] {
+        let segs = pose.segments(dims);
+        let mut image_segs = [(Point2::origin(), Point2::origin()); 8];
+        for (stick, seg) in segs.iter() {
+            let s = self.camera.segment_to_image(seg);
+            image_segs[stick.index()] = (s.a, s.b);
+        }
+        image_segs
+    }
+
+    fn eq3_from_segments(&self, image_segs: &[(Point2, Point2); 8]) -> f64 {
+        let mut total = 0.0;
+        for &p in &self.points {
+            let mut best = f64::INFINITY;
+            for l in 0..8 {
+                let (a, b) = image_segs[l];
+                let d = slj_imgproc::geometry::Segment::new(a, b).distance_to(p);
+                let scaled = d / self.thickness_px[l];
+                if scaled < best {
+                    best = scaled;
+                }
+            }
+            total += best;
+        }
+        total / self.points.len() as f64
+    }
+
+    fn outside_penalty_from_segments(&self, image_segs: &[(Point2, Point2); 8]) -> f64 {
+        let df = &self.distance_field;
+        let (w, h) = (df.width(), df.height());
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for l in 0..8 {
+            let (a, b) = image_segs[l];
+            let seg = slj_imgproc::geometry::Segment::new(a, b);
+            let t = self.thickness_px[l];
+            for p in seg.sample(MODEL_SAMPLES_PER_STICK) {
+                count += 1;
+                let (x, y) = (p.x.round(), p.y.round());
+                let d = if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
+                    df.distance(x as usize, y as usize)
+                } else {
+                    // Off-image samples are maximally outside.
+                    (w + h) as f64
+                };
+                total += ((d - t).max(0.0) / t).min(20.0);
+            }
+        }
+        total / count.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::{Angle, StickKind};
+    use slj_video::render::render_silhouette;
+
+    fn setup() -> (BodyDims, Camera, Pose) {
+        let dims = BodyDims::default();
+        let camera = Camera::default();
+        let mut pose = Pose::standing(&dims);
+        pose.center.x = 0.6;
+        (dims, camera, pose)
+    }
+
+    #[test]
+    fn true_pose_scores_below_one() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let f = fit.evaluate(&pose, &dims);
+        // Every silhouette pixel is within its capsule radius of the
+        // generating stick, so each term is <= ~1.
+        assert!(f < 0.8, "true-pose fitness {f}");
+    }
+
+    #[test]
+    fn displaced_pose_scores_worse() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let base = fit.evaluate(&pose, &dims);
+        let mut shifted = pose;
+        shifted.center.x += 0.25;
+        assert!(fit.evaluate(&shifted, &dims) > base * 2.0);
+        let mut rotated = pose;
+        rotated = rotated.with_angle(StickKind::Trunk, Angle::from_degrees(90.0));
+        assert!(fit.evaluate(&rotated, &dims) > base * 1.5);
+    }
+
+    #[test]
+    fn fitness_is_monotone_in_displacement() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let mut prev = fit.evaluate(&pose, &dims);
+        for step in 1..=5 {
+            let mut p = pose;
+            p.center.x += step as f64 * 0.1;
+            let f = fit.evaluate(&p, &dims);
+            assert!(f > prev, "step {step}: {f} <= {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn stride_approximates_full_evaluation() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let full = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let strided = SilhouetteFitness::new(&sil, &dims, &camera, 4).unwrap();
+        assert!(strided.sample_count() * 3 < full.sample_count());
+        let a = full.evaluate(&pose, &dims);
+        let b = strided.evaluate(&pose, &dims);
+        assert!((a - b).abs() < 0.1 * a.max(0.05), "full {a} vs strided {b}");
+        // Ranking is preserved for a clearly-worse pose.
+        let mut bad = pose;
+        bad.center.x += 0.3;
+        assert!(strided.evaluate(&bad, &dims) > b);
+    }
+
+    #[test]
+    fn empty_silhouette_rejected() {
+        let (dims, camera, _) = setup();
+        let blank = Mask::new(camera.width, camera.height);
+        assert!(matches!(
+            SilhouetteFitness::new(&blank, &dims, &camera, 1),
+            Err(GaError::EmptySilhouette)
+        ));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        assert!(matches!(
+            SilhouetteFitness::new(&sil, &dims, &camera, 0),
+            Err(GaError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_are_reported() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 2).unwrap();
+        assert_eq!(fit.total_points(), sil.count());
+        assert_eq!(fit.sample_count(), sil.count().div_ceil(2));
+    }
+
+    #[test]
+    fn true_pose_has_negligible_outside_penalty() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        assert!(fit.outside_penalty(&pose, &dims) < 0.05);
+        // Total = Eq.3 + penalty ~= Eq.3 for the true pose.
+        let total = fit.evaluate(&pose, &dims);
+        let eq3 = fit.evaluate_eq3(&pose, &dims);
+        assert!((total - eq3).abs() < 0.05, "total {total} vs eq3 {eq3}");
+    }
+
+    #[test]
+    fn stick_poking_out_is_penalised() {
+        // Arm raised horizontally forward, far outside the standing
+        // silhouette: Eq. 3 barely notices, the coverage term does —
+        // this is what disambiguates a hidden arm.
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let raised = pose.with_angle(StickKind::UpperArm, Angle::FORWARD);
+        let eq3_delta = fit.evaluate_eq3(&raised, &dims) - fit.evaluate_eq3(&pose, &dims);
+        let penalty = fit.outside_penalty(&raised, &dims);
+        assert!(penalty > 0.5, "penalty {penalty}");
+        assert!(
+            penalty > eq3_delta.abs() * 2.0,
+            "penalty {penalty} should dominate the Eq.3 change {eq3_delta}"
+        );
+        assert!(fit.evaluate(&raised, &dims) > fit.evaluate(&pose, &dims) + 0.3);
+    }
+
+    #[test]
+    fn zero_weight_recovers_pure_eq3() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let pure =
+            SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, 1, 0.0).unwrap();
+        let raised = pose.with_angle(StickKind::UpperArm, Angle::FORWARD);
+        assert_eq!(pure.evaluate(&raised, &dims), pure.evaluate_eq3(&raised, &dims));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        assert!(matches!(
+            SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, 1, -1.0),
+            Err(GaError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn thickness_normalisation_favors_thin_stick_fit() {
+        // A point at equal pixel distance from two sticks is "closer"
+        // (per Eq. 3) to the thicker one.
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let trunk_t = fit.thickness_px[StickKind::Trunk.index()];
+        let neck_t = fit.thickness_px[StickKind::Neck.index()];
+        assert!(trunk_t > neck_t);
+    }
+}

@@ -1,0 +1,376 @@
+//! Connected-component labelling and small-spot removal.
+//!
+//! The second half of the paper's Step 3 removes "smaller spots" from the
+//! foreground because the target is a single human-sized object. We label
+//! components with a union-find pass and filter by area
+//! ([`remove_small_components`]), or keep only the largest component
+//! ([`keep_largest_component`]) — the strictest reading of "we are looking
+//! for human objects".
+
+use crate::mask::Mask;
+use crate::morph::Connectivity;
+
+/// A labelled connected component of a mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Stable label (1-based; 0 is background in the label map).
+    pub label: u32,
+    /// Number of pixels.
+    pub area: usize,
+    /// Inclusive bounding box `(x_min, y_min, x_max, y_max)`.
+    pub bbox: (usize, usize, usize, usize),
+}
+
+/// The result of labelling: a per-pixel label map (0 = background) plus
+/// per-component statistics.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    width: usize,
+    height: usize,
+    labels: Vec<u32>,
+    components: Vec<Component>,
+}
+
+impl Labeling {
+    /// The label at `(x, y)`; 0 means background. Out-of-bounds reads 0.
+    pub fn label_at(&self, x: usize, y: usize) -> u32 {
+        if x < self.width && y < self.height {
+            self.labels[y * self.width + x]
+        } else {
+            0
+        }
+    }
+
+    /// Statistics for every component, ordered by label.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component with the largest area, if any. Ties break toward the
+    /// lower label (scan order), keeping results deterministic.
+    pub fn largest(&self) -> Option<&Component> {
+        self.components.iter().max_by(|a, b| {
+            a.area
+                .cmp(&b.area)
+                .then_with(|| b.label.cmp(&a.label))
+        })
+    }
+
+    /// Builds the mask of one labelled component.
+    pub fn component_mask(&self, label: u32) -> Mask {
+        Mask::from_fn(self.width, self.height, |x, y| {
+            self.labels[y * self.width + x] == label
+        })
+    }
+
+    /// Builds the mask of all components whose area is at least
+    /// `min_area`.
+    pub fn filter_by_area(&self, min_area: usize) -> Mask {
+        let keep: Vec<bool> = {
+            let mut keep = vec![false; self.components.len() + 1];
+            for c in &self.components {
+                keep[c.label as usize] = c.area >= min_area;
+            }
+            keep
+        };
+        Mask::from_fn(self.width, self.height, |x, y| {
+            let l = self.labels[y * self.width + x] as usize;
+            l != 0 && keep[l]
+        })
+    }
+}
+
+/// Labels the connected components of `mask`.
+///
+/// Uses a two-pass union-find labelling; labels are assigned in raster-scan
+/// order of each component's first pixel, so results are deterministic.
+pub fn label_components(mask: &Mask, conn: Connectivity) -> Labeling {
+    let (w, h) = mask.dims();
+    let mut labels = vec![0u32; w * h];
+    let mut parent: Vec<u32> = vec![0]; // parent[0] unused (background)
+
+    fn find(parent: &mut Vec<u32>, mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    fn union(parent: &mut Vec<u32>, a: u32, b: u32) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            // Attach the larger root label to the smaller to keep labels
+            // biased toward scan order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+        }
+    }
+
+    // First pass: provisional labels + equivalences. Only neighbours that
+    // were already scanned (above / left, and diagonals for 8-conn) matter.
+    let prior: &[(isize, isize)] = match conn {
+        Connectivity::Four => &[(0, -1), (-1, 0)],
+        Connectivity::Eight => &[(-1, -1), (0, -1), (1, -1), (-1, 0)],
+    };
+    let mut next_label = 1u32;
+    for y in 0..h {
+        for x in 0..w {
+            if !mask.get(x, y) {
+                continue;
+            }
+            let mut neighbor_label = 0u32;
+            for &(dx, dy) in prior {
+                let (nx, ny) = (x as isize + dx, y as isize + dy);
+                if nx >= 0 && ny >= 0 && mask.get_i(nx, ny) {
+                    let nl = labels[ny as usize * w + nx as usize];
+                    if nl != 0 {
+                        if neighbor_label == 0 {
+                            neighbor_label = nl;
+                        } else if nl != neighbor_label {
+                            union(&mut parent, neighbor_label, nl);
+                        }
+                    }
+                }
+            }
+            if neighbor_label == 0 {
+                parent.push(next_label);
+                labels[y * w + x] = next_label;
+                next_label += 1;
+            } else {
+                labels[y * w + x] = neighbor_label;
+            }
+        }
+    }
+
+    // Compress equivalences into dense 1..=n labels in scan order.
+    let mut remap = vec![0u32; next_label as usize];
+    let mut components: Vec<Component> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let l = labels[y * w + x];
+            if l == 0 {
+                continue;
+            }
+            let root = find(&mut parent, l);
+            let dense = if remap[root as usize] == 0 {
+                let d = components.len() as u32 + 1;
+                remap[root as usize] = d;
+                components.push(Component {
+                    label: d,
+                    area: 0,
+                    bbox: (x, y, x, y),
+                });
+                d
+            } else {
+                remap[root as usize]
+            };
+            labels[y * w + x] = dense;
+            let c = &mut components[dense as usize - 1];
+            c.area += 1;
+            c.bbox.0 = c.bbox.0.min(x);
+            c.bbox.1 = c.bbox.1.min(y);
+            c.bbox.2 = c.bbox.2.max(x);
+            c.bbox.3 = c.bbox.3.max(y);
+        }
+    }
+
+    Labeling {
+        width: w,
+        height: h,
+        labels,
+        components,
+    }
+}
+
+/// Removes all 8-connected components with fewer than `min_area` pixels —
+/// the paper's "smaller spots can be removed from the scene".
+pub fn remove_small_components(mask: &Mask, min_area: usize) -> Mask {
+    label_components(mask, Connectivity::Eight).filter_by_area(min_area)
+}
+
+/// Keeps only the largest 8-connected component (blank input stays blank).
+pub fn keep_largest_component(mask: &Mask) -> Mask {
+    let labeling = label_components(mask, Connectivity::Eight);
+    match labeling.largest() {
+        Some(c) => labeling.component_mask(c.label),
+        None => Mask::new(mask.width(), mask.height()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_ascii(art: &str) -> Mask {
+        let rows: Vec<&str> = art.trim().lines().map(str::trim).collect();
+        let h = rows.len();
+        let w = rows[0].len();
+        Mask::from_fn(w, h, |x, y| rows[y].as_bytes()[x] == b'#')
+    }
+
+    #[test]
+    fn single_blob_single_label() {
+        let m = from_ascii(
+            "....
+             .##.
+             .##.
+             ....",
+        );
+        let l = label_components(&m, Connectivity::Eight);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.components()[0].area, 4);
+        assert_eq!(l.components()[0].bbox, (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn two_blobs_two_labels() {
+        let m = from_ascii(
+            "##...
+             ##...
+             .....
+             ...##
+             ...##",
+        );
+        let l = label_components(&m, Connectivity::Eight);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.components()[0].area, 4);
+        assert_eq!(l.components()[1].area, 4);
+        assert_ne!(l.label_at(0, 0), l.label_at(4, 4));
+        assert_eq!(l.label_at(2, 2), 0);
+    }
+
+    #[test]
+    fn diagonal_touch_depends_on_connectivity() {
+        let m = from_ascii(
+            "#.
+             .#",
+        );
+        assert_eq!(label_components(&m, Connectivity::Eight).len(), 1);
+        assert_eq!(label_components(&m, Connectivity::Four).len(), 2);
+    }
+
+    #[test]
+    fn u_shape_merges_via_union_find() {
+        // A 'U' forces provisional labels on the two prongs that must be
+        // merged when the bottom connects them.
+        let m = from_ascii(
+            "#.#
+             #.#
+             ###",
+        );
+        let l = label_components(&m, Connectivity::Four);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.components()[0].area, 7);
+    }
+
+    #[test]
+    fn w_shape_multiple_merges() {
+        let m = from_ascii(
+            "#.#.#
+             #.#.#
+             #####",
+        );
+        let l = label_components(&m, Connectivity::Four);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.components()[0].area, 11);
+    }
+
+    #[test]
+    fn labels_are_dense_and_scan_ordered() {
+        let m = from_ascii(
+            "#..#
+             ....
+             #..#",
+        );
+        let l = label_components(&m, Connectivity::Eight);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.label_at(0, 0), 1);
+        assert_eq!(l.label_at(3, 0), 2);
+        assert_eq!(l.label_at(0, 2), 3);
+        assert_eq!(l.label_at(3, 2), 4);
+    }
+
+    #[test]
+    fn remove_small_components_keeps_big_blob() {
+        let m = from_ascii(
+            "#....
+             .....
+             ..###
+             ..###",
+        );
+        let cleaned = remove_small_components(&m, 4);
+        assert_eq!(cleaned.count(), 6);
+        assert!(!cleaned.get(0, 0));
+        assert!(cleaned.get(3, 3));
+    }
+
+    #[test]
+    fn remove_small_components_min_area_boundary() {
+        let m = from_ascii(
+            "##...
+             .....
+             ...##
+             ...##",
+        );
+        // 2-px blob and 4-px blob; threshold exactly 2 keeps both.
+        assert_eq!(remove_small_components(&m, 2).count(), 6);
+        assert_eq!(remove_small_components(&m, 3).count(), 4);
+        assert_eq!(remove_small_components(&m, 5).count(), 0);
+    }
+
+    #[test]
+    fn keep_largest_component_selects_by_area() {
+        let m = from_ascii(
+            "###..
+             ###..
+             ....#
+             ....#",
+        );
+        let kept = keep_largest_component(&m);
+        assert_eq!(kept.count(), 6);
+        assert!(kept.get(1, 1));
+        assert!(!kept.get(4, 3));
+    }
+
+    #[test]
+    fn keep_largest_on_blank_is_blank() {
+        let blank = Mask::new(4, 4);
+        assert!(keep_largest_component(&blank).is_blank());
+    }
+
+    #[test]
+    fn component_mask_roundtrip() {
+        let m = from_ascii(
+            "##..
+             ##..
+             ...#",
+        );
+        let l = label_components(&m, Connectivity::Eight);
+        let all: Mask = l
+            .components()
+            .iter()
+            .fold(Mask::new(4, 3), |acc, c| {
+                acc.union(&l.component_mask(c.label)).unwrap()
+            });
+        assert_eq!(all, m);
+    }
+
+    #[test]
+    fn largest_is_none_on_blank() {
+        let l = label_components(&Mask::new(3, 3), Connectivity::Eight);
+        assert!(l.largest().is_none());
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Rasterisation of geometric primitives.
+//!
+//! The synthetic camera draws the jumper as one filled **capsule**
+//! (thick rounded segment) per stick; figure dumps overlay one-pixel
+//! Bresenham **lines** for estimated stick models; the noise model stamps
+//! **discs** for drifting spots. All rasterisers clip to the target.
+
+use crate::geometry::{Point2, Segment};
+use crate::image::ImageBuffer;
+use crate::mask::Mask;
+
+/// Plots a one-pixel Bresenham line into an image.
+pub fn line<P: Copy>(img: &mut ImageBuffer<P>, a: (isize, isize), b: (isize, isize), value: P) {
+    let (mut x0, mut y0) = a;
+    let (x1, y1) = b;
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        img.set_clipped(x0, y0, value);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Plots a Bresenham line into a mask.
+pub fn line_mask(mask: &mut Mask, a: (isize, isize), b: (isize, isize)) {
+    let (w, h) = mask.dims();
+    let mut img = ImageBuffer::from_fn(w, h, |x, y| mask.get(x, y));
+    line(&mut img, a, b, true);
+    *mask = Mask::from_fn(w, h, |x, y| img.get(x, y));
+}
+
+/// Fills all pixels within `radius` of the segment `ab` — a capsule
+/// (stadium) shape. This is how sticks acquire their thickness `t_l`.
+pub fn fill_capsule<P: Copy>(img: &mut ImageBuffer<P>, seg: Segment, radius: f64, value: P) {
+    let r = radius.max(0.0);
+    let x_min = (seg.a.x.min(seg.b.x) - r).floor() as isize;
+    let x_max = (seg.a.x.max(seg.b.x) + r).ceil() as isize;
+    let y_min = (seg.a.y.min(seg.b.y) - r).floor() as isize;
+    let y_max = (seg.a.y.max(seg.b.y) + r).ceil() as isize;
+    let r_sq = r * r;
+    for y in y_min..=y_max {
+        for x in x_min..=x_max {
+            let p = Point2::new(x as f64, y as f64);
+            if seg.distance_sq_to(p) <= r_sq {
+                img.set_clipped(x, y, value);
+            }
+        }
+    }
+}
+
+/// Fills a capsule into a mask.
+pub fn fill_capsule_mask(mask: &mut Mask, seg: Segment, radius: f64) {
+    let r = radius.max(0.0);
+    let x_min = (seg.a.x.min(seg.b.x) - r).floor().max(0.0) as usize;
+    let x_max = ((seg.a.x.max(seg.b.x) + r).ceil() as isize).max(0) as usize;
+    let y_min = (seg.a.y.min(seg.b.y) - r).floor().max(0.0) as usize;
+    let y_max = ((seg.a.y.max(seg.b.y) + r).ceil() as isize).max(0) as usize;
+    let r_sq = r * r;
+    for y in y_min..=y_max.min(mask.height().saturating_sub(1)) {
+        for x in x_min..=x_max.min(mask.width().saturating_sub(1)) {
+            let p = Point2::new(x as f64, y as f64);
+            if seg.distance_sq_to(p) <= r_sq {
+                mask.set(x, y, true);
+            }
+        }
+    }
+}
+
+/// Fills a disc of the given centre and radius.
+pub fn fill_disc<P: Copy>(img: &mut ImageBuffer<P>, center: Point2, radius: f64, value: P) {
+    fill_capsule(img, Segment::new(center, center), radius, value);
+}
+
+/// Fills a disc into a mask.
+pub fn fill_disc_mask(mask: &mut Mask, center: Point2, radius: f64) {
+    fill_capsule_mask(mask, Segment::new(center, center), radius);
+}
+
+/// Fills an axis-aligned rectangle (half-open: `x0..x1`, `y0..y1`),
+/// clipped to the image.
+pub fn fill_rect<P: Copy>(
+    img: &mut ImageBuffer<P>,
+    x0: isize,
+    y0: isize,
+    x1: isize,
+    y1: isize,
+    value: P,
+) {
+    for y in y0.max(0)..y1.min(img.height() as isize) {
+        for x in x0.max(0)..x1.min(img.width() as isize) {
+            img.set_clipped(x, y, value);
+        }
+    }
+}
+
+/// Fills an axis-aligned ellipse with semi-axes `(rx, ry)`.
+pub fn fill_ellipse<P: Copy>(
+    img: &mut ImageBuffer<P>,
+    center: Point2,
+    rx: f64,
+    ry: f64,
+    value: P,
+) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let x_min = (center.x - rx).floor() as isize;
+    let x_max = (center.x + rx).ceil() as isize;
+    let y_min = (center.y - ry).floor() as isize;
+    let y_max = (center.y + ry).ceil() as isize;
+    for y in y_min..=y_max {
+        for x in x_min..=x_max {
+            let nx = (x as f64 - center.x) / rx;
+            let ny = (y as f64 - center.y) / ry;
+            if nx * nx + ny * ny <= 1.0 {
+                img.set_clipped(x, y, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Gray;
+
+    #[test]
+    fn line_horizontal_and_vertical() {
+        let mut img = ImageBuffer::filled(10, 10, Gray(0));
+        line(&mut img, (1, 5), (8, 5), Gray(9));
+        for x in 1..=8 {
+            assert_eq!(img.get(x, 5), Gray(9));
+        }
+        assert_eq!(img.get(0, 5), Gray(0));
+
+        let mut img2 = ImageBuffer::filled(10, 10, Gray(0));
+        line(&mut img2, (3, 2), (3, 7), Gray(1));
+        for y in 2..=7 {
+            assert_eq!(img2.get(3, y), Gray(1));
+        }
+    }
+
+    #[test]
+    fn line_diagonal_hits_endpoints() {
+        let mut img = ImageBuffer::filled(10, 10, Gray(0));
+        line(&mut img, (0, 0), (9, 9), Gray(1));
+        assert_eq!(img.get(0, 0), Gray(1));
+        assert_eq!(img.get(9, 9), Gray(1));
+        assert_eq!(img.get(5, 5), Gray(1));
+        // A perfect diagonal paints exactly 10 pixels.
+        let n = img.as_slice().iter().filter(|&&p| p == Gray(1)).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn line_clips_outside_image() {
+        let mut img = ImageBuffer::filled(4, 4, Gray(0));
+        line(&mut img, (-3, 1), (7, 1), Gray(5));
+        for x in 0..4 {
+            assert_eq!(img.get(x, 1), Gray(5));
+        }
+    }
+
+    #[test]
+    fn line_single_point() {
+        let mut img = ImageBuffer::filled(4, 4, Gray(0));
+        line(&mut img, (2, 2), (2, 2), Gray(7));
+        assert_eq!(img.get(2, 2), Gray(7));
+        assert_eq!(img.as_slice().iter().filter(|&&p| p == Gray(7)).count(), 1);
+    }
+
+    #[test]
+    fn line_mask_draws() {
+        let mut m = Mask::new(5, 5);
+        line_mask(&mut m, (0, 0), (4, 0));
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn capsule_contains_axis_and_respects_radius() {
+        let mut m = Mask::new(30, 30);
+        let seg = Segment::new(Point2::new(5.0, 15.0), Point2::new(25.0, 15.0));
+        fill_capsule_mask(&mut m, seg, 3.0);
+        // On the axis.
+        assert!(m.get(15, 15));
+        // Within the radius.
+        assert!(m.get(15, 12));
+        assert!(m.get(15, 18));
+        // Outside the radius.
+        assert!(!m.get(15, 10));
+        // Rounded cap extends past the endpoint by <= radius.
+        assert!(m.get(26, 15));
+        assert!(!m.get(29, 15));
+    }
+
+    #[test]
+    fn capsule_area_close_to_analytic() {
+        let mut m = Mask::new(60, 40);
+        let seg = Segment::new(Point2::new(10.0, 20.0), Point2::new(50.0, 20.0));
+        let r = 5.0;
+        fill_capsule_mask(&mut m, seg, r);
+        let analytic = 2.0 * r * seg.length() + std::f64::consts::PI * r * r;
+        let measured = m.count() as f64;
+        assert!(
+            (measured - analytic).abs() / analytic < 0.1,
+            "measured {measured}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn capsule_clips_at_borders() {
+        let mut m = Mask::new(10, 10);
+        let seg = Segment::new(Point2::new(-5.0, 5.0), Point2::new(15.0, 5.0));
+        fill_capsule_mask(&mut m, seg, 2.0);
+        assert!(m.get(0, 5));
+        assert!(m.get(9, 5));
+    }
+
+    #[test]
+    fn disc_is_symmetric() {
+        let mut m = Mask::new(21, 21);
+        fill_disc_mask(&mut m, Point2::new(10.0, 10.0), 4.0);
+        assert!(m.get(10, 10));
+        assert!(m.get(14, 10));
+        assert!(m.get(10, 14));
+        assert!(m.get(6, 10));
+        assert!(!m.get(15, 10));
+        // 4-fold symmetry.
+        for dy in 0..5isize {
+            for dx in 0..5isize {
+                let q1 = m.get_i(10 + dx, 10 + dy);
+                assert_eq!(q1, m.get_i(10 - dx, 10 + dy));
+                assert_eq!(q1, m.get_i(10 + dx, 10 - dy));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_half_open_and_clipped() {
+        let mut img = ImageBuffer::filled(8, 8, Gray(0));
+        fill_rect(&mut img, 2, 3, 5, 6, Gray(1));
+        assert_eq!(
+            img.as_slice().iter().filter(|&&p| p == Gray(1)).count(),
+            9
+        );
+        assert_eq!(img.get(2, 3), Gray(1));
+        assert_eq!(img.get(4, 5), Gray(1));
+        assert_eq!(img.get(5, 5), Gray(0)); // half-open
+        // Clipping.
+        fill_rect(&mut img, -5, -5, 100, 1, Gray(2));
+        for x in 0..8 {
+            assert_eq!(img.get(x, 0), Gray(2));
+        }
+    }
+
+    #[test]
+    fn ellipse_semi_axes() {
+        let mut img = ImageBuffer::filled(40, 40, Gray(0));
+        fill_ellipse(&mut img, Point2::new(20.0, 20.0), 10.0, 4.0, Gray(1));
+        assert_eq!(img.get(20, 20), Gray(1));
+        assert_eq!(img.get(29, 20), Gray(1));
+        assert_eq!(img.get(20, 23), Gray(1));
+        assert_eq!(img.get(20, 25), Gray(0));
+        assert_eq!(img.get(31, 20), Gray(0));
+    }
+
+    #[test]
+    fn ellipse_degenerate_radius_noop() {
+        let mut img = ImageBuffer::filled(10, 10, Gray(0));
+        fill_ellipse(&mut img, Point2::new(5.0, 5.0), 0.0, 3.0, Gray(1));
+        assert!(img.as_slice().iter().all(|&p| p == Gray(0)));
+    }
+
+    #[test]
+    fn zero_radius_capsule_marks_axis_only() {
+        let mut m = Mask::new(10, 10);
+        fill_capsule_mask(&mut m, Segment::new(Point2::new(2.0, 2.0), Point2::new(6.0, 2.0)), 0.0);
+        // Radius 0: only pixels whose centres lie exactly on the segment.
+        assert_eq!(m.count(), 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type shared by the fallible operations of this crate.
+
+use std::fmt;
+
+/// Error returned by fallible `slj-imgproc` operations.
+///
+/// The crate prefers static enforcement (dimensions are checked at
+/// construction), so errors are limited to dimension mismatches between two
+/// images/masks and to I/O and decode failures in [`crate::io`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImgError {
+    /// Two buffers that must share dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the left operand, `(width, height)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand, `(width, height)`.
+        right: (usize, usize),
+    },
+    /// A buffer with zero width or height was requested where a non-empty
+    /// one is required.
+    EmptyImage,
+    /// A coordinate was outside the image bounds.
+    OutOfBounds {
+        /// The offending coordinate, `(x, y)`.
+        coord: (usize, usize),
+        /// The image dimensions, `(width, height)`.
+        dims: (usize, usize),
+    },
+    /// An underlying I/O failure while reading or writing an image file.
+    Io(std::io::Error),
+    /// A PGM/PPM stream did not parse.
+    Decode(String),
+}
+
+impl fmt::Display for ImgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImgError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImgError::EmptyImage => write!(f, "image must have non-zero width and height"),
+            ImgError::OutOfBounds { coord, dims } => write!(
+                f,
+                "coordinate ({}, {}) outside {}x{} image",
+                coord.0, coord.1, dims.0, dims.1
+            ),
+            ImgError::Io(e) => write!(f, "i/o error: {e}"),
+            ImgError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImgError {
+    fn from(e: std::io::Error) -> Self {
+        ImgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = ImgError::DimensionMismatch {
+            left: (3, 4),
+            right: (5, 6),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: 3x4 vs 5x6");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = ImgError::OutOfBounds {
+            coord: (10, 2),
+            dims: (8, 8),
+        };
+        assert!(e.to_string().contains("(10, 2)"));
+        assert!(e.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = ImgError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImgError>();
+    }
+
+    #[test]
+    fn empty_image_display_nonempty() {
+        assert!(!ImgError::EmptyImage.to_string().is_empty());
+    }
+}

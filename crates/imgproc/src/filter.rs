@@ -1,0 +1,258 @@
+//! Linear and rank smoothing filters.
+//!
+//! Background subtraction thresholds sit directly on top of sensor
+//! noise; a small spatial smoothing pass before subtraction knocks the
+//! per-pixel jitter down and lets the threshold drop. [`box_blur`] (via
+//! an integral image, O(1) per pixel regardless of radius) and
+//! [`median_filter`] (3×3) are provided, plus the [`IntegralImage`]
+//! itself for other windowed sums.
+
+use crate::image::ImageBuffer;
+use crate::pixel::Rgb;
+
+/// Summed-area table over one channel extractor of an RGB image.
+///
+/// `sum(x0, y0, x1, y1)` returns the inclusive-rectangle sum in O(1).
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width+1) x (height+1)` table, row-major; entry `(x, y)` holds
+    /// the sum over the rectangle `[0, x) x [0, y)`.
+    table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the table from a per-pixel `u8` channel.
+    pub fn new<F: Fn(Rgb) -> u8>(img: &ImageBuffer<Rgb>, channel: F) -> Self {
+        let (w, h) = img.dims();
+        let mut table = vec![0u64; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0u64;
+            for x in 0..w {
+                row_sum += channel(img.get(x, y)) as u64;
+                table[(y + 1) * (w + 1) + (x + 1)] = table[y * (w + 1) + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Sum over the inclusive rectangle `[x0..=x1] x [y0..=y1]`, clipped
+    /// to the image.
+    pub fn sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        if self.width == 0 || self.height == 0 || x0 > x1 || y0 > y1 {
+            return 0;
+        }
+        let x1 = x1.min(self.width - 1) + 1;
+        let y1 = y1.min(self.height - 1) + 1;
+        let (x0, y0) = (x0.min(self.width), y0.min(self.height));
+        let w = self.width + 1;
+        self.table[y1 * w + x1] + self.table[y0 * w + x0]
+            - self.table[y0 * w + x1]
+            - self.table[y1 * w + x0]
+    }
+
+    /// Mean over the inclusive rectangle, as `f64`.
+    pub fn mean(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        if x0 > x1 || y0 > y1 {
+            return 0.0;
+        }
+        let x1c = x1.min(self.width.saturating_sub(1));
+        let y1c = y1.min(self.height.saturating_sub(1));
+        let area = (x1c + 1 - x0) * (y1c + 1 - y0);
+        if area == 0 {
+            0.0
+        } else {
+            self.sum(x0, y0, x1, y1) as f64 / area as f64
+        }
+    }
+}
+
+/// Box blur with the given radius (window `2r+1`), border-clamped.
+/// O(W·H) regardless of radius, via three integral images.
+pub fn box_blur(img: &ImageBuffer<Rgb>, radius: usize) -> ImageBuffer<Rgb> {
+    if radius == 0 || img.is_empty() {
+        return img.clone();
+    }
+    let ir = IntegralImage::new(img, |p| p.r);
+    let ig = IntegralImage::new(img, |p| p.g);
+    let ib = IntegralImage::new(img, |p| p.b);
+    img.map_indexed(|x, y, _| {
+        let x0 = x.saturating_sub(radius);
+        let y0 = y.saturating_sub(radius);
+        let x1 = x + radius;
+        let y1 = y + radius;
+        Rgb::new(
+            ir.mean(x0, y0, x1, y1).round() as u8,
+            ig.mean(x0, y0, x1, y1).round() as u8,
+            ib.mean(x0, y0, x1, y1).round() as u8,
+        )
+    })
+}
+
+/// 3×3 per-channel median filter, border-clamped. Kills salt-and-pepper
+/// outliers without blurring edges as much as the box filter.
+pub fn median_filter(img: &ImageBuffer<Rgb>) -> ImageBuffer<Rgb> {
+    if img.width() < 3 || img.height() < 3 {
+        return img.clone();
+    }
+    let (w, h) = img.dims();
+    img.map_indexed(|x, y, _| {
+        let mut rs = [0u8; 9];
+        let mut gs = [0u8; 9];
+        let mut bs = [0u8; 9];
+        let mut i = 0;
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let sx = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                let sy = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                let p = img.get(sx, sy);
+                rs[i] = p.r;
+                gs[i] = p.g;
+                bs[i] = p.b;
+                i += 1;
+            }
+        }
+        rs.sort_unstable();
+        gs.sort_unstable();
+        bs.sort_unstable();
+        Rgb::new(rs[4], gs[4], bs[4])
+    })
+}
+
+/// Exact 2×2 box downscale: each output pixel is the average of a 2×2
+/// input block. Odd trailing rows/columns are dropped. Used to run the
+/// analysis pipeline at half resolution on large footage.
+pub fn resize_half(img: &ImageBuffer<Rgb>) -> ImageBuffer<Rgb> {
+    let (w, h) = (img.width() / 2, img.height() / 2);
+    ImageBuffer::from_fn(w, h, |x, y| {
+        let mut r = 0u32;
+        let mut g = 0u32;
+        let mut b = 0u32;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let p = img.get(2 * x + dx, 2 * y + dy);
+                r += p.r as u32;
+                g += p.g as u32;
+                b += p.b as u32;
+            }
+        }
+        Rgb::new((r / 4) as u8, (g / 4) as u8, (b / 4) as u8)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_sums_match_naive() {
+        let img = ImageBuffer::from_fn(7, 5, |x, y| Rgb::new((x * 11 + y) as u8, 0, 0));
+        let integral = IntegralImage::new(&img, |p| p.r);
+        for (x0, y0, x1, y1) in [(0, 0, 6, 4), (2, 1, 4, 3), (3, 3, 3, 3), (0, 0, 0, 0)] {
+            let naive: u64 = (y0..=y1)
+                .flat_map(|y| (x0..=x1).map(move |x| (x, y)))
+                .map(|(x, y)| img.get(x, y).r as u64)
+                .sum();
+            assert_eq!(integral.sum(x0, y0, x1, y1), naive, "({x0},{y0})-({x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn integral_clips_out_of_range() {
+        let img = ImageBuffer::filled(4, 4, Rgb::splat(1));
+        let integral = IntegralImage::new(&img, |p| p.r);
+        assert_eq!(integral.sum(0, 0, 100, 100), 16);
+        assert_eq!(integral.sum(3, 3, 10, 10), 1);
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = ImageBuffer::filled(10, 8, Rgb::new(30, 60, 90));
+        assert_eq!(box_blur(&img, 2), img);
+    }
+
+    #[test]
+    fn blur_radius_zero_is_identity() {
+        let img = ImageBuffer::from_fn(6, 6, |x, y| Rgb::splat((x * y) as u8));
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn blur_attenuates_impulse() {
+        let mut img = ImageBuffer::filled(9, 9, Rgb::BLACK);
+        img.set(4, 4, Rgb::splat(255));
+        let blurred = box_blur(&img, 1);
+        // The impulse spreads to its 3x3 window: 255/9 ≈ 28 each.
+        assert_eq!(blurred.get(4, 4), Rgb::splat(28));
+        assert_eq!(blurred.get(3, 3), Rgb::splat(28));
+        assert_eq!(blurred.get(6, 6), Rgb::BLACK);
+    }
+
+    #[test]
+    fn blur_reduces_noise_variance() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let img = ImageBuffer::from_fn(32, 32, |_, _| Rgb::splat(rng.gen_range(100..140)));
+        let blurred = box_blur(&img, 2);
+        let var = |im: &ImageBuffer<Rgb>| {
+            let mean: f64 =
+                im.as_slice().iter().map(|p| p.r as f64).sum::<f64>() / im.len() as f64;
+            im.as_slice()
+                .iter()
+                .map(|p| (p.r as f64 - mean).powi(2))
+                .sum::<f64>()
+                / im.len() as f64
+        };
+        assert!(var(&blurred) < var(&img) / 4.0);
+    }
+
+    #[test]
+    fn median_removes_salt_keeps_edges() {
+        // Left half dark, right half bright, one salt pixel in the dark
+        // half.
+        let mut img = ImageBuffer::from_fn(10, 10, |x, _| {
+            if x < 5 {
+                Rgb::splat(20)
+            } else {
+                Rgb::splat(200)
+            }
+        });
+        img.set(2, 5, Rgb::splat(255));
+        let filtered = median_filter(&img);
+        assert_eq!(filtered.get(2, 5), Rgb::splat(20), "salt survived");
+        // Edge stays sharp: pixels adjacent to the boundary keep their
+        // side's value.
+        assert_eq!(filtered.get(4, 2), Rgb::splat(20));
+        assert_eq!(filtered.get(5, 2), Rgb::splat(200));
+    }
+
+    #[test]
+    fn resize_half_averages_blocks() {
+        let img = ImageBuffer::from_fn(4, 4, |x, y| Rgb::splat(((y * 4 + x) * 10) as u8));
+        let half = resize_half(&img);
+        assert_eq!(half.dims(), (2, 2));
+        // Top-left block: values 0,10,40,50 -> mean 25.
+        assert_eq!(half.get(0, 0), Rgb::splat(25));
+        // Bottom-right block: 100,110,140,150 -> 125.
+        assert_eq!(half.get(1, 1), Rgb::splat(125));
+    }
+
+    #[test]
+    fn resize_half_drops_odd_edges() {
+        let img = ImageBuffer::filled(5, 3, Rgb::splat(9));
+        let half = resize_half(&img);
+        assert_eq!(half.dims(), (2, 1));
+        assert!(half.as_slice().iter().all(|&p| p == Rgb::splat(9)));
+    }
+
+    #[test]
+    fn median_on_tiny_image_is_identity() {
+        let img = ImageBuffer::from_fn(2, 2, |x, y| Rgb::splat((x + y) as u8));
+        assert_eq!(median_filter(&img), img);
+    }
+}

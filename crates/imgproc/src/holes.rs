@@ -1,0 +1,261 @@
+//! Hole filling (Step 4 of the paper's pipeline).
+//!
+//! The paper's rule is local: *"If a pixel in the object is 0 and the four
+//! neighbors of the pixel are all 1, the value of the pixel is set to 1."*
+//! That is [`fill_holes_paper_rule`], optionally iterated to a fixpoint.
+//! The rule only closes pinholes; for the larger holes the synthetic noise
+//! model can punch, [`fill_enclosed_holes`] performs the classic
+//! flood-fill-from-border fill, which the pipeline exposes as an optional
+//! stronger mode.
+
+use crate::mask::Mask;
+use crate::morph::Connectivity;
+
+/// One application of the paper's Step-4 rule: background pixels whose
+/// four edge-neighbours are all foreground become foreground.
+pub fn fill_holes_paper_rule(mask: &Mask) -> Mask {
+    Mask::from_fn(mask.width(), mask.height(), |x, y| {
+        if mask.get(x, y) {
+            return true;
+        }
+        let (xi, yi) = (x as isize, y as isize);
+        Connectivity::Four
+            .offsets()
+            .iter()
+            .all(|&(dx, dy)| mask.get_i(xi + dx, yi + dy))
+    })
+}
+
+/// Iterates [`fill_holes_paper_rule`] until it stops changing the mask or
+/// `max_iters` applications have run, returning the mask and the number of
+/// iterations actually applied.
+pub fn fill_holes_iterated(mask: &Mask, max_iters: usize) -> (Mask, usize) {
+    let mut current = mask.clone();
+    for i in 0..max_iters {
+        let next = fill_holes_paper_rule(&current);
+        if next == current {
+            return (current, i);
+        }
+        current = next;
+    }
+    (current, max_iters)
+}
+
+/// Fills every background region *not* connected to the image border —
+/// i.e. all fully enclosed holes, of any size.
+///
+/// Background connectivity uses the 4-neighbourhood (the standard dual of
+/// 8-connected foreground).
+pub fn fill_enclosed_holes(mask: &Mask) -> Mask {
+    let (w, h) = mask.dims();
+    if w == 0 || h == 0 {
+        return mask.clone();
+    }
+    // Flood-fill background from every border pixel.
+    let mut outside = vec![false; w * h];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let push = |x: usize, y: usize, outside: &mut Vec<bool>, stack: &mut Vec<(usize, usize)>| {
+        if !mask.get(x, y) && !outside[y * w + x] {
+            outside[y * w + x] = true;
+            stack.push((x, y));
+        }
+    };
+    for x in 0..w {
+        push(x, 0, &mut outside, &mut stack);
+        push(x, h - 1, &mut outside, &mut stack);
+    }
+    for y in 0..h {
+        push(0, y, &mut outside, &mut stack);
+        push(w - 1, y, &mut outside, &mut stack);
+    }
+    while let Some((x, y)) = stack.pop() {
+        for &(dx, dy) in Connectivity::Four.offsets() {
+            let (nx, ny) = (x as isize + dx, y as isize + dy);
+            if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                let (nx, ny) = (nx as usize, ny as usize);
+                if !mask.get(nx, ny) && !outside[ny * w + nx] {
+                    outside[ny * w + nx] = true;
+                    stack.push((nx, ny));
+                }
+            }
+        }
+    }
+    // Everything that is neither foreground nor outside is a hole.
+    Mask::from_fn(w, h, |x, y| mask.get(x, y) || !outside[y * w + x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_ascii(art: &str) -> Mask {
+        let rows: Vec<&str> = art.trim().lines().map(str::trim).collect();
+        let h = rows.len();
+        let w = rows[0].len();
+        Mask::from_fn(w, h, |x, y| rows[y].as_bytes()[x] == b'#')
+    }
+
+    #[test]
+    fn paper_rule_fills_pinhole() {
+        let m = from_ascii(
+            ".....
+             ..#..
+             .#.#.
+             ..#..
+             .....",
+        );
+        let filled = fill_holes_paper_rule(&m);
+        assert!(filled.get(2, 2));
+        assert_eq!(filled.count(), m.count() + 1);
+    }
+
+    #[test]
+    fn paper_rule_needs_all_four_neighbors() {
+        // Hole with only 3 of 4 neighbours set: must not fill.
+        let m = from_ascii(
+            "..#..
+             .#.#.
+             .....",
+        );
+        let filled = fill_holes_paper_rule(&m);
+        assert!(!filled.get(2, 1));
+        assert_eq!(filled, m);
+    }
+
+    #[test]
+    fn paper_rule_never_removes_pixels() {
+        let m = from_ascii(
+            "###
+             #.#
+             ###",
+        );
+        let filled = fill_holes_paper_rule(&m);
+        assert!(m.difference(&filled).unwrap().is_blank());
+        assert!(filled.get(1, 1));
+    }
+
+    #[test]
+    fn iterated_rule_reaches_fixpoint() {
+        let m = from_ascii(
+            ".....
+             ..#..
+             .#.#.
+             ..#..
+             .....",
+        );
+        let (filled, iters) = fill_holes_iterated(&m, 10);
+        // One pass fills the hole, the second detects no change.
+        assert!(iters <= 2);
+        assert!(filled.get(2, 2));
+        let (again, zero_iters) = fill_holes_iterated(&filled, 10);
+        assert_eq!(again, filled);
+        assert_eq!(zero_iters, 0);
+    }
+
+    #[test]
+    fn iterated_rule_stuck_on_plus_shaped_hole() {
+        // A plus-shaped cavity: no hole pixel ever has all four
+        // neighbours set, so even iterating the paper rule cannot fill
+        // it. This is the documented limitation that motivates
+        // fill_enclosed_holes.
+        let m = from_ascii(
+            "#####
+             ##.##
+             #...#
+             ##.##
+             #####",
+        );
+        let (filled, iters) = fill_holes_iterated(&m, 10);
+        assert_eq!(filled, m);
+        assert_eq!(iters, 0);
+        assert_eq!(fill_enclosed_holes(&m).count(), 25);
+    }
+
+    #[test]
+    fn iterated_rule_fills_separated_pinholes_in_one_pass() {
+        // Two pinholes that are not 4-adjacent both fill on the first
+        // application.
+        let m = from_ascii(
+            "######
+             #.####
+             ####.#
+             ######",
+        );
+        let (filled, iters) = fill_holes_iterated(&m, 10);
+        assert_eq!(filled.count(), 24);
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn paper_rule_cannot_fill_wide_hole() {
+        // 2x2 hole: no pixel has all four neighbours set, so the local
+        // rule is stuck — this motivates fill_enclosed_holes.
+        let m = from_ascii(
+            "####
+             #..#
+             #..#
+             ####",
+        );
+        let (filled, iters) = fill_holes_iterated(&m, 10);
+        assert_eq!(filled, m);
+        assert_eq!(iters, 0);
+        let flooded = fill_enclosed_holes(&m);
+        assert_eq!(flooded.count(), 16);
+    }
+
+    #[test]
+    fn flood_fill_ignores_open_bays() {
+        // A bay open to the border must NOT be filled.
+        let m = from_ascii(
+            "####
+             #..#
+             #..#
+             #..#",
+        );
+        let flooded = fill_enclosed_holes(&m);
+        assert_eq!(flooded, m);
+    }
+
+    #[test]
+    fn flood_fill_multiple_holes() {
+        let m = from_ascii(
+            "#######
+             #.##..#
+             #.##..#
+             #######",
+        );
+        let flooded = fill_enclosed_holes(&m);
+        assert_eq!(flooded.count(), 28);
+    }
+
+    #[test]
+    fn flood_fill_blank_and_full() {
+        assert!(fill_enclosed_holes(&Mask::new(4, 4)).is_blank());
+        let full = Mask::filled(4, 4, true);
+        assert_eq!(fill_enclosed_holes(&full), full);
+    }
+
+    #[test]
+    fn flood_fill_diagonal_leak_stays_hole_free() {
+        // Background connected to the border only diagonally: with
+        // 4-connected background this interior stays a hole and fills.
+        let m = from_ascii(
+            "###.
+             #.##
+             ####",
+        );
+        let flooded = fill_enclosed_holes(&m);
+        assert!(flooded.get(1, 1));
+    }
+
+    #[test]
+    fn fill_enclosed_preserves_foreground() {
+        let m = from_ascii(
+            "#####
+             #...#
+             #####",
+        );
+        let flooded = fill_enclosed_holes(&m);
+        assert!(m.difference(&flooded).unwrap().is_blank());
+    }
+}

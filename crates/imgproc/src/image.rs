@@ -1,0 +1,397 @@
+//! A generic owned 2-D pixel buffer.
+//!
+//! [`ImageBuffer<P>`] is the storage type behind every frame, difference
+//! image and label map in the workspace. It is deliberately simple: a
+//! row-major `Vec<P>` with checked and unchecked accessors, functional
+//! constructors and mapping helpers.
+
+use crate::error::ImgError;
+use serde::{Deserialize, Serialize};
+
+/// An owned, row-major 2-D buffer of pixels.
+///
+/// Coordinates are `(x, y)` with `x` growing rightward and `y` growing
+/// downward (image convention). `(0, 0)` is the top-left pixel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageBuffer<P> {
+    width: usize,
+    height: usize,
+    data: Vec<P>,
+}
+
+impl<P: Copy + Default> ImageBuffer<P> {
+    /// Creates an image filled with `P::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, P::default())
+    }
+}
+
+impl<P: Copy> ImageBuffer<P> {
+    /// Creates an image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: P) -> Self {
+        let len = width
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        ImageBuffer {
+            width,
+            height,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn<F: FnMut(usize, usize) -> P>(width: usize, height: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        ImageBuffer {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Creates an image from a row-major pixel vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when `data.len()` is not
+    /// `width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<P>) -> Result<Self, ImgError> {
+        if data.len() != width * height {
+            return Err(ImgError::DimensionMismatch {
+                left: (width, height),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(ImageBuffer {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Total number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image has zero pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether `(x, y)` is inside the image.
+    pub fn in_bounds(&self, x: usize, y: usize) -> bool {
+        x < self.width && y < self.height
+    }
+
+    /// Whether a signed coordinate is inside the image (convenience for
+    /// neighbour scans that step off the edges).
+    pub fn in_bounds_i(&self, x: isize, y: isize) -> bool {
+        x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> P {
+        assert!(
+            self.in_bounds(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y * self.width + x]
+    }
+
+    /// Returns the pixel at `(x, y)`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: usize, y: usize) -> Option<P> {
+        if self.in_bounds(x, y) {
+            Some(self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: P) {
+        assert!(
+            self.in_bounds(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Sets the pixel at `(x, y)` if it is in bounds; silently ignores
+    /// out-of-bounds writes (useful for rasterisers that clip).
+    #[inline]
+    pub fn set_clipped(&mut self, x: isize, y: isize, value: P) {
+        if self.in_bounds_i(x, y) {
+            self.data[y as usize * self.width + x as usize] = value;
+        }
+    }
+
+    /// Raw row-major pixel slice.
+    pub fn as_slice(&self) -> &[P] {
+        &self.data
+    }
+
+    /// Mutable raw row-major pixel slice.
+    pub fn as_mut_slice(&mut self) -> &mut [P] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer and returns the row-major pixel vector.
+    pub fn into_vec(self) -> Vec<P> {
+        self.data
+    }
+
+    /// Iterates over `(x, y, pixel)` in row-major order.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, P)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (i % w, i / w, p))
+    }
+
+    /// Applies `f` to every pixel, producing a new image of the same size.
+    pub fn map<Q: Copy, F: FnMut(P) -> Q>(&self, mut f: F) -> ImageBuffer<Q> {
+        ImageBuffer {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&p| f(p)).collect(),
+        }
+    }
+
+    /// Applies `f(x, y, pixel)` to every pixel, producing a new image.
+    pub fn map_indexed<Q: Copy, F: FnMut(usize, usize, P) -> Q>(
+        &self,
+        mut f: F,
+    ) -> ImageBuffer<Q> {
+        let w = self.width;
+        ImageBuffer {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| f(i % w, i / w, p))
+                .collect(),
+        }
+    }
+
+    /// Combines two same-sized images pixel-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn zip_map<Q: Copy, R: Copy, F: FnMut(P, Q) -> R>(
+        &self,
+        other: &ImageBuffer<Q>,
+        mut f: F,
+    ) -> Result<ImageBuffer<R>, ImgError> {
+        if self.dims() != other.dims() {
+            return Err(ImgError::DimensionMismatch {
+                left: self.dims(),
+                right: other.dims(),
+            });
+        }
+        Ok(ImageBuffer {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Fills the whole image with `value`.
+    pub fn fill(&mut self, value: P) {
+        self.data.fill(value);
+    }
+
+    /// Extracts a rectangular sub-image. The rectangle is clipped to the
+    /// image bounds; an empty intersection yields a `0x0` image.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> ImageBuffer<P> {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        if x0 >= x1 || y0 >= y1 {
+            return ImageBuffer {
+                width: 0,
+                height: 0,
+                data: Vec::new(),
+            };
+        }
+        ImageBuffer::from_fn(x1 - x0, y1 - y0, |x, y| self.get(x0 + x, y0 + y))
+    }
+}
+
+impl<P: Copy> AsRef<[P]> for ImageBuffer<P> {
+    fn as_ref(&self) -> &[P] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Gray, Rgb};
+
+    #[test]
+    fn new_is_default_filled() {
+        let img: ImageBuffer<Gray> = ImageBuffer::new(4, 3);
+        assert_eq!(img.dims(), (4, 3));
+        assert_eq!(img.len(), 12);
+        assert!(img.as_slice().iter().all(|&p| p == Gray(0)));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let img = ImageBuffer::from_fn(3, 2, |x, y| Gray((y * 10 + x) as u8));
+        assert_eq!(img.get(0, 0), Gray(0));
+        assert_eq!(img.get(2, 0), Gray(2));
+        assert_eq!(img.get(0, 1), Gray(10));
+        assert_eq!(img.get(2, 1), Gray(12));
+        assert_eq!(img.as_slice(), &[Gray(0), Gray(1), Gray(2), Gray(10), Gray(11), Gray(12)]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(ImageBuffer::from_vec(2, 2, vec![Gray(0); 4]).is_ok());
+        assert!(ImageBuffer::from_vec(2, 2, vec![Gray(0); 3]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = ImageBuffer::filled(5, 5, Rgb::BLACK);
+        img.set(3, 4, Rgb::WHITE);
+        assert_eq!(img.get(3, 4), Rgb::WHITE);
+        assert_eq!(img.get(4, 3), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img: ImageBuffer<Gray> = ImageBuffer::new(2, 2);
+        img.get(2, 0);
+    }
+
+    #[test]
+    fn try_get_returns_none_out_of_bounds() {
+        let img: ImageBuffer<Gray> = ImageBuffer::new(2, 2);
+        assert_eq!(img.try_get(1, 1), Some(Gray(0)));
+        assert_eq!(img.try_get(2, 1), None);
+        assert_eq!(img.try_get(1, 2), None);
+    }
+
+    #[test]
+    fn set_clipped_ignores_out_of_bounds() {
+        let mut img = ImageBuffer::filled(2, 2, Gray(0));
+        img.set_clipped(-1, 0, Gray(9));
+        img.set_clipped(0, -1, Gray(9));
+        img.set_clipped(2, 0, Gray(9));
+        img.set_clipped(1, 1, Gray(9));
+        assert_eq!(img.get(1, 1), Gray(9));
+        assert_eq!(img.get(0, 0), Gray(0));
+    }
+
+    #[test]
+    fn map_preserves_dims() {
+        let img = ImageBuffer::from_fn(4, 2, |x, _| Gray(x as u8));
+        let doubled = img.map(|p| Gray(p.0 * 2));
+        assert_eq!(doubled.dims(), (4, 2));
+        assert_eq!(doubled.get(3, 1), Gray(6));
+    }
+
+    #[test]
+    fn map_indexed_sees_coordinates() {
+        let img: ImageBuffer<Gray> = ImageBuffer::new(3, 3);
+        let coords = img.map_indexed(|x, y, _| Gray((x + 3 * y) as u8));
+        assert_eq!(coords.get(2, 2), Gray(8));
+    }
+
+    #[test]
+    fn zip_map_combines_and_checks_dims() {
+        let a = ImageBuffer::filled(2, 2, Gray(10));
+        let b = ImageBuffer::filled(2, 2, Gray(3));
+        let sum = a.zip_map(&b, |x, y| Gray(x.0 + y.0)).unwrap();
+        assert!(sum.as_slice().iter().all(|&p| p == Gray(13)));
+
+        let c = ImageBuffer::filled(3, 2, Gray(0));
+        assert!(a.zip_map(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn enumerate_pixels_covers_all() {
+        let img = ImageBuffer::from_fn(3, 2, |x, y| Gray((x + y) as u8));
+        let collected: Vec<_> = img.enumerate_pixels().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[0], (0, 0, Gray(0)));
+        assert_eq!(collected[5], (2, 1, Gray(3)));
+    }
+
+    #[test]
+    fn crop_clips_to_bounds() {
+        let img = ImageBuffer::from_fn(6, 4, |x, y| Gray((10 * y + x) as u8));
+        let c = img.crop(4, 2, 10, 10);
+        assert_eq!(c.dims(), (2, 2));
+        assert_eq!(c.get(0, 0), Gray(24));
+        assert_eq!(c.get(1, 1), Gray(35));
+        // Fully outside -> empty.
+        let e = img.crop(6, 0, 1, 1);
+        assert!(e.is_empty());
+        assert_eq!(e.dims(), (0, 0));
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut img = ImageBuffer::from_fn(3, 3, |x, _| Gray(x as u8));
+        img.fill(Gray(7));
+        assert!(img.as_slice().iter().all(|&p| p == Gray(7)));
+    }
+
+    #[test]
+    fn into_vec_is_row_major() {
+        let img = ImageBuffer::from_fn(2, 2, |x, y| Gray((2 * y + x) as u8));
+        assert_eq!(img.into_vec(), vec![Gray(0), Gray(1), Gray(2), Gray(3)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Binary PGM (P5) and PPM (P6) image I/O.
+//!
+//! The experiment binaries dump the reproduction's counterparts of the
+//! paper's Figures 1–3 and 6–7 as portable anymap files, which every image
+//! viewer opens and which need no external encoder crate.
+
+use crate::error::ImgError;
+use crate::image::ImageBuffer;
+use crate::mask::Mask;
+use crate::pixel::{Gray, Rgb};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes an RGB image as binary PPM (P6).
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any write failure.
+pub fn write_ppm<W: Write>(img: &ImageBuffer<Rgb>, mut w: W) -> Result<(), ImgError> {
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    let mut buf = Vec::with_capacity(img.len() * 3);
+    for &p in img.as_slice() {
+        buf.extend_from_slice(&[p.r, p.g, p.b]);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes a grayscale image as binary PGM (P5).
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any write failure.
+pub fn write_pgm<W: Write>(img: &ImageBuffer<Gray>, mut w: W) -> Result<(), ImgError> {
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let buf: Vec<u8> = img.as_slice().iter().map(|p| p.0).collect();
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes a mask as a black-and-white PGM (foreground = white).
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any write failure.
+pub fn write_mask_pgm<W: Write>(mask: &Mask, w: W) -> Result<(), ImgError> {
+    let img = ImageBuffer::from_fn(mask.width(), mask.height(), |x, y| {
+        Gray(if mask.get(x, y) { 255 } else { 0 })
+    });
+    write_pgm(&img, w)
+}
+
+/// Saves an RGB image to a PPM file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any filesystem failure.
+pub fn save_ppm<P: AsRef<Path>>(img: &ImageBuffer<Rgb>, path: P) -> Result<(), ImgError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let f = std::fs::File::create(path)?;
+    write_ppm(img, std::io::BufWriter::new(f))
+}
+
+/// Saves a grayscale image to a PGM file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any filesystem failure.
+pub fn save_pgm<P: AsRef<Path>>(img: &ImageBuffer<Gray>, path: P) -> Result<(), ImgError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let f = std::fs::File::create(path)?;
+    write_pgm(img, std::io::BufWriter::new(f))
+}
+
+/// Saves a mask to a PGM file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any filesystem failure.
+pub fn save_mask_pgm<P: AsRef<Path>>(mask: &Mask, path: P) -> Result<(), ImgError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let f = std::fs::File::create(path)?;
+    write_mask_pgm(mask, std::io::BufWriter::new(f))
+}
+
+fn read_token<R: BufRead>(r: &mut R) -> Result<String, ImgError> {
+    let mut token = String::new();
+    let mut byte = [0u8; 1];
+    // Skip whitespace and comments.
+    loop {
+        if r.read(&mut byte)? == 0 {
+            return Err(ImgError::Decode("unexpected end of stream".into()));
+        }
+        match byte[0] {
+            b'#' => {
+                let mut line = String::new();
+                r.read_line(&mut line)?;
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                token.push(c as char);
+                break;
+            }
+        }
+    }
+    loop {
+        if r.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0].is_ascii_whitespace() {
+            break;
+        }
+        token.push(byte[0] as char);
+    }
+    Ok(token)
+}
+
+fn parse_header<R: BufRead>(r: &mut R, magic: &str) -> Result<(usize, usize), ImgError> {
+    let got = read_token(r)?;
+    if got != magic {
+        return Err(ImgError::Decode(format!(
+            "expected magic {magic}, got {got}"
+        )));
+    }
+    let w: usize = read_token(r)?
+        .parse()
+        .map_err(|e| ImgError::Decode(format!("bad width: {e}")))?;
+    let h: usize = read_token(r)?
+        .parse()
+        .map_err(|e| ImgError::Decode(format!("bad height: {e}")))?;
+    let maxval: usize = read_token(r)?
+        .parse()
+        .map_err(|e| ImgError::Decode(format!("bad maxval: {e}")))?;
+    if maxval != 255 {
+        return Err(ImgError::Decode(format!(
+            "only maxval 255 supported, got {maxval}"
+        )));
+    }
+    Ok((w, h))
+}
+
+/// Reads a binary PPM (P6) image.
+///
+/// # Errors
+///
+/// Returns [`ImgError::Decode`] on malformed input and [`ImgError::Io`] on
+/// read failure.
+pub fn read_ppm<R: Read>(r: R) -> Result<ImageBuffer<Rgb>, ImgError> {
+    let mut r = BufReader::new(r);
+    let (w, h) = parse_header(&mut r, "P6")?;
+    let mut buf = vec![0u8; w * h * 3];
+    r.read_exact(&mut buf)
+        .map_err(|e| ImgError::Decode(format!("truncated pixel data: {e}")))?;
+    let pixels: Vec<Rgb> = buf
+        .chunks_exact(3)
+        .map(|c| Rgb::new(c[0], c[1], c[2]))
+        .collect();
+    ImageBuffer::from_vec(w, h, pixels)
+}
+
+/// Reads a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Returns [`ImgError::Decode`] on malformed input and [`ImgError::Io`] on
+/// read failure.
+pub fn read_pgm<R: Read>(r: R) -> Result<ImageBuffer<Gray>, ImgError> {
+    let mut r = BufReader::new(r);
+    let (w, h) = parse_header(&mut r, "P5")?;
+    let mut buf = vec![0u8; w * h];
+    r.read_exact(&mut buf)
+        .map_err(|e| ImgError::Decode(format!("truncated pixel data: {e}")))?;
+    ImageBuffer::from_vec(w, h, buf.into_iter().map(Gray).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = ImageBuffer::from_fn(7, 5, |x, y| Rgb::new(x as u8 * 30, y as u8 * 40, 200));
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        let back = read_ppm(&buf[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = ImageBuffer::from_fn(4, 6, |x, y| Gray((x * 10 + y) as u8));
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(&buf[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_format_is_canonical() {
+        let img: ImageBuffer<Gray> = ImageBuffer::new(3, 2);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(buf.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn mask_pgm_black_and_white() {
+        let mut m = Mask::new(2, 1);
+        m.set(0, 0, true);
+        let mut buf = Vec::new();
+        write_mask_pgm(&m, &mut buf).unwrap();
+        let img = read_pgm(&buf[..]).unwrap();
+        assert_eq!(img.get(0, 0), Gray(255));
+        assert_eq!(img.get(1, 0), Gray(0));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let err = read_pgm(&b"P4\n2 2\n255\n...."[..]).unwrap_err();
+        assert!(matches!(err, ImgError::Decode(_)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_data() {
+        let err = read_pgm(&b"P5\n4 4\n255\nab"[..]).unwrap_err();
+        assert!(matches!(err, ImgError::Decode(_)));
+    }
+
+    #[test]
+    fn decode_rejects_nonnumeric_dims() {
+        let err = read_pgm(&b"P5\nxx 4\n255\n"[..]).unwrap_err();
+        assert!(matches!(err, ImgError::Decode(_)));
+    }
+
+    #[test]
+    fn decode_skips_comments() {
+        let mut data = b"P5\n# a comment line\n2 1\n255\n".to_vec();
+        data.extend_from_slice(&[7, 9]);
+        let img = read_pgm(&data[..]).unwrap();
+        assert_eq!(img.get(0, 0), Gray(7));
+        assert_eq!(img.get(1, 0), Gray(9));
+    }
+
+    #[test]
+    fn decode_rejects_unsupported_maxval() {
+        let err = read_pgm(&b"P5\n2 1\n65535\n"[..]).unwrap_err();
+        assert!(matches!(err, ImgError::Decode(_)));
+    }
+
+    #[test]
+    fn save_and_reload_via_files() {
+        let dir = std::env::temp_dir().join("slj_imgproc_io_test");
+        let img = ImageBuffer::from_fn(3, 3, |x, y| Rgb::new(x as u8, y as u8, 0));
+        let path = dir.join("sub/test.ppm");
+        save_ppm(&img, &path).unwrap();
+        let back = read_ppm(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,478 @@
+//! Binary masks: the lingua franca of the segmentation pipeline.
+//!
+//! Every stage of the paper's Section 2 pipeline consumes and produces a
+//! binary foreground image. [`Mask`] stores one bit per pixel (as `bool`),
+//! offers set algebra, and — because the synthetic substrate gives us
+//! ground truth — accuracy metrics ([`MaskMetrics`]) that turn the paper's
+//! qualitative figures into numbers.
+
+use crate::error::ImgError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary image; `true` = foreground.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    width: usize,
+    height: usize,
+    data: Vec<bool>,
+}
+
+/// Pixel-level accuracy of a predicted mask against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskMetrics {
+    /// True positives: predicted foreground that is foreground.
+    pub tp: usize,
+    /// False positives: predicted foreground that is background.
+    pub fp: usize,
+    /// False negatives: missed foreground.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Mask {
+    /// Creates an all-background mask.
+    pub fn new(width: usize, height: usize) -> Self {
+        Mask {
+            width,
+            height,
+            data: vec![false; width * height],
+        }
+    }
+
+    /// Creates a mask filled with `value`.
+    pub fn filled(width: usize, height: usize, value: bool) -> Self {
+        Mask {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Creates a mask by evaluating `f(x, y)` per pixel.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
+        width: usize,
+        height: usize,
+        mut f: F,
+    ) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Mask {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Mask width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Whether `(x, y)` lies inside the mask.
+    pub fn in_bounds(&self, x: usize, y: usize) -> bool {
+        x < self.width && y < self.height
+    }
+
+    /// Returns the pixel; out-of-bounds coordinates read as background,
+    /// which is the convention every pipeline stage wants at the borders.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if self.in_bounds(x, y) {
+            self.data[y * self.width + x]
+        } else {
+            false
+        }
+    }
+
+    /// Signed-coordinate variant of [`Mask::get`]; negative reads as
+    /// background.
+    #[inline]
+    pub fn get_i(&self, x: isize, y: isize) -> bool {
+        if x >= 0 && y >= 0 {
+            self.get(x as usize, y as usize)
+        } else {
+            false
+        }
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(
+            self.in_bounds(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} mask",
+            self.width,
+            self.height
+        );
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Number of foreground pixels.
+    pub fn count(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the mask has no foreground pixels.
+    pub fn is_blank(&self) -> bool {
+        !self.data.iter().any(|&b| b)
+    }
+
+    /// Fraction of pixels that are foreground, in `[0, 1]`.
+    /// Returns 0 for an empty mask.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Iterates over the coordinates of all foreground pixels.
+    pub fn foreground_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| (i % w, i / w))
+    }
+
+    /// Raw row-major bit slice.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.data
+    }
+
+    /// Pixel-wise union.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn union(&self, other: &Mask) -> Result<Mask, ImgError> {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Pixel-wise intersection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn intersect(&self, other: &Mask) -> Result<Mask, ImgError> {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Pixels in `self` but not in `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn difference(&self, other: &Mask) -> Result<Mask, ImgError> {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Pixel-wise complement.
+    pub fn invert(&self) -> Mask {
+        Mask {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&b| !b).collect(),
+        }
+    }
+
+    fn zip<F: Fn(bool, bool) -> bool>(&self, other: &Mask, f: F) -> Result<Mask, ImgError> {
+        if self.dims() != other.dims() {
+            return Err(ImgError::DimensionMismatch {
+                left: self.dims(),
+                right: other.dims(),
+            });
+        }
+        Ok(Mask {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Intersection-over-union with another mask of the same size.
+    ///
+    /// Returns 1.0 when both masks are blank (they agree perfectly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn iou(&self, other: &Mask) -> Result<f64, ImgError> {
+        let m = self.metrics_against(other)?;
+        Ok(m.iou())
+    }
+
+    /// Computes the confusion counts of `self` (prediction) against
+    /// `truth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
+    pub fn metrics_against(&self, truth: &Mask) -> Result<MaskMetrics, ImgError> {
+        if self.dims() != truth.dims() {
+            return Err(ImgError::DimensionMismatch {
+                left: self.dims(),
+                right: truth.dims(),
+            });
+        }
+        let mut m = MaskMetrics {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 0,
+        };
+        for (&pred, &gt) in self.data.iter().zip(truth.data.iter()) {
+            match (pred, gt) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        Ok(m)
+    }
+
+    /// Renders the mask as an ASCII art string (`#` foreground, `.`
+    /// background), handy in test failures.
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                s.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mask {}x{} ({} fg px)",
+            self.width,
+            self.height,
+            self.count()
+        )
+    }
+}
+
+impl MaskMetrics {
+    /// Intersection over union: `tp / (tp + fp + fn)`. 1.0 when there is
+    /// no foreground in either mask.
+    pub fn iou(&self) -> f64 {
+        let denom = self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Precision: `tp / (tp + fp)`. 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall: `tp / (tp + fn)`. 1.0 when there is no true foreground.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl fmt::Display for MaskMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IoU {:.3} P {:.3} R {:.3} F1 {:.3}",
+            self.iou(),
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Mask {
+        Mask::from_fn(w, h, |x, y| x >= x0 && x < x1 && y >= y0 && y < y1)
+    }
+
+    #[test]
+    fn count_and_density() {
+        let m = square(10, 10, 0, 0, 5, 4);
+        assert_eq!(m.count(), 20);
+        assert!((m.density() - 0.2).abs() < 1e-12);
+        assert!(!m.is_blank());
+        assert!(Mask::new(4, 4).is_blank());
+    }
+
+    #[test]
+    fn out_of_bounds_reads_background() {
+        let m = Mask::filled(3, 3, true);
+        assert!(m.get(2, 2));
+        assert!(!m.get(3, 0));
+        assert!(!m.get(0, 3));
+        assert!(!m.get_i(-1, 0));
+        assert!(m.get_i(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        Mask::new(2, 2).set(2, 0, true);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = Mask::new(4, 4);
+        m.set(1, 2, true);
+        assert!(m.get(1, 2));
+        m.set(1, 2, false);
+        assert!(!m.get(1, 2));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = square(6, 6, 0, 0, 4, 4); // 16 px
+        let b = square(6, 6, 2, 2, 6, 6); // 16 px, overlap 2x2 = 4 px
+        assert_eq!(a.union(&b).unwrap().count(), 28);
+        assert_eq!(a.intersect(&b).unwrap().count(), 4);
+        assert_eq!(a.difference(&b).unwrap().count(), 12);
+        assert_eq!(b.difference(&a).unwrap().count(), 12);
+    }
+
+    #[test]
+    fn set_ops_reject_mismatched_dims() {
+        let a = Mask::new(3, 3);
+        let b = Mask::new(4, 3);
+        assert!(a.union(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.difference(&b).is_err());
+        assert!(a.iou(&b).is_err());
+    }
+
+    #[test]
+    fn invert_involution() {
+        let a = square(5, 5, 1, 1, 3, 4);
+        assert_eq!(a.invert().invert(), a);
+        assert_eq!(a.invert().count(), 25 - a.count());
+    }
+
+    #[test]
+    fn iou_values() {
+        let a = square(6, 6, 0, 0, 4, 4);
+        let b = square(6, 6, 2, 2, 6, 6);
+        // |∩| = 4, |∪| = 28.
+        assert!((a.iou(&b).unwrap() - 4.0 / 28.0).abs() < 1e-12);
+        assert_eq!(a.iou(&a).unwrap(), 1.0);
+        // Two blank masks agree perfectly.
+        assert_eq!(Mask::new(3, 3).iou(&Mask::new(3, 3)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn metrics_confusion_counts() {
+        let truth = square(4, 4, 0, 0, 2, 4); // left half, 8 px
+        let pred = square(4, 4, 1, 0, 3, 4); // middle strip, 8 px
+        let m = pred.metrics_against(&truth).unwrap();
+        assert_eq!(m.tp, 4);
+        assert_eq!(m.fp, 4);
+        assert_eq!(m.fn_, 4);
+        assert_eq!(m.tn, 4);
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+        assert!((m.iou() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_degenerate_cases() {
+        let blank = Mask::new(3, 3);
+        let m = blank.metrics_against(&blank).unwrap();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.iou(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+
+        let full = Mask::filled(3, 3, true);
+        let m2 = blank.metrics_against(&full).unwrap();
+        assert_eq!(m2.recall(), 0.0);
+        assert_eq!(m2.precision(), 1.0); // nothing predicted
+        assert_eq!(m2.f1(), 0.0);
+    }
+
+    #[test]
+    fn foreground_pixels_enumerates_coords() {
+        let mut m = Mask::new(3, 3);
+        m.set(0, 0, true);
+        m.set(2, 1, true);
+        let px: Vec<_> = m.foreground_pixels().collect();
+        assert_eq!(px, vec![(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let m = square(3, 2, 0, 0, 1, 2);
+        assert_eq!(m.to_ascii(), "#..\n#..\n");
+    }
+
+    #[test]
+    fn display_mentions_dims_and_count() {
+        let m = square(5, 4, 0, 0, 2, 2);
+        let s = m.to_string();
+        assert!(s.contains("5x4"));
+        assert!(s.contains('4'));
+    }
+}

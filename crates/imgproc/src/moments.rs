@@ -1,0 +1,207 @@
+//! Geometric moments of binary masks.
+//!
+//! The GA's temporal initialisation (paper, Section 3) places the trunk
+//! centre at "the geometric center of the silhouette", so the centroid is
+//! a first-class operation here, along with area and the axis-aligned
+//! bounding box.
+
+use crate::geometry::Point2;
+use crate::mask::Mask;
+
+/// Inclusive axis-aligned bounding box of a mask's foreground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundingBox {
+    /// Smallest foreground x.
+    pub x_min: usize,
+    /// Smallest foreground y.
+    pub y_min: usize,
+    /// Largest foreground x.
+    pub x_max: usize,
+    /// Largest foreground y.
+    pub y_max: usize,
+}
+
+impl BoundingBox {
+    /// Box width in pixels (inclusive extent).
+    pub fn width(&self) -> usize {
+        self.x_max - self.x_min + 1
+    }
+
+    /// Box height in pixels (inclusive extent).
+    pub fn height(&self) -> usize {
+        self.y_max - self.y_min + 1
+    }
+
+    /// Centre of the box.
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            (self.x_min + self.x_max) as f64 / 2.0,
+            (self.y_min + self.y_max) as f64 / 2.0,
+        )
+    }
+
+    /// Whether `(x, y)` lies inside the box.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x_min && x <= self.x_max && y >= self.y_min && y <= self.y_max
+    }
+}
+
+/// Centroid (geometric centre, the mean of foreground coordinates) of a
+/// mask, or `None` when the mask is blank.
+pub fn centroid(mask: &Mask) -> Option<Point2> {
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut n = 0usize;
+    for (x, y) in mask.foreground_pixels() {
+        sx += x as f64;
+        sy += y as f64;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(Point2::new(sx / n as f64, sy / n as f64))
+    }
+}
+
+/// Inclusive bounding box of the foreground, or `None` when blank.
+pub fn bounding_box(mask: &Mask) -> Option<BoundingBox> {
+    let mut bb: Option<BoundingBox> = None;
+    for (x, y) in mask.foreground_pixels() {
+        match &mut bb {
+            None => {
+                bb = Some(BoundingBox {
+                    x_min: x,
+                    y_min: y,
+                    x_max: x,
+                    y_max: y,
+                })
+            }
+            Some(b) => {
+                b.x_min = b.x_min.min(x);
+                b.y_min = b.y_min.min(y);
+                b.x_max = b.x_max.max(x);
+                b.y_max = b.y_max.max(y);
+            }
+        }
+    }
+    bb
+}
+
+/// Second-order central moments `(mu20, mu02, mu11)` of the foreground,
+/// or `None` when blank. Used by tests to check that synthetic silhouettes
+/// have the elongation a human figure should.
+pub fn central_moments(mask: &Mask) -> Option<(f64, f64, f64)> {
+    let c = centroid(mask)?;
+    let mut mu20 = 0.0;
+    let mut mu02 = 0.0;
+    let mut mu11 = 0.0;
+    let mut n = 0usize;
+    for (x, y) in mask.foreground_pixels() {
+        let dx = x as f64 - c.x;
+        let dy = y as f64 - c.y;
+        mu20 += dx * dx;
+        mu02 += dy * dy;
+        mu11 += dx * dy;
+        n += 1;
+    }
+    let n = n as f64;
+    Some((mu20 / n, mu02 / n, mu11 / n))
+}
+
+/// Orientation of the principal axis in radians, measured from the x axis,
+/// in `(-π/2, π/2]`. `None` when the mask is blank or isotropic.
+pub fn orientation(mask: &Mask) -> Option<f64> {
+    let (mu20, mu02, mu11) = central_moments(mask)?;
+    if mu11.abs() < 1e-12 && (mu20 - mu02).abs() < 1e-12 {
+        return None;
+    }
+    Some(0.5 * (2.0 * mu11).atan2(mu20 - mu02))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Mask {
+        Mask::from_fn(w, h, |x, y| x >= x0 && x < x1 && y >= y0 && y < y1)
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let m = square(10, 10, 2, 4, 6, 8); // x: 2..=5, y: 4..=7
+        let c = centroid(&m).unwrap();
+        assert!((c.x - 3.5).abs() < 1e-12);
+        assert!((c.y - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_blank_is_none() {
+        assert!(centroid(&Mask::new(5, 5)).is_none());
+    }
+
+    #[test]
+    fn centroid_single_pixel() {
+        let mut m = Mask::new(5, 5);
+        m.set(3, 1, true);
+        assert_eq!(centroid(&m).unwrap(), Point2::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn bounding_box_of_two_points() {
+        let mut m = Mask::new(10, 10);
+        m.set(2, 3, true);
+        m.set(7, 5, true);
+        let bb = bounding_box(&m).unwrap();
+        assert_eq!(bb, BoundingBox { x_min: 2, y_min: 3, x_max: 7, y_max: 5 });
+        assert_eq!(bb.width(), 6);
+        assert_eq!(bb.height(), 3);
+        assert!(bb.contains(4, 4));
+        assert!(!bb.contains(1, 4));
+        assert_eq!(bb.center(), Point2::new(4.5, 4.0));
+    }
+
+    #[test]
+    fn bounding_box_blank_is_none() {
+        assert!(bounding_box(&Mask::new(3, 3)).is_none());
+    }
+
+    #[test]
+    fn central_moments_of_horizontal_bar() {
+        // A wide, short bar: mu20 >> mu02, mu11 ~ 0.
+        let m = square(20, 20, 2, 9, 18, 11);
+        let (mu20, mu02, mu11) = central_moments(&m).unwrap();
+        assert!(mu20 > 10.0 * mu02);
+        assert!(mu11.abs() < 1e-9);
+    }
+
+    #[test]
+    fn orientation_of_bars() {
+        let horiz = square(20, 20, 2, 9, 18, 11);
+        let th = orientation(&horiz).unwrap();
+        assert!(th.abs() < 1e-6, "horizontal bar angle {th}");
+
+        let vert = square(20, 20, 9, 2, 11, 18);
+        let tv = orientation(&vert).unwrap();
+        assert!((tv.abs() - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orientation_diagonal_bar() {
+        // Diagonal line of pixels at 45°.
+        let mut m = Mask::new(20, 20);
+        for i in 0..15 {
+            m.set(i, i, true);
+        }
+        let t = orientation(&m).unwrap();
+        assert!((t - std::f64::consts::FRAC_PI_4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orientation_isotropic_is_none() {
+        // A square has no principal axis.
+        let m = square(10, 10, 2, 2, 8, 8);
+        assert!(orientation(&m).is_none());
+        assert!(orientation(&Mask::new(4, 4)).is_none());
+    }
+}

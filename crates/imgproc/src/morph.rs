@@ -1,0 +1,216 @@
+//! Binary morphology and neighbour counting.
+//!
+//! Step 3 of the paper's segmentation pipeline deletes noise by counting
+//! the non-zero 8-neighbours of each pixel and keeping the pixel only when
+//! the count exceeds a threshold — that exact operation is
+//! [`neighbor_filter`]. Classic erosion/dilation/open/close are provided
+//! as well; the pipeline does not require them, but the synthetic-camera
+//! tests and the ablation benches do.
+
+use crate::mask::Mask;
+
+/// Structuring-element connectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connectivity {
+    /// The 4 edge-adjacent neighbours (von Neumann neighbourhood).
+    Four,
+    /// The 8 edge- and corner-adjacent neighbours (Moore neighbourhood).
+    Eight,
+}
+
+impl Connectivity {
+    /// The coordinate offsets of the neighbourhood.
+    pub fn offsets(self) -> &'static [(isize, isize)] {
+        match self {
+            Connectivity::Four => &[(0, -1), (-1, 0), (1, 0), (0, 1)],
+            Connectivity::Eight => &[
+                (-1, -1),
+                (0, -1),
+                (1, -1),
+                (-1, 0),
+                (1, 0),
+                (-1, 1),
+                (0, 1),
+                (1, 1),
+            ],
+        }
+    }
+}
+
+/// Counts the foreground pixels among the neighbours of `(x, y)`.
+///
+/// Out-of-bounds neighbours count as background.
+pub fn count_neighbors(mask: &Mask, x: usize, y: usize, conn: Connectivity) -> usize {
+    let (xi, yi) = (x as isize, y as isize);
+    conn.offsets()
+        .iter()
+        .filter(|&&(dx, dy)| mask.get_i(xi + dx, yi + dy))
+        .count()
+}
+
+/// The paper's Step-3 noise filter: a foreground pixel survives only when
+/// strictly more than `threshold` of its 8-neighbours are foreground.
+///
+/// Background pixels are never promoted. With `threshold = 0` the filter
+/// removes exactly the isolated pixels; typical values are 2–4.
+pub fn neighbor_filter(mask: &Mask, threshold: usize) -> Mask {
+    Mask::from_fn(mask.width(), mask.height(), |x, y| {
+        mask.get(x, y) && count_neighbors(mask, x, y, Connectivity::Eight) > threshold
+    })
+}
+
+/// Morphological erosion: a pixel survives when it and its whole
+/// neighbourhood are foreground.
+pub fn erode(mask: &Mask, conn: Connectivity) -> Mask {
+    Mask::from_fn(mask.width(), mask.height(), |x, y| {
+        mask.get(x, y) && count_neighbors(mask, x, y, conn) == conn.offsets().len()
+    })
+}
+
+/// Morphological dilation: a pixel becomes foreground when it or any
+/// neighbour is foreground.
+pub fn dilate(mask: &Mask, conn: Connectivity) -> Mask {
+    Mask::from_fn(mask.width(), mask.height(), |x, y| {
+        mask.get(x, y) || count_neighbors(mask, x, y, conn) > 0
+    })
+}
+
+/// Opening: erosion followed by dilation (removes specks).
+pub fn open(mask: &Mask, conn: Connectivity) -> Mask {
+    dilate(&erode(mask, conn), conn)
+}
+
+/// Closing: dilation followed by erosion (fills cracks).
+pub fn close(mask: &Mask, conn: Connectivity) -> Mask {
+    erode(&dilate(mask, conn), conn)
+}
+
+/// The 8-connected boundary of the foreground: foreground pixels with at
+/// least one background neighbour.
+pub fn boundary(mask: &Mask) -> Mask {
+    Mask::from_fn(mask.width(), mask.height(), |x, y| {
+        mask.get(x, y) && count_neighbors(mask, x, y, Connectivity::Eight) < 8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Mask {
+        Mask::from_fn(w, h, |x, y| x >= x0 && x < x1 && y >= y0 && y < y1)
+    }
+
+    #[test]
+    fn count_neighbors_full_and_corner() {
+        let full = Mask::filled(5, 5, true);
+        assert_eq!(count_neighbors(&full, 2, 2, Connectivity::Eight), 8);
+        assert_eq!(count_neighbors(&full, 2, 2, Connectivity::Four), 4);
+        // At a corner, off-image neighbours read as background.
+        assert_eq!(count_neighbors(&full, 0, 0, Connectivity::Eight), 3);
+        assert_eq!(count_neighbors(&full, 0, 0, Connectivity::Four), 2);
+    }
+
+    #[test]
+    fn neighbor_filter_removes_isolated_pixels() {
+        let mut m = square(9, 9, 2, 2, 7, 7);
+        m.set(0, 0, true); // isolated speck
+        let filtered = neighbor_filter(&m, 0);
+        assert!(!filtered.get(0, 0));
+        // Interior of the square survives.
+        assert!(filtered.get(4, 4));
+    }
+
+    #[test]
+    fn neighbor_filter_threshold_behaviour() {
+        // A 2x2 block: each pixel has exactly 3 fg neighbours.
+        let m = square(6, 6, 2, 2, 4, 4);
+        assert_eq!(neighbor_filter(&m, 2).count(), 4); // 3 > 2: keep
+        assert_eq!(neighbor_filter(&m, 3).count(), 0); // 3 > 3 fails: drop
+    }
+
+    #[test]
+    fn neighbor_filter_never_promotes_background() {
+        let m = square(5, 5, 1, 1, 4, 4);
+        let f = neighbor_filter(&m, 0);
+        for (x, y) in f.foreground_pixels() {
+            assert!(m.get(x, y));
+        }
+    }
+
+    #[test]
+    fn erode_shrinks_square_by_one_ring() {
+        let m = square(10, 10, 2, 2, 8, 8); // 6x6
+        let e = erode(&m, Connectivity::Eight);
+        assert_eq!(e.count(), 16); // 4x4
+        assert!(e.get(4, 4));
+        assert!(!e.get(2, 2));
+    }
+
+    #[test]
+    fn dilate_grows_square_by_one_ring() {
+        let m = square(10, 10, 4, 4, 6, 6); // 2x2
+        let d = dilate(&m, Connectivity::Eight);
+        assert_eq!(d.count(), 16); // 4x4
+        let d4 = dilate(&m, Connectivity::Four);
+        assert_eq!(d4.count(), 12); // plus shape: 4 + 4*2
+    }
+
+    #[test]
+    fn erosion_dilation_duality_on_blank_and_full() {
+        let blank = Mask::new(6, 6);
+        assert!(erode(&blank, Connectivity::Eight).is_blank());
+        assert!(dilate(&blank, Connectivity::Eight).is_blank());
+        let full = Mask::filled(6, 6, true);
+        // Dilation of full stays full; erosion eats the border.
+        assert_eq!(dilate(&full, Connectivity::Eight), full);
+        assert_eq!(erode(&full, Connectivity::Eight).count(), 16);
+    }
+
+    #[test]
+    fn open_removes_speck_keeps_blob() {
+        let mut m = square(12, 12, 3, 3, 9, 9);
+        m.set(0, 11, true);
+        let o = open(&m, Connectivity::Eight);
+        assert!(!o.get(0, 11));
+        assert!(o.get(5, 5));
+        // Opening never adds pixels outside the original.
+        assert!(o.difference(&m).unwrap().is_blank());
+    }
+
+    #[test]
+    fn close_fills_small_gap() {
+        // Square with a single-pixel hole in the middle.
+        let mut m = square(9, 9, 2, 2, 7, 7);
+        m.set(4, 4, false);
+        let c = close(&m, Connectivity::Eight);
+        assert!(c.get(4, 4));
+        // Closing never removes original pixels.
+        assert!(m.difference(&c).unwrap().is_blank());
+    }
+
+    #[test]
+    fn boundary_of_square_is_its_ring() {
+        let m = square(10, 10, 2, 2, 8, 8); // 6x6 -> ring of 20 px
+        let b = boundary(&m);
+        assert_eq!(b.count(), 20);
+        assert!(b.get(2, 2));
+        assert!(!b.get(4, 4));
+    }
+
+    #[test]
+    fn connectivity_offsets_have_expected_sizes() {
+        assert_eq!(Connectivity::Four.offsets().len(), 4);
+        assert_eq!(Connectivity::Eight.offsets().len(), 8);
+        // No duplicate offsets, none are (0,0).
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let offs = conn.offsets();
+            for (i, &a) in offs.iter().enumerate() {
+                assert_ne!(a, (0, 0));
+                for &b in &offs[i + 1..] {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

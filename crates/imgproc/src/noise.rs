@@ -1,0 +1,279 @@
+//! Deterministic noise injection for the synthetic camera.
+//!
+//! Section 2 of the paper fights three artefacts: per-pixel noise from
+//! light changes, "small spots" (non-human moving clutter), and holes in
+//! the extracted objects. The synthetic video generator reproduces all
+//! three with the functions here so that the pipeline's repair stages have
+//! real work to do. All functions take an explicit RNG: a seeded
+//! [`rand::rngs::StdRng`] makes every experiment reproducible.
+
+use crate::image::ImageBuffer;
+use crate::mask::Mask;
+use crate::pixel::Rgb;
+use rand::Rng;
+
+/// Adds zero-mean uniform per-channel jitter in `[-amplitude, amplitude]`
+/// to every pixel — the "light change" noise of the paper's Step 3.
+pub fn add_channel_jitter<R: Rng>(img: &mut ImageBuffer<Rgb>, amplitude: u8, rng: &mut R) {
+    if amplitude == 0 {
+        return;
+    }
+    let a = amplitude as i32;
+    for p in img.as_mut_slice() {
+        let mut jitter = |c: u8| -> u8 {
+            (c as i32 + rng.gen_range(-a..=a)).clamp(0, 255) as u8
+        };
+        *p = Rgb::new(jitter(p.r), jitter(p.g), jitter(p.b));
+    }
+}
+
+/// Scales the brightness of the whole frame by a factor drawn uniformly
+/// from `[1 - flicker, 1 + flicker]`, modelling global lighting flicker
+/// between frames. Returns the factor used.
+pub fn apply_global_flicker<R: Rng>(
+    img: &mut ImageBuffer<Rgb>,
+    flicker: f64,
+    rng: &mut R,
+) -> f64 {
+    let factor = if flicker <= 0.0 {
+        1.0
+    } else {
+        rng.gen_range(1.0 - flicker..=1.0 + flicker)
+    };
+    if (factor - 1.0).abs() > f64::EPSILON {
+        for p in img.as_mut_slice() {
+            *p = p.scale_brightness(factor);
+        }
+    }
+    factor
+}
+
+/// Flips each pixel of a mask to foreground with probability
+/// `salt_prob` and to background with probability `pepper_prob`
+/// (mutually exclusive per pixel; salt is tried first).
+pub fn salt_and_pepper<R: Rng>(mask: &mut Mask, salt_prob: f64, pepper_prob: f64, rng: &mut R) {
+    for y in 0..mask.height() {
+        for x in 0..mask.width() {
+            let roll: f64 = rng.gen();
+            if roll < salt_prob {
+                mask.set(x, y, true);
+            } else if roll < salt_prob + pepper_prob {
+                mask.set(x, y, false);
+            }
+        }
+    }
+}
+
+/// Punches `count` square holes of side `hole_size` at random positions
+/// into the foreground of a mask — the object holes Step 4 must repair.
+/// Holes may land on background, where they have no effect.
+pub fn punch_holes<R: Rng>(mask: &mut Mask, count: usize, hole_size: usize, rng: &mut R) {
+    let (w, h) = mask.dims();
+    if w == 0 || h == 0 || hole_size == 0 {
+        return;
+    }
+    for _ in 0..count {
+        let cx = rng.gen_range(0..w);
+        let cy = rng.gen_range(0..h);
+        for dy in 0..hole_size {
+            for dx in 0..hole_size {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x < w && y < h {
+                    mask.set(x, y, false);
+                }
+            }
+        }
+    }
+}
+
+/// A small drifting clutter blob (e.g. a leaf or another child in the
+/// background) that the spot-removal stage must delete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spot {
+    /// Blob centre x at frame 0, pixels.
+    pub x: f64,
+    /// Blob centre y at frame 0, pixels.
+    pub y: f64,
+    /// Horizontal drift per frame, pixels.
+    pub vx: f64,
+    /// Vertical drift per frame, pixels.
+    pub vy: f64,
+    /// Blob radius, pixels.
+    pub radius: f64,
+    /// Blob colour.
+    pub color: Rgb,
+}
+
+impl Spot {
+    /// Generates a random spot within the image bounds.
+    pub fn random<R: Rng>(width: usize, height: usize, max_radius: f64, rng: &mut R) -> Spot {
+        Spot {
+            x: rng.gen_range(0.0..width.max(1) as f64),
+            y: rng.gen_range(0.0..height.max(1) as f64),
+            vx: rng.gen_range(-2.0..2.0),
+            vy: rng.gen_range(-2.0..2.0),
+            radius: rng.gen_range(1.0..max_radius.max(1.5)),
+            color: Rgb::new(
+                rng.gen_range(30..220),
+                rng.gen_range(30..220),
+                rng.gen_range(30..220),
+            ),
+        }
+    }
+
+    /// The spot's centre at frame `k`.
+    pub fn center_at(&self, frame: usize) -> (f64, f64) {
+        (
+            self.x + self.vx * frame as f64,
+            self.y + self.vy * frame as f64,
+        )
+    }
+
+    /// Stamps the spot into a frame at time `frame`.
+    pub fn render(&self, img: &mut ImageBuffer<Rgb>, frame: usize) {
+        let (cx, cy) = self.center_at(frame);
+        crate::draw::fill_disc(img, crate::geometry::Point2::new(cx, cy), self.radius, self.color);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let mut img = ImageBuffer::filled(20, 20, Rgb::splat(128));
+        add_channel_jitter(&mut img, 10, &mut rng(1));
+        for &p in img.as_slice() {
+            assert!(p.linf_distance(Rgb::splat(128)) <= 10);
+        }
+        // Some pixel actually changed.
+        assert!(img.as_slice().iter().any(|&p| p != Rgb::splat(128)));
+    }
+
+    #[test]
+    fn jitter_zero_amplitude_is_noop() {
+        let mut img = ImageBuffer::filled(5, 5, Rgb::splat(100));
+        add_channel_jitter(&mut img, 0, &mut rng(2));
+        assert!(img.as_slice().iter().all(|&p| p == Rgb::splat(100)));
+    }
+
+    #[test]
+    fn jitter_clamps_at_extremes() {
+        let mut img = ImageBuffer::filled(10, 10, Rgb::BLACK);
+        add_channel_jitter(&mut img, 50, &mut rng(3));
+        // No underflow wraparound: channels stay small.
+        for &p in img.as_slice() {
+            assert!(p.r <= 50 && p.g <= 50 && p.b <= 50);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = ImageBuffer::filled(8, 8, Rgb::splat(90));
+        let mut b = ImageBuffer::filled(8, 8, Rgb::splat(90));
+        add_channel_jitter(&mut a, 12, &mut rng(42));
+        add_channel_jitter(&mut b, 12, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flicker_scales_uniformly() {
+        let mut img = ImageBuffer::filled(4, 4, Rgb::splat(100));
+        let f = apply_global_flicker(&mut img, 0.2, &mut rng(7));
+        assert!((0.8..=1.2).contains(&f));
+        let expected = Rgb::splat(100).scale_brightness(f);
+        assert!(img.as_slice().iter().all(|&p| p == expected));
+    }
+
+    #[test]
+    fn flicker_zero_returns_identity() {
+        let mut img = ImageBuffer::filled(4, 4, Rgb::splat(77));
+        let f = apply_global_flicker(&mut img, 0.0, &mut rng(8));
+        assert_eq!(f, 1.0);
+        assert!(img.as_slice().iter().all(|&p| p == Rgb::splat(77)));
+    }
+
+    #[test]
+    fn salt_and_pepper_rates_are_plausible() {
+        let mut m = Mask::new(100, 100);
+        salt_and_pepper(&mut m, 0.05, 0.0, &mut rng(9));
+        let density = m.density();
+        assert!((0.03..0.07).contains(&density), "salt density {density}");
+
+        let mut full = Mask::filled(100, 100, true);
+        salt_and_pepper(&mut full, 0.0, 0.1, &mut rng(10));
+        let survived = full.density();
+        assert!((0.85..0.95).contains(&survived), "pepper survived {survived}");
+    }
+
+    #[test]
+    fn salt_and_pepper_zero_rates_noop() {
+        let mut m = Mask::filled(10, 10, true);
+        salt_and_pepper(&mut m, 0.0, 0.0, &mut rng(11));
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn punch_holes_reduces_foreground() {
+        let mut m = Mask::filled(50, 50, true);
+        punch_holes(&mut m, 5, 3, &mut rng(12));
+        let removed = 2500 - m.count();
+        assert!(removed > 0);
+        assert!(removed <= 5 * 9);
+    }
+
+    #[test]
+    fn punch_holes_zero_size_noop() {
+        let mut m = Mask::filled(10, 10, true);
+        punch_holes(&mut m, 3, 0, &mut rng(13));
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn spot_drifts_linearly() {
+        let s = Spot {
+            x: 10.0,
+            y: 20.0,
+            vx: 1.5,
+            vy: -0.5,
+            radius: 2.0,
+            color: Rgb::splat(50),
+        };
+        assert_eq!(s.center_at(0), (10.0, 20.0));
+        assert_eq!(s.center_at(4), (16.0, 18.0));
+    }
+
+    #[test]
+    fn spot_renders_its_color() {
+        let mut img = ImageBuffer::filled(30, 30, Rgb::BLACK);
+        let s = Spot {
+            x: 15.0,
+            y: 15.0,
+            vx: 0.0,
+            vy: 0.0,
+            radius: 3.0,
+            color: Rgb::new(200, 10, 10),
+        };
+        s.render(&mut img, 0);
+        assert_eq!(img.get(15, 15), Rgb::new(200, 10, 10));
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn random_spot_within_bounds() {
+        for seed in 0..20 {
+            let s = Spot::random(64, 48, 4.0, &mut rng(seed));
+            assert!((0.0..64.0).contains(&s.x));
+            assert!((0.0..48.0).contains(&s.y));
+            assert!(s.radius >= 1.0 && s.radius < 4.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the motion crate.
+
+use std::fmt;
+
+/// Error returned by fallible `slj-motion` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MotionError {
+    /// A chromosome/gene vector did not have the expected length
+    /// (2 centre coordinates + 8 angles = 10).
+    BadGeneCount {
+        /// Number of genes supplied.
+        got: usize,
+    },
+    /// A pose sequence was too short for the requested operation.
+    SequenceTooShort {
+        /// Frames present.
+        got: usize,
+        /// Frames required.
+        need: usize,
+    },
+    /// A non-finite value (NaN/∞) appeared where a finite one is
+    /// required.
+    NonFinite {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MotionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotionError::BadGeneCount { got } => {
+                write!(f, "expected 10 genes (x0, y0, rho0..rho7), got {got}")
+            }
+            MotionError::SequenceTooShort { got, need } => {
+                write!(f, "pose sequence has {got} frames, need at least {need}")
+            }
+            MotionError::NonFinite { what } => write!(f, "non-finite value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MotionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(MotionError::BadGeneCount { got: 3 }.to_string().contains('3'));
+        let e = MotionError::SequenceTooShort { got: 1, need: 2 };
+        assert!(e.to_string().contains('1') && e.to_string().contains('2'));
+        assert!(MotionError::NonFinite { what: "x0" }.to_string().contains("x0"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(MotionError::BadGeneCount { got: 0 });
+        assert!(e.source().is_none());
+    }
+}

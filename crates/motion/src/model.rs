@@ -1,0 +1,369 @@
+//! The eight-stick body model (paper, Figure 4).
+//!
+//! The video is taken from the side, so the paper merges the two arms into
+//! one arm chain and the two legs into one leg chain, leaving eight
+//! sticks: trunk S0, neck S1, upper arm S2, thigh S3, head S4, forearm S5,
+//! shank S6, foot S7. [`StickKind`] names them; [`BodyDims`] gives each a
+//! length and half-thickness derived from the athlete's standing height
+//! (standard anthropometric ratios, scaled for a primary-school child);
+//! [`GENE_GROUPS`] is the paper's multi-crossover grouping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of sticks in the model.
+pub const STICK_COUNT: usize = 8;
+
+/// Number of genes in a chromosome: centre `(x0, y0)` plus one angle per
+/// stick.
+pub const GENE_COUNT: usize = 2 + STICK_COUNT;
+
+/// The sticks of the paper's Figure 4, with their paper indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum StickKind {
+    /// S0 — the trunk; the chromosome's centre `(x0, y0)` is its middle.
+    Trunk = 0,
+    /// S1 — the neck, attached to the trunk's upper end.
+    Neck = 1,
+    /// S2 — the (merged) upper arm, attached at the shoulder.
+    UpperArm = 2,
+    /// S3 — the (merged) thigh, attached at the hip.
+    Thigh = 3,
+    /// S4 — the head, attached to the neck's far end.
+    Head = 4,
+    /// S5 — the (merged) forearm incl. hand, attached at the elbow.
+    Forearm = 5,
+    /// S6 — the (merged) shank, attached at the knee.
+    Shank = 6,
+    /// S7 — the (merged) foot, attached at the ankle.
+    Foot = 7,
+}
+
+/// All sticks in paper-index order (S0..S7).
+pub const ALL_STICKS: [StickKind; STICK_COUNT] = [
+    StickKind::Trunk,
+    StickKind::Neck,
+    StickKind::UpperArm,
+    StickKind::Thigh,
+    StickKind::Head,
+    StickKind::Forearm,
+    StickKind::Shank,
+    StickKind::Foot,
+];
+
+impl StickKind {
+    /// The paper's index l of stick Sₗ.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Converts a paper index into a stick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn from_index(index: usize) -> StickKind {
+        ALL_STICKS
+            .iter()
+            .copied()
+            .find(|s| s.index() == index)
+            .unwrap_or_else(|| panic!("stick index {index} out of range 0..8"))
+    }
+
+    /// The stick this one attaches to, or `None` for the trunk (the
+    /// root). Matches Figure 4's topology.
+    pub fn parent(self) -> Option<StickKind> {
+        match self {
+            StickKind::Trunk => None,
+            StickKind::Neck | StickKind::UpperArm | StickKind::Thigh => Some(StickKind::Trunk),
+            StickKind::Head => Some(StickKind::Neck),
+            StickKind::Forearm => Some(StickKind::UpperArm),
+            StickKind::Shank => Some(StickKind::Thigh),
+            StickKind::Foot => Some(StickKind::Shank),
+        }
+    }
+
+    /// The paper's notation Sₗ.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            StickKind::Trunk => "S0",
+            StickKind::Neck => "S1",
+            StickKind::UpperArm => "S2",
+            StickKind::Thigh => "S3",
+            StickKind::Head => "S4",
+            StickKind::Forearm => "S5",
+            StickKind::Shank => "S6",
+            StickKind::Foot => "S7",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StickKind::Trunk => "trunk",
+            StickKind::Neck => "neck",
+            StickKind::UpperArm => "upper arm",
+            StickKind::Thigh => "thigh",
+            StickKind::Head => "head",
+            StickKind::Forearm => "forearm",
+            StickKind::Shank => "shank",
+            StickKind::Foot => "foot",
+        }
+    }
+}
+
+impl fmt::Display for StickKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.symbol(), self.name())
+    }
+}
+
+/// The paper's multi-crossover gene groups:
+/// `(x0, y0) (ρ0) (ρ1, ρ4) (ρ2, ρ5) (ρ3, ρ6, ρ7)` — the neck–head pair
+/// and each limb chain cross over as a unit. Indices refer to the
+/// 10-gene chromosome `(x0, y0, ρ0, …, ρ7)`.
+pub const GENE_GROUPS: [&[usize]; 5] = [
+    &[0, 1],       // (x0, y0)
+    &[2],          // ρ0  trunk
+    &[3, 6],       // ρ1, ρ4  neck + head
+    &[4, 7],       // ρ2, ρ5  upper arm + forearm
+    &[5, 8, 9],    // ρ3, ρ6, ρ7  thigh + shank + foot
+];
+
+/// Per-stick lengths and half-thicknesses in metres, derived from a
+/// standing height.
+///
+/// These drive both the synthetic renderer (capsule radius per stick) and
+/// Eq. 3's per-stick normaliser `t_l` ("the average thickness of the area
+/// surrounding stick Sₗ", which the paper estimates from the hand-drawn
+/// first-frame model; here it is known exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodyDims {
+    /// Standing height in metres.
+    height: f64,
+    /// Stick lengths in metres, indexed by paper index.
+    lengths: [f64; STICK_COUNT],
+    /// Stick half-thicknesses (capsule radii) in metres, by paper index.
+    thicknesses: [f64; STICK_COUNT],
+}
+
+/// Stick length as a fraction of standing height, by paper index.
+/// Head/neck/limb fractions follow Drillis–Contini segment ratios,
+/// lightly adapted so the merged side-view chains sum to a plausible
+/// child figure.
+const LENGTH_FRACTIONS: [f64; STICK_COUNT] = [
+    0.29, // S0 trunk (hip to shoulder)
+    0.06, // S1 neck
+    0.17, // S2 upper arm
+    0.24, // S3 thigh
+    0.11, // S4 head (neck top to crown)
+    0.20, // S5 forearm + hand
+    0.23, // S6 shank
+    0.13, // S7 foot (ankle to toe)
+];
+
+/// Stick half-thickness as a fraction of standing height, by paper index.
+const THICKNESS_FRACTIONS: [f64; STICK_COUNT] = [
+    0.065, // S0 trunk
+    0.022, // S1 neck
+    0.028, // S2 upper arm
+    0.042, // S3 thigh
+    0.052, // S4 head
+    0.022, // S5 forearm
+    0.032, // S6 shank
+    0.018, // S7 foot
+];
+
+impl BodyDims {
+    /// Dimensions for an athlete of the given standing height (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is not finite and positive.
+    pub fn for_height(height: f64) -> Self {
+        assert!(
+            height.is_finite() && height > 0.0,
+            "height must be positive and finite, got {height}"
+        );
+        let mut lengths = [0.0; STICK_COUNT];
+        let mut thicknesses = [0.0; STICK_COUNT];
+        for i in 0..STICK_COUNT {
+            lengths[i] = LENGTH_FRACTIONS[i] * height;
+            thicknesses[i] = THICKNESS_FRACTIONS[i] * height;
+        }
+        BodyDims {
+            height,
+            lengths,
+            thicknesses,
+        }
+    }
+
+    /// The standing height this model was built for, metres.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Length of a stick, metres.
+    pub fn length(&self, stick: StickKind) -> f64 {
+        self.lengths[stick.index()]
+    }
+
+    /// Half-thickness (capsule radius) of a stick, metres. This is the
+    /// `t_l` of Eq. 3.
+    pub fn thickness(&self, stick: StickKind) -> f64 {
+        self.thicknesses[stick.index()]
+    }
+
+    /// Standing hip height: foot clearance + shank + thigh. The
+    /// synthesiser uses this to place the standing pose on the ground.
+    pub fn standing_hip_height(&self) -> f64 {
+        // The ankle sits about one foot-thickness above the ground.
+        self.length(StickKind::Shank)
+            + self.length(StickKind::Thigh)
+            + self.thickness(StickKind::Foot)
+    }
+}
+
+impl Default for BodyDims {
+    /// A typical primary-school child of 1.30 m — the paper's test is a
+    /// standard test "for primary school students".
+    fn default() -> Self {
+        BodyDims::for_height(1.30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_paper() {
+        assert_eq!(StickKind::Trunk.index(), 0);
+        assert_eq!(StickKind::Neck.index(), 1);
+        assert_eq!(StickKind::UpperArm.index(), 2);
+        assert_eq!(StickKind::Thigh.index(), 3);
+        assert_eq!(StickKind::Head.index(), 4);
+        assert_eq!(StickKind::Forearm.index(), 5);
+        assert_eq!(StickKind::Shank.index(), 6);
+        assert_eq!(StickKind::Foot.index(), 7);
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        for s in ALL_STICKS {
+            assert_eq!(StickKind::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        StickKind::from_index(8);
+    }
+
+    #[test]
+    fn topology_matches_figure_4() {
+        assert_eq!(StickKind::Trunk.parent(), None);
+        assert_eq!(StickKind::Neck.parent(), Some(StickKind::Trunk));
+        assert_eq!(StickKind::UpperArm.parent(), Some(StickKind::Trunk));
+        assert_eq!(StickKind::Thigh.parent(), Some(StickKind::Trunk));
+        assert_eq!(StickKind::Head.parent(), Some(StickKind::Neck));
+        assert_eq!(StickKind::Forearm.parent(), Some(StickKind::UpperArm));
+        assert_eq!(StickKind::Shank.parent(), Some(StickKind::Thigh));
+        assert_eq!(StickKind::Foot.parent(), Some(StickKind::Shank));
+    }
+
+    #[test]
+    fn every_stick_reaches_trunk() {
+        for s in ALL_STICKS {
+            let mut cur = s;
+            let mut hops = 0;
+            while let Some(p) = cur.parent() {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 3, "chain too deep at {s}");
+            }
+            assert_eq!(cur, StickKind::Trunk);
+        }
+    }
+
+    #[test]
+    fn gene_groups_partition_the_chromosome() {
+        let mut seen = [false; GENE_COUNT];
+        for group in GENE_GROUPS {
+            for &g in group {
+                assert!(!seen[g], "gene {g} appears in two groups");
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every gene must be covered");
+    }
+
+    #[test]
+    fn gene_groups_match_paper_grouping() {
+        // (x0,y0), (ρ0), (ρ1,ρ4), (ρ2,ρ5), (ρ3,ρ6,ρ7):
+        // angle gene for ρl is at chromosome index 2 + l.
+        assert_eq!(GENE_GROUPS[0], &[0, 1]);
+        assert_eq!(GENE_GROUPS[1], &[2]);
+        assert_eq!(GENE_GROUPS[2], &[2 + 1, 2 + 4]);
+        assert_eq!(GENE_GROUPS[3], &[2 + 2, 2 + 5]);
+        assert_eq!(GENE_GROUPS[4], &[2 + 3, 2 + 6, 2 + 7]);
+    }
+
+    #[test]
+    fn body_dims_scale_linearly_with_height() {
+        let small = BodyDims::for_height(1.0);
+        let big = BodyDims::for_height(2.0);
+        for s in ALL_STICKS {
+            assert!((big.length(s) - 2.0 * small.length(s)).abs() < 1e-12);
+            assert!((big.thickness(s) - 2.0 * small.thickness(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vertical_chain_is_close_to_height() {
+        // Standing: foot clearance + shank + thigh + trunk + neck + head
+        // should roughly reach the standing height.
+        let d = BodyDims::default();
+        let total = d.standing_hip_height()
+            + d.length(StickKind::Trunk)
+            + d.length(StickKind::Neck)
+            + d.length(StickKind::Head);
+        let h = d.height();
+        assert!(
+            (0.9 * h..=1.05 * h).contains(&total),
+            "chain {total} vs height {h}"
+        );
+    }
+
+    #[test]
+    fn trunk_is_longest_and_thickest_torso_part() {
+        let d = BodyDims::default();
+        assert!(d.length(StickKind::Trunk) > d.length(StickKind::Neck));
+        assert!(d.thickness(StickKind::Trunk) > d.thickness(StickKind::Forearm));
+        // All dimensions positive.
+        for s in ALL_STICKS {
+            assert!(d.length(s) > 0.0);
+            assert!(d.thickness(s) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_height_rejected() {
+        BodyDims::for_height(0.0);
+    }
+
+    #[test]
+    fn display_contains_symbol_and_name() {
+        let s = StickKind::Shank.to_string();
+        assert!(s.contains("S6") && s.contains("shank"));
+    }
+
+    #[test]
+    fn default_height_is_child_sized() {
+        let d = BodyDims::default();
+        assert!((1.0..1.6).contains(&d.height()));
+    }
+}

@@ -1,0 +1,210 @@
+//! Jump-phase classification from poses.
+//!
+//! The paper hard-codes its two scoring windows as the first and second
+//! halves of the clip. With tracked poses the phases can instead be
+//! *detected* — standing, crouch, takeoff, flight, landing, recovery —
+//! which makes analyses robust to clips that are not neatly centred on
+//! the takeoff. The classifier is rule-based on three pose features:
+//! ground clearance (flight), knee bend (crouch/landing) and temporal
+//! position relative to the flight interval.
+
+use crate::model::{BodyDims, StickKind};
+use crate::pose::Pose;
+use crate::seq::PoseSeq;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The phases of a standing long jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JumpPhase {
+    /// Upright, knees near-straight, before the jump.
+    Standing,
+    /// Knees bending, before takeoff.
+    Crouch,
+    /// The last ground-contact frame before flight.
+    Takeoff,
+    /// Airborne.
+    Flight,
+    /// First ground contact after flight, knees absorbing.
+    Landing,
+    /// Back in balance after the landing.
+    Recovery,
+}
+
+impl JumpPhase {
+    /// All phases in temporal order.
+    pub const ALL: [JumpPhase; 6] = [
+        JumpPhase::Standing,
+        JumpPhase::Crouch,
+        JumpPhase::Takeoff,
+        JumpPhase::Flight,
+        JumpPhase::Landing,
+        JumpPhase::Recovery,
+    ];
+}
+
+impl fmt::Display for JumpPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Knee bend of a pose: the signed shank−thigh angle gap, degrees.
+pub fn knee_bend(pose: &Pose) -> f64 {
+    pose.angle(StickKind::Shank)
+        .wrapped_diff(pose.angle(StickKind::Thigh))
+}
+
+/// Classifies every frame of a sequence.
+///
+/// Returns one phase per frame. Sequences without a detectable flight
+/// interval are classified as standing/crouch only.
+pub fn classify_phases(seq: &PoseSeq, dims: &BodyDims) -> Vec<JumpPhase> {
+    let n = seq.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let clearances: Vec<f64> = seq
+        .poses()
+        .iter()
+        .map(|p| p.segments(dims).lowest_y())
+        .collect();
+    let min_c = clearances.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_c = clearances.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max_c - min_c).max(1e-9);
+    let flight_threshold = min_c + (0.25 * span).max(2.0 * dims.thickness(StickKind::Foot));
+
+    // Longest airborne run = the flight.
+    let airborne: Vec<bool> = clearances.iter().map(|&c| c > flight_threshold).collect();
+    let mut best: Option<(usize, usize)> = None;
+    let mut start = None;
+    for (k, &a) in airborne.iter().enumerate() {
+        match (a, start) {
+            (true, None) => start = Some(k),
+            (false, Some(s)) => {
+                if best.map_or(true, |(bs, be)| k - s > be - bs) {
+                    best = Some((s, k));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        if best.map_or(true, |(bs, be)| n - s > be - bs) {
+            best = Some((s, n));
+        }
+    }
+
+    const CROUCH_BEND: f64 = 40.0;
+    let mut phases = vec![JumpPhase::Standing; n];
+    match best {
+        None => {
+            for (k, p) in seq.poses().iter().enumerate() {
+                phases[k] = if knee_bend(p) > CROUCH_BEND {
+                    JumpPhase::Crouch
+                } else {
+                    JumpPhase::Standing
+                };
+            }
+        }
+        Some((fs, fe)) => {
+            for (k, phase) in phases.iter_mut().enumerate() {
+                let p = &seq.poses()[k];
+                *phase = if k < fs {
+                    if k + 1 == fs {
+                        JumpPhase::Takeoff
+                    } else if knee_bend(p) > CROUCH_BEND {
+                        JumpPhase::Crouch
+                    } else {
+                        JumpPhase::Standing
+                    }
+                } else if k < fe {
+                    JumpPhase::Flight
+                } else if knee_bend(p) > CROUCH_BEND {
+                    JumpPhase::Landing
+                } else {
+                    JumpPhase::Recovery
+                };
+            }
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize_jump, JumpConfig};
+
+    #[test]
+    fn default_jump_phases_are_temporally_ordered() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let phases = classify_phases(&seq, &cfg.dims);
+        assert_eq!(phases.len(), 20);
+        // The order index of each phase must be non-decreasing, except
+        // Landing->Recovery may alternate during wobble; allow the
+        // canonical coarse ordering check on first occurrences.
+        let first = |p: JumpPhase| phases.iter().position(|&x| x == p);
+        let crouch = first(JumpPhase::Crouch).expect("has a crouch");
+        let takeoff = first(JumpPhase::Takeoff).expect("has a takeoff");
+        let flight = first(JumpPhase::Flight).expect("has a flight");
+        assert!(crouch < takeoff && takeoff < flight);
+        if let (Some(land), Some(rec)) = (first(JumpPhase::Landing), first(JumpPhase::Recovery)) {
+            assert!(flight < land);
+            assert!(land < rec);
+        }
+        // Flight is a contiguous block.
+        let fs = first(JumpPhase::Flight).unwrap();
+        let fe = phases.iter().rposition(|&x| x == JumpPhase::Flight).unwrap();
+        assert!(phases[fs..=fe].iter().all(|&p| p == JumpPhase::Flight));
+    }
+
+    #[test]
+    fn first_frame_is_standing_and_flight_covers_midair() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let phases = classify_phases(&seq, &cfg.dims);
+        assert_eq!(phases[0], JumpPhase::Standing);
+        // The apex frame (max centre height) must be Flight.
+        let apex = seq
+            .poses()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.center.y.total_cmp(&b.1.center.y))
+            .unwrap()
+            .0;
+        assert_eq!(phases[apex], JumpPhase::Flight, "apex frame {apex}");
+    }
+
+    #[test]
+    fn standing_still_has_no_flight_phase() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![crate::pose::Pose::standing(&dims); 8], 10.0);
+        let phases = classify_phases(&seq, &dims);
+        assert!(phases.iter().all(|&p| p == JumpPhase::Standing));
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![], 10.0);
+        assert!(classify_phases(&seq, &dims).is_empty());
+    }
+
+    #[test]
+    fn knee_bend_reads_the_gap() {
+        let dims = BodyDims::default();
+        let pose = crate::pose::Pose::standing(&dims)
+            .with_angle(StickKind::Thigh, crate::Angle::from_degrees(130.0))
+            .with_angle(StickKind::Shank, crate::Angle::from_degrees(235.0));
+        assert!((knee_bend(&pose) - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(JumpPhase::Flight.to_string(), "Flight");
+        assert_eq!(JumpPhase::ALL.len(), 6);
+    }
+}

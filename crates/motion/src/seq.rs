@@ -1,0 +1,367 @@
+//! Pose sequences and the paper's scoring windows.
+//!
+//! The paper's Section 4 evaluates its rules over two frame windows of a
+//! ~20-frame clip: the **initiation stage** (frames 1–10) and the
+//! **on-the-air/landing stage** (frames 11–20). [`PoseSeq`] generalises
+//! that to any length by splitting at the midpoint, and provides the
+//! min/max aggregation the rules need.
+
+use crate::error::MotionError;
+use crate::pose::Pose;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A time-ordered sequence of poses (one per video frame).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoseSeq {
+    poses: Vec<Pose>,
+    fps: f64,
+}
+
+/// The two stages of the paper's Table 1/2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Frames 1–10 in the paper's 20-frame clips: crouch and arm swing.
+    Initiation,
+    /// Frames 11–20: flight and landing.
+    AirLanding,
+}
+
+impl Stage {
+    /// Both stages in order.
+    pub const ALL: [Stage; 2] = [Stage::Initiation, Stage::AirLanding];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Initiation => "Initiation Stage",
+            Stage::AirLanding => "On the Air/Landing",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl PoseSeq {
+    /// Creates a sequence from poses and a frame rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not finite and positive.
+    pub fn new(poses: Vec<Pose>, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        PoseSeq { poses, fps }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// Whether the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// Frame rate in frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// All poses in frame order.
+    pub fn poses(&self) -> &[Pose] {
+        &self.poses
+    }
+
+    /// The pose at a frame index, if present.
+    pub fn get(&self, frame: usize) -> Option<&Pose> {
+        self.poses.get(frame)
+    }
+
+    /// Appends a pose.
+    pub fn push(&mut self, pose: Pose) {
+        self.poses.push(pose);
+    }
+
+    /// The frame range of a stage: the paper's frames 1–10 map to the
+    /// first half (`0..len/2` zero-based), frames 11–20 to the second
+    /// half. For odd lengths the extra frame goes to the second stage,
+    /// which is the longer phase of a real jump.
+    pub fn stage_range(&self, stage: Stage) -> std::ops::Range<usize> {
+        let split = self.len() / 2;
+        match stage {
+            Stage::Initiation => 0..split,
+            Stage::AirLanding => split..self.len(),
+        }
+    }
+
+    /// The poses of one stage.
+    pub fn stage_poses(&self, stage: Stage) -> &[Pose] {
+        &self.poses[self.stage_range(stage)]
+    }
+
+    /// Maximum of `f` over the poses of a stage — the aggregation the
+    /// paper prescribes ("the maximum of all the angle differences is
+    /// then used").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when the stage window is
+    /// empty.
+    pub fn stage_max<F: Fn(&Pose) -> f64>(
+        &self,
+        stage: Stage,
+        f: F,
+    ) -> Result<f64, MotionError> {
+        let poses = self.stage_poses(stage);
+        if poses.is_empty() {
+            return Err(MotionError::SequenceTooShort {
+                got: self.len(),
+                need: 2,
+            });
+        }
+        Ok(poses.iter().map(f).fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Minimum of `f` over the poses of a stage (used by rules phrased as
+    /// "angle drops below a threshold", e.g. R7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when the stage window is
+    /// empty.
+    pub fn stage_min<F: Fn(&Pose) -> f64>(
+        &self,
+        stage: Stage,
+        f: F,
+    ) -> Result<f64, MotionError> {
+        let poses = self.stage_poses(stage);
+        if poses.is_empty() {
+            return Err(MotionError::SequenceTooShort {
+                got: self.len(),
+                need: 2,
+            });
+        }
+        Ok(poses.iter().map(f).fold(f64::INFINITY, f64::min))
+    }
+
+    /// Temporal median filter: every angle channel and both centre
+    /// coordinates are replaced by their median over a centred window of
+    /// the given (odd) size. Angle medians are computed on shortest-arc
+    /// offsets from the window's central frame, so wrap-around angles
+    /// smooth correctly.
+    ///
+    /// Pose estimators produce occasional single-frame outliers; since
+    /// the scoring rules aggregate window *extrema*, one outlier can
+    /// flip a verdict — a small median filter removes exactly those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is even or zero.
+    pub fn median_smoothed(&self, window: usize) -> PoseSeq {
+        assert!(window % 2 == 1, "median window must be odd, got {window}");
+        if self.len() < 3 || window == 1 {
+            return self.clone();
+        }
+        let half = window / 2;
+        let median = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let poses: Vec<Pose> = (0..self.len())
+            .map(|k| {
+                let lo = k.saturating_sub(half);
+                let hi = (k + half + 1).min(self.len());
+                let win = &self.poses[lo..hi];
+                let center_x = median(win.iter().map(|p| p.center.x).collect());
+                let center_y = median(win.iter().map(|p| p.center.y).collect());
+                let mut out = self.poses[k];
+                out.center.x = center_x;
+                out.center.y = center_y;
+                for l in 0..out.angles.len() {
+                    let reference = self.poses[k].angles[l];
+                    let offset = median(
+                        win.iter()
+                            .map(|p| p.angles[l].wrapped_diff(reference))
+                            .collect(),
+                    );
+                    out.angles[l] = reference + offset;
+                }
+                out
+            })
+            .collect();
+        PoseSeq::new(poses, self.fps)
+    }
+
+    /// Horizontal displacement of the trunk centre from the first to the
+    /// last frame — a proxy for the jump distance.
+    pub fn forward_travel(&self) -> f64 {
+        match (self.poses.first(), self.poses.last()) {
+            (Some(a), Some(b)) => b.center.x - a.center.x,
+            _ => 0.0,
+        }
+    }
+}
+
+impl FromIterator<Pose> for PoseSeq {
+    /// Collects poses at the synthesiser's default 10 fps.
+    fn from_iter<I: IntoIterator<Item = Pose>>(iter: I) -> Self {
+        PoseSeq::new(iter.into_iter().collect(), 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BodyDims, StickKind};
+    use crate::Angle;
+    use slj_imgproc::geometry::Vec2;
+
+    fn seq_of(n: usize) -> PoseSeq {
+        let d = BodyDims::default();
+        let base = Pose::standing(&d);
+        PoseSeq::new(
+            (0..n)
+                .map(|i| {
+                    base.with_center(base.center + Vec2::new(i as f64 * 0.1, 0.0))
+                        .with_angle(StickKind::Trunk, Angle::from_degrees(i as f64))
+                })
+                .collect(),
+            10.0,
+        )
+    }
+
+    #[test]
+    fn stage_ranges_split_at_midpoint() {
+        let s = seq_of(20);
+        assert_eq!(s.stage_range(Stage::Initiation), 0..10);
+        assert_eq!(s.stage_range(Stage::AirLanding), 10..20);
+    }
+
+    #[test]
+    fn odd_length_extra_frame_goes_to_second_stage() {
+        let s = seq_of(21);
+        assert_eq!(s.stage_range(Stage::Initiation), 0..10);
+        assert_eq!(s.stage_range(Stage::AirLanding), 10..21);
+    }
+
+    #[test]
+    fn stage_max_and_min() {
+        let s = seq_of(20);
+        let max_init = s
+            .stage_max(Stage::Initiation, |p| p.angle(StickKind::Trunk).degrees())
+            .unwrap();
+        assert_eq!(max_init, 9.0);
+        let max_air = s
+            .stage_max(Stage::AirLanding, |p| p.angle(StickKind::Trunk).degrees())
+            .unwrap();
+        assert_eq!(max_air, 19.0);
+        let min_air = s
+            .stage_min(Stage::AirLanding, |p| p.angle(StickKind::Trunk).degrees())
+            .unwrap();
+        assert_eq!(min_air, 10.0);
+    }
+
+    #[test]
+    fn stage_aggregate_on_empty_window_errors() {
+        let s = seq_of(1); // initiation window is 0..0
+        assert!(s.stage_max(Stage::Initiation, |_| 0.0).is_err());
+        assert!(s.stage_min(Stage::Initiation, |_| 0.0).is_err());
+        // But the air/landing window has the single frame.
+        assert!(s.stage_max(Stage::AirLanding, |_| 1.0).is_ok());
+    }
+
+    #[test]
+    fn forward_travel() {
+        let s = seq_of(11);
+        assert!((s.forward_travel() - 1.0).abs() < 1e-9);
+        assert_eq!(PoseSeq::new(vec![], 10.0).forward_travel(), 0.0);
+    }
+
+    #[test]
+    fn push_and_get() {
+        let d = BodyDims::default();
+        let mut s = PoseSeq::new(vec![], 25.0);
+        assert!(s.is_empty());
+        s.push(Pose::standing(&d));
+        assert_eq!(s.len(), 1);
+        assert!(s.get(0).is_some());
+        assert!(s.get(1).is_none());
+        assert_eq!(s.fps(), 25.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d = BodyDims::default();
+        let s: PoseSeq = (0..5).map(|_| Pose::standing(&d)).collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.fps(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps")]
+    fn zero_fps_rejected() {
+        PoseSeq::new(vec![], 0.0);
+    }
+
+    #[test]
+    fn median_smoothing_removes_single_outlier() {
+        let d = BodyDims::default();
+        let base = Pose::standing(&d);
+        let mut poses: Vec<Pose> = (0..7).map(|_| base).collect();
+        // One wild outlier in the middle.
+        poses[3] = base.with_angle(StickKind::Trunk, Angle::from_degrees(120.0));
+        let seq = PoseSeq::new(poses, 10.0);
+        let smoothed = seq.median_smoothed(3);
+        let trunk = smoothed.poses()[3].angle(StickKind::Trunk);
+        assert!(
+            trunk.distance(base.angle(StickKind::Trunk)) < 1.0,
+            "outlier survived: {trunk}"
+        );
+        // Non-outlier frames are untouched.
+        assert!(smoothed.poses()[1]
+            .angle(StickKind::Trunk)
+            .distance(base.angle(StickKind::Trunk))
+            < 1e-9);
+    }
+
+    #[test]
+    fn median_smoothing_handles_wraparound() {
+        let d = BodyDims::default();
+        let base = Pose::standing(&d);
+        // Angles hovering around 0/360.
+        let degs = [358.0, 359.0, 2.0, 1.0, 357.0];
+        let poses: Vec<Pose> = degs
+            .iter()
+            .map(|&a| base.with_angle(StickKind::Trunk, Angle::from_degrees(a)))
+            .collect();
+        let smoothed = PoseSeq::new(poses, 10.0).median_smoothed(5);
+        for p in smoothed.poses() {
+            let lean = p.angle(StickKind::Trunk).distance(Angle::UP);
+            assert!(lean < 4.0, "wraparound mangled: lean {lean}");
+        }
+    }
+
+    #[test]
+    fn median_window_one_is_identity() {
+        let s = seq_of(5);
+        assert_eq!(s.median_smoothed(1), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn median_even_window_panics() {
+        seq_of(5).median_smoothed(2);
+    }
+
+    #[test]
+    fn stage_names_match_paper() {
+        assert_eq!(Stage::Initiation.name(), "Initiation Stage");
+        assert_eq!(Stage::AirLanding.name(), "On the Air/Landing");
+        assert_eq!(Stage::ALL.len(), 2);
+    }
+}

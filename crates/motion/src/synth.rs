@@ -1,0 +1,754 @@
+//! Synthesis of standing-long-jump pose sequences.
+//!
+//! The paper analyses filmed jumps; this reproduction has no footage, so
+//! the synthesiser is the ground-truth motor: it produces ~20-frame pose
+//! sequences of a keyframed standing long jump whose joint angles follow
+//! the phases physical-education texts describe (crouch with arm
+//! back-swing → explosive extension → tucked flight → deep-kneed landing
+//! with arms forward). A **good** jump satisfies every rule of the
+//! paper's Table 2 by construction; each [`JumpFlaw`] edits the keyframes
+//! so exactly the corresponding rule fails, which is what lets the
+//! scoring experiments report a detection confusion matrix.
+//!
+//! Interpolation between keyframes is non-uniform Catmull-Rom (cubic
+//! Hermite with finite-difference tangents) over *continuous* angle
+//! channels — keyframes store unwrapped degrees so an arm swinging from
+//! 295° back through 180° down to 60° forward interpolates smoothly
+//! instead of taking the short way across 0°.
+
+use crate::angle::Angle;
+use crate::model::{BodyDims, StickKind, STICK_COUNT};
+use crate::pose::Pose;
+use crate::seq::PoseSeq;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use slj_imgproc::geometry::Point2;
+
+/// A deliberate fault, each violating exactly one of the paper's
+/// standards E1–E7 (Table 1) and hence one scoring rule R1–R7 (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JumpFlaw {
+    /// E1/R1 — knees barely bend during initiation.
+    ShallowCrouch,
+    /// E2/R2 — neck stays upright during initiation.
+    NoNeckBend,
+    /// E3/R3 — arms never swing back during initiation.
+    NoArmSwingBack,
+    /// E4/R4 — arms stay straight (elbow locked) during initiation.
+    StraightArms,
+    /// E5/R5 — knees barely bend in flight and landing.
+    StiffLanding,
+    /// E6/R6 — trunk stays upright in flight and landing.
+    UprightTrunk,
+    /// E7/R7 — arms never come forward after landing.
+    ArmsStayBack,
+}
+
+impl JumpFlaw {
+    /// All seven flaws, ordered by standard number.
+    pub const ALL: [JumpFlaw; 7] = [
+        JumpFlaw::ShallowCrouch,
+        JumpFlaw::NoNeckBend,
+        JumpFlaw::NoArmSwingBack,
+        JumpFlaw::StraightArms,
+        JumpFlaw::StiffLanding,
+        JumpFlaw::UprightTrunk,
+        JumpFlaw::ArmsStayBack,
+    ];
+
+    /// The 1-based number of the standard/rule this flaw violates.
+    pub fn rule_number(self) -> usize {
+        match self {
+            JumpFlaw::ShallowCrouch => 1,
+            JumpFlaw::NoNeckBend => 2,
+            JumpFlaw::NoArmSwingBack => 3,
+            JumpFlaw::StraightArms => 4,
+            JumpFlaw::StiffLanding => 5,
+            JumpFlaw::UprightTrunk => 6,
+            JumpFlaw::ArmsStayBack => 7,
+        }
+    }
+
+    /// Stable kebab-case name (the CLI's spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            JumpFlaw::ShallowCrouch => "shallow-crouch",
+            JumpFlaw::NoNeckBend => "no-neck-bend",
+            JumpFlaw::NoArmSwingBack => "no-arm-swing-back",
+            JumpFlaw::StraightArms => "straight-arms",
+            JumpFlaw::StiffLanding => "stiff-landing",
+            JumpFlaw::UprightTrunk => "upright-trunk",
+            JumpFlaw::ArmsStayBack => "arms-stay-back",
+        }
+    }
+}
+
+impl std::fmt::Display for JumpFlaw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`JumpFlaw`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFlawError {
+    /// The unrecognised input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseFlawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown flaw '{}' (expected one of: {})",
+            self.input,
+            JumpFlaw::ALL
+                .iter()
+                .map(|fl| fl.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseFlawError {}
+
+impl std::str::FromStr for JumpFlaw {
+    type Err = ParseFlawError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JumpFlaw::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| ParseFlawError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+/// Configuration of a synthetic jump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JumpConfig {
+    /// Number of frames (the paper's clips have "20 frames or so").
+    pub frames: usize,
+    /// Frame rate in frames per second.
+    pub fps: f64,
+    /// Athlete dimensions.
+    pub dims: BodyDims,
+    /// Horizontal distance covered by the trunk centre, metres.
+    pub jump_distance: f64,
+    /// World x of the trunk centre in the first frame, metres.
+    pub start_x: f64,
+    /// Faults to inject. Empty = textbook-good jump.
+    pub flaws: Vec<JumpFlaw>,
+}
+
+impl Default for JumpConfig {
+    fn default() -> Self {
+        JumpConfig {
+            frames: 20,
+            fps: 10.0,
+            dims: BodyDims::default(),
+            jump_distance: 1.1,
+            start_x: 0.35,
+            flaws: Vec::new(),
+        }
+    }
+}
+
+impl JumpConfig {
+    /// A good jump with one injected flaw.
+    pub fn with_flaw(flaw: JumpFlaw) -> Self {
+        JumpConfig {
+            flaws: vec![flaw],
+            ..JumpConfig::default()
+        }
+    }
+}
+
+/// One keyframe of the jump: normalised time, unwrapped stick angles in
+/// degrees (paper order ρ0..ρ7), horizontal progress as a fraction of the
+/// jump distance, and trunk-centre height as a multiple of the standing
+/// centre height.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Keyframe {
+    t: f64,
+    angles: [f64; STICK_COUNT],
+    x_frac: f64,
+    y_scale: f64,
+}
+
+/// Index of each phase in the keyframe array (kept in sync with
+/// `good_jump_keyframes`).
+const KF_STAND: usize = 0;
+const KF_CROUCH: usize = 1;
+const KF_TAKEOFF: usize = 2;
+const KF_FLIGHT: usize = 3;
+const KF_PREP: usize = 4;
+const KF_TOUCHDOWN: usize = 5;
+const KF_RECOVERY: usize = 6;
+
+/// The textbook-good jump. Angles follow the crate's convention
+/// (degrees clockwise from vertical toward the jump direction) but are
+/// kept *continuous* across keyframes for smooth interpolation.
+fn good_jump_keyframes() -> Vec<Keyframe> {
+    vec![
+        // Standing at attention.
+        Keyframe {
+            t: 0.0,
+            angles: [5.0, 8.0, 182.0, 180.0, 6.0, 182.0, 180.0, 95.0],
+            x_frac: 0.0,
+            y_scale: 1.0,
+        },
+        // Deep crouch, neck bent, arms swung back and bent.
+        Keyframe {
+            t: 0.30,
+            angles: [45.0, 48.0, 295.0, 130.0, 40.0, 228.0, 235.0, 95.0],
+            x_frac: 0.03,
+            y_scale: 0.80,
+        },
+        // Takeoff: full extension along the ~45° line, arms swinging
+        // down-forward (295° -> 60° runs through 180°).
+        Keyframe {
+            t: 0.50,
+            angles: [42.0, 25.0, 60.0, 200.0, 20.0, 55.0, 205.0, 160.0],
+            x_frac: 0.14,
+            y_scale: 1.04,
+        },
+        // Mid-flight tuck at the top of the arc.
+        Keyframe {
+            t: 0.68,
+            angles: [62.0, 30.0, 80.0, 115.0, 25.0, 95.0, 215.0, 105.0],
+            x_frac: 0.48,
+            y_scale: 1.22,
+        },
+        // Landing preparation: legs reach forward.
+        Keyframe {
+            t: 0.82,
+            angles: [50.0, 25.0, 110.0, 112.0, 20.0, 120.0, 150.0, 80.0],
+            x_frac: 0.80,
+            y_scale: 1.02,
+        },
+        // Touchdown: deep knee bend, trunk forward, arms coming forward.
+        Keyframe {
+            t: 0.90,
+            angles: [55.0, 30.0, 130.0, 125.0, 25.0, 140.0, 222.0, 95.0],
+            x_frac: 0.93,
+            y_scale: 0.78,
+        },
+        // Recovery to balance, arms forward.
+        Keyframe {
+            t: 1.0,
+            angles: [22.0, 15.0, 148.0, 168.0, 12.0, 150.0, 190.0, 95.0],
+            x_frac: 1.0,
+            y_scale: 0.95,
+        },
+    ]
+}
+
+/// Applies one flaw's keyframe edits.
+fn apply_flaw(kfs: &mut [Keyframe], flaw: JumpFlaw) {
+    match flaw {
+        JumpFlaw::ShallowCrouch => {
+            // Knees nearly straight in the crouch: shank-thigh gap stays
+            // well under R1's 60°.
+            kfs[KF_CROUCH].angles[3] = 170.0; // thigh
+            kfs[KF_CROUCH].angles[6] = 188.0; // shank
+            kfs[KF_CROUCH].y_scale = 0.96;
+            // The takeoff extension keeps the legs near-straight too.
+            kfs[KF_TAKEOFF].angles[3] = 185.0;
+            kfs[KF_TAKEOFF].angles[6] = 195.0;
+        }
+        JumpFlaw::NoNeckBend => {
+            // Neck (and head) stay upright through initiation.
+            for i in [KF_STAND, KF_CROUCH, KF_TAKEOFF] {
+                kfs[i].angles[1] = kfs[i].angles[1].min(12.0);
+                kfs[i].angles[4] = kfs[i].angles[4].min(10.0);
+            }
+        }
+        JumpFlaw::NoArmSwingBack => {
+            // Arms never pass behind the body: keep ρ2 well below R3's
+            // 270° during initiation; the forward swing then starts from
+            // hanging-down instead of from behind.
+            kfs[KF_STAND].angles[2] = 182.0;
+            kfs[KF_STAND].angles[5] = 182.0;
+            kfs[KF_CROUCH].angles[2] = 200.0;
+            kfs[KF_CROUCH].angles[5] = 150.0; // still bends (R4 ok)
+            kfs[KF_TAKEOFF].angles[2] = 75.0;
+            kfs[KF_TAKEOFF].angles[5] = 70.0;
+        }
+        JumpFlaw::StraightArms => {
+            // Elbow locked: forearm tracks the upper arm through the
+            // whole motion (R4's ρ2 − ρ5 never exceeds 45°).
+            for kf in kfs.iter_mut() {
+                kf.angles[5] = kf.angles[2] + 3.0;
+            }
+        }
+        JumpFlaw::StiffLanding => {
+            // Legs near-straight through flight and landing.
+            kfs[KF_FLIGHT].angles[3] = 150.0;
+            kfs[KF_FLIGHT].angles[6] = 185.0;
+            kfs[KF_PREP].angles[3] = 145.0;
+            kfs[KF_PREP].angles[6] = 170.0;
+            kfs[KF_TOUCHDOWN].angles[3] = 160.0;
+            kfs[KF_TOUCHDOWN].angles[6] = 195.0;
+            kfs[KF_TOUCHDOWN].y_scale = 0.95;
+            kfs[KF_RECOVERY].angles[3] = 172.0;
+            kfs[KF_RECOVERY].angles[6] = 185.0;
+        }
+        JumpFlaw::UprightTrunk => {
+            // Trunk never leans past R6's 45° in flight or landing; the
+            // takeoff frame sits on the stage boundary, so cap it too.
+            kfs[KF_TAKEOFF].angles[0] = kfs[KF_TAKEOFF].angles[0].min(32.0);
+            for i in [KF_FLIGHT, KF_PREP, KF_TOUCHDOWN, KF_RECOVERY] {
+                kfs[i].angles[0] = kfs[i].angles[0].min(28.0);
+            }
+        }
+        JumpFlaw::ArmsStayBack => {
+            // Arms hang down/back from takeoff on: ρ2 never drops below
+            // R7's 160° in the air/landing window (with a wide margin,
+            // so even noisy estimates read the fault).
+            kfs[KF_TAKEOFF].angles[2] = 215.0;
+            kfs[KF_TAKEOFF].angles[5] = 220.0;
+            kfs[KF_FLIGHT].angles[2] = 205.0;
+            kfs[KF_FLIGHT].angles[5] = 210.0;
+            kfs[KF_PREP].angles[2] = 200.0;
+            kfs[KF_PREP].angles[5] = 205.0;
+            kfs[KF_TOUCHDOWN].angles[2] = 210.0;
+            kfs[KF_TOUCHDOWN].angles[5] = 215.0;
+            kfs[KF_RECOVERY].angles[2] = 200.0;
+            kfs[KF_RECOVERY].angles[5] = 204.0;
+        }
+    }
+}
+
+/// Non-uniform Catmull-Rom interpolation of a scalar channel sampled at
+/// strictly increasing times `ts`. Clamped outside the keyframe span.
+fn interp_channel(ts: &[f64], vs: &[f64], t: f64) -> f64 {
+    debug_assert_eq!(ts.len(), vs.len());
+    debug_assert!(ts.len() >= 2);
+    if t <= ts[0] {
+        return vs[0];
+    }
+    if t >= ts[ts.len() - 1] {
+        return vs[vs.len() - 1];
+    }
+    // Find the segment [i, i+1] containing t.
+    let mut i = 0;
+    while ts[i + 1] < t {
+        i += 1;
+    }
+    let (t0, t1) = (ts[i], ts[i + 1]);
+    let (v0, v1) = (vs[i], vs[i + 1]);
+    let h = t1 - t0;
+    let u = (t - t0) / h;
+
+    // Finite-difference tangents (one-sided at the ends).
+    let m0 = if i == 0 {
+        (v1 - v0) / h
+    } else {
+        (v1 - vs[i - 1]) / (t1 - ts[i - 1])
+    };
+    let m1 = if i + 2 >= ts.len() {
+        (v1 - v0) / h
+    } else {
+        (vs[i + 2] - v0) / (ts[i + 2] - t0)
+    };
+
+    let u2 = u * u;
+    let u3 = u2 * u;
+    let h00 = 2.0 * u3 - 3.0 * u2 + 1.0;
+    let h10 = u3 - 2.0 * u2 + u;
+    let h01 = -2.0 * u3 + 3.0 * u2;
+    let h11 = u3 - u2;
+    h00 * v0 + h10 * m0 * h + h01 * v1 + h11 * m1 * h
+}
+
+/// Synthesises a standing-long-jump pose sequence.
+///
+/// The returned sequence has `config.frames` poses at `config.fps`. The
+/// first pose is the standing phase (this is what the paper's "trained
+/// person" would annotate); feet never sink below the ground plane
+/// `y = 0`.
+///
+/// # Panics
+///
+/// Panics if `config.frames < 2`.
+pub fn synthesize_jump(config: &JumpConfig) -> PoseSeq {
+    assert!(config.frames >= 2, "a jump needs at least 2 frames");
+    let mut kfs = good_jump_keyframes();
+    for &flaw in &config.flaws {
+        apply_flaw(&mut kfs, flaw);
+    }
+
+    let ts: Vec<f64> = kfs.iter().map(|k| k.t).collect();
+    let standing_center_y = {
+        let d = &config.dims;
+        d.standing_hip_height() + d.length(StickKind::Trunk) / 2.0
+    };
+
+    let mut poses = Vec::with_capacity(config.frames);
+    for frame in 0..config.frames {
+        let t = frame as f64 / (config.frames - 1) as f64;
+
+        let mut angles = [Angle::UP; STICK_COUNT];
+        for l in 0..STICK_COUNT {
+            let channel: Vec<f64> = kfs.iter().map(|k| k.angles[l]).collect();
+            angles[l] = Angle::from_degrees(interp_channel(&ts, &channel, t));
+        }
+        let x_frac = {
+            let channel: Vec<f64> = kfs.iter().map(|k| k.x_frac).collect();
+            interp_channel(&ts, &channel, t)
+        };
+        let y_scale = {
+            let channel: Vec<f64> = kfs.iter().map(|k| k.y_scale).collect();
+            interp_channel(&ts, &channel, t)
+        };
+
+        let center = Point2::new(
+            config.start_x + x_frac * config.jump_distance,
+            (y_scale * standing_center_y).max(0.1),
+        );
+        let mut pose = Pose::new(center, angles);
+
+        // Keep the feet out of the ground: raise the centre if any joint
+        // dips below y = 0.
+        let low = pose.segments(&config.dims).lowest_y();
+        let margin = config.dims.thickness(StickKind::Foot);
+        if low < margin {
+            pose.center.y += margin - low;
+        }
+        poses.push(pose);
+    }
+    PoseSeq::new(poses, config.fps)
+}
+
+/// Randomly perturbs a pose: centre by up to `center_amp` metres per
+/// axis, every angle by up to `angle_amp` degrees (both uniform).
+///
+/// Models the sloppiness of the hand-drawn first-frame stick figure the
+/// paper requires, and seeds GA robustness tests.
+pub fn perturb_pose<R: Rng>(pose: &Pose, center_amp: f64, angle_amp: f64, rng: &mut R) -> Pose {
+    let mut out = *pose;
+    out.center.x += rng.gen_range(-center_amp..=center_amp);
+    out.center.y += rng.gen_range(-center_amp..=center_amp);
+    for a in out.angles.iter_mut() {
+        *a = *a + rng.gen_range(-angle_amp..=angle_amp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Stage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn good() -> PoseSeq {
+        synthesize_jump(&JumpConfig::default())
+    }
+
+    fn flawed(flaw: JumpFlaw) -> PoseSeq {
+        synthesize_jump(&JumpConfig::with_flaw(flaw))
+    }
+
+    // The rule expressions of Table 2, evaluated on true poses.
+    fn r1_crouch_depth(seq: &PoseSeq, stage: Stage) -> f64 {
+        seq.stage_max(stage, |p| {
+            p.angle(StickKind::Shank).raw_diff(p.angle(StickKind::Thigh))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_requested_frame_count() {
+        let seq = good();
+        assert_eq!(seq.len(), 20);
+        let cfg = JumpConfig {
+            frames: 31,
+            ..JumpConfig::default()
+        };
+        assert_eq!(synthesize_jump(&cfg).len(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 frames")]
+    fn one_frame_rejected() {
+        synthesize_jump(&JumpConfig {
+            frames: 1,
+            ..JumpConfig::default()
+        });
+    }
+
+    #[test]
+    fn jump_travels_forward_by_roughly_the_distance() {
+        let seq = good();
+        let travel = seq.forward_travel();
+        assert!(
+            (0.8..=1.3).contains(&travel),
+            "travelled {travel} for configured 1.1"
+        );
+    }
+
+    #[test]
+    fn feet_never_sink_below_ground() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        for (i, p) in seq.poses().iter().enumerate() {
+            let low = p.segments(&cfg.dims).lowest_y();
+            assert!(low > -1e-9, "frame {i} has joint at y={low}");
+        }
+    }
+
+    #[test]
+    fn flight_phase_rises_above_standing() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let standing_y = seq.poses()[0].center.y;
+        let peak = seq
+            .poses()
+            .iter()
+            .map(|p| p.center.y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > standing_y * 1.1, "peak {peak} vs standing {standing_y}");
+    }
+
+    #[test]
+    fn crouch_dips_below_standing() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let standing_y = seq.poses()[0].center.y;
+        let initiation_min = seq
+            .stage_poses(Stage::Initiation)
+            .iter()
+            .map(|p| p.center.y)
+            .fold(f64::INFINITY, f64::min);
+        assert!(initiation_min < standing_y * 0.95);
+    }
+
+    #[test]
+    fn good_jump_satisfies_r1_through_r7() {
+        let seq = good();
+        // R1: knees bend > 60° during initiation.
+        assert!(r1_crouch_depth(&seq, Stage::Initiation) > 60.0);
+        // R2: neck > 30°.
+        assert!(
+            seq.stage_max(Stage::Initiation, |p| p.angle(StickKind::Neck).degrees())
+                .unwrap()
+                > 30.0
+        );
+        // R3: arms swing past 270°.
+        assert!(
+            seq.stage_max(Stage::Initiation, |p| p
+                .angle(StickKind::UpperArm)
+                .degrees())
+                .unwrap()
+                > 270.0
+        );
+        // R4: elbow bend > 45°.
+        assert!(
+            seq.stage_max(Stage::Initiation, |p| p
+                .angle(StickKind::UpperArm)
+                .raw_diff(p.angle(StickKind::Forearm)))
+                .unwrap()
+                > 45.0
+        );
+        // R5: knees bend > 60° on air/landing.
+        assert!(r1_crouch_depth(&seq, Stage::AirLanding) > 60.0);
+        // R6: trunk > 45°.
+        assert!(
+            seq.stage_max(Stage::AirLanding, |p| p.angle(StickKind::Trunk).degrees())
+                .unwrap()
+                > 45.0
+        );
+        // R7: arms come forward (ρ2 < 160°) after landing.
+        assert!(
+            seq.stage_min(Stage::AirLanding, |p| p
+                .angle(StickKind::UpperArm)
+                .degrees())
+                .unwrap()
+                < 160.0
+        );
+    }
+
+    #[test]
+    fn shallow_crouch_violates_only_r1() {
+        let seq = flawed(JumpFlaw::ShallowCrouch);
+        assert!(r1_crouch_depth(&seq, Stage::Initiation) < 60.0);
+        // The landing crouch is intact (R5 unaffected).
+        assert!(r1_crouch_depth(&seq, Stage::AirLanding) > 60.0);
+    }
+
+    #[test]
+    fn no_neck_bend_violates_r2() {
+        let seq = flawed(JumpFlaw::NoNeckBend);
+        let max_neck = seq
+            .stage_max(Stage::Initiation, |p| p.angle(StickKind::Neck).degrees())
+            .unwrap();
+        assert!(max_neck < 30.0, "neck reached {max_neck}");
+    }
+
+    #[test]
+    fn no_arm_swing_violates_r3_but_not_r4() {
+        let seq = flawed(JumpFlaw::NoArmSwingBack);
+        let max_arm = seq
+            .stage_max(Stage::Initiation, |p| {
+                p.angle(StickKind::UpperArm).degrees()
+            })
+            .unwrap();
+        assert!(max_arm < 270.0, "arm reached {max_arm}");
+        // Elbow still bends.
+        let bend = seq
+            .stage_max(Stage::Initiation, |p| {
+                p.angle(StickKind::UpperArm).raw_diff(p.angle(StickKind::Forearm))
+            })
+            .unwrap();
+        assert!(bend > 45.0, "elbow bend only {bend}");
+    }
+
+    #[test]
+    fn straight_arms_violates_r4() {
+        let seq = flawed(JumpFlaw::StraightArms);
+        let bend = seq
+            .stage_max(Stage::Initiation, |p| {
+                p.angle(StickKind::UpperArm).raw_diff(p.angle(StickKind::Forearm))
+            })
+            .unwrap();
+        assert!(bend < 45.0, "elbow bend {bend}");
+    }
+
+    #[test]
+    fn stiff_landing_violates_r5_not_r1() {
+        let seq = flawed(JumpFlaw::StiffLanding);
+        assert!(r1_crouch_depth(&seq, Stage::AirLanding) < 60.0);
+        assert!(r1_crouch_depth(&seq, Stage::Initiation) > 60.0);
+    }
+
+    #[test]
+    fn upright_trunk_violates_r6() {
+        let seq = flawed(JumpFlaw::UprightTrunk);
+        let max_trunk = seq
+            .stage_max(Stage::AirLanding, |p| p.angle(StickKind::Trunk).degrees())
+            .unwrap();
+        assert!(max_trunk < 45.0, "trunk reached {max_trunk}");
+    }
+
+    #[test]
+    fn arms_stay_back_violates_r7() {
+        let seq = flawed(JumpFlaw::ArmsStayBack);
+        let min_arm = seq
+            .stage_min(Stage::AirLanding, |p| {
+                p.angle(StickKind::UpperArm).degrees()
+            })
+            .unwrap();
+        assert!(min_arm > 160.0, "arm dropped to {min_arm}");
+    }
+
+    #[test]
+    fn flaws_compose() {
+        let cfg = JumpConfig {
+            flaws: vec![JumpFlaw::ShallowCrouch, JumpFlaw::UprightTrunk],
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        assert!(r1_crouch_depth(&seq, Stage::Initiation) < 60.0);
+        assert!(
+            seq.stage_max(Stage::AirLanding, |p| p.angle(StickKind::Trunk).degrees())
+                .unwrap()
+                < 45.0
+        );
+    }
+
+    #[test]
+    fn motion_is_temporally_smooth() {
+        // Consecutive frames should differ by bounded amounts — the
+        // property the paper's temporal GA seeding relies on.
+        let seq = good();
+        for w in seq.poses().windows(2) {
+            let e = w[1].error_against(&w[0]);
+            assert!(
+                e.max_angle_error() < 100.0,
+                "jump of {}° between frames (tracker \u{0394}\u{03c1} ranges must cover this)",
+                e.max_angle_error()
+            );
+            assert!(e.center_distance < 0.25, "centre jumped {} m", e.center_distance);
+        }
+    }
+
+    #[test]
+    fn interp_channel_hits_keyframes() {
+        let ts = [0.0, 0.3, 1.0];
+        let vs = [1.0, 5.0, 2.0];
+        for (t, v) in ts.iter().zip(vs.iter()) {
+            assert!((interp_channel(&ts, &vs, *t) - v).abs() < 1e-12);
+        }
+        // Clamped outside.
+        assert_eq!(interp_channel(&ts, &vs, -1.0), 1.0);
+        assert_eq!(interp_channel(&ts, &vs, 2.0), 2.0);
+    }
+
+    #[test]
+    fn interp_channel_is_continuous() {
+        let ts = [0.0, 0.2, 0.5, 1.0];
+        let vs = [0.0, 10.0, -5.0, 3.0];
+        let mut prev = interp_channel(&ts, &vs, 0.0);
+        let mut t = 0.0;
+        while t < 1.0 {
+            t += 0.001;
+            let cur = interp_channel(&ts, &vs, t);
+            assert!((cur - prev).abs() < 0.5, "jump at t={t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn perturb_pose_respects_amplitudes() {
+        let d = BodyDims::default();
+        let base = Pose::standing(&d);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = perturb_pose(&base, 0.05, 10.0, &mut rng);
+            assert!((p.center.x - base.center.x).abs() <= 0.05);
+            assert!((p.center.y - base.center.y).abs() <= 0.05);
+            let e = p.error_against(&base);
+            assert!(e.max_angle_error() <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturb_zero_amplitude_is_identity() {
+        let d = BodyDims::default();
+        let base = Pose::standing(&d);
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = perturb_pose(&base, 0.0, 0.0, &mut rng);
+        assert_eq!(p, base);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = good();
+        let b = good();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flaw_names_roundtrip() {
+        for f in JumpFlaw::ALL {
+            let parsed: JumpFlaw = f.name().parse().unwrap();
+            assert_eq!(parsed, f);
+            assert_eq!(f.to_string(), f.name());
+        }
+        let err = "backflip".parse::<JumpFlaw>().unwrap_err();
+        assert!(err.to_string().contains("backflip"));
+        assert!(err.to_string().contains("shallow-crouch"));
+    }
+
+    #[test]
+    fn flaw_rule_numbers() {
+        for (i, f) in JumpFlaw::ALL.iter().enumerate() {
+            assert_eq!(f.rule_number(), i + 1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The score card: all seven rule verdicts plus coaching advice.
+
+use crate::rules::{RuleId, RuleResult};
+use crate::standards::Standard;
+use serde::{Deserialize, Serialize};
+use slj_motion::{MotionError, PoseSeq};
+use std::fmt;
+
+/// The complete evaluation of one jump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreCard {
+    results: Vec<RuleResult>,
+}
+
+/// Scores a jump's pose sequence against all seven rules of Table 2.
+///
+/// # Errors
+///
+/// Returns [`MotionError::SequenceTooShort`] when the sequence is too
+/// short to populate both stage windows (at least 2 frames).
+pub fn score_jump(seq: &PoseSeq) -> Result<ScoreCard, MotionError> {
+    let mut results = Vec::with_capacity(RuleId::ALL.len());
+    for id in RuleId::ALL {
+        results.push(id.rule().evaluate(seq)?);
+    }
+    Ok(ScoreCard { results })
+}
+
+impl ScoreCard {
+    /// All rule results in table order.
+    pub fn results(&self) -> &[RuleResult] {
+        &self.results
+    }
+
+    /// The result for one rule.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for cards built by [`score_jump`] (all seven rules
+    /// are present).
+    pub fn result(&self, id: RuleId) -> &RuleResult {
+        self.results
+            .iter()
+            .find(|r| r.rule == id)
+            .expect("score card holds all seven rules")
+    }
+
+    /// Number of satisfied rules, 0–7 — the jump's score.
+    pub fn score(&self) -> usize {
+        self.results.iter().filter(|r| r.satisfied).count()
+    }
+
+    /// Whether every rule is satisfied.
+    pub fn is_perfect(&self) -> bool {
+        self.score() == self.results.len()
+    }
+
+    /// The violated rules, in table order.
+    pub fn violations(&self) -> Vec<RuleId> {
+        self.results
+            .iter()
+            .filter(|r| !r.satisfied)
+            .map(|r| r.rule)
+            .collect()
+    }
+
+    /// Coaching advice for each violation, in table order.
+    pub fn advice(&self) -> Vec<(Standard, &'static str)> {
+        self.violations()
+            .into_iter()
+            .map(|r| {
+                let s = Standard::for_rule(r);
+                (s, s.advice())
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ScoreCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Score: {}/{}", self.score(), self.results.len())?;
+        for r in &self.results {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::{synthesize_jump, JumpConfig, JumpFlaw};
+
+    #[test]
+    fn good_jump_scores_seven() {
+        let card = score_jump(&synthesize_jump(&JumpConfig::default())).unwrap();
+        assert_eq!(card.score(), 7);
+        assert!(card.is_perfect());
+        assert!(card.violations().is_empty());
+        assert!(card.advice().is_empty());
+    }
+
+    #[test]
+    fn single_flaw_scores_six_with_matching_advice() {
+        for flaw in JumpFlaw::ALL {
+            let card = score_jump(&synthesize_jump(&JumpConfig::with_flaw(flaw))).unwrap();
+            assert_eq!(card.score(), 6, "flaw {flaw:?}");
+            let violations = card.violations();
+            assert_eq!(violations.len(), 1);
+            assert_eq!(violations[0].number(), flaw.rule_number());
+            let advice = card.advice();
+            assert_eq!(advice.len(), 1);
+            assert_eq!(advice[0].0.number(), flaw.rule_number());
+            assert!(!advice[0].1.is_empty());
+        }
+    }
+
+    #[test]
+    fn combined_flaws_accumulate() {
+        let cfg = JumpConfig {
+            flaws: vec![JumpFlaw::ShallowCrouch, JumpFlaw::ArmsStayBack],
+            ..JumpConfig::default()
+        };
+        let card = score_jump(&synthesize_jump(&cfg)).unwrap();
+        assert_eq!(card.score(), 5);
+        let nums: Vec<usize> = card.violations().iter().map(|r| r.number()).collect();
+        assert_eq!(nums, vec![1, 7]);
+    }
+
+    #[test]
+    fn result_lookup_by_id() {
+        let card = score_jump(&synthesize_jump(&JumpConfig::default())).unwrap();
+        for id in RuleId::ALL {
+            assert_eq!(card.result(id).rule, id);
+        }
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let dims = slj_motion::BodyDims::default();
+        let seq = PoseSeq::new(vec![slj_motion::Pose::standing(&dims)], 10.0);
+        assert!(score_jump(&seq).is_err());
+    }
+
+    #[test]
+    fn display_contains_score_and_rules() {
+        let card = score_jump(&synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::NoNeckBend)))
+            .unwrap();
+        let s = card.to_string();
+        assert!(s.contains("Score: 6/7"));
+        assert!(s.contains("VIOLATED"));
+        assert!(s.contains("R2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let card = score_jump(&synthesize_jump(&JumpConfig::default())).unwrap();
+        let json = serde_json::to_string(&card).unwrap();
+        let back: ScoreCard = serde_json::from_str(&json).unwrap();
+        // serde_json's float text is not bit-exact by default; compare
+        // semantically.
+        assert_eq!(back.score(), card.score());
+        for (a, b) in back.results().iter().zip(card.results()) {
+            assert_eq!(a.rule, b.rule);
+            assert_eq!(a.satisfied, b.satisfied);
+            assert!((a.observed - b.observed).abs() < 1e-9);
+        }
+    }
+}

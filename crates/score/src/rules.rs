@@ -1,0 +1,358 @@
+//! The scoring rules of Table 2.
+//!
+//! | Rule | Stage        | Condition            |
+//! |------|--------------|----------------------|
+//! | R1   | Initiation   | ρ6 − ρ3 > 60°        |
+//! | R2   | Initiation   | ρ1 > 30°             |
+//! | R3   | Initiation   | ρ2 > 270°            |
+//! | R4   | Initiation   | ρ2 − ρ5 > 45°        |
+//! | R5   | Air/Landing  | ρ6 − ρ3 > 60°        |
+//! | R6   | Air/Landing  | ρ0 > 45°             |
+//! | R7   | Air/Landing  | ρ2 < 160°            |
+//!
+//! R1–R6 use the **maximum** of the quantity over the stage window, as
+//! the paper prescribes; R7 is a `<` condition, so the natural window
+//! aggregate is the **minimum** ("did the arm ever come forward").
+
+use serde::{Deserialize, Serialize};
+use slj_motion::seq::Stage;
+use slj_motion::{MotionError, Pose, PoseSeq, StickKind};
+use std::fmt;
+
+/// Identifier of one of the seven rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// R1 — knees bent during initiation.
+    R1,
+    /// R2 — neck bent forward during initiation.
+    R2,
+    /// R3 — arms swung back during initiation.
+    R3,
+    /// R4 — arms bent during initiation.
+    R4,
+    /// R5 — knees bent on the air/landing.
+    R5,
+    /// R6 — trunk bent forward on the air/landing.
+    R6,
+    /// R7 — arms swung forward after landing.
+    R7,
+}
+
+impl RuleId {
+    /// All rules in table order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+    ];
+
+    /// The 1-based rule number.
+    pub fn number(self) -> usize {
+        match self {
+            RuleId::R1 => 1,
+            RuleId::R2 => 2,
+            RuleId::R3 => 3,
+            RuleId::R4 => 4,
+            RuleId::R5 => 5,
+            RuleId::R6 => 6,
+            RuleId::R7 => 7,
+        }
+    }
+
+    /// The full rule definition.
+    pub fn rule(self) -> Rule {
+        match self {
+            RuleId::R1 => Rule {
+                id: self,
+                stage: Stage::Initiation,
+                expression: "rho6 - rho3",
+                threshold: 60.0,
+                direction: Direction::Above,
+            },
+            RuleId::R2 => Rule {
+                id: self,
+                stage: Stage::Initiation,
+                expression: "rho1",
+                threshold: 30.0,
+                direction: Direction::Above,
+            },
+            RuleId::R3 => Rule {
+                id: self,
+                stage: Stage::Initiation,
+                expression: "rho2",
+                threshold: 270.0,
+                direction: Direction::Above,
+            },
+            RuleId::R4 => Rule {
+                id: self,
+                stage: Stage::Initiation,
+                expression: "rho2 - rho5",
+                threshold: 45.0,
+                direction: Direction::Above,
+            },
+            RuleId::R5 => Rule {
+                id: self,
+                stage: Stage::AirLanding,
+                expression: "rho6 - rho3",
+                threshold: 60.0,
+                direction: Direction::Above,
+            },
+            RuleId::R6 => Rule {
+                id: self,
+                stage: Stage::AirLanding,
+                expression: "rho0",
+                threshold: 45.0,
+                direction: Direction::Above,
+            },
+            RuleId::R7 => Rule {
+                id: self,
+                stage: Stage::AirLanding,
+                expression: "rho2",
+                threshold: 160.0,
+                direction: Direction::Below,
+            },
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.number())
+    }
+}
+
+/// Which side of the threshold satisfies the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// The aggregated quantity must exceed the threshold (R1–R6, using
+    /// the stage maximum).
+    Above,
+    /// The aggregated quantity must drop below the threshold (R7, using
+    /// the stage minimum).
+    Below,
+}
+
+/// One rule of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Which rule this is.
+    pub id: RuleId,
+    /// The stage whose frames are examined.
+    pub stage: Stage,
+    /// Human-readable form of the measured expression.
+    pub expression: &'static str,
+    /// Threshold in degrees.
+    pub threshold: f64,
+    /// Side of the threshold that satisfies the rule.
+    pub direction: Direction,
+}
+
+impl Rule {
+    /// The per-frame quantity this rule measures, degrees.
+    ///
+    /// Reproduction note: the paper states the conditions on the raw
+    /// normalised angles (e.g. `ρ0 > 45°`), which misreads estimates
+    /// that land just *behind* vertical — a trunk at ρ0 = 354°
+    /// (leaning 6° backward) would satisfy "bent forward by more than
+    /// 45°". Since the paper never implemented its scoring component,
+    /// this reproduction evaluates the angular quantities with
+    /// wrap-aware semantics: leans (R2, R6) and joint-bend differences
+    /// (R1, R4, R5) are signed shortest-arc values in `(−180°, 180°]`.
+    /// R3 and R7 genuinely address the full arm revolution and keep the
+    /// raw `[0°, 360°)` reading.
+    pub fn measure(&self, pose: &Pose) -> f64 {
+        match self.id {
+            RuleId::R1 | RuleId::R5 => pose
+                .angle(StickKind::Shank)
+                .wrapped_diff(pose.angle(StickKind::Thigh)),
+            RuleId::R2 => pose.angle(StickKind::Neck).wrapped_diff(slj_motion::Angle::UP),
+            RuleId::R3 | RuleId::R7 => pose.angle(StickKind::UpperArm).degrees(),
+            RuleId::R4 => pose
+                .angle(StickKind::UpperArm)
+                .wrapped_diff(pose.angle(StickKind::Forearm)),
+            RuleId::R6 => pose.angle(StickKind::Trunk).wrapped_diff(slj_motion::Angle::UP),
+        }
+    }
+
+    /// Evaluates the rule over a pose sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when the stage window
+    /// is empty.
+    pub fn evaluate(&self, seq: &PoseSeq) -> Result<RuleResult, MotionError> {
+        let observed = match self.direction {
+            Direction::Above => seq.stage_max(self.stage, |p| self.measure(p))?,
+            Direction::Below => seq.stage_min(self.stage, |p| self.measure(p))?,
+        };
+        let satisfied = match self.direction {
+            Direction::Above => observed > self.threshold,
+            Direction::Below => observed < self.threshold,
+        };
+        Ok(RuleResult {
+            rule: self.id,
+            stage: self.stage,
+            observed,
+            threshold: self.threshold,
+            satisfied,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.direction {
+            Direction::Above => '>',
+            Direction::Below => '<',
+        };
+        write!(f, "{}: {} {op} {}°", self.id, self.expression, self.threshold)
+    }
+}
+
+/// The verdict of one rule on one jump.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuleResult {
+    /// Which rule was evaluated.
+    pub rule: RuleId,
+    /// The stage it was evaluated over.
+    pub stage: Stage,
+    /// The aggregated (max or min) observed value, degrees.
+    pub observed: f64,
+    /// The rule threshold, degrees.
+    pub threshold: f64,
+    /// Whether the rule is satisfied.
+    pub satisfied: bool,
+}
+
+impl fmt::Display for RuleResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: observed {:.1}° vs {:.1}° -> {}",
+            self.rule,
+            self.stage,
+            self.observed,
+            self.threshold,
+            if self.satisfied { "ok" } else { "VIOLATED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::{synthesize_jump, Angle, BodyDims, JumpConfig};
+
+    #[test]
+    fn table_2_definitions() {
+        assert_eq!(RuleId::R1.rule().threshold, 60.0);
+        assert_eq!(RuleId::R2.rule().threshold, 30.0);
+        assert_eq!(RuleId::R3.rule().threshold, 270.0);
+        assert_eq!(RuleId::R4.rule().threshold, 45.0);
+        assert_eq!(RuleId::R5.rule().threshold, 60.0);
+        assert_eq!(RuleId::R6.rule().threshold, 45.0);
+        assert_eq!(RuleId::R7.rule().threshold, 160.0);
+        for id in &RuleId::ALL[..4] {
+            assert_eq!(id.rule().stage, Stage::Initiation, "{id}");
+        }
+        for id in &RuleId::ALL[4..] {
+            assert_eq!(id.rule().stage, Stage::AirLanding, "{id}");
+        }
+        assert_eq!(RuleId::R7.rule().direction, Direction::Below);
+    }
+
+    #[test]
+    fn measures_read_correct_sticks() {
+        let dims = BodyDims::default();
+        let pose = slj_motion::Pose::standing(&dims)
+            .with_angle(StickKind::Thigh, Angle::from_degrees(130.0))
+            .with_angle(StickKind::Shank, Angle::from_degrees(235.0))
+            .with_angle(StickKind::Neck, Angle::from_degrees(33.0))
+            .with_angle(StickKind::UpperArm, Angle::from_degrees(295.0))
+            .with_angle(StickKind::Forearm, Angle::from_degrees(240.0))
+            .with_angle(StickKind::Trunk, Angle::from_degrees(50.0));
+        assert_eq!(RuleId::R1.rule().measure(&pose), 105.0);
+        assert_eq!(RuleId::R2.rule().measure(&pose), 33.0);
+        assert_eq!(RuleId::R3.rule().measure(&pose), 295.0);
+        assert_eq!(RuleId::R4.rule().measure(&pose), 55.0);
+        assert_eq!(RuleId::R5.rule().measure(&pose), 105.0);
+        assert_eq!(RuleId::R6.rule().measure(&pose), 50.0);
+        assert_eq!(RuleId::R7.rule().measure(&pose), 295.0);
+    }
+
+    #[test]
+    fn backward_lean_does_not_satisfy_forward_rules() {
+        // A trunk/neck just behind vertical reads as a small *negative*
+        // lean, not as ~354° (the wrap-aware correction to the paper's
+        // raw formulation).
+        let dims = BodyDims::default();
+        let pose = slj_motion::Pose::standing(&dims)
+            .with_angle(StickKind::Trunk, Angle::from_degrees(354.0))
+            .with_angle(StickKind::Neck, Angle::from_degrees(350.0));
+        assert!((RuleId::R6.rule().measure(&pose) - (-6.0)).abs() < 1e-9);
+        assert!((RuleId::R2.rule().measure(&pose) - (-10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn good_jump_satisfies_every_rule() {
+        let seq = synthesize_jump(&JumpConfig::default());
+        for id in RuleId::ALL {
+            let r = id.rule().evaluate(&seq).unwrap();
+            assert!(r.satisfied, "{r}");
+        }
+    }
+
+    #[test]
+    fn each_flaw_violates_its_rule() {
+        use slj_motion::JumpFlaw;
+        for flaw in JumpFlaw::ALL {
+            let seq = synthesize_jump(&JumpConfig::with_flaw(flaw));
+            let id = RuleId::ALL[flaw.rule_number() - 1];
+            let r = id.rule().evaluate(&seq).unwrap();
+            assert!(!r.satisfied, "flaw {flaw:?} should violate {id}: {r}");
+        }
+    }
+
+    #[test]
+    fn flaws_do_not_break_other_rules() {
+        use slj_motion::JumpFlaw;
+        for flaw in JumpFlaw::ALL {
+            let seq = synthesize_jump(&JumpConfig::with_flaw(flaw));
+            let mut violated: Vec<usize> = RuleId::ALL
+                .iter()
+                .filter(|id| !id.rule().evaluate(&seq).unwrap().satisfied)
+                .map(|id| id.number())
+                .collect();
+            violated.sort_unstable();
+            assert_eq!(
+                violated,
+                vec![flaw.rule_number()],
+                "flaw {flaw:?} violated extra rules"
+            );
+        }
+    }
+
+    #[test]
+    fn too_short_sequence_errors() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![slj_motion::Pose::standing(&dims)], 10.0);
+        // One frame -> empty initiation window.
+        assert!(RuleId::R1.rule().evaluate(&seq).is_err());
+        // But the air/landing window holds the single frame.
+        assert!(RuleId::R6.rule().evaluate(&seq).is_ok());
+    }
+
+    #[test]
+    fn displays() {
+        let r = RuleId::R1.rule();
+        let s = r.to_string();
+        assert!(s.contains("R1") && s.contains("60"));
+        let res = r.evaluate(&synthesize_jump(&JumpConfig::default())).unwrap();
+        assert!(res.to_string().contains("ok"));
+        assert_eq!(RuleId::R7.to_string(), "R7");
+    }
+}

@@ -1,0 +1,174 @@
+//! The physical-education standards of Table 1 and their coaching
+//! advice.
+
+use crate::rules::RuleId;
+use serde::{Deserialize, Serialize};
+use slj_motion::seq::Stage;
+use std::fmt;
+
+/// A standing-long-jump evaluation standard (Table 1, E1–E7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Standard {
+    /// E1 — knees bended (initiation).
+    E1,
+    /// E2 — neck bended forward (initiation).
+    E2,
+    /// E3 — arms swung back (initiation).
+    E3,
+    /// E4 — arms bended (initiation).
+    E4,
+    /// E5 — knees bended (on the air/landing).
+    E5,
+    /// E6 — trunk bended forward (on the air/landing).
+    E6,
+    /// E7 — arms swung forward after landing.
+    E7,
+}
+
+impl Standard {
+    /// All standards in table order.
+    pub const ALL: [Standard; 7] = [
+        Standard::E1,
+        Standard::E2,
+        Standard::E3,
+        Standard::E4,
+        Standard::E5,
+        Standard::E6,
+        Standard::E7,
+    ];
+
+    /// The 1-based standard number.
+    pub fn number(self) -> usize {
+        match self {
+            Standard::E1 => 1,
+            Standard::E2 => 2,
+            Standard::E3 => 3,
+            Standard::E4 => 4,
+            Standard::E5 => 5,
+            Standard::E6 => 6,
+            Standard::E7 => 7,
+        }
+    }
+
+    /// The Table 1 wording.
+    pub fn description(self) -> &'static str {
+        match self {
+            Standard::E1 => "Knees bended",
+            Standard::E2 => "Neck bended forward",
+            Standard::E3 => "Arms swung back",
+            Standard::E4 => "Arms bended",
+            Standard::E5 => "Knees bended",
+            Standard::E6 => "Trunk bended forward",
+            Standard::E7 => "Arms swung forward after landing",
+        }
+    }
+
+    /// The stage the standard applies to.
+    pub fn stage(self) -> Stage {
+        match self {
+            Standard::E1 | Standard::E2 | Standard::E3 | Standard::E4 => Stage::Initiation,
+            Standard::E5 | Standard::E6 | Standard::E7 => Stage::AirLanding,
+        }
+    }
+
+    /// The Table 2 rule that operationalises this standard.
+    pub fn rule(self) -> RuleId {
+        RuleId::ALL[self.number() - 1]
+    }
+
+    /// The standard operationalised by a rule.
+    pub fn for_rule(rule: RuleId) -> Standard {
+        Standard::ALL[rule.number() - 1]
+    }
+
+    /// Coaching advice given when the standard is not met — the "detect
+    /// improper movements and give advices" part of the paper's
+    /// introduction.
+    pub fn advice(self) -> &'static str {
+        match self {
+            Standard::E1 => {
+                "Bend your knees deeply before taking off — sink into a crouch so \
+                 the legs can drive the jump."
+            }
+            Standard::E2 => {
+                "Lean your head and neck forward as you crouch; looking down the \
+                 runway loads the jump forward."
+            }
+            Standard::E3 => {
+                "Swing both arms far behind your body during the crouch — the \
+                 backswing powers the jump."
+            }
+            Standard::E4 => {
+                "Keep your elbows bent while swinging; stiff, straight arms waste \
+                 the swing's momentum."
+            }
+            Standard::E5 => {
+                "Bend your knees in flight and on landing — stiff legs cut the \
+                 jump short and risk injury."
+            }
+            Standard::E6 => {
+                "Lean your trunk forward through the flight so your weight \
+                 carries past the landing point."
+            }
+            Standard::E7 => {
+                "Throw your arms forward as you land to keep your balance moving \
+                 ahead, not falling back."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Standard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}: {}", self.number(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standards_and_rules_are_bijective() {
+        for s in Standard::ALL {
+            assert_eq!(Standard::for_rule(s.rule()), s);
+            assert_eq!(s.rule().number(), s.number());
+        }
+        for r in RuleId::ALL {
+            assert_eq!(Standard::for_rule(r).rule(), r);
+        }
+    }
+
+    #[test]
+    fn stages_match_table_1() {
+        for s in &Standard::ALL[..4] {
+            assert_eq!(s.stage(), Stage::Initiation, "{s}");
+        }
+        for s in &Standard::ALL[4..] {
+            assert_eq!(s.stage(), Stage::AirLanding, "{s}");
+        }
+        // And each standard's stage matches its rule's stage.
+        for s in Standard::ALL {
+            assert_eq!(s.stage(), s.rule().rule().stage);
+        }
+    }
+
+    #[test]
+    fn descriptions_match_table_1() {
+        assert_eq!(Standard::E1.description(), "Knees bended");
+        assert_eq!(Standard::E5.description(), "Knees bended");
+        assert_eq!(Standard::E7.description(), "Arms swung forward after landing");
+    }
+
+    #[test]
+    fn every_standard_has_nonempty_advice() {
+        for s in Standard::ALL {
+            assert!(s.advice().len() > 20, "{s} advice too short");
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Standard::E2.to_string(), "E2: Neck bended forward");
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-frame rule traces.
+//!
+//! A [`crate::RuleResult`] reports one aggregated number per rule; a
+//! [`RuleTrace`] keeps the whole per-frame series of the measured
+//! quantity, which is what a coaching UI plots ("your knees reached 40°
+//! here, the standard wants 60°") and what the ASCII sparkline renders
+//! in terminal reports.
+
+use crate::rules::{Direction, Rule, RuleId};
+use serde::{Deserialize, Serialize};
+use slj_motion::{MotionError, PoseSeq};
+use std::fmt;
+
+/// The per-frame series of one rule's measured quantity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleTrace {
+    /// Which rule was traced.
+    pub rule: RuleId,
+    /// The measured quantity for every frame (whole clip, not just the
+    /// rule's stage window), degrees.
+    pub values: Vec<f64>,
+    /// The frame range of the rule's stage window.
+    pub window: (usize, usize),
+    /// The rule threshold.
+    pub threshold: f64,
+    /// Whether the rule is satisfied over its window.
+    pub satisfied: bool,
+}
+
+impl RuleTrace {
+    /// Traces a rule over a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when the stage window
+    /// is empty.
+    pub fn new(rule: &Rule, seq: &PoseSeq) -> Result<RuleTrace, MotionError> {
+        let result = rule.evaluate(seq)?;
+        let range = seq.stage_range(rule.stage);
+        Ok(RuleTrace {
+            rule: rule.id,
+            values: seq.poses().iter().map(|p| rule.measure(p)).collect(),
+            window: (range.start, range.end),
+            threshold: rule.threshold,
+            satisfied: result.satisfied,
+        })
+    }
+
+    /// Traces all seven rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when a stage window is
+    /// empty.
+    pub fn all(seq: &PoseSeq) -> Result<Vec<RuleTrace>, MotionError> {
+        RuleId::ALL
+            .iter()
+            .map(|id| RuleTrace::new(&id.rule(), seq))
+            .collect()
+    }
+
+    /// Renders the trace as a one-line ASCII sparkline. Frames inside
+    /// the rule's window use block characters scaled to the value range;
+    /// frames outside it are dimmed to `·`. The threshold column is not
+    /// drawn — the header carries it.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let lo = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-9);
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                if k < self.window.0 || k >= self.window.1 {
+                    '·'
+                } else {
+                    let idx = (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+                    LEVELS[idx.min(LEVELS.len() - 1)]
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RuleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rule = self.rule.rule();
+        let op = match rule.direction {
+            Direction::Above => '>',
+            Direction::Below => '<',
+        };
+        write!(
+            f,
+            "{} ({} {op} {:.0}°) {} [{}]",
+            self.rule,
+            rule.expression,
+            self.threshold,
+            self.sparkline(),
+            if self.satisfied { "ok" } else { "VIOLATED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::{synthesize_jump, JumpConfig, JumpFlaw};
+
+    #[test]
+    fn traces_cover_every_frame() {
+        let seq = synthesize_jump(&JumpConfig::default());
+        let traces = RuleTrace::all(&seq).unwrap();
+        assert_eq!(traces.len(), 7);
+        for t in &traces {
+            assert_eq!(t.values.len(), 20);
+            assert!(t.window.1 <= 20 && t.window.0 < t.window.1);
+            assert!(t.satisfied, "{t}");
+        }
+    }
+
+    #[test]
+    fn trace_agrees_with_rule_result() {
+        let seq = synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::ShallowCrouch));
+        for id in RuleId::ALL {
+            let rule = id.rule();
+            let trace = RuleTrace::new(&rule, &seq).unwrap();
+            let result = rule.evaluate(&seq).unwrap();
+            assert_eq!(trace.satisfied, result.satisfied, "{id}");
+            // The window extremum of the trace equals the observed value.
+            let window = &trace.values[trace.window.0..trace.window.1];
+            let extremum = match rule.direction {
+                Direction::Above => window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Direction::Below => window.iter().copied().fold(f64::INFINITY, f64::min),
+            };
+            assert!((extremum - result.observed).abs() < 1e-12, "{id}");
+        }
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let seq = synthesize_jump(&JumpConfig::default());
+        let t = RuleTrace::new(&RuleId::R1.rule(), &seq).unwrap();
+        let line = t.sparkline();
+        assert_eq!(line.chars().count(), 20);
+        // R1's window is the first half: the second half is dimmed.
+        assert!(line.chars().skip(10).all(|c| c == '·'), "{line}");
+        assert!(line.chars().take(10).all(|c| c != '·'), "{line}");
+    }
+
+    #[test]
+    fn display_mentions_rule_and_verdict() {
+        let seq = synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::NoNeckBend));
+        let t = RuleTrace::new(&RuleId::R2.rule(), &seq).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("R2") && s.contains("VIOLATED"), "{s}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let dims = slj_motion::BodyDims::default();
+        let seq = PoseSeq::new(vec![slj_motion::Pose::standing(&dims)], 10.0);
+        assert!(RuleTrace::new(&RuleId::R1.rule(), &seq).is_err());
+    }
+}

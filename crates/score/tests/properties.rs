@@ -1,0 +1,107 @@
+//! Property-based tests for the scoring crate: rule evaluation is total
+//! over arbitrary pose sequences, verdicts are consistent with the
+//! observed/threshold pair, and the card's aggregates add up.
+
+use proptest::prelude::*;
+use slj_motion::model::GENE_COUNT;
+use slj_motion::{Pose, PoseSeq};
+use slj_score::rules::{Direction, RuleId};
+use slj_score::{score_jump, Standard};
+
+fn pose_strategy() -> impl Strategy<Value = Pose> {
+    (
+        -2.0f64..3.0,
+        0.1f64..2.0,
+        proptest::collection::vec(0.0f64..360.0, 8),
+    )
+        .prop_map(|(x, y, angles)| {
+            let mut genes = [0.0; GENE_COUNT];
+            genes[0] = x;
+            genes[1] = y;
+            genes[2..].copy_from_slice(&angles);
+            Pose::from_genes(&genes).unwrap()
+        })
+}
+
+fn seq_strategy() -> impl Strategy<Value = PoseSeq> {
+    proptest::collection::vec(pose_strategy(), 2..30)
+        .prop_map(|poses| PoseSeq::new(poses, 10.0))
+}
+
+proptest! {
+    #[test]
+    fn rules_are_total_and_verdicts_consistent(seq in seq_strategy()) {
+        for id in RuleId::ALL {
+            let rule = id.rule();
+            let result = rule.evaluate(&seq).unwrap();
+            prop_assert!(result.observed.is_finite(), "{id}");
+            let expected = match rule.direction {
+                Direction::Above => result.observed > rule.threshold,
+                Direction::Below => result.observed < rule.threshold,
+            };
+            prop_assert_eq!(result.satisfied, expected, "{}", id);
+            prop_assert_eq!(result.rule, id);
+            prop_assert_eq!(result.threshold, rule.threshold);
+            prop_assert_eq!(result.stage, rule.stage);
+        }
+    }
+
+    #[test]
+    fn observed_value_is_an_extremum_of_the_window(seq in seq_strategy()) {
+        for id in RuleId::ALL {
+            let rule = id.rule();
+            let result = rule.evaluate(&seq).unwrap();
+            let window = seq.stage_poses(rule.stage);
+            let values: Vec<f64> = window.iter().map(|p| rule.measure(p)).collect();
+            let expected = match rule.direction {
+                Direction::Above => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Direction::Below => values.iter().copied().fold(f64::INFINITY, f64::min),
+            };
+            prop_assert!((result.observed - expected).abs() < 1e-12, "{}", id);
+            // The observed extremum is attained by some frame.
+            prop_assert!(values.iter().any(|v| (v - result.observed).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn card_aggregates_are_consistent(seq in seq_strategy()) {
+        let card = score_jump(&seq).unwrap();
+        prop_assert_eq!(card.results().len(), 7);
+        prop_assert_eq!(
+            card.score(),
+            card.results().iter().filter(|r| r.satisfied).count()
+        );
+        prop_assert_eq!(card.violations().len(), 7 - card.score());
+        prop_assert_eq!(card.advice().len(), card.violations().len());
+        prop_assert_eq!(card.is_perfect(), card.score() == 7);
+        // Advice standards match the violated rules one-to-one.
+        for ((standard, text), rule) in card.advice().iter().zip(card.violations()) {
+            prop_assert_eq!(standard.number(), rule.number());
+            prop_assert!(!text.is_empty());
+        }
+    }
+
+    #[test]
+    fn lean_rules_are_wrap_safe(backward_lean in 0.5f64..90.0) {
+        // Trunk/neck tilted slightly *behind* vertical must not satisfy
+        // the forward-lean rules no matter how the angle wraps.
+        let dims = slj_motion::BodyDims::default();
+        let pose = Pose::standing(&dims)
+            .with_angle(slj_motion::StickKind::Trunk, slj_motion::Angle::from_degrees(360.0 - backward_lean))
+            .with_angle(slj_motion::StickKind::Neck, slj_motion::Angle::from_degrees(360.0 - backward_lean));
+        let seq = PoseSeq::new(vec![pose; 4], 10.0);
+        let r6 = RuleId::R6.rule().evaluate(&seq).unwrap();
+        prop_assert!(!r6.satisfied, "backward lean {backward_lean} read as forward");
+        prop_assert!(r6.observed < 0.0);
+        let r2 = RuleId::R2.rule().evaluate(&seq).unwrap();
+        prop_assert!(!r2.satisfied);
+    }
+
+    #[test]
+    fn standards_rules_bijection_is_stable(_x in 0u8..1) {
+        for s in Standard::ALL {
+            prop_assert_eq!(Standard::for_rule(s.rule()), s);
+            prop_assert_eq!(s.stage(), s.rule().rule().stage);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Steps 3 & 4 — noise removal, small-spot removal and hole filling.
+//!
+//! Step 3 has two halves in the paper: first the per-pixel 8-neighbour
+//! vote ("if the number of neighbors that are not 0 is greater than the
+//! threshold, the pixel is kept"), then the removal of leftover
+//! "smaller spots" because the target is a single human. Step 4 fills
+//! holes, either with the paper's local 4-neighbour rule or (extension)
+//! with a border flood fill that also closes the wider holes the local
+//! rule provably cannot.
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::components::remove_small_components;
+use slj_imgproc::holes::{fill_enclosed_holes, fill_holes_iterated};
+use slj_imgproc::mask::Mask;
+use slj_imgproc::morph::neighbor_filter;
+
+/// Configuration of the Step-3 noise filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseFilterConfig {
+    /// A foreground pixel survives when strictly more than this many of
+    /// its 8 neighbours are foreground.
+    pub neighbor_threshold: usize,
+}
+
+impl Default for NoiseFilterConfig {
+    fn default() -> Self {
+        NoiseFilterConfig {
+            neighbor_threshold: 3,
+        }
+    }
+}
+
+/// Step 3a: the 8-neighbour noise filter.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseFilter {
+    config: NoiseFilterConfig,
+}
+
+impl NoiseFilter {
+    /// Creates a filter with the given configuration.
+    pub fn new(config: NoiseFilterConfig) -> Self {
+        NoiseFilter { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NoiseFilterConfig {
+        &self.config
+    }
+
+    /// Applies the neighbour vote.
+    pub fn apply(&self, mask: &Mask) -> Mask {
+        neighbor_filter(mask, self.config.neighbor_threshold)
+    }
+}
+
+/// Configuration of the Step-3b spot remover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpotRemoverConfig {
+    /// Connected components smaller than this survive only if they are
+    /// human-sized; everything below is clutter. The default suits the
+    /// default camera (a child is thousands of pixels; drifting spots
+    /// are tens).
+    pub min_area: usize,
+}
+
+impl Default for SpotRemoverConfig {
+    fn default() -> Self {
+        SpotRemoverConfig { min_area: 150 }
+    }
+}
+
+/// Step 3b: small-spot removal by connected-component area.
+#[derive(Debug, Clone, Default)]
+pub struct SpotRemover {
+    config: SpotRemoverConfig,
+}
+
+impl SpotRemover {
+    /// Creates a remover with the given configuration.
+    pub fn new(config: SpotRemoverConfig) -> Self {
+        SpotRemover { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SpotRemoverConfig {
+        &self.config
+    }
+
+    /// Removes components smaller than the configured area.
+    pub fn apply(&self, mask: &Mask) -> Mask {
+        remove_small_components(mask, self.config.min_area)
+    }
+}
+
+/// How Step 4 fills holes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoleFillMode {
+    /// The paper's rule — a background pixel whose four edge-neighbours
+    /// are all foreground becomes foreground — iterated to fixpoint
+    /// (bounded by the stored iteration cap). Only closes pinholes.
+    PaperRule {
+        /// Maximum number of rule applications.
+        max_iters: usize,
+    },
+    /// Extension: fill every background region not connected to the
+    /// image border (closes holes of any size).
+    FloodFill,
+}
+
+/// Step 4: hole filling.
+#[derive(Debug, Clone)]
+pub struct HoleFiller {
+    mode: HoleFillMode,
+}
+
+impl Default for HoleFiller {
+    fn default() -> Self {
+        HoleFiller {
+            mode: HoleFillMode::FloodFill,
+        }
+    }
+}
+
+impl HoleFiller {
+    /// Creates a filler with the given mode.
+    pub fn new(mode: HoleFillMode) -> Self {
+        HoleFiller { mode }
+    }
+
+    /// The paper's local rule, iterated at most 8 times.
+    pub fn paper() -> Self {
+        HoleFiller {
+            mode: HoleFillMode::PaperRule { max_iters: 8 },
+        }
+    }
+
+    /// The mode in use.
+    pub fn mode(&self) -> HoleFillMode {
+        self.mode
+    }
+
+    /// Fills holes according to the configured mode.
+    pub fn apply(&self, mask: &Mask) -> Mask {
+        match self.mode {
+            HoleFillMode::PaperRule { max_iters } => fill_holes_iterated(mask, max_iters).0,
+            HoleFillMode::FloodFill => fill_enclosed_holes(mask),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_ascii(art: &str) -> Mask {
+        let rows: Vec<&str> = art.trim().lines().map(str::trim).collect();
+        let h = rows.len();
+        let w = rows[0].len();
+        Mask::from_fn(w, h, |x, y| rows[y].as_bytes()[x] == b'#')
+    }
+
+    #[test]
+    fn noise_filter_strips_speckle_keeps_blob() {
+        let mut m = from_ascii(
+            "..........
+             .########.
+             .########.
+             .########.
+             .########.
+             ..........",
+        );
+        m.set(0, 0, true);
+        m.set(9, 5, true);
+        let out = NoiseFilter::default().apply(&m);
+        assert!(!out.get(0, 0));
+        assert!(!out.get(9, 5));
+        assert!(out.get(4, 3));
+    }
+
+    #[test]
+    fn noise_filter_threshold_selectivity() {
+        // A 3-wide line: interior pixels have 2 neighbours -> the default
+        // threshold 3 removes thin lines (they are noise streaks).
+        let m = from_ascii(
+            ".....
+             .###.
+             .....",
+        );
+        assert!(NoiseFilter::default().apply(&m).is_blank());
+        // With threshold 1 only the interior pixel (2 neighbours) of the
+        // 3-pixel line survives; the endpoints have a single neighbour.
+        assert_eq!(
+            NoiseFilter::new(NoiseFilterConfig {
+                neighbor_threshold: 1
+            })
+            .apply(&m)
+            .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spot_remover_keeps_only_big_components() {
+        let m = from_ascii(
+            "##........
+             ##........
+             ....######
+             ....######
+             ....######",
+        );
+        let out = SpotRemover::new(SpotRemoverConfig { min_area: 10 }).apply(&m);
+        assert_eq!(out.count(), 18);
+        assert!(!out.get(0, 0));
+    }
+
+    #[test]
+    fn hole_filler_paper_vs_flood() {
+        // A 2x2 hole: paper rule is stuck, flood fill closes it.
+        let m = from_ascii(
+            "######
+             #....#
+             #....#
+             ######",
+        );
+        let paper = HoleFiller::paper().apply(&m);
+        assert_eq!(paper, m);
+        let flood = HoleFiller::default().apply(&m);
+        assert_eq!(flood.count(), 24);
+    }
+
+    #[test]
+    fn hole_filler_paper_closes_pinhole() {
+        let m = from_ascii(
+            "###
+             #.#
+             ###",
+        );
+        assert_eq!(HoleFiller::paper().apply(&m).count(), 9);
+    }
+
+    #[test]
+    fn configs_expose_values() {
+        assert_eq!(NoiseFilter::default().config().neighbor_threshold, 3);
+        assert_eq!(SpotRemover::default().config().min_area, 150);
+        assert!(matches!(HoleFiller::default().mode(), HoleFillMode::FloodFill));
+        assert!(matches!(
+            HoleFiller::paper().mode(),
+            HoleFillMode::PaperRule { max_iters: 8 }
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the segmentation pipeline.
+
+use slj_imgproc::ImgError;
+use std::fmt;
+
+/// Error returned by fallible `slj-segment` operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SegmentError {
+    /// The input video has too few frames for the requested operation
+    /// (background estimation by change detection needs at least two).
+    TooFewFrames {
+        /// Frames present.
+        got: usize,
+        /// Frames required.
+        need: usize,
+    },
+    /// An underlying image operation failed (dimension mismatch etc.).
+    Image(ImgError),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::TooFewFrames { got, need } => {
+                write!(f, "video has {got} frames, need at least {need}")
+            }
+            SegmentError::Image(e) => write!(f, "image error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImgError> for SegmentError {
+    fn from(e: ImgError) -> Self {
+        SegmentError::Image(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SegmentError::TooFewFrames { got: 1, need: 2 };
+        assert!(e.to_string().contains('1'));
+        let e2 = SegmentError::from(ImgError::EmptyImage);
+        assert!(e2.to_string().contains("image error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = SegmentError::from(ImgError::EmptyImage);
+        assert!(e.source().is_some());
+        assert!(SegmentError::TooFewFrames { got: 0, need: 2 }.source().is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Step 2 — background subtraction.
+//!
+//! "The background is subtracted from each frame to obtain the foreground
+//! of each frame." A pixel is raw foreground when its colour differs from
+//! the background estimate by more than a threshold (L1 over the three
+//! channels). The raw mask is deliberately noisy — repairing it is the
+//! job of Steps 3–5.
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::Mask;
+use slj_video::Frame;
+
+/// Configuration of the subtraction step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForegroundConfig {
+    /// Minimum L1 colour distance from the background for a pixel to be
+    /// foreground. Must sit above sensor noise (≤ ~30 for the default
+    /// scene) and below object contrast.
+    pub threshold: u32,
+}
+
+impl Default for ForegroundConfig {
+    fn default() -> Self {
+        ForegroundConfig { threshold: 60 }
+    }
+}
+
+/// Background subtractor.
+#[derive(Debug, Clone, Default)]
+pub struct ForegroundExtractor {
+    config: ForegroundConfig,
+}
+
+impl ForegroundExtractor {
+    /// Creates an extractor with the given configuration.
+    pub fn new(config: ForegroundConfig) -> Self {
+        ForegroundExtractor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ForegroundConfig {
+        &self.config
+    }
+
+    /// Subtracts `background` from `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and background dimensions differ (they come
+    /// from the same pipeline, so a mismatch is a programming error).
+    pub fn extract(&self, frame: &Frame, background: &Frame) -> Mask {
+        assert_eq!(
+            frame.dims(),
+            background.dims(),
+            "frame and background must share dimensions"
+        );
+        Mask::from_fn(frame.width(), frame.height(), |x, y| {
+            frame.get(x, y).l1_distance(background.get(x, y)) > self.config.threshold
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imgproc::image::ImageBuffer;
+    use slj_imgproc::pixel::Rgb;
+
+    #[test]
+    fn detects_contrasting_object() {
+        let bg: Frame = ImageBuffer::filled(8, 8, Rgb::splat(100));
+        let mut frame = bg.clone();
+        for y in 2..5 {
+            for x in 2..5 {
+                frame.set(x, y, Rgb::splat(200));
+            }
+        }
+        let mask = ForegroundExtractor::default().extract(&frame, &bg);
+        assert_eq!(mask.count(), 9);
+        assert!(mask.get(3, 3));
+        assert!(!mask.get(0, 0));
+    }
+
+    #[test]
+    fn threshold_is_strict_inequality() {
+        let bg: Frame = ImageBuffer::filled(2, 1, Rgb::splat(100));
+        let mut frame = bg.clone();
+        frame.set(0, 0, Rgb::new(120, 120, 120)); // L1 = 60 == threshold
+        frame.set(1, 0, Rgb::new(121, 120, 120)); // L1 = 61 > threshold
+        let mask = ForegroundExtractor::new(ForegroundConfig { threshold: 60 })
+            .extract(&frame, &bg);
+        assert!(!mask.get(0, 0));
+        assert!(mask.get(1, 0));
+    }
+
+    #[test]
+    fn noise_below_threshold_ignored() {
+        let bg: Frame = ImageBuffer::filled(4, 4, Rgb::splat(100));
+        let frame: Frame = ImageBuffer::from_fn(4, 4, |x, y| {
+            Rgb::splat(100 + ((x * 3 + y) % 8) as u8)
+        });
+        let mask = ForegroundExtractor::default().extract(&frame, &bg);
+        assert!(mask.is_blank());
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_dims_panic() {
+        let bg: Frame = ImageBuffer::filled(2, 2, Rgb::BLACK);
+        let frame: Frame = ImageBuffer::filled(3, 2, Rgb::BLACK);
+        ForegroundExtractor::default().extract(&frame, &bg);
+    }
+
+    #[test]
+    fn shadow_strength_pixels_are_raw_foreground() {
+        // A shadow darkens the background well past the default
+        // threshold — that is why Step 5 exists.
+        let bg: Frame = ImageBuffer::filled(2, 1, Rgb::new(180, 170, 140));
+        let mut frame = bg.clone();
+        frame.set(0, 0, bg.get(0, 0).scale_brightness(0.62));
+        let mask = ForegroundExtractor::default().extract(&frame, &bg);
+        assert!(mask.get(0, 0));
+    }
+}

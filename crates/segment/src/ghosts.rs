@@ -1,0 +1,238 @@
+//! Ghost suppression (extension, after the paper's ref. \[3\]).
+//!
+//! Cucchiara et al. — the source of the paper's shadow detector —
+//! classify foreground blobs into moving objects, **ghosts** and
+//! shadows. A *ghost* is a blob caused by an error in the background
+//! model rather than by a real object: the classic case here is the
+//! paper's last-stable background rule burning the landed jumper into
+//! the estimate, which then haunts every frame as a static false blob at
+//! the landing spot.
+//!
+//! The discriminator is motion: a real object produces frame-to-frame
+//! change inside its blob; a ghost is pixel-for-pixel identical between
+//! frames. [`GhostDetector`] measures, per connected component, the
+//! fraction of pixels whose colour changed since the previous frame and
+//! removes components below a threshold.
+
+use crate::error::SegmentError;
+use serde::{Deserialize, Serialize};
+use slj_imgproc::components::label_components;
+use slj_imgproc::mask::Mask;
+use slj_imgproc::morph::Connectivity;
+use slj_video::Frame;
+
+/// Ghost-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GhostConfig {
+    /// Minimum per-pixel L1 colour change between consecutive frames
+    /// for a pixel to count as "moving". Must exceed sensor noise.
+    pub motion_threshold: u32,
+    /// A component survives only when at least this fraction of its
+    /// pixels are moving. Ghosts score near 0; a moving person scores
+    /// high at the silhouette boundary and on textured clothing.
+    pub min_moving_fraction: f64,
+}
+
+impl Default for GhostConfig {
+    fn default() -> Self {
+        GhostConfig {
+            motion_threshold: 24,
+            min_moving_fraction: 0.05,
+        }
+    }
+}
+
+/// Per-component ghost classification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GhostVerdict {
+    /// Component label in the mask's 8-connected labelling.
+    pub label: u32,
+    /// Component area, pixels.
+    pub area: usize,
+    /// Fraction of the component's pixels that moved since the previous
+    /// frame.
+    pub moving_fraction: f64,
+    /// Whether the component was classified as a ghost (and removed).
+    pub is_ghost: bool,
+}
+
+/// Motion-based ghost suppression.
+#[derive(Debug, Clone, Default)]
+pub struct GhostDetector {
+    config: GhostConfig,
+}
+
+impl GhostDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: GhostConfig) -> Self {
+        GhostDetector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GhostConfig {
+        &self.config
+    }
+
+    /// Classifies every 8-connected component of `mask` using the
+    /// change between `frame` and `previous_frame`, returning the
+    /// cleaned mask and the per-component verdicts.
+    ///
+    /// With no previous frame (the clip's first frame) nothing can be
+    /// classified and the mask passes through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentError::Image`] when frame and mask dimensions
+    /// disagree.
+    pub fn suppress(
+        &self,
+        mask: &Mask,
+        frame: &Frame,
+        previous_frame: Option<&Frame>,
+    ) -> Result<(Mask, Vec<GhostVerdict>), SegmentError> {
+        if frame.dims() != mask.dims() {
+            return Err(SegmentError::Image(slj_imgproc::ImgError::DimensionMismatch {
+                left: frame.dims(),
+                right: mask.dims(),
+            }));
+        }
+        let Some(prev) = previous_frame else {
+            return Ok((mask.clone(), Vec::new()));
+        };
+        if prev.dims() != frame.dims() {
+            return Err(SegmentError::Image(slj_imgproc::ImgError::DimensionMismatch {
+                left: prev.dims(),
+                right: frame.dims(),
+            }));
+        }
+
+        let labeling = label_components(mask, Connectivity::Eight);
+        let n = labeling.len();
+        let mut moving = vec![0usize; n + 1];
+        let mut total = vec![0usize; n + 1];
+        for (x, y) in mask.foreground_pixels() {
+            let l = labeling.label_at(x, y) as usize;
+            total[l] += 1;
+            if frame.get(x, y).l1_distance(prev.get(x, y)) > self.config.motion_threshold {
+                moving[l] += 1;
+            }
+        }
+
+        let mut verdicts = Vec::with_capacity(n);
+        let mut is_ghost = vec![false; n + 1];
+        for c in labeling.components() {
+            let l = c.label as usize;
+            let fraction = if total[l] == 0 {
+                0.0
+            } else {
+                moving[l] as f64 / total[l] as f64
+            };
+            let ghost = fraction < self.config.min_moving_fraction;
+            is_ghost[l] = ghost;
+            verdicts.push(GhostVerdict {
+                label: c.label,
+                area: c.area,
+                moving_fraction: fraction,
+                is_ghost: ghost,
+            });
+        }
+
+        let cleaned = Mask::from_fn(mask.width(), mask.height(), |x, y| {
+            mask.get(x, y) && !is_ghost[labeling.label_at(x, y) as usize]
+        });
+        Ok((cleaned, verdicts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imgproc::image::ImageBuffer;
+    use slj_imgproc::pixel::Rgb;
+
+    /// Two frames: a static "ghost" square (identical pixels in both)
+    /// and a "walker" square whose content shifts between frames.
+    fn scene() -> (Frame, Frame, Mask) {
+        let base = |x: usize, y: usize| Rgb::splat(((x * 7 + y * 13) % 200) as u8);
+        let prev: Frame = ImageBuffer::from_fn(24, 12, |x, y| base(x, y));
+        let cur: Frame = ImageBuffer::from_fn(24, 12, |x, y| {
+            // The walker region (x 14..20) shows shifted content now.
+            if (14..20).contains(&x) && (3..9).contains(&y) {
+                Rgb::splat(255 - base(x, y).r)
+            } else {
+                base(x, y)
+            }
+        });
+        // Foreground mask covers both the ghost square and the walker.
+        let mask = Mask::from_fn(24, 12, |x, y| {
+            ((2..8).contains(&x) || (14..20).contains(&x)) && (3..9).contains(&y)
+        });
+        (prev, cur, mask)
+    }
+
+    #[test]
+    fn static_blob_is_a_ghost_moving_blob_survives() {
+        let (prev, cur, mask) = scene();
+        let det = GhostDetector::default();
+        let (cleaned, verdicts) = det.suppress(&mask, &cur, Some(&prev)).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        // The ghost square (x 2..8) is gone, the walker remains.
+        assert!(!cleaned.get(4, 5));
+        assert!(cleaned.get(16, 5));
+        assert_eq!(cleaned.count(), 36);
+        let ghost = verdicts.iter().find(|v| v.is_ghost).unwrap();
+        assert!(ghost.moving_fraction < 0.01);
+        let walker = verdicts.iter().find(|v| !v.is_ghost).unwrap();
+        assert!(walker.moving_fraction > 0.9);
+    }
+
+    #[test]
+    fn first_frame_passes_through() {
+        let (_, cur, mask) = scene();
+        let det = GhostDetector::default();
+        let (cleaned, verdicts) = det.suppress(&mask, &cur, None).unwrap();
+        assert_eq!(cleaned, mask);
+        assert!(verdicts.is_empty());
+    }
+
+    #[test]
+    fn motion_threshold_gates_sensitivity() {
+        let (prev, cur, mask) = scene();
+        // Absurdly high threshold: nothing counts as moving, everything
+        // is a ghost.
+        let det = GhostDetector::new(GhostConfig {
+            motion_threshold: 10_000,
+            min_moving_fraction: 0.05,
+        });
+        let (cleaned, _) = det.suppress(&mask, &cur, Some(&prev)).unwrap();
+        assert!(cleaned.is_blank());
+        // Zero fraction required: nothing is ever a ghost.
+        let det = GhostDetector::new(GhostConfig {
+            motion_threshold: 24,
+            min_moving_fraction: 0.0,
+        });
+        let (cleaned, _) = det.suppress(&mask, &cur, Some(&prev)).unwrap();
+        assert_eq!(cleaned, mask);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let (prev, cur, _) = scene();
+        let det = GhostDetector::default();
+        let wrong = Mask::new(5, 5);
+        assert!(det.suppress(&wrong, &cur, Some(&prev)).is_err());
+        let small: Frame = ImageBuffer::filled(5, 5, Rgb::BLACK);
+        let mask = Mask::new(24, 12);
+        assert!(det.suppress(&mask, &cur, Some(&small)).is_err());
+    }
+
+    #[test]
+    fn blank_mask_yields_blank_and_no_verdicts() {
+        let (prev, cur, _) = scene();
+        let det = GhostDetector::default();
+        let blank = Mask::new(24, 12);
+        let (cleaned, verdicts) = det.suppress(&blank, &cur, Some(&prev)).unwrap();
+        assert!(cleaned.is_blank());
+        assert!(verdicts.is_empty());
+    }
+}

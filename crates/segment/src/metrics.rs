@@ -1,0 +1,151 @@
+//! Per-stage accuracy against ground truth.
+//!
+//! The synthetic substrate provides the exact silhouette per frame, so
+//! each of the paper's qualitative panels (Fig. 2(a)–(d), Fig. 3) becomes
+//! a row of numbers: IoU / precision / recall / F1 after each stage.
+
+use crate::error::SegmentError;
+use crate::pipeline::SegmentationResult;
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::{Mask, MaskMetrics};
+
+/// Accuracy of every pipeline stage for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// After Step 2 (raw subtraction) — Fig. 2(a).
+    pub raw: MaskMetrics,
+    /// After Step 3a (noise filter) — Fig. 2(b).
+    pub denoised: MaskMetrics,
+    /// After Step 3b (spot removal) — Fig. 2(c).
+    pub despotted: MaskMetrics,
+    /// After Step 4 (hole fill) — Fig. 2(d).
+    pub filled: MaskMetrics,
+    /// After Step 5 (shadow removal) — Fig. 3 / final.
+    pub final_mask: MaskMetrics,
+}
+
+/// Evaluates one frame's stages against its true silhouette.
+///
+/// # Errors
+///
+/// Returns [`SegmentError::Image`] when mask dimensions disagree.
+pub fn evaluate_frame(
+    stages: &crate::pipeline::FrameStages,
+    truth: &Mask,
+) -> Result<StageMetrics, SegmentError> {
+    Ok(StageMetrics {
+        raw: stages.raw.metrics_against(truth)?,
+        denoised: stages.denoised.metrics_against(truth)?,
+        despotted: stages.despotted.metrics_against(truth)?,
+        filled: stages.filled.metrics_against(truth)?,
+        final_mask: stages.final_mask.metrics_against(truth)?,
+    })
+}
+
+/// Mean per-stage metrics over a clip (micro-averaged: confusion counts
+/// are summed before computing rates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClipMetrics {
+    /// Summed counts per stage.
+    pub stages: StageMetrics,
+    /// Number of frames aggregated.
+    pub frames: usize,
+}
+
+fn add(a: MaskMetrics, b: MaskMetrics) -> MaskMetrics {
+    MaskMetrics {
+        tp: a.tp + b.tp,
+        fp: a.fp + b.fp,
+        fn_: a.fn_ + b.fn_,
+        tn: a.tn + b.tn,
+    }
+}
+
+/// Evaluates a whole clip, optionally skipping `skip_edges` frames at
+/// each end (background estimation is weakest there).
+///
+/// # Errors
+///
+/// Returns [`SegmentError::TooFewFrames`] when no frames remain after
+/// skipping, and [`SegmentError::Image`] on dimension mismatches.
+pub fn evaluate_clip(
+    result: &SegmentationResult,
+    truths: &[Mask],
+    skip_edges: usize,
+) -> Result<ClipMetrics, SegmentError> {
+    let n = result.frames.len().min(truths.len());
+    let lo = skip_edges;
+    let hi = n.saturating_sub(skip_edges);
+    if lo >= hi {
+        return Err(SegmentError::TooFewFrames { got: n, need: 2 * skip_edges + 1 });
+    }
+    let zero = MaskMetrics { tp: 0, fp: 0, fn_: 0, tn: 0 };
+    let mut acc = StageMetrics {
+        raw: zero,
+        denoised: zero,
+        despotted: zero,
+        filled: zero,
+        final_mask: zero,
+    };
+    for k in lo..hi {
+        let m = evaluate_frame(&result.frames[k], &truths[k])?;
+        acc.raw = add(acc.raw, m.raw);
+        acc.denoised = add(acc.denoised, m.denoised);
+        acc.despotted = add(acc.despotted, m.despotted);
+        acc.filled = add(acc.filled, m.filled);
+        acc.final_mask = add(acc.final_mask, m.final_mask);
+    }
+    Ok(ClipMetrics {
+        stages: acc,
+        frames: hi - lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineConfig, SegmentPipeline};
+    use slj_motion::JumpConfig;
+    use slj_video::{SceneConfig, SyntheticJump};
+
+    #[test]
+    fn clip_metrics_aggregate_counts() {
+        let jump = JumpConfig {
+            frames: 8,
+            ..JumpConfig::default()
+        };
+        let j = SyntheticJump::generate(&SceneConfig::clean(), &jump, 1);
+        let result = SegmentPipeline::new(PipelineConfig::default())
+            .run(&j.video)
+            .unwrap();
+        let clip = evaluate_clip(&result, &j.silhouettes, 1).unwrap();
+        assert_eq!(clip.frames, 6);
+        assert!(clip.stages.final_mask.iou() > 0.8, "{}", clip.stages.final_mask);
+        // Total pixel count per stage must equal frames * pixels.
+        let m = clip.stages.raw;
+        assert_eq!(m.tp + m.fp + m.fn_ + m.tn, 6 * 320 * 240);
+    }
+
+    #[test]
+    fn skipping_everything_errors() {
+        let jump = JumpConfig {
+            frames: 4,
+            ..JumpConfig::default()
+        };
+        let j = SyntheticJump::generate(&SceneConfig::clean(), &jump, 2);
+        let result = SegmentPipeline::default().run(&j.video).unwrap();
+        assert!(evaluate_clip(&result, &j.silhouettes, 2).is_err());
+    }
+
+    #[test]
+    fn evaluate_frame_catches_dim_mismatch() {
+        let jump = JumpConfig {
+            frames: 4,
+            ..JumpConfig::default()
+        };
+        let j = SyntheticJump::generate(&SceneConfig::clean(), &jump, 3);
+        let result = SegmentPipeline::default().run(&j.video).unwrap();
+        let wrong = Mask::new(2, 2);
+        assert!(evaluate_frame(&result.frames[0], &wrong).is_err());
+    }
+}

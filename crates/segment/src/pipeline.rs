@@ -1,0 +1,408 @@
+//! The composed five-step pipeline.
+//!
+//! [`SegmentPipeline::run`] estimates the background once, then processes
+//! every frame through subtraction → noise filter → spot removal → hole
+//! fill → shadow removal, keeping every intermediate mask (the paper's
+//! Figure 2 panels (a)–(d) and Figure 3) in a [`FrameStages`] so
+//! experiments can measure each stage's contribution.
+
+use crate::background::{BackgroundConfig, BackgroundEstimator, EstimatedBackground};
+use crate::cleanup::{
+    HoleFillMode, HoleFiller, NoiseFilter, NoiseFilterConfig, SpotRemover, SpotRemoverConfig,
+};
+use crate::error::SegmentError;
+use crate::foreground::{ForegroundConfig, ForegroundExtractor};
+use crate::ghosts::{GhostConfig, GhostDetector, GhostVerdict};
+use crate::shadow::{ShadowDetector, ShadowParams};
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::Mask;
+use slj_video::Video;
+
+/// Optional spatial smoothing applied to every frame before Step 1
+/// (extension): knocks down per-pixel sensor noise ahead of the
+/// subtraction threshold. Worth enabling only under *heavy* noise —
+/// smoothing also smears a false-positive halo around the body
+/// boundary, which outweighs the speckle suppression when the sensor is
+/// reasonably clean (measured in `pipeline::tests`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Presmooth {
+    /// No smoothing (the paper's pipeline).
+    #[default]
+    None,
+    /// Box blur with the given radius (window `2r+1`).
+    Box {
+        /// Blur radius in pixels.
+        radius: usize,
+    },
+    /// 3×3 per-channel median filter.
+    Median,
+}
+
+impl Presmooth {
+    fn apply(&self, frame: &slj_video::Frame) -> slj_video::Frame {
+        match self {
+            Presmooth::None => frame.clone(),
+            Presmooth::Box { radius } => slj_imgproc::filter::box_blur(frame, *radius),
+            Presmooth::Median => slj_imgproc::filter::median_filter(frame),
+        }
+    }
+}
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Step 0 (extension): per-frame spatial smoothing.
+    pub presmooth: Presmooth,
+    /// Step 1: background estimation.
+    pub background: BackgroundConfig,
+    /// Step 2: subtraction threshold.
+    pub foreground: ForegroundConfig,
+    /// Step 3a: neighbour-vote noise filter.
+    pub noise: NoiseFilterConfig,
+    /// Step 3b: small-spot removal.
+    pub spots: SpotRemoverConfig,
+    /// Step 3c (extension, after ref. \[3\]): motion-based ghost
+    /// suppression; `None` disables the stage.
+    pub ghosts: Option<GhostConfig>,
+    /// Step 4: hole filling.
+    pub holes: HoleFillMode,
+    /// Step 5: HSV shadow removal; `None` disables the step.
+    pub shadow: Option<ShadowParams>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            presmooth: Presmooth::None,
+            background: BackgroundConfig::default(),
+            foreground: ForegroundConfig::default(),
+            noise: NoiseFilterConfig::default(),
+            spots: SpotRemoverConfig::default(),
+            ghosts: None,
+            holes: HoleFillMode::FloodFill,
+            shadow: Some(ShadowParams::default()),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The pipeline exactly as the paper describes it: last-stable
+    /// background, the local hole-fill rule, shadow removal on, no
+    /// ghost suppression.
+    pub fn paper() -> Self {
+        PipelineConfig {
+            background: BackgroundConfig::paper(),
+            holes: HoleFillMode::PaperRule { max_iters: 8 },
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// The most robust configuration: median background *and* ghost
+    /// suppression (belt and braces against background-model errors),
+    /// flood-fill holes, shadow removal.
+    pub fn robust() -> Self {
+        PipelineConfig {
+            ghosts: Some(GhostConfig::default()),
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Every intermediate of one frame's segmentation, named after the
+/// paper's Figure 2/3 panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameStages {
+    /// Fig. 2(a): raw background subtraction.
+    pub raw: Mask,
+    /// Fig. 2(b): after the 8-neighbour noise filter.
+    pub denoised: Mask,
+    /// Fig. 2(c): after small-spot removal.
+    pub despotted: Mask,
+    /// After ghost suppression (equals `despotted` when the stage is
+    /// disabled or on the first frame).
+    pub deghosted: Mask,
+    /// Per-component ghost verdicts (empty when the stage is disabled).
+    pub ghost_verdicts: Vec<GhostVerdict>,
+    /// Fig. 2(d): after hole filling.
+    pub filled: Mask,
+    /// Fig. 3: the pixels classified as shadow (blank when Step 5 is
+    /// disabled).
+    pub shadow: Mask,
+    /// The final silhouette: `filled` minus `shadow`.
+    pub final_mask: Mask,
+}
+
+/// The output of the pipeline over a clip.
+#[derive(Debug, Clone)]
+pub struct SegmentationResult {
+    /// The Step-1 background estimate.
+    pub background: EstimatedBackground,
+    /// Per-frame intermediates, in frame order.
+    pub frames: Vec<FrameStages>,
+}
+
+/// The composed segmentation pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentPipeline {
+    config: PipelineConfig,
+}
+
+impl SegmentPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        SegmentPipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs all five steps over a clip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentError::TooFewFrames`] for clips with fewer than
+    /// two frames (background estimation needs a frame pair).
+    pub fn run(&self, video: &Video) -> Result<SegmentationResult, SegmentError> {
+        // Step 0 (optional): smooth every frame before anything else.
+        let video = match self.config.presmooth {
+            Presmooth::None => video.clone(),
+            mode => Video::new(
+                video.iter().map(|f| mode.apply(f)).collect(),
+                video.fps(),
+            ),
+        };
+        let video = &video;
+        let background =
+            BackgroundEstimator::new(self.config.background).estimate(video)?;
+        let extractor = ForegroundExtractor::new(self.config.foreground);
+        let noise = NoiseFilter::new(self.config.noise);
+        let spots = SpotRemover::new(self.config.spots);
+        let holes = HoleFiller::new(self.config.holes);
+        let shadow_detector = self.config.shadow.map(ShadowDetector::new);
+        let ghost_detector = self.config.ghosts.map(GhostDetector::new);
+
+        let mut frames = Vec::with_capacity(video.len());
+        let mut previous_frame: Option<&slj_video::Frame> = None;
+        for frame in video.iter() {
+            let raw = extractor.extract(frame, &background.image);
+            let denoised = noise.apply(&raw);
+            let despotted = spots.apply(&denoised);
+            let (deghosted, ghost_verdicts) = match &ghost_detector {
+                Some(det) => det.suppress(&despotted, frame, previous_frame)?,
+                None => (despotted.clone(), Vec::new()),
+            };
+            let filled = holes.apply(&deghosted);
+            let (final_mask, shadow) = match &shadow_detector {
+                Some(det) => det.remove_shadows(frame, &background.image, &filled),
+                None => (filled.clone(), Mask::new(filled.width(), filled.height())),
+            };
+            frames.push(FrameStages {
+                raw,
+                denoised,
+                despotted,
+                deghosted,
+                ghost_verdicts,
+                filled,
+                shadow,
+                final_mask,
+            });
+            previous_frame = Some(frame);
+        }
+        Ok(SegmentationResult { background, frames })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::JumpConfig;
+    use slj_video::{SceneConfig, SyntheticJump};
+
+    fn short_jump(scene: &SceneConfig, seed: u64) -> SyntheticJump {
+        // A smaller scene keeps debug-build tests fast.
+        let jump = JumpConfig {
+            frames: 12,
+            ..JumpConfig::default()
+        };
+        SyntheticJump::generate(scene, &jump, seed)
+    }
+
+    #[test]
+    fn clean_scene_segments_nearly_perfectly() {
+        let j = short_jump(&SceneConfig::clean(), 1);
+        let result = SegmentPipeline::default().run(&j.video).unwrap();
+        // Skip the first and last frames (background estimation edge
+        // effects live there).
+        for k in 2..j.len() - 2 {
+            let m = result.frames[k]
+                .final_mask
+                .metrics_against(&j.silhouettes[k])
+                .unwrap();
+            assert!(m.iou() > 0.85, "frame {k}: {m}");
+        }
+    }
+
+    #[test]
+    fn noisy_scene_stages_monotonically_improve() {
+        let j = short_jump(&SceneConfig::default(), 2);
+        let result = SegmentPipeline::default().run(&j.video).unwrap();
+        let k = j.len() / 2;
+        let gt = &j.silhouettes[k];
+        let s = &result.frames[k];
+        let raw = s.raw.metrics_against(gt).unwrap();
+        let denoised = s.denoised.metrics_against(gt).unwrap();
+        let despotted = s.despotted.metrics_against(gt).unwrap();
+        let final_m = s.final_mask.metrics_against(gt).unwrap();
+        // Each repair stage should not hurt, and the final mask must be
+        // clearly better than the raw subtraction.
+        assert!(denoised.precision() >= raw.precision(), "noise filter");
+        assert!(despotted.precision() >= denoised.precision(), "spot removal");
+        assert!(final_m.iou() > raw.iou(), "pipeline must improve IoU");
+        assert!(final_m.iou() > 0.6, "final IoU {}", final_m.iou());
+    }
+
+    #[test]
+    fn shadow_step_removes_shadow_pixels() {
+        let j = short_jump(&SceneConfig::default(), 3);
+        let with = SegmentPipeline::default().run(&j.video).unwrap();
+        let without = SegmentPipeline::new(PipelineConfig {
+            shadow: None,
+            ..PipelineConfig::default()
+        })
+        .run(&j.video)
+        .unwrap();
+        let k = j.len() / 2;
+        let gt = &j.silhouettes[k];
+        let iou_with = with.frames[k].final_mask.iou(gt).unwrap();
+        let iou_without = without.frames[k].final_mask.iou(gt).unwrap();
+        assert!(
+            iou_with > iou_without,
+            "shadow removal should help: {iou_with} vs {iou_without}"
+        );
+        assert!(!with.frames[k].shadow.is_blank());
+        assert!(without.frames[k].shadow.is_blank());
+    }
+
+    #[test]
+    fn paper_config_also_works() {
+        let j = short_jump(&SceneConfig::default(), 4);
+        let result = SegmentPipeline::new(PipelineConfig::paper())
+            .run(&j.video)
+            .unwrap();
+        let k = j.len() / 2;
+        let iou = result.frames[k].final_mask.iou(&j.silhouettes[k]).unwrap();
+        assert!(iou > 0.5, "paper pipeline IoU {iou}");
+    }
+
+    #[test]
+    fn too_short_clip_errors() {
+        let j = SyntheticJump::generate(
+            &SceneConfig::clean(),
+            &JumpConfig {
+                frames: 2,
+                ..JumpConfig::default()
+            },
+            5,
+        );
+        let one = slj_video::Video::new(vec![j.video.frames()[0].clone()], 10.0);
+        assert!(matches!(
+            SegmentPipeline::default().run(&one),
+            Err(SegmentError::TooFewFrames { .. })
+        ));
+    }
+
+    #[test]
+    fn ghost_suppression_rescues_last_stable_background() {
+        // The last-stable background burns the landed jumper in, which
+        // haunts every frame as a static blob; ghost suppression removes
+        // exactly that blob.
+        use crate::background::{BackgroundConfig, UpdateMode};
+        let j = short_jump(&SceneConfig::default(), 7);
+        let base = PipelineConfig {
+            background: BackgroundConfig {
+                mode: UpdateMode::LastStable,
+                ..BackgroundConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let with_ghosts = PipelineConfig {
+            ghosts: Some(crate::ghosts::GhostConfig {
+                motion_threshold: 40,
+                min_moving_fraction: 0.04,
+            }),
+            ..base.clone()
+        };
+        let plain = SegmentPipeline::new(base).run(&j.video).unwrap();
+        let ghosted = SegmentPipeline::new(with_ghosts).run(&j.video).unwrap();
+        // Compare mid-clip precision (edges are weak for both).
+        let k = j.len() / 2;
+        let gt = &j.silhouettes[k];
+        let p_plain = plain.frames[k].final_mask.metrics_against(gt).unwrap();
+        let p_ghost = ghosted.frames[k].final_mask.metrics_against(gt).unwrap();
+        assert!(
+            p_ghost.precision() > p_plain.precision() + 0.1,
+            "ghost suppression should remove the burnt-in blob: {} vs {}",
+            p_ghost,
+            p_plain
+        );
+        // And some component was actually classified as a ghost.
+        assert!(ghosted.frames[k].ghost_verdicts.iter().any(|v| v.is_ghost));
+    }
+
+    #[test]
+    fn presmoothing_rescues_heavy_noise() {
+        // Under moderate noise, smoothing is a net negative (it smears a
+        // false-positive halo around the body boundary); its value is
+        // under *heavy* sensor noise, where speckle floods the raw mask.
+        let mut scene = SceneConfig::default();
+        scene.noise.pixel_jitter = 16; // L1 diffs up to 96 > threshold 60
+        let j = short_jump(&scene, 9);
+        let plain = SegmentPipeline::new(PipelineConfig::default())
+            .run(&j.video)
+            .unwrap();
+        let smoothed = SegmentPipeline::new(PipelineConfig {
+            presmooth: Presmooth::Box { radius: 1 },
+            ..PipelineConfig::default()
+        })
+        .run(&j.video)
+        .unwrap();
+        let k = j.len() / 2;
+        let gt = &j.silhouettes[k];
+        let a = plain.frames[k].raw.metrics_against(gt).unwrap();
+        let b = smoothed.frames[k].raw.metrics_against(gt).unwrap();
+        assert!(
+            b.precision() > a.precision() + 0.05,
+            "smoothing should kill speckle: {} vs {}",
+            b,
+            a
+        );
+        // Median mode also runs end to end.
+        let med = SegmentPipeline::new(PipelineConfig {
+            presmooth: Presmooth::Median,
+            ..PipelineConfig::default()
+        })
+        .run(&j.video)
+        .unwrap();
+        assert!(med.frames[k].final_mask.iou(gt).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn robust_config_enables_ghosts() {
+        assert!(PipelineConfig::robust().ghosts.is_some());
+        assert!(PipelineConfig::default().ghosts.is_none());
+        assert!(PipelineConfig::paper().ghosts.is_none());
+    }
+
+    #[test]
+    fn result_has_one_stage_set_per_frame() {
+        let j = short_jump(&SceneConfig::clean(), 6);
+        let result = SegmentPipeline::default().run(&j.video).unwrap();
+        assert_eq!(result.frames.len(), j.len());
+        for s in &result.frames {
+            assert_eq!(s.raw.dims(), j.video.dims());
+            assert_eq!(s.final_mask.dims(), j.video.dims());
+        }
+    }
+}

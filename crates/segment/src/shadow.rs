@@ -1,0 +1,234 @@
+//! Step 5 — HSV shadow detection and removal (Eqs. 1–2).
+//!
+//! Following Cucchiara et al. (the paper's refs. \[3\], \[4\]): a foreground
+//! pixel `p` at frame `k` is marked shadow when, comparing the frame
+//! `F_k(p)` with the background `B_k(p)` in HSV space,
+//!
+//! ```text
+//! SM_k(p) = 1  iff  α ≤ F_k(p).V / B_k(p).V ≤ β
+//!               and  F_k(p).S − B_k(p).S ≤ τ_S
+//!               and  DH_k(p) ≤ τ_H
+//! ```
+//!
+//! with the angular hue distance of Eq. 2,
+//! `DH_k(p) = min(|F.H − B.H|, 360 − |F.H − B.H|)`.
+//!
+//! A cast shadow darkens the surface (value ratio inside `[α, β]`),
+//! changes saturation only mildly and barely rotates hue — whereas a
+//! person's clothing generally violates at least one of the three
+//! conditions. The parameters "are determined via experiments" in the
+//! paper; the Fig. 3 experiment sweeps them.
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::Mask;
+use slj_imgproc::pixel::Hsv;
+use slj_video::Frame;
+
+/// The four parameters of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowParams {
+    /// Lower bound α of the value ratio `F.V / B.V` (excludes pitch-dark
+    /// occluders).
+    pub alpha: f64,
+    /// Upper bound β of the value ratio (excludes pixels as bright as
+    /// the background, i.e. not darkened at all).
+    pub beta: f64,
+    /// Maximum saturation *difference* `F.S − B.S` (absolute value per
+    /// the paper's prose; shadows change saturation little).
+    pub tau_s: f64,
+    /// Maximum angular hue distance `DH`, degrees (shadows preserve
+    /// hue).
+    pub tau_h: f64,
+}
+
+impl Default for ShadowParams {
+    /// Values in the ranges Cucchiara et al. report effective, tuned on
+    /// the default synthetic scene: shadow strength 0.62 sits centrally
+    /// in `[α, β]`.
+    fn default() -> Self {
+        ShadowParams {
+            alpha: 0.40,
+            beta: 0.90,
+            tau_s: 0.15,
+            tau_h: 60.0,
+        }
+    }
+}
+
+/// The HSV shadow detector of Eqs. 1–2.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowDetector {
+    params: ShadowParams,
+}
+
+impl ShadowDetector {
+    /// Creates a detector with the given parameters.
+    pub fn new(params: ShadowParams) -> Self {
+        ShadowDetector { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ShadowParams {
+        &self.params
+    }
+
+    /// Evaluates Eq. 1 for a single pixel pair.
+    pub fn is_shadow_pixel(&self, frame_px: Hsv, background_px: Hsv) -> bool {
+        let p = &self.params;
+        let bv = background_px.v;
+        if bv <= f64::EPSILON {
+            // Black background cannot be darkened further; treat as
+            // non-shadow.
+            return false;
+        }
+        let ratio = frame_px.v / bv;
+        if !(p.alpha..=p.beta).contains(&ratio) {
+            return false;
+        }
+        if (frame_px.s - background_px.s).abs() > p.tau_s {
+            return false;
+        }
+        frame_px.hue_distance(background_px) <= p.tau_h
+    }
+
+    /// Computes the shadow mask `SM_k` over the pixels of `foreground`
+    /// (Eq. 1 is only applied "to the extracted objects").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame, background, and mask dimensions disagree.
+    pub fn shadow_mask(&self, frame: &Frame, background: &Frame, foreground: &Mask) -> Mask {
+        assert_eq!(frame.dims(), background.dims(), "frame vs background dims");
+        assert_eq!(
+            frame.dims(),
+            foreground.dims(),
+            "frame vs foreground mask dims"
+        );
+        Mask::from_fn(foreground.width(), foreground.height(), |x, y| {
+            foreground.get(x, y)
+                && self.is_shadow_pixel(frame.get(x, y).to_hsv(), background.get(x, y).to_hsv())
+        })
+    }
+
+    /// Removes detected shadow pixels from the foreground, returning
+    /// `(cleaned_foreground, shadow_mask)`.
+    pub fn remove_shadows(
+        &self,
+        frame: &Frame,
+        background: &Frame,
+        foreground: &Mask,
+    ) -> (Mask, Mask) {
+        let shadow = self.shadow_mask(frame, background, foreground);
+        let cleaned = foreground
+            .difference(&shadow)
+            .expect("shadow mask has foreground dimensions by construction");
+        (cleaned, shadow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imgproc::image::ImageBuffer;
+    use slj_imgproc::pixel::Rgb;
+
+    fn det() -> ShadowDetector {
+        ShadowDetector::default()
+    }
+
+    #[test]
+    fn darkened_background_is_shadow() {
+        let bg = Rgb::new(180, 170, 140).to_hsv();
+        let sh = Rgb::new(180, 170, 140).scale_brightness(0.62).to_hsv();
+        assert!(det().is_shadow_pixel(sh, bg));
+    }
+
+    #[test]
+    fn unchanged_pixel_is_not_shadow() {
+        let bg = Rgb::new(180, 170, 140).to_hsv();
+        assert!(!det().is_shadow_pixel(bg, bg)); // ratio 1.0 > beta
+    }
+
+    #[test]
+    fn too_dark_pixel_is_not_shadow() {
+        let bg = Rgb::new(180, 170, 140).to_hsv();
+        let occluder = Rgb::new(20, 19, 16).to_hsv(); // ratio ~0.11 < alpha
+        assert!(!det().is_shadow_pixel(occluder, bg));
+    }
+
+    #[test]
+    fn hue_rotated_pixel_is_not_shadow() {
+        // Blue shirt over yellow-ish ground: value ratio can be in range
+        // but the hue flips by > tau_h.
+        let bg = Rgb::new(196, 186, 150).to_hsv();
+        let shirt = Rgb::new(60, 90, 160).to_hsv();
+        assert!(!det().is_shadow_pixel(shirt, bg));
+        assert!(bg.hue_distance(shirt) > det().params().tau_h);
+    }
+
+    #[test]
+    fn saturation_jump_is_not_shadow() {
+        let bg = Rgb::splat(150).to_hsv(); // s = 0
+        let vivid = Hsv::new(bg.h, 0.5, bg.v * 0.6); // darkened but vivid
+        assert!(!det().is_shadow_pixel(vivid, bg));
+    }
+
+    #[test]
+    fn black_background_never_shadow() {
+        let bg = Rgb::BLACK.to_hsv();
+        let any = Rgb::splat(10).to_hsv();
+        assert!(!det().is_shadow_pixel(any, bg));
+    }
+
+    #[test]
+    fn alpha_beta_bounds_are_inclusive() {
+        let p = ShadowParams {
+            alpha: 0.5,
+            beta: 0.9,
+            tau_s: 1.0,
+            tau_h: 180.0,
+        };
+        let d = ShadowDetector::new(p);
+        let bg = Hsv::new(0.0, 0.0, 1.0);
+        assert!(d.is_shadow_pixel(Hsv::new(0.0, 0.0, 0.5), bg));
+        assert!(d.is_shadow_pixel(Hsv::new(0.0, 0.0, 0.9), bg));
+        assert!(!d.is_shadow_pixel(Hsv::new(0.0, 0.0, 0.49), bg));
+        assert!(!d.is_shadow_pixel(Hsv::new(0.0, 0.0, 0.91), bg));
+    }
+
+    #[test]
+    fn mask_only_considers_foreground_pixels() {
+        let bg: Frame = ImageBuffer::filled(4, 1, Rgb::new(180, 170, 140));
+        let mut frame = bg.clone();
+        // Both columns 0 and 1 are photometric shadows...
+        frame.set(0, 0, bg.get(0, 0).scale_brightness(0.6));
+        frame.set(1, 0, bg.get(1, 0).scale_brightness(0.6));
+        // ...but only column 0 is in the foreground mask.
+        let mut fg = Mask::new(4, 1);
+        fg.set(0, 0, true);
+        let shadow = det().shadow_mask(&frame, &bg, &fg);
+        assert!(shadow.get(0, 0));
+        assert!(!shadow.get(1, 0));
+    }
+
+    #[test]
+    fn remove_shadows_splits_mask() {
+        let bg: Frame = ImageBuffer::filled(3, 1, Rgb::new(180, 170, 140));
+        let mut frame = bg.clone();
+        frame.set(0, 0, bg.get(0, 0).scale_brightness(0.6)); // shadow
+        frame.set(1, 0, Rgb::new(60, 90, 160)); // shirt
+        let fg = Mask::from_fn(3, 1, |x, _| x < 2);
+        let (cleaned, shadow) = det().remove_shadows(&frame, &bg, &fg);
+        assert!(!cleaned.get(0, 0) && shadow.get(0, 0));
+        assert!(cleaned.get(1, 0) && !shadow.get(1, 0));
+        assert!(!cleaned.get(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn mismatched_dims_panic() {
+        let bg: Frame = ImageBuffer::filled(2, 2, Rgb::BLACK);
+        let frame: Frame = ImageBuffer::filled(3, 2, Rgb::BLACK);
+        det().shadow_mask(&frame, &bg, &Mask::new(3, 2));
+    }
+}

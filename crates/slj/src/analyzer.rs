@@ -1,0 +1,291 @@
+//! The end-to-end jump analyzer.
+//!
+//! [`JumpAnalyzer::analyze`] reproduces the complete system of the paper:
+//!
+//! 1. **Segment** the video (Section 2): estimate the background,
+//!    subtract, repair, remove shadows → one silhouette per frame.
+//! 2. **Track** the pose (Section 3): the caller supplies the
+//!    first-frame stick model (the paper's "trained person" step); every
+//!    later frame is fitted by the temporally-seeded GA.
+//! 3. **Score** (Section 4): evaluate rules R1–R7 over the estimated
+//!    pose sequence and attach coaching advice.
+
+use crate::error::AnalyzeError;
+use serde::{Deserialize, Serialize};
+use slj_ga::tracker::{TemporalTracker, TrackResult, TrackerConfig};
+use slj_imgproc::mask::Mask;
+use slj_motion::{BodyDims, Pose, PoseSeq};
+use slj_score::{score_jump, ScoreCard};
+use slj_segment::pipeline::{PipelineConfig, SegmentPipeline, SegmentationResult};
+use slj_video::{Camera, Video};
+
+/// Configuration of the end-to-end analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// Segmentation pipeline parameters (Section 2).
+    pub segmentation: PipelineConfig,
+    /// GA tracker parameters (Section 3).
+    pub tracker: TrackerConfig,
+    /// Athlete dimensions (the paper calibrates these from the
+    /// hand-drawn first-frame model; here they are explicit).
+    pub dims: BodyDims,
+    /// Odd window size of the temporal median filter applied to the
+    /// estimated pose sequence before scoring (1 disables). Scoring
+    /// aggregates window extrema, so single-frame estimation outliers
+    /// can flip verdicts; a 3-frame median removes them.
+    pub smoothing_window: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            segmentation: PipelineConfig::default(),
+            tracker: TrackerConfig::default(),
+            dims: BodyDims::default(),
+            smoothing_window: 3,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// A reduced-budget configuration for demos and debug-build tests.
+    pub fn fast() -> Self {
+        AnalyzerConfig {
+            tracker: TrackerConfig::fast(),
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    /// The system exactly as the paper describes it (paper segmentation
+    /// settings, default tracker).
+    pub fn paper() -> Self {
+        AnalyzerConfig {
+            segmentation: PipelineConfig::paper(),
+            ..AnalyzerConfig::default()
+        }
+    }
+}
+
+/// Everything the end-to-end analysis produced.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The full segmentation output (background estimate + per-frame
+    /// stage masks — the paper's Figs. 1–3 intermediates).
+    pub segmentation: SegmentationResult,
+    /// Per-frame GA tracking diagnostics.
+    pub tracking: Vec<TrackResult>,
+    /// The estimated pose sequence (the paper's Figs. 6–7 stick models).
+    pub poses: PoseSeq,
+    /// The rule verdicts and score (the paper's Section 4).
+    pub score: ScoreCard,
+}
+
+impl AnalysisReport {
+    /// The final silhouette of each frame.
+    pub fn silhouettes(&self) -> Vec<&Mask> {
+        self.segmentation
+            .frames
+            .iter()
+            .map(|s| &s.final_mask)
+            .collect()
+    }
+
+    /// A compact serialisable summary (no pixel data).
+    pub fn summary(&self) -> AnalysisSummary {
+        AnalysisSummary {
+            frames: self.poses.len(),
+            score: self.score.score(),
+            violations: self
+                .score
+                .violations()
+                .iter()
+                .map(|r| r.number())
+                .collect(),
+            advice: self
+                .score
+                .advice()
+                .iter()
+                .map(|(s, a)| (s.number(), (*a).to_owned()))
+                .collect(),
+            forward_travel_m: self.poses.forward_travel(),
+            mean_fitness: {
+                let finite: Vec<f64> = self
+                    .tracking
+                    .iter()
+                    .map(|t| t.fitness)
+                    .filter(|f| f.is_finite())
+                    .collect();
+                if finite.is_empty() {
+                    f64::NAN
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                }
+            },
+            mean_generations_to_near_best: mean(
+                self.tracking
+                    .iter()
+                    .skip(1)
+                    .filter(|t| !t.carried_over)
+                    .map(|t| t.generations_to_near_best as f64),
+            ),
+            total_evaluations: self.tracking.iter().map(|t| t.evaluations).sum(),
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = iter.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Compact, JSON-friendly digest of an [`AnalysisReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisSummary {
+    /// Number of analysed frames.
+    pub frames: usize,
+    /// Rules satisfied, 0–7.
+    pub score: usize,
+    /// Violated rule numbers (1-based).
+    pub violations: Vec<usize>,
+    /// `(standard number, advice)` per violation.
+    pub advice: Vec<(usize, String)>,
+    /// Horizontal travel of the trunk centre, metres.
+    pub forward_travel_m: f64,
+    /// Mean Eq. 3 fitness over tracked frames.
+    pub mean_fitness: f64,
+    /// Mean generations until the GA was within 10% of each frame's
+    /// final best.
+    pub mean_generations_to_near_best: f64,
+    /// Total GA fitness evaluations.
+    pub total_evaluations: usize,
+}
+
+/// The end-to-end analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct JumpAnalyzer {
+    config: AnalyzerConfig,
+}
+
+impl JumpAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        JumpAnalyzer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Runs segmentation, tracking and scoring over a clip.
+    ///
+    /// `first_pose` is the stick model of frame 0 — the paper's
+    /// hand-drawn initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] when any of the three phases fails (too
+    /// few frames, untrackable silhouettes, or stage windows too short
+    /// to score).
+    pub fn analyze(
+        &self,
+        video: &Video,
+        camera: &Camera,
+        first_pose: Pose,
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        let segmentation = SegmentPipeline::new(self.config.segmentation.clone()).run(video)?;
+        let silhouettes: Vec<Mask> = segmentation
+            .frames
+            .iter()
+            .map(|s| s.final_mask.clone())
+            .collect();
+        let tracking = TemporalTracker::new(self.config.tracker).track(
+            &silhouettes,
+            first_pose,
+            &self.config.dims,
+            camera,
+        )?;
+        let mut poses = tracking.to_pose_seq(video.fps());
+        if self.config.smoothing_window > 1 {
+            poses = poses.median_smoothed(self.config.smoothing_window);
+        }
+        let score = score_jump(&poses)?;
+        Ok(AnalysisReport {
+            segmentation,
+            tracking: tracking.frames,
+            poses,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::JumpConfig;
+    use slj_video::{SceneConfig, SyntheticJump};
+
+    fn compact_scene(clean: bool) -> SceneConfig {
+        let base = if clean {
+            SceneConfig::clean()
+        } else {
+            SceneConfig::default()
+        };
+        SceneConfig {
+            camera: Camera::compact(),
+            ..base
+        }
+    }
+
+    #[test]
+    fn analyzes_clean_good_jump() {
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 1);
+        let analyzer = JumpAnalyzer::new(AnalyzerConfig::fast());
+        let report = analyzer
+            .analyze(&jump.video, &scene.camera, jump.poses.poses()[0])
+            .unwrap();
+        assert_eq!(report.poses.len(), 20);
+        assert_eq!(report.tracking.len(), 20);
+        assert!(
+            report.score.score() >= 6,
+            "good jump scored {}:\n{}",
+            report.score.score(),
+            report.score
+        );
+        let summary = report.summary();
+        assert_eq!(summary.frames, 20);
+        assert!(summary.forward_travel_m > 0.6);
+        assert!(summary.total_evaluations > 0);
+    }
+
+    #[test]
+    fn summary_serialises() {
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 2);
+        let analyzer = JumpAnalyzer::new(AnalyzerConfig::fast());
+        let report = analyzer
+            .analyze(&jump.video, &scene.camera, jump.poses.poses()[0])
+            .unwrap();
+        let json = serde_json::to_string_pretty(&report.summary()).unwrap();
+        assert!(json.contains("score"));
+        let back: AnalysisSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.frames, 20);
+    }
+
+    #[test]
+    fn too_short_video_errors() {
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 3);
+        let one = Video::new(vec![jump.video.frames()[0].clone()], 10.0);
+        let analyzer = JumpAnalyzer::new(AnalyzerConfig::fast());
+        let err = analyzer
+            .analyze(&one, &scene.camera, jump.poses.poses()[0])
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Segment(_)));
+    }
+}

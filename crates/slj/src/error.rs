@@ -1,0 +1,75 @@
+//! Error type for end-to-end analysis.
+
+use slj_ga::GaError;
+use slj_motion::MotionError;
+use slj_segment::SegmentError;
+use std::fmt;
+
+/// Error returned by [`crate::JumpAnalyzer::analyze`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalyzeError {
+    /// Segmentation failed (too few frames, image errors).
+    Segment(SegmentError),
+    /// Pose tracking failed (empty silhouettes, GA initialisation).
+    Tracking(GaError),
+    /// Scoring failed (sequence too short for the stage windows).
+    Scoring(MotionError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Segment(e) => write!(f, "segmentation failed: {e}"),
+            AnalyzeError::Tracking(e) => write!(f, "pose tracking failed: {e}"),
+            AnalyzeError::Scoring(e) => write!(f, "scoring failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Segment(e) => Some(e),
+            AnalyzeError::Tracking(e) => Some(e),
+            AnalyzeError::Scoring(e) => Some(e),
+        }
+    }
+}
+
+impl From<SegmentError> for AnalyzeError {
+    fn from(e: SegmentError) -> Self {
+        AnalyzeError::Segment(e)
+    }
+}
+
+impl From<GaError> for AnalyzeError {
+    fn from(e: GaError) -> Self {
+        AnalyzeError::Tracking(e)
+    }
+}
+
+impl From<MotionError> for AnalyzeError {
+    fn from(e: MotionError) -> Self {
+        AnalyzeError::Scoring(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = AnalyzeError::from(GaError::NoFrames);
+        assert!(e.to_string().contains("tracking"));
+        assert!(e.source().is_some());
+
+        let e = AnalyzeError::from(SegmentError::TooFewFrames { got: 1, need: 2 });
+        assert!(e.to_string().contains("segmentation"));
+
+        let e = AnalyzeError::from(MotionError::SequenceTooShort { got: 1, need: 2 });
+        assert!(e.to_string().contains("scoring"));
+    }
+}

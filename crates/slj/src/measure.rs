@@ -1,0 +1,217 @@
+//! Jump measurement from tracked poses.
+//!
+//! The paper scores *technique*; the test itself is scored by *distance*
+//! (takeoff line to the nearest landing contact). With calibrated
+//! tracked poses both are available from the same data, so this module
+//! completes the measurement side: flight-phase detection, official
+//! jump distance (takeoff toe → landing heel), and flight apex height.
+
+use serde::{Deserialize, Serialize};
+use slj_motion::{BodyDims, PoseSeq, StickKind};
+
+/// What was measured from one jump.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JumpMeasurement {
+    /// Last frame with ground contact before flight.
+    pub takeoff_frame: usize,
+    /// First frame with ground contact after flight.
+    pub landing_frame: usize,
+    /// Official distance: from the toe at takeoff to the heel (ankle)
+    /// at landing, metres.
+    pub distance_m: f64,
+    /// Number of airborne frames.
+    pub flight_frames: usize,
+    /// Maximum clearance of the lowest body point during flight,
+    /// metres.
+    pub peak_clearance_m: f64,
+}
+
+/// Why a measurement could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeasureError {
+    /// The sequence is empty or has a single frame.
+    TooShort,
+    /// No airborne phase was found (the jumper never left the ground).
+    NoFlightPhase,
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::TooShort => write!(f, "sequence too short to measure"),
+            MeasureError::NoFlightPhase => write!(f, "no airborne phase found"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Ground clearance of a pose: the lowest joint's height above `y = 0`.
+fn clearance(pose: &slj_motion::Pose, dims: &BodyDims) -> f64 {
+    pose.segments(dims).lowest_y()
+}
+
+/// Measures a jump from a (calibrated) pose sequence.
+///
+/// The airborne phase is the longest run of frames whose ground
+/// clearance exceeds an adaptive threshold — the clip's minimum
+/// clearance plus a quarter of its clearance range (floored at twice
+/// the foot thickness). The adaptive baseline makes the detector robust
+/// to tracked poses whose feet hover a few centimetres off the ground
+/// from estimation noise; takeoff and landing frames bracket the run.
+///
+/// # Errors
+///
+/// * [`MeasureError::TooShort`] for sequences with fewer than 3 frames.
+/// * [`MeasureError::NoFlightPhase`] when the jumper never clears the
+///   ground (e.g. a walking clip).
+pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, MeasureError> {
+    if seq.len() < 3 {
+        return Err(MeasureError::TooShort);
+    }
+    let clearances: Vec<f64> = seq.poses().iter().map(|p| clearance(p, dims)).collect();
+    let min_c = clearances.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_c = clearances.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max_c - min_c;
+    if span < 2.0 * dims.thickness(StickKind::Foot) {
+        // The body never rose meaningfully: no jump.
+        return Err(MeasureError::NoFlightPhase);
+    }
+    let threshold = min_c + (0.25 * span).max(2.0 * dims.thickness(StickKind::Foot));
+    let airborne: Vec<bool> = clearances.iter().map(|&c| c > threshold).collect();
+
+    // Longest airborne run.
+    let mut best: Option<(usize, usize)> = None; // [start, end)
+    let mut run_start = None;
+    for (k, &a) in airborne.iter().enumerate() {
+        match (a, run_start) {
+            (true, None) => run_start = Some(k),
+            (false, Some(s)) => {
+                if best.map_or(true, |(bs, be)| k - s > be - bs) {
+                    best = Some((s, k));
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        let k = airborne.len();
+        if best.map_or(true, |(bs, be)| k - s > be - bs) {
+            best = Some((s, k));
+        }
+    }
+    let (flight_start, flight_end) = best.ok_or(MeasureError::NoFlightPhase)?;
+
+    // Hysteresis: the high threshold found the flight; the contact
+    // frames are where clearance returns to near its baseline. Walk
+    // outward from the flight to the nearest low-clearance frames.
+    let low = min_c + 2.0 * dims.thickness(StickKind::Foot);
+    let takeoff_frame = (0..flight_start)
+        .rev()
+        .find(|&k| clearances[k] <= low)
+        .unwrap_or(flight_start.saturating_sub(1));
+    let landing_frame = (flight_end..seq.len())
+        .find(|&k| clearances[k] <= low)
+        .unwrap_or(seq.len() - 1);
+
+    // Official measurement: toe position at takeoff, heel (ankle) at
+    // landing — the rearmost contact decides.
+    let takeoff_pose = &seq.poses()[takeoff_frame];
+    let landing_pose = &seq.poses()[landing_frame];
+    let toe = takeoff_pose
+        .segments(dims)
+        .segment(StickKind::Foot)
+        .b
+        .x;
+    let heel = landing_pose
+        .segments(dims)
+        .segment(StickKind::Foot)
+        .a
+        .x;
+    let distance_m = heel - toe;
+
+    let peak_clearance_m = clearances[flight_start..flight_end]
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
+
+    Ok(JumpMeasurement {
+        takeoff_frame,
+        landing_frame,
+        distance_m,
+        flight_frames: flight_end - flight_start,
+        peak_clearance_m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::{synthesize_jump, JumpConfig, Pose};
+
+    #[test]
+    fn measures_the_default_jump() {
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let m = measure_jump(&seq, &cfg.dims).unwrap();
+        // Takeoff happens around mid-clip (the stage boundary), landing
+        // near the end.
+        assert!(
+            (6..=11).contains(&m.takeoff_frame),
+            "takeoff at {}",
+            m.takeoff_frame
+        );
+        assert!(m.landing_frame > m.takeoff_frame + 2);
+        assert!(m.flight_frames >= 3, "{} airborne frames", m.flight_frames);
+        // Toe-to-heel distance is shorter than the centre's travel but
+        // clearly a jump.
+        assert!(
+            (0.3..=1.4).contains(&m.distance_m),
+            "distance {}",
+            m.distance_m
+        );
+        assert!(m.peak_clearance_m > 0.05, "peak {}", m.peak_clearance_m);
+    }
+
+    #[test]
+    fn longer_configured_jump_measures_longer() {
+        let short = JumpConfig {
+            jump_distance: 0.8,
+            ..JumpConfig::default()
+        };
+        let long = JumpConfig {
+            jump_distance: 1.4,
+            ..JumpConfig::default()
+        };
+        let ms = measure_jump(&synthesize_jump(&short), &short.dims).unwrap();
+        let ml = measure_jump(&synthesize_jump(&long), &long.dims).unwrap();
+        assert!(
+            ml.distance_m > ms.distance_m + 0.3,
+            "long {} vs short {}",
+            ml.distance_m,
+            ms.distance_m
+        );
+    }
+
+    #[test]
+    fn standing_still_has_no_flight() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![Pose::standing(&dims); 10], 10.0);
+        assert_eq!(measure_jump(&seq, &dims), Err(MeasureError::NoFlightPhase));
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![Pose::standing(&dims); 2], 10.0);
+        assert_eq!(measure_jump(&seq, &dims), Err(MeasureError::TooShort));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!MeasureError::TooShort.to_string().is_empty());
+        assert!(!MeasureError::NoFlightPhase.to_string().is_empty());
+    }
+}

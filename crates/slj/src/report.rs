@@ -1,0 +1,224 @@
+//! Markdown coaching-report generation.
+//!
+//! The paper's goal is a system that "responds with advices to the
+//! user"; this module renders everything an analysis produced — score
+//! card, per-rule traces, phase timeline, jump measurement, tracking
+//! diagnostics — as one self-contained markdown document a teacher (or
+//! a web front end) can hand to the student.
+
+use crate::analyzer::AnalysisReport;
+use crate::measure::measure_jump;
+use slj_motion::{classify_phases, BodyDims, JumpPhase};
+use slj_score::RuleTrace;
+use std::fmt::Write as _;
+
+/// Renders a full markdown coaching report.
+///
+/// The report degrades gracefully: sections whose inputs are
+/// unavailable (e.g. no flight detected) explain themselves instead of
+/// failing.
+pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
+    let mut md = String::new();
+    let score = &report.score;
+
+    writeln!(md, "# Standing long jump — analysis report\n").unwrap();
+    writeln!(
+        md,
+        "**Score: {}/{}**{}\n",
+        score.score(),
+        score.results().len(),
+        if score.is_perfect() {
+            " — textbook jump!"
+        } else {
+            ""
+        }
+    )
+    .unwrap();
+
+    // Rule table.
+    writeln!(md, "## Technique rules (Table 2 of Hsu et al.)\n").unwrap();
+    writeln!(md, "| rule | stage | observed | threshold | verdict |").unwrap();
+    writeln!(md, "|---|---|---|---|---|").unwrap();
+    for r in score.results() {
+        writeln!(
+            md,
+            "| {} | {} | {:.1}° | {:.0}° | {} |",
+            r.rule,
+            r.stage,
+            r.observed,
+            r.threshold,
+            if r.satisfied { "ok" } else { "**violated**" }
+        )
+        .unwrap();
+    }
+    writeln!(md).unwrap();
+
+    // Advice.
+    let advice = score.advice();
+    if !advice.is_empty() {
+        writeln!(md, "## Coaching advice\n").unwrap();
+        for (standard, text) in advice {
+            writeln!(md, "* **{standard}** — {text}").unwrap();
+        }
+        writeln!(md).unwrap();
+    }
+
+    // Traces.
+    if let Ok(traces) = RuleTrace::all(&report.poses) {
+        writeln!(md, "## Per-frame traces\n").unwrap();
+        writeln!(md, "```text").unwrap();
+        for t in traces {
+            writeln!(md, "{t}").unwrap();
+        }
+        writeln!(md, "```\n").unwrap();
+    }
+
+    // Phases.
+    let phases = classify_phases(&report.poses, dims);
+    if !phases.is_empty() {
+        let timeline: String = phases
+            .iter()
+            .map(|p| match p {
+                JumpPhase::Standing => 'S',
+                JumpPhase::Crouch => 'C',
+                JumpPhase::Takeoff => 'T',
+                JumpPhase::Flight => 'F',
+                JumpPhase::Landing => 'L',
+                JumpPhase::Recovery => 'R',
+            })
+            .collect();
+        writeln!(md, "## Phases\n").unwrap();
+        writeln!(
+            md,
+            "`{timeline}` (S standing, C crouch, T takeoff, F flight, L landing, R recovery)\n"
+        )
+        .unwrap();
+    }
+
+    // Measurement.
+    writeln!(md, "## Measurement\n").unwrap();
+    match measure_jump(&report.poses, dims) {
+        Ok(m) => {
+            writeln!(
+                md,
+                "* distance: **{:.2} m** (takeoff toe → landing heel)",
+                m.distance_m
+            )
+            .unwrap();
+            writeln!(
+                md,
+                "* flight: {} frames (takeoff frame {}, landing frame {})",
+                m.flight_frames, m.takeoff_frame, m.landing_frame
+            )
+            .unwrap();
+            writeln!(md, "* peak clearance: {:.2} m\n", m.peak_clearance_m).unwrap();
+        }
+        Err(e) => writeln!(md, "_not available: {e}_\n").unwrap(),
+    }
+
+    // Tracking diagnostics.
+    writeln!(md, "## Tracking diagnostics\n").unwrap();
+    let suspects = suspect_frames(report);
+    writeln!(
+        md,
+        "* frames analysed: {} ({} carried over)",
+        report.tracking.len(),
+        report.tracking.iter().filter(|t| t.carried_over).count()
+    )
+    .unwrap();
+    if suspects.is_empty() {
+        writeln!(md, "* no suspect frames (fitness uniform across the clip)").unwrap();
+    } else {
+        writeln!(
+            md,
+            "* suspect frames (fitness ≥ 1.5× clip median — treat the pose there with care): {suspects:?}"
+        )
+        .unwrap();
+    }
+    md
+}
+
+/// Frames whose Eq. 3 fitness is at least 1.5× the clip median —
+/// the analyzer's own "don't fully trust me here" flags.
+pub fn suspect_frames(report: &AnalysisReport) -> Vec<usize> {
+    let mut finite: Vec<f64> = report
+        .tracking
+        .iter()
+        .map(|t| t.fitness)
+        .filter(|f| f.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return Vec::new();
+    }
+    finite.sort_by(f64::total_cmp);
+    let median = finite[finite.len() / 2];
+    report
+        .tracking
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.carried_over || !t.fitness.is_finite() || t.fitness >= 1.5 * median)
+        .map(|(k, _)| k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{AnalyzerConfig, JumpAnalyzer};
+    use slj_motion::JumpConfig;
+    use slj_video::{Camera, SceneConfig, SyntheticJump};
+
+    fn analysed() -> (AnalysisReport, BodyDims) {
+        let scene = SceneConfig {
+            camera: Camera::compact(),
+            ..SceneConfig::clean()
+        };
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 5);
+        let report = JumpAnalyzer::new(AnalyzerConfig::fast())
+            .analyze(&jump.video, &scene.camera, jump.poses.poses()[0])
+            .unwrap();
+        (report, BodyDims::default())
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let (report, dims) = analysed();
+        let md = markdown_report(&report, &dims);
+        for heading in [
+            "# Standing long jump",
+            "## Technique rules",
+            "## Per-frame traces",
+            "## Phases",
+            "## Measurement",
+            "## Tracking diagnostics",
+        ] {
+            assert!(md.contains(heading), "missing {heading}:\n{md}");
+        }
+        // All seven rules appear.
+        for n in 1..=7 {
+            assert!(md.contains(&format!("R{n}")), "missing R{n}");
+        }
+        // The phase timeline exists and has flight frames.
+        assert!(md.contains('F'));
+    }
+
+    #[test]
+    fn suspect_frames_flags_outliers() {
+        let (mut report, _) = analysed();
+        // Manufacture an outlier.
+        let median_ish = report.tracking[5].fitness;
+        report.tracking[7].fitness = median_ish * 10.0;
+        let suspects = suspect_frames(&report);
+        assert!(suspects.contains(&7), "{suspects:?}");
+    }
+
+    #[test]
+    fn suspect_frames_empty_for_uniform_fitness() {
+        let (mut report, _) = analysed();
+        for t in report.tracking.iter_mut() {
+            t.fitness = 0.5;
+            t.carried_over = false;
+        }
+        assert!(suspect_frames(&report).is_empty());
+    }
+}

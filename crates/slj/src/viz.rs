@@ -1,0 +1,202 @@
+//! Figure rendering: stick-model overlays and mask dumps.
+//!
+//! The paper's Figures 6–7 show silhouettes with stick models drawn on
+//! top; these helpers produce the same imagery as PPM/PGM files so the
+//! experiment binaries can regenerate every panel.
+
+use slj_imgproc::draw;
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::mask::Mask;
+use slj_imgproc::pixel::Rgb;
+use slj_motion::{BodyDims, Pose};
+use slj_video::{Camera, Frame};
+
+/// Draws a pose's stick model onto an RGB image as one-pixel lines with
+/// small joint dots, in the given colour.
+pub fn draw_stick_model(
+    image: &mut Frame,
+    pose: &Pose,
+    dims: &BodyDims,
+    camera: &Camera,
+    color: Rgb,
+) {
+    let segs = pose.segments(dims);
+    for (_, seg) in segs.iter() {
+        let s = camera.segment_to_image(seg);
+        draw::line(
+            image,
+            (s.a.x.round() as isize, s.a.y.round() as isize),
+            (s.b.x.round() as isize, s.b.y.round() as isize),
+            color,
+        );
+        draw::fill_disc(image, s.a, 1.5, color);
+    }
+}
+
+/// Renders a silhouette as a white-on-black image with a stick model
+/// overlaid — the paper's Fig. 6/7 panel style.
+pub fn silhouette_with_model(
+    silhouette: &Mask,
+    pose: &Pose,
+    dims: &BodyDims,
+    camera: &Camera,
+    model_color: Rgb,
+) -> Frame {
+    let mut img: Frame = ImageBuffer::from_fn(silhouette.width(), silhouette.height(), |x, y| {
+        if silhouette.get(x, y) {
+            Rgb::WHITE
+        } else {
+            Rgb::BLACK
+        }
+    });
+    draw_stick_model(&mut img, pose, dims, camera, model_color);
+    img
+}
+
+/// Renders a video frame with two stick models overlaid (e.g. truth in
+/// green, estimate in red) for side-by-side comparison figures.
+pub fn frame_with_models(
+    frame: &Frame,
+    truth: Option<&Pose>,
+    estimate: Option<&Pose>,
+    dims: &BodyDims,
+    camera: &Camera,
+) -> Frame {
+    let mut img = frame.clone();
+    if let Some(t) = truth {
+        draw_stick_model(&mut img, t, dims, camera, Rgb::new(0, 220, 0));
+    }
+    if let Some(e) = estimate {
+        draw_stick_model(&mut img, e, dims, camera, Rgb::new(230, 30, 30));
+    }
+    img
+}
+
+/// Tiles a set of equally-sized images into one montage, `columns`
+/// wide, with a 2-pixel dark gutter — the "contact sheet" layout of the
+/// paper's Figure 6.
+///
+/// # Panics
+///
+/// Panics if `frames` is empty, `columns` is zero, or the frames have
+/// mismatched dimensions.
+pub fn contact_sheet(frames: &[Frame], columns: usize) -> Frame {
+    assert!(!frames.is_empty(), "contact sheet needs at least one frame");
+    assert!(columns > 0, "columns must be positive");
+    let (fw, fh) = frames[0].dims();
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(f.dims(), (fw, fh), "frame {i} has mismatched dimensions");
+    }
+    const GUTTER: usize = 2;
+    let cols = columns.min(frames.len());
+    let rows = frames.len().div_ceil(cols);
+    let width = cols * fw + (cols + 1) * GUTTER;
+    let height = rows * fh + (rows + 1) * GUTTER;
+    let mut sheet: Frame = ImageBuffer::filled(width, height, Rgb::splat(24));
+    for (i, f) in frames.iter().enumerate() {
+        let cx = (i % cols) * (fw + GUTTER) + GUTTER;
+        let cy = (i / cols) * (fh + GUTTER) + GUTTER;
+        for (x, y, p) in f.enumerate_pixels() {
+            sheet.set(cx + x, cy + y, p);
+        }
+    }
+    sheet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_video::render::render_silhouette;
+
+    fn setup() -> (BodyDims, Camera, Pose) {
+        let dims = BodyDims::default();
+        let camera = Camera::compact();
+        let mut pose = Pose::standing(&dims);
+        pose.center.x = 0.6;
+        (dims, camera, pose)
+    }
+
+    #[test]
+    fn overlay_draws_model_pixels() {
+        let (dims, camera, pose) = setup();
+        let mut img: Frame = ImageBuffer::filled(camera.width, camera.height, Rgb::BLACK);
+        draw_stick_model(&mut img, &pose, &dims, &camera, Rgb::new(255, 0, 0));
+        let red = img
+            .as_slice()
+            .iter()
+            .filter(|p| **p == Rgb::new(255, 0, 0))
+            .count();
+        assert!(red > 50, "only {red} overlay pixels drawn");
+        // The trunk centre pixel is on the model.
+        let c = camera.world_to_image(pose.center);
+        assert_eq!(
+            img.get(c.x.round() as usize, c.y.round() as usize),
+            Rgb::new(255, 0, 0)
+        );
+    }
+
+    #[test]
+    fn silhouette_panel_has_three_tones() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let img = silhouette_with_model(&sil, &pose, &dims, &camera, Rgb::new(255, 0, 0));
+        let mut has = (false, false, false);
+        for &p in img.as_slice() {
+            if p == Rgb::BLACK {
+                has.0 = true;
+            } else if p == Rgb::WHITE {
+                has.1 = true;
+            } else if p == Rgb::new(255, 0, 0) {
+                has.2 = true;
+            }
+        }
+        assert!(has.0 && has.1 && has.2, "{has:?}");
+    }
+
+    #[test]
+    fn contact_sheet_tiles_and_gutters() {
+        let a: Frame = ImageBuffer::filled(4, 3, Rgb::new(255, 0, 0));
+        let b: Frame = ImageBuffer::filled(4, 3, Rgb::new(0, 255, 0));
+        let c: Frame = ImageBuffer::filled(4, 3, Rgb::new(0, 0, 255));
+        let sheet = contact_sheet(&[a, b, c], 2);
+        // 2 cols x 2 rows with 2px gutters: 2*4+3*2 = 14 wide, 2*3+3*2 = 12 tall.
+        assert_eq!(sheet.dims(), (14, 12));
+        assert_eq!(sheet.get(2, 2), Rgb::new(255, 0, 0));
+        assert_eq!(sheet.get(8, 2), Rgb::new(0, 255, 0));
+        assert_eq!(sheet.get(2, 7), Rgb::new(0, 0, 255));
+        // The cell right of c is empty gutter-grey.
+        assert_eq!(sheet.get(8, 7), Rgb::splat(24));
+        assert_eq!(sheet.get(0, 0), Rgb::splat(24));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn contact_sheet_rejects_empty() {
+        contact_sheet(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn contact_sheet_rejects_mixed_sizes() {
+        let a: Frame = ImageBuffer::filled(4, 3, Rgb::BLACK);
+        let b: Frame = ImageBuffer::filled(5, 3, Rgb::BLACK);
+        contact_sheet(&[a, b], 2);
+    }
+
+    #[test]
+    fn frame_with_models_draws_requested_overlays() {
+        let (dims, camera, pose) = setup();
+        let base: Frame = ImageBuffer::filled(camera.width, camera.height, Rgb::splat(128));
+        let both = frame_with_models(&base, Some(&pose), Some(&pose), &dims, &camera);
+        // Estimate (red) drawn after truth (green): red wins on shared
+        // pixels.
+        let red = both
+            .as_slice()
+            .iter()
+            .filter(|p| **p == Rgb::new(230, 30, 30))
+            .count();
+        assert!(red > 50);
+        let none = frame_with_models(&base, None, None, &dims, &camera);
+        assert_eq!(none, base);
+    }
+}

@@ -1,0 +1,191 @@
+//! Procedural static background.
+//!
+//! The paper's Figure 1 shows a schoolyard: a textured wall above a
+//! lighter ground strip. The generator reproduces that structure — a
+//! vertically graded wall with faint vertical panel stripes, a ground
+//! band below the camera's ground row with its own horizontal grading —
+//! plus deterministic per-pixel value noise so background subtraction
+//! has realistic (non-flat) statistics. The texture is a pure function
+//! of `(x, y, seed)`, so the *true* background is available at any time
+//! without storing it.
+
+use crate::camera::Camera;
+use crate::video::Frame;
+use serde::{Deserialize, Serialize};
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::pixel::Rgb;
+
+/// Parameters of the background texture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundStyle {
+    /// Base wall colour.
+    pub wall: Rgb,
+    /// Base ground colour.
+    pub ground: Rgb,
+    /// Amplitude of deterministic per-pixel texture noise (intensity
+    /// levels).
+    pub texture_amp: u8,
+    /// Width of the faint vertical wall panels, pixels; 0 disables.
+    pub panel_width: usize,
+    /// Extra brightness of alternating panels (intensity levels).
+    pub panel_contrast: u8,
+}
+
+impl Default for BackgroundStyle {
+    fn default() -> Self {
+        BackgroundStyle {
+            wall: Rgb::new(172, 168, 158),
+            ground: Rgb::new(196, 186, 150),
+            texture_amp: 6,
+            panel_width: 40,
+            panel_contrast: 8,
+        }
+    }
+}
+
+/// A fast deterministic pixel hash → `[0, 1)`. (SplitMix64 finaliser;
+/// quality far beyond what texture noise needs.)
+fn hash01(x: usize, y: usize, seed: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add((x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The true background colour at one pixel.
+pub fn background_pixel(x: usize, y: usize, cam: &Camera, style: &BackgroundStyle, seed: u64) -> Rgb {
+    let ground_row = cam.ground_row as usize;
+    let base = if y >= ground_row {
+        // Ground band: slightly darker with depth.
+        let depth = (y - ground_row) as f64 / cam.height.max(1) as f64;
+        style.ground.scale_brightness(1.0 - 0.25 * depth)
+    } else {
+        // Wall: brighter toward the top, faint vertical panels.
+        let up = (ground_row.saturating_sub(y)) as f64 / ground_row.max(1) as f64;
+        let mut c = style.wall.scale_brightness(0.92 + 0.16 * up);
+        if style.panel_width > 0 && (x / style.panel_width) % 2 == 1 {
+            let add = |v: u8| v.saturating_add(style.panel_contrast);
+            c = Rgb::new(add(c.r), add(c.g), add(c.b));
+        }
+        c
+    };
+    // Deterministic texture grain.
+    if style.texture_amp == 0 {
+        return base;
+    }
+    let n = (hash01(x, y, seed) - 0.5) * 2.0 * style.texture_amp as f64;
+    let t = |v: u8| (v as f64 + n).round().clamp(0.0, 255.0) as u8;
+    Rgb::new(t(base.r), t(base.g), t(base.b))
+}
+
+/// Renders the full true background frame.
+pub fn render_background(cam: &Camera, style: &BackgroundStyle, seed: u64) -> Frame {
+    ImageBuffer::from_fn(cam.width, cam.height, |x, y| {
+        background_pixel(x, y, cam, style, seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::default()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = render_background(&cam(), &BackgroundStyle::default(), 3);
+        let b = render_background(&cam(), &BackgroundStyle::default(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_grain() {
+        let a = render_background(&cam(), &BackgroundStyle::default(), 3);
+        let b = render_background(&cam(), &BackgroundStyle::default(), 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ground_below_ground_row() {
+        let c = cam();
+        let style = BackgroundStyle {
+            texture_amp: 0,
+            ..BackgroundStyle::default()
+        };
+        let bg = render_background(&c, &style, 0);
+        let wall_px = bg.get(10, 50);
+        let ground_px = bg.get(10, c.ground_row as usize + 5);
+        // Ground is the yellower colour (more red+green vs blue).
+        assert!(ground_px.b < wall_px.b + 20);
+        assert_ne!(wall_px, ground_px);
+    }
+
+    #[test]
+    fn texture_amp_bounds_grain() {
+        let c = cam();
+        let flat = BackgroundStyle {
+            texture_amp: 0,
+            ..BackgroundStyle::default()
+        };
+        let noisy = BackgroundStyle::default();
+        let a = render_background(&c, &flat, 5);
+        let b = render_background(&c, &noisy, 5);
+        let max_diff = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(p, q)| p.linf_distance(*q))
+            .max()
+            .unwrap();
+        assert!(max_diff <= noisy.texture_amp as u32 + 1);
+        assert!(max_diff > 0);
+    }
+
+    #[test]
+    fn panels_modulate_wall() {
+        let c = cam();
+        let style = BackgroundStyle {
+            texture_amp: 0,
+            panel_width: 20,
+            panel_contrast: 10,
+            ..BackgroundStyle::default()
+        };
+        let bg = render_background(&c, &style, 0);
+        // Columns 10 (panel 0) and 30 (panel 1) differ by the contrast.
+        let a = bg.get(10, 50);
+        let b = bg.get(30, 50);
+        assert_eq!(b.r, a.r + 10);
+    }
+
+    #[test]
+    fn hash01_in_unit_interval_and_spread() {
+        let mut lo = false;
+        let mut hi = false;
+        for x in 0..50 {
+            for y in 0..50 {
+                let v = hash01(x, y, 9);
+                assert!((0.0..1.0).contains(&v));
+                lo |= v < 0.25;
+                hi |= v > 0.75;
+            }
+        }
+        assert!(lo && hi, "hash output should cover the unit interval");
+    }
+
+    #[test]
+    fn wall_brightens_upward() {
+        let c = cam();
+        let style = BackgroundStyle {
+            texture_amp: 0,
+            panel_width: 0,
+            ..BackgroundStyle::default()
+        };
+        let bg = render_background(&c, &style, 0);
+        assert!(bg.get(5, 10).luma() > bg.get(5, 200).luma());
+    }
+}

@@ -1,0 +1,229 @@
+//! The world ↔ image transform.
+//!
+//! World space is metres, y-up, ground at `y = 0`, jump travelling toward
+//! +x. Image space is pixels, y-down, origin top-left. The camera is the
+//! paper's fixed side-view CCD camera: a pure scale + flip + translate
+//! (no perspective — the subject moves in a plane parallel to the image
+//! plane, which is also what makes the paper's 2-D analysis valid).
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::geometry::{Point2, Segment};
+
+/// A fixed orthographic side-view camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    /// Image width, pixels.
+    pub width: usize,
+    /// Image height, pixels.
+    pub height: usize,
+    /// Scale, pixels per world metre.
+    pub pixels_per_meter: f64,
+    /// World x (metres) that maps to image column 0.
+    pub world_left: f64,
+    /// Image row (pixels, y-down) of the world ground plane `y = 0`.
+    pub ground_row: f64,
+}
+
+impl Camera {
+    /// A camera framing a world window: `world_left..` maps across the
+    /// image width at the given scale, with the ground placed at
+    /// `ground_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels_per_meter` is not finite and positive, or if the
+    /// image is empty.
+    pub fn new(
+        width: usize,
+        height: usize,
+        pixels_per_meter: f64,
+        world_left: f64,
+        ground_row: f64,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "camera image must be non-empty");
+        assert!(
+            pixels_per_meter.is_finite() && pixels_per_meter > 0.0,
+            "pixels_per_meter must be positive, got {pixels_per_meter}"
+        );
+        Camera {
+            width,
+            height,
+            pixels_per_meter,
+            world_left,
+            ground_row,
+        }
+    }
+
+    /// World point (metres, y-up) to image point (pixels, y-down).
+    pub fn world_to_image(&self, p: Point2) -> Point2 {
+        Point2::new(
+            (p.x - self.world_left) * self.pixels_per_meter,
+            self.ground_row - p.y * self.pixels_per_meter,
+        )
+    }
+
+    /// Image point (pixels, y-down) to world point (metres, y-up).
+    pub fn image_to_world(&self, p: Point2) -> Point2 {
+        Point2::new(
+            p.x / self.pixels_per_meter + self.world_left,
+            (self.ground_row - p.y) / self.pixels_per_meter,
+        )
+    }
+
+    /// Converts a world segment to image space.
+    pub fn segment_to_image(&self, s: Segment) -> Segment {
+        Segment::new(self.world_to_image(s.a), self.world_to_image(s.b))
+    }
+
+    /// Converts a world length (metres) to pixels.
+    pub fn length_to_pixels(&self, meters: f64) -> f64 {
+        meters * self.pixels_per_meter
+    }
+
+    /// Converts a pixel length to world metres.
+    pub fn pixels_to_length(&self, pixels: f64) -> f64 {
+        pixels / self.pixels_per_meter
+    }
+
+    /// The world-space rectangle visible in the image:
+    /// `(x_min, y_min, x_max, y_max)` in metres.
+    pub fn visible_world(&self) -> (f64, f64, f64, f64) {
+        let tl = self.image_to_world(Point2::new(0.0, self.height as f64));
+        let br = self.image_to_world(Point2::new(self.width as f64, 0.0));
+        (tl.x, tl.y, br.x, br.y)
+    }
+}
+
+impl Camera {
+    /// A quarter-resolution camera (160x120 at 65 px/m) framing the same
+    /// world window as [`Camera::default`]. Silhouettes are ~4x smaller,
+    /// which makes debug-build end-to-end tests and examples fast while
+    /// preserving every geometric relationship.
+    pub fn compact() -> Self {
+        Camera::new(160, 120, 65.0, -0.10, 112.5)
+    }
+
+    /// The camera whose image is this one downscaled 2x (matching
+    /// [`slj_imgproc::filter::resize_half`]): half the resolution, half
+    /// the scale, same world framing.
+    pub fn halved(&self) -> Camera {
+        Camera::new(
+            (self.width / 2).max(1),
+            (self.height / 2).max(1),
+            self.pixels_per_meter / 2.0,
+            self.world_left,
+            self.ground_row / 2.0,
+        )
+    }
+}
+
+impl Default for Camera {
+    /// The default scene camera: 320×240 at 130 px/m, ground near the
+    /// bottom of the frame — a 1.3 m child spans ~70% of the image
+    /// height and a 1.1 m jump fits with margins, matching the paper's
+    /// framing in Figure 1.
+    fn default() -> Self {
+        Camera::new(320, 240, 130.0, -0.10, 225.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_maps_to_ground_row() {
+        let cam = Camera::default();
+        let p = cam.world_to_image(Point2::new(0.5, 0.0));
+        assert!((p.y - cam.ground_row).abs() < 1e-12);
+    }
+
+    #[test]
+    fn up_in_world_is_down_in_image() {
+        let cam = Camera::default();
+        let low = cam.world_to_image(Point2::new(0.0, 0.1));
+        let high = cam.world_to_image(Point2::new(0.0, 1.0));
+        assert!(high.y < low.y);
+    }
+
+    #[test]
+    fn roundtrip_world_image_world() {
+        let cam = Camera::default();
+        for &(x, y) in &[(0.0, 0.0), (1.3, 0.7), (-0.05, 1.6), (2.2, 0.01)] {
+            let p = Point2::new(x, y);
+            let back = cam.image_to_world(cam.world_to_image(p));
+            assert!(back.distance(p) < 1e-12, "{p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn scale_is_linear() {
+        let cam = Camera::default();
+        assert!((cam.length_to_pixels(1.0) - 130.0).abs() < 1e-12);
+        assert!((cam.pixels_to_length(130.0) - 1.0).abs() < 1e-12);
+        assert!((cam.pixels_to_length(cam.length_to_pixels(0.37)) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_conversion_preserves_length_scaled() {
+        let cam = Camera::default();
+        let s = Segment::new(Point2::new(0.0, 0.0), Point2::new(0.0, 1.0));
+        let si = cam.segment_to_image(s);
+        assert!((si.length() - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_frames_whole_jump() {
+        let cam = Camera::default();
+        let (x0, y0, x1, y1) = cam.visible_world();
+        // Jumper starts at x ~ 0.35, lands at ~ 1.45, is 1.3 m tall.
+        assert!(x0 <= 0.0, "left edge {x0}");
+        assert!(x1 >= 2.2, "right edge {x1}");
+        assert!(y0 <= 0.0, "bottom {y0}");
+        assert!(y1 >= 1.6, "top {y1}");
+    }
+
+    #[test]
+    fn default_child_fits_vertically() {
+        let cam = Camera::default();
+        let crown = cam.world_to_image(Point2::new(0.5, 1.3));
+        assert!(crown.y > 0.0 && crown.y < cam.height as f64);
+    }
+
+    #[test]
+    fn compact_is_scaled_default() {
+        let a = Camera::default();
+        let b = Camera::compact();
+        assert_eq!(b.width * 2, a.width);
+        assert!((b.pixels_per_meter * 2.0 - a.pixels_per_meter).abs() <= 1.0);
+        let (x0, _, x1, y1) = b.visible_world();
+        assert!(x0 <= 0.0 && x1 >= 2.2 && y1 >= 1.6);
+    }
+
+    #[test]
+    fn halved_preserves_world_framing() {
+        let cam = Camera::default();
+        let half = cam.halved();
+        assert_eq!(half.width, cam.width / 2);
+        // A world point maps to half the pixel coordinates.
+        let p = Point2::new(0.8, 0.9);
+        let full_px = cam.world_to_image(p);
+        let half_px = half.world_to_image(p);
+        assert!((half_px.x * 2.0 - full_px.x).abs() < 1e-9);
+        assert!((half_px.y * 2.0 - full_px.y).abs() < 1e-9);
+        // Round trip through the halved camera is exact.
+        assert!(half.image_to_world(half_px).distance(p) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_rejected() {
+        Camera::new(10, 10, 0.0, 0.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_image_rejected() {
+        Camera::new(0, 10, 100.0, 0.0, 5.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Clip persistence: a video is a directory of numbered PPM frames plus
+//! a small JSON metadata file.
+//!
+//! The paper's future work imagines users uploading "a video sequence of
+//! a standing long jump"; this module is the ingestion path for that —
+//! any tool that can emit PPM frames can feed the analyzer.
+
+use crate::video::{Frame, Video};
+use serde::{Deserialize, Serialize};
+use slj_imgproc::{io as img_io, ImgError};
+use std::path::Path;
+
+/// Sidecar metadata stored next to the frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClipMeta {
+    fps: f64,
+    frames: usize,
+}
+
+const META_FILE: &str = "clip.json";
+
+/// Saves a video as `frame_0000.ppm … frame_NNNN.ppm` plus `clip.json`
+/// in `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on any filesystem failure.
+pub fn save_video<P: AsRef<Path>>(video: &Video, dir: P) -> Result<(), ImgError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (k, frame) in video.iter().enumerate() {
+        img_io::save_ppm(frame, dir.join(format!("frame_{k:04}.ppm")))?;
+    }
+    let meta = ClipMeta {
+        fps: video.fps(),
+        frames: video.len(),
+    };
+    let json = serde_json::to_string_pretty(&meta)
+        .map_err(|e| ImgError::Decode(format!("metadata encode: {e}")))?;
+    std::fs::write(dir.join(META_FILE), json)?;
+    Ok(())
+}
+
+/// Loads a video saved by [`save_video`].
+///
+/// # Errors
+///
+/// Returns [`ImgError::Io`] on filesystem failure and
+/// [`ImgError::Decode`] when the metadata or any frame is malformed or
+/// missing.
+pub fn load_video<P: AsRef<Path>>(dir: P) -> Result<Video, ImgError> {
+    let dir = dir.as_ref();
+    let meta_raw = std::fs::read_to_string(dir.join(META_FILE))?;
+    let meta: ClipMeta = serde_json::from_str(&meta_raw)
+        .map_err(|e| ImgError::Decode(format!("metadata decode: {e}")))?;
+    let mut frames: Vec<Frame> = Vec::with_capacity(meta.frames);
+    for k in 0..meta.frames {
+        let path = dir.join(format!("frame_{k:04}.ppm"));
+        let file = std::fs::File::open(&path)
+            .map_err(|e| ImgError::Decode(format!("missing frame {k}: {e}")))?;
+        frames.push(img_io::read_ppm(file)?);
+    }
+    Ok(Video::new(frames, meta.fps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SceneConfig;
+    use crate::synthjump::SyntheticJump;
+    use slj_motion::JumpConfig;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slj_video_io_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_clip() {
+        let dir = temp_dir("roundtrip");
+        let scene = SceneConfig {
+            camera: crate::Camera::compact(),
+            ..SceneConfig::default()
+        };
+        let jump = SyntheticJump::generate(
+            &scene,
+            &JumpConfig {
+                frames: 4,
+                ..JumpConfig::default()
+            },
+            3,
+        );
+        save_video(&jump.video, &dir).unwrap();
+        let back = load_video(&dir).unwrap();
+        assert_eq!(back, jump.video);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_metadata_errors() {
+        let dir = temp_dir("missing_meta");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_video(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_frame_errors() {
+        let dir = temp_dir("missing_frame");
+        let scene = SceneConfig {
+            camera: crate::Camera::compact(),
+            ..SceneConfig::default()
+        };
+        let jump = SyntheticJump::generate(
+            &scene,
+            &JumpConfig {
+                frames: 3,
+                ..JumpConfig::default()
+            },
+            4,
+        );
+        save_video(&jump.video, &dir).unwrap();
+        std::fs::remove_file(dir.join("frame_0001.ppm")).unwrap();
+        let err = load_video(&dir).unwrap_err();
+        assert!(err.to_string().contains("frame 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_metadata_errors() {
+        let dir = temp_dir("corrupt_meta");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(META_FILE), "not json").unwrap();
+        let err = load_video(&dir).unwrap_err();
+        assert!(matches!(err, ImgError::Decode(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

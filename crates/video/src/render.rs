@@ -1,0 +1,349 @@
+//! Rendering: silhouettes, shadows and full frames.
+//!
+//! The jumper is drawn as one filled capsule per stick (the stick model
+//! of Figure 4 with its per-stick thickness), which makes the *true*
+//! silhouette the exact region Eq. 3's fitness is minimal over — the GA
+//! is evaluated against the same shape model it searches with, as in the
+//! original \[5\].
+
+use crate::background::background_pixel;
+use crate::camera::Camera;
+use crate::scene::{SceneConfig, ShadowConfig};
+use crate::video::Frame;
+use rand::Rng;
+use slj_imgproc::draw;
+use slj_imgproc::geometry::Point2;
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::mask::Mask;
+use slj_imgproc::noise::{add_channel_jitter, apply_global_flicker, Spot};
+use slj_motion::model::ALL_STICKS;
+use slj_motion::{BodyDims, Pose, StickKind};
+
+/// Rasterises the exact silhouette of a pose: the union of all eight
+/// stick capsules, in image space.
+pub fn render_silhouette(pose: &Pose, dims: &BodyDims, cam: &Camera) -> Mask {
+    let mut mask = Mask::new(cam.width, cam.height);
+    let segs = pose.segments(dims);
+    for (stick, seg) in segs.iter() {
+        let seg_px = cam.segment_to_image(seg);
+        let r_px = cam.length_to_pixels(dims.thickness(stick));
+        draw::fill_capsule_mask(&mut mask, seg_px, r_px);
+    }
+    mask
+}
+
+/// The ground-shadow region of a silhouette: each silhouette pixel at
+/// height `h` above the ground maps to a shadow pixel sheared forward by
+/// `shear·h` and squashed to `squash·h` below/above the ground row.
+/// Implemented by inverse mapping so the shadow region has no sampling
+/// holes.
+pub fn render_shadow_mask(silhouette: &Mask, cam: &Camera, shadow: &ShadowConfig) -> Mask {
+    if !shadow.enabled || shadow.squash <= 0.0 {
+        return Mask::new(silhouette.width(), silhouette.height());
+    }
+    let ground = cam.ground_row;
+    Mask::from_fn(silhouette.width(), silhouette.height(), |x, y| {
+        // Shadow occupies rows at/below the silhouette's feet: the band
+        // just *above* the ground row in image terms (we draw it on the
+        // ground plane, which is rendered below ground_row too).
+        let dy = ground - y as f64; // >0 above ground row
+        if dy < -(cam.height as f64) {
+            return false;
+        }
+        // Inverse of: y_t = ground - squash * h ; x_t = x_s + shear_px * h
+        let h = dy / shadow.squash; // source height in pixels
+        if h < 0.0 {
+            return false;
+        }
+        let shear_px = shadow.shear; // per pixel of height
+        let xs = x as f64 - shear_px * h;
+        let ys = ground - h;
+        if xs < 0.0 || ys < 0.0 {
+            return false;
+        }
+        silhouette.get(xs.round() as usize, ys.round() as usize)
+    })
+}
+
+/// Where the camouflage patches sit on the body: `(stick, fraction along
+/// the stick)`. Fixed positions so the patches move with the jumper.
+const CAMO_SITES: [(StickKind, f64); 6] = [
+    (StickKind::Trunk, 0.35),
+    (StickKind::Trunk, 0.7),
+    (StickKind::Thigh, 0.5),
+    (StickKind::Shank, 0.4),
+    (StickKind::UpperArm, 0.6),
+    (StickKind::Forearm, 0.5),
+];
+
+/// Renders one full video frame: background, cast shadow, drifting
+/// clutter spots, the jumper, camouflage patches, then sensor noise.
+///
+/// `spots` is the persistent clutter population (drifting across
+/// frames); `frame_index` advances their motion; `rng` drives the
+/// per-frame sensor noise.
+pub fn render_frame<R: Rng>(
+    scene: &SceneConfig,
+    dims: &BodyDims,
+    pose: &Pose,
+    spots: &[Spot],
+    frame_index: usize,
+    rng: &mut R,
+    background_seed: u64,
+) -> Frame {
+    let cam = &scene.camera;
+    let mut frame: Frame = ImageBuffer::from_fn(cam.width, cam.height, |x, y| {
+        background_pixel(x, y, cam, &scene.background, background_seed)
+    });
+
+    // Cast shadow: darken the background photometrically.
+    let silhouette = render_silhouette(pose, dims, cam);
+    if scene.shadow.enabled {
+        let shadow = render_shadow_mask(&silhouette, cam, &scene.shadow);
+        for (x, y) in shadow.foreground_pixels() {
+            let p = frame.get(x, y);
+            let mut hsv = p.to_hsv();
+            hsv.v *= scene.shadow.strength;
+            hsv.s = (hsv.s * scene.shadow.saturation_scale).clamp(0.0, 1.0);
+            frame.set(x, y, hsv.to_rgb());
+        }
+    }
+
+    // Clutter spots (occluded by the jumper, so drawn first).
+    for spot in spots {
+        spot.render(&mut frame, frame_index);
+    }
+
+    // The jumper: per-stick coloured capsules.
+    let segs = pose.segments(dims);
+    for stick in ALL_STICKS {
+        let seg_px = cam.segment_to_image(segs.segment(stick));
+        let r_px = cam.length_to_pixels(dims.thickness(stick));
+        draw::fill_capsule(&mut frame, seg_px, r_px, scene.jumper.color_for(stick));
+    }
+
+    // Camouflage patches: body spots whose colour matches the background
+    // *behind* them, so background subtraction misses them → holes the
+    // paper's Step 4 has to repair.
+    let n_patches = scene.noise.camo_patches.min(CAMO_SITES.len());
+    for &(stick, frac) in CAMO_SITES.iter().take(n_patches) {
+        let seg = segs.segment(stick);
+        let world = seg.a.lerp(seg.b, frac);
+        let px = cam.world_to_image(world);
+        let (cx, cy) = (px.x.round() as isize, px.y.round() as isize);
+        if cx >= 0 && cy >= 0 && (cx as usize) < cam.width && (cy as usize) < cam.height {
+            let camo = background_pixel(
+                cx as usize,
+                cy as usize,
+                cam,
+                &scene.background,
+                background_seed,
+            );
+            draw::fill_disc(&mut frame, Point2::new(px.x, px.y), scene.noise.camo_radius, camo);
+        }
+    }
+
+    // Sensor noise: global flicker then per-pixel jitter.
+    apply_global_flicker(&mut frame, scene.noise.flicker, rng);
+    add_channel_jitter(&mut frame, scene.noise.pixel_jitter, rng);
+
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slj_imgproc::moments;
+    use slj_imgproc::pixel::Rgb;
+
+    fn setup() -> (SceneConfig, BodyDims, Pose) {
+        let scene = SceneConfig::default();
+        let dims = BodyDims::default();
+        let mut pose = Pose::standing(&dims);
+        pose.center.x = 0.5;
+        (scene, dims, pose)
+    }
+
+    #[test]
+    fn silhouette_is_nonempty_and_human_sized() {
+        let (scene, dims, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &scene.camera);
+        // A 1.3 m child at 130 px/m spans ~169 px tall; silhouette area
+        // should be a few thousand pixels.
+        assert!(sil.count() > 1500, "area {}", sil.count());
+        assert!(sil.count() < 15000, "area {}", sil.count());
+        let bb = moments::bounding_box(&sil).unwrap();
+        assert!(bb.height() > 140, "height {}", bb.height());
+        // Taller than wide for a standing pose.
+        assert!(bb.height() > bb.width());
+    }
+
+    #[test]
+    fn silhouette_feet_touch_ground_row() {
+        let (scene, dims, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &scene.camera);
+        let bb = moments::bounding_box(&sil).unwrap();
+        let ground = scene.camera.ground_row as usize;
+        assert!(
+            (bb.y_max as isize - ground as isize).abs() <= 3,
+            "feet at row {} vs ground {}",
+            bb.y_max,
+            ground
+        );
+    }
+
+    #[test]
+    fn shadow_sits_on_the_ground_sheared_forward() {
+        let (scene, dims, pose) = setup();
+        let cam = &scene.camera;
+        let sil = render_silhouette(&pose, &dims, cam);
+        let shadow = render_shadow_mask(&sil, cam, &scene.shadow);
+        assert!(!shadow.is_blank());
+        let bb = moments::bounding_box(&shadow).unwrap();
+        let sil_bb = moments::bounding_box(&sil).unwrap();
+        // Shadow is squashed: much shorter than the body.
+        assert!(bb.height() < sil_bb.height() / 2);
+        // Shadow hugs the ground row.
+        assert!((bb.y_max as f64 - cam.ground_row).abs() <= 2.0);
+        // Sheared toward +x: shadow extends beyond the body's right edge.
+        assert!(bb.x_max > sil_bb.x_max);
+    }
+
+    #[test]
+    fn shadow_disabled_is_blank() {
+        let (mut scene, dims, pose) = setup();
+        scene.shadow.enabled = false;
+        let sil = render_silhouette(&pose, &dims, &scene.camera);
+        let shadow = render_shadow_mask(&sil, &scene.camera, &scene.shadow);
+        assert!(shadow.is_blank());
+    }
+
+    #[test]
+    fn shadow_preserves_hue_reduces_value() {
+        // The photometric property Eqs. 1–2 rely on.
+        let (scene, dims, pose) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut clean = scene.clone();
+        clean.noise = crate::scene::NoiseConfig::none();
+        let frame = render_frame(&clean, &dims, &pose, &[], 0, &mut rng, 11);
+        let cam = &clean.camera;
+        let sil = render_silhouette(&pose, &dims, cam);
+        let shadow = render_shadow_mask(&sil, cam, &clean.shadow);
+        // Sample shadow pixels not under the jumper.
+        let mut checked = 0;
+        for (x, y) in shadow.foreground_pixels() {
+            if sil.get(x, y) {
+                continue;
+            }
+            let bg = background_pixel(x, y, cam, &clean.background, 11);
+            let observed = frame.get(x, y);
+            let dv = observed.to_hsv().v / bg.to_hsv().v.max(1e-6);
+            assert!(dv < 0.85, "shadow pixel barely darker: ratio {dv}");
+            let dh = observed.to_hsv().hue_distance(bg.to_hsv());
+            assert!(dh < 25.0, "hue shifted by {dh}°");
+            checked += 1;
+            if checked > 200 {
+                break;
+            }
+        }
+        assert!(checked > 50, "too few shadow pixels sampled: {checked}");
+    }
+
+    #[test]
+    fn frame_shows_jumper_colors() {
+        let (scene, dims, pose) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let frame = render_frame(&scene, &dims, &pose, &[], 0, &mut rng, 11);
+        // The trunk centre pixel should be shirt-coloured (within noise).
+        let c_px = scene.camera.world_to_image(pose.center);
+        let observed = frame.get(c_px.x.round() as usize, c_px.y.round() as usize);
+        assert!(
+            observed.l1_distance(scene.jumper.shirt) < 60,
+            "trunk pixel {observed} vs shirt {}",
+            scene.jumper.shirt
+        );
+    }
+
+    #[test]
+    fn spots_are_occluded_by_jumper() {
+        let (mut scene, dims, pose) = setup();
+        scene.noise = crate::scene::NoiseConfig::none();
+        let c_px = scene.camera.world_to_image(pose.center);
+        let spot = Spot {
+            x: c_px.x,
+            y: c_px.y,
+            vx: 0.0,
+            vy: 0.0,
+            radius: 3.0,
+            color: Rgb::new(255, 0, 0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let frame = render_frame(&scene, &dims, &pose, &[spot], 0, &mut rng, 11);
+        let observed = frame.get(c_px.x.round() as usize, c_px.y.round() as usize);
+        // Jumper shirt hides the red spot.
+        assert_eq!(observed, scene.jumper.shirt);
+    }
+
+    #[test]
+    fn spots_visible_off_body() {
+        let (mut scene, dims, pose) = setup();
+        scene.noise = crate::scene::NoiseConfig::none();
+        scene.shadow.enabled = false;
+        let spot = Spot {
+            x: 300.0,
+            y: 40.0,
+            vx: 0.0,
+            vy: 0.0,
+            radius: 3.0,
+            color: Rgb::new(255, 0, 0),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let frame = render_frame(&scene, &dims, &pose, &[spot], 0, &mut rng, 11);
+        assert_eq!(frame.get(300, 40), Rgb::new(255, 0, 0));
+    }
+
+    #[test]
+    fn camo_patches_match_background() {
+        let (mut scene, dims, pose) = setup();
+        scene.noise.pixel_jitter = 0;
+        scene.noise.flicker = 0.0;
+        scene.noise.camo_patches = 3;
+        let mut rng = StdRng::seed_from_u64(5);
+        let frame = render_frame(&scene, &dims, &pose, &[], 0, &mut rng, 11);
+        // The first camo site (trunk @ 0.35) must equal the background
+        // colour exactly.
+        let segs = pose.segments(&dims);
+        let seg = segs.segment(StickKind::Trunk);
+        let world = seg.a.lerp(seg.b, 0.35);
+        let px = scene.camera.world_to_image(world);
+        let (x, y) = (px.x.round() as usize, px.y.round() as usize);
+        let bg = background_pixel(x, y, &scene.camera, &scene.background, 11);
+        assert_eq!(frame.get(x, y), bg);
+    }
+
+    #[test]
+    fn zero_camo_config_leaves_body_solid() {
+        let (mut scene, dims, pose) = setup();
+        scene.noise = crate::scene::NoiseConfig::none();
+        let mut rng = StdRng::seed_from_u64(6);
+        let frame = render_frame(&scene, &dims, &pose, &[], 0, &mut rng, 11);
+        let segs = pose.segments(&dims);
+        let seg = segs.segment(StickKind::Trunk);
+        let world = seg.a.lerp(seg.b, 0.35);
+        let px = scene.camera.world_to_image(world);
+        assert_eq!(
+            frame.get(px.x.round() as usize, px.y.round() as usize),
+            scene.jumper.shirt
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_given_seeds() {
+        let (scene, dims, pose) = setup();
+        let f1 = render_frame(&scene, &dims, &pose, &[], 0, &mut StdRng::seed_from_u64(9), 11);
+        let f2 = render_frame(&scene, &dims, &pose, &[], 0, &mut StdRng::seed_from_u64(9), 11);
+        assert_eq!(f1, f2);
+    }
+}

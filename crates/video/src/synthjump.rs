@@ -1,0 +1,175 @@
+//! One-call synthetic jump generation with full ground truth.
+
+use crate::background::render_background;
+use crate::render::{render_frame, render_silhouette};
+use crate::scene::SceneConfig;
+use crate::video::{Frame, Video};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slj_imgproc::mask::Mask;
+use slj_imgproc::noise::Spot;
+use slj_motion::synth::synthesize_jump;
+use slj_motion::{JumpConfig, PoseSeq};
+
+/// A synthetic standing-long-jump clip bundled with every ground truth
+/// the experiments need.
+#[derive(Debug, Clone)]
+pub struct SyntheticJump {
+    /// The rendered video (with shadow and noise).
+    pub video: Video,
+    /// The clean true background (no jumper, no spots, no sensor noise).
+    pub true_background: Frame,
+    /// The exact silhouette of the jumper, per frame.
+    pub silhouettes: Vec<Mask>,
+    /// The exact pose, per frame.
+    pub poses: PoseSeq,
+    /// The scene the clip was rendered with.
+    pub scene: SceneConfig,
+    /// The jump that was performed.
+    pub jump: JumpConfig,
+    /// The master seed the clip was generated from.
+    pub seed: u64,
+}
+
+impl SyntheticJump {
+    /// Generates a clip. Deterministic in `(scene, jump, seed)`.
+    ///
+    /// The seed feeds three independent streams: the background grain,
+    /// the clutter-spot population, and the per-frame sensor noise —
+    /// regenerating with the same seed reproduces the clip bit-for-bit.
+    pub fn generate(scene: &SceneConfig, jump: &JumpConfig, seed: u64) -> SyntheticJump {
+        let poses = synthesize_jump(jump);
+        let cam = &scene.camera;
+        let background_seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+
+        let mut spot_rng = StdRng::seed_from_u64(seed.wrapping_add(0x5151));
+        let spots: Vec<Spot> = (0..scene.noise.spot_count)
+            .map(|_| Spot::random(cam.width, cam.height, scene.noise.spot_max_radius, &mut spot_rng))
+            .collect();
+
+        let mut frame_rng = StdRng::seed_from_u64(seed.wrapping_add(0xF00D));
+        let mut frames = Vec::with_capacity(poses.len());
+        let mut silhouettes = Vec::with_capacity(poses.len());
+        for (k, pose) in poses.poses().iter().enumerate() {
+            frames.push(render_frame(
+                scene,
+                &jump.dims,
+                pose,
+                &spots,
+                k,
+                &mut frame_rng,
+                background_seed,
+            ));
+            silhouettes.push(render_silhouette(pose, &jump.dims, cam));
+        }
+
+        SyntheticJump {
+            video: Video::new(frames, jump.fps),
+            true_background: render_background(cam, &scene.background, background_seed),
+            silhouettes,
+            poses,
+            scene: scene.clone(),
+            jump: jump.clone(),
+            seed,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.video.len()
+    }
+
+    /// Whether the clip is empty (never true for generated clips).
+    pub fn is_empty(&self) -> bool {
+        self.video.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imgproc::moments;
+
+    #[test]
+    fn bundle_is_consistent() {
+        let j = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 42);
+        assert_eq!(j.video.len(), 20);
+        assert_eq!(j.silhouettes.len(), 20);
+        assert_eq!(j.poses.len(), 20);
+        assert_eq!(j.video.dims(), (320, 240));
+        assert_eq!(j.true_background.dims(), (320, 240));
+        assert!(!j.is_empty());
+        assert_eq!(j.len(), 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 7);
+        let b = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 7);
+        assert_eq!(a.video, b.video);
+        assert_eq!(a.silhouettes, b.silhouettes);
+        assert_eq!(a.true_background, b.true_background);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 7);
+        let b = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 8);
+        assert_ne!(a.video, b.video);
+    }
+
+    #[test]
+    fn silhouette_tracks_the_moving_jumper() {
+        let j = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 3);
+        let first = moments::centroid(&j.silhouettes[0]).unwrap();
+        let last = moments::centroid(j.silhouettes.last().unwrap()).unwrap();
+        // The centroid moves right by roughly the jump distance in px.
+        let px = j.scene.camera.length_to_pixels(j.jump.jump_distance);
+        let moved = last.x - first.x;
+        assert!(
+            (0.6 * px..=1.3 * px).contains(&moved),
+            "moved {moved} px, expected about {px}"
+        );
+    }
+
+    #[test]
+    fn silhouette_centroid_matches_projected_pose_center() {
+        let j = SyntheticJump::generate(&SceneConfig::clean(), &JumpConfig::default(), 3);
+        for (k, sil) in j.silhouettes.iter().enumerate() {
+            let c = moments::centroid(sil).unwrap();
+            let pose_px = j.scene.camera.world_to_image(j.poses.poses()[k].center);
+            // The silhouette centroid is near (not exactly at) the trunk
+            // centre — limbs pull it around; 30 px is a loose sanity band.
+            assert!(
+                c.distance(pose_px) < 30.0,
+                "frame {k}: centroid {c} vs centre {pose_px}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_scene_frame_equals_background_plus_jumper() {
+        let j = SyntheticJump::generate(&SceneConfig::clean(), &JumpConfig::default(), 5);
+        let frame0 = &j.video.frames()[0];
+        let sil0 = &j.silhouettes[0];
+        let mut diff_outside = 0u32;
+        for (x, y, p) in frame0.enumerate_pixels() {
+            if !sil0.get(x, y) {
+                diff_outside += p.linf_distance(j.true_background.get(x, y)).min(1);
+            }
+        }
+        assert_eq!(diff_outside, 0, "{diff_outside} non-silhouette pixels differ");
+    }
+
+    #[test]
+    fn noisy_scene_background_pixels_are_jittered() {
+        let j = SyntheticJump::generate(&SceneConfig::default(), &JumpConfig::default(), 5);
+        let frame0 = &j.video.frames()[0];
+        let changed = frame0
+            .enumerate_pixels()
+            .filter(|&(x, y, p)| p != j.true_background.get(x, y))
+            .count();
+        // Most pixels should be perturbed by jitter/flicker.
+        assert!(changed > frame0.len() / 2, "only {changed} pixels changed");
+    }
+}

@@ -1,0 +1,130 @@
+//! Frames and video sequences.
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::pixel::Rgb;
+
+/// One RGB video frame.
+pub type Frame = ImageBuffer<Rgb>;
+
+/// A short fixed-camera video clip (the paper's input: "totally 20
+/// frames or so for a standing long jump video sequence").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    frames: Vec<Frame>,
+    fps: f64,
+}
+
+impl Video {
+    /// Creates a video from frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not finite/positive, or if frames have
+    /// mismatched dimensions.
+    pub fn new(frames: Vec<Frame>, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        if let Some(first) = frames.first() {
+            let dims = first.dims();
+            for (i, f) in frames.iter().enumerate() {
+                assert!(
+                    f.dims() == dims,
+                    "frame {i} is {:?}, expected {:?}",
+                    f.dims(),
+                    dims
+                );
+            }
+        }
+        Video { frames, fps }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the clip has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame rate, frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// `(width, height)` of the frames, or `(0, 0)` when empty.
+    pub fn dims(&self) -> (usize, usize) {
+        self.frames.first().map(|f| f.dims()).unwrap_or((0, 0))
+    }
+
+    /// All frames in order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The frame at an index, if present.
+    pub fn get(&self, index: usize) -> Option<&Frame> {
+        self.frames.get(index)
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, Frame> {
+        self.frames.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Video {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(w: usize, h: usize, v: u8) -> Frame {
+        ImageBuffer::filled(w, h, Rgb::splat(v))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Video::new(vec![frame(4, 3, 0), frame(4, 3, 1)], 10.0);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.dims(), (4, 3));
+        assert_eq!(v.fps(), 10.0);
+        assert_eq!(v.get(1).unwrap().get(0, 0), Rgb::splat(1));
+        assert!(v.get(2).is_none());
+    }
+
+    #[test]
+    fn empty_video() {
+        let v = Video::new(vec![], 10.0);
+        assert!(v.is_empty());
+        assert_eq!(v.dims(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn mismatched_frames_rejected() {
+        Video::new(vec![frame(4, 3, 0), frame(5, 3, 0)], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps")]
+    fn bad_fps_rejected() {
+        Video::new(vec![], f64::NAN);
+    }
+
+    #[test]
+    fn iteration() {
+        let v = Video::new(vec![frame(2, 2, 0), frame(2, 2, 9)], 10.0);
+        let vals: Vec<u8> = (&v).into_iter().map(|f| f.get(0, 0).r).collect();
+        assert_eq!(vals, vec![0, 9]);
+        assert_eq!(v.iter().count(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Segmentation-pipeline integration tests against ground truth.
+//!
+//! The synthetic camera provides the true background and the true
+//! silhouette for every frame, so the paper's qualitative Figures 1–3
+//! become quantitative assertions here.
+
+use slj_motion::JumpConfig;
+use slj_segment::background::{BackgroundConfig, BackgroundEstimator, UpdateMode};
+use slj_segment::metrics::evaluate_clip;
+use slj_segment::pipeline::{PipelineConfig, SegmentPipeline};
+use slj_segment::shadow::{ShadowDetector, ShadowParams};
+use slj_video::{Camera, SceneConfig, SyntheticJump};
+
+fn compact_scene(clean: bool) -> SceneConfig {
+    let base = if clean {
+        SceneConfig::clean()
+    } else {
+        SceneConfig::default()
+    };
+    SceneConfig {
+        camera: Camera::compact(),
+        ..base
+    }
+}
+
+#[test]
+fn background_estimate_close_to_truth_across_seeds() {
+    // Fig. 1: the estimated background vs the true one.
+    for seed in [1, 2, 3] {
+        let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), seed);
+        let bg = BackgroundEstimator::new(BackgroundConfig::default())
+            .estimate(&jump.video)
+            .unwrap();
+        let mae = bg.mae_against(&jump.true_background).unwrap();
+        assert!(mae < 6.0, "seed {seed}: background MAE {mae}");
+        assert!(bg.coverage() > 0.97, "seed {seed}: coverage {}", bg.coverage());
+    }
+}
+
+#[test]
+fn median_background_beats_paper_last_stable() {
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 7);
+    let median = BackgroundEstimator::new(BackgroundConfig::default())
+        .estimate(&jump.video)
+        .unwrap()
+        .mae_against(&jump.true_background)
+        .unwrap();
+    let last = BackgroundEstimator::new(BackgroundConfig::paper())
+        .estimate(&jump.video)
+        .unwrap()
+        .mae_against(&jump.true_background)
+        .unwrap();
+    assert!(
+        median <= last + 0.5,
+        "median MAE {median} should not lose to last-stable {last}"
+    );
+}
+
+#[test]
+fn pipeline_final_iou_high_on_noisy_scene() {
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 4);
+    let result = SegmentPipeline::new(PipelineConfig::default())
+        .run(&jump.video)
+        .unwrap();
+    let clip = evaluate_clip(&result, &jump.silhouettes, 2).unwrap();
+    assert!(
+        clip.stages.final_mask.iou() > 0.70,
+        "final {}",
+        clip.stages.final_mask
+    );
+    // And each repair stage contributes: final beats raw clearly.
+    assert!(clip.stages.final_mask.iou() > clip.stages.raw.iou() + 0.05);
+}
+
+#[test]
+fn stage_precision_increases_along_fig2_panels() {
+    // Fig. 2(a)->(d): subtraction, noise filter, spot removal, hole fill.
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 5);
+    let result = SegmentPipeline::new(PipelineConfig::default())
+        .run(&jump.video)
+        .unwrap();
+    let clip = evaluate_clip(&result, &jump.silhouettes, 2).unwrap();
+    let s = &clip.stages;
+    assert!(s.denoised.precision() >= s.raw.precision());
+    assert!(s.despotted.precision() >= s.denoised.precision());
+    // Hole filling recovers recall without giving back much precision.
+    assert!(s.filled.recall() >= s.despotted.recall());
+}
+
+#[test]
+fn shadow_removal_recovers_precision() {
+    // Fig. 3: shadows inflate the mask; Step 5 removes them.
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 6);
+    let with_shadow_removal = SegmentPipeline::new(PipelineConfig::default())
+        .run(&jump.video)
+        .unwrap();
+    let without = SegmentPipeline::new(PipelineConfig {
+        shadow: None,
+        ..PipelineConfig::default()
+    })
+    .run(&jump.video)
+    .unwrap();
+    let a = evaluate_clip(&with_shadow_removal, &jump.silhouettes, 2).unwrap();
+    let b = evaluate_clip(&without, &jump.silhouettes, 2).unwrap();
+    assert!(
+        a.stages.final_mask.precision() > b.stages.final_mask.precision() + 0.03,
+        "with {} vs without {}",
+        a.stages.final_mask,
+        b.stages.final_mask
+    );
+}
+
+#[test]
+fn shadow_detector_rarely_eats_the_jumper() {
+    // Eq. 1's conditions must not classify actual body pixels as shadow.
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 8);
+    let det = ShadowDetector::new(ShadowParams::default());
+    let k = jump.video.len() / 2;
+    let frame = &jump.video.frames()[k];
+    let truth = &jump.silhouettes[k];
+    let shadow = det.shadow_mask(frame, &jump.true_background, truth);
+    let eaten = shadow.intersect(truth).unwrap().count();
+    let body = truth.count();
+    assert!(
+        (eaten as f64) < 0.10 * body as f64,
+        "{eaten} of {body} body pixels misclassified as shadow"
+    );
+}
+
+#[test]
+fn clean_scene_is_nearly_perfect_everywhere() {
+    let jump = SyntheticJump::generate(&compact_scene(true), &JumpConfig::default(), 9);
+    let result = SegmentPipeline::new(PipelineConfig::default())
+        .run(&jump.video)
+        .unwrap();
+    let clip = evaluate_clip(&result, &jump.silhouettes, 2).unwrap();
+    assert!(
+        clip.stages.final_mask.iou() > 0.88,
+        "clean-scene final {}",
+        clip.stages.final_mask
+    );
+}
+
+#[test]
+fn last_stable_mode_still_adequate_for_tracking() {
+    // The paper's exact background method must remain usable even if the
+    // median variant beats it.
+    let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 10);
+    let mut cfg = PipelineConfig::default();
+    cfg.background = BackgroundConfig {
+        mode: UpdateMode::LastStable,
+        ..BackgroundConfig::default()
+    };
+    let result = SegmentPipeline::new(cfg).run(&jump.video).unwrap();
+    let clip = evaluate_clip(&result, &jump.silhouettes, 2).unwrap();
+    // Last-stable burns the landed jumper into the background, leaving a
+    // ghost blob that roughly halves precision — the documented weakness
+    // the median mode fixes. Recall must stay high (the body itself is
+    // still extracted) and the mask must remain usable.
+    assert!(clip.stages.final_mask.recall() > 0.8, "{}", clip.stages.final_mask);
+    assert!(clip.stages.final_mask.iou() > 0.4, "{}", clip.stages.final_mask);
+}

@@ -1,0 +1,118 @@
+//! System-level property tests: measurement, phase classification and
+//! rule traces hold their invariants over arbitrary jump configurations.
+
+use proptest::prelude::*;
+use slj::prelude::*;
+use slj_motion::phases::JumpPhase;
+use slj_motion::{classify_phases, JumpFlaw};
+use slj_score::RuleTrace;
+
+fn flaw_set(bits: u8) -> Vec<JumpFlaw> {
+    JumpFlaw::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| bits & (1 << i) != 0)
+        .map(|(_, f)| *f)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn measurement_invariants(
+        frames in 10usize..30,
+        distance in 0.6f64..1.6,
+        height in 1.0f64..1.6,
+        bits in 0u8..128,
+    ) {
+        let cfg = JumpConfig {
+            frames,
+            jump_distance: distance,
+            dims: BodyDims::for_height(height),
+            flaws: flaw_set(bits),
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        let m = measure_jump(&seq, &cfg.dims).expect("every synthetic jump flies");
+        prop_assert!(m.takeoff_frame < m.landing_frame);
+        prop_assert!(m.landing_frame < frames);
+        prop_assert!(m.flight_frames >= 1);
+        prop_assert!(m.flight_frames <= frames);
+        // The jump goes forward, and not absurdly far.
+        prop_assert!(m.distance_m > 0.0, "distance {}", m.distance_m);
+        prop_assert!(m.distance_m < distance + 1.0);
+        prop_assert!(m.peak_clearance_m > 0.0);
+        prop_assert!(m.peak_clearance_m < height);
+    }
+
+    #[test]
+    fn phase_classification_invariants(
+        frames in 10usize..30,
+        bits in 0u8..128,
+    ) {
+        let cfg = JumpConfig {
+            frames,
+            flaws: flaw_set(bits),
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        let phases = classify_phases(&seq, &cfg.dims);
+        prop_assert_eq!(phases.len(), frames);
+        // Exactly one contiguous flight block; takeoff (if any) directly
+        // precedes it.
+        let first_flight = phases.iter().position(|&p| p == JumpPhase::Flight);
+        if let Some(fs) = first_flight {
+            let fe = phases.iter().rposition(|&p| p == JumpPhase::Flight).unwrap();
+            prop_assert!(phases[fs..=fe].iter().all(|&p| p == JumpPhase::Flight));
+            if fs > 0 {
+                prop_assert_eq!(phases[fs - 1], JumpPhase::Takeoff);
+            }
+            // Nothing before flight is landing/recovery; nothing after
+            // is standing/crouch/takeoff.
+            prop_assert!(phases[..fs]
+                .iter()
+                .all(|&p| !matches!(p, JumpPhase::Landing | JumpPhase::Recovery)));
+            prop_assert!(phases[fe + 1..]
+                .iter()
+                .all(|&p| matches!(p, JumpPhase::Landing | JumpPhase::Recovery)));
+        }
+    }
+
+    #[test]
+    fn rule_traces_consistent_with_card(
+        frames in 8usize..26,
+        bits in 0u8..128,
+    ) {
+        let cfg = JumpConfig {
+            frames,
+            flaws: flaw_set(bits),
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        let card = score_jump(&seq).unwrap();
+        let traces = RuleTrace::all(&seq).unwrap();
+        prop_assert_eq!(traces.len(), 7);
+        for (trace, result) in traces.iter().zip(card.results()) {
+            prop_assert_eq!(trace.rule, result.rule);
+            prop_assert_eq!(trace.satisfied, result.satisfied);
+            prop_assert_eq!(trace.values.len(), frames);
+            // The sparkline is one char per frame.
+            prop_assert_eq!(trace.sparkline().chars().count(), frames);
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_scoring_of_clean_sequences(bits in 0u8..128) {
+        // The analyzer's median smoothing must not change verdicts on
+        // already-clean (synthetic) pose sequences.
+        let cfg = JumpConfig {
+            flaws: flaw_set(bits),
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        let card_raw = score_jump(&seq).unwrap();
+        let card_smooth = score_jump(&seq.median_smoothed(3)).unwrap();
+        prop_assert_eq!(card_raw.score(), card_smooth.score(), "flaws {:?}", cfg.flaws);
+    }
+}
