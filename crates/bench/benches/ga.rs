@@ -32,8 +32,7 @@ fn bench_ga(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.sample_size(10);
     g.bench_function("temporal_frame_default_budget", |b| {
-        let problem =
-            PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
+        let problem = PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
         let ga = GaConfig {
             population_size: 100,
             max_generations: 40,
@@ -46,8 +45,7 @@ fn bench_ga(c: &mut Criterion) {
         })
     });
     g.bench_function("single_generation_pop100", |b| {
-        let problem =
-            PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
+        let problem = PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg).unwrap();
         let ga = GaConfig {
             population_size: 100,
             max_generations: 1,

@@ -39,9 +39,8 @@ fn main() {
                 mutation_rate: mutation,
                 ..PoseProblemConfig::default()
             };
-            let problem =
-                PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg)
-                    .expect("problem");
+            let problem = PoseProblem::new(&sil, &jump_cfg.dims, &camera, init, problem_cfg)
+                .expect("problem");
             let ga = GaConfig {
                 population_size: pop,
                 max_generations: BUDGET / pop,

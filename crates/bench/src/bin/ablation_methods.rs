@@ -8,8 +8,8 @@
 
 use slj::prelude::*;
 use slj_bench::{banner, f1, f3, print_table};
-use slj_ga::particle::{ParticleFilter, ParticleFilterConfig};
 use slj_ga::engine::GaConfig;
+use slj_ga::particle::{ParticleFilter, ParticleFilterConfig};
 use slj_ga::pose_problem::PoseProblemConfig;
 use slj_ga::tracker::TemporalTracker;
 use slj_video::render::render_silhouette;

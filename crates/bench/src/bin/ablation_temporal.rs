@@ -80,7 +80,9 @@ fn main() {
             seed,
             ..SingleFrameEstimator::default()
         };
-        let run = est.estimate(&sil, &jump_cfg.dims, &camera).expect("estimate");
+        let run = est
+            .estimate(&sil, &jump_cfg.dims, &camera)
+            .expect("estimate");
         let err = run.best.error_against(&target);
         rows.push(vec![
             "single-frame GA [5] (full range, 200 gens)".into(),

@@ -20,7 +20,9 @@ fn run(scene: &SceneConfig, jump: &SyntheticJump, shadow: Option<ShadowParams>) 
         shadow,
         ..PipelineConfig::default()
     };
-    let result = SegmentPipeline::new(cfg).run(&jump.video).expect("pipeline");
+    let result = SegmentPipeline::new(cfg)
+        .run(&jump.video)
+        .expect("pipeline");
     let clip = evaluate_clip(&result, &jump.silhouettes, 2).expect("metrics");
 
     // Shadow-ground-truth diagnostics on the middle frame.

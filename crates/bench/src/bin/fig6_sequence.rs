@@ -85,7 +85,10 @@ fn main() {
     }
     let sheet = slj::viz::contact_sheet(&panels, 3);
     slj_imgproc::io::save_ppm(&sheet, dir.join("fig6_contact_sheet.ppm")).unwrap();
-    println!("\noverlay panels + contact sheet written to {}", dir.display());
+    println!(
+        "\noverlay panels + contact sheet written to {}",
+        dir.display()
+    );
 
     let score = &report.score;
     println!("\nend-to-end score card for the (good) jump:\n{score}");

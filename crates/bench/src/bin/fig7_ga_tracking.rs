@@ -33,8 +33,10 @@ fn main() {
         .map(|p| render_silhouette(p, &jump_cfg.dims, &camera))
         .collect();
 
-    let mut config = TrackerConfig::default();
-    config.seed = seed;
+    let config = TrackerConfig {
+        seed,
+        ..TrackerConfig::default()
+    };
     let tracker = TemporalTracker::new(config);
     let run = tracker
         .track(&silhouettes, truth.poses()[0], &jump_cfg.dims, &camera)
@@ -122,7 +124,10 @@ fn main() {
         );
         slj_imgproc::io::save_ppm(&panel, dir.join(format!("fig7_frame_{}.ppm", k + 1))).unwrap();
     }
-    println!("panels (frames 2-3, paper numbering) written to {}", dir.display());
+    println!(
+        "panels (frames 2-3, paper numbering) written to {}",
+        dir.display()
+    );
     println!(
         "\nReading: thanks to the previous frame's model seeding the population,\n\
          the GA starts within ~2x of truth-quality and crosses the 1.25x bar\n\

@@ -39,11 +39,7 @@ fn main() {
         .iter()
         .map(|s| {
             let r = s.rule().rule();
-            vec![
-                s.to_string(),
-                r.to_string(),
-                r.stage.to_string(),
-            ]
+            vec![s.to_string(), r.to_string(), r.stage.to_string()]
         })
         .collect();
     print_table(&["standard", "rule", "stage"], &rows);
@@ -57,8 +53,7 @@ fn main() {
         rows.push(verdict_row("good jump", &[v]));
     }
     for flaw in JumpFlaw::ALL {
-        let card =
-            score_jump(&synthesize_jump(&JumpConfig::with_flaw(flaw))).expect("score");
+        let card = score_jump(&synthesize_jump(&JumpConfig::with_flaw(flaw))).expect("score");
         let v: Vec<usize> = card.violations().iter().map(|r| r.number()).collect();
         rows.push(verdict_row(&format!("{flaw:?}"), &[v]));
     }

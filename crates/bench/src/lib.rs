@@ -72,10 +72,7 @@ mod tests {
     fn table_does_not_panic_and_aligns() {
         print_table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
     }
 

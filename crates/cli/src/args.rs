@@ -20,7 +20,11 @@ impl Flags {
     ///
     /// Returns [`CliError::Usage`] for unknown flags, missing values,
     /// duplicates, or stray positional arguments.
-    pub fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Flags, CliError> {
+    pub fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Flags, CliError> {
         let mut flags = Flags::default();
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
@@ -38,7 +42,11 @@ impl Flags {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
-                if flags.values.insert(name.to_owned(), value.clone()).is_some() {
+                if flags
+                    .values
+                    .insert(name.to_owned(), value.clone())
+                    .is_some()
+                {
                     return Err(CliError::Usage(format!("duplicate flag --{name}")));
                 }
             } else {
@@ -74,9 +82,9 @@ impl Flags {
     {
         match self.value(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|e| {
-                CliError::Usage(format!("--{name}: cannot parse '{raw}': {e}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--{name}: cannot parse '{raw}': {e}"))),
         }
     }
 
@@ -96,7 +104,12 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let f = Flags::parse(&argv("--out dir --seed 7 --fast"), &["out", "seed"], &["fast"]).unwrap();
+        let f = Flags::parse(
+            &argv("--out dir --seed 7 --fast"),
+            &["out", "seed"],
+            &["fast"],
+        )
+        .unwrap();
         assert_eq!(f.value("out"), Some("dir"));
         assert_eq!(f.get_or("seed", 0u64).unwrap(), 7);
         assert!(f.switch("fast"));

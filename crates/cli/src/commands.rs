@@ -24,16 +24,16 @@ pub fn synth<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let distance: f64 = flags.get_or("distance", 1.1)?;
     let height: f64 = flags.get_or("height", 1.30)?;
     if !(0.5..=2.5).contains(&height) {
-        return Err(CliError::Usage("--height must be in 0.5..=2.5 metres".into()));
+        return Err(CliError::Usage(
+            "--height must be in 0.5..=2.5 metres".into(),
+        ));
     }
     let flaws: Vec<JumpFlaw> = match flags.value("flaws") {
         None => Vec::new(),
         Some(list) => list
             .split(',')
             .filter(|s| !s.is_empty())
-            .map(|name| {
-                JumpFlaw::from_str(name).map_err(|e| CliError::Usage(e.to_string()))
-            })
+            .map(|name| JumpFlaw::from_str(name).map_err(|e| CliError::Usage(e.to_string())))
             .collect::<Result<_, _>>()?,
     };
 
@@ -85,24 +85,60 @@ pub fn synth<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
 /// `slj analyze` — the full pipeline on a saved clip.
 pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["clip", "report", "report-md"], &["fast", "paper", "half-res"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "clip",
+            "report",
+            "report-md",
+            "inject-faults",
+            "max-degraded",
+        ],
+        &["fast", "paper", "half-res", "best-effort"],
+    )?;
     let clip_dir = flags.required("clip")?.to_owned();
     if flags.switch("fast") && flags.switch("paper") {
         return Err(CliError::Usage("--fast and --paper are exclusive".into()));
     }
+    if flags.value("max-degraded").is_some() && !flags.switch("best-effort") {
+        return Err(CliError::Usage(
+            "--max-degraded only makes sense with --best-effort".into(),
+        ));
+    }
+    // Validate the fault spec before touching the disk so a typo fails
+    // as a usage error, not mid-load.
+    let fault_cfg = flags
+        .value("inject-faults")
+        .map(FaultConfig::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--inject-faults: {e}")))?;
     let mut video = load_video(&clip_dir)?;
     let truth = ClipTruth::load(&clip_dir)?;
     let mut camera = truth.camera;
+
+    if let Some(fault_cfg) = fault_cfg {
+        let (faulty, injection) = FaultInjector::new(fault_cfg).inject(&video);
+        writeln!(
+            out,
+            "injected faults into {}/{} frames ({} inputs dropped, {} truncated)",
+            injection.faulty_frames(),
+            faulty.len(),
+            injection.dropped_inputs.len(),
+            injection.truncated_inputs.len()
+        )?;
+        video = faulty;
+    }
     if flags.switch("half-res") {
         video = Video::new(
-            video
-                .iter()
-                .map(slj_imgproc::filter::resize_half)
-                .collect(),
+            video.iter().map(slj_imgproc::filter::resize_half).collect(),
             video.fps(),
         );
         camera = camera.halved();
-        writeln!(out, "analysing at half resolution ({}x{})", camera.width, camera.height)?;
+        writeln!(
+            out,
+            "analysing at half resolution ({}x{})",
+            camera.width, camera.height
+        )?;
     }
 
     let mut config = if flags.switch("fast") {
@@ -113,6 +149,14 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         AnalyzerConfig::default()
     };
     config.dims = truth.dims.clone();
+    if flags.switch("best-effort") {
+        // Default budget: a quarter of the clip may degrade before the
+        // analysis gives up entirely.
+        let max_degraded: usize = flags.get_or("max-degraded", video.len().div_ceil(4))?;
+        config.robustness = RobustnessPolicy::BestEffort {
+            max_degraded_frames: max_degraded,
+        };
+    }
 
     let report = JumpAnalyzer::new(config).analyze(&video, &camera, truth.first_pose)?;
 
@@ -143,6 +187,23 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         .collect();
     writeln!(out, "phase timeline: {timeline}")?;
 
+    // Frame health: confidence timeline plus per-frame detail for
+    // anything below the degraded floor.
+    let summary = report.summary();
+    writeln!(
+        out,
+        "frame health:   {} (# clean, + minor, ~ shaky, ! degraded; mean confidence {:.2})",
+        slj::health_timeline(&report.health),
+        summary.mean_confidence
+    )?;
+    if !summary.degraded_frames.is_empty() {
+        writeln!(
+            out,
+            "degraded frames excluded from scoring: {:?}",
+            summary.degraded_frames
+        )?;
+    }
+
     match slj::measure_jump(&report.poses, &truth.dims) {
         Ok(m) => writeln!(
             out,
@@ -164,7 +225,7 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     )?;
 
     if let Some(path) = flags.value("report") {
-        let json = serde_json::to_string_pretty(&report.summary())?;
+        let json = serde_json::to_string_pretty(&summary)?;
         std::fs::write(path, json)?;
         writeln!(out, "summary written to {path}")?;
     }
@@ -180,8 +241,8 @@ pub fn score<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["clip"], &[])?;
     let clip_dir = flags.required("clip")?.to_owned();
     let truth = ClipTruth::load(&clip_dir)?;
-    let card = score_jump(&truth.poses)
-        .map_err(|e| CliError::Usage(format!("cannot score: {e}")))?;
+    let card =
+        score_jump(&truth.poses).map_err(|e| CliError::Usage(format!("cannot score: {e}")))?;
     writeln!(out, "{card}")?;
     for (standard, advice) in card.advice() {
         writeln!(out, "{standard}\n  -> {advice}")?;
@@ -191,7 +252,10 @@ pub fn score<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
 /// `slj flaws` — list the injectable faults.
 pub fn flaws<W: Write>(out: &mut W) -> Result<(), CliError> {
-    writeln!(out, "injectable technique faults (E1-E7 of the paper's Table 1):")?;
+    writeln!(
+        out,
+        "injectable technique faults (E1-E7 of the paper's Table 1):"
+    )?;
     for f in JumpFlaw::ALL {
         writeln!(
             out,

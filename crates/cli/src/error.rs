@@ -77,7 +77,7 @@ mod tests {
         let u = CliError::Usage("bad flag".into());
         assert!(u.to_string().contains("bad flag"));
         assert!(u.source().is_none());
-        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = CliError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
     }
 }

@@ -37,6 +37,7 @@ USAGE:
               [--distance M] [--height M] [--compact] [--clean]
   slj analyze --clip DIR [--report FILE.json] [--report-md FILE.md]
               [--fast | --paper] [--half-res]
+              [--best-effort [--max-degraded N]] [--inject-faults SPEC]
   slj score   --clip DIR
   slj flaws
   slj help
@@ -44,6 +45,9 @@ USAGE:
 COMMANDS:
   synth     render a synthetic jump clip with ground truth
   analyze   run segmentation + GA pose tracking + scoring on a clip
+            (--best-effort tolerates degraded frames and masks them out
+             of scoring; --inject-faults perturbs the clip first, e.g.
+             'drop=0.1,dup=0.05,flicker=0.08,burst=2:3:40,jitter=2,bars=1,seed=9')
   score     score a clip's ground-truth poses (no vision)
   flaws     list the injectable technique faults
 ";

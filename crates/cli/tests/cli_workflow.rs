@@ -79,11 +79,7 @@ fn synth_then_score_reports_the_injected_fault() {
 #[test]
 fn analyze_runs_the_full_pipeline_and_writes_report() {
     let dir = temp_clip("analyze");
-    invoke(&format!(
-        "synth --out {} --seed 6 --compact",
-        dir.display()
-    ))
-    .unwrap();
+    invoke(&format!("synth --out {} --seed 6 --compact", dir.display())).unwrap();
     let report_path = dir.join("report.json");
     let md_path = dir.join("report.md");
     let text = invoke(&format!(
@@ -96,7 +92,10 @@ fn analyze_runs_the_full_pipeline_and_writes_report() {
     assert!(text.contains("Score:"), "{text}");
     assert!(text.contains("phase timeline:"), "{text}");
     assert!(text.contains("rule traces:"), "{text}");
-    assert!(text.contains('F'), "timeline should contain flight frames: {text}");
+    assert!(
+        text.contains('F'),
+        "timeline should contain flight frames: {text}"
+    );
     assert!(text.contains("measured jump:"), "{text}");
     assert!(text.contains("vs ground truth"), "{text}");
     let json = std::fs::read_to_string(&report_path).unwrap();
@@ -113,10 +112,44 @@ fn analyze_runs_the_full_pipeline_and_writes_report() {
 fn analyze_half_res_works() {
     let dir = temp_clip("half_res");
     invoke(&format!("synth --out {} --seed 8", dir.display())).unwrap();
-    let text = invoke(&format!("analyze --clip {} --fast --half-res", dir.display())).unwrap();
+    let text = invoke(&format!(
+        "analyze --clip {} --fast --half-res",
+        dir.display()
+    ))
+    .unwrap();
     assert!(text.contains("half resolution (160x120)"), "{text}");
     assert!(text.contains("Score:"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_injects_faults_and_recovers_in_best_effort_mode() {
+    let dir = temp_clip("faults");
+    invoke(&format!(
+        "synth --out {} --seed 9 --compact --clean",
+        dir.display()
+    ))
+    .unwrap();
+    let text = invoke(&format!(
+        "analyze --clip {} --fast --inject-faults bars=6,seed=3 --best-effort --max-degraded 12",
+        dir.display()
+    ))
+    .unwrap();
+    assert!(text.contains("injected faults into"), "{text}");
+    assert!(text.contains("frame health:"), "{text}");
+    assert!(text.contains("Score:"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_fault_flags_are_validated() {
+    let err = invoke("analyze --clip nowhere --inject-faults nonsense=1").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    let err = invoke("analyze --clip nowhere --max-degraded 3").unwrap_err();
+    assert!(
+        err.to_string().contains("--best-effort"),
+        "--max-degraded without --best-effort should explain itself: {err}"
+    );
 }
 
 #[test]
@@ -130,7 +163,10 @@ fn synth_validates_inputs() {
         format!("synth --out {} --bogus 1", dir.display()),
     ] {
         let err = invoke(&bad).unwrap_err();
-        assert!(matches!(err, CliError::Usage(_)), "{bad} should be usage error");
+        assert!(
+            matches!(err, CliError::Usage(_)),
+            "{bad} should be usage error"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

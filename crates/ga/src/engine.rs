@@ -176,7 +176,11 @@ struct Individual<G> {
 }
 
 /// Evaluates fitness for a batch, optionally in parallel.
-fn evaluate_batch<P: Problem>(problem: &P, genomes: Vec<P::Genome>, threads: usize) -> Vec<Individual<P::Genome>> {
+fn evaluate_batch<P: Problem>(
+    problem: &P,
+    genomes: Vec<P::Genome>,
+    threads: usize,
+) -> Vec<Individual<P::Genome>> {
     if threads <= 1 || genomes.len() < 2 * threads {
         return genomes
             .into_iter()
@@ -362,12 +366,7 @@ mod tests {
             [(); 3].map(|_| rng.gen_range(-10.0..10.0))
         }
 
-        fn crossover(
-            &self,
-            a: &[f64; 3],
-            b: &[f64; 3],
-            rng: &mut StdRng,
-        ) -> ([f64; 3], [f64; 3]) {
+        fn crossover(&self, a: &[f64; 3], b: &[f64; 3], rng: &mut StdRng) -> ([f64; 3], [f64; 3]) {
             let mut c1 = *a;
             let mut c2 = *b;
             for i in 0..3 {
@@ -398,12 +397,7 @@ mod tests {
         fn random_genome(&self, rng: &mut StdRng) -> [f64; 3] {
             self.0.random_genome(rng)
         }
-        fn crossover(
-            &self,
-            a: &[f64; 3],
-            b: &[f64; 3],
-            rng: &mut StdRng,
-        ) -> ([f64; 3], [f64; 3]) {
+        fn crossover(&self, a: &[f64; 3], b: &[f64; 3], rng: &mut StdRng) -> ([f64; 3], [f64; 3]) {
             self.0.crossover(a, b, rng)
         }
         fn mutate(&self, g: &mut [f64; 3], rng: &mut StdRng) {
@@ -425,12 +419,7 @@ mod tests {
         fn random_genome(&self, rng: &mut StdRng) -> [f64; 3] {
             self.0.random_genome(rng)
         }
-        fn crossover(
-            &self,
-            a: &[f64; 3],
-            b: &[f64; 3],
-            rng: &mut StdRng,
-        ) -> ([f64; 3], [f64; 3]) {
+        fn crossover(&self, a: &[f64; 3], b: &[f64; 3], rng: &mut StdRng) -> ([f64; 3], [f64; 3]) {
             self.0.crossover(a, b, rng)
         }
         fn mutate(&self, g: &mut [f64; 3], rng: &mut StdRng) {
@@ -517,9 +506,7 @@ mod tests {
 
     #[test]
     fn impossible_constraints_fail_init() {
-        let problem = Impossible(Sphere {
-            target: [0.0; 3],
-        });
+        let problem = Impossible(Sphere { target: [0.0; 3] });
         let mut rng = StdRng::seed_from_u64(5);
         assert!(matches!(
             evolve(&problem, &cfg(), &mut rng),
@@ -598,15 +585,25 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        let problem = Sphere {
-            target: [0.0; 3],
-        };
+        let problem = Sphere { target: [0.0; 3] };
         let mut rng = StdRng::seed_from_u64(9);
         for bad in [
-            GaConfig { population_size: 1, ..cfg() },
-            GaConfig { elite_fraction: 1.5, ..cfg() },
-            GaConfig { max_generations: 0, ..cfg() },
-            GaConfig { threads: 0, ..cfg() },
+            GaConfig {
+                population_size: 1,
+                ..cfg()
+            },
+            GaConfig {
+                elite_fraction: 1.5,
+                ..cfg()
+            },
+            GaConfig {
+                max_generations: 0,
+                ..cfg()
+            },
+            GaConfig {
+                threads: 0,
+                ..cfg()
+            },
         ] {
             assert!(matches!(
                 evolve(&problem, &bad, &mut rng),
@@ -642,9 +639,7 @@ mod tests {
 
     #[test]
     fn evaluations_are_counted() {
-        let problem = Sphere {
-            target: [0.0; 3],
-        };
+        let problem = Sphere { target: [0.0; 3] };
         let config = GaConfig {
             population_size: 10,
             max_generations: 5,

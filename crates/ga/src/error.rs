@@ -44,10 +44,14 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(GaError::InitFailed { attempts: 10 }.to_string().contains("10"));
-        assert!(GaError::BadConfig { what: "population_size" }
+        assert!(GaError::InitFailed { attempts: 10 }
             .to_string()
-            .contains("population_size"));
+            .contains("10"));
+        assert!(GaError::BadConfig {
+            what: "population_size"
+        }
+        .to_string()
+        .contains("population_size"));
         assert!(!GaError::EmptySilhouette.to_string().is_empty());
         assert!(!GaError::NoFrames.to_string().is_empty());
     }

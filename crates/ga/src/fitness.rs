@@ -18,9 +18,9 @@
 use crate::error::GaError;
 use slj_imgproc::geometry::Point2;
 use slj_imgproc::mask::Mask;
-use slj_video::Camera;
 use slj_motion::model::ALL_STICKS;
 use slj_motion::{BodyDims, Pose};
+use slj_video::Camera;
 
 /// Number of axis samples per stick for the model→silhouette coverage
 /// term.
@@ -168,10 +168,9 @@ impl SilhouetteFitness {
         let mut total = 0.0;
         for &p in &self.points {
             let mut best = f64::INFINITY;
-            for l in 0..8 {
-                let (a, b) = image_segs[l];
+            for (&(a, b), &t) in image_segs.iter().zip(&self.thickness_px) {
                 let d = slj_imgproc::geometry::Segment::new(a, b).distance_to(p);
-                let scaled = d / self.thickness_px[l];
+                let scaled = d / t;
                 if scaled < best {
                     best = scaled;
                 }
@@ -186,10 +185,8 @@ impl SilhouetteFitness {
         let (w, h) = (df.width(), df.height());
         let mut total = 0.0;
         let mut count = 0usize;
-        for l in 0..8 {
-            let (a, b) = image_segs[l];
+        for (&(a, b), &t) in image_segs.iter().zip(&self.thickness_px) {
             let seg = slj_imgproc::geometry::Segment::new(a, b);
-            let t = self.thickness_px[l];
             for p in seg.sample(MODEL_SAMPLES_PER_STICK) {
                 count += 1;
                 let (x, y) = (p.x.round(), p.y.round());
@@ -340,10 +337,12 @@ mod tests {
     fn zero_weight_recovers_pure_eq3() {
         let (dims, camera, pose) = setup();
         let sil = render_silhouette(&pose, &dims, &camera);
-        let pure =
-            SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, 1, 0.0).unwrap();
+        let pure = SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, 1, 0.0).unwrap();
         let raised = pose.with_angle(StickKind::UpperArm, Angle::FORWARD);
-        assert_eq!(pure.evaluate(&raised, &dims), pure.evaluate_eq3(&raised, &dims));
+        assert_eq!(
+            pure.evaluate(&raised, &dims),
+            pure.evaluate_eq3(&raised, &dims)
+        );
     }
 
     #[test]

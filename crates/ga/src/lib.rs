@@ -32,7 +32,7 @@
 //! // Track frames 1.. from the (ground-truth) first-frame pose, using
 //! // the true silhouettes.
 //! let result = tracker
-//!     .track(&jump.silhouettes, jump.poses.poses()\[0\], &jump.jump.dims, &jump.scene.camera)
+//!     .track(&jump.silhouettes, jump.poses.poses()[0], &jump.jump.dims, &jump.scene.camera)
 //!     .unwrap();
 //! assert_eq!(result.frames.len(), 4);
 //! ```
@@ -40,14 +40,14 @@
 pub mod baseline;
 pub mod engine;
 pub mod error;
-pub mod particle;
 pub mod fitness;
+pub mod particle;
 pub mod pose_problem;
 pub mod tracker;
 
 pub use engine::{evolve, GaConfig, GaRun, Problem};
 pub use error::GaError;
 pub use fitness::SilhouetteFitness;
-pub use pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
 pub use particle::{ParticleFilter, ParticleFilterConfig, ParticleRun};
-pub use tracker::{TemporalTracker, TrackResult, TrackerConfig};
+pub use pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
+pub use tracker::{RecoveryAction, RecoveryPolicy, TemporalTracker, TrackResult, TrackerConfig};

@@ -93,17 +93,9 @@ impl ParticleRun {
 }
 
 /// The Condensation-style tracker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ParticleFilter {
     config: ParticleFilterConfig,
-}
-
-impl Default for ParticleFilter {
-    fn default() -> Self {
-        ParticleFilter {
-            config: ParticleFilterConfig::default(),
-        }
-    }
 }
 
 impl ParticleFilter {
@@ -139,7 +131,8 @@ impl ParticleFilter {
                 what: "particles must be at least 2",
             });
         }
-        if !(self.config.temperature > 0.0) {
+        // NaN must also be rejected, hence the partial_cmp form.
+        if self.config.temperature.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(GaError::BadConfig {
                 what: "temperature must be positive",
             });
@@ -233,12 +226,7 @@ impl ParticleFilter {
 }
 
 /// Systematic resampling: one uniform offset, N evenly spaced pointers.
-fn systematic_resample(
-    cloud: &[Pose],
-    weights: &[f64],
-    sum_w: f64,
-    rng: &mut StdRng,
-) -> Vec<Pose> {
+fn systematic_resample(cloud: &[Pose], weights: &[f64], sum_w: f64, rng: &mut StdRng) -> Vec<Pose> {
     let n = cloud.len();
     if sum_w <= 0.0 || !sum_w.is_finite() {
         return cloud.to_vec();

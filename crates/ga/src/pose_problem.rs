@@ -357,8 +357,14 @@ mod tests {
     #[test]
     fn true_pose_is_valid() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         assert!(p.is_valid(&pose));
         assert!(p.inside_fraction(&pose) > 0.95);
     }
@@ -366,8 +372,14 @@ mod tests {
     #[test]
     fn displaced_pose_is_invalid() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         let mut far = pose;
         far.center.x += 0.8;
         assert!(!p.is_valid(&far));
@@ -377,16 +389,28 @@ mod tests {
     #[test]
     fn centroid_is_near_trunk_center() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         assert!(p.centroid().distance(pose.center) < 0.25);
     }
 
     #[test]
     fn temporal_samples_stay_in_deltas() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let g = p.random_genome(&mut rng);
@@ -396,13 +420,15 @@ mod tests {
                 (g.center.x - a.x).abs() <= 0.1 + 1e-9 && (g.center.y - a.y).abs() <= 0.1 + 1e-9
             };
             assert!(near(p.centroid()) || near(pose.center));
-            for l in 0..STICK_COUNT {
-                let d = g.angles[l].distance(pose.angles[l]);
-                assert!(
-                    d <= DEFAULT_DELTA_ANGLES[l] + 1e-9,
-                    "stick {l} moved {d}° (limit {})",
-                    DEFAULT_DELTA_ANGLES[l]
-                );
+            for (l, ((ga, pa), limit)) in g
+                .angles
+                .iter()
+                .zip(&pose.angles)
+                .zip(DEFAULT_DELTA_ANGLES)
+                .enumerate()
+            {
+                let d = ga.distance(*pa);
+                assert!(d <= limit + 1e-9, "stick {l} moved {d}° (limit {limit})");
             }
         }
     }
@@ -471,8 +497,14 @@ mod tests {
     #[test]
     fn crossover_preserves_gene_multiset_per_group() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         let mut b = pose;
         b.center.x += 0.07;
         for l in 0..STICK_COUNT {
@@ -538,8 +570,14 @@ mod tests {
     #[test]
     fn seeds_include_previous_pose() {
         let (sil, dims, camera, pose) = setup();
-        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), PoseProblemConfig::default())
-            .unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
         let seeds = p.seeds();
         assert_eq!(seeds.len(), 2);
         assert_eq!(seeds[0].to_genes(), pose.to_genes());

@@ -6,14 +6,23 @@
 //! frame" — and the tracker estimates every later frame by running the
 //! GA with the previous frame's estimate as the seed of the initial
 //! population.
+//!
+//! When a frame resists the temporal seed — the silhouette jumped
+//! further than the Δ windows allow, or segmentation handed back debris
+//! — the tracker climbs a [`RecoveryPolicy`] escalation ladder instead
+//! of silently freezing: retry the GA with widened Δ-centre/Δρ windows,
+//! then cold-restart from the silhouette centroid, and only then carry
+//! the previous pose over. Each frame's [`TrackResult`] records which
+//! rung fired in [`TrackResult::recovery`].
 
-use crate::engine::{evolve, GaConfig};
+use crate::engine::{evolve, GaConfig, GaRun};
 use crate::error::GaError;
 use crate::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_DELTA_ANGLES};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use slj_imgproc::mask::Mask;
+use slj_imgproc::moments;
 use slj_motion::model::STICK_COUNT;
 use slj_motion::{BodyDims, Pose, PoseSeq};
 use slj_video::Camera;
@@ -33,6 +42,88 @@ pub struct TrackerConfig {
     /// Master seed; frame k uses `seed + k` so runs are reproducible
     /// and frames are decorrelated.
     pub seed: u64,
+    /// What to do when a frame resists the temporal seed.
+    pub recovery: RecoveryPolicy,
+}
+
+/// The escalation ladder for frames the temporal seed cannot explain.
+///
+/// Rungs fire in order; a rung is skipped when its precondition fails
+/// (e.g. a blank silhouette has no centroid to cold-restart from):
+///
+/// 1. **Temporal** (not a recovery) — the paper's seeding, as before.
+/// 2. **Widened retry** — same seeding with Δ-centre and Δρ scaled by
+///    [`RecoveryPolicy::widen_factor`]: catches motion that outran the
+///    windows (dropped frames double the apparent velocity).
+/// 3. **Cold restart** — the previous pose re-centred on the silhouette
+///    centroid with widened windows: catches a body that teleported
+///    (camera jitter, frames lost in a burst).
+/// 4. **Carry over** — the previous estimate, flagged; the rung of last
+///    resort.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Scale applied to `delta_center` and `delta_angles` on the
+    /// widened retry and the cold restart (angles cap at 180°).
+    pub widen_factor: f64,
+    /// Fitness above which an estimate is distrusted and the ladder
+    /// escalates; `None` escalates only on hard failures (no valid
+    /// initial population).
+    pub max_acceptable_fitness: Option<f64>,
+    /// Whether the cold-restart rung is attempted at all.
+    pub cold_restart: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            widen_factor: 2.0,
+            max_acceptable_fitness: Some(3.0),
+            cold_restart: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: hard failures carry over
+    /// immediately (the pre-ladder behaviour).
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            widen_factor: 1.0,
+            max_acceptable_fitness: None,
+            cold_restart: false,
+        }
+    }
+
+    fn accepts(&self, fitness: f64) -> bool {
+        self.max_acceptable_fitness.is_none_or(|t| fitness <= t)
+    }
+}
+
+/// Which rung of the recovery ladder produced a frame's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RecoveryAction {
+    /// Plain temporal seeding worked (the normal case).
+    #[default]
+    None,
+    /// The widened-window retry produced the estimate.
+    WidenedSearch,
+    /// The cold restart from the silhouette centroid produced the
+    /// estimate.
+    ColdRestart,
+    /// Every rung failed; the previous pose was carried over.
+    CarriedOver,
+}
+
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RecoveryAction::None => "tracked",
+            RecoveryAction::WidenedSearch => "widened search",
+            RecoveryAction::ColdRestart => "cold restart",
+            RecoveryAction::CarriedOver => "carried over",
+        };
+        f.write_str(s)
+    }
 }
 
 impl Default for TrackerConfig {
@@ -48,6 +139,7 @@ impl Default for TrackerConfig {
             delta_center: 0.12,
             delta_angles: DEFAULT_DELTA_ANGLES,
             seed: 0x51_1A_B0,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -92,8 +184,12 @@ pub struct TrackResult {
     /// Fitness evaluations spent on this frame.
     pub evaluations: usize,
     /// True when the silhouette was unusable (blank) and the previous
-    /// pose was carried over unchanged.
+    /// pose was carried over unchanged. Equivalent to
+    /// `recovery == RecoveryAction::CarriedOver`; kept for callers that
+    /// predate the recovery ladder.
     pub carried_over: bool,
+    /// Which rung of the recovery ladder produced this estimate.
+    pub recovery: RecoveryAction,
     /// Best fitness after each GA generation for this frame (index 0 =
     /// the seeded initial population). Empty for frame 0 and carried
     /// frames.
@@ -121,14 +217,26 @@ impl TrackingRun {
     /// Mean generation-of-best over tracked (non-carried) frames after
     /// the first.
     pub fn mean_generation_of_best(&self) -> f64 {
-        Self::mean_over(self.frames.iter().skip(1).filter(|f| !f.carried_over).map(|f| f.generation_of_best))
+        Self::mean_over(
+            self.frames
+                .iter()
+                .skip(1)
+                .filter(|f| !f.carried_over)
+                .map(|f| f.generation_of_best),
+        )
     }
 
     /// Mean generations-to-near-best over tracked frames after the first
     /// — the quantity behind the paper's "the shown best estimated model
     /// was generated at the second generation".
     pub fn mean_generations_to_near_best(&self) -> f64 {
-        Self::mean_over(self.frames.iter().skip(1).filter(|f| !f.carried_over).map(|f| f.generations_to_near_best))
+        Self::mean_over(
+            self.frames
+                .iter()
+                .skip(1)
+                .filter(|f| !f.carried_over)
+                .map(|f| f.generations_to_near_best),
+        )
     }
 
     fn mean_over(iter: impl Iterator<Item = usize>) -> f64 {
@@ -202,68 +310,139 @@ impl TemporalTracker {
             generations_to_near_best: 0,
             evaluations: 1,
             carried_over: false,
+            recovery: RecoveryAction::None,
             history: Vec::new(),
         });
 
         let mut previous = first_pose;
         for (k, sil) in silhouettes.iter().enumerate().skip(1) {
-            let init = InitStrategy::Temporal {
+            let result = self.estimate_frame(k, sil, previous, dims, camera)?;
+            if !result.carried_over {
+                previous = result.pose;
+            }
+            frames.push(result);
+        }
+        Ok(TrackingRun { frames })
+    }
+
+    /// Estimates one frame, climbing the recovery ladder as needed.
+    fn estimate_frame(
+        &self,
+        k: usize,
+        sil: &Mask,
+        previous: Pose,
+        dims: &BodyDims,
+        camera: &Camera,
+    ) -> Result<TrackResult, GaError> {
+        let policy = self.config.recovery;
+        let widen = policy.widen_factor.max(1.0);
+        let widened_center = self.config.delta_center * widen;
+        let mut widened_angles = self.config.delta_angles;
+        for a in widened_angles.iter_mut() {
+            *a = (*a * widen).min(180.0);
+        }
+        // The cold-restart anchor: the silhouette's geometric centre in
+        // world coordinates. Absent for a blank mask.
+        let centroid_world = moments::centroid(sil).map(|c| camera.image_to_world(c));
+
+        let mut rungs: Vec<(RecoveryAction, InitStrategy)> = vec![(
+            RecoveryAction::None,
+            InitStrategy::Temporal {
                 previous,
                 delta_center: self.config.delta_center,
                 delta_angles: self.config.delta_angles,
-            };
+            },
+        )];
+        if widen > 1.0 {
+            rungs.push((
+                RecoveryAction::WidenedSearch,
+                InitStrategy::Temporal {
+                    previous,
+                    delta_center: widened_center,
+                    delta_angles: widened_angles,
+                },
+            ));
+        }
+        if policy.cold_restart {
+            if let Some(anchor) = centroid_world {
+                rungs.push((
+                    RecoveryAction::ColdRestart,
+                    InitStrategy::Temporal {
+                        previous: previous.with_center(anchor),
+                        delta_center: widened_center,
+                        delta_angles: widened_angles,
+                    },
+                ));
+            }
+        }
+
+        let mut spent_evaluations = 0usize;
+        let mut best: Option<TrackResult> = None;
+        for (rung_index, (action, init)) in rungs.into_iter().enumerate() {
             let problem = match PoseProblem::new(sil, dims, camera, init, self.config.problem) {
                 Ok(p) => p,
-                Err(GaError::EmptySilhouette) | Err(GaError::InitFailed { .. }) => {
-                    frames.push(TrackResult {
-                        pose: previous,
-                        fitness: f64::INFINITY,
-                        generation_of_best: 0,
-                        generations_run: 0,
-                        generations_to_near_best: 0,
-                        evaluations: 0,
-                        carried_over: true,
-                        history: Vec::new(),
-                    });
-                    continue;
-                }
+                Err(GaError::EmptySilhouette) | Err(GaError::InitFailed { .. }) => continue,
                 Err(e) => return Err(e),
             };
-            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(k as u64));
+            // Rung 0 reproduces the pre-ladder RNG stream exactly;
+            // later rungs get decorrelated streams.
+            let mut rng = StdRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_add(k as u64)
+                    .wrapping_add((rung_index as u64).wrapping_mul(0x9E37_79B9)),
+            );
             let run = match evolve(&problem, &self.config.ga, &mut rng) {
                 Ok(run) => run,
-                Err(GaError::InitFailed { .. }) => {
-                    // The silhouette is so inconsistent with the seed
-                    // pose that no valid chromosome exists (e.g. a
-                    // corrupted frame): degrade gracefully by carrying
-                    // the previous estimate, as with a blank silhouette.
-                    frames.push(TrackResult {
-                        pose: previous,
-                        fitness: f64::INFINITY,
-                        generation_of_best: 0,
-                        generations_run: 0,
-                        generations_to_near_best: 0,
-                        evaluations: 0,
-                        carried_over: true,
-                        history: Vec::new(),
-                    });
-                    continue;
-                }
+                Err(GaError::InitFailed { .. }) => continue,
                 Err(e) => return Err(e),
             };
-            previous = run.best;
-            frames.push(TrackResult {
-                pose: run.best,
-                fitness: run.best_fitness,
-                generation_of_best: run.generation_of_best,
-                generations_run: run.generations_run,
-                generations_to_near_best: run.generations_to_near_best(0.10),
-                evaluations: run.evaluations,
-                carried_over: false,
-                history: run.history,
-            });
+            spent_evaluations += run.evaluations;
+            let candidate = Self::to_result(run, action, spent_evaluations);
+            let acceptable = policy.accepts(candidate.fitness);
+            if best.as_ref().is_none_or(|b| candidate.fitness < b.fitness) {
+                best = Some(candidate);
+            }
+            if acceptable {
+                break;
+            }
         }
-        Ok(TrackingRun { frames })
+
+        Ok(match best {
+            Some(mut b) => {
+                // All rungs' work is billed to the frame, whichever won.
+                b.evaluations = spent_evaluations;
+                b
+            }
+            // Rung of last resort: the silhouette was unusable (blank,
+            // or so inconsistent with every seed that no valid
+            // chromosome exists) — carry the previous estimate, flagged.
+            None => TrackResult {
+                pose: previous,
+                fitness: f64::INFINITY,
+                generation_of_best: 0,
+                generations_run: 0,
+                generations_to_near_best: 0,
+                evaluations: spent_evaluations,
+                carried_over: true,
+                recovery: RecoveryAction::CarriedOver,
+                history: Vec::new(),
+            },
+        })
+    }
+
+    fn to_result(run: GaRun<Pose>, action: RecoveryAction, evaluations: usize) -> TrackResult {
+        TrackResult {
+            pose: run.best,
+            fitness: run.best_fitness,
+            generation_of_best: run.generation_of_best,
+            generations_run: run.generations_run,
+            generations_to_near_best: run.generations_to_near_best(0.10),
+            evaluations,
+            carried_over: false,
+            recovery: action,
+            history: run.history,
+        }
     }
 }
 
@@ -292,9 +471,7 @@ mod tests {
     fn tracks_a_short_jump_accurately() {
         let (sils, truth, dims, camera) = jump_silhouettes(6);
         let tracker = TemporalTracker::new(TrackerConfig::fast());
-        let run = tracker
-            .track(&sils, truth[0], &dims, &camera)
-            .unwrap();
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         assert_eq!(run.frames.len(), 6);
         for (k, (est, gt)) in run.frames.iter().zip(truth.iter()).enumerate() {
             let err = est.pose.error_against(gt);
@@ -312,9 +489,7 @@ mod tests {
     fn temporal_seeding_converges_in_few_generations() {
         let (sils, truth, dims, camera) = jump_silhouettes(4);
         let tracker = TemporalTracker::new(TrackerConfig::fast());
-        let run = tracker
-            .track(&sils, truth[0], &dims, &camera)
-            .unwrap();
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         // The paper's headline observation: with temporal seeding a
         // near-best model appears within the first few generations.
         let mean = run.mean_generations_to_near_best();
@@ -326,15 +501,10 @@ mod tests {
         let (mut sils, truth, dims, camera) = jump_silhouettes(4);
         sils[2] = Mask::new(camera.width, camera.height);
         let tracker = TemporalTracker::new(TrackerConfig::fast());
-        let run = tracker
-            .track(&sils, truth[0], &dims, &camera)
-            .unwrap();
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         assert!(run.frames[2].carried_over);
         assert!(run.frames[2].fitness.is_infinite());
-        assert_eq!(
-            run.frames[2].pose.to_genes(),
-            run.frames[1].pose.to_genes()
-        );
+        assert_eq!(run.frames[2].pose.to_genes(), run.frames[1].pose.to_genes());
         // Tracking resumes afterwards.
         assert!(!run.frames[3].carried_over);
     }
@@ -373,6 +543,119 @@ mod tests {
     }
 
     #[test]
+    fn carried_frame_keeps_stats_and_resumes_with_fresh_previous() {
+        // The carry-over branch in detail: stats are zeroed, the pose is
+        // bit-identical to the last good estimate, and the *carried*
+        // pose (not the blank frame) seeds the next frame.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(5);
+        sils[2] = Mask::new(camera.width, camera.height);
+        sils[3] = Mask::new(camera.width, camera.height);
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        for k in [2, 3] {
+            let f = &run.frames[k];
+            assert!(f.carried_over);
+            assert_eq!(f.recovery, RecoveryAction::CarriedOver);
+            assert!(f.fitness.is_infinite());
+            assert_eq!(f.evaluations, 0, "blank silhouette costs nothing");
+            assert_eq!(f.generations_run, 0);
+            assert!(f.history.is_empty());
+            assert_eq!(f.pose.to_genes(), run.frames[1].pose.to_genes());
+        }
+        // Frame 4 resumes from frame 1's estimate and tracks again.
+        assert!(!run.frames[4].carried_over);
+        // Carried frames are excluded from the convergence means.
+        assert!(run.mean_generations_to_near_best().is_finite());
+    }
+
+    #[test]
+    fn outrun_windows_recover_via_the_ladder() {
+        // Rotate most of frame 3's body by 100° relative to frame 2 —
+        // beyond every per-stick Δρ window, as if frames were lost and
+        // the motion outran the temporal seed. Rung 0 cannot represent
+        // the pose; the widened retry (Δρ ×2) can.
+        use slj_motion::StickKind;
+        let cfg = JumpConfig::default();
+        let poses = synthesize_jump(&cfg);
+        let camera = Camera::default();
+        let truth: Vec<slj_motion::Pose> = poses.poses().iter().take(4).copied().collect();
+        let mut moved = truth.clone();
+        let mut p = moved[3];
+        for stick in [
+            StickKind::Trunk,
+            StickKind::Thigh,
+            StickKind::Shank,
+            StickKind::UpperArm,
+            StickKind::Forearm,
+        ] {
+            let a = p.angle(stick);
+            p = p.with_angle(stick, a + 100.0);
+        }
+        moved[3] = p;
+        let sils: Vec<Mask> = moved
+            .iter()
+            .map(|q| render_silhouette(q, &cfg.dims, &camera))
+            .collect();
+
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let run = tracker.track(&sils, truth[0], &cfg.dims, &camera).unwrap();
+        let f = &run.frames[3];
+        assert!(
+            matches!(
+                f.recovery,
+                RecoveryAction::WidenedSearch | RecoveryAction::ColdRestart
+            ),
+            "expected an escalated rung, got {:?} (fitness {})",
+            f.recovery,
+            f.fitness
+        );
+        assert!(!f.carried_over);
+        assert!(f.fitness < 3.0, "recovered fit is poor: {}", f.fitness);
+        let err = f.pose.error_against(&moved[3]);
+        assert!(
+            err.center_distance < 0.2,
+            "recovered estimate centre off by {} m",
+            err.center_distance
+        );
+
+        // Without the ladder the same frame either carries over or
+        // keeps a distrusted fit — the escalation is what buys the
+        // accepted estimate.
+        let rigid = TemporalTracker::new(TrackerConfig {
+            recovery: RecoveryPolicy::none(),
+            ..TrackerConfig::fast()
+        });
+        let run = rigid.track(&sils, truth[0], &cfg.dims, &camera).unwrap();
+        let f = &run.frames[3];
+        assert!(
+            f.carried_over || f.fitness > 3.0,
+            "policy none() unexpectedly matched the rotated body (fitness {})",
+            f.fitness
+        );
+    }
+
+    #[test]
+    fn recovery_policy_defaults_are_sane() {
+        let p = RecoveryPolicy::default();
+        assert!(p.widen_factor > 1.0);
+        assert!(p.cold_restart);
+        assert!(p.accepts(1.0));
+        assert!(!p.accepts(f64::INFINITY));
+        let n = RecoveryPolicy::none();
+        assert!(n.accepts(f64::INFINITY));
+    }
+
+    #[test]
+    fn normal_tracking_reports_no_recovery() {
+        let (sils, truth, dims, camera) = jump_silhouettes(4);
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        for f in &run.frames {
+            assert_eq!(f.recovery, RecoveryAction::None);
+        }
+    }
+
+    #[test]
     fn perturbed_first_pose_still_tracks() {
         // The "trained person" draws imperfectly: perturb the first-frame
         // pose and confirm tracking still locks on.
@@ -384,9 +667,6 @@ mod tests {
         let tracker = TemporalTracker::new(TrackerConfig::fast());
         let run = tracker.track(&sils, sloppy, &dims, &camera).unwrap();
         let last_err = run.frames[3].pose.error_against(&truth[3]);
-        assert!(
-            last_err.center_distance < 0.2,
-            "lost track: {last_err}"
-        );
+        assert!(last_err.center_distance < 0.2, "lost track: {last_err}");
     }
 }

@@ -139,7 +139,7 @@ proptest! {
 
     #[test]
     fn crossover_children_keep_genes_from_parents(seed in any::<u64>()) {
-        let (sil, dims, camera, pose) = fixture();
+        let (sil, dims, camera, _pose) = fixture();
         let p = PoseProblem::new(
             &sil,
             &dims,

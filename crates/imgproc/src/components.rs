@@ -59,11 +59,9 @@ impl Labeling {
     /// The component with the largest area, if any. Ties break toward the
     /// lower label (scan order), keeping results deterministic.
     pub fn largest(&self) -> Option<&Component> {
-        self.components.iter().max_by(|a, b| {
-            a.area
-                .cmp(&b.area)
-                .then_with(|| b.label.cmp(&a.label))
-        })
+        self.components
+            .iter()
+            .max_by(|a, b| a.area.cmp(&b.area).then_with(|| b.label.cmp(&a.label)))
     }
 
     /// Builds the mask of one labelled component.
@@ -99,7 +97,7 @@ pub fn label_components(mask: &Mask, conn: Connectivity) -> Labeling {
     let mut labels = vec![0u32; w * h];
     let mut parent: Vec<u32> = vec![0]; // parent[0] unused (background)
 
-    fn find(parent: &mut Vec<u32>, mut x: u32) -> u32 {
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             let gp = parent[parent[x as usize] as usize];
             parent[x as usize] = gp;
@@ -107,7 +105,7 @@ pub fn label_components(mask: &Mask, conn: Connectivity) -> Labeling {
         }
         x
     }
-    fn union(parent: &mut Vec<u32>, a: u32, b: u32) {
+    fn union(parent: &mut [u32], a: u32, b: u32) {
         let ra = find(parent, a);
         let rb = find(parent, b);
         if ra != rb {
@@ -358,12 +356,9 @@ mod tests {
              ...#",
         );
         let l = label_components(&m, Connectivity::Eight);
-        let all: Mask = l
-            .components()
-            .iter()
-            .fold(Mask::new(4, 3), |acc, c| {
-                acc.union(&l.component_mask(c.label)).unwrap()
-            });
+        let all: Mask = l.components().iter().fold(Mask::new(4, 3), |acc, c| {
+            acc.union(&l.component_mask(c.label)).unwrap()
+        });
         assert_eq!(all, m);
     }
 

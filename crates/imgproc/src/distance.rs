@@ -169,7 +169,10 @@ mod tests {
         // 3 diagonal steps * 4/3 = 4.0 (within ~8%).
         let d = df.distance(8, 8);
         let true_d = 3.0 * std::f64::consts::SQRT_2;
-        assert!((d - true_d).abs() / true_d < 0.09, "chamfer {d} vs {true_d}");
+        assert!(
+            (d - true_d).abs() / true_d < 0.09,
+            "chamfer {d} vs {true_d}"
+        );
     }
 
     #[test]

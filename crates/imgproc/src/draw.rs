@@ -108,13 +108,7 @@ pub fn fill_rect<P: Copy>(
 }
 
 /// Fills an axis-aligned ellipse with semi-axes `(rx, ry)`.
-pub fn fill_ellipse<P: Copy>(
-    img: &mut ImageBuffer<P>,
-    center: Point2,
-    rx: f64,
-    ry: f64,
-    value: P,
-) {
+pub fn fill_ellipse<P: Copy>(img: &mut ImageBuffer<P>, center: Point2, rx: f64, ry: f64, value: P) {
     if rx <= 0.0 || ry <= 0.0 {
         return;
     }
@@ -253,14 +247,11 @@ mod tests {
     fn rect_half_open_and_clipped() {
         let mut img = ImageBuffer::filled(8, 8, Gray(0));
         fill_rect(&mut img, 2, 3, 5, 6, Gray(1));
-        assert_eq!(
-            img.as_slice().iter().filter(|&&p| p == Gray(1)).count(),
-            9
-        );
+        assert_eq!(img.as_slice().iter().filter(|&&p| p == Gray(1)).count(), 9);
         assert_eq!(img.get(2, 3), Gray(1));
         assert_eq!(img.get(4, 5), Gray(1));
         assert_eq!(img.get(5, 5), Gray(0)); // half-open
-        // Clipping.
+                                            // Clipping.
         fill_rect(&mut img, -5, -5, 100, 1, Gray(2));
         for x in 0..8 {
             assert_eq!(img.get(x, 0), Gray(2));
@@ -288,7 +279,11 @@ mod tests {
     #[test]
     fn zero_radius_capsule_marks_axis_only() {
         let mut m = Mask::new(10, 10);
-        fill_capsule_mask(&mut m, Segment::new(Point2::new(2.0, 2.0), Point2::new(6.0, 2.0)), 0.0);
+        fill_capsule_mask(
+            &mut m,
+            Segment::new(Point2::new(2.0, 2.0), Point2::new(6.0, 2.0)),
+            0.0,
+        );
         // Radius 0: only pixels whose centres lie exactly on the segment.
         assert_eq!(m.count(), 5);
     }

@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e = ImgError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = ImgError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
     }

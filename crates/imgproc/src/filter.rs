@@ -158,7 +158,11 @@ mod tests {
                 .flat_map(|y| (x0..=x1).map(move |x| (x, y)))
                 .map(|(x, y)| img.get(x, y).r as u64)
                 .sum();
-            assert_eq!(integral.sum(x0, y0, x1, y1), naive, "({x0},{y0})-({x1},{y1})");
+            assert_eq!(
+                integral.sum(x0, y0, x1, y1),
+                naive,
+                "({x0},{y0})-({x1},{y1})"
+            );
         }
     }
 
@@ -200,8 +204,7 @@ mod tests {
         let img = ImageBuffer::from_fn(32, 32, |_, _| Rgb::splat(rng.gen_range(100..140)));
         let blurred = box_blur(&img, 2);
         let var = |im: &ImageBuffer<Rgb>| {
-            let mean: f64 =
-                im.as_slice().iter().map(|p| p.r as f64).sum::<f64>() / im.len() as f64;
+            let mean: f64 = im.as_slice().iter().map(|p| p.r as f64).sum::<f64>() / im.len() as f64;
             im.as_slice()
                 .iter()
                 .map(|p| (p.r as f64 - mean).powi(2))

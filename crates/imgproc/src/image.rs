@@ -199,10 +199,7 @@ impl<P: Copy> ImageBuffer<P> {
     }
 
     /// Applies `f(x, y, pixel)` to every pixel, producing a new image.
-    pub fn map_indexed<Q: Copy, F: FnMut(usize, usize, P) -> Q>(
-        &self,
-        mut f: F,
-    ) -> ImageBuffer<Q> {
+    pub fn map_indexed<Q: Copy, F: FnMut(usize, usize, P) -> Q>(&self, mut f: F) -> ImageBuffer<Q> {
         let w = self.width;
         ImageBuffer {
             width: self.width,
@@ -291,7 +288,10 @@ mod tests {
         assert_eq!(img.get(2, 0), Gray(2));
         assert_eq!(img.get(0, 1), Gray(10));
         assert_eq!(img.get(2, 1), Gray(12));
-        assert_eq!(img.as_slice(), &[Gray(0), Gray(1), Gray(2), Gray(10), Gray(11), Gray(12)]);
+        assert_eq!(
+            img.as_slice(),
+            &[Gray(0), Gray(1), Gray(2), Gray(10), Gray(11), Gray(12)]
+        );
     }
 
     #[test]

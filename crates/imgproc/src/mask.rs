@@ -51,11 +51,7 @@ impl Mask {
     }
 
     /// Creates a mask by evaluating `f(x, y)` per pixel.
-    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
-        width: usize,
-        height: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(width: usize, height: usize, mut f: F) -> Self {
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {

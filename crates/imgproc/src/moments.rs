@@ -153,7 +153,15 @@ mod tests {
         m.set(2, 3, true);
         m.set(7, 5, true);
         let bb = bounding_box(&m).unwrap();
-        assert_eq!(bb, BoundingBox { x_min: 2, y_min: 3, x_max: 7, y_max: 5 });
+        assert_eq!(
+            bb,
+            BoundingBox {
+                x_min: 2,
+                y_min: 3,
+                x_max: 7,
+                y_max: 5
+            }
+        );
         assert_eq!(bb.width(), 6);
         assert_eq!(bb.height(), 3);
         assert!(bb.contains(4, 4));

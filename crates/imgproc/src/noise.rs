@@ -20,9 +20,7 @@ pub fn add_channel_jitter<R: Rng>(img: &mut ImageBuffer<Rgb>, amplitude: u8, rng
     }
     let a = amplitude as i32;
     for p in img.as_mut_slice() {
-        let mut jitter = |c: u8| -> u8 {
-            (c as i32 + rng.gen_range(-a..=a)).clamp(0, 255) as u8
-        };
+        let mut jitter = |c: u8| -> u8 { (c as i32 + rng.gen_range(-a..=a)).clamp(0, 255) as u8 };
         *p = Rgb::new(jitter(p.r), jitter(p.g), jitter(p.b));
     }
 }
@@ -30,11 +28,7 @@ pub fn add_channel_jitter<R: Rng>(img: &mut ImageBuffer<Rgb>, amplitude: u8, rng
 /// Scales the brightness of the whole frame by a factor drawn uniformly
 /// from `[1 - flicker, 1 + flicker]`, modelling global lighting flicker
 /// between frames. Returns the factor used.
-pub fn apply_global_flicker<R: Rng>(
-    img: &mut ImageBuffer<Rgb>,
-    flicker: f64,
-    rng: &mut R,
-) -> f64 {
+pub fn apply_global_flicker<R: Rng>(img: &mut ImageBuffer<Rgb>, flicker: f64, rng: &mut R) -> f64 {
     let factor = if flicker <= 0.0 {
         1.0
     } else {
@@ -133,7 +127,12 @@ impl Spot {
     /// Stamps the spot into a frame at time `frame`.
     pub fn render(&self, img: &mut ImageBuffer<Rgb>, frame: usize) {
         let (cx, cy) = self.center_at(frame);
-        crate::draw::fill_disc(img, crate::geometry::Point2::new(cx, cy), self.radius, self.color);
+        crate::draw::fill_disc(
+            img,
+            crate::geometry::Point2::new(cx, cy),
+            self.radius,
+            self.color,
+        );
     }
 }
 
@@ -211,7 +210,10 @@ mod tests {
         let mut full = Mask::filled(100, 100, true);
         salt_and_pepper(&mut full, 0.0, 0.1, &mut rng(10));
         let survived = full.density();
-        assert!((0.85..0.95).contains(&survived), "pepper survived {survived}");
+        assert!(
+            (0.85..0.95).contains(&survived),
+            "pepper survived {survived}"
+        );
     }
 
     #[test]

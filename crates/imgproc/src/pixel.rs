@@ -100,7 +100,11 @@ impl Rgb {
         } else {
             60.0 * ((r - g) / delta + 4.0)
         };
-        let s = if max <= f64::EPSILON { 0.0 } else { delta / max };
+        let s = if max <= f64::EPSILON {
+            0.0
+        } else {
+            delta / max
+        };
         Hsv {
             h: h.rem_euclid(360.0),
             s,

@@ -19,34 +19,31 @@ use slj_imgproc::pixel::{Gray, Hsv, Rgb};
 
 /// Strategy: a small mask with arbitrary contents.
 fn mask_strategy() -> impl Strategy<Value = Mask> {
-    (1usize..20, 1usize..20)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<bool>(), w * h)
-                .prop_map(move |bits| {
-                    let mut m = Mask::new(w, h);
-                    for (i, b) in bits.into_iter().enumerate() {
-                        if b {
-                            m.set(i % w, i / w, true);
-                        }
-                    }
-                    m
-                })
+    (1usize..20, 1usize..20).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<bool>(), w * h).prop_map(move |bits| {
+            let mut m = Mask::new(w, h);
+            for (i, b) in bits.into_iter().enumerate() {
+                if b {
+                    m.set(i % w, i / w, true);
+                }
+            }
+            m
         })
+    })
 }
 
 /// Strategy: a small RGB image.
 fn image_strategy() -> impl Strategy<Value = ImageBuffer<Rgb>> {
-    (1usize..12, 1usize..12)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<(u8, u8, u8)>(), w * h).prop_map(move |px| {
-                ImageBuffer::from_vec(
-                    w,
-                    h,
-                    px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
-                )
-                .unwrap()
-            })
+    (1usize..12, 1usize..12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<(u8, u8, u8)>(), w * h).prop_map(move |px| {
+            ImageBuffer::from_vec(
+                w,
+                h,
+                px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
+            )
+            .unwrap()
         })
+    })
 }
 
 fn subset(a: &Mask, b: &Mask) -> bool {
@@ -253,7 +250,7 @@ proptest! {
 
     #[test]
     fn pgm_roundtrip(img in image_strategy()) {
-        let gray = img.map(|p| Gray::from(p));
+        let gray = img.map(Gray::from);
         let mut buf = Vec::new();
         io::write_pgm(&gray, &mut buf).unwrap();
         let back = io::read_pgm(&buf[..]).unwrap();
@@ -274,7 +271,7 @@ proptest! {
 
     #[test]
     fn map_preserves_structure(img in image_strategy()) {
-        let luma = img.map(|p| Gray::from(p));
+        let luma = img.map(Gray::from);
         prop_assert_eq!(luma.dims(), img.dims());
         for (x, y, p) in img.enumerate_pixels() {
             prop_assert_eq!(luma.get(x, y), Gray::from(p));

@@ -158,9 +158,8 @@ mod tests {
 
     #[test]
     fn cardinal_directions() {
-        let close = |a: (f64, f64), b: (f64, f64)| {
-            (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12
-        };
+        let close =
+            |a: (f64, f64), b: (f64, f64)| (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12;
         assert!(close(Angle::UP.direction(), (0.0, 1.0)));
         assert!(close(Angle::FORWARD.direction(), (1.0, 0.0)));
         assert!(close(Angle::DOWN.direction(), (0.0, -1.0)));
@@ -180,9 +179,12 @@ mod tests {
         let shank = Angle::from_degrees(225.0);
         let thigh = Angle::from_degrees(135.0);
         assert_eq!(shank.raw_diff(thigh), 90.0); // knees bent by Table 2
-        // Raw diff can be negative and large — no wrapping.
+                                                 // Raw diff can be negative and large — no wrapping.
         assert_eq!(thigh.raw_diff(shank), -90.0);
-        assert_eq!(Angle::from_degrees(10.0).raw_diff(Angle::from_degrees(350.0)), -340.0);
+        assert_eq!(
+            Angle::from_degrees(10.0).raw_diff(Angle::from_degrees(350.0)),
+            -340.0
+        );
     }
 
     #[test]
@@ -203,7 +205,10 @@ mod tests {
             assert_eq!(a.distance(b), b.distance(a));
             assert!(a.distance(b) <= 180.0);
         }
-        assert_eq!(Angle::from_degrees(0.0).distance(Angle::from_degrees(359.0)), 1.0);
+        assert_eq!(
+            Angle::from_degrees(0.0).distance(Angle::from_degrees(359.0)),
+            1.0
+        );
     }
 
     #[test]

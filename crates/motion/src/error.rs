@@ -49,10 +49,14 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(MotionError::BadGeneCount { got: 3 }.to_string().contains('3'));
+        assert!(MotionError::BadGeneCount { got: 3 }
+            .to_string()
+            .contains('3'));
         let e = MotionError::SequenceTooShort { got: 1, need: 2 };
         assert!(e.to_string().contains('1') && e.to_string().contains('2'));
-        assert!(MotionError::NonFinite { what: "x0" }.to_string().contains("x0"));
+        assert!(MotionError::NonFinite { what: "x0" }
+            .to_string()
+            .contains("x0"));
     }
 
     #[test]

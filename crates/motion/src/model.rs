@@ -58,16 +58,19 @@ impl StickKind {
         self as usize
     }
 
+    /// Converts a paper index into a stick, or `None` for `index >= 8`.
+    pub fn try_from_index(index: usize) -> Option<StickKind> {
+        ALL_STICKS.get(index).copied()
+    }
+
     /// Converts a paper index into a stick.
     ///
     /// # Panics
     ///
-    /// Panics if `index >= 8`.
+    /// Panics if `index >= 8`; use [`StickKind::try_from_index`] for
+    /// untrusted indices.
     pub fn from_index(index: usize) -> StickKind {
-        ALL_STICKS
-            .iter()
-            .copied()
-            .find(|s| s.index() == index)
+        StickKind::try_from_index(index)
             .unwrap_or_else(|| panic!("stick index {index} out of range 0..8"))
     }
 
@@ -124,11 +127,11 @@ impl fmt::Display for StickKind {
 /// and each limb chain cross over as a unit. Indices refer to the
 /// 10-gene chromosome `(x0, y0, ρ0, …, ρ7)`.
 pub const GENE_GROUPS: [&[usize]; 5] = [
-    &[0, 1],       // (x0, y0)
-    &[2],          // ρ0  trunk
-    &[3, 6],       // ρ1, ρ4  neck + head
-    &[4, 7],       // ρ2, ρ5  upper arm + forearm
-    &[5, 8, 9],    // ρ3, ρ6, ρ7  thigh + shank + foot
+    &[0, 1],    // (x0, y0)
+    &[2],       // ρ0  trunk
+    &[3, 6],    // ρ1, ρ4  neck + head
+    &[4, 7],    // ρ2, ρ5  upper arm + forearm
+    &[5, 8, 9], // ρ3, ρ6, ρ7  thigh + shank + foot
 ];
 
 /// Per-stick lengths and half-thicknesses in metres, derived from a
@@ -253,7 +256,14 @@ mod tests {
     fn from_index_roundtrip() {
         for s in ALL_STICKS {
             assert_eq!(StickKind::from_index(s.index()), s);
+            assert_eq!(StickKind::try_from_index(s.index()), Some(s));
         }
+    }
+
+    #[test]
+    fn try_from_index_rejects_out_of_range() {
+        assert_eq!(StickKind::try_from_index(8), None);
+        assert_eq!(StickKind::try_from_index(usize::MAX), None);
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn classify_phases(seq: &PoseSeq, dims: &BodyDims) -> Vec<JumpPhase> {
         match (a, start) {
             (true, None) => start = Some(k),
             (false, Some(s)) => {
-                if best.map_or(true, |(bs, be)| k - s > be - bs) {
+                if best.is_none_or(|(bs, be)| k - s > be - bs) {
                     best = Some((s, k));
                 }
                 start = None;
@@ -91,7 +91,7 @@ pub fn classify_phases(seq: &PoseSeq, dims: &BodyDims) -> Vec<JumpPhase> {
         }
     }
     if let Some(s) = start {
-        if best.map_or(true, |(bs, be)| n - s > be - bs) {
+        if best.is_none_or(|(bs, be)| n - s > be - bs) {
             best = Some((s, n));
         }
     }
@@ -157,7 +157,10 @@ mod tests {
         }
         // Flight is a contiguous block.
         let fs = first(JumpPhase::Flight).unwrap();
-        let fe = phases.iter().rposition(|&x| x == JumpPhase::Flight).unwrap();
+        let fe = phases
+            .iter()
+            .rposition(|&x| x == JumpPhase::Flight)
+            .unwrap();
         assert!(phases[fs..=fe].iter().all(|&p| p == JumpPhase::Flight));
     }
 

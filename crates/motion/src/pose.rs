@@ -141,7 +141,11 @@ impl Pose {
         for (i, g) in genes.iter().enumerate() {
             if !g.is_finite() {
                 return Err(MotionError::NonFinite {
-                    what: if i < 2 { "center coordinate" } else { "angle gene" },
+                    what: if i < 2 {
+                        "center coordinate"
+                    } else {
+                        "angle gene"
+                    },
                 });
             }
         }
@@ -204,7 +208,9 @@ impl StickSegments {
 
     /// Iterates `(stick, segment)` pairs in paper-index order.
     pub fn iter(&self) -> impl Iterator<Item = (StickKind, Segment)> + '_ {
-        ALL_STICKS.iter().map(move |&s| (s, self.segments[s.index()]))
+        ALL_STICKS
+            .iter()
+            .map(move |&s| (s, self.segments[s.index()]))
     }
 
     /// The lowest y coordinate over all joints — where the body touches
@@ -219,7 +225,12 @@ impl StickSegments {
     /// Axis-aligned bounds over all joints:
     /// `(x_min, y_min, x_max, y_max)`.
     pub fn bounds(&self) -> (f64, f64, f64, f64) {
-        let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut b = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for s in &self.segments {
             for p in [s.a, s.b] {
                 b.0 = b.0.min(p.x);

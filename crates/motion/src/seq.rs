@@ -53,7 +53,10 @@ impl PoseSeq {
     ///
     /// Panics if `fps` is not finite and positive.
     pub fn new(poses: Vec<Pose>, fps: f64) -> Self {
-        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "fps must be positive, got {fps}"
+        );
         PoseSeq { poses, fps }
     }
 
@@ -112,11 +115,7 @@ impl PoseSeq {
     ///
     /// Returns [`MotionError::SequenceTooShort`] when the stage window is
     /// empty.
-    pub fn stage_max<F: Fn(&Pose) -> f64>(
-        &self,
-        stage: Stage,
-        f: F,
-    ) -> Result<f64, MotionError> {
+    pub fn stage_max<F: Fn(&Pose) -> f64>(&self, stage: Stage, f: F) -> Result<f64, MotionError> {
         let poses = self.stage_poses(stage);
         if poses.is_empty() {
             return Err(MotionError::SequenceTooShort {
@@ -134,11 +133,7 @@ impl PoseSeq {
     ///
     /// Returns [`MotionError::SequenceTooShort`] when the stage window is
     /// empty.
-    pub fn stage_min<F: Fn(&Pose) -> f64>(
-        &self,
-        stage: Stage,
-        f: F,
-    ) -> Result<f64, MotionError> {
+    pub fn stage_min<F: Fn(&Pose) -> f64>(&self, stage: Stage, f: F) -> Result<f64, MotionError> {
         let poses = self.stage_poses(stage);
         if poses.is_empty() {
             return Err(MotionError::SequenceTooShort {
@@ -323,10 +318,12 @@ mod tests {
             "outlier survived: {trunk}"
         );
         // Non-outlier frames are untouched.
-        assert!(smoothed.poses()[1]
-            .angle(StickKind::Trunk)
-            .distance(base.angle(StickKind::Trunk))
-            < 1e-9);
+        assert!(
+            smoothed.poses()[1]
+                .angle(StickKind::Trunk)
+                .distance(base.angle(StickKind::Trunk))
+                < 1e-9
+        );
     }
 
     #[test]

@@ -393,9 +393,9 @@ pub fn synthesize_jump(config: &JumpConfig) -> PoseSeq {
         let t = frame as f64 / (config.frames - 1) as f64;
 
         let mut angles = [Angle::UP; STICK_COUNT];
-        for l in 0..STICK_COUNT {
+        for (l, a) in angles.iter_mut().enumerate() {
             let channel: Vec<f64> = kfs.iter().map(|k| k.angles[l]).collect();
-            angles[l] = Angle::from_degrees(interp_channel(&ts, &channel, t));
+            *a = Angle::from_degrees(interp_channel(&ts, &channel, t));
         }
         let x_frac = {
             let channel: Vec<f64> = kfs.iter().map(|k| k.x_frac).collect();
@@ -457,7 +457,8 @@ mod tests {
     // The rule expressions of Table 2, evaluated on true poses.
     fn r1_crouch_depth(seq: &PoseSeq, stage: Stage) -> f64 {
         seq.stage_max(stage, |p| {
-            p.angle(StickKind::Shank).raw_diff(p.angle(StickKind::Thigh))
+            p.angle(StickKind::Shank)
+                .raw_diff(p.angle(StickKind::Thigh))
         })
         .unwrap()
     }
@@ -512,7 +513,10 @@ mod tests {
             .iter()
             .map(|p| p.center.y)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(peak > standing_y * 1.1, "peak {peak} vs standing {standing_y}");
+        assert!(
+            peak > standing_y * 1.1,
+            "peak {peak} vs standing {standing_y}"
+        );
     }
 
     #[test]
@@ -602,7 +606,8 @@ mod tests {
         // Elbow still bends.
         let bend = seq
             .stage_max(Stage::Initiation, |p| {
-                p.angle(StickKind::UpperArm).raw_diff(p.angle(StickKind::Forearm))
+                p.angle(StickKind::UpperArm)
+                    .raw_diff(p.angle(StickKind::Forearm))
             })
             .unwrap();
         assert!(bend > 45.0, "elbow bend only {bend}");
@@ -613,7 +618,8 @@ mod tests {
         let seq = flawed(JumpFlaw::StraightArms);
         let bend = seq
             .stage_max(Stage::Initiation, |p| {
-                p.angle(StickKind::UpperArm).raw_diff(p.angle(StickKind::Forearm))
+                p.angle(StickKind::UpperArm)
+                    .raw_diff(p.angle(StickKind::Forearm))
             })
             .unwrap();
         assert!(bend < 45.0, "elbow bend {bend}");
@@ -673,7 +679,11 @@ mod tests {
                 "jump of {}° between frames (tracker \u{0394}\u{03c1} ranges must cover this)",
                 e.max_angle_error()
             );
-            assert!(e.center_distance < 0.25, "centre jumped {} m", e.center_distance);
+            assert!(
+                e.center_distance < 0.25,
+                "centre jumped {} m",
+                e.center_distance
+            );
         }
     }
 

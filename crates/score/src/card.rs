@@ -26,6 +26,23 @@ pub fn score_jump(seq: &PoseSeq) -> Result<ScoreCard, MotionError> {
     Ok(ScoreCard { results })
 }
 
+/// Scores a jump while skipping the frames flagged in `excluded`
+/// (index-aligned with the sequence) — the best-effort path: window
+/// extrema are taken over trusted frames only, so one garbage estimate
+/// cannot flip a verdict.
+///
+/// # Errors
+///
+/// Returns [`MotionError::SequenceTooShort`] when either stage window
+/// is empty after exclusion.
+pub fn score_jump_masked(seq: &PoseSeq, excluded: &[bool]) -> Result<ScoreCard, MotionError> {
+    let mut results = Vec::with_capacity(RuleId::ALL.len());
+    for id in RuleId::ALL {
+        results.push(id.rule().evaluate_masked(seq, excluded)?);
+    }
+    Ok(ScoreCard { results })
+}
+
 impl ScoreCard {
     /// All rule results in table order.
     pub fn results(&self) -> &[RuleResult] {
@@ -144,12 +161,65 @@ mod tests {
 
     #[test]
     fn display_contains_score_and_rules() {
-        let card = score_jump(&synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::NoNeckBend)))
-            .unwrap();
+        let card = score_jump(&synthesize_jump(&JumpConfig::with_flaw(
+            JumpFlaw::NoNeckBend,
+        )))
+        .unwrap();
         let s = card.to_string();
         assert!(s.contains("Score: 6/7"));
         assert!(s.contains("VIOLATED"));
         assert!(s.contains("R2"));
+    }
+
+    #[test]
+    fn masked_scoring_ignores_corrupted_frames() {
+        use slj_motion::{Angle, StickKind};
+        // The extrema aggregation is one-sided: a single garbage frame
+        // cannot *break* a satisfied rule, but it can *fake* a violated
+        // one. Take a shallow-crouch jump (R1 violated) and corrupt one
+        // initiation frame with a deep knee bend: unmasked, the garbage
+        // frame satisfies R1; masked, the true violation survives.
+        let flawed = synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::ShallowCrouch));
+        let flawed_card = score_jump(&flawed).unwrap();
+        assert!(!flawed_card.result(RuleId::R1).satisfied);
+
+        let mut poses = flawed.poses().to_vec();
+        let k = 2; // inside the initiation window
+        poses[k] = poses[k]
+            .with_angle(StickKind::Thigh, Angle::from_degrees(130.0))
+            .with_angle(StickKind::Shank, Angle::from_degrees(235.0));
+        let corrupted = PoseSeq::new(poses, flawed.fps());
+
+        let unmasked = score_jump(&corrupted).unwrap();
+        assert!(
+            unmasked.result(RuleId::R1).satisfied,
+            "the garbage frame should fake R1"
+        );
+
+        let mut excluded = vec![false; corrupted.len()];
+        excluded[k] = true;
+        let masked = score_jump_masked(&corrupted, &excluded).unwrap();
+        assert!(!masked.result(RuleId::R1).satisfied);
+        assert_eq!(masked.score(), flawed_card.score());
+
+        // An all-false mask reproduces the plain path exactly.
+        let none = score_jump_masked(&flawed, &vec![false; flawed.len()]).unwrap();
+        for (a, b) in none.results().iter().zip(flawed_card.results()) {
+            assert_eq!(a.observed, b.observed);
+            assert_eq!(a.satisfied, b.satisfied);
+        }
+    }
+
+    #[test]
+    fn masked_scoring_errors_when_a_window_empties() {
+        let seq = synthesize_jump(&JumpConfig::default());
+        // Exclude the whole initiation window.
+        let split = seq.stage_range(slj_motion::seq::Stage::Initiation).end;
+        let mut excluded = vec![false; seq.len()];
+        for e in excluded.iter_mut().take(split) {
+            *e = true;
+        }
+        assert!(score_jump_masked(&seq, &excluded).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod rules;
 pub mod standards;
 pub mod trace;
 
-pub use card::{score_jump, ScoreCard};
+pub use card::{score_jump, score_jump_masked, ScoreCard};
 pub use rules::{Rule, RuleId, RuleResult};
 pub use standards::Standard;
 pub use trace::RuleTrace;

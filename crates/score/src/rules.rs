@@ -169,12 +169,16 @@ impl Rule {
             RuleId::R1 | RuleId::R5 => pose
                 .angle(StickKind::Shank)
                 .wrapped_diff(pose.angle(StickKind::Thigh)),
-            RuleId::R2 => pose.angle(StickKind::Neck).wrapped_diff(slj_motion::Angle::UP),
+            RuleId::R2 => pose
+                .angle(StickKind::Neck)
+                .wrapped_diff(slj_motion::Angle::UP),
             RuleId::R3 | RuleId::R7 => pose.angle(StickKind::UpperArm).degrees(),
             RuleId::R4 => pose
                 .angle(StickKind::UpperArm)
                 .wrapped_diff(pose.angle(StickKind::Forearm)),
-            RuleId::R6 => pose.angle(StickKind::Trunk).wrapped_diff(slj_motion::Angle::UP),
+            RuleId::R6 => pose
+                .angle(StickKind::Trunk)
+                .wrapped_diff(slj_motion::Angle::UP),
         }
     }
 
@@ -189,17 +193,50 @@ impl Rule {
             Direction::Above => seq.stage_max(self.stage, |p| self.measure(p))?,
             Direction::Below => seq.stage_min(self.stage, |p| self.measure(p))?,
         };
+        Ok(self.verdict(observed))
+    }
+
+    /// Evaluates the rule over a pose sequence, skipping the frames
+    /// flagged in `excluded` (index-aligned with the sequence; missing
+    /// tail entries count as included). This is the best-effort path:
+    /// low-confidence estimates must not decide a window extremum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MotionError::SequenceTooShort`] when the stage window
+    /// is empty, or empty after exclusion.
+    pub fn evaluate_masked(
+        &self,
+        seq: &PoseSeq,
+        excluded: &[bool],
+    ) -> Result<RuleResult, MotionError> {
+        let poses = seq.poses();
+        let values = seq
+            .stage_range(self.stage)
+            .filter(|k| !excluded.get(*k).copied().unwrap_or(false))
+            .map(|k| self.measure(&poses[k]));
+        let observed = match self.direction {
+            Direction::Above => values.fold(f64::NEG_INFINITY, f64::max),
+            Direction::Below => values.fold(f64::INFINITY, f64::min),
+        };
+        if !observed.is_finite() {
+            return Err(MotionError::SequenceTooShort { got: 0, need: 1 });
+        }
+        Ok(self.verdict(observed))
+    }
+
+    fn verdict(&self, observed: f64) -> RuleResult {
         let satisfied = match self.direction {
             Direction::Above => observed > self.threshold,
             Direction::Below => observed < self.threshold,
         };
-        Ok(RuleResult {
+        RuleResult {
             rule: self.id,
             stage: self.stage,
             observed,
             threshold: self.threshold,
             satisfied,
-        })
+        }
     }
 }
 
@@ -209,7 +246,11 @@ impl fmt::Display for Rule {
             Direction::Above => '>',
             Direction::Below => '<',
         };
-        write!(f, "{}: {} {op} {}°", self.id, self.expression, self.threshold)
+        write!(
+            f,
+            "{}: {} {op} {}°",
+            self.id, self.expression, self.threshold
+        )
     }
 }
 
@@ -351,7 +392,9 @@ mod tests {
         let r = RuleId::R1.rule();
         let s = r.to_string();
         assert!(s.contains("R1") && s.contains("60"));
-        let res = r.evaluate(&synthesize_jump(&JumpConfig::default())).unwrap();
+        let res = r
+            .evaluate(&synthesize_jump(&JumpConfig::default()))
+            .unwrap();
         assert!(res.to_string().contains("ok"));
         assert_eq!(RuleId::R7.to_string(), "R7");
     }

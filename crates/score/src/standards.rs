@@ -157,7 +157,10 @@ mod tests {
     fn descriptions_match_table_1() {
         assert_eq!(Standard::E1.description(), "Knees bended");
         assert_eq!(Standard::E5.description(), "Knees bended");
-        assert_eq!(Standard::E7.description(), "Arms swung forward after landing");
+        assert_eq!(
+            Standard::E7.description(),
+            "Arms swung forward after landing"
+        );
     }
 
     #[test]

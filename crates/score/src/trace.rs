@@ -66,7 +66,11 @@ impl RuleTrace {
     pub fn sparkline(&self) -> String {
         const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
         let lo = self.values.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(1e-9);
         self.values
             .iter()

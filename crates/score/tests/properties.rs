@@ -24,8 +24,7 @@ fn pose_strategy() -> impl Strategy<Value = Pose> {
 }
 
 fn seq_strategy() -> impl Strategy<Value = PoseSeq> {
-    proptest::collection::vec(pose_strategy(), 2..30)
-        .prop_map(|poses| PoseSeq::new(poses, 10.0))
+    proptest::collection::vec(pose_strategy(), 2..30).prop_map(|poses| PoseSeq::new(poses, 10.0))
 }
 
 proptest! {

@@ -260,7 +260,11 @@ mod tests {
         })
         .estimate(&video)
         .unwrap();
-        assert_eq!(last.image.get(2, 0), Rgb::splat(200), "parked object burnt in");
+        assert_eq!(
+            last.image.get(2, 0),
+            Rgb::splat(200),
+            "parked object burnt in"
+        );
 
         let median = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
@@ -335,7 +339,10 @@ mod tests {
     fn single_frame_clip_rejected() {
         let video = Video::new(vec![ImageBuffer::filled(2, 2, Rgb::BLACK)], 10.0);
         let err = BackgroundEstimator::default().estimate(&video).unwrap_err();
-        assert!(matches!(err, SegmentError::TooFewFrames { got: 1, need: 2 }));
+        assert!(matches!(
+            err,
+            SegmentError::TooFewFrames { got: 1, need: 2 }
+        ));
     }
 
     #[test]

@@ -242,7 +242,10 @@ mod tests {
     fn configs_expose_values() {
         assert_eq!(NoiseFilter::default().config().neighbor_threshold, 3);
         assert_eq!(SpotRemover::default().config().min_area, 150);
-        assert!(matches!(HoleFiller::default().mode(), HoleFillMode::FloodFill));
+        assert!(matches!(
+            HoleFiller::default().mode(),
+            HoleFillMode::FloodFill
+        ));
         assert!(matches!(
             HoleFiller::paper().mode(),
             HoleFillMode::PaperRule { max_iters: 8 }

@@ -62,6 +62,8 @@ mod tests {
         use std::error::Error;
         let e = SegmentError::from(ImgError::EmptyImage);
         assert!(e.source().is_some());
-        assert!(SegmentError::TooFewFrames { got: 0, need: 2 }.source().is_none());
+        assert!(SegmentError::TooFewFrames { got: 0, need: 2 }
+            .source()
+            .is_none());
     }
 }

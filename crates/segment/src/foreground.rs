@@ -87,8 +87,8 @@ mod tests {
         let mut frame = bg.clone();
         frame.set(0, 0, Rgb::new(120, 120, 120)); // L1 = 60 == threshold
         frame.set(1, 0, Rgb::new(121, 120, 120)); // L1 = 61 > threshold
-        let mask = ForegroundExtractor::new(ForegroundConfig { threshold: 60 })
-            .extract(&frame, &bg);
+        let mask =
+            ForegroundExtractor::new(ForegroundConfig { threshold: 60 }).extract(&frame, &bg);
         assert!(!mask.get(0, 0));
         assert!(mask.get(1, 0));
     }
@@ -96,9 +96,8 @@ mod tests {
     #[test]
     fn noise_below_threshold_ignored() {
         let bg: Frame = ImageBuffer::filled(4, 4, Rgb::splat(100));
-        let frame: Frame = ImageBuffer::from_fn(4, 4, |x, y| {
-            Rgb::splat(100 + ((x * 3 + y) % 8) as u8)
-        });
+        let frame: Frame =
+            ImageBuffer::from_fn(4, 4, |x, y| Rgb::splat(100 + ((x * 3 + y) % 8) as u8));
         let mask = ForegroundExtractor::default().extract(&frame, &bg);
         assert!(mask.is_blank());
     }

@@ -91,19 +91,23 @@ impl GhostDetector {
         previous_frame: Option<&Frame>,
     ) -> Result<(Mask, Vec<GhostVerdict>), SegmentError> {
         if frame.dims() != mask.dims() {
-            return Err(SegmentError::Image(slj_imgproc::ImgError::DimensionMismatch {
-                left: frame.dims(),
-                right: mask.dims(),
-            }));
+            return Err(SegmentError::Image(
+                slj_imgproc::ImgError::DimensionMismatch {
+                    left: frame.dims(),
+                    right: mask.dims(),
+                },
+            ));
         }
         let Some(prev) = previous_frame else {
             return Ok((mask.clone(), Vec::new()));
         };
         if prev.dims() != frame.dims() {
-            return Err(SegmentError::Image(slj_imgproc::ImgError::DimensionMismatch {
-                left: prev.dims(),
-                right: frame.dims(),
-            }));
+            return Err(SegmentError::Image(
+                slj_imgproc::ImgError::DimensionMismatch {
+                    left: prev.dims(),
+                    right: frame.dims(),
+                },
+            ));
         }
 
         let labeling = label_components(mask, Connectivity::Eight);
@@ -154,7 +158,7 @@ mod tests {
     /// and a "walker" square whose content shifts between frames.
     fn scene() -> (Frame, Frame, Mask) {
         let base = |x: usize, y: usize| Rgb::splat(((x * 7 + y * 13) % 200) as u8);
-        let prev: Frame = ImageBuffer::from_fn(24, 12, |x, y| base(x, y));
+        let prev: Frame = ImageBuffer::from_fn(24, 12, &base);
         let cur: Frame = ImageBuffer::from_fn(24, 12, |x, y| {
             // The walker region (x 14..20) shows shifted content now.
             if (14..20).contains(&x) && (3..9).contains(&y) {

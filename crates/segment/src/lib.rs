@@ -22,6 +22,9 @@
 //!   (after Cucchiara et al.).
 //! * [`pipeline`] — the composed pipeline.
 //! * [`metrics`] — per-stage accuracy against ground truth.
+//! * [`quality`] — per-frame silhouette health metrics (area ratio,
+//!   fragmentation, border clipping) for graceful degradation
+//!   downstream.
 //!
 //! # Example
 //!
@@ -44,7 +47,9 @@ pub mod foreground;
 pub mod ghosts;
 pub mod metrics;
 pub mod pipeline;
+pub mod quality;
 pub mod shadow;
 
 pub use error::SegmentError;
 pub use pipeline::{FrameStages, PipelineConfig, Presmooth, SegmentPipeline, SegmentationResult};
+pub use quality::{FrameQuality, QualityConfig, QualityIssue};

@@ -77,9 +77,17 @@ pub fn evaluate_clip(
     let lo = skip_edges;
     let hi = n.saturating_sub(skip_edges);
     if lo >= hi {
-        return Err(SegmentError::TooFewFrames { got: n, need: 2 * skip_edges + 1 });
+        return Err(SegmentError::TooFewFrames {
+            got: n,
+            need: 2 * skip_edges + 1,
+        });
     }
-    let zero = MaskMetrics { tp: 0, fp: 0, fn_: 0, tn: 0 };
+    let zero = MaskMetrics {
+        tp: 0,
+        fp: 0,
+        fn_: 0,
+        tn: 0,
+    };
     let mut acc = StageMetrics {
         raw: zero,
         denoised: zero,
@@ -87,8 +95,8 @@ pub fn evaluate_clip(
         filled: zero,
         final_mask: zero,
     };
-    for k in lo..hi {
-        let m = evaluate_frame(&result.frames[k], &truths[k])?;
+    for (frame, truth) in result.frames[lo..hi].iter().zip(&truths[lo..hi]) {
+        let m = evaluate_frame(frame, truth)?;
         acc.raw = add(acc.raw, m.raw);
         acc.denoised = add(acc.denoised, m.denoised);
         acc.despotted = add(acc.despotted, m.despotted);
@@ -120,7 +128,11 @@ mod tests {
             .unwrap();
         let clip = evaluate_clip(&result, &j.silhouettes, 1).unwrap();
         assert_eq!(clip.frames, 6);
-        assert!(clip.stages.final_mask.iou() > 0.8, "{}", clip.stages.final_mask);
+        assert!(
+            clip.stages.final_mask.iou() > 0.8,
+            "{}",
+            clip.stages.final_mask
+        );
         // Total pixel count per stage must equal frames * pixels.
         let m = clip.stages.raw;
         assert_eq!(m.tp + m.fp + m.fn_ + m.tn, 6 * 320 * 240);

@@ -13,6 +13,7 @@ use crate::cleanup::{
 use crate::error::SegmentError;
 use crate::foreground::{ForegroundConfig, ForegroundExtractor};
 use crate::ghosts::{GhostConfig, GhostDetector, GhostVerdict};
+use crate::quality::{self, FrameQuality, QualityConfig};
 use crate::shadow::{ShadowDetector, ShadowParams};
 use serde::{Deserialize, Serialize};
 use slj_imgproc::mask::Mask;
@@ -68,6 +69,8 @@ pub struct PipelineConfig {
     pub holes: HoleFillMode,
     /// Step 5: HSV shadow removal; `None` disables the step.
     pub shadow: Option<ShadowParams>,
+    /// Step 6 (extension): per-frame silhouette health thresholds.
+    pub quality: QualityConfig,
 }
 
 impl Default for PipelineConfig {
@@ -81,6 +84,7 @@ impl Default for PipelineConfig {
             ghosts: None,
             holes: HoleFillMode::FloodFill,
             shadow: Some(ShadowParams::default()),
+            quality: QualityConfig::default(),
         }
     }
 }
@@ -139,6 +143,20 @@ pub struct SegmentationResult {
     pub background: EstimatedBackground,
     /// Per-frame intermediates, in frame order.
     pub frames: Vec<FrameStages>,
+    /// Per-frame health of the final masks, in frame order.
+    pub quality: Vec<FrameQuality>,
+}
+
+impl SegmentationResult {
+    /// Frames whose final mask failed at least one health check.
+    pub fn unhealthy_frames(&self) -> Vec<usize> {
+        self.quality
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_healthy())
+            .map(|(k, _)| k)
+            .collect()
+    }
 }
 
 /// The composed segmentation pipeline.
@@ -168,14 +186,10 @@ impl SegmentPipeline {
         // Step 0 (optional): smooth every frame before anything else.
         let video = match self.config.presmooth {
             Presmooth::None => video.clone(),
-            mode => Video::new(
-                video.iter().map(|f| mode.apply(f)).collect(),
-                video.fps(),
-            ),
+            mode => Video::new(video.iter().map(|f| mode.apply(f)).collect(), video.fps()),
         };
         let video = &video;
-        let background =
-            BackgroundEstimator::new(self.config.background).estimate(video)?;
+        let background = BackgroundEstimator::new(self.config.background).estimate(video)?;
         let extractor = ForegroundExtractor::new(self.config.foreground);
         let noise = NoiseFilter::new(self.config.noise);
         let spots = SpotRemover::new(self.config.spots);
@@ -210,7 +224,13 @@ impl SegmentPipeline {
             });
             previous_frame = Some(frame);
         }
-        Ok(SegmentationResult { background, frames })
+        let final_masks: Vec<_> = frames.iter().map(|s| &s.final_mask).collect();
+        let quality = quality::assess_masks(&final_masks, &self.config.quality);
+        Ok(SegmentationResult {
+            background,
+            frames,
+            quality,
+        })
     }
 }
 
@@ -258,7 +278,10 @@ mod tests {
         // Each repair stage should not hurt, and the final mask must be
         // clearly better than the raw subtraction.
         assert!(denoised.precision() >= raw.precision(), "noise filter");
-        assert!(despotted.precision() >= denoised.precision(), "spot removal");
+        assert!(
+            despotted.precision() >= denoised.precision(),
+            "spot removal"
+        );
         assert!(final_m.iou() > raw.iou(), "pipeline must improve IoU");
         assert!(final_m.iou() > 0.6, "final IoU {}", final_m.iou());
     }
@@ -400,9 +423,45 @@ mod tests {
         let j = short_jump(&SceneConfig::clean(), 6);
         let result = SegmentPipeline::default().run(&j.video).unwrap();
         assert_eq!(result.frames.len(), j.len());
+        assert_eq!(result.quality.len(), j.len());
         for s in &result.frames {
             assert_eq!(s.raw.dims(), j.video.dims());
             assert_eq!(s.final_mask.dims(), j.video.dims());
         }
+    }
+
+    #[test]
+    fn normal_scenes_produce_healthy_quality() {
+        // The health thresholds must not cry wolf: both the clean and
+        // the paper-noise scenes should pass nearly every frame.
+        for (scene, seed) in [(SceneConfig::clean(), 6), (SceneConfig::default(), 8)] {
+            let j = short_jump(&scene, seed);
+            let result = SegmentPipeline::default().run(&j.video).unwrap();
+            let unhealthy = result.unhealthy_frames();
+            assert!(
+                unhealthy.len() <= 1,
+                "scene seed {seed}: unhealthy frames {unhealthy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn occluded_clip_is_flagged_unhealthy() {
+        use slj_video::faults::{FaultConfig, FaultInjector};
+        let j = short_jump(&SceneConfig::default(), 10);
+        let cfg = FaultConfig {
+            seed: 4,
+            occlusion_bars: 6,
+            ..FaultConfig::default()
+        };
+        let (faulty, _) = FaultInjector::new(cfg).inject(&j.video);
+        let result = SegmentPipeline::default().run(&faulty).unwrap();
+        // Static bars sit in the estimated background, so their harm is
+        // where they cross the jumper: silhouettes get sliced apart.
+        assert!(
+            result.unhealthy_frames().len() >= 3,
+            "six occlusion bars should shred several frames, got {:?}",
+            result.unhealthy_frames()
+        );
     }
 }

@@ -14,8 +14,12 @@ use slj_video::{Frame, Video};
 
 fn frame_strategy(w: usize, h: usize) -> impl Strategy<Value = Frame> {
     proptest::collection::vec(any::<(u8, u8, u8)>(), w * h).prop_map(move |px| {
-        ImageBuffer::from_vec(w, h, px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect())
-            .unwrap()
+        ImageBuffer::from_vec(
+            w,
+            h,
+            px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
+        )
+        .unwrap()
     })
 }
 

@@ -12,11 +12,12 @@
 
 use crate::error::AnalyzeError;
 use serde::{Deserialize, Serialize};
-use slj_ga::tracker::{TemporalTracker, TrackResult, TrackerConfig};
+use slj_ga::tracker::{RecoveryAction, TemporalTracker, TrackResult, TrackerConfig};
 use slj_imgproc::mask::Mask;
 use slj_motion::{BodyDims, Pose, PoseSeq};
-use slj_score::{score_jump, ScoreCard};
+use slj_score::{score_jump, score_jump_masked, ScoreCard};
 use slj_segment::pipeline::{PipelineConfig, SegmentPipeline, SegmentationResult};
+use slj_segment::quality::FrameQuality;
 use slj_video::{Camera, Video};
 
 /// Configuration of the end-to-end analyzer.
@@ -34,6 +35,80 @@ pub struct AnalyzerConfig {
     /// aggregates window extrema, so single-frame estimation outliers
     /// can flip verdicts; a 3-frame median removes them.
     pub smoothing_window: usize,
+    /// What to do when frames come back degraded (unhealthy silhouette,
+    /// escalated or failed tracking).
+    pub robustness: RobustnessPolicy,
+}
+
+/// How the analyzer treats degraded frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RobustnessPolicy {
+    /// Any degraded frame aborts the analysis with
+    /// [`AnalyzeError::DegradedClip`] naming the first unhealthy frame.
+    /// The default: garbage in, *error* out — never a silently wrong
+    /// score.
+    #[default]
+    Strict,
+    /// Complete the analysis as long as no more than
+    /// `max_degraded_frames` frames are degraded, excluding them from
+    /// the R1–R7 window extrema; the per-frame health timeline and
+    /// confidence land in the report.
+    BestEffort {
+        /// Degraded-frame budget before the analysis aborts anyway.
+        max_degraded_frames: usize,
+    },
+}
+
+/// Confidence below which a frame is considered degraded and (under
+/// [`RobustnessPolicy::BestEffort`]) excluded from scoring.
+pub const DEGRADED_CONFIDENCE: f64 = 0.5;
+
+/// Health of one analysed frame: what segmentation and tracking had to
+/// do to produce its pose estimate, condensed into a confidence score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameHealth {
+    /// Frame index.
+    pub frame: usize,
+    /// Silhouette health from the segmentation pipeline.
+    pub quality: FrameQuality,
+    /// Which recovery rung produced the pose estimate.
+    pub recovery: RecoveryAction,
+    /// The frame's Eq. 3 fitness (infinite when carried over).
+    pub fitness: f64,
+    /// Combined confidence in `[0, 1]`: 1 = clean silhouette, plain
+    /// temporal tracking; 0 = carried over.
+    pub confidence: f64,
+}
+
+impl FrameHealth {
+    fn new(frame: usize, quality: FrameQuality, track: &TrackResult) -> FrameHealth {
+        // Segmentation factor: each failed check costs 30%.
+        let seg = if quality.is_healthy() {
+            1.0
+        } else {
+            (1.0 - 0.3 * quality.issues.len() as f64).max(0.0)
+        };
+        // Tracking factor: deeper recovery rungs mean the temporal
+        // assumption broke harder.
+        let track_factor = match track.recovery {
+            RecoveryAction::None => 1.0,
+            RecoveryAction::WidenedSearch => 0.8,
+            RecoveryAction::ColdRestart => 0.65,
+            RecoveryAction::CarriedOver => 0.0,
+        };
+        FrameHealth {
+            frame,
+            quality,
+            recovery: track.recovery,
+            fitness: track.fitness,
+            confidence: seg * track_factor,
+        }
+    }
+
+    /// Whether this frame should not be trusted for scoring.
+    pub fn is_degraded(&self) -> bool {
+        self.confidence < DEGRADED_CONFIDENCE
+    }
 }
 
 impl Default for AnalyzerConfig {
@@ -43,6 +118,7 @@ impl Default for AnalyzerConfig {
             tracker: TrackerConfig::default(),
             dims: BodyDims::default(),
             smoothing_window: 3,
+            robustness: RobustnessPolicy::default(),
         }
     }
 }
@@ -78,6 +154,9 @@ pub struct AnalysisReport {
     pub poses: PoseSeq,
     /// The rule verdicts and score (the paper's Section 4).
     pub score: ScoreCard,
+    /// Per-frame health timeline: silhouette quality × tracking
+    /// recovery, condensed to a confidence score.
+    pub health: Vec<FrameHealth>,
 }
 
 impl AnalysisReport {
@@ -95,12 +174,7 @@ impl AnalysisReport {
         AnalysisSummary {
             frames: self.poses.len(),
             score: self.score.score(),
-            violations: self
-                .score
-                .violations()
-                .iter()
-                .map(|r| r.number())
-                .collect(),
+            violations: self.score.violations().iter().map(|r| r.number()).collect(),
             advice: self
                 .score
                 .advice()
@@ -108,19 +182,12 @@ impl AnalysisReport {
                 .map(|(s, a)| (s.number(), (*a).to_owned()))
                 .collect(),
             forward_travel_m: self.poses.forward_travel(),
-            mean_fitness: {
-                let finite: Vec<f64> = self
-                    .tracking
+            mean_fitness: mean(
+                self.tracking
                     .iter()
                     .map(|t| t.fitness)
-                    .filter(|f| f.is_finite())
-                    .collect();
-                if finite.is_empty() {
-                    f64::NAN
-                } else {
-                    finite.iter().sum::<f64>() / finite.len() as f64
-                }
-            },
+                    .filter(|f| f.is_finite()),
+            ),
             mean_generations_to_near_best: mean(
                 self.tracking
                     .iter()
@@ -129,16 +196,27 @@ impl AnalysisReport {
                     .map(|t| t.generations_to_near_best as f64),
             ),
             total_evaluations: self.tracking.iter().map(|t| t.evaluations).sum(),
+            degraded_frames: self
+                .health
+                .iter()
+                .filter(|h| h.is_degraded())
+                .map(|h| h.frame)
+                .collect(),
+            mean_confidence: mean(self.health.iter().map(|h| h.confidence)).unwrap_or(0.0),
         }
     }
 }
 
-fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+/// `None` when the iterator is empty — a serialisable stand-in for the
+/// NaN that a 0/0 mean would produce (NaN does not survive a JSON
+/// round-trip: it serialises as `null`, which fails to deserialise into
+/// a bare `f64`).
+fn mean(iter: impl Iterator<Item = f64>) -> Option<f64> {
     let v: Vec<f64> = iter.collect();
     if v.is_empty() {
-        0.0
+        None
     } else {
-        v.iter().sum::<f64>() / v.len() as f64
+        Some(v.iter().sum::<f64>() / v.len() as f64)
     }
 }
 
@@ -155,13 +233,18 @@ pub struct AnalysisSummary {
     pub advice: Vec<(usize, String)>,
     /// Horizontal travel of the trunk centre, metres.
     pub forward_travel_m: f64,
-    /// Mean Eq. 3 fitness over tracked frames.
-    pub mean_fitness: f64,
+    /// Mean Eq. 3 fitness over tracked frames; `None` when every frame
+    /// was carried over (no finite fitness to average).
+    pub mean_fitness: Option<f64>,
     /// Mean generations until the GA was within 10% of each frame's
-    /// final best.
-    pub mean_generations_to_near_best: f64,
+    /// final best; `None` when no frame was GA-tracked.
+    pub mean_generations_to_near_best: Option<f64>,
     /// Total GA fitness evaluations.
     pub total_evaluations: usize,
+    /// Indices of frames below the confidence floor.
+    pub degraded_frames: Vec<usize>,
+    /// Mean per-frame confidence, 0–1.
+    pub mean_confidence: f64,
 }
 
 /// The end-to-end analyzer.
@@ -213,14 +296,65 @@ impl JumpAnalyzer {
         if self.config.smoothing_window > 1 {
             poses = poses.median_smoothed(self.config.smoothing_window);
         }
-        let score = score_jump(&poses)?;
+
+        let health: Vec<FrameHealth> = segmentation
+            .quality
+            .iter()
+            .zip(&tracking.frames)
+            .enumerate()
+            .map(|(k, (q, t))| FrameHealth::new(k, q.clone(), t))
+            .collect();
+        let allowed = match self.config.robustness {
+            RobustnessPolicy::Strict => 0,
+            RobustnessPolicy::BestEffort {
+                max_degraded_frames,
+            } => max_degraded_frames,
+        };
+        let degraded: Vec<&FrameHealth> = health.iter().filter(|h| h.is_degraded()).collect();
+        if degraded.len() > allowed {
+            let first = degraded[0];
+            return Err(AnalyzeError::DegradedClip {
+                first_frame: first.frame,
+                detail: degraded_detail(first),
+                degraded: degraded.len(),
+                allowed,
+                frames: health.len(),
+            });
+        }
+
+        let score = match self.config.robustness {
+            RobustnessPolicy::Strict => score_jump(&poses)?,
+            RobustnessPolicy::BestEffort { .. } => {
+                let excluded: Vec<bool> = health.iter().map(FrameHealth::is_degraded).collect();
+                score_jump_masked(&poses, &excluded)?
+            }
+        };
         Ok(AnalysisReport {
             segmentation,
             tracking: tracking.frames,
             poses,
             score,
+            health,
         })
     }
+}
+
+/// Human-readable account of why a frame is degraded, for error
+/// messages: "confidence 0.00: silhouette fragmented, area too small;
+/// tracking carried over".
+fn degraded_detail(h: &FrameHealth) -> String {
+    let mut parts = Vec::new();
+    if !h.quality.issues.is_empty() {
+        let issues: Vec<String> = h.quality.issues.iter().map(|i| i.to_string()).collect();
+        parts.push(format!("silhouette {}", issues.join(", ")));
+    }
+    if h.recovery != RecoveryAction::None {
+        parts.push(format!("tracking {}", h.recovery));
+    }
+    if parts.is_empty() {
+        parts.push("low combined confidence".to_owned());
+    }
+    format!("confidence {:.2}: {}", h.confidence, parts.join("; "))
 }
 
 #[cfg(test)]
@@ -275,6 +409,132 @@ mod tests {
         assert!(json.contains("score"));
         let back: AnalysisSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back.frames, 20);
+    }
+
+    #[test]
+    fn clean_run_has_full_confidence_and_no_degraded_frames() {
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 4);
+        let report = JumpAnalyzer::new(AnalyzerConfig::fast())
+            .analyze(&jump.video, &scene.camera, jump.poses.poses()[0])
+            .unwrap();
+        assert_eq!(report.health.len(), report.poses.len());
+        let summary = report.summary();
+        assert!(summary.degraded_frames.is_empty());
+        assert!(
+            summary.mean_confidence > 0.9,
+            "mean confidence {}",
+            summary.mean_confidence
+        );
+        assert!(summary.mean_fitness.is_some());
+        assert!(summary.mean_generations_to_near_best.is_some());
+    }
+
+    #[test]
+    fn strict_rejects_heavily_occluded_clip_naming_first_bad_frame() {
+        use slj_video::{FaultConfig, FaultInjector};
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 5);
+        let (faulty, _) = FaultInjector::new(FaultConfig {
+            occlusion_bars: 6,
+            ..FaultConfig::default()
+        })
+        .inject(&jump.video);
+        let err = JumpAnalyzer::new(AnalyzerConfig::fast())
+            .analyze(&faulty, &scene.camera, jump.poses.poses()[0])
+            .unwrap_err();
+        match err {
+            AnalyzeError::DegradedClip {
+                first_frame,
+                degraded,
+                allowed,
+                frames,
+                ref detail,
+            } => {
+                assert_eq!(allowed, 0);
+                assert_eq!(frames, jump.video.len());
+                assert!(degraded > 0);
+                assert!(first_frame < frames);
+                assert!(detail.contains("confidence"), "detail: {detail}");
+            }
+            other => panic!("expected DegradedClip, got {other}"),
+        }
+    }
+
+    #[test]
+    fn best_effort_completes_where_strict_refuses() {
+        use slj_video::{FaultConfig, FaultInjector};
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 5);
+        let (faulty, _) = FaultInjector::new(FaultConfig {
+            occlusion_bars: 6,
+            ..FaultConfig::default()
+        })
+        .inject(&jump.video);
+        let cfg = AnalyzerConfig {
+            robustness: RobustnessPolicy::BestEffort {
+                max_degraded_frames: 10,
+            },
+            ..AnalyzerConfig::fast()
+        };
+        let report = JumpAnalyzer::new(cfg)
+            .analyze(&faulty, &scene.camera, jump.poses.poses()[0])
+            .unwrap();
+        let summary = report.summary();
+        assert!(summary.mean_confidence < 1.0);
+        // The clean run of the same jump scores >= 6; best-effort on the
+        // occluded copy must stay in the same neighbourhood.
+        assert!(
+            report.score.score() >= 4,
+            "best-effort score {}\n{}",
+            report.score.score(),
+            report.score
+        );
+    }
+
+    #[test]
+    fn best_effort_budget_still_bounds_damage() {
+        use slj_video::{FaultConfig, FaultInjector};
+        let scene = compact_scene(true);
+        let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 5);
+        let (faulty, _) = FaultInjector::new(FaultConfig {
+            occlusion_bars: 6,
+            ..FaultConfig::default()
+        })
+        .inject(&jump.video);
+        let cfg = AnalyzerConfig {
+            robustness: RobustnessPolicy::BestEffort {
+                max_degraded_frames: 0,
+            },
+            ..AnalyzerConfig::fast()
+        };
+        let err = JumpAnalyzer::new(cfg)
+            .analyze(&faulty, &scene.camera, jump.poses.poses()[0])
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::DegradedClip { .. }));
+    }
+
+    #[test]
+    fn summary_mean_fields_survive_json_round_trip_when_absent() {
+        // Regression: a summary whose every frame was carried over used
+        // to hold `mean_fitness: f64::NAN`, which serialises as `null`
+        // and then fails to deserialise into a bare f64.
+        let summary = AnalysisSummary {
+            frames: 0,
+            score: 0,
+            violations: Vec::new(),
+            advice: Vec::new(),
+            forward_travel_m: 0.0,
+            mean_fitness: None,
+            mean_generations_to_near_best: None,
+            total_evaluations: 0,
+            degraded_frames: Vec::new(),
+            mean_confidence: 0.0,
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: AnalysisSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.mean_fitness, None);
+        assert_eq!(back.mean_generations_to_near_best, None);
     }
 
     #[test]

@@ -15,6 +15,20 @@ pub enum AnalyzeError {
     Tracking(GaError),
     /// Scoring failed (sequence too short for the stage windows).
     Scoring(MotionError),
+    /// Too many degraded frames for the configured
+    /// [`crate::RobustnessPolicy`].
+    DegradedClip {
+        /// Index of the first degraded frame.
+        first_frame: usize,
+        /// What went wrong on that frame (quality issues, recovery rung).
+        detail: String,
+        /// Number of degraded frames in the clip.
+        degraded: usize,
+        /// Degraded frames the policy tolerates (0 under `Strict`).
+        allowed: usize,
+        /// Total frames in the clip.
+        frames: usize,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -23,6 +37,18 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::Segment(e) => write!(f, "segmentation failed: {e}"),
             AnalyzeError::Tracking(e) => write!(f, "pose tracking failed: {e}"),
             AnalyzeError::Scoring(e) => write!(f, "scoring failed: {e}"),
+            AnalyzeError::DegradedClip {
+                first_frame,
+                detail,
+                degraded,
+                allowed,
+                frames,
+            } => write!(
+                f,
+                "clip too degraded: {degraded}/{frames} frames below the \
+                 confidence floor (policy allows {allowed}); first unhealthy \
+                 frame is {first_frame} ({detail})"
+            ),
         }
     }
 }
@@ -33,6 +59,7 @@ impl std::error::Error for AnalyzeError {
             AnalyzeError::Segment(e) => Some(e),
             AnalyzeError::Tracking(e) => Some(e),
             AnalyzeError::Scoring(e) => Some(e),
+            AnalyzeError::DegradedClip { .. } => None,
         }
     }
 }

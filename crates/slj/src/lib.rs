@@ -35,7 +35,7 @@
 //! // hand-drawn stick figure.
 //! let analyzer = JumpAnalyzer::new(AnalyzerConfig::fast());
 //! let report = analyzer
-//!     .analyze(&jump.video, &scene.camera, jump.poses.poses()\[0\])
+//!     .analyze(&jump.video, &scene.camera, jump.poses.poses()[0])
 //!     .unwrap();
 //! println!("{}", report.score);
 //! assert!(report.score.score() >= 6);
@@ -47,14 +47,18 @@ pub mod measure;
 pub mod report;
 pub mod viz;
 
-pub use analyzer::{AnalysisReport, AnalysisSummary, AnalyzerConfig, JumpAnalyzer};
+pub use analyzer::{
+    AnalysisReport, AnalysisSummary, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
+};
 pub use error::AnalyzeError;
 pub use measure::{measure_jump, JumpMeasurement, MeasureError};
-pub use report::{markdown_report, suspect_frames};
+pub use report::{health_timeline, markdown_report, suspect_frames};
 
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {
-    pub use crate::analyzer::{AnalysisReport, AnalyzerConfig, JumpAnalyzer};
+    pub use crate::analyzer::{
+        AnalysisReport, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
+    };
     pub use crate::error::AnalyzeError;
     pub use crate::measure::{measure_jump, JumpMeasurement};
     pub use slj_ga::tracker::{TemporalTracker, TrackerConfig};
@@ -63,5 +67,7 @@ pub mod prelude {
     };
     pub use slj_score::{score_jump, RuleId, ScoreCard, Standard};
     pub use slj_segment::pipeline::{PipelineConfig, SegmentPipeline};
-    pub use slj_video::{Camera, Frame, SceneConfig, SyntheticJump, Video};
+    pub use slj_video::{
+        Camera, FaultConfig, FaultInjector, Frame, SceneConfig, SyntheticJump, Video,
+    };
 }

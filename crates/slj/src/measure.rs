@@ -54,12 +54,17 @@ fn clearance(pose: &slj_motion::Pose, dims: &BodyDims) -> f64 {
 
 /// Measures a jump from a (calibrated) pose sequence.
 ///
-/// The airborne phase is the longest run of frames whose ground
-/// clearance exceeds an adaptive threshold — the clip's minimum
-/// clearance plus a quarter of its clearance range (floored at twice
-/// the foot thickness). The adaptive baseline makes the detector robust
-/// to tracked poses whose feet hover a few centimetres off the ground
-/// from estimation noise; takeoff and landing frames bracket the run.
+/// Candidate airborne phases are runs of frames whose ground clearance
+/// exceeds an adaptive threshold — the clip's minimum clearance plus a
+/// quarter of its clearance range (floored at twice the foot
+/// thickness). The adaptive baseline makes the detector robust to
+/// tracked poses whose feet hover a few centimetres off the ground from
+/// estimation noise. Among candidate runs the flight is the one with
+/// the greatest clearance integrated above the threshold, not the
+/// longest: flawed jumps can produce a shallow pre-takeoff bounce of
+/// the same frame count as the true flight, and integrating height
+/// keeps the detector on the real jump. Takeoff and landing frames
+/// bracket the chosen run.
 ///
 /// # Errors
 ///
@@ -81,14 +86,17 @@ pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, M
     let threshold = min_c + (0.25 * span).max(2.0 * dims.thickness(StickKind::Foot));
     let airborne: Vec<bool> = clearances.iter().map(|&c| c > threshold).collect();
 
-    // Longest airborne run.
+    // The airborne run with the most clearance integrated above the
+    // threshold. A length criterion is fooled by shallow pre-takeoff
+    // bounces of the same duration as the flight; height is not.
+    let lift = |s: usize, e: usize| -> f64 { clearances[s..e].iter().map(|c| c - threshold).sum() };
     let mut best: Option<(usize, usize)> = None; // [start, end)
     let mut run_start = None;
     for (k, &a) in airborne.iter().enumerate() {
         match (a, run_start) {
             (true, None) => run_start = Some(k),
             (false, Some(s)) => {
-                if best.map_or(true, |(bs, be)| k - s > be - bs) {
+                if best.is_none_or(|(bs, be)| lift(s, k) > lift(bs, be)) {
                     best = Some((s, k));
                 }
                 run_start = None;
@@ -98,7 +106,7 @@ pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, M
     }
     if let Some(s) = run_start {
         let k = airborne.len();
-        if best.map_or(true, |(bs, be)| k - s > be - bs) {
+        if best.is_none_or(|(bs, be)| lift(s, k) > lift(bs, be)) {
             best = Some((s, k));
         }
     }
@@ -120,16 +128,8 @@ pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, M
     // landing — the rearmost contact decides.
     let takeoff_pose = &seq.poses()[takeoff_frame];
     let landing_pose = &seq.poses()[landing_frame];
-    let toe = takeoff_pose
-        .segments(dims)
-        .segment(StickKind::Foot)
-        .b
-        .x;
-    let heel = landing_pose
-        .segments(dims)
-        .segment(StickKind::Foot)
-        .a
-        .x;
+    let toe = takeoff_pose.segments(dims).segment(StickKind::Foot).b.x;
+    let heel = landing_pose.segments(dims).segment(StickKind::Foot).a.x;
     let distance_m = heel - toe;
 
     let peak_clearance_m = clearances[flight_start..flight_end]
@@ -193,6 +193,33 @@ mod tests {
             ml.distance_m,
             ms.distance_m
         );
+    }
+
+    #[test]
+    fn shallow_prejump_bounce_does_not_win_flight_detection() {
+        // Regression: this flawed short clip produces a 2-frame bounce
+        // before takeoff with the same frame count as the 2-frame true
+        // flight. Length-based run selection measured the bounce and
+        // reported a negative jump distance; height-integrated selection
+        // must find the real flight.
+        use slj_motion::JumpFlaw;
+        let cfg = JumpConfig {
+            frames: 10,
+            jump_distance: 1.26,
+            dims: BodyDims::for_height(1.19),
+            flaws: vec![
+                JumpFlaw::NoNeckBend,
+                JumpFlaw::StraightArms,
+                JumpFlaw::StiffLanding,
+                JumpFlaw::UprightTrunk,
+                JumpFlaw::ArmsStayBack,
+            ],
+            ..JumpConfig::default()
+        };
+        let seq = synthesize_jump(&cfg);
+        let m = measure_jump(&seq, &cfg.dims).unwrap();
+        assert!(m.distance_m > 0.0, "measured {} m", m.distance_m);
+        assert!(m.takeoff_frame >= 4, "takeoff at {}", m.takeoff_frame);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! diagnostics — as one self-contained markdown document a teacher (or
 //! a web front end) can hand to the student.
 
-use crate::analyzer::AnalysisReport;
+use crate::analyzer::{AnalysisReport, FrameHealth};
 use crate::measure::measure_jump;
 use slj_motion::{classify_phases, BodyDims, JumpPhase};
 use slj_score::RuleTrace;
@@ -116,6 +116,40 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
         Err(e) => writeln!(md, "_not available: {e}_\n").unwrap(),
     }
 
+    // Frame health.
+    if !report.health.is_empty() {
+        let mean_conf =
+            report.health.iter().map(|h| h.confidence).sum::<f64>() / report.health.len() as f64;
+        writeln!(md, "## Frame health\n").unwrap();
+        writeln!(
+            md,
+            "`{}` (# clean, + minor, ~ shaky, ! degraded) — mean confidence {:.2}\n",
+            health_timeline(&report.health),
+            mean_conf
+        )
+        .unwrap();
+        for h in report.health.iter().filter(|h| h.is_degraded()) {
+            let issues: Vec<String> = h.quality.issues.iter().map(|i| i.to_string()).collect();
+            writeln!(
+                md,
+                "* frame {}: confidence {:.2} — {}{}{}",
+                h.frame,
+                h.confidence,
+                if issues.is_empty() {
+                    String::new()
+                } else {
+                    format!("silhouette {}", issues.join(", "))
+                },
+                if issues.is_empty() { "" } else { "; " },
+                format_args!("tracking {}", h.recovery),
+            )
+            .unwrap();
+        }
+        if report.health.iter().any(|h| h.is_degraded()) {
+            writeln!(md).unwrap();
+        }
+    }
+
     // Tracking diagnostics.
     writeln!(md, "## Tracking diagnostics\n").unwrap();
     let suspects = suspect_frames(report);
@@ -136,6 +170,21 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
         .unwrap();
     }
     md
+}
+
+/// One character per frame, by confidence: `#` ≥ 0.95 (clean), `+` ≥
+/// 0.7 (minor degradation), `~` ≥ 0.5 (shaky but scored), `!` below the
+/// degraded floor (excluded under best-effort).
+pub fn health_timeline(health: &[FrameHealth]) -> String {
+    health
+        .iter()
+        .map(|h| match h.confidence {
+            c if c >= 0.95 => '#',
+            c if c >= 0.7 => '+',
+            c if c >= 0.5 => '~',
+            _ => '!',
+        })
+        .collect()
 }
 
 /// Frames whose Eq. 3 fitness is at least 1.5× the clip median —
@@ -190,6 +239,7 @@ mod tests {
             "## Per-frame traces",
             "## Phases",
             "## Measurement",
+            "## Frame health",
             "## Tracking diagnostics",
         ] {
             assert!(md.contains(heading), "missing {heading}:\n{md}");

@@ -56,7 +56,13 @@ fn hash01(x: usize, y: usize, seed: u64) -> f64 {
 }
 
 /// The true background colour at one pixel.
-pub fn background_pixel(x: usize, y: usize, cam: &Camera, style: &BackgroundStyle, seed: u64) -> Rgb {
+pub fn background_pixel(
+    x: usize,
+    y: usize,
+    cam: &Camera,
+    style: &BackgroundStyle,
+    seed: u64,
+) -> Rgb {
     let ground_row = cam.ground_row as usize;
     let base = if y >= ground_row {
         // Ground band: slightly darker with depth.

@@ -1,0 +1,634 @@
+//! Seeded, composable fault injection for acquisition-side failures.
+//!
+//! The segmentation pipeline already faces the *scene-side* artefacts of
+//! the paper (lighting noise, clutter spots, camouflage holes, shadows)
+//! via [`crate::scene::NoiseConfig`]. This module covers what the paper
+//! silently assumes away: the **camera and transport** can fail too.
+//! A [`FaultInjector`] perturbs a finished [`Video`] with the failure
+//! modes of cheap playground footage:
+//!
+//! * **Dropped frames** — the recorder missed a frame; downstream sees
+//!   the previous frame again (a freeze), so motion stalls.
+//! * **Duplicated frames** — the recorder stuttered and delivered a
+//!   frame twice, shifting the rest of the clip late (the tail is
+//!   truncated to preserve clip length).
+//! * **Illumination flicker** — per-frame global brightness swings well
+//!   beyond the scene's own flicker (auto-exposure hunting).
+//! * **Sensor-noise bursts** — windows of frames with heavy per-pixel
+//!   channel noise (gain spikes, compression glitches).
+//! * **Camera jitter** — per-frame integer translation with edge
+//!   replication (a shaky hand on a "fixed" camera).
+//! * **Occlusion bars** — static vertical poles between camera and
+//!   scene that cut the silhouette into pieces.
+//!
+//! Faults compose in acquisition order: transport (drop/duplicate),
+//! scene occluders, camera pose (jitter), illumination (flicker), and
+//! sensor noise last. Every fault family draws from its **own**
+//! seed-derived per-frame stream, so enabling one fault never changes
+//! the realisation of another — configurations compose without
+//! cross-talk, and the same [`FaultConfig`] (same seed included) always
+//! produces the bitwise-identical video.
+
+use crate::video::{Frame, Video};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::noise::{add_channel_jitter, apply_global_flicker};
+use slj_imgproc::pixel::Rgb;
+
+/// Domain-separation tags: one stream per fault family.
+mod tag {
+    pub const TRANSPORT: u64 = 0x7261_6e73_706f_7274;
+    pub const OCCLUSION: u64 = 0x6f63_636c_7564_6572;
+    pub const JITTER: u64 = 0x6a69_7474_6572_6a6a;
+    pub const FLICKER: u64 = 0x666c_6963_6b65_7266;
+    pub const NOISE: u64 = 0x6e6f_6973_6562_7273;
+}
+
+/// A window of frames with heavy sensor noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseBurst {
+    /// Number of burst windows, placed by the seed.
+    pub count: usize,
+    /// Length of each window, frames.
+    pub len: usize,
+    /// Per-channel uniform jitter amplitude inside a window (intensity
+    /// levels, 0–255).
+    pub amplitude: u8,
+}
+
+/// What to inject. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every fault stream; same config + seed → same output.
+    pub seed: u64,
+    /// Per-frame probability that the recorder drops the frame
+    /// (frame 0 is never dropped — the clip needs an anchor).
+    pub drop_prob: f64,
+    /// Per-frame probability that the recorder delivers the frame
+    /// twice.
+    pub duplicate_prob: f64,
+    /// Auto-exposure flicker amplitude: each frame's brightness is
+    /// scaled by a factor from `[1 - flicker, 1 + flicker]`.
+    pub flicker: f64,
+    /// Sensor-noise bursts, if any.
+    pub burst: Option<NoiseBurst>,
+    /// Maximum camera shake per frame, pixels (translation drawn
+    /// uniformly from `[-jitter_px, jitter_px]` per axis).
+    pub jitter_px: usize,
+    /// Number of static occlusion bars (vertical poles).
+    pub occlusion_bars: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA_017,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            flicker: 0.0,
+            burst: None,
+            jitter_px: 0,
+            occlusion_bars: 0,
+        }
+    }
+}
+
+/// A malformed `--inject-faults` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    msg: String,
+}
+
+impl FaultSpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        FaultSpecError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.msg)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FaultConfig {
+    /// Whether this configuration changes anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.flicker <= 0.0
+            && self
+                .burst
+                .is_none_or(|b| b.count == 0 || b.len == 0 || b.amplitude == 0)
+            && self.jitter_px == 0
+            && self.occlusion_bars == 0
+    }
+
+    /// Parses a compact comma-separated spec, e.g.
+    /// `drop=0.1,dup=0.05,flicker=0.08,burst=2:3:40,jitter=2,bars=1,seed=7`.
+    ///
+    /// Keys: `drop` and `dup` (probabilities in `[0, 1]`), `flicker`
+    /// (amplitude ≥ 0), `burst=count:len:amplitude`, `jitter` (pixels),
+    /// `bars` (count), `seed`. Unknown keys and out-of-range values are
+    /// errors; omitted keys keep their no-fault defaults.
+    pub fn parse(spec: &str) -> Result<FaultConfig, FaultSpecError> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::new(format!("`{part}` is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "drop" => cfg.drop_prob = parse_prob(key, value)?,
+                "dup" => cfg.duplicate_prob = parse_prob(key, value)?,
+                "flicker" => {
+                    let f: f64 = parse_num(key, value)?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(FaultSpecError::new(format!(
+                            "flicker must be in [0, 1], got {f}"
+                        )));
+                    }
+                    cfg.flicker = f;
+                }
+                "burst" => {
+                    let mut it = value.split(':');
+                    let (c, l, a) = (it.next(), it.next(), it.next());
+                    if it.next().is_some() {
+                        return Err(FaultSpecError::new(format!(
+                            "burst takes count:len:amplitude, got `{value}`"
+                        )));
+                    }
+                    match (c, l, a) {
+                        (Some(c), Some(l), Some(a)) => {
+                            cfg.burst = Some(NoiseBurst {
+                                count: parse_num(key, c)?,
+                                len: parse_num(key, l)?,
+                                amplitude: parse_num(key, a)?,
+                            });
+                        }
+                        _ => {
+                            return Err(FaultSpecError::new(format!(
+                                "burst takes count:len:amplitude, got `{value}`"
+                            )))
+                        }
+                    }
+                }
+                "jitter" => cfg.jitter_px = parse_num(key, value)?,
+                "bars" => cfg.occlusion_bars = parse_num(key, value)?,
+                "seed" => cfg.seed = parse_num(key, value)?,
+                other => {
+                    return Err(FaultSpecError::new(format!(
+                        "unknown key `{other}` (expected drop, dup, flicker, burst, jitter, bars, seed)"
+                    )))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, FaultSpecError> {
+    value
+        .parse()
+        .map_err(|_| FaultSpecError::new(format!("`{key}` value `{value}` does not parse")))
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, FaultSpecError> {
+    let p: f64 = parse_num(key, value)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultSpecError::new(format!(
+            "`{key}` must be a probability in [0, 1], got {p}"
+        )));
+    }
+    Ok(p)
+}
+
+/// One fault applied to one output frame, for the injection report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrameFault {
+    /// The source frame was lost in transport; this frame repeats an
+    /// earlier one (a freeze).
+    Frozen {
+        /// The input frame shown instead.
+        source: usize,
+    },
+    /// This frame is a transport stutter: the same input frame as its
+    /// predecessor.
+    Duplicated {
+        /// The input frame delivered twice.
+        source: usize,
+    },
+    /// Global brightness was scaled by this factor.
+    Flicker {
+        /// The multiplier applied (1.0 = unchanged).
+        factor: f64,
+    },
+    /// Heavy sensor noise of this amplitude was added.
+    NoiseBurst {
+        /// Per-channel jitter amplitude, intensity levels.
+        amplitude: u8,
+    },
+    /// The camera shook: the frame content moved by this translation.
+    CameraJitter {
+        /// Pixels right (negative = left).
+        dx: i32,
+        /// Pixels down (negative = up).
+        dy: i32,
+    },
+    /// One or more occlusion bars overlap this frame (bars are static,
+    /// so this marks every frame when bars are configured).
+    Occluded,
+}
+
+/// What the injector actually did, frame by frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// Input frame indices that were lost in transport.
+    pub dropped_inputs: Vec<usize>,
+    /// Input frame indices the tail truncation cut after stutters.
+    pub truncated_inputs: Vec<usize>,
+    /// Faults applied to each output frame (same length as the output
+    /// video).
+    pub frame_faults: Vec<Vec<FrameFault>>,
+}
+
+impl InjectionReport {
+    /// Output frames with at least one fault recorded.
+    pub fn faulty_frames(&self) -> usize {
+        self.frame_faults.iter().filter(|f| !f.is_empty()).count()
+    }
+}
+
+/// Applies a [`FaultConfig`] to videos. Stateless; every call with the
+/// same config and input produces the same output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    config: FaultConfig,
+}
+
+impl FaultInjector {
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector { config }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Perturbs a video. The output has the same frame count, frame
+    /// dimensions and fps as the input. Returns the perturbed video and
+    /// a per-frame report of what was injected.
+    pub fn inject(&self, video: &Video) -> (Video, InjectionReport) {
+        let n = video.len();
+        if n == 0 {
+            return (
+                video.clone(),
+                InjectionReport {
+                    dropped_inputs: Vec::new(),
+                    truncated_inputs: Vec::new(),
+                    frame_faults: Vec::new(),
+                },
+            );
+        }
+        let cfg = &self.config;
+
+        // --- Transport: map each output slot to a source input frame.
+        let mut sources: Vec<usize> = Vec::with_capacity(n);
+        let mut faults: Vec<Vec<FrameFault>> = Vec::with_capacity(n);
+        let mut dropped_inputs = Vec::new();
+        let mut last_delivered = 0usize;
+        let mut k = 0usize;
+        while sources.len() < n && k < n {
+            let mut rng = self.stream(tag::TRANSPORT, k);
+            let dropped = k > 0 && cfg.drop_prob > 0.0 && rng.gen_bool(cfg.drop_prob);
+            let duplicated = cfg.duplicate_prob > 0.0 && rng.gen_bool(cfg.duplicate_prob);
+            if dropped {
+                dropped_inputs.push(k);
+                sources.push(last_delivered);
+                faults.push(vec![FrameFault::Frozen {
+                    source: last_delivered,
+                }]);
+            } else {
+                last_delivered = k;
+                sources.push(k);
+                faults.push(Vec::new());
+                if duplicated && sources.len() < n {
+                    sources.push(k);
+                    faults.push(vec![FrameFault::Duplicated { source: k }]);
+                }
+            }
+            k += 1;
+        }
+        // Stutters shift the clip late; inputs past `k` never made it
+        // into the output. Drops can also leave the list short — pad
+        // with freezes.
+        let truncated_inputs: Vec<usize> = (k..n).collect();
+        while sources.len() < n {
+            sources.push(last_delivered);
+            faults.push(vec![FrameFault::Frozen {
+                source: last_delivered,
+            }]);
+        }
+
+        // --- Scene occluders: static bars, placed once per clip.
+        let (w, h) = video.dims();
+        let bars = self.make_bars(w);
+
+        // --- Burst windows, placed once per clip.
+        let burst_frames = self.burst_window_membership(n);
+
+        let mut out_frames: Vec<Frame> = Vec::with_capacity(n);
+        for (j, &src) in sources.iter().enumerate() {
+            let mut frame = video.frames()[src].clone();
+
+            if !bars.is_empty() {
+                for &(x0, bw, color) in &bars {
+                    draw_bar(&mut frame, x0, bw, color);
+                }
+                faults[j].push(FrameFault::Occluded);
+            }
+
+            if cfg.jitter_px > 0 {
+                let mut rng = self.stream(tag::JITTER, j);
+                let a = cfg.jitter_px as i32;
+                let dx = rng.gen_range(-a..=a);
+                let dy = rng.gen_range(-a..=a);
+                if dx != 0 || dy != 0 {
+                    frame = translate_replicate(&frame, dx, dy);
+                    faults[j].push(FrameFault::CameraJitter { dx, dy });
+                }
+            }
+
+            if cfg.flicker > 0.0 {
+                let mut rng = self.stream(tag::FLICKER, j);
+                let factor = apply_global_flicker(&mut frame, cfg.flicker, &mut rng);
+                faults[j].push(FrameFault::Flicker { factor });
+            }
+
+            if let Some(burst) = cfg.burst {
+                if burst.amplitude > 0 && burst_frames.get(j).copied().unwrap_or(false) {
+                    let mut rng = self.stream(tag::NOISE, j);
+                    add_channel_jitter(&mut frame, burst.amplitude, &mut rng);
+                    faults[j].push(FrameFault::NoiseBurst {
+                        amplitude: burst.amplitude,
+                    });
+                }
+            }
+
+            out_frames.push(frame);
+        }
+        debug_assert_eq!(out_frames.len(), n);
+        debug_assert!(out_frames.iter().all(|f| f.dims() == (w, h)));
+
+        (
+            Video::new(out_frames, video.fps()),
+            InjectionReport {
+                dropped_inputs,
+                truncated_inputs,
+                frame_faults: faults,
+            },
+        )
+    }
+
+    /// The seed-derived RNG for one fault family at one frame.
+    fn stream(&self, tag: u64, frame: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tag)
+                .wrapping_add((frame as u64).wrapping_mul(0x100_0000_01B3)),
+        )
+    }
+
+    /// Static vertical bars: `(x0, width, colour)` per bar.
+    fn make_bars(&self, frame_width: usize) -> Vec<(usize, usize, Rgb)> {
+        if self.config.occlusion_bars == 0 || frame_width == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.stream(tag::OCCLUSION, 0);
+        (0..self.config.occlusion_bars)
+            .map(|_| {
+                let bw = (frame_width / 40).clamp(2, frame_width);
+                let x0 = rng.gen_range(0..frame_width.saturating_sub(bw).max(1));
+                let shade = rng.gen_range(25u8..70);
+                (x0, bw, Rgb::new(shade, shade, shade.saturating_add(8)))
+            })
+            .collect()
+    }
+
+    /// Which output frames fall inside a noise-burst window.
+    fn burst_window_membership(&self, n: usize) -> Vec<bool> {
+        let mut member = vec![false; n];
+        if let Some(burst) = self.config.burst {
+            if burst.count > 0 && burst.len > 0 && n > 0 {
+                let mut rng = self.stream(tag::NOISE, usize::MAX);
+                for _ in 0..burst.count {
+                    let start = rng.gen_range(0..n);
+                    for slot in member.iter_mut().skip(start).take(burst.len) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+        member
+    }
+}
+
+/// Draws a full-height vertical bar.
+fn draw_bar(frame: &mut Frame, x0: usize, width: usize, color: Rgb) {
+    let (w, h) = frame.dims();
+    for y in 0..h {
+        for x in x0..(x0 + width).min(w) {
+            frame.set(x, y, color);
+        }
+    }
+}
+
+/// Translates the frame content by `(dx, dy)`, replicating edge pixels
+/// into the uncovered border (camera shake, not a black border).
+fn translate_replicate(frame: &Frame, dx: i32, dy: i32) -> Frame {
+    let (w, h) = frame.dims();
+    ImageBuffer::from_fn(w, h, |x, y| {
+        let sx = (x as i32 - dx).clamp(0, w as i32 - 1) as usize;
+        let sy = (y as i32 - dy).clamp(0, h as i32 - 1) as usize;
+        frame.get(sx, sy)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imgproc::image::ImageBuffer;
+
+    fn tiny_video(frames: usize) -> Video {
+        let make = |k: usize| {
+            ImageBuffer::from_fn(16, 12, |x, y| {
+                Rgb::new((x * 16) as u8, (y * 20) as u8, (k * 10) as u8)
+            })
+        };
+        Video::new((0..frames).map(make).collect(), 10.0)
+    }
+
+    fn everything() -> FaultConfig {
+        FaultConfig {
+            seed: 7,
+            drop_prob: 0.2,
+            duplicate_prob: 0.2,
+            flicker: 0.1,
+            burst: Some(NoiseBurst {
+                count: 2,
+                len: 2,
+                amplitude: 40,
+            }),
+            jitter_px: 2,
+            occlusion_bars: 1,
+        }
+    }
+
+    #[test]
+    fn noop_config_is_identity() {
+        let video = tiny_video(6);
+        let (out, report) = FaultInjector::new(FaultConfig::default()).inject(&video);
+        assert_eq!(out, video);
+        assert_eq!(report.faulty_frames(), 0);
+        assert!(FaultConfig::default().is_noop());
+        assert!(!everything().is_noop());
+    }
+
+    #[test]
+    fn output_shape_is_preserved() {
+        let video = tiny_video(9);
+        let (out, report) = FaultInjector::new(everything()).inject(&video);
+        assert_eq!(out.len(), video.len());
+        assert_eq!(out.dims(), video.dims());
+        assert_eq!(out.fps(), video.fps());
+        assert_eq!(report.frame_faults.len(), video.len());
+        assert!(report.faulty_frames() > 0);
+    }
+
+    #[test]
+    fn dropped_frames_freeze_the_previous_frame() {
+        let cfg = FaultConfig {
+            seed: 3,
+            drop_prob: 0.5,
+            ..FaultConfig::default()
+        };
+        let video = tiny_video(10);
+        let (out, report) = FaultInjector::new(cfg).inject(&video);
+        assert!(!report.dropped_inputs.is_empty(), "p=0.5 over 9 frames");
+        for (j, faults) in report.frame_faults.iter().enumerate() {
+            for f in faults {
+                if let FrameFault::Frozen { source } = f {
+                    assert_eq!(out.frames()[j], video.frames()[*source]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_shift_the_clip_late() {
+        let cfg = FaultConfig {
+            seed: 5,
+            duplicate_prob: 0.5,
+            ..FaultConfig::default()
+        };
+        let video = tiny_video(10);
+        let (_, report) = FaultInjector::new(cfg).inject(&video);
+        assert!(!report.truncated_inputs.is_empty(), "p=0.5 over 10 frames");
+        let dup = report
+            .frame_faults
+            .iter()
+            .flatten()
+            .any(|f| matches!(f, FrameFault::Duplicated { .. }));
+        assert!(dup);
+    }
+
+    #[test]
+    fn occlusion_bars_paint_every_frame() {
+        let cfg = FaultConfig {
+            seed: 1,
+            occlusion_bars: 2,
+            ..FaultConfig::default()
+        };
+        let video = tiny_video(4);
+        let (out, report) = FaultInjector::new(cfg).inject(&video);
+        for faults in &report.frame_faults {
+            assert!(faults.contains(&FrameFault::Occluded));
+        }
+        assert_ne!(out.frames()[0], video.frames()[0]);
+    }
+
+    #[test]
+    fn fault_families_do_not_cross_talk() {
+        // Adding bars must not change which frames flicker or by how
+        // much: each family draws from its own stream.
+        let base = FaultConfig {
+            seed: 11,
+            flicker: 0.2,
+            ..FaultConfig::default()
+        };
+        let with_bars = FaultConfig {
+            occlusion_bars: 1,
+            ..base
+        };
+        let video = tiny_video(8);
+        let (_, r1) = FaultInjector::new(base).inject(&video);
+        let (_, r2) = FaultInjector::new(with_bars).inject(&video);
+        let flickers = |r: &InjectionReport| -> Vec<(usize, f64)> {
+            r.frame_faults
+                .iter()
+                .enumerate()
+                .flat_map(|(j, fs)| {
+                    fs.iter().filter_map(move |f| match f {
+                        FrameFault::Flicker { factor } => Some((j, *factor)),
+                        _ => None,
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(flickers(&r1), flickers(&r2));
+    }
+
+    #[test]
+    fn spec_round_trip_and_errors() {
+        let cfg = FaultConfig::parse(
+            "drop=0.1, dup=0.05, flicker=0.08, burst=2:3:40, jitter=2, bars=1, seed=9",
+        )
+        .unwrap();
+        assert_eq!(cfg.drop_prob, 0.1);
+        assert_eq!(cfg.duplicate_prob, 0.05);
+        assert_eq!(cfg.flicker, 0.08);
+        assert_eq!(
+            cfg.burst,
+            Some(NoiseBurst {
+                count: 2,
+                len: 3,
+                amplitude: 40
+            })
+        );
+        assert_eq!(cfg.jitter_px, 2);
+        assert_eq!(cfg.occlusion_bars, 1);
+        assert_eq!(cfg.seed, 9);
+
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::default());
+        assert!(FaultConfig::parse("drop=1.5").is_err());
+        assert!(FaultConfig::parse("drop").is_err());
+        assert!(FaultConfig::parse("burst=2:3").is_err());
+        assert!(FaultConfig::parse("warp=1").is_err());
+    }
+
+    #[test]
+    fn translate_replicates_edges() {
+        let img: Frame = ImageBuffer::from_fn(4, 3, |x, y| Rgb::new(x as u8, y as u8, 0));
+        let shifted = translate_replicate(&img, 1, 0);
+        // Column 0 replicates the old column 0; column 1 is old column 0.
+        assert_eq!(shifted.get(0, 1), img.get(0, 1));
+        assert_eq!(shifted.get(1, 1), img.get(0, 1));
+        assert_eq!(shifted.get(3, 1), img.get(2, 1));
+    }
+}

@@ -24,6 +24,9 @@
 //!   truth.
 //! * [`io`] — clip persistence (PPM frame directories) for feeding the
 //!   analyzer real footage.
+//! * [`faults`] — seeded acquisition-fault injection (dropped frames,
+//!   flicker, noise bursts, camera jitter, occlusion bars) for
+//!   robustness testing.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 
 pub mod background;
 pub mod camera;
+pub mod faults;
 pub mod io;
 pub mod render;
 pub mod scene;
@@ -48,6 +52,7 @@ pub mod synthjump;
 pub mod video;
 
 pub use camera::Camera;
+pub use faults::{FaultConfig, FaultInjector, FrameFault, InjectionReport, NoiseBurst};
 pub use scene::SceneConfig;
 pub use synthjump::SyntheticJump;
 pub use video::{Frame, Video};

@@ -139,7 +139,12 @@ pub fn render_frame<R: Rng>(
                 &scene.background,
                 background_seed,
             );
-            draw::fill_disc(&mut frame, Point2::new(px.x, px.y), scene.noise.camo_radius, camo);
+            draw::fill_disc(
+                &mut frame,
+                Point2::new(px.x, px.y),
+                scene.noise.camo_radius,
+                camo,
+            );
         }
     }
 
@@ -342,8 +347,24 @@ mod tests {
     #[test]
     fn rendering_is_deterministic_given_seeds() {
         let (scene, dims, pose) = setup();
-        let f1 = render_frame(&scene, &dims, &pose, &[], 0, &mut StdRng::seed_from_u64(9), 11);
-        let f2 = render_frame(&scene, &dims, &pose, &[], 0, &mut StdRng::seed_from_u64(9), 11);
+        let f1 = render_frame(
+            &scene,
+            &dims,
+            &pose,
+            &[],
+            0,
+            &mut StdRng::seed_from_u64(9),
+            11,
+        );
+        let f2 = render_frame(
+            &scene,
+            &dims,
+            &pose,
+            &[],
+            0,
+            &mut StdRng::seed_from_u64(9),
+            11,
+        );
         assert_eq!(f1, f2);
     }
 }

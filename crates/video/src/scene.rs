@@ -124,7 +124,7 @@ impl NoiseConfig {
 }
 
 /// Full scene description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct SceneConfig {
     /// The fixed side-view camera.
     pub camera: Camera,
@@ -136,18 +136,6 @@ pub struct SceneConfig {
     pub shadow: ShadowConfig,
     /// Noise model.
     pub noise: NoiseConfig,
-}
-
-impl Default for SceneConfig {
-    fn default() -> Self {
-        SceneConfig {
-            camera: Camera::default(),
-            background: BackgroundStyle::default(),
-            jumper: JumperAppearance::default(),
-            shadow: ShadowConfig::default(),
-            noise: NoiseConfig::default(),
-        }
-    }
 }
 
 impl SceneConfig {

@@ -44,7 +44,14 @@ impl SyntheticJump {
 
         let mut spot_rng = StdRng::seed_from_u64(seed.wrapping_add(0x5151));
         let spots: Vec<Spot> = (0..scene.noise.spot_count)
-            .map(|_| Spot::random(cam.width, cam.height, scene.noise.spot_max_radius, &mut spot_rng))
+            .map(|_| {
+                Spot::random(
+                    cam.width,
+                    cam.height,
+                    scene.noise.spot_max_radius,
+                    &mut spot_rng,
+                )
+            })
             .collect();
 
         let mut frame_rng = StdRng::seed_from_u64(seed.wrapping_add(0xF00D));
@@ -158,7 +165,10 @@ mod tests {
                 diff_outside += p.linf_distance(j.true_background.get(x, y)).min(1);
             }
         }
-        assert_eq!(diff_outside, 0, "{diff_outside} non-silhouette pixels differ");
+        assert_eq!(
+            diff_outside, 0,
+            "{diff_outside} non-silhouette pixels differ"
+        );
     }
 
     #[test]

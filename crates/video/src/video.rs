@@ -23,7 +23,10 @@ impl Video {
     /// Panics if `fps` is not finite/positive, or if frames have
     /// mismatched dimensions.
     pub fn new(frames: Vec<Frame>, fps: f64) -> Self {
-        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "fps must be positive, got {fps}"
+        );
         if let Some(first) = frames.first() {
             let dims = first.dims();
             for (i, f) in frames.iter().enumerate() {

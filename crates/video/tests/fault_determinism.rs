@@ -1,0 +1,87 @@
+//! Fault injection is a pure function of (config, input): the same
+//! `FaultConfig` — seed included — must produce the bitwise-identical
+//! perturbed video and report, no matter how often or where it runs.
+
+use proptest::prelude::*;
+use slj_imgproc::image::ImageBuffer;
+use slj_imgproc::pixel::Rgb;
+use slj_video::faults::{FaultConfig, FaultInjector, NoiseBurst};
+use slj_video::video::Video;
+
+fn test_video(frames: usize, seed: u64) -> Video {
+    let make = |k: usize| {
+        ImageBuffer::from_fn(24, 18, |x, y| {
+            let v = (x * 7 + y * 11 + k * 13 + seed as usize) as u8;
+            Rgb::new(v, v.wrapping_add(40), v.wrapping_add(90))
+        })
+    };
+    Video::new((0..frames).map(make).collect(), 10.0)
+}
+
+fn arb_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        any::<u64>(),
+        0.0..0.4f64,
+        0.0..0.4f64,
+        0.0..0.3f64,
+        0usize..3,
+        0usize..4,
+        0usize..3,
+    )
+        .prop_map(
+            |(seed, drop, dup, flicker, bursts, jitter, bars)| FaultConfig {
+                seed,
+                drop_prob: drop,
+                duplicate_prob: dup,
+                flicker,
+                burst: if bursts > 0 {
+                    Some(NoiseBurst {
+                        count: bursts,
+                        len: 3,
+                        amplitude: 35,
+                    })
+                } else {
+                    None
+                },
+                jitter_px: jitter,
+                occlusion_bars: bars,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn same_config_same_seed_is_bitwise_identical(cfg in arb_config(), clip_seed in 0u64..32) {
+        let video = test_video(12, clip_seed);
+        let (out1, rep1) = FaultInjector::new(cfg).inject(&video);
+        let (out2, rep2) = FaultInjector::new(cfg).inject(&video);
+        prop_assert_eq!(out1, out2);
+        prop_assert_eq!(rep1, rep2);
+    }
+
+    #[test]
+    fn shape_invariants_hold(cfg in arb_config(), clip_seed in 0u64..32) {
+        let video = test_video(10, clip_seed);
+        let (out, report) = FaultInjector::new(cfg).inject(&video);
+        prop_assert_eq!(out.len(), video.len());
+        prop_assert_eq!(out.dims(), video.dims());
+        prop_assert_eq!(out.fps(), video.fps());
+        prop_assert_eq!(report.frame_faults.len(), video.len());
+        // Every recorded freeze/duplicate points at a real input frame.
+        for i in report.dropped_inputs.iter().chain(&report.truncated_inputs) {
+            prop_assert!(*i < video.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_when_faults_are_active(seed in 0u64..64) {
+        // With strong flicker, two different seeds should essentially
+        // never realise the same perturbation.
+        let cfg1 = FaultConfig { seed, flicker: 0.2, ..FaultConfig::default() };
+        let cfg2 = FaultConfig { seed: seed.wrapping_add(1), ..cfg1 };
+        let video = test_video(8, 0);
+        let (out1, _) = FaultInjector::new(cfg1).inject(&video);
+        let (out2, _) = FaultInjector::new(cfg2).inject(&video);
+        prop_assert_ne!(out1, out2);
+    }
+}

@@ -81,24 +81,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dims,
             ..AnalyzerConfig::fast()
         };
-        let report = JumpAnalyzer::new(config).analyze(
-            &jump.video,
-            &scene.camera,
-            jump.poses.poses()[0],
-        )?;
+        let report =
+            JumpAnalyzer::new(config).analyze(&jump.video, &scene.camera, jump.poses.poses()[0])?;
         let summary = report.summary();
-        let violations: Vec<String> = summary
-            .violations
-            .iter()
-            .map(|n| format!("R{n}"))
-            .collect();
+        let violations: Vec<String> = summary.violations.iter().map(|n| format!("R{n}")).collect();
         println!(
             "{:<6} {:>5.2}m {:>7.2}m {:>5}/7 {:>9.3}  {}",
             student.name,
             student.height_m,
             student.distance_m,
             summary.score,
-            summary.mean_fitness,
+            summary.mean_fitness.unwrap_or(f64::NAN),
             if violations.is_empty() {
                 "-".to_owned()
             } else {

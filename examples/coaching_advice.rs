@@ -44,11 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("fault {:?} (violates R{})", flaw, flaw.rule_number());
         println!(
             "  truth says:     {:?}",
-            truth_violations.iter().map(|r| r.number()).collect::<Vec<_>>()
+            truth_violations
+                .iter()
+                .map(|r| r.number())
+                .collect::<Vec<_>>()
         );
         println!(
             "  system says:    {:?}  [{}]",
-            est_violations.iter().map(|r| r.number()).collect::<Vec<_>>(),
+            est_violations
+                .iter()
+                .map(|r| r.number())
+                .collect::<Vec<_>>(),
             if detected { "caught" } else { "MISSED" }
         );
         for (standard, advice) in report.score.advice() {

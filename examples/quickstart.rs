@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let summary = report.summary();
     println!(
         "\nTracking: mean Eq.3 fitness {:.3}, near-best after {:.1} generations, {} evaluations",
-        summary.mean_fitness, summary.mean_generations_to_near_best, summary.total_evaluations
+        summary.mean_fitness.unwrap_or(f64::NAN),
+        summary.mean_generations_to_near_best.unwrap_or(f64::NAN),
+        summary.total_evaluations
     );
 
     // 6. Because the footage is synthetic we can also report the truth.

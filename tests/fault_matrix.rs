@@ -1,0 +1,186 @@
+//! Fault-matrix stress tests: one scenario per fault family, each run
+//! through the full pipeline twice — once clean, once perturbed by the
+//! `slj-video` fault injector under the best-effort policy. The
+//! contract: best-effort completes and stays within 2 rules of the
+//! clean score; the strict policy refuses heavily damaged footage with
+//! a typed error naming the first unhealthy frame.
+
+use slj::prelude::*;
+use slj_video::NoiseBurst;
+
+fn scene() -> SceneConfig {
+    SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    }
+}
+
+fn analyze(video: &Video, scene: &SceneConfig, first: Pose, cfg: AnalyzerConfig) -> AnalysisReport {
+    JumpAnalyzer::new(cfg)
+        .analyze(video, &scene.camera, first)
+        .expect("analysis should complete")
+}
+
+fn best_effort() -> AnalyzerConfig {
+    AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 10,
+        },
+        ..AnalyzerConfig::fast()
+    }
+}
+
+/// The matrix: every fault family that the injector can produce, at a
+/// severity a real camera could plausibly exhibit.
+fn scenarios() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        (
+            "dropped-frames",
+            FaultConfig {
+                drop_prob: 0.15,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "duplicated-frames",
+            FaultConfig {
+                duplicate_prob: 0.2,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "illumination-flicker",
+            FaultConfig {
+                flicker: 0.08,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "sensor-noise-burst",
+            FaultConfig {
+                burst: Some(NoiseBurst {
+                    count: 2,
+                    len: 3,
+                    amplitude: 45,
+                }),
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "camera-jitter",
+            FaultConfig {
+                jitter_px: 2,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "occlusion-bar",
+            FaultConfig {
+                occlusion_bars: 1,
+                ..FaultConfig::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn best_effort_scores_every_fault_scenario_near_the_clean_run() {
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 21);
+    let clean = analyze(
+        &jump.video,
+        &scene,
+        jump.poses.poses()[0],
+        AnalyzerConfig::fast(),
+    );
+    let clean_score = clean.score.score() as i64;
+    assert!(clean_score >= 6, "clean baseline scored {clean_score}");
+
+    for (name, fault_cfg) in scenarios() {
+        let (faulty, injection) = FaultInjector::new(fault_cfg).inject(&jump.video);
+        assert_eq!(
+            faulty.len(),
+            jump.video.len(),
+            "{name}: frame count changed"
+        );
+        let report = analyze(&faulty, &scene, jump.poses.poses()[0], best_effort());
+        let score = report.score.score() as i64;
+        assert!(
+            (clean_score - score).abs() <= 2,
+            "{name}: best-effort score {score} strayed from clean {clean_score} \
+             ({} faulty frames injected)\n{}",
+            injection.faulty_frames(),
+            report.score
+        );
+    }
+}
+
+#[test]
+fn strict_names_the_first_unhealthy_frame_of_wrecked_footage() {
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 21);
+    // Heavy multi-family damage: bars shred silhouettes, drops freeze
+    // the transport.
+    let (faulty, _) = FaultInjector::new(FaultConfig {
+        occlusion_bars: 6,
+        drop_prob: 0.2,
+        ..FaultConfig::default()
+    })
+    .inject(&jump.video);
+    let err = JumpAnalyzer::new(AnalyzerConfig::fast())
+        .analyze(&faulty, &scene.camera, jump.poses.poses()[0])
+        .unwrap_err();
+    match err {
+        AnalyzeError::DegradedClip {
+            first_frame,
+            ref detail,
+            degraded,
+            allowed,
+            frames,
+        } => {
+            assert_eq!(allowed, 0, "strict tolerates nothing");
+            assert_eq!(frames, jump.video.len());
+            assert!(degraded >= 1);
+            assert!(
+                first_frame < frames,
+                "first_frame {first_frame} out of range"
+            );
+            assert!(
+                !detail.is_empty() && detail.contains("confidence"),
+                "detail should explain the frame: {detail}"
+            );
+            // The message itself must name the frame.
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("frame is {first_frame}")),
+                "error display should name the first unhealthy frame: {msg}"
+            );
+        }
+        other => panic!("expected DegradedClip, got: {other}"),
+    }
+}
+
+#[test]
+fn best_effort_report_carries_the_health_timeline() {
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 22);
+    let (faulty, _) = FaultInjector::new(FaultConfig {
+        occlusion_bars: 4,
+        ..FaultConfig::default()
+    })
+    .inject(&jump.video);
+    let report = analyze(&faulty, &scene, jump.poses.poses()[0], best_effort());
+    assert_eq!(report.health.len(), faulty.len());
+    let timeline = slj::health_timeline(&report.health);
+    assert_eq!(timeline.chars().count(), faulty.len());
+    let summary = report.summary();
+    assert!(summary.mean_confidence <= 1.0 && summary.mean_confidence > 0.0);
+    // Every degraded frame in the summary is flagged '!' in the timeline.
+    for k in &summary.degraded_frames {
+        assert_eq!(
+            timeline.chars().nth(*k),
+            Some('!'),
+            "frame {k} in {timeline}"
+        );
+    }
+}

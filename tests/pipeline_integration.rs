@@ -33,7 +33,11 @@ fn background_estimate_close_to_truth_across_seeds() {
             .unwrap();
         let mae = bg.mae_against(&jump.true_background).unwrap();
         assert!(mae < 6.0, "seed {seed}: background MAE {mae}");
-        assert!(bg.coverage() > 0.97, "seed {seed}: coverage {}", bg.coverage());
+        assert!(
+            bg.coverage() > 0.97,
+            "seed {seed}: coverage {}",
+            bg.coverage()
+        );
     }
 }
 
@@ -146,10 +150,12 @@ fn last_stable_mode_still_adequate_for_tracking() {
     // The paper's exact background method must remain usable even if the
     // median variant beats it.
     let jump = SyntheticJump::generate(&compact_scene(false), &JumpConfig::default(), 10);
-    let mut cfg = PipelineConfig::default();
-    cfg.background = BackgroundConfig {
-        mode: UpdateMode::LastStable,
-        ..BackgroundConfig::default()
+    let cfg = PipelineConfig {
+        background: BackgroundConfig {
+            mode: UpdateMode::LastStable,
+            ..BackgroundConfig::default()
+        },
+        ..PipelineConfig::default()
     };
     let result = SegmentPipeline::new(cfg).run(&jump.video).unwrap();
     let clip = evaluate_clip(&result, &jump.silhouettes, 2).unwrap();
@@ -157,6 +163,14 @@ fn last_stable_mode_still_adequate_for_tracking() {
     // ghost blob that roughly halves precision — the documented weakness
     // the median mode fixes. Recall must stay high (the body itself is
     // still extracted) and the mask must remain usable.
-    assert!(clip.stages.final_mask.recall() > 0.8, "{}", clip.stages.final_mask);
-    assert!(clip.stages.final_mask.iou() > 0.4, "{}", clip.stages.final_mask);
+    assert!(
+        clip.stages.final_mask.recall() > 0.8,
+        "{}",
+        clip.stages.final_mask
+    );
+    assert!(
+        clip.stages.final_mask.iou() > 0.4,
+        "{}",
+        clip.stages.final_mask
+    );
 }

@@ -1,0 +1,78 @@
+//! Offline drop-in subset of `crossbeam`: [`scope`] with the crossbeam
+//! 0.8 signature, implemented over `std::thread::scope`.
+//!
+//! The workspace only fans fitness evaluation out over scoped threads;
+//! `std::thread::scope` (stable since Rust 1.63) provides the same
+//! guarantee that borrowed data outlives every worker. The one
+//! behavioural difference from std is preserved from crossbeam: a
+//! panicking worker surfaces as `Err` from [`scope`], not a propagated
+//! panic.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle; `spawn` launches workers that may borrow from the
+/// enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker. The closure receives the scope again (crossbeam
+    /// allows nested spawns); the join handle is managed by the scope.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a thread scope; blocks until every spawned worker
+/// finishes. Returns `Err` with the panic payload if any worker
+/// panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn workers_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        scope(|s| {
+            for chunk in data.chunks_mut(16) {
+                s.spawn(move |_| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i as u64;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data[0..16], data[16..32]);
+        assert_eq!(data[15], 15);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        assert_eq!(scope(|_| 41 + 1).unwrap(), 42);
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the surface the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits and their derive macros (re-exported from the
+//! sibling `serde_derive` proc-macro crate).
+//!
+//! Instead of the real serde's visitor-based data model, values pass
+//! through a simple tree ([`Value`]) that `serde_json` renders and
+//! parses. Behavioural compatibility notes:
+//!
+//! * Non-finite floats serialise to `null` and fail to deserialise into
+//!   `f64` — exactly like real `serde_json`, which several tests and one
+//!   known summary-round-trip bug depend on.
+//! * Missing fields error unless the field type accepts `null`
+//!   (`Option<T>` deserialises from `null`/absent as `None`).
+//! * Enums use the externally-tagged representation (serde's default):
+//!   unit variants as strings, data variants as one-key objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The serialisation tree (the stub's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (and unsigned values that fit).
+    I64(i64),
+    /// Unsigned values above `i64::MAX`.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" for a mismatched value.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing struct field.
+    pub fn missing(field: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+
+    /// An unrecognised enum variant.
+    pub fn unknown_variant(enum_name: &str, variant: &str) -> DeError {
+        DeError::custom(format!("unknown variant `{variant}` for enum {enum_name}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value serialisable into the stub data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A value reconstructible from the stub data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Derive-internal helper: look up and deserialise one struct field.
+/// Absent fields deserialise from `null` (so `Option` fields default to
+/// `None`, like real serde) and report a missing-field error otherwise.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
+        None => T::from_value(&Value::Null).map_err(|_| DeError::missing(name)),
+    }
+}
+
+/// Derive-internal helper: a one-entry object (externally-tagged enum
+/// data variant).
+#[doc(hidden)]
+pub fn __variant(name: &str, value: Value) -> Value {
+    Value::Object(vec![(name.to_owned(), value)])
+}
+
+// ---------------------------------------------------------------- impls
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(n) => *n as i128,
+                    Value::U64(n) => *n as i128,
+                    Value::F64(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u128;
+                if wide <= i64::MAX as u128 {
+                    Value::I64(wide as i64)
+                } else {
+                    Value::U64(wide as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(n) => *n as i128,
+                    Value::U64(n) => *n as i128,
+                    Value::F64(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // serde_json represents non-finite floats as null.
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// `&'static str` deserialisation leaks the parsed string. Real serde
+/// rejects this at compile time; the workspace derives `Deserialize` on
+/// a config struct holding `&'static str` labels, and the leak (a few
+/// bytes per parse, in CLI/test contexts) is the pragmatic stub answer.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if arr.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, found {}",
+                arr.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr.iter()) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("tuple", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_serialises_to_null_and_fails_f64_round_trip() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn option_round_trips() {
+        assert_eq!(Some(3usize).to_value(), Value::I64(3));
+        assert_eq!(Option::<usize>::from_value(&Value::I64(3)), Ok(Some(3)));
+        assert_eq!(None::<usize>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn arrays_enforce_length() {
+        let v = [1.0f64, 2.0].to_value();
+        assert!(<[f64; 2]>::from_value(&v).is_ok());
+        assert!(<[f64; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn missing_field_defaults_options_only() {
+        let obj: Vec<(String, Value)> = vec![];
+        assert_eq!(__field::<Option<f64>>(&obj, "x"), Ok(None));
+        assert!(__field::<f64>(&obj, "x").is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! The build environment has no crates.io access, so this macro is
+//! written against `proc_macro` alone — no `syn`/`quote`. It parses the
+//! item token stream by hand, which is tractable because the generated
+//! code only needs field *names*; all typing is left to inference
+//! against the `serde::Serialize`/`serde::Deserialize` traits.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, newtype, tuple, and struct variants, including
+//!   explicit discriminants (`Variant = 3`), which are skipped
+//! - simple type generics (`struct ImageBuffer<P> { .. }`) — each
+//!   parameter gets a `serde::Serialize`/`serde::Deserialize` bound
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Input {
+    name: String,
+    /// Type parameter identifiers, bounds stripped.
+    generics: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: Iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut it);
+    let data = match kw.as_str() {
+        "struct" => Data::Struct(parse_struct_body(&mut it)),
+        "enum" => Data::Enum(parse_enum_body(&mut it)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut Iter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The attribute body: `[...]`.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, C>` into `["A", "B", "C"]`; consumes nothing if
+/// the next token is not `<`.
+fn parse_generics(it: &mut Iter) -> Vec<String> {
+    match it.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    it.next();
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    // True at a position where a new parameter may start.
+    let mut at_param = true;
+    while depth > 0 {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => at_param = true,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime parameters are not supported")
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde_derive: const generics are not supported");
+                }
+                if at_param {
+                    params.push(s);
+                    at_param = false;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unclosed generic parameter list"),
+        }
+    }
+    params
+}
+
+fn parse_struct_body(it: &mut Iter) -> Fields {
+    // A struct may carry a where-clause between generics and body; the
+    // workspace has none, so just look for the body directly.
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive: unexpected struct body: {other:?}"),
+    }
+}
+
+/// Extracts field names from the contents of a `{ .. }` fields group.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        consume_type(&mut it);
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        consume_type(&mut it);
+    }
+    count
+}
+
+/// Consumes one type, stopping after the `,` that follows it (or at end
+/// of stream). Tracks angle-bracket depth so `Vec<(A, B)>` works.
+fn consume_type(it: &mut Iter) {
+    let mut depth = 0usize;
+    loop {
+        match it.peek() {
+            None => return,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                return;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                it.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                it.next();
+            }
+            Some(_) => {
+                it.next();
+            }
+        }
+    }
+}
+
+fn parse_enum_body(it: &mut Iter) -> Vec<Variant> {
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected enum body, got {other:?}"),
+    };
+    let mut it: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                it.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing `,`.
+        consume_type(&mut it);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `impl<P: serde::Serialize> Trait for Name<P>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let params = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = input.generics.join(", ");
+        (format!("<{params}>"), format!("<{args}>"))
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (params, args) = impl_header(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_owned(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let entries = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Data::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_owned()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::__variant(\"{vname}\", \
+                             ::serde::Serialize::to_value(__f0)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::__variant(\"{vname}\", \
+                                 ::serde::Value::Array(::std::vec![{entries}])),"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_owned(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::__variant(\"{vname}\", \
+                                 ::serde::Value::Object(::std::vec![{entries}])),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (params, args) = impl_header(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__obj, \"{f}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"struct {name}\", __v))?;\n        \
+                 ::std::result::Result::Ok({name} {{\n            {entries}\n        }})"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let entries = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"tuple struct {name}\", __v))?;\n        \
+                 if __arr.len() != {n} {{\n            \
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected {n} elements for {name}, got {{}}\", __arr.len())));\n        \
+                 }}\n        \
+                 ::std::result::Result::Ok({name}(\n            {entries}\n        ))"
+            )
+        }
+        Data::Struct(Fields::Unit) => format!(
+            "match __v {{\n            \
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n            \
+             _ => ::std::result::Result::Err(::serde::DeError::expected(\"null for unit struct {name}\", __v)),\n        \
+             }}"
+        ),
+        Data::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let entries = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?,")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            format!(
+                                "\"{vname}\" => {{\n                        \
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array for {name}::{vname}\", __inner))?;\n                        \
+                                 if __arr.len() != {n} {{\n                            \
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"expected {n} elements for {name}::{vname}, got {{}}\", __arr.len())));\n                        \
+                                 }}\n                        \
+                                 ::std::result::Result::Ok({name}::{vname}({entries}))\n                    \
+                                 }}"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__field(__obj, \"{f}\")?,"))
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            format!(
+                                "\"{vname}\" => {{\n                        \
+                                 let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object for {name}::{vname}\", __inner))?;\n                        \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {entries} }})\n                    \
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                    ");
+            format!(
+                "match __v {{\n            \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n                \
+                 {unit_arms}\n                \
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n            \
+                 }},\n            \
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n                \
+                 let (__tag, __inner) = &__o[0];\n                \
+                 match __tag.as_str() {{\n                    \
+                 {data_arms}\n                    \
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n                \
+                 }}\n            \
+                 }}\n            \
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __v)),\n        \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Deserialize for {name}{args} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
