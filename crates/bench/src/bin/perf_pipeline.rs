@@ -1,0 +1,287 @@
+//! Perf — the reproducible pipeline benchmark behind
+//! `BENCH_pipeline.json`.
+//!
+//! Times the three expensive layers on the standard 20-frame synthetic
+//! clip (320×240, default scene, seed 5):
+//!
+//! * **segmentation** — `SegmentPipeline::run` alone;
+//! * **tracking** — `TemporalTracker::track` alone, on pre-segmented
+//!   silhouettes;
+//! * **analyze** — the full `JumpAnalyzer::analyze` (segmentation +
+//!   tracking + scoring).
+//!
+//! Each layer is measured under four configurations spanning the two
+//! optimisation axes this workspace exposes:
+//!
+//! * `baseline-serial` — one thread, Eq. 3 branch-and-bound pruning
+//!   *off*, fitness memo *off*: the reference an optimised run is
+//!   compared against;
+//! * `serial-pruned` — pruning on, memo off;
+//! * `serial-optimised` — pruning + memo, still one thread (the
+//!   algorithmic win, independent of core count);
+//! * `parallel-optimised` — pruning + memo + N worker threads (default
+//!   4) fanned out over segmentation frames and GA genomes.
+//!
+//! Every configuration is asserted to produce the identical analysis
+//! (same pose bits, same score) before any number is reported — the
+//! speedups are exact optimisations, not approximations. The JSON
+//! schema is documented in DESIGN.md §Performance.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p slj-bench --bin perf_pipeline            # full
+//! cargo run --release -p slj-bench --bin perf_pipeline -- --quick # CI smoke
+//! ```
+
+use serde::Serialize;
+use slj::prelude::*;
+use slj_bench::{banner, f1, print_table};
+use slj_imgproc::mask::Mask;
+use slj_segment::pipeline::SegmentPipeline;
+use std::time::Instant;
+
+/// Master seed of the standard clip (shared with the Criterion
+/// `end_to_end` bench).
+const SEED: u64 = 5;
+
+/// Where the JSON baseline lands (repo root, next to ROADMAP.md).
+const OUT_PATH: &str = "BENCH_pipeline.json";
+
+#[derive(Debug, Clone, Serialize)]
+struct ClipInfo {
+    width: usize,
+    height: usize,
+    frames: usize,
+    seed: u64,
+    scene: &'static str,
+}
+
+/// One configuration's timings, milliseconds (best of `repeats`).
+#[derive(Debug, Clone, Serialize)]
+struct ConfigReport {
+    name: &'static str,
+    threads: usize,
+    eq3_pruning: bool,
+    fitness_memo: bool,
+    segmentation_ms: f64,
+    tracking_ms: f64,
+    analyze_ms: f64,
+}
+
+/// The whole benchmark: schema documented in DESIGN.md §Performance.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Schema identifier; bump on breaking change.
+    schema: &'static str,
+    /// `full` or `quick` (CI smoke run: fewer repeats, reduced GA
+    /// budget — timings are not comparable with `full`).
+    mode: &'static str,
+    clip: ClipInfo,
+    /// Timed runs per cell; the best (minimum) is reported.
+    repeats: usize,
+    /// Host threads reported by `std::thread::available_parallelism`.
+    host_threads: usize,
+    configs: Vec<ConfigReport>,
+    /// `baseline-serial` time ÷ `parallel-optimised` time, per layer.
+    speedup_segmentation: f64,
+    speedup_tracking: f64,
+    speedup_analyze: f64,
+}
+
+struct Variant {
+    name: &'static str,
+    parallelism: Parallelism,
+    eq3_pruning: bool,
+    fitness_memo: bool,
+}
+
+fn variants(threads: usize) -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "baseline-serial",
+            parallelism: Parallelism::Serial,
+            eq3_pruning: false,
+            fitness_memo: false,
+        },
+        Variant {
+            name: "serial-pruned",
+            parallelism: Parallelism::Serial,
+            eq3_pruning: true,
+            fitness_memo: false,
+        },
+        Variant {
+            name: "serial-optimised",
+            parallelism: Parallelism::Serial,
+            eq3_pruning: true,
+            fitness_memo: true,
+        },
+        Variant {
+            name: "parallel-optimised",
+            parallelism: Parallelism::Fixed(threads),
+            eq3_pruning: true,
+            fitness_memo: true,
+        },
+    ]
+}
+
+fn analyzer_config(base: &AnalyzerConfig, v: &Variant) -> AnalyzerConfig {
+    let mut cfg = base.clone();
+    cfg.parallelism = v.parallelism;
+    cfg.tracker.problem.eq3_pruning = v.eq3_pruning;
+    cfg.tracker.problem.fitness_memo = v.fitness_memo;
+    cfg
+}
+
+/// Best-of-`repeats` wall time of `work`, milliseconds.
+fn time_ms<T>(repeats: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = work();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("repeats >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(4);
+
+    let (mode, repeats, base) = if quick {
+        ("quick", 1, AnalyzerConfig::fast())
+    } else {
+        ("full", 3, AnalyzerConfig::default())
+    };
+    banner(
+        "Perf",
+        "pipeline timings: serial baseline vs pruning + memo + threads",
+        SEED,
+    );
+    println!("   mode {mode}, {repeats} repeat(s), {threads} worker threads\n");
+
+    let scene = SceneConfig::default();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), SEED);
+    let first_pose = jump.poses.poses()[0];
+    let clip = ClipInfo {
+        width: jump.video.dims().0,
+        height: jump.video.dims().1,
+        frames: jump.video.len(),
+        seed: SEED,
+        scene: "default",
+    };
+
+    let mut configs = Vec::new();
+    let mut reference: Option<AnalysisReport> = None;
+    for v in variants(threads) {
+        let cfg = analyzer_config(&base, &v);
+
+        // Layer 1: segmentation alone.
+        let pipeline = SegmentPipeline::new(slj_segment::pipeline::PipelineConfig {
+            parallelism: cfg.parallelism,
+            ..cfg.segmentation.clone()
+        });
+        let (segmentation_ms, seg) =
+            time_ms(repeats, || pipeline.run(&jump.video).expect("segmentation"));
+
+        // Layer 2: tracking alone, on the already-segmented masks.
+        let silhouettes: Vec<Mask> = seg.frames.iter().map(|s| s.final_mask.clone()).collect();
+        let tracker = TemporalTracker::new(TrackerConfig {
+            parallelism: cfg.parallelism,
+            ..cfg.tracker
+        });
+        let (tracking_ms, _) = time_ms(repeats, || {
+            tracker
+                .track(&silhouettes, first_pose, &cfg.dims, &scene.camera)
+                .expect("tracking")
+        });
+
+        // Layer 3: the full analysis.
+        let analyzer = JumpAnalyzer::new(cfg);
+        let (analyze_ms, report) = time_ms(repeats, || {
+            analyzer
+                .analyze(&jump.video, &scene.camera, first_pose)
+                .expect("analysis")
+        });
+
+        // Every variant must produce the identical analysis — the
+        // optimisations are exact, so a mismatch is a bug, not noise.
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => {
+                assert_eq!(r.poses, report.poses, "{}: poses diverged", v.name);
+                assert_eq!(r.score, report.score, "{}: score diverged", v.name);
+                assert_eq!(r.health, report.health, "{}: health diverged", v.name);
+            }
+        }
+
+        configs.push(ConfigReport {
+            name: v.name,
+            threads: v.parallelism.threads(),
+            eq3_pruning: v.eq3_pruning,
+            fitness_memo: v.fitness_memo,
+            segmentation_ms,
+            tracking_ms,
+            analyze_ms,
+        });
+    }
+
+    let baseline = &configs[0];
+    let optimised = configs.last().expect("variants");
+    let report = BenchReport {
+        schema: "slj-perf-pipeline/1",
+        mode,
+        clip,
+        repeats,
+        host_threads: Parallelism::Auto.threads(),
+        speedup_segmentation: baseline.segmentation_ms / optimised.segmentation_ms,
+        speedup_tracking: baseline.tracking_ms / optimised.tracking_ms,
+        speedup_analyze: baseline.analyze_ms / optimised.analyze_ms,
+        configs,
+    };
+
+    let rows: Vec<Vec<String>> = report
+        .configs
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_owned(),
+                c.threads.to_string(),
+                if c.eq3_pruning { "on" } else { "off" }.to_owned(),
+                if c.fitness_memo { "on" } else { "off" }.to_owned(),
+                f1(c.segmentation_ms),
+                f1(c.tracking_ms),
+                f1(c.analyze_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "threads",
+            "prune",
+            "memo",
+            "segment ms",
+            "track ms",
+            "analyze ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nspeedup vs baseline-serial: segmentation {:.2}x, tracking {:.2}x, analyze {:.2}x",
+        report.speedup_segmentation, report.speedup_tracking, report.speedup_analyze
+    );
+    println!("(all configurations produced byte-identical analyses)");
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise");
+    std::fs::write(OUT_PATH, json + "\n").expect("write BENCH_pipeline.json");
+    println!("\nwrote {OUT_PATH}");
+}

@@ -93,10 +93,20 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             "report-md",
             "inject-faults",
             "max-degraded",
+            "threads",
         ],
         &["fast", "paper", "half-res", "best-effort"],
     )?;
     let clip_dir = flags.required("clip")?.to_owned();
+    // Worker threads for segmentation and GA fitness evaluation.
+    // Defaults to one per core; results are bit-identical at any
+    // setting, so this is safe to leave on auto.
+    let parallelism = match flags.value("threads") {
+        None => Parallelism::Auto,
+        Some(raw) => raw
+            .parse::<Parallelism>()
+            .map_err(|e| CliError::Usage(format!("--threads: {e}")))?,
+    };
     if flags.switch("fast") && flags.switch("paper") {
         return Err(CliError::Usage("--fast and --paper are exclusive".into()));
     }
@@ -149,6 +159,7 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         AnalyzerConfig::default()
     };
     config.dims = truth.dims.clone();
+    config.parallelism = parallelism;
     if flags.switch("best-effort") {
         // Default budget: a quarter of the clip may degrade before the
         // analysis gives up entirely.

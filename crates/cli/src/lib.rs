@@ -36,7 +36,7 @@ USAGE:
   slj synth   --out DIR [--seed N] [--frames N] [--flaws a,b,c]
               [--distance M] [--height M] [--compact] [--clean]
   slj analyze --clip DIR [--report FILE.json] [--report-md FILE.md]
-              [--fast | --paper] [--half-res]
+              [--fast | --paper] [--half-res] [--threads N|auto|serial]
               [--best-effort [--max-degraded N]] [--inject-faults SPEC]
   slj score   --clip DIR
   slj flaws
@@ -47,7 +47,10 @@ COMMANDS:
   analyze   run segmentation + GA pose tracking + scoring on a clip
             (--best-effort tolerates degraded frames and masks them out
              of scoring; --inject-faults perturbs the clip first, e.g.
-             'drop=0.1,dup=0.05,flicker=0.08,burst=2:3:40,jitter=2,bars=1,seed=9')
+             'drop=0.1,dup=0.05,flicker=0.08,burst=2:3:40,jitter=2,bars=1,seed=9';
+             --threads sets worker threads for segmentation and GA
+             fitness evaluation — default auto = one per core; results
+             are bit-identical at any thread count)
   score     score a clip's ground-truth poses (no vision)
   flaws     list the injectable technique faults
 ";

@@ -172,6 +172,42 @@ fn synth_validates_inputs() {
 }
 
 #[test]
+fn analyze_threads_flag_parses_and_produces_identical_output() {
+    let dir = temp_clip("threads");
+    invoke(&format!(
+        "synth --out {} --seed 12 --compact --clean",
+        dir.display()
+    ))
+    .unwrap();
+    // Bad specs fail before any work happens.
+    for bad in ["0", "-3", "many"] {
+        let err = invoke(&format!(
+            "analyze --clip {} --fast --threads {bad}",
+            dir.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "--threads {bad}: {err}");
+    }
+    // The thread count changes throughput only: serial, a fixed count,
+    // and auto print exactly the same analysis.
+    let serial = invoke(&format!(
+        "analyze --clip {} --fast --threads 1",
+        dir.display()
+    ))
+    .unwrap();
+    assert!(serial.contains("Score:"), "{serial}");
+    for spec in ["4", "auto", "serial"] {
+        let text = invoke(&format!(
+            "analyze --clip {} --fast --threads {spec}",
+            dir.display()
+        ))
+        .unwrap();
+        assert_eq!(text, serial, "--threads {spec} changed the output");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn analyze_rejects_conflicting_modes_and_missing_clip() {
     let err = invoke("analyze --clip nowhere --fast --paper").unwrap_err();
     assert!(matches!(err, CliError::Usage(_)));

@@ -175,13 +175,26 @@ struct Individual<G> {
     fitness: f64,
 }
 
+/// A worker thread only pays for its spawn/join overhead when it gets
+/// at least this many genomes; smaller batches evaluate serially.
+/// (This threshold used to be an inline `2 * threads` comparison that
+/// silently dropped small batches to serial — now it is named, and the
+/// spawned thread count is additionally capped at the batch size so a
+/// `threads > population` configuration can never spawn idle workers.)
+pub const MIN_GENOMES_PER_THREAD: usize = 2;
+
 /// Evaluates fitness for a batch, optionally in parallel.
+///
+/// Evaluation is pure, so the parallel path is bit-identical to the
+/// serial one (asserted by `parallel_matches_serial` and the boundary
+/// tests below).
 fn evaluate_batch<P: Problem>(
     problem: &P,
     genomes: Vec<P::Genome>,
     threads: usize,
 ) -> Vec<Individual<P::Genome>> {
-    if threads <= 1 || genomes.len() < 2 * threads {
+    let threads = threads.min(genomes.len());
+    if threads <= 1 || genomes.len() < MIN_GENOMES_PER_THREAD * threads {
         return genomes
             .into_iter()
             .map(|g| {
@@ -489,6 +502,60 @@ mod tests {
         let parallel = evolve(&problem, &par_cfg, &mut StdRng::seed_from_u64(3)).unwrap();
         assert_eq!(serial.best, parallel.best);
         assert_eq!(serial.history, parallel.history);
+    }
+
+    #[test]
+    fn thread_counts_at_and_beyond_population_match_serial() {
+        // Boundary cases of the batch threshold: as many threads as
+        // genomes, and far more threads than genomes. Both must produce
+        // exactly the serial result (and not panic spawning idle
+        // workers).
+        let problem = Sphere {
+            target: [2.0, -1.0, 0.5],
+        };
+        let small = GaConfig {
+            population_size: 8,
+            max_generations: 12,
+            patience: None,
+            ..GaConfig::default()
+        };
+        let serial = evolve(&problem, &small, &mut StdRng::seed_from_u64(21)).unwrap();
+        for threads in [8, 9, 64] {
+            let cfg = GaConfig { threads, ..small };
+            let run = evolve(&problem, &cfg, &mut StdRng::seed_from_u64(21)).unwrap();
+            assert_eq!(serial.best, run.best, "threads = {threads}");
+            assert_eq!(serial.history, run.history, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_threshold_boundary_matches_serial() {
+        // population == MIN_GENOMES_PER_THREAD * threads sits exactly on
+        // the parallel side of the threshold; one genome fewer falls to
+        // serial. Both sides must agree with the single-thread run.
+        let problem = Sphere {
+            target: [0.5, 0.5, 0.5],
+        };
+        let threads = 3;
+        for population_size in [
+            MIN_GENOMES_PER_THREAD * threads,
+            MIN_GENOMES_PER_THREAD * threads - 1,
+        ] {
+            let base = GaConfig {
+                population_size,
+                max_generations: 10,
+                patience: None,
+                ..GaConfig::default()
+            };
+            let serial = evolve(&problem, &base, &mut StdRng::seed_from_u64(22)).unwrap();
+            let cfg = GaConfig { threads, ..base };
+            let run = evolve(&problem, &cfg, &mut StdRng::seed_from_u64(22)).unwrap();
+            assert_eq!(serial.best, run.best, "population = {population_size}");
+            assert_eq!(
+                serial.history, run.history,
+                "population = {population_size}"
+            );
+        }
     }
 
     #[test]

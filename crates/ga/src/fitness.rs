@@ -14,9 +14,21 @@
 //! optionally subsamples the silhouette with a stride — the estimator is
 //! unbiased for ranking purposes and the Fig. 7 ablation/benches measure
 //! the speed/accuracy trade-off.
+//!
+//! The default evaluation path is a branch-and-bound over the 8 sticks:
+//! each candidate pose's sticks are prepared once per genome (direction,
+//! squared length and axis-aligned bounding box hoisted out of the
+//! per-pixel loop). Silhouette pixels arrive in scanline order, so the
+//! stick nearest one pixel is almost always nearest the next — each
+//! pixel scores the previous pixel's winner exactly first, then skips
+//! any other stick whose AABB lower bound cannot beat that. The pruned
+//! result is **exact** — bit-identical to the exhaustive scan,
+//! property-tested in `tests/properties.rs` — because the AABB distance
+//! never exceeds the true stick distance and the skip test carries a
+//! slack factor that dominates the rounding error of both computations.
 
 use crate::error::GaError;
-use slj_imgproc::geometry::Point2;
+use slj_imgproc::geometry::{Point2, Vec2};
 use slj_imgproc::mask::Mask;
 use slj_motion::model::ALL_STICKS;
 use slj_motion::{BodyDims, Pose};
@@ -25,6 +37,76 @@ use slj_video::Camera;
 /// Number of axis samples per stick for the model→silhouette coverage
 /// term.
 const MODEL_SAMPLES_PER_STICK: usize = 7;
+
+/// Slack on the branch-and-bound skip test: a stick is skipped only
+/// when its AABB lower bound exceeds the current best *times this
+/// factor* — i.e. the test under-prunes, never over-prunes. The exact
+/// and the lower-bound distances are each a handful of f64 operations
+/// (relative error ≪ 1e-14), so a 1e-12 margin guarantees a skipped
+/// stick could never have won — pruning stays bit-exact.
+const PRUNE_SLACK: f64 = 1.0 + 1e-12;
+
+/// One stick of a candidate pose, prepared once per genome for the
+/// per-pixel distance loop: endpoints, direction and squared length
+/// (hoisted out of `Segment::distance_to`), the normalising inverse
+/// squared thickness, and the stick's axis-aligned bounding box for the
+/// branch-and-bound lower bound.
+#[derive(Debug, Clone, Copy)]
+struct PreparedStick {
+    a: Point2,
+    b: Point2,
+    /// `b - a`.
+    d: Vec2,
+    /// `|b - a|²`.
+    len_sq: f64,
+    /// `1 / t_l²`.
+    inv_t_sq: f64,
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl PreparedStick {
+    fn new(a: Point2, b: Point2, thickness: f64) -> PreparedStick {
+        let d = b - a;
+        PreparedStick {
+            a,
+            b,
+            d,
+            len_sq: d.norm_sq(),
+            inv_t_sq: 1.0 / (thickness * thickness),
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// Squared distance from `p` to the stick's axis, over t_l² —
+    /// the same arithmetic as `Segment::distance_sq_to` with the
+    /// direction and squared length precomputed.
+    #[inline]
+    fn scaled_distance_sq(&self, p: Point2) -> f64 {
+        let t = if self.len_sq <= f64::EPSILON {
+            0.0
+        } else {
+            ((p - self.a).dot(self.d) / self.len_sq).clamp(0.0, 1.0)
+        };
+        let closest = self.a + self.d * t;
+        p.distance_sq(closest) * self.inv_t_sq
+    }
+
+    /// Lower bound of [`PreparedStick::scaled_distance_sq`]: squared
+    /// distance from `p` to the stick's AABB, over t_l². The stick lies
+    /// inside its AABB, so this never exceeds the exact value.
+    #[inline]
+    fn scaled_lower_bound_sq(&self, p: Point2) -> f64 {
+        let dx = (self.min_x - p.x).max(p.x - self.max_x).max(0.0);
+        let dy = (self.min_y - p.y).max(p.y - self.max_y).max(0.0);
+        (dx * dx + dy * dy) * self.inv_t_sq
+    }
+}
 
 /// A prepared Eq. 3 evaluator for one silhouette.
 ///
@@ -128,65 +210,138 @@ impl SilhouetteFitness {
         self.total_points
     }
 
+    /// The silhouette's chamfer distance field (shared with callers
+    /// that need their own silhouette-distance queries, e.g. the pose
+    /// problem's validity test — building it twice per frame was
+    /// measurable).
+    pub fn distance_field(&self) -> &slj_imgproc::distance::DistanceField {
+        &self.distance_field
+    }
+
     /// Evaluates the full cost: Eq. 3 plus `outside_weight` times the
     /// coverage penalty. Lower is better.
+    ///
+    /// Uses the exact branch-and-bound stick pruning (see the module
+    /// docs); [`SilhouetteFitness::evaluate_unpruned`] is the
+    /// reference scan it is tested against.
     pub fn evaluate(&self, pose: &Pose, dims: &BodyDims) -> f64 {
-        let image_segs = self.project(pose, dims);
-        let eq3 = self.eq3_from_segments(&image_segs);
+        self.evaluate_impl(pose, dims, true)
+    }
+
+    /// As [`SilhouetteFitness::evaluate`] but scanning all 8 sticks per
+    /// pixel without pruning — the pre-optimisation reference path,
+    /// kept for the exactness property test and the perf baseline.
+    pub fn evaluate_unpruned(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        self.evaluate_impl(pose, dims, false)
+    }
+
+    fn evaluate_impl(&self, pose: &Pose, dims: &BodyDims, prune: bool) -> f64 {
+        let sticks = self.project(pose, dims);
+        let eq3 = self.eq3_from_sticks(&sticks, prune);
         if self.outside_weight == 0.0 {
             eq3
         } else {
-            eq3 + self.outside_weight * self.outside_penalty_from_segments(&image_segs)
+            eq3 + self.outside_weight * self.outside_penalty_from_sticks(&sticks)
         }
     }
 
     /// Evaluates the paper's pure Eq. 3 term only.
     pub fn evaluate_eq3(&self, pose: &Pose, dims: &BodyDims) -> f64 {
-        let image_segs = self.project(pose, dims);
-        self.eq3_from_segments(&image_segs)
+        let sticks = self.project(pose, dims);
+        self.eq3_from_sticks(&sticks, true)
+    }
+
+    /// The pure Eq. 3 term via the unpruned reference scan.
+    pub fn evaluate_eq3_unpruned(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        let sticks = self.project(pose, dims);
+        self.eq3_from_sticks(&sticks, false)
     }
 
     /// Evaluates the coverage penalty only: the mean, over evenly-spaced
     /// model axis samples, of how far each sample lies outside the
     /// silhouette, in units of its stick's thickness.
     pub fn outside_penalty(&self, pose: &Pose, dims: &BodyDims) -> f64 {
-        let image_segs = self.project(pose, dims);
-        self.outside_penalty_from_segments(&image_segs)
+        let sticks = self.project(pose, dims);
+        self.outside_penalty_from_sticks(&sticks)
     }
 
-    fn project(&self, pose: &Pose, dims: &BodyDims) -> [(Point2, Point2); 8] {
+    /// Projects the pose's sticks to image space and prepares them for
+    /// the per-pixel loop — once per genome, not once per pixel.
+    fn project(&self, pose: &Pose, dims: &BodyDims) -> [PreparedStick; 8] {
         let segs = pose.segments(dims);
-        let mut image_segs = [(Point2::origin(), Point2::origin()); 8];
+        let mut sticks = [PreparedStick::new(Point2::origin(), Point2::origin(), 1.0); 8];
         for (stick, seg) in segs.iter() {
             let s = self.camera.segment_to_image(seg);
-            image_segs[stick.index()] = (s.a, s.b);
+            sticks[stick.index()] = PreparedStick::new(s.a, s.b, self.thickness_px[stick.index()]);
         }
-        image_segs
+        sticks
     }
 
-    fn eq3_from_segments(&self, image_segs: &[(Point2, Point2); 8]) -> f64 {
+    fn eq3_from_sticks(&self, sticks: &[PreparedStick; 8], prune: bool) -> f64 {
         let mut total = 0.0;
+        // Warm start: silhouette pixels come in scanline order, so the
+        // winning stick rarely changes between neighbours. Seeding each
+        // pixel with the previous winner only changes *which redundant
+        // sticks get evaluated*, never the minimum itself, so the sum
+        // stays bit-identical to the exhaustive scan.
+        let mut hint = 0usize;
         for &p in &self.points {
-            let mut best = f64::INFINITY;
-            for (&(a, b), &t) in image_segs.iter().zip(&self.thickness_px) {
-                let d = slj_imgproc::geometry::Segment::new(a, b).distance_to(p);
-                let scaled = d / t;
-                if scaled < best {
-                    best = scaled;
-                }
-            }
-            total += best;
+            let best_sq = if prune {
+                let (b, argmin) = Self::best_scaled_sq_pruned(sticks, p, hint);
+                hint = argmin;
+                b
+            } else {
+                Self::best_scaled_sq_exhaustive(sticks, p)
+            };
+            total += best_sq.sqrt();
         }
         total / self.points.len() as f64
     }
 
-    fn outside_penalty_from_segments(&self, image_segs: &[(Point2, Point2); 8]) -> f64 {
+    /// `min_l d²(p, S_l) / t_l²` by scanning every stick.
+    #[inline]
+    fn best_scaled_sq_exhaustive(sticks: &[PreparedStick; 8], p: Point2) -> f64 {
+        let mut best = f64::INFINITY;
+        for s in sticks {
+            let v = s.scaled_distance_sq(p);
+            if v < best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// The same minimum via branch-and-bound: the `hint` stick (the
+    /// previous pixel's winner) is scored exactly first, then every
+    /// other stick is skipped when its AABB lower bound cannot beat the
+    /// current best. Returns the minimum and its stick index (the next
+    /// pixel's hint). Bounds are computed lazily, one stick at a time —
+    /// with a good hint the common case is seven cheap bound tests and
+    /// zero further exact evaluations.
+    #[inline]
+    fn best_scaled_sq_pruned(sticks: &[PreparedStick; 8], p: Point2, hint: usize) -> (f64, usize) {
+        let mut best = sticks[hint].scaled_distance_sq(p);
+        let mut argmin = hint;
+        for (i, s) in sticks.iter().enumerate() {
+            if i == hint || s.scaled_lower_bound_sq(p) >= best * PRUNE_SLACK {
+                continue;
+            }
+            let v = s.scaled_distance_sq(p);
+            if v < best {
+                best = v;
+                argmin = i;
+            }
+        }
+        (best, argmin)
+    }
+
+    fn outside_penalty_from_sticks(&self, sticks: &[PreparedStick; 8]) -> f64 {
         let df = &self.distance_field;
         let (w, h) = (df.width(), df.height());
         let mut total = 0.0;
         let mut count = 0usize;
-        for (&(a, b), &t) in image_segs.iter().zip(&self.thickness_px) {
-            let seg = slj_imgproc::geometry::Segment::new(a, b);
+        for (stick, &t) in sticks.iter().zip(&self.thickness_px) {
+            let seg = slj_imgproc::geometry::Segment::new(stick.a, stick.b);
             for p in seg.sample(MODEL_SAMPLES_PER_STICK) {
                 count += 1;
                 let (x, y) = (p.x.round(), p.y.round());
@@ -353,6 +508,43 @@ mod tests {
             SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, 1, -1.0),
             Err(GaError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn pruned_evaluation_is_bit_identical_to_unpruned() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let mut candidates = vec![pose];
+        for step in 1..=4 {
+            let mut p = pose;
+            p.center.x += step as f64 * 0.12;
+            p.center.y -= step as f64 * 0.03;
+            candidates.push(p);
+            candidates
+                .push(p.with_angle(StickKind::Trunk, Angle::from_degrees(35.0 * step as f64)));
+        }
+        for (k, p) in candidates.iter().enumerate() {
+            assert_eq!(
+                fit.evaluate(p, &dims),
+                fit.evaluate_unpruned(p, &dims),
+                "candidate {k}: pruned and unpruned full cost diverge"
+            );
+            assert_eq!(
+                fit.evaluate_eq3(p, &dims),
+                fit.evaluate_eq3_unpruned(p, &dims),
+                "candidate {k}: pruned and unpruned Eq. 3 diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_field_accessor_matches_mask() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        assert_eq!(fit.distance_field().width(), sil.width());
+        assert_eq!(fit.distance_field().height(), sil.height());
     }
 
     #[test]

@@ -26,6 +26,9 @@ use slj_imgproc::moments;
 use slj_motion::model::{GENE_COUNT, GENE_GROUPS, STICK_COUNT};
 use slj_motion::{Angle, BodyDims, Pose};
 use slj_video::Camera;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-stick half-range Δρ (degrees) for temporal initialisation,
 /// paper order ρ0..ρ7. Derived from the maximum frame-to-frame angular
@@ -78,6 +81,18 @@ pub struct PoseProblemConfig {
     pub validity_fraction: f64,
     /// Number of axis samples per stick for the validity test.
     pub validity_samples: usize,
+    /// Use the exact AABB branch-and-bound over the 8 sticks when
+    /// evaluating Eq. 3 (see `fitness` module docs). The pruned result
+    /// is bit-identical to the exhaustive scan; disabling it exists
+    /// only so the perf baseline can measure the unoptimised path.
+    pub eq3_pruning: bool,
+    /// Memoise fitness on the exact chromosome bits. The elitist GA
+    /// re-scores every surviving elite each generation, and low
+    /// crossover/mutation rates mean many offspring are verbatim copies
+    /// of a parent — the memo returns their cached cost instead of
+    /// re-walking the silhouette. Evaluation is pure, so a hit is
+    /// always exactly the value a fresh evaluation would produce.
+    pub fitness_memo: bool,
 }
 
 impl Default for PoseProblemConfig {
@@ -90,25 +105,96 @@ impl Default for PoseProblemConfig {
             stride: 2,
             validity_fraction: 0.65,
             validity_samples: 5,
+            eq3_pruning: true,
+            fitness_memo: true,
         }
+    }
+}
+
+/// A concurrent fitness memo keyed on the exact bit pattern of the
+/// chromosome's genes. Purely an evaluation cache: since Eq. 3 is a
+/// pure function of the genes, a hit returns exactly what recomputation
+/// would, on any thread, in any order — parallelism and memoisation
+/// both preserve bit-identical GA trajectories.
+#[derive(Default)]
+pub struct FitnessMemo {
+    map: Mutex<HashMap<[u64; GENE_COUNT], f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl FitnessMemo {
+    fn key(genome: &Pose) -> [u64; GENE_COUNT] {
+        genome.to_genes().map(f64::to_bits)
+    }
+
+    fn get(&self, key: &[u64; GENE_COUNT]) -> Option<f64> {
+        let found = self.map.lock().expect("memo poisoned").get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: [u64; GENE_COUNT], fitness: f64) {
+        self.map.lock().expect("memo poisoned").insert(key, fitness);
+    }
+
+    /// `(hits, misses)` so far — perf diagnostics only.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct chromosomes cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether the memo has cached anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for FitnessMemo {
+    fn clone(&self) -> Self {
+        FitnessMemo {
+            map: Mutex::new(self.map.lock().expect("memo poisoned").clone()),
+            hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for FitnessMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("FitnessMemo")
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
     }
 }
 
 /// The pose-estimation problem for one silhouette.
 #[derive(Debug, Clone)]
 pub struct PoseProblem {
-    fitness: SilhouetteFitness,
-    /// Chamfer distance field of the silhouette, used by the validity
-    /// test: an axis sample counts as "inside" when it lies within the
-    /// stick's own thickness of a silhouette pixel — tolerant of the
-    /// mask erosion and holes a real pipeline produces.
-    distance_field: slj_imgproc::distance::DistanceField,
+    /// Shared Eq. 3 evaluator. `Arc` so the tracker's recovery ladder
+    /// can rebuild the problem with a different init strategy without
+    /// re-deriving the silhouette's point list and distance field.
+    fitness: Arc<SilhouetteFitness>,
     /// Per-stick thickness in pixels, paper order.
     thickness_px: [f64; STICK_COUNT],
     dims: BodyDims,
     camera: Camera,
     init: InitStrategy,
     config: PoseProblemConfig,
+    memo: FitnessMemo,
     /// Silhouette centroid in world coordinates.
     centroid_world: Point2,
     /// Silhouette bounding box in world coordinates
@@ -125,6 +211,33 @@ impl PoseProblem {
     /// [`GaError::BadConfig`] for out-of-range operator parameters.
     pub fn new(
         silhouette: &Mask,
+        dims: &BodyDims,
+        camera: &Camera,
+        init: InitStrategy,
+        config: PoseProblemConfig,
+    ) -> Result<Self, GaError> {
+        let fitness = Arc::new(SilhouetteFitness::new(
+            silhouette,
+            dims,
+            camera,
+            config.stride,
+        )?);
+        PoseProblem::with_fitness(silhouette, fitness, dims, camera, init, config)
+    }
+
+    /// Like [`PoseProblem::new`] but reusing an already-prepared
+    /// evaluator for the same silhouette. This is the amortised path:
+    /// the tracker's recovery ladder tries up to three init strategies
+    /// per frame, and the Eq. 3 point list / distance field are
+    /// identical across all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::EmptySilhouette`] for a blank mask and
+    /// [`GaError::BadConfig`] for out-of-range operator parameters.
+    pub fn with_fitness(
+        silhouette: &Mask,
+        fitness: Arc<SilhouetteFitness>,
         dims: &BodyDims,
         camera: &Camera,
         init: InitStrategy,
@@ -150,7 +263,6 @@ impl PoseProblem {
                 what: "validity_samples must be positive",
             });
         }
-        let fitness = SilhouetteFitness::new(silhouette, dims, camera, config.stride)?;
         let centroid_px = moments::centroid(silhouette).ok_or(GaError::EmptySilhouette)?;
         let bb = moments::bounding_box(silhouette).ok_or(GaError::EmptySilhouette)?;
         let tl = camera.image_to_world(Point2::new(bb.x_min as f64, bb.y_max as f64));
@@ -161,12 +273,12 @@ impl PoseProblem {
         }
         Ok(PoseProblem {
             fitness,
-            distance_field: slj_imgproc::distance::DistanceField::new(silhouette),
             thickness_px,
             dims: dims.clone(),
             camera: *camera,
             init,
             config,
+            memo: FitnessMemo::default(),
             centroid_world: camera.image_to_world(centroid_px),
             bbox_world: (tl.x, tl.y, br.x, br.y),
         })
@@ -182,17 +294,44 @@ impl PoseProblem {
         &self.fitness
     }
 
+    /// A shareable handle to the Eq. 3 evaluator, for building further
+    /// problems over the same silhouette without re-preparation.
+    pub fn shared_fitness(&self) -> Arc<SilhouetteFitness> {
+        Arc::clone(&self.fitness)
+    }
+
+    /// The fitness memo (hit/miss diagnostics).
+    pub fn memo(&self) -> &FitnessMemo {
+        &self.memo
+    }
+
     /// The operator configuration.
     pub fn config(&self) -> &PoseProblemConfig {
         &self.config
     }
 
+    /// Evaluates Eq. 3 (plus the outside-silhouette penalty) for a
+    /// chromosome, honouring the configured pruning flag but bypassing
+    /// the memo.
+    fn evaluate_genome(&self, genome: &Pose) -> f64 {
+        if self.config.eq3_pruning {
+            self.fitness.evaluate(genome, &self.dims)
+        } else {
+            self.fitness.evaluate_unpruned(genome, &self.dims)
+        }
+    }
+
     /// Fraction of axis samples of `pose`'s sticks that lie inside (or
     /// within one stick-thickness of) the silhouette.
+    ///
+    /// Uses the evaluator's chamfer distance field: an axis sample
+    /// counts as "inside" when it lies within the stick's own thickness
+    /// of a silhouette pixel — tolerant of the mask erosion and holes a
+    /// real pipeline produces.
     pub fn inside_fraction(&self, pose: &Pose) -> f64 {
         let segs = pose.segments(&self.dims);
         let n = self.config.validity_samples;
-        let df = &self.distance_field;
+        let df = self.fitness.distance_field();
         let mut inside = 0usize;
         let mut total = 0usize;
         for (stick, seg) in segs.iter() {
@@ -219,7 +358,16 @@ impl Problem for PoseProblem {
     type Genome = Pose;
 
     fn fitness(&self, genome: &Pose) -> f64 {
-        self.fitness.evaluate(genome, &self.dims)
+        if !self.config.fitness_memo {
+            return self.evaluate_genome(genome);
+        }
+        let key = FitnessMemo::key(genome);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached;
+        }
+        let value = self.evaluate_genome(genome);
+        self.memo.insert(key, value);
+        value
     }
 
     fn random_genome(&self, rng: &mut StdRng) -> Pose {
@@ -620,6 +768,134 @@ mod tests {
                 Err(GaError::BadConfig { .. })
             ));
         }
+    }
+
+    #[test]
+    fn memo_caches_exact_values() {
+        let (sil, dims, camera, pose) = setup();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
+        let fresh = p.fitness_fn().evaluate(&pose, &dims);
+        let first = p.fitness(&pose);
+        let second = p.fitness(&pose);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        let (hits, misses) = p.memo().stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(p.memo().len(), 1);
+    }
+
+    #[test]
+    fn memo_distinguishes_mutated_chromosomes() {
+        let (sil, dims, camera, pose) = setup();
+        let cfg = PoseProblemConfig {
+            mutation_rate: 1.0,
+            ..PoseProblemConfig::default()
+        };
+        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), cfg).unwrap();
+        let before = p.fitness(&pose);
+        let mut mutated = pose;
+        let mut rng = StdRng::seed_from_u64(11);
+        p.mutate(&mut mutated, &mut rng);
+        assert_ne!(mutated.to_genes(), pose.to_genes());
+        // The mutated chromosome is a distinct key: its cached value is
+        // exactly a fresh evaluation, not the parent's stale one.
+        let after = p.fitness(&mutated);
+        assert_eq!(after, p.fitness_fn().evaluate(&mutated, &dims));
+        assert_eq!(p.fitness(&pose), before);
+        assert_eq!(p.memo().len(), 2);
+    }
+
+    #[test]
+    fn memo_disabled_never_caches() {
+        let (sil, dims, camera, pose) = setup();
+        let cfg = PoseProblemConfig {
+            fitness_memo: false,
+            ..PoseProblemConfig::default()
+        };
+        let p = PoseProblem::new(&sil, &dims, &camera, temporal(pose), cfg).unwrap();
+        let a = p.fitness(&pose);
+        let b = p.fitness(&pose);
+        assert_eq!(a, b);
+        assert!(p.memo().is_empty());
+        assert_eq!(p.memo().stats(), (0, 0));
+    }
+
+    #[test]
+    fn pruning_flag_changes_nothing_observable() {
+        let (sil, dims, camera, pose) = setup();
+        let pruned = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
+        let exhaustive = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig {
+                eq3_pruning: false,
+                ..PoseProblemConfig::default()
+            },
+        )
+        .unwrap();
+        let mut shifted = pose;
+        shifted.center.x += 0.03;
+        for g in [pose, shifted] {
+            assert_eq!(pruned.fitness(&g), exhaustive.fitness(&g));
+        }
+    }
+
+    #[test]
+    fn with_fitness_reuses_prepared_evaluator() {
+        let (sil, dims, camera, pose) = setup();
+        let base = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            temporal(pose),
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
+        let rebuilt = PoseProblem::with_fitness(
+            &sil,
+            base.shared_fitness(),
+            &dims,
+            &camera,
+            InitStrategy::FullRange,
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(
+            &base.shared_fitness(),
+            &rebuilt.shared_fitness()
+        ));
+        assert_eq!(base.fitness(&pose), rebuilt.fitness(&pose));
+        // The rebuilt problem still validates its own config.
+        assert!(matches!(
+            PoseProblem::with_fitness(
+                &sil,
+                base.shared_fitness(),
+                &dims,
+                &camera,
+                InitStrategy::FullRange,
+                PoseProblemConfig {
+                    validity_samples: 0,
+                    ..PoseProblemConfig::default()
+                },
+            ),
+            Err(GaError::BadConfig { .. })
+        ));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::engine::{evolve, GaConfig, GaRun};
 use crate::error::GaError;
+use crate::fitness::SilhouetteFitness;
 use crate::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_DELTA_ANGLES};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +26,9 @@ use slj_imgproc::mask::Mask;
 use slj_imgproc::moments;
 use slj_motion::model::STICK_COUNT;
 use slj_motion::{BodyDims, Pose, PoseSeq};
+use slj_runtime::Parallelism;
 use slj_video::Camera;
+use std::sync::Arc;
 
 /// Tracker configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +47,11 @@ pub struct TrackerConfig {
     pub seed: u64,
     /// What to do when a frame resists the temporal seed.
     pub recovery: RecoveryPolicy,
+    /// Worker threads for per-genome fitness evaluation, resolved into
+    /// [`GaConfig::threads`] when tracking runs. Frames themselves stay
+    /// sequential — frame k's seed *is* frame k−1's estimate — so the
+    /// fan-out happens inside each frame's GA. Overrides `ga.threads`.
+    pub parallelism: Parallelism,
 }
 
 /// The escalation ladder for frames the temporal seed cannot explain.
@@ -140,6 +148,7 @@ impl Default for TrackerConfig {
             delta_angles: DEFAULT_DELTA_ANGLES,
             seed: 0x51_1A_B0,
             recovery: RecoveryPolicy::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -266,6 +275,15 @@ impl TemporalTracker {
         &self.config
     }
 
+    /// The per-frame GA configuration actually used: the shared
+    /// [`Parallelism`] knob resolved into a concrete worker count.
+    pub fn effective_ga(&self) -> GaConfig {
+        GaConfig {
+            threads: self.config.parallelism.threads(),
+            ..self.config.ga
+        }
+    }
+
     /// Tracks a clip: `silhouettes\[0\]` is described by `first_pose`
     /// (the hand-drawn model); every later frame is estimated by the
     /// temporally-seeded GA.
@@ -376,10 +394,31 @@ impl TemporalTracker {
             }
         }
 
+        // One Eq. 3 evaluator serves every rung: the silhouette's point
+        // list and distance field don't depend on the init strategy, so
+        // escalation costs a config re-validation, not a re-preparation.
+        let shared_fitness: Option<Arc<SilhouetteFitness>> =
+            match SilhouetteFitness::new(sil, dims, camera, self.config.problem.stride) {
+                Ok(f) => Some(Arc::new(f)),
+                Err(GaError::EmptySilhouette) => None,
+                Err(e) => return Err(e),
+            };
+
+        let ga = self.effective_ga();
         let mut spent_evaluations = 0usize;
         let mut best: Option<TrackResult> = None;
         for (rung_index, (action, init)) in rungs.into_iter().enumerate() {
-            let problem = match PoseProblem::new(sil, dims, camera, init, self.config.problem) {
+            let Some(fitness) = shared_fitness.as_ref() else {
+                break; // blank silhouette: fall through to carry-over
+            };
+            let problem = match PoseProblem::with_fitness(
+                sil,
+                Arc::clone(fitness),
+                dims,
+                camera,
+                init,
+                self.config.problem,
+            ) {
                 Ok(p) => p,
                 Err(GaError::EmptySilhouette) | Err(GaError::InitFailed { .. }) => continue,
                 Err(e) => return Err(e),
@@ -392,7 +431,7 @@ impl TemporalTracker {
                     .wrapping_add(k as u64)
                     .wrapping_add((rung_index as u64).wrapping_mul(0x9E37_79B9)),
             );
-            let run = match evolve(&problem, &self.config.ga, &mut rng) {
+            let run = match evolve(&problem, &ga, &mut rng) {
                 Ok(run) => run,
                 Err(GaError::InitFailed { .. }) => continue,
                 Err(e) => return Err(e),
@@ -529,6 +568,30 @@ mod tests {
         for (x, y) in a.frames.iter().zip(b.frames.iter()) {
             assert_eq!(x.pose.to_genes(), y.pose.to_genes());
             assert_eq!(x.fitness, y.fitness);
+        }
+    }
+
+    #[test]
+    fn parallel_tracking_matches_serial_exactly() {
+        // Thread count is a throughput knob, never a semantics knob:
+        // every per-frame field — pose bits, fitness, convergence stats,
+        // history — must be identical at any parallelism.
+        let (sils, truth, dims, camera) = jump_silhouettes(4);
+        let serial = TemporalTracker::new(TrackerConfig::fast())
+            .track(&sils, truth[0], &dims, &camera)
+            .unwrap();
+        for parallelism in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let tracker = TemporalTracker::new(TrackerConfig {
+                parallelism,
+                ..TrackerConfig::fast()
+            });
+            assert_eq!(tracker.effective_ga().threads, parallelism.threads());
+            let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+            assert_eq!(run.frames, serial.frames, "parallelism = {parallelism}");
         }
     }
 

@@ -184,4 +184,68 @@ proptest! {
         prop_assert!(f >= 0.0 && f.is_finite());
         prop_assert!(fit.sample_count() >= fit.total_points() / stride);
     }
+
+    #[test]
+    fn aabb_pruned_eq3_is_bit_identical_to_exhaustive(
+        dx in -0.4f64..0.4,
+        dy in -0.3f64..0.3,
+        spin_seed in any::<u64>(),
+        stride in 1usize..6,
+    ) {
+        // The branch-and-bound over the 8 sticks is an *exact*
+        // optimisation: for any pose — centred, displaced, or scrambled
+        // beyond anything the GA would sample — the pruned evaluation
+        // must equal the exhaustive one to the last bit.
+        let (sil, dims, camera, pose) = fixture();
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, stride).unwrap();
+        let mut g = pose;
+        g.center.x += dx;
+        g.center.y += dy;
+        let mut spin_rng = StdRng::seed_from_u64(spin_seed);
+        for l in 0..g.angles.len() {
+            g.angles[l] = g.angles[l] + spin_rng.gen_range(-170.0..170.0);
+        }
+        prop_assert_eq!(fit.evaluate_eq3(&g, &dims), fit.evaluate_eq3_unpruned(&g, &dims));
+        prop_assert_eq!(fit.evaluate(&g, &dims), fit.evaluate_unpruned(&g, &dims));
+    }
+
+    #[test]
+    fn fitness_memo_is_never_stale_under_mutation(seed in any::<u64>()) {
+        // Mutating a chromosome changes its gene bits, so the memo must
+        // treat it as a fresh key: the cached value for the parent stays
+        // the parent's, and the mutant's value equals an uncached
+        // evaluation. (A stale memo would poison the GA silently — the
+        // engine calls `fitness` on every offspring.)
+        let (sil, dims, camera, pose) = fixture();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            InitStrategy::Temporal {
+                previous: pose,
+                delta_center: 0.08,
+                delta_angles: DEFAULT_DELTA_ANGLES,
+            },
+            PoseProblemConfig {
+                mutation_rate: 1.0,
+                ..PoseProblemConfig::default()
+            },
+        )
+        .unwrap();
+        let reference = SilhouetteFitness::new(&sil, &dims, &camera, p.config().stride).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut genome = p.random_genome(&mut rng);
+        let mut parent_values = Vec::new();
+        for _ in 0..6 {
+            let value = p.fitness(&genome);
+            prop_assert_eq!(value, reference.evaluate(&genome, &dims));
+            // Re-query every chromosome seen so far: cached values must
+            // still match a fresh evaluation of *those* genes.
+            parent_values.push((genome, value));
+            for (g, v) in &parent_values {
+                prop_assert_eq!(p.fitness(g), *v);
+            }
+            p.mutate(&mut genome, &mut rng);
+        }
+    }
 }

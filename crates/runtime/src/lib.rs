@@ -1,0 +1,160 @@
+//! Shared execution-layer configuration for the workspace.
+//!
+//! Every stage that can fan work out over threads — the segmentation
+//! pipeline (per-frame stages), the GA engine (per-genome fitness) —
+//! takes its thread count from one [`Parallelism`] value that flows
+//! top-down: CLI `--threads` → `AnalyzerConfig` → `PipelineConfig` /
+//! `TrackerConfig` → `GaConfig.threads`. Centralising the knob keeps
+//! "how parallel is this run" a single decision instead of four
+//! hardcoded integers.
+//!
+//! Parallelism is a *throughput* setting, never a *semantics* setting:
+//! every parallel code path in the workspace is required (and tested)
+//! to produce bit-identical output to its serial twin, so any value
+//! here is safe for reproducibility.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How many worker threads a stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Parallelism {
+    /// One thread, no worker fan-out (the pre-parallel behaviour).
+    #[default]
+    Serial,
+    /// Exactly this many threads (values of 0 and 1 behave as
+    /// [`Parallelism::Serial`]).
+    Fixed(usize),
+    /// One thread per available hardware core, via
+    /// [`std::thread::available_parallelism`] (falls back to serial
+    /// when the runtime cannot report a count).
+    Auto,
+}
+
+impl Parallelism {
+    /// The resolved worker-thread count, always at least 1.
+    pub fn threads(&self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Whether the resolved count is a single thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads() == 1
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Serial => f.write_str("serial"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+            Parallelism::Auto => f.write_str("auto"),
+        }
+    }
+}
+
+/// Error from parsing a `--threads`-style spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParallelismError(String);
+
+impl fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid thread count '{}': expected a positive integer, 'serial' or 'auto'",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
+
+impl FromStr for Parallelism {
+    type Err = ParseParallelismError;
+
+    /// Parses the CLI spellings: `auto`, `serial`, or a positive
+    /// integer (where `1` means serial).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "auto" => Ok(Parallelism::Auto),
+            "serial" => Ok(Parallelism::Serial),
+            raw => match raw.parse::<usize>() {
+                Ok(0) | Err(_) => Err(ParseParallelismError(raw.to_owned())),
+                Ok(1) => Ok(Parallelism::Serial),
+                Ok(n) => Ok(Parallelism::Fixed(n)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_fixed_resolve() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(1).threads(), 1);
+        assert_eq!(Parallelism::Fixed(4).threads(), 4);
+        assert!(Parallelism::Serial.is_serial());
+        assert!(Parallelism::Fixed(1).is_serial());
+        assert!(!Parallelism::Fixed(2).is_serial());
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn parses_cli_spellings() {
+        assert_eq!("auto".parse(), Ok(Parallelism::Auto));
+        assert_eq!("serial".parse(), Ok(Parallelism::Serial));
+        assert_eq!("1".parse(), Ok(Parallelism::Serial));
+        assert_eq!(" 4 ".parse(), Ok(Parallelism::Fixed(4)));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("-2".parse::<Parallelism>().is_err());
+        assert!("fast".parse::<Parallelism>().is_err());
+        assert!("".parse::<Parallelism>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Fixed(8),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(
+                p.to_string().parse::<Parallelism>().unwrap().threads(),
+                p.threads()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Parallelism = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+    }
+}

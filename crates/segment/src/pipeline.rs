@@ -17,7 +17,8 @@ use crate::quality::{self, FrameQuality, QualityConfig};
 use crate::shadow::{ShadowDetector, ShadowParams};
 use serde::{Deserialize, Serialize};
 use slj_imgproc::mask::Mask;
-use slj_video::Video;
+use slj_runtime::Parallelism;
+use slj_video::{Frame, Video};
 
 /// Optional spatial smoothing applied to every frame before Step 1
 /// (extension): knocks down per-pixel sensor noise ahead of the
@@ -71,6 +72,13 @@ pub struct PipelineConfig {
     pub shadow: Option<ShadowParams>,
     /// Step 6 (extension): per-frame silhouette health thresholds.
     pub quality: QualityConfig,
+    /// Worker threads for the per-frame stages (subtraction → cleanup →
+    /// shadow). The background estimate is shared and ghost detection
+    /// compares against the previous *input* frame, so frames are
+    /// independent once Step 1 has run — the fan-out is exact, not
+    /// approximate, and output order is frame order regardless of
+    /// thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -85,6 +93,7 @@ impl Default for PipelineConfig {
             holes: HoleFillMode::FloodFill,
             shadow: Some(ShadowParams::default()),
             quality: QualityConfig::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -178,6 +187,12 @@ impl SegmentPipeline {
 
     /// Runs all five steps over a clip.
     ///
+    /// When [`PipelineConfig::parallelism`] resolves to more than one
+    /// thread, the per-frame stages fan out over crossbeam scoped
+    /// threads in contiguous frame chunks. Frame k only ever reads the
+    /// shared background estimate and input frames k and k−1, so the
+    /// parallel result is bit-identical to the serial one (tested).
+    ///
     /// # Errors
     ///
     /// Returns [`SegmentError::TooFewFrames`] for clips with fewer than
@@ -190,46 +205,107 @@ impl SegmentPipeline {
         };
         let video = &video;
         let background = BackgroundEstimator::new(self.config.background).estimate(video)?;
-        let extractor = ForegroundExtractor::new(self.config.foreground);
-        let noise = NoiseFilter::new(self.config.noise);
-        let spots = SpotRemover::new(self.config.spots);
-        let holes = HoleFiller::new(self.config.holes);
-        let shadow_detector = self.config.shadow.map(ShadowDetector::new);
-        let ghost_detector = self.config.ghosts.map(GhostDetector::new);
+        let stages = StageSet {
+            extractor: ForegroundExtractor::new(self.config.foreground),
+            noise: NoiseFilter::new(self.config.noise),
+            spots: SpotRemover::new(self.config.spots),
+            holes: HoleFiller::new(self.config.holes),
+            shadow_detector: self.config.shadow.map(ShadowDetector::new),
+            ghost_detector: self.config.ghosts.map(GhostDetector::new),
+        };
 
-        let mut frames = Vec::with_capacity(video.len());
-        let mut previous_frame: Option<&slj_video::Frame> = None;
-        for frame in video.iter() {
-            let raw = extractor.extract(frame, &background.image);
-            let denoised = noise.apply(&raw);
-            let despotted = spots.apply(&denoised);
-            let (deghosted, ghost_verdicts) = match &ghost_detector {
-                Some(det) => det.suppress(&despotted, frame, previous_frame)?,
-                None => (despotted.clone(), Vec::new()),
-            };
-            let filled = holes.apply(&deghosted);
-            let (final_mask, shadow) = match &shadow_detector {
-                Some(det) => det.remove_shadows(frame, &background.image, &filled),
-                None => (filled.clone(), Mask::new(filled.width(), filled.height())),
-            };
-            frames.push(FrameStages {
-                raw,
-                denoised,
-                despotted,
-                deghosted,
-                ghost_verdicts,
-                filled,
-                shadow,
-                final_mask,
-            });
-            previous_frame = Some(frame);
-        }
+        let inputs = video.frames();
+        let threads = self.config.parallelism.threads().min(inputs.len());
+        let frames = if threads <= 1 {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(k, frame)| {
+                    stages.process(frame, previous_input(inputs, k), &background.image)
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            // Each worker owns one contiguous chunk of the output; the
+            // write targets are disjoint and results land in frame
+            // order, so only throughput depends on the thread count.
+            let mut slots: Vec<Option<Result<FrameStages, SegmentError>>> = Vec::new();
+            slots.resize_with(inputs.len(), || None);
+            let chunk = inputs.len().div_ceil(threads);
+            let stages = &stages;
+            let bg = &background.image;
+            crossbeam::scope(|scope| {
+                for (ci, out) in slots.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move |_| {
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            let k = ci * chunk + i;
+                            *slot = Some(stages.process(&inputs[k], previous_input(inputs, k), bg));
+                        }
+                    });
+                }
+            })
+            .expect("segmentation worker panicked");
+            slots
+                .into_iter()
+                .map(|s| s.expect("every frame processed"))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+
         let final_masks: Vec<_> = frames.iter().map(|s| &s.final_mask).collect();
         let quality = quality::assess_masks(&final_masks, &self.config.quality);
         Ok(SegmentationResult {
             background,
             frames,
             quality,
+        })
+    }
+}
+
+/// The previous *input* frame — what ghost detection compares motion
+/// against. Depending only on the immutable input (never on the
+/// previous frame's output) is what makes frames independent.
+fn previous_input(inputs: &[Frame], k: usize) -> Option<&Frame> {
+    k.checked_sub(1).map(|p| &inputs[p])
+}
+
+/// The per-frame stage operators, bundled so the serial loop and the
+/// worker threads share one code path.
+struct StageSet {
+    extractor: ForegroundExtractor,
+    noise: NoiseFilter,
+    spots: SpotRemover,
+    holes: HoleFiller,
+    shadow_detector: Option<ShadowDetector>,
+    ghost_detector: Option<GhostDetector>,
+}
+
+impl StageSet {
+    fn process(
+        &self,
+        frame: &Frame,
+        previous_frame: Option<&Frame>,
+        background: &Frame,
+    ) -> Result<FrameStages, SegmentError> {
+        let raw = self.extractor.extract(frame, background);
+        let denoised = self.noise.apply(&raw);
+        let despotted = self.spots.apply(&denoised);
+        let (deghosted, ghost_verdicts) = match &self.ghost_detector {
+            Some(det) => det.suppress(&despotted, frame, previous_frame)?,
+            None => (despotted.clone(), Vec::new()),
+        };
+        let filled = self.holes.apply(&deghosted);
+        let (final_mask, shadow) = match &self.shadow_detector {
+            Some(det) => det.remove_shadows(frame, background, &filled),
+            None => (filled.clone(), Mask::new(filled.width(), filled.height())),
+        };
+        Ok(FrameStages {
+            raw,
+            denoised,
+            despotted,
+            deghosted,
+            ghost_verdicts,
+            filled,
+            shadow,
+            final_mask,
         })
     }
 }
@@ -416,6 +492,39 @@ mod tests {
         assert!(PipelineConfig::robust().ghosts.is_some());
         assert!(PipelineConfig::default().ghosts.is_none());
         assert!(PipelineConfig::paper().ghosts.is_none());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        // Ghost suppression on: it is the only stage with a cross-frame
+        // input, so it is the one a botched parallelisation would break.
+        let j = short_jump(&SceneConfig::default(), 11);
+        let base = PipelineConfig::robust();
+        let serial = SegmentPipeline::new(base.clone()).run(&j.video).unwrap();
+        for parallelism in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Fixed(64),
+        ] {
+            let parallel = SegmentPipeline::new(PipelineConfig {
+                parallelism,
+                ..base.clone()
+            })
+            .run(&j.video)
+            .unwrap();
+            assert_eq!(
+                parallel.frames, serial.frames,
+                "parallelism = {parallelism}"
+            );
+            assert_eq!(
+                parallel.quality, serial.quality,
+                "parallelism = {parallelism}"
+            );
+            assert_eq!(
+                parallel.background.image.as_slice(),
+                serial.background.image.as_slice()
+            );
+        }
     }
 
     #[test]

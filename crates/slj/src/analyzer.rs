@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use slj_ga::tracker::{RecoveryAction, TemporalTracker, TrackResult, TrackerConfig};
 use slj_imgproc::mask::Mask;
 use slj_motion::{BodyDims, Pose, PoseSeq};
+use slj_runtime::Parallelism;
 use slj_score::{score_jump, score_jump_masked, ScoreCard};
 use slj_segment::pipeline::{PipelineConfig, SegmentPipeline, SegmentationResult};
 use slj_segment::quality::FrameQuality;
@@ -38,6 +39,13 @@ pub struct AnalyzerConfig {
     /// What to do when frames come back degraded (unhealthy silhouette,
     /// escalated or failed tracking).
     pub robustness: RobustnessPolicy,
+    /// Worker threads for both parallelisable phases: segmentation's
+    /// per-frame stages and the GA's per-genome fitness evaluation.
+    /// Authoritative — it overwrites `segmentation.parallelism` and
+    /// `tracker.parallelism` when the analysis runs, so one knob
+    /// controls the whole run. Parallel runs are bit-identical to
+    /// serial ones (tested).
+    pub parallelism: Parallelism,
 }
 
 /// How the analyzer treats degraded frames.
@@ -119,6 +127,7 @@ impl Default for AnalyzerConfig {
             dims: BodyDims::default(),
             smoothing_window: 3,
             robustness: RobustnessPolicy::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -280,13 +289,24 @@ impl JumpAnalyzer {
         camera: &Camera,
         first_pose: Pose,
     ) -> Result<AnalysisReport, AnalyzeError> {
-        let segmentation = SegmentPipeline::new(self.config.segmentation.clone()).run(video)?;
+        // The analyzer-level parallelism knob is authoritative: push it
+        // down into both phases so `--threads` means the same thing
+        // everywhere.
+        let segmentation_config = PipelineConfig {
+            parallelism: self.config.parallelism,
+            ..self.config.segmentation.clone()
+        };
+        let tracker_config = TrackerConfig {
+            parallelism: self.config.parallelism,
+            ..self.config.tracker
+        };
+        let segmentation = SegmentPipeline::new(segmentation_config).run(video)?;
         let silhouettes: Vec<Mask> = segmentation
             .frames
             .iter()
             .map(|s| s.final_mask.clone())
             .collect();
-        let tracking = TemporalTracker::new(self.config.tracker).track(
+        let tracking = TemporalTracker::new(tracker_config).track(
             &silhouettes,
             first_pose,
             &self.config.dims,

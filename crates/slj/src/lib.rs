@@ -53,6 +53,7 @@ pub use analyzer::{
 pub use error::AnalyzeError;
 pub use measure::{measure_jump, JumpMeasurement, MeasureError};
 pub use report::{health_timeline, markdown_report, suspect_frames};
+pub use slj_runtime::Parallelism;
 
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use slj_motion::{
         synthesize_jump, Angle, BodyDims, JumpConfig, JumpFlaw, Pose, PoseSeq, StickKind,
     };
+    pub use slj_runtime::Parallelism;
     pub use slj_score::{score_jump, RuleId, ScoreCard, Standard};
     pub use slj_segment::pipeline::{PipelineConfig, SegmentPipeline};
     pub use slj_video::{

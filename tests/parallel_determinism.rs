@@ -1,0 +1,135 @@
+//! End-to-end determinism suite: the analyzer's thread count is a
+//! throughput knob, never a semantics knob. Running the identical
+//! analysis serial and at 4 threads must produce byte-identical
+//! reports — poses, fitness values, score card, per-frame health, and
+//! every intermediate segmentation mask — on a clean clip *and* on a
+//! fault-injected one that exercises the recovery ladder and
+//! best-effort scoring.
+
+use slj::prelude::*;
+use slj::AnalysisReport;
+
+fn compact_scene() -> SceneConfig {
+    SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::default()
+    }
+}
+
+/// Field-by-field byte equality of two reports (`AnalysisReport` itself
+/// has no `PartialEq` because `SegmentationResult` carries the
+/// background estimate; compare every component instead).
+fn assert_reports_identical(a: &AnalysisReport, b: &AnalysisReport, label: &str) {
+    assert_eq!(a.poses, b.poses, "{label}: poses differ");
+    assert_eq!(a.score, b.score, "{label}: score cards differ");
+    assert_eq!(
+        a.tracking, b.tracking,
+        "{label}: tracking diagnostics differ"
+    );
+    assert_eq!(a.health, b.health, "{label}: health timelines differ");
+    assert_eq!(
+        a.segmentation.frames, b.segmentation.frames,
+        "{label}: segmentation stage masks differ"
+    );
+    assert_eq!(
+        a.segmentation.quality, b.segmentation.quality,
+        "{label}: silhouette quality differs"
+    );
+    assert_eq!(
+        a.segmentation.background.image.as_slice(),
+        b.segmentation.background.image.as_slice(),
+        "{label}: background estimates differ"
+    );
+    assert_eq!(a.summary(), b.summary(), "{label}: summaries differ");
+}
+
+fn analyze_at(
+    parallelism: Parallelism,
+    base: &AnalyzerConfig,
+    video: &Video,
+    camera: &Camera,
+    first_pose: slj_motion::Pose,
+) -> AnalysisReport {
+    let config = AnalyzerConfig {
+        parallelism,
+        ..base.clone()
+    };
+    JumpAnalyzer::new(config)
+        .analyze(video, camera, first_pose)
+        .expect("analysis should succeed at any thread count")
+}
+
+#[test]
+fn clean_clip_parallel_report_is_byte_identical_to_serial() {
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 71);
+    let base = AnalyzerConfig::fast();
+    let first = jump.poses.poses()[0];
+    let serial = analyze_at(
+        Parallelism::Serial,
+        &base,
+        &jump.video,
+        &scene.camera,
+        first,
+    );
+    let parallel = analyze_at(
+        Parallelism::Fixed(4),
+        &base,
+        &jump.video,
+        &scene.camera,
+        first,
+    );
+    assert_reports_identical(&serial, &parallel, "clean clip");
+}
+
+#[test]
+fn fault_injected_clip_parallel_report_is_byte_identical_to_serial() {
+    // Faults push frames through the recovery ladder and the degraded
+    // accounting — the paths where a non-deterministic parallelisation
+    // would show first.
+    let scene = compact_scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 72);
+    let (faulty, _) = FaultInjector::new(FaultConfig {
+        seed: 7,
+        occlusion_bars: 2,
+        ..FaultConfig::default()
+    })
+    .inject(&jump.video);
+    let base = AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 10,
+        },
+        ..AnalyzerConfig::fast()
+    };
+    let first = jump.poses.poses()[0];
+    let serial = analyze_at(Parallelism::Serial, &base, &faulty, &scene.camera, first);
+    let parallel = analyze_at(Parallelism::Fixed(4), &base, &faulty, &scene.camera, first);
+    assert_reports_identical(&serial, &parallel, "fault-injected clip");
+}
+
+#[test]
+fn auto_and_oversubscribed_thread_counts_also_match() {
+    // `auto` (whatever the host reports) and a thread count far beyond
+    // the frame count must both collapse to the same bytes.
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 73);
+    let base = AnalyzerConfig::fast();
+    let first = jump.poses.poses()[0];
+    let serial = analyze_at(
+        Parallelism::Serial,
+        &base,
+        &jump.video,
+        &scene.camera,
+        first,
+    );
+    for parallelism in [Parallelism::Auto, Parallelism::Fixed(64)] {
+        let run = analyze_at(parallelism, &base, &jump.video, &scene.camera, first);
+        assert_reports_identical(&serial, &run, &format!("parallelism {parallelism}"));
+    }
+}
