@@ -1,8 +1,11 @@
 //! Perf — the reproducible pipeline benchmark behind
 //! `BENCH_pipeline.json`.
 //!
-//! Times the three expensive layers on the standard 20-frame synthetic
-//! clip (320×240, default scene, seed 5):
+//! Two measurement modes (select with `--mode pipeline|segmentation|all`,
+//! default `all`):
+//!
+//! **pipeline** times the three expensive layers on the standard
+//! 20-frame synthetic clip (320×240, default scene, seed 5):
 //!
 //! * **segmentation** — `SegmentPipeline::run` alone;
 //! * **tracking** — `TemporalTracker::track` alone, on pre-segmented
@@ -19,26 +22,55 @@
 //! * `serial-pruned` — pruning on, memo off;
 //! * `serial-optimised` — pruning + memo, still one thread (the
 //!   algorithmic win, independent of core count);
-//! * `parallel-optimised` — pruning + memo + N worker threads (default
-//!   4) fanned out over segmentation frames and GA genomes.
+//! * `parallel-optimised` — pruning + memo + N worker threads
+//!   (`--threads`, default 4, clamped to the host's
+//!   `available_parallelism`) fanned out over segmentation frames and
+//!   GA genomes.
 //!
-//! Every configuration is asserted to produce the identical analysis
-//! (same pose bits, same score) before any number is reported — the
-//! speedups are exact optimisations, not approximations. The JSON
-//! schema is documented in DESIGN.md §Performance.
+//! **segmentation** isolates the per-frame stage kernels (the six
+//! Section-2 stages, *excluding* the background estimation every engine
+//! shares) and compares:
+//!
+//! * `scalar-reference` — the pre-bit-packing implementation kept alive
+//!   in `slj_bench::scalar`: per-pixel `Vec<bool>` loops, a fresh
+//!   allocation per stage, and the background pixel re-converted to HSV
+//!   for every Eq. 1 shadow test;
+//! * `packed-serial` — `FrameSegmenter` with bit-packed masks, the
+//!   cached background-HSV plane, and arena-backed scratch;
+//! * `packed-parallel` — the same kernel fanned out in contiguous frame
+//!   chunks (per-stage times are summed across workers, so they are
+//!   CPU time; `kernel_ms` is wall time);
+//! * `packed-streaming` — the kernel as `StreamingAnalyzer` drives it:
+//!   frames arrive one at a time and only the previous frame is
+//!   retained.
+//!
+//! Every configuration is asserted to produce the identical output
+//! (pipeline mode: same pose bits, same score; segmentation mode: same
+//! stage masks for all seven planes) before any number is reported —
+//! the speedups are exact optimisations, not approximations. The JSON
+//! schema (`slj-perf-pipeline/2`) is documented in DESIGN.md
+//! §Performance.
 //!
 //! Usage:
 //!
 //! ```sh
 //! cargo run --release -p slj-bench --bin perf_pipeline            # full
 //! cargo run --release -p slj-bench --bin perf_pipeline -- --quick # CI smoke
+//! cargo run --release -p slj-bench --bin perf_pipeline -- --mode segmentation
 //! ```
 
 use serde::Serialize;
 use slj::prelude::*;
+use slj_bench::scalar::ScalarSegmenter;
 use slj_bench::{banner, f1, print_table};
 use slj_imgproc::mask::Mask;
-use slj_segment::pipeline::SegmentPipeline;
+use slj_runtime::available_threads;
+use slj_segment::background::BackgroundEstimator;
+use slj_segment::ghosts::GhostConfig;
+use slj_segment::pipeline::{FrameStages, PipelineConfig, SegmentPipeline};
+use slj_segment::{FrameSegmenter, PreparedBackground, StageTimings};
+use slj_video::Frame;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Master seed of the standard clip (shared with the Criterion
@@ -57,16 +89,66 @@ struct ClipInfo {
     scene: &'static str,
 }
 
-/// One configuration's timings, milliseconds (best of `repeats`).
+/// One configuration's layer timings, milliseconds (best of `repeats`).
 #[derive(Debug, Clone, Serialize)]
 struct ConfigReport {
     name: &'static str,
+    /// The thread count the configuration asked for.
+    threads_requested: usize,
+    /// The count actually used after clamping to the host.
     threads: usize,
     eq3_pruning: bool,
     fitness_memo: bool,
     segmentation_ms: f64,
     tracking_ms: f64,
     analyze_ms: f64,
+}
+
+/// The `--mode pipeline` section.
+#[derive(Debug, Serialize)]
+struct PipelineSection {
+    configs: Vec<ConfigReport>,
+    /// `baseline-serial` time ÷ `parallel-optimised` time, per layer.
+    speedup_segmentation: f64,
+    speedup_tracking: f64,
+    speedup_analyze: f64,
+}
+
+/// One segmentation engine's kernel timings, milliseconds (best of
+/// `repeats`; stage columns come from the best run).
+#[derive(Debug, Clone, Serialize)]
+struct KernelReport {
+    name: &'static str,
+    threads_requested: usize,
+    threads: usize,
+    extract_ms: f64,
+    denoise_ms: f64,
+    despot_ms: f64,
+    deghost_ms: f64,
+    fill_ms: f64,
+    shadow_ms: f64,
+    /// Wall time of the whole per-frame loop (for `packed-parallel`
+    /// this is less than the CPU-time stage sum when workers overlap).
+    kernel_ms: f64,
+}
+
+/// The `--mode segmentation` section.
+#[derive(Debug, Serialize)]
+struct SegmentationSection {
+    /// Ghost suppression on (all six stages exercised).
+    ghosts: bool,
+    /// The shared background-estimation cost every engine pays before
+    /// the first frame; excluded from the kernel timings.
+    background_ms: f64,
+    configs: Vec<KernelReport>,
+    /// `scalar-reference` ÷ `packed-serial` kernel wall time.
+    speedup_kernel_serial: f64,
+    /// `scalar-reference` ÷ `packed-streaming` kernel wall time.
+    speedup_kernel_streaming: f64,
+    /// `scalar-reference` ÷ the best packed kernel wall time.
+    speedup_kernel_best: f64,
+    /// All engines produced byte-identical stage masks (asserted).
+    identical: bool,
 }
 
 /// The whole benchmark: schema documented in DESIGN.md §Performance.
@@ -82,43 +164,47 @@ struct BenchReport {
     repeats: usize,
     /// Host threads reported by `std::thread::available_parallelism`.
     host_threads: usize,
-    configs: Vec<ConfigReport>,
-    /// `baseline-serial` time ÷ `parallel-optimised` time, per layer.
-    speedup_segmentation: f64,
-    speedup_tracking: f64,
-    speedup_analyze: f64,
+    /// `null` when `--mode segmentation` skipped it.
+    pipeline: Option<PipelineSection>,
+    /// `null` when `--mode pipeline` skipped it.
+    segmentation: Option<SegmentationSection>,
 }
 
 struct Variant {
     name: &'static str,
+    threads_requested: usize,
     parallelism: Parallelism,
     eq3_pruning: bool,
     fitness_memo: bool,
 }
 
-fn variants(threads: usize) -> Vec<Variant> {
+fn variants(requested: usize, resolved: usize) -> Vec<Variant> {
     vec![
         Variant {
             name: "baseline-serial",
+            threads_requested: 1,
             parallelism: Parallelism::Serial,
             eq3_pruning: false,
             fitness_memo: false,
         },
         Variant {
             name: "serial-pruned",
+            threads_requested: 1,
             parallelism: Parallelism::Serial,
             eq3_pruning: true,
             fitness_memo: false,
         },
         Variant {
             name: "serial-optimised",
+            threads_requested: 1,
             parallelism: Parallelism::Serial,
             eq3_pruning: true,
             fitness_memo: true,
         },
         Variant {
             name: "parallel-optimised",
-            parallelism: Parallelism::Fixed(threads),
+            threads_requested: requested,
+            parallelism: Parallelism::Fixed(resolved),
             eq3_pruning: true,
             fitness_memo: true,
         },
@@ -146,46 +232,79 @@ fn time_ms<T>(repeats: usize, mut work: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("repeats >= 1"))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--threads takes an integer"))
-        .unwrap_or(4);
+/// Best-of-`repeats` wall time of a kernel loop, keeping the stage
+/// breakdown of the best run.
+fn time_kernel(repeats: usize, mut work: impl FnMut() -> StageTimings) -> (f64, StageTimings) {
+    let mut best = f64::INFINITY;
+    let mut best_timings = StageTimings::default();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let timings = work();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best {
+            best = ms;
+            best_timings = timings;
+        }
+    }
+    (best, best_timings)
+}
 
-    let (mode, repeats, base) = if quick {
-        ("quick", 1, AnalyzerConfig::fast())
-    } else {
-        ("full", 3, AnalyzerConfig::default())
-    };
-    banner(
-        "Perf",
-        "pipeline timings: serial baseline vs pruning + memo + threads",
-        SEED,
-    );
-    println!("   mode {mode}, {repeats} repeat(s), {threads} worker threads\n");
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
 
-    let scene = SceneConfig::default();
-    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), SEED);
+fn kernel_report(
+    name: &'static str,
+    threads_requested: usize,
+    threads: usize,
+    kernel_ms: f64,
+    t: &StageTimings,
+) -> KernelReport {
+    KernelReport {
+        name,
+        threads_requested,
+        threads,
+        extract_ms: ms(t.extract),
+        denoise_ms: ms(t.denoise),
+        despot_ms: ms(t.despot),
+        deghost_ms: ms(t.deghost),
+        fill_ms: ms(t.fill),
+        shadow_ms: ms(t.shadow),
+        kernel_ms,
+    }
+}
+
+fn add_timings(a: StageTimings, b: StageTimings) -> StageTimings {
+    StageTimings {
+        extract: a.extract + b.extract,
+        denoise: a.denoise + b.denoise,
+        despot: a.despot + b.despot,
+        deghost: a.deghost + b.deghost,
+        fill: a.fill + b.fill,
+        shadow: a.shadow + b.shadow,
+    }
+}
+
+fn previous_input(inputs: &[Frame], k: usize) -> Option<&Frame> {
+    k.checked_sub(1).map(|p| &inputs[p])
+}
+
+fn run_pipeline_section(
+    base: &AnalyzerConfig,
+    jump: &SyntheticJump,
+    scene: &SceneConfig,
+    repeats: usize,
+    threads_requested: usize,
+    threads_resolved: usize,
+) -> PipelineSection {
     let first_pose = jump.poses.poses()[0];
-    let clip = ClipInfo {
-        width: jump.video.dims().0,
-        height: jump.video.dims().1,
-        frames: jump.video.len(),
-        seed: SEED,
-        scene: "default",
-    };
-
     let mut configs = Vec::new();
     let mut reference: Option<AnalysisReport> = None;
-    for v in variants(threads) {
-        let cfg = analyzer_config(&base, &v);
+    for v in variants(threads_requested, threads_resolved) {
+        let cfg = analyzer_config(base, &v);
 
         // Layer 1: segmentation alone.
-        let pipeline = SegmentPipeline::new(slj_segment::pipeline::PipelineConfig {
+        let pipeline = SegmentPipeline::new(PipelineConfig {
             parallelism: cfg.parallelism,
             ..cfg.segmentation.clone()
         });
@@ -225,6 +344,7 @@ fn main() {
 
         configs.push(ConfigReport {
             name: v.name,
+            threads_requested: v.threads_requested,
             threads: v.parallelism.threads(),
             eq3_pruning: v.eq3_pruning,
             fitness_memo: v.fitness_memo,
@@ -234,53 +354,349 @@ fn main() {
         });
     }
 
-    let baseline = &configs[0];
-    let optimised = configs.last().expect("variants");
-    let report = BenchReport {
-        schema: "slj-perf-pipeline/1",
-        mode,
-        clip,
-        repeats,
-        host_threads: Parallelism::Auto.threads(),
+    let baseline = configs[0].clone();
+    let optimised = configs.last().expect("variants").clone();
+    PipelineSection {
+        configs,
         speedup_segmentation: baseline.segmentation_ms / optimised.segmentation_ms,
         speedup_tracking: baseline.tracking_ms / optimised.tracking_ms,
         speedup_analyze: baseline.analyze_ms / optimised.analyze_ms,
-        configs,
-    };
+    }
+}
 
-    let rows: Vec<Vec<String>> = report
-        .configs
-        .iter()
-        .map(|c| {
-            vec![
-                c.name.to_owned(),
-                c.threads.to_string(),
-                if c.eq3_pruning { "on" } else { "off" }.to_owned(),
-                if c.fitness_memo { "on" } else { "off" }.to_owned(),
-                f1(c.segmentation_ms),
-                f1(c.tracking_ms),
-                f1(c.analyze_ms),
-            ]
+fn run_segmentation_section(
+    base: &AnalyzerConfig,
+    jump: &SyntheticJump,
+    repeats: usize,
+    threads_requested: usize,
+    threads_resolved: usize,
+) -> SegmentationSection {
+    // Ghost suppression on so all six stage kernels do real work.
+    let seg_config = PipelineConfig {
+        ghosts: Some(GhostConfig::default()),
+        ..base.segmentation.clone()
+    };
+    let inputs = jump.video.frames();
+
+    // The shared cost every engine pays once per clip, before any
+    // per-frame kernel runs. Timed for transparency, excluded from the
+    // kernel comparison.
+    let (background_ms, background) = time_ms(repeats, || {
+        BackgroundEstimator::new(seg_config.background)
+            .estimate(&jump.video)
+            .expect("background")
+    });
+
+    // Correctness first: every engine must reproduce the serial packed
+    // pipeline's stage masks byte for byte.
+    let reference = SegmentPipeline::new(seg_config.clone())
+        .run(&jump.video)
+        .expect("reference segmentation");
+    let scalar = ScalarSegmenter::new(&seg_config, &background.image);
+    for (k, frame) in inputs.iter().enumerate() {
+        let s = scalar.segment(frame, previous_input(inputs, k));
+        let r = &reference.frames[k];
+        for (plane, packed, what) in [
+            (&s.raw, &r.raw, "raw"),
+            (&s.denoised, &r.denoised, "denoised"),
+            (&s.despotted, &r.despotted, "despotted"),
+            (&s.deghosted, &r.deghosted, "deghosted"),
+            (&s.filled, &r.filled, "filled"),
+            (&s.shadow, &r.shadow, "shadow"),
+            (&s.final_mask, &r.final_mask, "final"),
+        ] {
+            assert_eq!(
+                &s.to_mask(plane),
+                packed,
+                "scalar {what} mask diverged, frame {k}"
+            );
+        }
+    }
+    let parallel = SegmentPipeline::new(PipelineConfig {
+        parallelism: Parallelism::Fixed(threads_resolved),
+        ..seg_config.clone()
+    })
+    .run(&jump.video)
+    .expect("parallel segmentation");
+    assert_eq!(
+        parallel.frames, reference.frames,
+        "parallel stage masks diverged"
+    );
+    {
+        // The streaming driver: frames arrive one at a time, only the
+        // previous frame is retained.
+        let mut segmenter = FrameSegmenter::new(
+            &seg_config,
+            Arc::new(PreparedBackground::new(&background.image)),
+        );
+        let mut out = FrameStages::empty();
+        let mut prev: Option<Frame> = None;
+        for (k, frame) in inputs.iter().enumerate() {
+            segmenter
+                .segment_into(frame, prev.as_ref(), &mut out)
+                .expect("streaming segmentation");
+            assert_eq!(
+                out, reference.frames[k],
+                "streaming stage masks diverged, frame {k}"
+            );
+            match prev.as_mut() {
+                Some(p) => p.clone_from(frame),
+                None => prev = Some(frame.clone()),
+            }
+        }
+    }
+
+    // Now the clocks. Each engine's one-time per-clip setup (cloning or
+    // HSV-caching the background) happens inside the timed region so
+    // the packed engines also pay for their cache.
+    let (scalar_ms, scalar_timings) = time_kernel(repeats, || {
+        let scalar = ScalarSegmenter::new(&seg_config, &background.image);
+        let mut t = StageTimings::default();
+        for (k, frame) in inputs.iter().enumerate() {
+            let stages = scalar.segment_timed(frame, previous_input(inputs, k), &mut t);
+            std::hint::black_box(&stages);
+        }
+        t
+    });
+
+    let (serial_ms, serial_timings) = time_kernel(repeats, || {
+        let mut segmenter = FrameSegmenter::new(
+            &seg_config,
+            Arc::new(PreparedBackground::new(&background.image)),
+        );
+        let mut out = FrameStages::empty();
+        let mut t = StageTimings::default();
+        for (k, frame) in inputs.iter().enumerate() {
+            segmenter
+                .segment_into_timed(frame, previous_input(inputs, k), &mut out, &mut t)
+                .expect("packed-serial");
+            std::hint::black_box(&out);
+        }
+        t
+    });
+
+    let (parallel_ms, parallel_timings) = time_kernel(repeats, || {
+        let prepared = Arc::new(PreparedBackground::new(&background.image));
+        let chunk = inputs.len().div_ceil(threads_resolved);
+        let workers = inputs.len().div_ceil(chunk);
+        let mut timings = vec![StageTimings::default(); workers];
+        let config = &seg_config;
+        crossbeam::scope(|scope| {
+            for (ci, slot) in timings.chunks_mut(1).enumerate() {
+                let prepared = Arc::clone(&prepared);
+                scope.spawn(move |_| {
+                    let mut segmenter = FrameSegmenter::new(config, prepared);
+                    let mut out = FrameStages::empty();
+                    let mut t = StageTimings::default();
+                    for k in ci * chunk..((ci + 1) * chunk).min(inputs.len()) {
+                        segmenter
+                            .segment_into_timed(
+                                &inputs[k],
+                                previous_input(inputs, k),
+                                &mut out,
+                                &mut t,
+                            )
+                            .expect("packed-parallel");
+                        std::hint::black_box(&out);
+                    }
+                    slot[0] = t;
+                });
+            }
         })
-        .collect();
-    print_table(
-        &[
-            "config",
-            "threads",
-            "prune",
-            "memo",
-            "segment ms",
-            "track ms",
-            "analyze ms",
-        ],
-        &rows,
+        .expect("segmentation worker panicked");
+        timings
+            .into_iter()
+            .fold(StageTimings::default(), add_timings)
+    });
+
+    let (streaming_ms, streaming_timings) = time_kernel(repeats, || {
+        let mut segmenter = FrameSegmenter::new(
+            &seg_config,
+            Arc::new(PreparedBackground::new(&background.image)),
+        );
+        let mut out = FrameStages::empty();
+        let mut prev: Option<Frame> = None;
+        let mut t = StageTimings::default();
+        for frame in inputs {
+            segmenter
+                .segment_into_timed(frame, prev.as_ref(), &mut out, &mut t)
+                .expect("packed-streaming");
+            std::hint::black_box(&out);
+            match prev.as_mut() {
+                Some(p) => p.clone_from(frame),
+                None => prev = Some(frame.clone()),
+            }
+        }
+        t
+    });
+
+    let configs = vec![
+        kernel_report("scalar-reference", 1, 1, scalar_ms, &scalar_timings),
+        kernel_report("packed-serial", 1, 1, serial_ms, &serial_timings),
+        kernel_report(
+            "packed-parallel",
+            threads_requested,
+            threads_resolved,
+            parallel_ms,
+            &parallel_timings,
+        ),
+        kernel_report("packed-streaming", 1, 1, streaming_ms, &streaming_timings),
+    ];
+    let best_packed = serial_ms.min(parallel_ms).min(streaming_ms);
+    SegmentationSection {
+        ghosts: true,
+        background_ms,
+        configs,
+        speedup_kernel_serial: scalar_ms / serial_ms,
+        speedup_kernel_streaming: scalar_ms / streaming_ms,
+        speedup_kernel_best: scalar_ms / best_packed,
+        identical: true,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let threads_requested: usize = flag_value("--threads")
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(4);
+    let section = flag_value("--mode").unwrap_or_else(|| "all".to_owned());
+    let (run_pipeline, run_segmentation) = match section.as_str() {
+        "pipeline" => (true, false),
+        "segmentation" => (false, true),
+        "all" => (true, true),
+        other => panic!("--mode {other}: expected pipeline, segmentation or all"),
+    };
+    // Oversubscribing a CPU-bound stage only adds scheduler churn, so
+    // the requested worker count is clamped to the host's cores and
+    // both numbers land in the JSON.
+    let threads_resolved = threads_requested.min(available_threads()).max(1);
+
+    let (mode, repeats, base) = if quick {
+        ("quick", 1, AnalyzerConfig::fast())
+    } else {
+        ("full", 3, AnalyzerConfig::default())
+    };
+    banner(
+        "Perf",
+        "pipeline timings: serial baseline vs pruning + memo + threads",
+        SEED,
     );
     println!(
-        "\nspeedup vs baseline-serial: segmentation {:.2}x, tracking {:.2}x, analyze {:.2}x",
-        report.speedup_segmentation, report.speedup_tracking, report.speedup_analyze
+        "   mode {mode}, sections: {section}, {repeats} repeat(s), \
+         {threads_requested} worker threads requested ({threads_resolved} after host clamp)\n"
     );
-    println!("(all configurations produced byte-identical analyses)");
 
+    let scene = SceneConfig::default();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), SEED);
+    let clip = ClipInfo {
+        width: jump.video.dims().0,
+        height: jump.video.dims().1,
+        frames: jump.video.len(),
+        seed: SEED,
+        scene: "default",
+    };
+
+    let pipeline = run_pipeline.then(|| {
+        run_pipeline_section(
+            &base,
+            &jump,
+            &scene,
+            repeats,
+            threads_requested,
+            threads_resolved,
+        )
+    });
+    let segmentation = run_segmentation.then(|| {
+        run_segmentation_section(&base, &jump, repeats, threads_requested, threads_resolved)
+    });
+
+    if let Some(p) = &pipeline {
+        let rows: Vec<Vec<String>> = p
+            .configs
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.to_owned(),
+                    c.threads.to_string(),
+                    if c.eq3_pruning { "on" } else { "off" }.to_owned(),
+                    if c.fitness_memo { "on" } else { "off" }.to_owned(),
+                    f1(c.segmentation_ms),
+                    f1(c.tracking_ms),
+                    f1(c.analyze_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "config",
+                "threads",
+                "prune",
+                "memo",
+                "segment ms",
+                "track ms",
+                "analyze ms",
+            ],
+            &rows,
+        );
+        println!(
+            "\nspeedup vs baseline-serial: segmentation {:.2}x, tracking {:.2}x, analyze {:.2}x",
+            p.speedup_segmentation, p.speedup_tracking, p.speedup_analyze
+        );
+        println!("(all configurations produced byte-identical analyses)\n");
+    }
+
+    if let Some(s) = &segmentation {
+        let rows: Vec<Vec<String>> = s
+            .configs
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.to_owned(),
+                    c.threads.to_string(),
+                    f1(c.extract_ms),
+                    f1(c.denoise_ms),
+                    f1(c.despot_ms),
+                    f1(c.deghost_ms),
+                    f1(c.fill_ms),
+                    f1(c.shadow_ms),
+                    f1(c.kernel_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "kernel", "threads", "extract", "denoise", "despot", "deghost", "fill", "shadow",
+                "total ms",
+            ],
+            &rows,
+        );
+        println!(
+            "\nstage-kernel speedup vs scalar reference: serial {:.2}x, streaming {:.2}x, best {:.2}x",
+            s.speedup_kernel_serial, s.speedup_kernel_streaming, s.speedup_kernel_best
+        );
+        println!(
+            "(shared background estimation: {:.1} ms, excluded; all engines produced \
+             byte-identical stage masks)",
+            s.background_ms
+        );
+    }
+
+    let report = BenchReport {
+        schema: "slj-perf-pipeline/2",
+        mode,
+        clip,
+        repeats,
+        host_threads: available_threads(),
+        pipeline,
+        segmentation,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serialise");
     std::fs::write(OUT_PATH, json + "\n").expect("write BENCH_pipeline.json");
     println!("\nwrote {OUT_PATH}");

@@ -1,0 +1,444 @@
+//! Scalar per-pixel reference segmentation — the live baseline for the
+//! `perf_pipeline --mode segmentation` speedup claim.
+//!
+//! Before the bit-packed kernels landed, every stage of the Section-2
+//! pipeline walked pixels one at a time and allocated a fresh mask, and
+//! the Eq. 1 shadow test re-converted the *background* pixel to HSV for
+//! every foreground pixel of every frame. This module keeps that
+//! implementation alive (on plain `Vec<bool>` planes, with per-pixel
+//! bounds-checked neighbour reads) so the benchmark measures the packed
+//! engine against a reproducible stand-in for the old code rather than
+//! against a number in a stale JSON file.
+//!
+//! The stage semantics are identical by construction and asserted
+//! byte-identical against [`FrameSegmenter`](slj_segment::FrameSegmenter)
+//! both in this module's tests and in the benchmark itself.
+
+use slj_imgproc::mask::Mask;
+use slj_segment::cleanup::HoleFillMode;
+use slj_segment::pipeline::PipelineConfig;
+use slj_segment::shadow::ShadowDetector;
+use slj_segment::StageTimings;
+use slj_video::Frame;
+use std::time::Instant;
+
+/// One frame's intermediates as plain boolean planes (row-major,
+/// `y * width + x`).
+#[derive(Debug, Clone)]
+pub struct ScalarStages {
+    /// Raw background subtraction.
+    pub raw: Vec<bool>,
+    /// After the 8-neighbour vote.
+    pub denoised: Vec<bool>,
+    /// After small-spot removal.
+    pub despotted: Vec<bool>,
+    /// After ghost suppression (equals `despotted` when disabled).
+    pub deghosted: Vec<bool>,
+    /// After hole filling.
+    pub filled: Vec<bool>,
+    /// The Eq. 1 shadow pixels.
+    pub shadow: Vec<bool>,
+    /// `filled` minus `shadow`.
+    pub final_mask: Vec<bool>,
+    /// Plane width, pixels.
+    pub width: usize,
+    /// Plane height, pixels.
+    pub height: usize,
+}
+
+impl ScalarStages {
+    /// Converts one plane to a [`Mask`] for comparison against the
+    /// packed pipeline.
+    pub fn to_mask(&self, plane: &[bool]) -> Mask {
+        Mask::from_fn(self.width, self.height, |x, y| plane[y * self.width + x])
+    }
+}
+
+/// The scalar segmentation engine: stage parameters plus the (plain,
+/// un-cached) background estimate.
+#[derive(Debug, Clone)]
+pub struct ScalarSegmenter {
+    config: PipelineConfig,
+    shadow: Option<ShadowDetector>,
+    background: Frame,
+}
+
+impl ScalarSegmenter {
+    /// Creates a scalar segmenter over the given background image.
+    pub fn new(config: &PipelineConfig, background: &Frame) -> Self {
+        ScalarSegmenter {
+            shadow: config.shadow.map(ShadowDetector::new),
+            config: config.clone(),
+            background: background.clone(),
+        }
+    }
+
+    /// Segments one frame, accumulating per-stage wall time into
+    /// `timings` (the same accumulator the packed engine fills, so the
+    /// bench compares like with like).
+    pub fn segment_timed(
+        &self,
+        frame: &Frame,
+        previous: Option<&Frame>,
+        timings: &mut StageTimings,
+    ) -> ScalarStages {
+        let (width, height) = frame.dims();
+        assert_eq!(frame.dims(), self.background.dims(), "dims");
+
+        let mut clock = Instant::now();
+        let mut lap = |slot: &mut std::time::Duration| {
+            let now = Instant::now();
+            *slot += now - clock;
+            clock = now;
+        };
+
+        let threshold = self.config.foreground.threshold;
+        let raw: Vec<bool> = (0..width * height)
+            .map(|i| {
+                let (x, y) = (i % width, i / width);
+                frame.get(x, y).l1_distance(self.background.get(x, y)) > threshold
+            })
+            .collect();
+        lap(&mut timings.extract);
+
+        let denoised = neighbor_vote(&raw, width, height, self.config.noise.neighbor_threshold);
+        lap(&mut timings.denoise);
+
+        let despotted = remove_small(&denoised, width, height, self.config.spots.min_area);
+        lap(&mut timings.despot);
+
+        let deghosted = match (&self.config.ghosts, previous) {
+            (Some(cfg), Some(prev)) => {
+                let labels = label8(&despotted, width, height);
+                let n = labels.iter().copied().max().unwrap_or(0) as usize;
+                let mut moving = vec![0usize; n + 1];
+                let mut total = vec![0usize; n + 1];
+                for i in 0..width * height {
+                    if despotted[i] {
+                        let (x, y) = (i % width, i / width);
+                        total[labels[i] as usize] += 1;
+                        if frame.get(x, y).l1_distance(prev.get(x, y)) > cfg.motion_threshold {
+                            moving[labels[i] as usize] += 1;
+                        }
+                    }
+                }
+                let ghost: Vec<bool> = (0..=n)
+                    .map(|l| {
+                        let fraction = if total[l] == 0 {
+                            0.0
+                        } else {
+                            moving[l] as f64 / total[l] as f64
+                        };
+                        fraction < cfg.min_moving_fraction
+                    })
+                    .collect();
+                despotted
+                    .iter()
+                    .zip(&labels)
+                    .map(|(&fg, &l)| fg && !ghost[l as usize])
+                    .collect()
+            }
+            _ => despotted.clone(),
+        };
+        lap(&mut timings.deghost);
+
+        let filled = match self.config.holes {
+            HoleFillMode::PaperRule { max_iters } => {
+                paper_fill(&deghosted, width, height, max_iters)
+            }
+            HoleFillMode::FloodFill => flood_fill(&deghosted, width, height),
+        };
+        lap(&mut timings.fill);
+
+        let (shadow, final_mask) = match &self.shadow {
+            Some(det) => {
+                // The PR-2 behaviour under measurement: both sides of
+                // Eq. 1 converted to HSV per pixel, per frame.
+                let shadow: Vec<bool> = (0..width * height)
+                    .map(|i| {
+                        let (x, y) = (i % width, i / width);
+                        filled[i]
+                            && det.is_shadow_pixel(
+                                frame.get(x, y).to_hsv(),
+                                self.background.get(x, y).to_hsv(),
+                            )
+                    })
+                    .collect();
+                let final_mask = filled.iter().zip(&shadow).map(|(&f, &s)| f && !s).collect();
+                (shadow, final_mask)
+            }
+            None => (vec![false; width * height], filled.clone()),
+        };
+        lap(&mut timings.shadow);
+
+        ScalarStages {
+            raw,
+            denoised,
+            despotted,
+            deghosted,
+            filled,
+            shadow,
+            final_mask,
+            width,
+            height,
+        }
+    }
+
+    /// Segments one frame without timing.
+    pub fn segment(&self, frame: &Frame, previous: Option<&Frame>) -> ScalarStages {
+        let mut scratch = StageTimings::default();
+        self.segment_timed(frame, previous, &mut scratch)
+    }
+}
+
+/// A foreground pixel survives when strictly more than `threshold` of
+/// its 8 neighbours are foreground; background never promotes.
+fn neighbor_vote(mask: &[bool], width: usize, height: usize, threshold: usize) -> Vec<bool> {
+    (0..width * height)
+        .map(|i| {
+            if !mask[i] {
+                return false;
+            }
+            let (x, y) = ((i % width) as isize, (i / width) as isize);
+            let mut votes = 0usize;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if (dx, dy) == (0, 0) {
+                        continue;
+                    }
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx >= 0
+                        && ny >= 0
+                        && (nx as usize) < width
+                        && (ny as usize) < height
+                        && mask[ny as usize * width + nx as usize]
+                    {
+                        votes += 1;
+                    }
+                }
+            }
+            votes > threshold
+        })
+        .collect()
+}
+
+/// 8-connected component labels, 0 = background, 1.. = components.
+fn label8(mask: &[bool], width: usize, height: usize) -> Vec<u32> {
+    let mut labels = vec![0u32; width * height];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..width * height {
+        if !mask[start] || labels[start] != 0 {
+            continue;
+        }
+        next += 1;
+        labels[start] = next;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let (x, y) = ((i % width) as isize, (i / width) as isize);
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx < 0 || ny < 0 || nx as usize >= width || ny as usize >= height {
+                        continue;
+                    }
+                    let j = ny as usize * width + nx as usize;
+                    if mask[j] && labels[j] == 0 {
+                        labels[j] = next;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Removes 8-connected components with area below `min_area`.
+fn remove_small(mask: &[bool], width: usize, height: usize, min_area: usize) -> Vec<bool> {
+    let labels = label8(mask, width, height);
+    let n = labels.iter().copied().max().unwrap_or(0) as usize;
+    let mut area = vec![0usize; n + 1];
+    for &l in &labels {
+        area[l as usize] += 1;
+    }
+    mask.iter()
+        .zip(&labels)
+        .map(|(&fg, &l)| fg && area[l as usize] >= min_area)
+        .collect()
+}
+
+/// The paper's rule — a background pixel whose four edge-neighbours are
+/// all foreground becomes foreground — iterated to fixpoint, at most
+/// `max_iters` times. Off-image neighbours count as background.
+fn paper_fill(mask: &[bool], width: usize, height: usize, max_iters: usize) -> Vec<bool> {
+    let mut current = mask.to_vec();
+    for _ in 0..max_iters {
+        let mut changed = false;
+        let next: Vec<bool> = (0..width * height)
+            .map(|i| {
+                if current[i] {
+                    return true;
+                }
+                let (x, y) = (i % width, i / width);
+                let fill = x > 0
+                    && x + 1 < width
+                    && y > 0
+                    && y + 1 < height
+                    && current[i - 1]
+                    && current[i + 1]
+                    && current[i - width]
+                    && current[i + width];
+                changed |= fill;
+                fill
+            })
+            .collect();
+        if !changed {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+/// Fills every background region not 4-connected to the image border.
+fn flood_fill(mask: &[bool], width: usize, height: usize) -> Vec<bool> {
+    let mut outside = vec![false; width * height];
+    let mut stack = Vec::new();
+    let seed = |i: usize, outside: &mut Vec<bool>, stack: &mut Vec<usize>| {
+        if !mask[i] && !outside[i] {
+            outside[i] = true;
+            stack.push(i);
+        }
+    };
+    for x in 0..width {
+        seed(x, &mut outside, &mut stack);
+        seed((height - 1) * width + x, &mut outside, &mut stack);
+    }
+    for y in 0..height {
+        seed(y * width, &mut outside, &mut stack);
+        seed(y * width + width - 1, &mut outside, &mut stack);
+    }
+    while let Some(i) = stack.pop() {
+        let (x, y) = (i % width, i / width);
+        if x > 0 {
+            seed(i - 1, &mut outside, &mut stack);
+        }
+        if x + 1 < width {
+            seed(i + 1, &mut outside, &mut stack);
+        }
+        if y > 0 {
+            seed(i - width, &mut outside, &mut stack);
+        }
+        if y + 1 < height {
+            seed(i + width, &mut outside, &mut stack);
+        }
+    }
+    outside.iter().map(|&o| !o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::JumpConfig;
+    use slj_segment::background::BackgroundEstimator;
+    use slj_segment::ghosts::GhostConfig;
+    use slj_segment::pipeline::FrameStages;
+    use slj_segment::{FrameSegmenter, PreparedBackground};
+    use slj_video::{SceneConfig, SyntheticJump};
+    use std::sync::Arc;
+
+    /// Byte-identity against the packed engine across every stage, with
+    /// ghosts on and both hole-fill modes.
+    #[test]
+    fn scalar_reference_matches_packed_engine() {
+        for holes in [
+            HoleFillMode::FloodFill,
+            HoleFillMode::PaperRule { max_iters: 8 },
+        ] {
+            let config = PipelineConfig {
+                ghosts: Some(GhostConfig::default()),
+                holes,
+                ..PipelineConfig::default()
+            };
+            let jump = SyntheticJump::generate(
+                &SceneConfig::default(),
+                &JumpConfig {
+                    frames: 6,
+                    ..JumpConfig::default()
+                },
+                13,
+            );
+            let background = BackgroundEstimator::new(config.background)
+                .estimate(&jump.video)
+                .unwrap();
+            let scalar = ScalarSegmenter::new(&config, &background.image);
+            let mut packed = FrameSegmenter::new(
+                &config,
+                Arc::new(PreparedBackground::new(&background.image)),
+            );
+            let frames = jump.video.frames();
+            let mut out = FrameStages::empty();
+            for (k, frame) in frames.iter().enumerate() {
+                let previous = k.checked_sub(1).map(|p| &frames[p]);
+                let s = scalar.segment(frame, previous);
+                packed.segment_into(frame, previous, &mut out).unwrap();
+                assert_eq!(s.to_mask(&s.raw), out.raw, "raw, frame {k}");
+                assert_eq!(s.to_mask(&s.denoised), out.denoised, "denoised, frame {k}");
+                assert_eq!(
+                    s.to_mask(&s.despotted),
+                    out.despotted,
+                    "despotted, frame {k}"
+                );
+                assert_eq!(
+                    s.to_mask(&s.deghosted),
+                    out.deghosted,
+                    "deghosted, frame {k}"
+                );
+                assert_eq!(s.to_mask(&s.filled), out.filled, "filled, frame {k}");
+                assert_eq!(s.to_mask(&s.shadow), out.shadow, "shadow, frame {k}");
+                assert_eq!(s.to_mask(&s.final_mask), out.final_mask, "final, frame {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn flood_fill_closes_wide_holes_but_not_border_bays() {
+        // 5x4: a ring with a 2-pixel hole, plus an open bay at the border.
+        let width = 5;
+        let height = 4;
+        #[rustfmt::skip]
+        let mask: Vec<bool> = [
+            1, 1, 1, 1, 0,
+            1, 0, 0, 1, 0,
+            1, 0, 0, 1, 0,
+            1, 1, 1, 1, 0,
+        ]
+        .iter()
+        .map(|&v| v == 1)
+        .collect();
+        let filled = flood_fill(&mask, width, height);
+        assert!(filled[width + 1] && filled[width + 2], "hole filled");
+        assert!(!filled[4], "border column stays background");
+    }
+
+    #[test]
+    fn paper_fill_closes_pinhole_only() {
+        let width = 5;
+        let height = 5;
+        #[rustfmt::skip]
+        let mask: Vec<bool> = [
+            0, 0, 1, 0, 0,
+            0, 1, 0, 1, 0,
+            0, 0, 1, 0, 0,
+            0, 0, 0, 0, 0,
+            0, 0, 0, 0, 0,
+        ]
+        .iter()
+        .map(|&v| v == 1)
+        .collect();
+        let filled = paper_fill(&mask, width, height, 8);
+        assert!(filled[width + 2], "pinhole filled");
+        assert_eq!(filled.iter().filter(|&&v| v).count(), 5);
+    }
+}

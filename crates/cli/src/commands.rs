@@ -94,8 +94,9 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             "inject-faults",
             "max-degraded",
             "threads",
+            "warmup",
         ],
-        &["fast", "paper", "half-res", "best-effort"],
+        &["fast", "paper", "half-res", "best-effort", "stream"],
     )?;
     let clip_dir = flags.required("clip")?.to_owned();
     // Worker threads for segmentation and GA fitness evaluation.
@@ -113,6 +114,18 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     if flags.value("max-degraded").is_some() && !flags.switch("best-effort") {
         return Err(CliError::Usage(
             "--max-degraded only makes sense with --best-effort".into(),
+        ));
+    }
+    if flags.value("warmup").is_some() && !flags.switch("stream") {
+        return Err(CliError::Usage(
+            "--warmup only makes sense with --stream".into(),
+        ));
+    }
+    if flags.switch("stream") && flags.value("report-md").is_some() {
+        return Err(CliError::Usage(
+            "--report-md needs the retained stage masks, which a streaming \
+             run never holds; drop --stream or --report-md"
+                .into(),
         ));
     }
     // Validate the fault spec before touching the disk so a typo fails
@@ -169,22 +182,63 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         };
     }
 
-    let report = JumpAnalyzer::new(config).analyze(&video, &camera, truth.first_pose)?;
+    // `--stream` analyses frame by frame through the O(1)-memory
+    // streaming front end; results are byte-identical to a batch run of
+    // the same (streamable) configuration. Batch keeps the full report
+    // around for the markdown renderer, which needs the stage masks a
+    // streaming run never retains.
+    let mut full_report = None;
+    let analysis = if flags.switch("stream") {
+        let warmup: usize = flags.get_or("warmup", slj::DEFAULT_WARMUP_FRAMES)?;
+        let mut stream = StreamingAnalyzer::new(
+            config.into_streaming(warmup),
+            &camera,
+            truth.first_pose,
+            video.fps(),
+        )?;
+        let mut live_at = None;
+        for frame in video.iter() {
+            let update = stream.push_frame(frame)?;
+            if live_at.is_none() && !update.completed.is_empty() {
+                live_at = Some(update.frame);
+                writeln!(
+                    out,
+                    "streaming: background locked after {} frames; {} buffered frames analysed",
+                    update.frame + 1,
+                    update.completed.len()
+                )?;
+            }
+        }
+        if live_at.is_none() {
+            writeln!(
+                out,
+                "streaming: clip ended inside the {warmup}-frame warmup window; \
+                 analysing the {} buffered frames now",
+                stream.frames_pushed()
+            )?;
+        }
+        stream.finish()?
+    } else {
+        let report = JumpAnalyzer::new(config).analyze(&video, &camera, truth.first_pose)?;
+        let analysis = report.to_analysis();
+        full_report = Some(report);
+        analysis
+    };
 
-    writeln!(out, "{}", report.score)?;
-    for (standard, advice) in report.score.advice() {
+    writeln!(out, "{}", analysis.score)?;
+    for (standard, advice) in analysis.score.advice() {
         writeln!(out, "{standard}\n  -> {advice}")?;
     }
     // Per-frame rule traces as sparklines (window frames solid, others
     // dimmed).
-    if let Ok(traces) = slj_score::RuleTrace::all(&report.poses) {
+    if let Ok(traces) = slj_score::RuleTrace::all(&analysis.poses) {
         writeln!(out, "\nrule traces:")?;
         for t in traces {
             writeln!(out, "  {t}")?;
         }
     }
     // Phase timeline: one letter per frame.
-    let phases = slj_motion::classify_phases(&report.poses, &truth.dims);
+    let phases = slj_motion::classify_phases(&analysis.poses, &truth.dims);
     let timeline: String = phases
         .iter()
         .map(|p| match p {
@@ -200,11 +254,11 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
     // Frame health: confidence timeline plus per-frame detail for
     // anything below the degraded floor.
-    let summary = report.summary();
+    let summary = analysis.summary();
     writeln!(
         out,
         "frame health:   {} (# clean, + minor, ~ shaky, ! degraded; mean confidence {:.2})",
-        slj::health_timeline(&report.health),
+        slj::health_timeline(&analysis.health),
         summary.mean_confidence
     )?;
     if !summary.degraded_frames.is_empty() {
@@ -215,7 +269,7 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         )?;
     }
 
-    match slj::measure_jump(&report.poses, &truth.dims) {
+    match slj::measure_jump(&analysis.poses, &truth.dims) {
         Ok(m) => writeln!(
             out,
             "measured jump: {:.2} m (takeoff frame {}, landing frame {}, {} airborne frames)",
@@ -226,13 +280,13 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
     // Accuracy against ground truth (available for synthetic clips).
     let mut angle_err = 0.0;
-    for (est, gt) in report.poses.poses().iter().zip(truth.poses.poses()) {
+    for (est, gt) in analysis.poses.poses().iter().zip(truth.poses.poses()) {
         angle_err += est.error_against(gt).mean_angle_error();
     }
     writeln!(
         out,
         "vs ground truth: mean joint-angle error {:.1} deg",
-        angle_err / report.poses.len().max(1) as f64
+        angle_err / analysis.poses.len().max(1) as f64
     )?;
 
     if let Some(path) = flags.value("report") {
@@ -241,7 +295,10 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         writeln!(out, "summary written to {path}")?;
     }
     if let Some(path) = flags.value("report-md") {
-        std::fs::write(path, slj::markdown_report(&report, &truth.dims))?;
+        let report = full_report
+            .as_ref()
+            .expect("--report-md with --stream is rejected at flag validation");
+        std::fs::write(path, slj::markdown_report(report, &truth.dims))?;
         writeln!(out, "markdown report written to {path}")?;
     }
     Ok(())

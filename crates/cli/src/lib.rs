@@ -38,6 +38,7 @@ USAGE:
   slj analyze --clip DIR [--report FILE.json] [--report-md FILE.md]
               [--fast | --paper] [--half-res] [--threads N|auto|serial]
               [--best-effort [--max-degraded N]] [--inject-faults SPEC]
+              [--stream [--warmup N]]
   slj score   --clip DIR
   slj flaws
   slj help
@@ -50,7 +51,11 @@ COMMANDS:
              'drop=0.1,dup=0.05,flicker=0.08,burst=2:3:40,jitter=2,bars=1,seed=9';
              --threads sets worker threads for segmentation and GA
              fitness evaluation — default auto = one per core; results
-             are bit-identical at any thread count)
+             are bit-identical at any thread count;
+             --stream analyses frame by frame in O(1) memory — the
+             background comes from the first --warmup frames (default
+             14) and results are byte-identical to a batch run of the
+             same streamable configuration)
   score     score a clip's ground-truth poses (no vision)
   flaws     list the injectable technique faults
 ";

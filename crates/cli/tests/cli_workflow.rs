@@ -208,6 +208,55 @@ fn analyze_threads_flag_parses_and_produces_identical_output() {
 }
 
 #[test]
+fn analyze_stream_reports_warmup_and_scores() {
+    let dir = temp_clip("stream");
+    invoke(&format!(
+        "synth --out {} --seed 14 --compact --clean",
+        dir.display()
+    ))
+    .unwrap();
+    let text = invoke(&format!("analyze --clip {} --fast --stream", dir.display())).unwrap();
+    assert!(text.contains("background locked after 14 frames"), "{text}");
+    assert!(text.contains("Score:"), "{text}");
+    assert!(text.contains("frame health:"), "{text}");
+    // A custom warmup window moves the lock point. A window this short
+    // degrades some early frames (the jumper is still part of the
+    // background estimate), so tolerate them.
+    let text = invoke(&format!(
+        "analyze --clip {} --fast --stream --warmup 6 --best-effort --max-degraded 20",
+        dir.display()
+    ))
+    .unwrap();
+    assert!(text.contains("background locked after 6 frames"), "{text}");
+    // The JSON summary works in streaming mode too.
+    let report_path = dir.join("stream_report.json");
+    invoke(&format!(
+        "analyze --clip {} --fast --stream --report {}",
+        dir.display(),
+        report_path.display()
+    ))
+    .unwrap();
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    let summary: slj::AnalysisSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(summary.frames, 20);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_stream_flags_are_validated() {
+    let err = invoke("analyze --clip nowhere --warmup 10").unwrap_err();
+    assert!(
+        err.to_string().contains("--stream"),
+        "--warmup without --stream should explain itself: {err}"
+    );
+    let err = invoke("analyze --clip nowhere --stream --report-md out.md").unwrap_err();
+    assert!(
+        matches!(err, CliError::Usage(_)) && err.to_string().contains("stage masks"),
+        "--stream with --report-md should explain itself: {err}"
+    );
+}
+
+#[test]
 fn analyze_rejects_conflicting_modes_and_missing_clip() {
     let err = invoke("analyze --clip nowhere --fast --paper").unwrap_err();
     assert!(matches!(err, CliError::Usage(_)));

@@ -50,4 +50,6 @@ pub use error::GaError;
 pub use fitness::SilhouetteFitness;
 pub use particle::{ParticleFilter, ParticleFilterConfig, ParticleRun};
 pub use pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
-pub use tracker::{RecoveryAction, RecoveryPolicy, TemporalTracker, TrackResult, TrackerConfig};
+pub use tracker::{
+    RecoveryAction, RecoveryPolicy, TemporalTracker, TrackResult, TrackerConfig, TrackerStream,
+};

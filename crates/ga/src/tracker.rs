@@ -292,6 +292,9 @@ impl TemporalTracker {
     /// with the seed pose that no valid chromosome exists — carry the
     /// previous estimate forward and are flagged `carried_over`.
     ///
+    /// Implemented as a loop over [`TrackerStream::push`], so batch and
+    /// incremental tracking are identical by construction.
+    ///
     /// # Errors
     ///
     /// * [`GaError::NoFrames`] when `silhouettes` is empty.
@@ -306,41 +309,27 @@ impl TemporalTracker {
         if silhouettes.is_empty() {
             return Err(GaError::NoFrames);
         }
+        let mut stream = self.stream(first_pose, dims, camera);
         let mut frames = Vec::with_capacity(silhouettes.len());
-
-        // Frame 0: the provided (hand-drawn) pose, evaluated for the
-        // record.
-        let first_fitness = match crate::fitness::SilhouetteFitness::new(
-            &silhouettes[0],
-            dims,
-            camera,
-            self.config.problem.stride,
-        ) {
-            Ok(f) => f.evaluate(&first_pose, dims),
-            Err(GaError::EmptySilhouette) => f64::INFINITY,
-            Err(e) => return Err(e),
-        };
-        frames.push(TrackResult {
-            pose: first_pose,
-            fitness: first_fitness,
-            generation_of_best: 0,
-            generations_run: 0,
-            generations_to_near_best: 0,
-            evaluations: 1,
-            carried_over: false,
-            recovery: RecoveryAction::None,
-            history: Vec::new(),
-        });
-
-        let mut previous = first_pose;
-        for (k, sil) in silhouettes.iter().enumerate().skip(1) {
-            let result = self.estimate_frame(k, sil, previous, dims, camera)?;
-            if !result.carried_over {
-                previous = result.pose;
-            }
-            frames.push(result);
+        for sil in silhouettes {
+            frames.push(stream.push(sil)?);
         }
         Ok(TrackingRun { frames })
+    }
+
+    /// Starts incremental tracking: silhouettes are then fed one at a
+    /// time through [`TrackerStream::push`]. The first pushed frame is
+    /// described by `first_pose` (the hand-drawn model), exactly as in
+    /// [`TemporalTracker::track`].
+    pub fn stream(&self, first_pose: Pose, dims: &BodyDims, camera: &Camera) -> TrackerStream {
+        TrackerStream {
+            tracker: self.clone(),
+            first_pose,
+            dims: dims.clone(),
+            camera: *camera,
+            previous: first_pose,
+            next_frame: 0,
+        }
     }
 
     /// Estimates one frame, climbing the recovery ladder as needed.
@@ -485,6 +474,86 @@ impl TemporalTracker {
     }
 }
 
+/// Incremental tracking state: one frame estimated per
+/// [`push`](TrackerStream::push), in arrival order.
+///
+/// This is the sequential core of [`TemporalTracker::track`] with the
+/// loop inverted — the tracker only ever needs the previous accepted
+/// pose and the frame counter, so a streaming caller holds O(1) state
+/// regardless of clip length, and the batch path is literally a loop
+/// over `push` (identical results by construction, not by test alone —
+/// though it is tested too).
+#[derive(Debug, Clone)]
+pub struct TrackerStream {
+    tracker: TemporalTracker,
+    first_pose: Pose,
+    dims: BodyDims,
+    camera: Camera,
+    /// Seed for the next frame: the last non-carried estimate.
+    previous: Pose,
+    next_frame: usize,
+}
+
+impl TrackerStream {
+    /// Estimates the pose for the next frame's silhouette.
+    ///
+    /// The first push evaluates the hand-drawn `first_pose` for the
+    /// record (the paper's manual initialisation); every later push
+    /// runs the temporally-seeded GA with the recovery ladder, seeding
+    /// from the last non-carried estimate.
+    ///
+    /// # Errors
+    ///
+    /// * [`GaError::BadConfig`] for invalid configuration.
+    pub fn push(&mut self, sil: &Mask) -> Result<TrackResult, GaError> {
+        let k = self.next_frame;
+        let result = if k == 0 {
+            // Frame 0: the provided (hand-drawn) pose, evaluated for
+            // the record.
+            let fitness = match SilhouetteFitness::new(
+                sil,
+                &self.dims,
+                &self.camera,
+                self.tracker.config.problem.stride,
+            ) {
+                Ok(f) => f.evaluate(&self.first_pose, &self.dims),
+                Err(GaError::EmptySilhouette) => f64::INFINITY,
+                Err(e) => return Err(e),
+            };
+            TrackResult {
+                pose: self.first_pose,
+                fitness,
+                generation_of_best: 0,
+                generations_run: 0,
+                generations_to_near_best: 0,
+                evaluations: 1,
+                carried_over: false,
+                recovery: RecoveryAction::None,
+                history: Vec::new(),
+            }
+        } else {
+            self.tracker
+                .estimate_frame(k, sil, self.previous, &self.dims, &self.camera)?
+        };
+        self.next_frame = k + 1;
+        if !result.carried_over {
+            self.previous = result.pose;
+        }
+        Ok(result)
+    }
+
+    /// Frames pushed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.next_frame
+    }
+
+    /// The seed pose the next frame will start from: the last
+    /// non-carried estimate (the first pose before any push).
+    pub fn previous_pose(&self) -> &Pose {
+        &self.previous
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +615,28 @@ mod tests {
         assert_eq!(run.frames[2].pose.to_genes(), run.frames[1].pose.to_genes());
         // Tracking resumes afterwards.
         assert!(!run.frames[3].carried_over);
+    }
+
+    #[test]
+    fn stream_push_matches_batch_track() {
+        // `track` is a loop over `push`, so this can only fail if the
+        // stream mismanages its own state (previous pose or counter).
+        let (mut sils, truth, dims, camera) = jump_silhouettes(5);
+        sils[2] = Mask::new(camera.width, camera.height); // exercise carry-over
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let batch = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        let mut stream = tracker.stream(truth[0], &dims, &camera);
+        assert_eq!(stream.frames_pushed(), 0);
+        for (k, sil) in sils.iter().enumerate() {
+            let result = stream.push(sil).unwrap();
+            assert_eq!(result, batch.frames[k], "frame {k}");
+        }
+        assert_eq!(stream.frames_pushed(), sils.len());
+        // The stream's seed pose is the last non-carried estimate.
+        assert_eq!(
+            stream.previous_pose().to_genes(),
+            batch.frames[4].pose.to_genes()
+        );
     }
 
     #[test]

@@ -1,0 +1,677 @@
+//! Bit-packed binary-image storage: one `u64` word per 64 pixels.
+//!
+//! [`BitMask`] is the storage substrate behind [`crate::mask::Mask`].
+//! Rows are padded to a whole number of words (`words_per_row`), bit `b`
+//! of word `j` in row `y` is pixel `(j * 64 + b, y)`, and the *tail
+//! invariant* keeps every bit at `x >= width` zero so that word-parallel
+//! kernels can treat out-of-bounds neighbours as background for free.
+//!
+//! On top of the packed layout this module implements the pipeline's
+//! per-pixel hot loops as word-parallel kernels:
+//!
+//! - set algebra (`union_into` & co.): one boolean op per 64 pixels;
+//! - the 8/4-neighbour vote (`neighbor_filter_into`, `erode_into`, …):
+//!   shifted-word neighbour planes summed with a bit-sliced half-adder
+//!   network into four count planes, compared against the threshold with
+//!   a bitwise magnitude comparator;
+//! - the paper's Step-4 pinhole rule (`fill_paper_rule_into`): the
+//!   four-neighbour AND of shifted words;
+//! - enclosed-hole filling (`fill_enclosed_holes_into`): border-seeded
+//!   flood fill run as alternating top-down/bottom-up sweeps with a
+//!   Kogge–Stone horizontal smear inside each row, iterated to fixpoint.
+//!
+//! Every kernel writes into caller-provided buffers (`*_into`), so the
+//! steady-state segmentation path performs no heap allocation; the
+//! allocating convenience wrappers live on `Mask`.
+
+/// A bit-packed binary image; bit set = foreground.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BitMask {
+    width: usize,
+    height: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl Clone for BitMask {
+    fn clone(&self) -> Self {
+        BitMask {
+            width: self.width,
+            height: self.height,
+            words_per_row: self.words_per_row,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses the existing word buffer when its capacity suffices, so
+    /// arena-held masks can be refreshed without allocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.width = source.width;
+        self.height = source.height;
+        self.words_per_row = source.words_per_row;
+        self.words.clear();
+        self.words.extend_from_slice(&source.words);
+    }
+}
+
+/// Mask of the valid bits in the last word of a row.
+#[inline]
+fn tail_mask(width: usize) -> u64 {
+    let rem = width & 63;
+    if rem == 0 {
+        !0
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// The value of each pixel's west neighbour (`x - 1`), aligned to `x`.
+#[inline]
+fn shift_west(row: &[u64], j: usize) -> u64 {
+    (row[j] << 1) | if j > 0 { row[j - 1] >> 63 } else { 0 }
+}
+
+/// The value of each pixel's east neighbour (`x + 1`), aligned to `x`.
+#[inline]
+fn shift_east(row: &[u64], j: usize) -> u64 {
+    (row[j] >> 1)
+        | if j + 1 < row.len() {
+            row[j + 1] << 63
+        } else {
+            0
+        }
+}
+
+/// Adds a one-bit plane into a 4-plane bit-sliced counter (max value 8).
+#[inline]
+fn add_plane(c: &mut [u64; 4], mut a: u64) {
+    for plane in c.iter_mut() {
+        if a == 0 {
+            return;
+        }
+        let carry = *plane & a;
+        *plane ^= a;
+        a = carry;
+    }
+}
+
+/// Bits where the 4-bit sliced counter is strictly greater than `k`.
+#[inline]
+fn count_gt(c: &[u64; 4], k: usize) -> u64 {
+    if k >= 8 {
+        return 0;
+    }
+    let mut gt = 0u64;
+    let mut eq = !0u64;
+    for i in (0..4).rev() {
+        let kb = if (k >> i) & 1 == 1 { !0u64 } else { 0 };
+        gt |= eq & c[i] & !kb;
+        eq &= !(c[i] ^ kb);
+    }
+    gt
+}
+
+/// Bits where the 4-bit sliced counter equals `k`.
+#[inline]
+fn count_eq(c: &[u64; 4], k: usize) -> u64 {
+    if k > 8 {
+        return 0;
+    }
+    let mut eq = !0u64;
+    for (i, &plane) in c.iter().enumerate() {
+        let kb = if (k >> i) & 1 == 1 { !0u64 } else { 0 };
+        eq &= !(plane ^ kb);
+    }
+    eq
+}
+
+/// Smears the set bits of `out` horizontally through the propagator
+/// `allow` (both directions, Kogge–Stone inside each word, sequential
+/// carries across words). Returns whether anything changed.
+fn smear_row(out: &mut [u64], allow: &[u64]) -> bool {
+    let n = out.len();
+    let mut changed = false;
+    // West → east.
+    let mut carry = 0u64;
+    for j in 0..n {
+        let t = allow[j];
+        let mut v = out[j] | (carry & t);
+        let mut m = t;
+        v |= m & (v << 1);
+        m &= m << 1;
+        v |= m & (v << 2);
+        m &= m << 2;
+        v |= m & (v << 4);
+        m &= m << 4;
+        v |= m & (v << 8);
+        m &= m << 8;
+        v |= m & (v << 16);
+        m &= m << 16;
+        v |= m & (v << 32);
+        if v != out[j] {
+            out[j] = v;
+            changed = true;
+        }
+        carry = v >> 63;
+    }
+    // East → west.
+    let mut carry = 0u64;
+    for j in (0..n).rev() {
+        let t = allow[j];
+        let mut v = out[j] | (carry & t);
+        let mut m = t;
+        v |= m & (v >> 1);
+        m &= m >> 1;
+        v |= m & (v >> 2);
+        m &= m >> 2;
+        v |= m & (v >> 4);
+        m &= m >> 4;
+        v |= m & (v >> 8);
+        m &= m >> 8;
+        v |= m & (v >> 16);
+        m &= m >> 16;
+        v |= m & (v >> 32);
+        if v != out[j] {
+            out[j] = v;
+            changed = true;
+        }
+        carry = (v & 1) << 63;
+    }
+    changed
+}
+
+impl BitMask {
+    /// Creates an all-background mask.
+    pub fn new(width: usize, height: usize) -> Self {
+        let words_per_row = width.div_ceil(64);
+        BitMask {
+            width,
+            height,
+            words_per_row,
+            words: vec![0; words_per_row * height],
+        }
+    }
+
+    /// Creates a mask filled with `value`.
+    pub fn filled(width: usize, height: usize, value: bool) -> Self {
+        let mut m = BitMask::new(width, height);
+        m.fill(value);
+        m
+    }
+
+    /// Mask width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of `u64` words storing each row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The full word buffer, row-major.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The words of row `y`.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u64] {
+        &self.words[y * self.words_per_row..(y + 1) * self.words_per_row]
+    }
+
+    /// Mutable words of row `y`. Callers must preserve the tail
+    /// invariant (bits at `x >= width` stay zero).
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [u64] {
+        &mut self.words[y * self.words_per_row..(y + 1) * self.words_per_row]
+    }
+
+    /// Whether `(x, y)` lies inside the mask.
+    #[inline]
+    pub fn in_bounds(&self, x: usize, y: usize) -> bool {
+        x < self.width && y < self.height
+    }
+
+    /// Reads a pixel; out-of-bounds coordinates read as background.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if self.in_bounds(x, y) {
+            (self.words[y * self.words_per_row + (x >> 6)] >> (x & 63)) & 1 == 1
+        } else {
+            false
+        }
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(
+            self.in_bounds(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} mask",
+            self.width,
+            self.height
+        );
+        let w = &mut self.words[y * self.words_per_row + (x >> 6)];
+        let bit = 1u64 << (x & 63);
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Number of foreground pixels (a word-parallel popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the mask has no foreground pixels.
+    pub fn is_blank(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets every pixel to `value`.
+    pub fn fill(&mut self, value: bool) {
+        if value {
+            self.words.fill(!0);
+            self.clear_tails();
+        } else {
+            self.words.fill(0);
+        }
+    }
+
+    /// Reshapes to `width x height` and clears to background. Allocates
+    /// only when the new size exceeds the buffer's current capacity.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.words_per_row = width.div_ceil(64);
+        let n = self.words_per_row * height;
+        self.words.clear();
+        self.words.resize(n, 0);
+    }
+
+    /// Re-establishes the tail invariant after raw word writes.
+    pub fn clear_tails(&mut self) {
+        if self.words_per_row == 0 {
+            return;
+        }
+        let tail = tail_mask(self.width);
+        if tail == !0 {
+            return;
+        }
+        let wpr = self.words_per_row;
+        for y in 0..self.height {
+            self.words[y * wpr + wpr - 1] &= tail;
+        }
+    }
+
+    /// Iterates the coordinates of set pixels in row-major order.
+    pub fn set_bits(&self) -> SetBits<'_> {
+        SetBits {
+            mask: self,
+            word_idx: 0,
+            current: 0,
+        }
+    }
+
+    fn check_dims(&self, other: &BitMask) -> bool {
+        self.dims() == other.dims()
+    }
+
+    fn combine_into(&self, other: &BitMask, out: &mut BitMask, f: impl Fn(u64, u64) -> u64) {
+        debug_assert!(self.check_dims(other));
+        out.reset(self.width, self.height);
+        for ((o, &a), &b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = f(a, b);
+        }
+        out.clear_tails();
+    }
+
+    /// `self | other` into `out` (dims must match).
+    pub fn union_into(&self, other: &BitMask, out: &mut BitMask) {
+        self.combine_into(other, out, |a, b| a | b);
+    }
+
+    /// `self & other` into `out` (dims must match).
+    pub fn intersect_into(&self, other: &BitMask, out: &mut BitMask) {
+        self.combine_into(other, out, |a, b| a & b);
+    }
+
+    /// `self & !other` into `out` (dims must match).
+    pub fn difference_into(&self, other: &BitMask, out: &mut BitMask) {
+        self.combine_into(other, out, |a, b| a & !b);
+    }
+
+    /// `!self` into `out`.
+    pub fn invert_into(&self, out: &mut BitMask) {
+        out.reset(self.width, self.height);
+        for (o, &a) in out.words.iter_mut().zip(&self.words) {
+            *o = !a;
+        }
+        out.clear_tails();
+    }
+
+    /// Runs the neighbour-counting network and maps every word through
+    /// `f(self_word, count_planes)`; the result is tail-masked.
+    fn neighbor_map_into(&self, eight: bool, out: &mut BitMask, f: impl Fn(u64, &[u64; 4]) -> u64) {
+        out.reset(self.width, self.height);
+        let wpr = self.words_per_row;
+        if wpr == 0 || self.height == 0 {
+            return;
+        }
+        let tail = tail_mask(self.width);
+        for y in 0..self.height {
+            let above = (y > 0).then(|| self.row(y - 1));
+            let below = (y + 1 < self.height).then(|| self.row(y + 1));
+            let cur = self.row(y);
+            for j in 0..wpr {
+                let mut c = [0u64; 4];
+                add_plane(&mut c, shift_west(cur, j));
+                add_plane(&mut c, shift_east(cur, j));
+                if let Some(a) = above {
+                    add_plane(&mut c, a[j]);
+                    if eight {
+                        add_plane(&mut c, shift_west(a, j));
+                        add_plane(&mut c, shift_east(a, j));
+                    }
+                }
+                if let Some(b) = below {
+                    add_plane(&mut c, b[j]);
+                    if eight {
+                        add_plane(&mut c, shift_west(b, j));
+                        add_plane(&mut c, shift_east(b, j));
+                    }
+                }
+                let mut v = f(cur[j], &c);
+                if j == wpr - 1 {
+                    v &= tail;
+                }
+                self::row_store(out, y, j, v);
+            }
+        }
+    }
+
+    /// The paper's Step-3 vote: foreground survives only when strictly
+    /// more than `threshold` of its 8 neighbours are foreground.
+    pub fn neighbor_filter_into(&self, threshold: usize, out: &mut BitMask) {
+        self.neighbor_map_into(true, out, |s, c| s & count_gt(c, threshold));
+    }
+
+    /// Morphological erosion (neighbourhood must be all-foreground).
+    pub fn erode_into(&self, eight: bool, out: &mut BitMask) {
+        let n = if eight { 8 } else { 4 };
+        self.neighbor_map_into(eight, out, |s, c| s & count_eq(c, n));
+    }
+
+    /// Morphological dilation (any foreground neighbour promotes).
+    pub fn dilate_into(&self, eight: bool, out: &mut BitMask) {
+        self.neighbor_map_into(eight, out, |s, c| s | count_gt(c, 0));
+    }
+
+    /// Foreground pixels with at least one background 8-neighbour.
+    pub fn boundary_into(&self, out: &mut BitMask) {
+        self.neighbor_map_into(true, out, |s, c| s & !count_eq(c, 8));
+    }
+
+    /// One application of the paper's Step-4 rule: background pixels
+    /// whose four edge-neighbours are all foreground become foreground.
+    pub fn fill_paper_rule_into(&self, out: &mut BitMask) {
+        out.reset(self.width, self.height);
+        let wpr = self.words_per_row;
+        if wpr == 0 || self.height == 0 {
+            return;
+        }
+        let tail = tail_mask(self.width);
+        for y in 0..self.height {
+            let north = (y > 0).then(|| self.row(y - 1));
+            let south = (y + 1 < self.height).then(|| self.row(y + 1));
+            let cur = self.row(y);
+            for j in 0..wpr {
+                let n = north.map_or(0, |r| r[j]);
+                let s = south.map_or(0, |r| r[j]);
+                let w = shift_west(cur, j);
+                let e = shift_east(cur, j);
+                let mut v = cur[j] | (n & s & w & e);
+                if j == wpr - 1 {
+                    v &= tail;
+                }
+                self::row_store(out, y, j, v);
+            }
+        }
+    }
+
+    /// Iterates [`BitMask::fill_paper_rule_into`] to a fixpoint or
+    /// `max_iters` applications, leaving the result in `out` and using
+    /// `tmp` as the ping-pong buffer. Returns the number of iterations
+    /// actually applied (matching `fill_holes_iterated`).
+    pub fn fill_paper_rule_iterated_into(
+        &self,
+        max_iters: usize,
+        out: &mut BitMask,
+        tmp: &mut BitMask,
+    ) -> usize {
+        out.clone_from(self);
+        for i in 0..max_iters {
+            out.fill_paper_rule_into(tmp);
+            if tmp == out {
+                return i;
+            }
+            std::mem::swap(out, tmp);
+        }
+        max_iters
+    }
+
+    /// Fills every background region not 4-connected to the image border
+    /// into `out`. `scratch` holds the background plane; its capacity is
+    /// reused across calls.
+    pub fn fill_enclosed_holes_into(&self, out: &mut BitMask, scratch: &mut Vec<u64>) {
+        let (w, h) = self.dims();
+        out.clone_from(self);
+        if w == 0 || h == 0 {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let tail = tail_mask(w);
+        // Background plane (tail-masked complement of the mask).
+        scratch.clear();
+        scratch.extend(self.words.iter().map(|&x| !x));
+        for y in 0..h {
+            scratch[y * wpr + wpr - 1] &= tail;
+        }
+        // `out` doubles as the `outside` plane during propagation: seed
+        // it with every border background pixel.
+        out.words.fill(0);
+        let first_bit = 1u64;
+        let last_word = wpr - 1;
+        let last_bit = 1u64 << ((w - 1) & 63);
+        for y in 0..h {
+            let bg = &scratch[y * wpr..(y + 1) * wpr];
+            let row = &mut out.words[y * wpr..(y + 1) * wpr];
+            if y == 0 || y == h - 1 {
+                row.copy_from_slice(bg);
+            } else {
+                row[0] |= bg[0] & first_bit;
+                row[last_word] |= bg[last_word] & last_bit;
+            }
+        }
+        // Alternating top-down / bottom-up sweeps; each sweep ORs in the
+        // vertically adjacent row then smears horizontally through the
+        // background, until a full round changes nothing.
+        loop {
+            let mut changed = false;
+            for y in 0..h {
+                if y > 0 {
+                    let (prev, cur) = out.words.split_at_mut(y * wpr);
+                    let above = &prev[(y - 1) * wpr..y * wpr];
+                    let row = &mut cur[..wpr];
+                    let bg = &scratch[y * wpr..(y + 1) * wpr];
+                    for j in 0..wpr {
+                        let add = above[j] & bg[j] & !row[j];
+                        if add != 0 {
+                            row[j] |= add;
+                            changed = true;
+                        }
+                    }
+                }
+                {
+                    let row = &mut out.words[y * wpr..(y + 1) * wpr];
+                    let bg = &scratch[y * wpr..(y + 1) * wpr];
+                    changed |= smear_row(row, bg);
+                }
+            }
+            for y in (0..h).rev() {
+                if y + 1 < h {
+                    let (cur, next) = out.words.split_at_mut((y + 1) * wpr);
+                    let below = &next[..wpr];
+                    let row = &mut cur[y * wpr..];
+                    let bg = &scratch[y * wpr..(y + 1) * wpr];
+                    for j in 0..wpr {
+                        let add = below[j] & bg[j] & !row[j];
+                        if add != 0 {
+                            row[j] |= add;
+                            changed = true;
+                        }
+                    }
+                }
+                {
+                    let row = &mut out.words[y * wpr..(y + 1) * wpr];
+                    let bg = &scratch[y * wpr..(y + 1) * wpr];
+                    changed |= smear_row(row, bg);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Holes are everything that is neither foreground nor outside:
+        // result = self | (bg & !outside) = !outside (tail-masked).
+        for o in out.words.iter_mut() {
+            *o = !*o;
+        }
+        out.clear_tails();
+    }
+}
+
+/// Stores a word into `out` row `y`, word `j` (free fn to sidestep the
+/// borrow of `self` held by the kernel loops).
+#[inline]
+fn row_store(out: &mut BitMask, y: usize, j: usize, v: u64) {
+    let wpr = out.words_per_row;
+    out.words[y * wpr + j] = v;
+}
+
+/// Iterator over the set pixels of a [`BitMask`], row-major.
+pub struct SetBits<'a> {
+    mask: &'a BitMask,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        loop {
+            if self.current != 0 {
+                let b = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let wi = self.word_idx - 1;
+                let wpr = self.mask.words_per_row;
+                return Some(((wi % wpr) * 64 + b, wi / wpr));
+            }
+            if self.word_idx >= self.mask.words.len() {
+                return None;
+            }
+            self.current = self.mask.words[self.word_idx];
+            self.word_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_invariant_on_fill_and_reset() {
+        let mut m = BitMask::filled(70, 3, true);
+        assert_eq!(m.count(), 210);
+        assert!(!m.get(70, 0));
+        m.reset(5, 2);
+        assert_eq!(m.dims(), (5, 2));
+        assert!(m.is_blank());
+    }
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundary() {
+        let mut m = BitMask::new(130, 2);
+        for &(x, y) in &[(0, 0), (63, 0), (64, 0), (127, 1), (128, 1), (129, 1)] {
+            m.set(x, y, true);
+            assert!(m.get(x, y), "({x},{y})");
+        }
+        assert_eq!(m.count(), 6);
+        m.set(64, 0, false);
+        assert!(!m.get(64, 0));
+    }
+
+    #[test]
+    fn set_bits_iterates_row_major() {
+        let mut m = BitMask::new(70, 2);
+        m.set(69, 0, true);
+        m.set(1, 1, true);
+        m.set(65, 1, true);
+        let px: Vec<_> = m.set_bits().collect();
+        assert_eq!(px, vec![(69, 0), (1, 1), (65, 1)]);
+    }
+
+    #[test]
+    fn count_planes_compare() {
+        for k in 0..=8usize {
+            let mut c = [0u64; 4];
+            for (i, plane) in c.iter_mut().enumerate() {
+                if (k >> i) & 1 == 1 {
+                    *plane = !0;
+                }
+            }
+            for t in 0..=9usize {
+                let expect_gt = if k > t { !0u64 } else { 0 };
+                assert_eq!(count_gt(&c, t), expect_gt, "count {k} > {t}");
+                let expect_eq = if k == t { !0u64 } else { 0 };
+                assert_eq!(count_eq(&c, t), expect_eq, "count {k} == {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_masks_are_inert() {
+        let m = BitMask::new(0, 5);
+        assert_eq!(m.count(), 0);
+        let mut out = BitMask::new(0, 0);
+        m.neighbor_filter_into(0, &mut out);
+        assert_eq!(out.dims(), (0, 5));
+        let mut scratch = Vec::new();
+        m.fill_enclosed_holes_into(&mut out, &mut scratch);
+        assert_eq!(out.dims(), (0, 5));
+    }
+}

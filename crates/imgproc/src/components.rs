@@ -23,15 +23,174 @@ pub struct Component {
 
 /// The result of labelling: a per-pixel label map (0 = background) plus
 /// per-component statistics.
-#[derive(Debug, Clone)]
+///
+/// A `Labeling` owns all the buffers the two-pass union-find algorithm
+/// needs, so one instance can be re-used across frames via
+/// [`Labeling::relabel`] without per-frame heap allocation.
+#[derive(Debug, Clone, Default)]
 pub struct Labeling {
     width: usize,
     height: usize,
     labels: Vec<u32>,
     components: Vec<Component>,
+    // Union-find / dense-relabel scratch, retained between relabels.
+    parent: Vec<u32>,
+    remap: Vec<u32>,
 }
 
 impl Labeling {
+    /// An empty labelling ready for [`Labeling::relabel`].
+    pub fn empty() -> Self {
+        Labeling::default()
+    }
+
+    /// Pre-sizes every internal buffer for masks up to `width x height`
+    /// so subsequent [`Labeling::relabel`] calls never allocate. The
+    /// provisional-label bound is `w*h/4 + 2`: a fresh label needs all
+    /// four previously-scanned neighbours background, which at most one
+    /// pixel in four can satisfy.
+    pub fn reserve_for(&mut self, width: usize, height: usize) {
+        let labels_cap = width * height;
+        let comp_cap = labels_cap / 4 + 2;
+        if self.labels.capacity() < labels_cap {
+            self.labels.reserve(labels_cap - self.labels.len());
+        }
+        if self.parent.capacity() < comp_cap {
+            self.parent.reserve(comp_cap - self.parent.len());
+        }
+        if self.remap.capacity() < comp_cap {
+            self.remap.reserve(comp_cap - self.remap.len());
+        }
+        if self.components.capacity() < comp_cap {
+            self.components.reserve(comp_cap - self.components.len());
+        }
+    }
+
+    /// Relabels `mask` in place, reusing this labelling's buffers.
+    ///
+    /// Identical output to [`label_components`]; the scan skips
+    /// background 64 pixels at a time via the bit-packed rows.
+    pub fn relabel(&mut self, mask: &Mask, conn: Connectivity) {
+        let (w, h) = mask.dims();
+        self.width = w;
+        self.height = h;
+        self.labels.clear();
+        self.labels.resize(w * h, 0);
+        self.parent.clear();
+        self.parent.push(0); // parent[0] unused (background)
+        self.components.clear();
+
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let gp = parent[parent[x as usize] as usize];
+                parent[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+        fn union(parent: &mut [u32], a: u32, b: u32) {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                // Attach the larger root label to the smaller to keep
+                // labels biased toward scan order.
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+            }
+        }
+
+        // First pass: provisional labels + equivalences. Only neighbours
+        // already scanned (above / left, diagonals for 8-conn) matter,
+        // and a non-zero label entry implies the pixel is foreground.
+        let prior: &[(isize, isize)] = match conn {
+            Connectivity::Four => &[(0, -1), (-1, 0)],
+            Connectivity::Eight => &[(-1, -1), (0, -1), (1, -1), (-1, 0)],
+        };
+        let bits = mask.bits();
+        let mut next_label = 1u32;
+        for y in 0..h {
+            let row = bits.row(y);
+            for (j, &word) in row.iter().enumerate() {
+                let mut wbits = word;
+                while wbits != 0 {
+                    let b = wbits.trailing_zeros() as usize;
+                    wbits &= wbits - 1;
+                    let x = j * 64 + b;
+                    let mut neighbor_label = 0u32;
+                    for &(dx, dy) in prior {
+                        let (nx, ny) = (x as isize + dx, y as isize + dy);
+                        if nx >= 0 && ny >= 0 && (nx as usize) < w {
+                            let nl = self.labels[ny as usize * w + nx as usize];
+                            if nl != 0 {
+                                if neighbor_label == 0 {
+                                    neighbor_label = nl;
+                                } else if nl != neighbor_label {
+                                    union(&mut self.parent, neighbor_label, nl);
+                                }
+                            }
+                        }
+                    }
+                    if neighbor_label == 0 {
+                        self.parent.push(next_label);
+                        self.labels[y * w + x] = next_label;
+                        next_label += 1;
+                    } else {
+                        self.labels[y * w + x] = neighbor_label;
+                    }
+                }
+            }
+        }
+
+        // Compress equivalences into dense 1..=n labels in scan order.
+        self.remap.clear();
+        self.remap.resize(next_label as usize, 0);
+        for y in 0..h {
+            let row = bits.row(y);
+            for (j, &word) in row.iter().enumerate() {
+                let mut wbits = word;
+                while wbits != 0 {
+                    let b = wbits.trailing_zeros() as usize;
+                    wbits &= wbits - 1;
+                    let x = j * 64 + b;
+                    let l = self.labels[y * w + x];
+                    let root = find(&mut self.parent, l);
+                    let dense = if self.remap[root as usize] == 0 {
+                        let d = self.components.len() as u32 + 1;
+                        self.remap[root as usize] = d;
+                        self.components.push(Component {
+                            label: d,
+                            area: 0,
+                            bbox: (x, y, x, y),
+                        });
+                        d
+                    } else {
+                        self.remap[root as usize]
+                    };
+                    self.labels[y * w + x] = dense;
+                    let c = &mut self.components[dense as usize - 1];
+                    c.area += 1;
+                    c.bbox.0 = c.bbox.0.min(x);
+                    c.bbox.1 = c.bbox.1.min(y);
+                    c.bbox.2 = c.bbox.2.max(x);
+                    c.bbox.3 = c.bbox.3.max(y);
+                }
+            }
+        }
+    }
+
+    /// Writes the mask of all components with area ≥ `min_area` into
+    /// `out`, allocation-free given `mask` is the mask this labelling
+    /// was computed from.
+    pub fn filter_by_area_into(&self, mask: &Mask, min_area: usize, out: &mut Mask) {
+        debug_assert_eq!(mask.dims(), (self.width, self.height));
+        out.reset(self.width, self.height);
+        for (x, y) in mask.foreground_pixels() {
+            let l = self.labels[y * self.width + x] as usize;
+            if l != 0 && self.components[l - 1].area >= min_area {
+                out.set(x, y, true);
+            }
+        }
+    }
     /// The label at `(x, y)`; 0 means background. Out-of-bounds reads 0.
     pub fn label_at(&self, x: usize, y: usize) -> u32 {
         if x < self.width && y < self.height {
@@ -92,104 +251,11 @@ impl Labeling {
 ///
 /// Uses a two-pass union-find labelling; labels are assigned in raster-scan
 /// order of each component's first pixel, so results are deterministic.
+/// Allocating wrapper over [`Labeling::relabel`].
 pub fn label_components(mask: &Mask, conn: Connectivity) -> Labeling {
-    let (w, h) = mask.dims();
-    let mut labels = vec![0u32; w * h];
-    let mut parent: Vec<u32> = vec![0]; // parent[0] unused (background)
-
-    fn find(parent: &mut [u32], mut x: u32) -> u32 {
-        while parent[x as usize] != x {
-            let gp = parent[parent[x as usize] as usize];
-            parent[x as usize] = gp;
-            x = gp;
-        }
-        x
-    }
-    fn union(parent: &mut [u32], a: u32, b: u32) {
-        let ra = find(parent, a);
-        let rb = find(parent, b);
-        if ra != rb {
-            // Attach the larger root label to the smaller to keep labels
-            // biased toward scan order.
-            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-            parent[hi as usize] = lo;
-        }
-    }
-
-    // First pass: provisional labels + equivalences. Only neighbours that
-    // were already scanned (above / left, and diagonals for 8-conn) matter.
-    let prior: &[(isize, isize)] = match conn {
-        Connectivity::Four => &[(0, -1), (-1, 0)],
-        Connectivity::Eight => &[(-1, -1), (0, -1), (1, -1), (-1, 0)],
-    };
-    let mut next_label = 1u32;
-    for y in 0..h {
-        for x in 0..w {
-            if !mask.get(x, y) {
-                continue;
-            }
-            let mut neighbor_label = 0u32;
-            for &(dx, dy) in prior {
-                let (nx, ny) = (x as isize + dx, y as isize + dy);
-                if nx >= 0 && ny >= 0 && mask.get_i(nx, ny) {
-                    let nl = labels[ny as usize * w + nx as usize];
-                    if nl != 0 {
-                        if neighbor_label == 0 {
-                            neighbor_label = nl;
-                        } else if nl != neighbor_label {
-                            union(&mut parent, neighbor_label, nl);
-                        }
-                    }
-                }
-            }
-            if neighbor_label == 0 {
-                parent.push(next_label);
-                labels[y * w + x] = next_label;
-                next_label += 1;
-            } else {
-                labels[y * w + x] = neighbor_label;
-            }
-        }
-    }
-
-    // Compress equivalences into dense 1..=n labels in scan order.
-    let mut remap = vec![0u32; next_label as usize];
-    let mut components: Vec<Component> = Vec::new();
-    for y in 0..h {
-        for x in 0..w {
-            let l = labels[y * w + x];
-            if l == 0 {
-                continue;
-            }
-            let root = find(&mut parent, l);
-            let dense = if remap[root as usize] == 0 {
-                let d = components.len() as u32 + 1;
-                remap[root as usize] = d;
-                components.push(Component {
-                    label: d,
-                    area: 0,
-                    bbox: (x, y, x, y),
-                });
-                d
-            } else {
-                remap[root as usize]
-            };
-            labels[y * w + x] = dense;
-            let c = &mut components[dense as usize - 1];
-            c.area += 1;
-            c.bbox.0 = c.bbox.0.min(x);
-            c.bbox.1 = c.bbox.1.min(y);
-            c.bbox.2 = c.bbox.2.max(x);
-            c.bbox.3 = c.bbox.3.max(y);
-        }
-    }
-
-    Labeling {
-        width: w,
-        height: h,
-        labels,
-        components,
-    }
+    let mut labeling = Labeling::empty();
+    labeling.relabel(mask, conn);
+    labeling
 }
 
 /// Removes all 8-connected components with fewer than `min_area` pixels —

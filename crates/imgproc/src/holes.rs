@@ -8,80 +8,44 @@
 //! flood-fill-from-border fill, which the pipeline exposes as an optional
 //! stronger mode.
 
+use crate::bitmask::BitMask;
 use crate::mask::Mask;
-use crate::morph::Connectivity;
 
 /// One application of the paper's Step-4 rule: background pixels whose
 /// four edge-neighbours are all foreground become foreground.
+///
+/// Word-parallel: the filled plane is `self | (N & S & W & E)` over
+/// shifted words ([`BitMask::fill_paper_rule_into`]).
 pub fn fill_holes_paper_rule(mask: &Mask) -> Mask {
-    Mask::from_fn(mask.width(), mask.height(), |x, y| {
-        if mask.get(x, y) {
-            return true;
-        }
-        let (xi, yi) = (x as isize, y as isize);
-        Connectivity::Four
-            .offsets()
-            .iter()
-            .all(|&(dx, dy)| mask.get_i(xi + dx, yi + dy))
-    })
+    let mut out = BitMask::new(0, 0);
+    mask.bits().fill_paper_rule_into(&mut out);
+    Mask::from_bits(out)
 }
 
 /// Iterates [`fill_holes_paper_rule`] until it stops changing the mask or
 /// `max_iters` applications have run, returning the mask and the number of
 /// iterations actually applied.
 pub fn fill_holes_iterated(mask: &Mask, max_iters: usize) -> (Mask, usize) {
-    let mut current = mask.clone();
-    for i in 0..max_iters {
-        let next = fill_holes_paper_rule(&current);
-        if next == current {
-            return (current, i);
-        }
-        current = next;
-    }
-    (current, max_iters)
+    let mut out = BitMask::new(0, 0);
+    let mut tmp = BitMask::new(0, 0);
+    let iters = mask
+        .bits()
+        .fill_paper_rule_iterated_into(max_iters, &mut out, &mut tmp);
+    (Mask::from_bits(out), iters)
 }
 
 /// Fills every background region *not* connected to the image border —
 /// i.e. all fully enclosed holes, of any size.
 ///
 /// Background connectivity uses the 4-neighbourhood (the standard dual of
-/// 8-connected foreground).
+/// 8-connected foreground). The border flood fill runs word-parallel as
+/// alternating vertical sweeps with a Kogge–Stone horizontal smear
+/// ([`BitMask::fill_enclosed_holes_into`]).
 pub fn fill_enclosed_holes(mask: &Mask) -> Mask {
-    let (w, h) = mask.dims();
-    if w == 0 || h == 0 {
-        return mask.clone();
-    }
-    // Flood-fill background from every border pixel.
-    let mut outside = vec![false; w * h];
-    let mut stack: Vec<(usize, usize)> = Vec::new();
-    let push = |x: usize, y: usize, outside: &mut Vec<bool>, stack: &mut Vec<(usize, usize)>| {
-        if !mask.get(x, y) && !outside[y * w + x] {
-            outside[y * w + x] = true;
-            stack.push((x, y));
-        }
-    };
-    for x in 0..w {
-        push(x, 0, &mut outside, &mut stack);
-        push(x, h - 1, &mut outside, &mut stack);
-    }
-    for y in 0..h {
-        push(0, y, &mut outside, &mut stack);
-        push(w - 1, y, &mut outside, &mut stack);
-    }
-    while let Some((x, y)) = stack.pop() {
-        for &(dx, dy) in Connectivity::Four.offsets() {
-            let (nx, ny) = (x as isize + dx, y as isize + dy);
-            if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
-                let (nx, ny) = (nx as usize, ny as usize);
-                if !mask.get(nx, ny) && !outside[ny * w + nx] {
-                    outside[ny * w + nx] = true;
-                    stack.push((nx, ny));
-                }
-            }
-        }
-    }
-    // Everything that is neither foreground nor outside is a hole.
-    Mask::from_fn(w, h, |x, y| mask.get(x, y) || !outside[y * w + x])
+    let mut out = BitMask::new(0, 0);
+    let mut scratch = Vec::new();
+    mask.bits().fill_enclosed_holes_into(&mut out, &mut scratch);
+    Mask::from_bits(out)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! * pixel types and colour conversion ([`pixel`]),
 //! * a generic owned image buffer ([`image`]),
 //! * binary masks with set algebra and accuracy metrics ([`mask`]),
+//! * the bit-packed word-parallel mask substrate behind them ([`bitmask`]),
 //! * box/median smoothing filters and integral images ([`filter`]),
 //! * morphology and neighbour counting ([`morph`]),
 //! * connected-component labelling ([`components`]),
@@ -43,6 +44,7 @@
 //! assert_eq!(mask.count(), 16);
 //! ```
 
+pub mod bitmask;
 pub mod components;
 pub mod distance;
 pub mod draw;
@@ -58,6 +60,7 @@ pub mod morph;
 pub mod noise;
 pub mod pixel;
 
+pub use bitmask::BitMask;
 pub use error::ImgError;
 pub use geometry::{Point2, Vec2};
 pub use image::ImageBuffer;

@@ -1,21 +1,37 @@
 //! Binary masks: the lingua franca of the segmentation pipeline.
 //!
 //! Every stage of the paper's Section 2 pipeline consumes and produces a
-//! binary foreground image. [`Mask`] stores one bit per pixel (as `bool`),
-//! offers set algebra, and — because the synthetic substrate gives us
-//! ground truth — accuracy metrics ([`MaskMetrics`]) that turn the paper's
+//! binary foreground image. [`Mask`] keeps its pixels bit-packed in a
+//! [`BitMask`] (one `u64` word per 64 pixels), which makes the set
+//! algebra, counting and the morphology kernels word-parallel while the
+//! API stays pixel-addressed. Because the synthetic substrate gives us
+//! ground truth, accuracy metrics ([`MaskMetrics`]) turn the paper's
 //! qualitative figures into numbers.
 
+use crate::bitmask::{BitMask, SetBits};
 use crate::error::ImgError;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
-/// A binary image; `true` = foreground.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A binary image; `true` = foreground. Storage is bit-packed: see
+/// [`BitMask`] for the word-level layout and kernels.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Mask {
-    width: usize,
-    height: usize,
-    data: Vec<bool>,
+    bits: BitMask,
+}
+
+impl Clone for Mask {
+    fn clone(&self) -> Self {
+        Mask {
+            bits: self.bits.clone(),
+        }
+    }
+
+    /// Reuses the existing word buffer ([`BitMask::clone_from`]), so
+    /// arena-style callers pay no allocation in steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.bits.clone_from(&source.bits);
+    }
 }
 
 /// Pixel-level accuracy of a predicted mask against ground truth.
@@ -35,65 +51,79 @@ impl Mask {
     /// Creates an all-background mask.
     pub fn new(width: usize, height: usize) -> Self {
         Mask {
-            width,
-            height,
-            data: vec![false; width * height],
+            bits: BitMask::new(width, height),
         }
     }
 
     /// Creates a mask filled with `value`.
     pub fn filled(width: usize, height: usize, value: bool) -> Self {
         Mask {
-            width,
-            height,
-            data: vec![value; width * height],
+            bits: BitMask::filled(width, height, value),
         }
     }
 
-    /// Creates a mask by evaluating `f(x, y)` per pixel.
+    /// Creates a mask by evaluating `f(x, y)` per pixel, row-major.
     pub fn from_fn<F: FnMut(usize, usize) -> bool>(width: usize, height: usize, mut f: F) -> Self {
-        let mut data = Vec::with_capacity(width * height);
+        let mut bits = BitMask::new(width, height);
+        let wpr = bits.words_per_row();
         for y in 0..height {
-            for x in 0..width {
-                data.push(f(x, y));
+            for j in 0..wpr {
+                let x0 = j * 64;
+                let x1 = (x0 + 64).min(width);
+                let mut word = 0u64;
+                for x in x0..x1 {
+                    if f(x, y) {
+                        word |= 1u64 << (x - x0);
+                    }
+                }
+                bits.row_mut(y)[j] = word;
             }
         }
-        Mask {
-            width,
-            height,
-            data,
-        }
+        Mask { bits }
+    }
+
+    /// Wraps an existing bit-packed plane.
+    pub fn from_bits(bits: BitMask) -> Self {
+        Mask { bits }
+    }
+
+    /// The underlying bit-packed plane.
+    #[inline]
+    pub fn bits(&self) -> &BitMask {
+        &self.bits
+    }
+
+    /// Mutable access to the bit-packed plane (word-level kernels).
+    #[inline]
+    pub fn bits_mut(&mut self) -> &mut BitMask {
+        &mut self.bits
     }
 
     /// Mask width in pixels.
     pub fn width(&self) -> usize {
-        self.width
+        self.bits.width()
     }
 
     /// Mask height in pixels.
     pub fn height(&self) -> usize {
-        self.height
+        self.bits.height()
     }
 
     /// `(width, height)`.
     pub fn dims(&self) -> (usize, usize) {
-        (self.width, self.height)
+        self.bits.dims()
     }
 
     /// Whether `(x, y)` lies inside the mask.
     pub fn in_bounds(&self, x: usize, y: usize) -> bool {
-        x < self.width && y < self.height
+        self.bits.in_bounds(x, y)
     }
 
     /// Returns the pixel; out-of-bounds coordinates read as background,
     /// which is the convention every pipeline stage wants at the borders.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> bool {
-        if self.in_bounds(x, y) {
-            self.data[y * self.width + x]
-        } else {
-            false
-        }
+        self.bits.get(x, y)
     }
 
     /// Signed-coordinate variant of [`Mask::get`]; negative reads as
@@ -101,7 +131,7 @@ impl Mask {
     #[inline]
     pub fn get_i(&self, x: isize, y: isize) -> bool {
         if x >= 0 && y >= 0 {
-            self.get(x as usize, y as usize)
+            self.bits.get(x as usize, y as usize)
         } else {
             false
         }
@@ -114,48 +144,39 @@ impl Mask {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: bool) {
-        assert!(
-            self.in_bounds(x, y),
-            "pixel ({x}, {y}) out of bounds for {}x{} mask",
-            self.width,
-            self.height
-        );
-        self.data[y * self.width + x] = value;
+        self.bits.set(x, y, value);
     }
 
     /// Number of foreground pixels.
     pub fn count(&self) -> usize {
-        self.data.iter().filter(|&&b| b).count()
+        self.bits.count()
     }
 
     /// Whether the mask has no foreground pixels.
     pub fn is_blank(&self) -> bool {
-        !self.data.iter().any(|&b| b)
+        self.bits.is_blank()
     }
 
     /// Fraction of pixels that are foreground, in `[0, 1]`.
     /// Returns 0 for an empty mask.
     pub fn density(&self) -> f64 {
-        if self.data.is_empty() {
+        let (w, h) = self.dims();
+        if w * h == 0 {
             0.0
         } else {
-            self.count() as f64 / self.data.len() as f64
+            self.count() as f64 / (w * h) as f64
         }
     }
 
     /// Iterates over the coordinates of all foreground pixels.
-    pub fn foreground_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        let w = self.width;
-        self.data
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(move |(i, _)| (i % w, i / w))
+    pub fn foreground_pixels(&self) -> SetBits<'_> {
+        self.bits.set_bits()
     }
 
-    /// Raw row-major bit slice.
-    pub fn as_slice(&self) -> &[bool] {
-        &self.data
+    /// Reshapes to `width x height` and clears to background, reusing
+    /// the existing buffer when possible (arena-friendly).
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.bits.reset(width, height);
     }
 
     /// Pixel-wise union.
@@ -164,7 +185,10 @@ impl Mask {
     ///
     /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
     pub fn union(&self, other: &Mask) -> Result<Mask, ImgError> {
-        self.zip(other, |a, b| a | b)
+        self.checked(other)?;
+        let mut out = BitMask::new(0, 0);
+        self.bits.union_into(&other.bits, &mut out);
+        Ok(Mask { bits: out })
     }
 
     /// Pixel-wise intersection.
@@ -173,7 +197,10 @@ impl Mask {
     ///
     /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
     pub fn intersect(&self, other: &Mask) -> Result<Mask, ImgError> {
-        self.zip(other, |a, b| a & b)
+        self.checked(other)?;
+        let mut out = BitMask::new(0, 0);
+        self.bits.intersect_into(&other.bits, &mut out);
+        Ok(Mask { bits: out })
     }
 
     /// Pixels in `self` but not in `other`.
@@ -182,35 +209,27 @@ impl Mask {
     ///
     /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
     pub fn difference(&self, other: &Mask) -> Result<Mask, ImgError> {
-        self.zip(other, |a, b| a & !b)
+        self.checked(other)?;
+        let mut out = BitMask::new(0, 0);
+        self.bits.difference_into(&other.bits, &mut out);
+        Ok(Mask { bits: out })
     }
 
     /// Pixel-wise complement.
     pub fn invert(&self) -> Mask {
-        Mask {
-            width: self.width,
-            height: self.height,
-            data: self.data.iter().map(|&b| !b).collect(),
-        }
+        let mut out = BitMask::new(0, 0);
+        self.bits.invert_into(&mut out);
+        Mask { bits: out }
     }
 
-    fn zip<F: Fn(bool, bool) -> bool>(&self, other: &Mask, f: F) -> Result<Mask, ImgError> {
+    fn checked(&self, other: &Mask) -> Result<(), ImgError> {
         if self.dims() != other.dims() {
             return Err(ImgError::DimensionMismatch {
                 left: self.dims(),
                 right: other.dims(),
             });
         }
-        Ok(Mask {
-            width: self.width,
-            height: self.height,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        })
+        Ok(())
     }
 
     /// Intersection-over-union with another mask of the same size.
@@ -226,41 +245,35 @@ impl Mask {
     }
 
     /// Computes the confusion counts of `self` (prediction) against
-    /// `truth`.
+    /// `truth`, word-parallel via popcounts.
     ///
     /// # Errors
     ///
     /// Returns [`ImgError::DimensionMismatch`] when dimensions differ.
     pub fn metrics_against(&self, truth: &Mask) -> Result<MaskMetrics, ImgError> {
-        if self.dims() != truth.dims() {
-            return Err(ImgError::DimensionMismatch {
-                left: self.dims(),
-                right: truth.dims(),
-            });
+        self.checked(truth)?;
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for (&a, &b) in self.bits.words().iter().zip(truth.bits.words()) {
+            tp += (a & b).count_ones() as usize;
+            fp += (a & !b).count_ones() as usize;
+            fn_ += (!a & b).count_ones() as usize;
         }
-        let mut m = MaskMetrics {
-            tp: 0,
-            fp: 0,
-            fn_: 0,
-            tn: 0,
-        };
-        for (&pred, &gt) in self.data.iter().zip(truth.data.iter()) {
-            match (pred, gt) {
-                (true, true) => m.tp += 1,
-                (true, false) => m.fp += 1,
-                (false, true) => m.fn_ += 1,
-                (false, false) => m.tn += 1,
-            }
-        }
-        Ok(m)
+        let (w, h) = self.dims();
+        Ok(MaskMetrics {
+            tp,
+            fp,
+            fn_,
+            tn: w * h - tp - fp - fn_,
+        })
     }
 
     /// Renders the mask as an ASCII art string (`#` foreground, `.`
     /// background), handy in test failures.
     pub fn to_ascii(&self) -> String {
-        let mut s = String::with_capacity((self.width + 1) * self.height);
-        for y in 0..self.height {
-            for x in 0..self.width {
+        let (w, h) = self.dims();
+        let mut s = String::with_capacity((w + 1) * h);
+        for y in 0..h {
+            for x in 0..w {
                 s.push(if self.get(x, y) { '#' } else { '.' });
             }
             s.push('\n');
@@ -274,10 +287,54 @@ impl fmt::Display for Mask {
         write!(
             f,
             "Mask {}x{} ({} fg px)",
-            self.width,
-            self.height,
+            self.width(),
+            self.height(),
             self.count()
         )
+    }
+}
+
+/// Serialized form: the pre-bit-packing row-major `Vec<bool>` layout, so
+/// persisted masks stay readable and backward-compatible.
+#[derive(Serialize, Deserialize)]
+struct MaskRepr {
+    width: usize,
+    height: usize,
+    data: Vec<bool>,
+}
+
+impl Serialize for Mask {
+    fn to_value(&self) -> Value {
+        let (width, height) = self.dims();
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(self.get(x, y));
+            }
+        }
+        MaskRepr {
+            width,
+            height,
+            data,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Mask {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let repr = MaskRepr::from_value(value)?;
+        if repr.data.len() != repr.width * repr.height {
+            return Err(DeError::custom(format!(
+                "mask data length {} does not match {}x{}",
+                repr.data.len(),
+                repr.width,
+                repr.height
+            )));
+        }
+        Ok(Mask::from_fn(repr.width, repr.height, |x, y| {
+            repr.data[y * repr.width + x]
+        }))
     }
 }
 
@@ -408,6 +465,16 @@ mod tests {
     }
 
     #[test]
+    fn invert_respects_word_tails() {
+        // Width straddles a word boundary: the complement must not leak
+        // set bits into the padding tail.
+        let a = square(70, 3, 0, 0, 70, 3);
+        assert_eq!(a.invert().count(), 0);
+        let b = Mask::new(70, 3);
+        assert_eq!(b.invert().count(), 210);
+    }
+
+    #[test]
     fn iou_values() {
         let a = square(6, 6, 0, 0, 4, 4);
         let b = square(6, 6, 2, 2, 6, 6);
@@ -470,5 +537,18 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("5x4"));
         assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_vec_bool_format() {
+        let m = square(66, 3, 1, 0, 65, 2);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"width\":66"));
+        assert!(json.contains("\"data\":["));
+        let back: Mask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        // A length mismatch is rejected rather than mis-indexed.
+        let bad = r#"{"width":2,"height":2,"data":[true]}"#;
+        assert!(serde_json::from_str::<Mask>(bad).is_err());
     }
 }

@@ -53,26 +53,30 @@ pub fn count_neighbors(mask: &Mask, x: usize, y: usize, conn: Connectivity) -> u
 ///
 /// Background pixels are never promoted. With `threshold = 0` the filter
 /// removes exactly the isolated pixels; typical values are 2–4.
+/// Implemented as the word-parallel neighbour vote on the bit-packed
+/// plane ([`crate::bitmask::BitMask::neighbor_filter_into`]).
 pub fn neighbor_filter(mask: &Mask, threshold: usize) -> Mask {
-    Mask::from_fn(mask.width(), mask.height(), |x, y| {
-        mask.get(x, y) && count_neighbors(mask, x, y, Connectivity::Eight) > threshold
-    })
+    let mut out = crate::bitmask::BitMask::new(0, 0);
+    mask.bits().neighbor_filter_into(threshold, &mut out);
+    Mask::from_bits(out)
 }
 
 /// Morphological erosion: a pixel survives when it and its whole
 /// neighbourhood are foreground.
 pub fn erode(mask: &Mask, conn: Connectivity) -> Mask {
-    Mask::from_fn(mask.width(), mask.height(), |x, y| {
-        mask.get(x, y) && count_neighbors(mask, x, y, conn) == conn.offsets().len()
-    })
+    let mut out = crate::bitmask::BitMask::new(0, 0);
+    mask.bits()
+        .erode_into(conn == Connectivity::Eight, &mut out);
+    Mask::from_bits(out)
 }
 
 /// Morphological dilation: a pixel becomes foreground when it or any
 /// neighbour is foreground.
 pub fn dilate(mask: &Mask, conn: Connectivity) -> Mask {
-    Mask::from_fn(mask.width(), mask.height(), |x, y| {
-        mask.get(x, y) || count_neighbors(mask, x, y, conn) > 0
-    })
+    let mut out = crate::bitmask::BitMask::new(0, 0);
+    mask.bits()
+        .dilate_into(conn == Connectivity::Eight, &mut out);
+    Mask::from_bits(out)
 }
 
 /// Opening: erosion followed by dilation (removes specks).
@@ -88,9 +92,9 @@ pub fn close(mask: &Mask, conn: Connectivity) -> Mask {
 /// The 8-connected boundary of the foreground: foreground pixels with at
 /// least one background neighbour.
 pub fn boundary(mask: &Mask) -> Mask {
-    Mask::from_fn(mask.width(), mask.height(), |x, y| {
-        mask.get(x, y) && count_neighbors(mask, x, y, Connectivity::Eight) < 8
-    })
+    let mut out = crate::bitmask::BitMask::new(0, 0);
+    mask.bits().boundary_into(&mut out);
+    Mask::from_bits(out)
 }
 
 #[cfg(test)]

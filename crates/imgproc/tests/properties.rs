@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use slj_imgproc::components::{label_components, remove_small_components};
 use slj_imgproc::distance::DistanceField;
 use slj_imgproc::geometry::{Point2, Segment};
-use slj_imgproc::holes::{fill_enclosed_holes, fill_holes_iterated};
+use slj_imgproc::holes::{fill_enclosed_holes, fill_holes_iterated, fill_holes_paper_rule};
 use slj_imgproc::image::ImageBuffer;
 use slj_imgproc::io;
 use slj_imgproc::mask::Mask;
@@ -276,5 +276,188 @@ proptest! {
         for (x, y, p) in img.enumerate_pixels() {
             prop_assert_eq!(luma.get(x, y), Gray::from(p));
         }
+    }
+}
+
+// ---------- bit-packed kernels vs naive Vec<bool> reference ----------
+//
+// The `Mask` API is backed by the word-parallel `BitMask` kernels; these
+// properties pin every kernel bitwise-equal to a naive per-pixel
+// `Vec<bool>` implementation on random masks whose widths straddle the
+// 64-bit word boundary.
+
+/// A naive row-major `Vec<bool>` mask, the pre-bit-packing storage.
+#[derive(Clone, Debug, PartialEq)]
+struct NaiveMask {
+    w: usize,
+    h: usize,
+    data: Vec<bool>,
+}
+
+impl NaiveMask {
+    fn get(&self, x: isize, y: isize) -> bool {
+        x >= 0
+            && y >= 0
+            && (x as usize) < self.w
+            && (y as usize) < self.h
+            && self.data[y as usize * self.w + x as usize]
+    }
+
+    fn count_neighbors(&self, x: usize, y: usize, conn: Connectivity) -> usize {
+        conn.offsets()
+            .iter()
+            .filter(|&&(dx, dy)| self.get(x as isize + dx, y as isize + dy))
+            .count()
+    }
+
+    fn map(&self, mut f: impl FnMut(usize, usize) -> bool) -> NaiveMask {
+        let mut data = Vec::with_capacity(self.w * self.h);
+        for y in 0..self.h {
+            for x in 0..self.w {
+                data.push(f(x, y));
+            }
+        }
+        NaiveMask {
+            w: self.w,
+            h: self.h,
+            data,
+        }
+    }
+
+    /// The original stack-based border flood fill.
+    fn fill_enclosed(&self) -> NaiveMask {
+        let (w, h) = (self.w, self.h);
+        let mut outside = vec![false; w * h];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        let push =
+            |x: usize, y: usize, outside: &mut Vec<bool>, stack: &mut Vec<(usize, usize)>| {
+                if !self.data[y * w + x] && !outside[y * w + x] {
+                    outside[y * w + x] = true;
+                    stack.push((x, y));
+                }
+            };
+        for x in 0..w {
+            push(x, 0, &mut outside, &mut stack);
+            push(x, h - 1, &mut outside, &mut stack);
+        }
+        for y in 0..h {
+            push(0, y, &mut outside, &mut stack);
+            push(w - 1, y, &mut outside, &mut stack);
+        }
+        while let Some((x, y)) = stack.pop() {
+            for &(dx, dy) in Connectivity::Four.offsets() {
+                let (nx, ny) = (x as isize + dx, y as isize + dy);
+                if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                    let (nx, ny) = (nx as usize, ny as usize);
+                    if !self.data[ny * w + nx] && !outside[ny * w + nx] {
+                        outside[ny * w + nx] = true;
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+        }
+        self.map(|x, y| self.data[y * w + x] || !outside[y * w + x])
+    }
+}
+
+fn to_mask(n: &NaiveMask) -> Mask {
+    Mask::from_fn(n.w, n.h, |x, y| n.data[y * n.w + x])
+}
+
+fn masks_equal(packed: &Mask, naive: &NaiveMask) -> bool {
+    packed.dims() == (naive.w, naive.h)
+        && (0..naive.h)
+            .all(|y| (0..naive.w).all(|x| packed.get(x, y) == naive.data[y * naive.w + x]))
+}
+
+/// Strategy: a naive mask whose width crosses the u64 word boundary often.
+fn naive_strategy() -> impl Strategy<Value = NaiveMask> {
+    (1usize..140, 1usize..16).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<bool>(), w * h).prop_map(move |data| NaiveMask {
+            w,
+            h,
+            data,
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn packed_set_algebra_matches_naive(a in naive_strategy(), seed in any::<u64>()) {
+        // Derive a second mask of the same dims from the seed.
+        let b = a.map(|x, y| {
+            let v = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(((y * a.w + x) as u64).wrapping_mul(1442695040888963407));
+            (v >> 32) & 1 == 1
+        });
+        let (pa, pb) = (to_mask(&a), to_mask(&b));
+        let union = a.map(|x, y| a.data[y * a.w + x] | b.data[y * b.w + x]);
+        let inter = a.map(|x, y| a.data[y * a.w + x] & b.data[y * b.w + x]);
+        let diff = a.map(|x, y| a.data[y * a.w + x] & !b.data[y * b.w + x]);
+        let inv = a.map(|x, y| !a.data[y * a.w + x]);
+        prop_assert!(masks_equal(&pa.union(&pb).unwrap(), &union));
+        prop_assert!(masks_equal(&pa.intersect(&pb).unwrap(), &inter));
+        prop_assert!(masks_equal(&pa.difference(&pb).unwrap(), &diff));
+        prop_assert!(masks_equal(&pa.invert(), &inv));
+        prop_assert_eq!(pa.count(), a.data.iter().filter(|&&v| v).count());
+    }
+
+    #[test]
+    fn packed_neighbor_vote_matches_naive(a in naive_strategy(), threshold in 0usize..9) {
+        let packed = neighbor_filter(&to_mask(&a), threshold);
+        let reference = a.map(|x, y| {
+            a.data[y * a.w + x] && a.count_neighbors(x, y, Connectivity::Eight) > threshold
+        });
+        prop_assert!(masks_equal(&packed, &reference));
+    }
+
+    #[test]
+    fn packed_morphology_matches_naive(a in naive_strategy()) {
+        let pa = to_mask(&a);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let er = a.map(|x, y| {
+                a.data[y * a.w + x] && a.count_neighbors(x, y, conn) == conn.offsets().len()
+            });
+            let di = a.map(|x, y| {
+                a.data[y * a.w + x] || a.count_neighbors(x, y, conn) > 0
+            });
+            prop_assert!(masks_equal(&erode(&pa, conn), &er));
+            prop_assert!(masks_equal(&dilate(&pa, conn), &di));
+        }
+    }
+
+    #[test]
+    fn packed_paper_rule_matches_naive(a in naive_strategy()) {
+        let packed = fill_holes_paper_rule(&to_mask(&a));
+        let reference = a.map(|x, y| {
+            a.data[y * a.w + x]
+                || Connectivity::Four
+                    .offsets()
+                    .iter()
+                    .all(|&(dx, dy)| a.get(x as isize + dx, y as isize + dy))
+        });
+        prop_assert!(masks_equal(&packed, &reference));
+    }
+
+    #[test]
+    fn packed_flood_fill_matches_naive(a in naive_strategy()) {
+        let packed = fill_enclosed_holes(&to_mask(&a));
+        let reference = a.fill_enclosed();
+        prop_assert!(masks_equal(&packed, &reference));
+    }
+
+    #[test]
+    fn packed_foreground_iteration_matches_naive(a in naive_strategy()) {
+        let packed: Vec<(usize, usize)> = to_mask(&a).foreground_pixels().collect();
+        let mut reference = Vec::new();
+        for y in 0..a.h {
+            for x in 0..a.w {
+                if a.data[y * a.w + x] {
+                    reference.push((x, y));
+                }
+            }
+        }
+        prop_assert_eq!(packed, reference);
     }
 }

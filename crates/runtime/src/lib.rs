@@ -17,6 +17,20 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
+/// The number of hardware threads actually available to this process,
+/// via [`std::thread::available_parallelism`] (1 when the runtime
+/// cannot report a count).
+///
+/// This is the oversubscription cap: [`Parallelism::Auto`] resolves to
+/// exactly this value, and benchmark drivers clamp requested fixed
+/// counts to it (`requested.min(available_threads())`) — more workers
+/// than cores only adds scheduler churn to CPU-bound stages.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// How many worker threads a stage may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Parallelism {
@@ -38,9 +52,7 @@ impl Parallelism {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Fixed(n) => (*n).max(1),
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+            Parallelism::Auto => available_threads(),
         }
     }
 
@@ -112,6 +124,14 @@ mod tests {
     #[test]
     fn auto_resolves_to_at_least_one() {
         assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn auto_is_capped_at_available_hardware() {
+        // Auto must never oversubscribe: it resolves to exactly the
+        // hardware thread count the runtime reports.
+        assert_eq!(Parallelism::Auto.threads(), available_threads());
+        assert!(available_threads() >= 1);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct BackgroundConfig {
     pub diff_threshold: u32,
     /// Combination rule for stable observations.
     pub mode: UpdateMode,
+    /// `None` (the paper): estimate from the whole clip. `Some(w)`:
+    /// estimate from the first `w` frames only — a *causal* estimate
+    /// that a streaming analyzer can compute after buffering `w` frames
+    /// and that a batch run reproduces exactly. Clips shorter than `w`
+    /// use every frame they have.
+    pub warmup: Option<usize>,
 }
 
 impl Default for BackgroundConfig {
@@ -48,6 +54,7 @@ impl Default for BackgroundConfig {
         BackgroundConfig {
             diff_threshold: 24,
             mode: UpdateMode::MedianOfStable,
+            warmup: None,
         }
     }
 }
@@ -59,6 +66,7 @@ impl BackgroundConfig {
         BackgroundConfig {
             diff_threshold: 24,
             mode: UpdateMode::LastStable,
+            warmup: None,
         }
     }
 }
@@ -115,12 +123,13 @@ impl BackgroundEstimator {
         &self.config
     }
 
-    /// Runs change detection over the whole clip.
+    /// Runs change detection over the clip (or, with
+    /// [`BackgroundConfig::warmup`] set, over its leading window).
     ///
     /// # Errors
     ///
-    /// Returns [`SegmentError::TooFewFrames`] for clips with fewer than
-    /// two frames.
+    /// Returns [`SegmentError::TooFewFrames`] for clips (or warmup
+    /// windows) with fewer than two frames.
     pub fn estimate(&self, video: &Video) -> Result<EstimatedBackground, SegmentError> {
         if video.len() < 2 {
             return Err(SegmentError::TooFewFrames {
@@ -128,8 +137,18 @@ impl BackgroundEstimator {
                 need: 2,
             });
         }
+        let limit = self
+            .config
+            .warmup
+            .map_or(video.len(), |w| w.min(video.len()));
+        if limit < 2 {
+            return Err(SegmentError::TooFewFrames {
+                got: limit,
+                need: 2,
+            });
+        }
         let (w, h) = video.dims();
-        let frames = video.frames();
+        let frames = &video.frames()[..limit];
         let mut support: ImageBuffer<u16> = ImageBuffer::new(w, h);
 
         match self.config.mode {
@@ -223,6 +242,7 @@ mod tests {
             let est = BackgroundEstimator::new(BackgroundConfig {
                 diff_threshold: 10,
                 mode,
+                warmup: None,
             });
             let bg = est.estimate(&walker_video(6, 6)).unwrap();
             // Columns 1..=4 were occluded once but recovered.
@@ -257,6 +277,7 @@ mod tests {
         let last = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
             mode: UpdateMode::LastStable,
+            warmup: None,
         })
         .estimate(&video)
         .unwrap();
@@ -269,6 +290,7 @@ mod tests {
         let median = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
             mode: UpdateMode::MedianOfStable,
+            warmup: None,
         })
         .estimate(&video)
         .unwrap();
@@ -291,6 +313,7 @@ mod tests {
         let median2 = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
             mode: UpdateMode::MedianOfStable,
+            warmup: None,
         })
         .estimate(&video2)
         .unwrap();
@@ -305,6 +328,7 @@ mod tests {
         let est = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
             mode: UpdateMode::LastStable,
+            warmup: None,
         });
         let bg = est.estimate(&walker_video(6, 6)).unwrap();
         // A column occluded at exactly one frame k is unstable for the
@@ -326,6 +350,7 @@ mod tests {
         let est = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 24,
             mode: UpdateMode::MedianOfStable,
+            warmup: None,
         });
         let bg = est.estimate(&video).unwrap();
         assert_eq!(bg.coverage(), 1.0);
@@ -350,6 +375,7 @@ mod tests {
         let est = BackgroundEstimator::new(BackgroundConfig {
             diff_threshold: 10,
             mode: UpdateMode::LastStable,
+            warmup: None,
         });
         let bg = est.estimate(&walker_video(6, 6)).unwrap();
         let truth: Frame = ImageBuffer::filled(6, 4, Rgb::splat(100));
@@ -391,5 +417,60 @@ mod tests {
     fn default_config_is_median() {
         assert_eq!(BackgroundConfig::default().mode, UpdateMode::MedianOfStable);
         assert_eq!(BackgroundConfig::paper().mode, UpdateMode::LastStable);
+        assert_eq!(BackgroundConfig::default().warmup, None);
+    }
+
+    #[test]
+    fn warmup_window_matches_truncated_clip() {
+        // `warmup: Some(w)` must equal running the estimator on the
+        // first `w` frames — that equality is what lets a streaming
+        // analyzer reproduce the batch background bit for bit.
+        let video = walker_video(8, 8);
+        for mode in [UpdateMode::LastStable, UpdateMode::MedianOfStable] {
+            let windowed = BackgroundEstimator::new(BackgroundConfig {
+                diff_threshold: 10,
+                mode,
+                warmup: Some(5),
+            })
+            .estimate(&video)
+            .unwrap();
+            let truncated_video = Video::new(video.frames()[..5].to_vec(), video.fps());
+            let truncated = BackgroundEstimator::new(BackgroundConfig {
+                diff_threshold: 10,
+                mode,
+                warmup: None,
+            })
+            .estimate(&truncated_video)
+            .unwrap();
+            assert_eq!(
+                windowed.image.as_slice(),
+                truncated.image.as_slice(),
+                "mode {mode:?}"
+            );
+            assert_eq!(windowed.support.as_slice(), truncated.support.as_slice());
+        }
+        // A warmup longer than the clip falls back to the whole clip.
+        let over = BackgroundEstimator::new(BackgroundConfig {
+            diff_threshold: 10,
+            mode: UpdateMode::MedianOfStable,
+            warmup: Some(100),
+        })
+        .estimate(&video)
+        .unwrap();
+        let full = BackgroundEstimator::default().estimate(&video);
+        assert!(full.is_ok());
+        assert_eq!(over.image.dims(), video.dims());
+        // A warmup window below two frames is rejected.
+        let err = BackgroundEstimator::new(BackgroundConfig {
+            diff_threshold: 10,
+            mode: UpdateMode::LastStable,
+            warmup: Some(1),
+        })
+        .estimate(&video)
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SegmentError::TooFewFrames { got: 1, need: 2 }
+        ));
     }
 }

@@ -20,6 +20,9 @@
 //!   same Cucchiara et al. paper the shadow mask comes from).
 //! * [`shadow`] — Step 5: the HSV shadow mask of Eqs. 1–2
 //!   (after Cucchiara et al.).
+//! * [`segmenter`] — the per-frame engine: fused subtraction + shadow
+//!   predicate over a cached background-HSV plane, arena-backed scratch
+//!   buffers, zero allocations per frame in steady state.
 //! * [`pipeline`] — the composed pipeline.
 //! * [`metrics`] — per-stage accuracy against ground truth.
 //! * [`quality`] — per-frame silhouette health metrics (area ratio,
@@ -48,8 +51,10 @@ pub mod ghosts;
 pub mod metrics;
 pub mod pipeline;
 pub mod quality;
+pub mod segmenter;
 pub mod shadow;
 
 pub use error::SegmentError;
 pub use pipeline::{FrameStages, PipelineConfig, Presmooth, SegmentPipeline, SegmentationResult};
-pub use quality::{FrameQuality, QualityConfig, QualityIssue};
+pub use quality::{FrameQuality, QualityConfig, QualityIssue, ReferenceMode};
+pub use segmenter::{FrameArena, FrameSegmenter, PreparedBackground, StageTimings};

@@ -7,18 +7,18 @@
 //! experiments can measure each stage's contribution.
 
 use crate::background::{BackgroundConfig, BackgroundEstimator, EstimatedBackground};
-use crate::cleanup::{
-    HoleFillMode, HoleFiller, NoiseFilter, NoiseFilterConfig, SpotRemover, SpotRemoverConfig,
-};
+use crate::cleanup::{HoleFillMode, NoiseFilterConfig, SpotRemoverConfig};
 use crate::error::SegmentError;
-use crate::foreground::{ForegroundConfig, ForegroundExtractor};
-use crate::ghosts::{GhostConfig, GhostDetector, GhostVerdict};
+use crate::foreground::ForegroundConfig;
+use crate::ghosts::{GhostConfig, GhostVerdict};
 use crate::quality::{self, FrameQuality, QualityConfig};
-use crate::shadow::{ShadowDetector, ShadowParams};
+use crate::segmenter::{FrameSegmenter, PreparedBackground};
+use crate::shadow::ShadowParams;
 use serde::{Deserialize, Serialize};
 use slj_imgproc::mask::Mask;
 use slj_runtime::Parallelism;
 use slj_video::{Frame, Video};
+use std::sync::Arc;
 
 /// Optional spatial smoothing applied to every frame before Step 1
 /// (extension): knocks down per-pixel sensor noise ahead of the
@@ -41,7 +41,11 @@ pub enum Presmooth {
 }
 
 impl Presmooth {
-    fn apply(&self, frame: &slj_video::Frame) -> slj_video::Frame {
+    /// Applies the smoothing to one frame (`None` returns a plain
+    /// clone). Public because a streaming caller smooths frames one at
+    /// a time as they arrive, where the batch pipeline smooths the clip
+    /// up front.
+    pub fn apply(&self, frame: &slj_video::Frame) -> slj_video::Frame {
         match self {
             Presmooth::None => frame.clone(),
             Presmooth::Box { radius } => slj_imgproc::filter::box_blur(frame, *radius),
@@ -145,6 +149,25 @@ pub struct FrameStages {
     pub final_mask: Mask,
 }
 
+impl FrameStages {
+    /// An all-empty stage set (0×0 masks), the starting point for
+    /// [`FrameSegmenter::segment_into`]. Reusing one instance across
+    /// frames lets every stage write into already-sized buffers, which
+    /// is what makes steady-state segmentation allocation-free.
+    pub fn empty() -> Self {
+        FrameStages {
+            raw: Mask::new(0, 0),
+            denoised: Mask::new(0, 0),
+            despotted: Mask::new(0, 0),
+            deghosted: Mask::new(0, 0),
+            ghost_verdicts: Vec::new(),
+            filled: Mask::new(0, 0),
+            shadow: Mask::new(0, 0),
+            final_mask: Mask::new(0, 0),
+        }
+    }
+}
+
 /// The output of the pipeline over a clip.
 #[derive(Debug, Clone)]
 pub struct SegmentationResult {
@@ -199,46 +222,46 @@ impl SegmentPipeline {
     /// two frames (background estimation needs a frame pair).
     pub fn run(&self, video: &Video) -> Result<SegmentationResult, SegmentError> {
         // Step 0 (optional): smooth every frame before anything else.
+        // `Presmooth::None` (the default) borrows the input untouched.
+        let smoothed;
         let video = match self.config.presmooth {
-            Presmooth::None => video.clone(),
-            mode => Video::new(video.iter().map(|f| mode.apply(f)).collect(), video.fps()),
+            Presmooth::None => video,
+            mode => {
+                smoothed = Video::new(video.iter().map(|f| mode.apply(f)).collect(), video.fps());
+                &smoothed
+            }
         };
-        let video = &video;
         let background = BackgroundEstimator::new(self.config.background).estimate(video)?;
-        let stages = StageSet {
-            extractor: ForegroundExtractor::new(self.config.foreground),
-            noise: NoiseFilter::new(self.config.noise),
-            spots: SpotRemover::new(self.config.spots),
-            holes: HoleFiller::new(self.config.holes),
-            shadow_detector: self.config.shadow.map(ShadowDetector::new),
-            ghost_detector: self.config.ghosts.map(GhostDetector::new),
-        };
+        let prepared = Arc::new(PreparedBackground::new(&background.image));
 
         let inputs = video.frames();
         let threads = self.config.parallelism.threads().min(inputs.len());
         let frames = if threads <= 1 {
-            inputs
-                .iter()
-                .enumerate()
-                .map(|(k, frame)| {
-                    stages.process(frame, previous_input(inputs, k), &background.image)
-                })
-                .collect::<Result<Vec<_>, _>>()?
+            let mut segmenter = FrameSegmenter::new(&self.config, prepared);
+            let mut frames = Vec::with_capacity(inputs.len());
+            for (k, frame) in inputs.iter().enumerate() {
+                frames.push(segmenter.segment(frame, previous_input(inputs, k))?);
+            }
+            frames
         } else {
-            // Each worker owns one contiguous chunk of the output; the
-            // write targets are disjoint and results land in frame
-            // order, so only throughput depends on the thread count.
+            // Each worker owns one contiguous chunk of the output and a
+            // private `FrameSegmenter` (its scratch arena is reused for
+            // every frame of the chunk); the shared prepared background
+            // is read-only. Write targets are disjoint and results land
+            // in frame order, so only throughput depends on the thread
+            // count.
             let mut slots: Vec<Option<Result<FrameStages, SegmentError>>> = Vec::new();
             slots.resize_with(inputs.len(), || None);
             let chunk = inputs.len().div_ceil(threads);
-            let stages = &stages;
-            let bg = &background.image;
+            let config = &self.config;
             crossbeam::scope(|scope| {
                 for (ci, out) in slots.chunks_mut(chunk).enumerate() {
+                    let prepared = Arc::clone(&prepared);
                     scope.spawn(move |_| {
+                        let mut segmenter = FrameSegmenter::new(config, prepared);
                         for (i, slot) in out.iter_mut().enumerate() {
                             let k = ci * chunk + i;
-                            *slot = Some(stages.process(&inputs[k], previous_input(inputs, k), bg));
+                            *slot = Some(segmenter.segment(&inputs[k], previous_input(inputs, k)));
                         }
                     });
                 }
@@ -265,49 +288,6 @@ impl SegmentPipeline {
 /// previous frame's output) is what makes frames independent.
 fn previous_input(inputs: &[Frame], k: usize) -> Option<&Frame> {
     k.checked_sub(1).map(|p| &inputs[p])
-}
-
-/// The per-frame stage operators, bundled so the serial loop and the
-/// worker threads share one code path.
-struct StageSet {
-    extractor: ForegroundExtractor,
-    noise: NoiseFilter,
-    spots: SpotRemover,
-    holes: HoleFiller,
-    shadow_detector: Option<ShadowDetector>,
-    ghost_detector: Option<GhostDetector>,
-}
-
-impl StageSet {
-    fn process(
-        &self,
-        frame: &Frame,
-        previous_frame: Option<&Frame>,
-        background: &Frame,
-    ) -> Result<FrameStages, SegmentError> {
-        let raw = self.extractor.extract(frame, background);
-        let denoised = self.noise.apply(&raw);
-        let despotted = self.spots.apply(&denoised);
-        let (deghosted, ghost_verdicts) = match &self.ghost_detector {
-            Some(det) => det.suppress(&despotted, frame, previous_frame)?,
-            None => (despotted.clone(), Vec::new()),
-        };
-        let filled = self.holes.apply(&deghosted);
-        let (final_mask, shadow) = match &self.shadow_detector {
-            Some(det) => det.remove_shadows(frame, background, &filled),
-            None => (filled.clone(), Mask::new(filled.width(), filled.height())),
-        };
-        Ok(FrameStages {
-            raw,
-            denoised,
-            despotted,
-            deghosted,
-            ghost_verdicts,
-            filled,
-            shadow,
-            final_mask,
-        })
-    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,20 @@ use slj_imgproc::components::label_components;
 use slj_imgproc::mask::Mask;
 use slj_imgproc::morph::Connectivity;
 
+/// How the per-frame reference area is derived from the clip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReferenceMode {
+    /// The median area over the *whole* clip — the most robust
+    /// reference, but non-causal: frame k's verdict depends on frames
+    /// after k, so it cannot be produced incrementally.
+    #[default]
+    ClipMedian,
+    /// The median area over frames `0..=k` — causal, so a streaming
+    /// analyzer can emit frame k's health the moment frame k is
+    /// segmented, and a batch run reproduces it exactly.
+    Causal,
+}
+
 /// Health thresholds for one frame's silhouette.
 ///
 /// The defaults are deliberately lenient: they pass every frame the
@@ -48,6 +62,8 @@ pub struct QualityConfig {
     pub max_border_clip: f64,
     /// Width of the border band, pixels.
     pub border_margin: usize,
+    /// How the reference area is derived.
+    pub reference: ReferenceMode,
 }
 
 impl Default for QualityConfig {
@@ -58,6 +74,7 @@ impl Default for QualityConfig {
             max_fragmentation: 0.35,
             max_border_clip: 0.25,
             border_margin: 2,
+            reference: ReferenceMode::ClipMedian,
         }
     }
 }
@@ -185,10 +202,23 @@ impl FrameQuality {
 /// count. Robust to a minority of faulty frames — a few ballooned or
 /// vanished masks do not move the median the way they would a mean.
 pub fn reference_area(masks: &[&Mask]) -> usize {
-    if masks.is_empty() {
+    median_area(masks.iter().map(|m| m.count()).collect())
+}
+
+/// The causal reference area at frame `k`: the median of
+/// `areas[0..=k]`. This is what [`ReferenceMode::Causal`] evaluates and
+/// what a streaming analyzer computes incrementally.
+pub fn causal_reference_area(areas: &[usize], k: usize) -> usize {
+    if areas.is_empty() {
         return 0;
     }
-    let mut areas: Vec<usize> = masks.iter().map(|m| m.count()).collect();
+    median_area(areas[..=k.min(areas.len() - 1)].to_vec())
+}
+
+fn median_area(mut areas: Vec<usize>) -> usize {
+    if areas.is_empty() {
+        return 0;
+    }
     areas.sort_unstable();
     areas[areas.len() / 2]
 }
@@ -196,11 +226,23 @@ pub fn reference_area(masks: &[&Mask]) -> usize {
 /// Assesses every final mask of a clip against the thresholds. Returns
 /// one [`FrameQuality`] per frame, in frame order.
 pub fn assess_masks(masks: &[&Mask], config: &QualityConfig) -> Vec<FrameQuality> {
-    let reference = reference_area(masks);
-    masks
-        .iter()
-        .map(|m| FrameQuality::measure(m, reference, config))
-        .collect()
+    match config.reference {
+        ReferenceMode::ClipMedian => {
+            let reference = reference_area(masks);
+            masks
+                .iter()
+                .map(|m| FrameQuality::measure(m, reference, config))
+                .collect()
+        }
+        ReferenceMode::Causal => {
+            let areas: Vec<usize> = masks.iter().map(|m| m.count()).collect();
+            masks
+                .iter()
+                .enumerate()
+                .map(|(k, m)| FrameQuality::measure(m, causal_reference_area(&areas, k), config))
+                .collect()
+        }
+    }
 }
 
 /// Assesses a whole segmentation result's final masks.
@@ -289,5 +331,36 @@ mod tests {
         assert_eq!(quality.len(), 5);
         assert!(quality[0].is_healthy());
         assert!(!quality[2].is_healthy());
+    }
+
+    #[test]
+    fn causal_reference_is_the_prefix_median() {
+        let areas = [100, 40, 120, 90, 10];
+        assert_eq!(causal_reference_area(&areas, 0), 100);
+        assert_eq!(causal_reference_area(&areas, 1), 100); // of [40,100]
+        assert_eq!(causal_reference_area(&areas, 2), 100); // of [40,100,120]
+        assert_eq!(causal_reference_area(&areas, 3), 100); // of [40,90,100,120]
+        assert_eq!(causal_reference_area(&areas, 4), 90);
+        assert_eq!(causal_reference_area(&[], 0), 0);
+    }
+
+    #[test]
+    fn causal_mode_matches_per_prefix_measurement() {
+        let big = blob(40, 30, 5, 5, 20, 20);
+        let mid = blob(40, 30, 10, 10, 10, 14);
+        let tiny = blob(40, 30, 10, 10, 2, 2);
+        let masks = vec![&mid, &big, &tiny, &mid];
+        let config = QualityConfig {
+            reference: ReferenceMode::Causal,
+            ..QualityConfig::default()
+        };
+        let causal = assess_masks(&masks, &config);
+        let areas: Vec<usize> = masks.iter().map(|m| m.count()).collect();
+        for (k, q) in causal.iter().enumerate() {
+            let reference = causal_reference_area(&areas, k);
+            assert_eq!(*q, FrameQuality::measure(masks[k], reference, &config));
+        }
+        // Frame 0 is always its own reference: ratio exactly 1.
+        assert_eq!(causal[0].area_ratio, 1.0);
     }
 }

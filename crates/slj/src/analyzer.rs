@@ -17,8 +17,9 @@ use slj_imgproc::mask::Mask;
 use slj_motion::{BodyDims, Pose, PoseSeq};
 use slj_runtime::Parallelism;
 use slj_score::{score_jump, score_jump_masked, ScoreCard};
+use slj_segment::background::UpdateMode;
 use slj_segment::pipeline::{PipelineConfig, SegmentPipeline, SegmentationResult};
-use slj_segment::quality::FrameQuality;
+use slj_segment::quality::{FrameQuality, ReferenceMode};
 use slj_video::{Camera, Video};
 
 /// Configuration of the end-to-end analyzer.
@@ -89,7 +90,7 @@ pub struct FrameHealth {
 }
 
 impl FrameHealth {
-    fn new(frame: usize, quality: FrameQuality, track: &TrackResult) -> FrameHealth {
+    pub(crate) fn new(frame: usize, quality: FrameQuality, track: &TrackResult) -> FrameHealth {
         // Segmentation factor: each failed check costs 30%.
         let seg = if quality.is_healthy() {
             1.0
@@ -149,7 +150,46 @@ impl AnalyzerConfig {
             ..AnalyzerConfig::default()
         }
     }
+
+    /// The default streamable configuration:
+    /// [`AnalyzerConfig::default`] made causal via
+    /// [`into_streaming`](AnalyzerConfig::into_streaming) with a
+    /// [`DEFAULT_WARMUP_FRAMES`]-frame background window.
+    pub fn streaming() -> Self {
+        AnalyzerConfig::default().into_streaming(DEFAULT_WARMUP_FRAMES)
+    }
+
+    /// Makes any configuration streamable by removing its whole-clip
+    /// dependencies: the background estimate is windowed to the first
+    /// `warmup` frames, frame-quality references switch to the causal
+    /// prefix median, and the background combination rule switches to
+    /// [`UpdateMode::LastStable`]. The last is not a causality
+    /// requirement but a correctness one: inside a *leading* window the
+    /// jumper occupies the launch area for most frames, so a per-pixel
+    /// median burns them into the estimate, whereas the last stable
+    /// observation is the post-takeoff (true background) one — and
+    /// `LastStable`'s usual weakness, the landed jumper resting at the
+    /// *end* of the clip, cannot occur inside a window that ends before
+    /// landing. Batch [`JumpAnalyzer::analyze`] honours all three
+    /// options identically, so a batch run of the returned
+    /// configuration is byte-identical to the streaming run — at the
+    /// price that frames after the warmup window no longer inform the
+    /// background estimate.
+    pub fn into_streaming(mut self, warmup: usize) -> Self {
+        self.segmentation.background.warmup = Some(warmup);
+        self.segmentation.background.mode = UpdateMode::LastStable;
+        self.segmentation.quality.reference = ReferenceMode::Causal;
+        self
+    }
 }
+
+/// Background warmup window (frames) used by
+/// [`AnalyzerConfig::streaming`]: long enough that the jumper has left
+/// the launch area and the last-stable rule has re-observed it as true
+/// background (shorter windows leave takeoff-frame silhouettes
+/// shredded), short enough that a streaming run goes live well before a
+/// default 20-frame clip ends.
+pub const DEFAULT_WARMUP_FRAMES: usize = 14;
 
 /// Everything the end-to-end analysis produced.
 #[derive(Debug, Clone)]
@@ -180,39 +220,44 @@ impl AnalysisReport {
 
     /// A compact serialisable summary (no pixel data).
     pub fn summary(&self) -> AnalysisSummary {
-        AnalysisSummary {
-            frames: self.poses.len(),
-            score: self.score.score(),
-            violations: self.score.violations().iter().map(|r| r.number()).collect(),
-            advice: self
-                .score
-                .advice()
+        summarize(&self.poses, &self.score, &self.tracking, &self.health)
+    }
+}
+
+/// Builds the serialisable summary from the pieces every finished
+/// analysis carries — shared by the batch report and the streaming
+/// [`JumpAnalysis`](crate::JumpAnalysis) so both summarise identically.
+pub(crate) fn summarize(
+    poses: &PoseSeq,
+    score: &ScoreCard,
+    tracking: &[TrackResult],
+    health: &[FrameHealth],
+) -> AnalysisSummary {
+    AnalysisSummary {
+        frames: poses.len(),
+        score: score.score(),
+        violations: score.violations().iter().map(|r| r.number()).collect(),
+        advice: score
+            .advice()
+            .iter()
+            .map(|(s, a)| (s.number(), (*a).to_owned()))
+            .collect(),
+        forward_travel_m: poses.forward_travel(),
+        mean_fitness: mean(tracking.iter().map(|t| t.fitness).filter(|f| f.is_finite())),
+        mean_generations_to_near_best: mean(
+            tracking
                 .iter()
-                .map(|(s, a)| (s.number(), (*a).to_owned()))
-                .collect(),
-            forward_travel_m: self.poses.forward_travel(),
-            mean_fitness: mean(
-                self.tracking
-                    .iter()
-                    .map(|t| t.fitness)
-                    .filter(|f| f.is_finite()),
-            ),
-            mean_generations_to_near_best: mean(
-                self.tracking
-                    .iter()
-                    .skip(1)
-                    .filter(|t| !t.carried_over)
-                    .map(|t| t.generations_to_near_best as f64),
-            ),
-            total_evaluations: self.tracking.iter().map(|t| t.evaluations).sum(),
-            degraded_frames: self
-                .health
-                .iter()
-                .filter(|h| h.is_degraded())
-                .map(|h| h.frame)
-                .collect(),
-            mean_confidence: mean(self.health.iter().map(|h| h.confidence)).unwrap_or(0.0),
-        }
+                .skip(1)
+                .filter(|t| !t.carried_over)
+                .map(|t| t.generations_to_near_best as f64),
+        ),
+        total_evaluations: tracking.iter().map(|t| t.evaluations).sum(),
+        degraded_frames: health
+            .iter()
+            .filter(|h| h.is_degraded())
+            .map(|h| h.frame)
+            .collect(),
+        mean_confidence: mean(health.iter().map(|h| h.confidence)).unwrap_or(0.0),
     }
 }
 
@@ -324,31 +369,8 @@ impl JumpAnalyzer {
             .enumerate()
             .map(|(k, (q, t))| FrameHealth::new(k, q.clone(), t))
             .collect();
-        let allowed = match self.config.robustness {
-            RobustnessPolicy::Strict => 0,
-            RobustnessPolicy::BestEffort {
-                max_degraded_frames,
-            } => max_degraded_frames,
-        };
-        let degraded: Vec<&FrameHealth> = health.iter().filter(|h| h.is_degraded()).collect();
-        if degraded.len() > allowed {
-            let first = degraded[0];
-            return Err(AnalyzeError::DegradedClip {
-                first_frame: first.frame,
-                detail: degraded_detail(first),
-                degraded: degraded.len(),
-                allowed,
-                frames: health.len(),
-            });
-        }
-
-        let score = match self.config.robustness {
-            RobustnessPolicy::Strict => score_jump(&poses)?,
-            RobustnessPolicy::BestEffort { .. } => {
-                let excluded: Vec<bool> = health.iter().map(FrameHealth::is_degraded).collect();
-                score_jump_masked(&poses, &excluded)?
-            }
-        };
+        enforce_robustness(&health, self.config.robustness)?;
+        let score = score_with_policy(&poses, &health, self.config.robustness)?;
         Ok(AnalysisReport {
             segmentation,
             tracking: tracking.frames,
@@ -357,6 +379,51 @@ impl JumpAnalyzer {
             health,
         })
     }
+}
+
+/// Applies the degraded-frame budget of `robustness` to a finished
+/// health timeline, shared verbatim by [`JumpAnalyzer::analyze`] and
+/// [`crate::stream::StreamingAnalyzer::finish`] so both paths reject
+/// (or accept) a clip identically.
+pub(crate) fn enforce_robustness(
+    health: &[FrameHealth],
+    robustness: RobustnessPolicy,
+) -> Result<(), AnalyzeError> {
+    let allowed = match robustness {
+        RobustnessPolicy::Strict => 0,
+        RobustnessPolicy::BestEffort {
+            max_degraded_frames,
+        } => max_degraded_frames,
+    };
+    let degraded: Vec<&FrameHealth> = health.iter().filter(|h| h.is_degraded()).collect();
+    if degraded.len() > allowed {
+        let first = degraded[0];
+        return Err(AnalyzeError::DegradedClip {
+            first_frame: first.frame,
+            detail: degraded_detail(first),
+            degraded: degraded.len(),
+            allowed,
+            frames: health.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Scores a (smoothed) pose sequence under `robustness` — strict runs
+/// score every frame; best-effort excludes degraded frames from the
+/// R1–R7 window extrema. Shared by the batch and streaming paths.
+pub(crate) fn score_with_policy(
+    poses: &PoseSeq,
+    health: &[FrameHealth],
+    robustness: RobustnessPolicy,
+) -> Result<ScoreCard, AnalyzeError> {
+    Ok(match robustness {
+        RobustnessPolicy::Strict => score_jump(poses)?,
+        RobustnessPolicy::BestEffort { .. } => {
+            let excluded: Vec<bool> = health.iter().map(FrameHealth::is_degraded).collect();
+            score_jump_masked(poses, &excluded)?
+        }
+    })
 }
 
 /// Human-readable account of why a frame is degraded, for error

@@ -29,6 +29,12 @@ pub enum AnalyzeError {
         /// Total frames in the clip.
         frames: usize,
     },
+    /// The configuration has a whole-clip dependency a streaming run
+    /// cannot satisfy (see [`crate::AnalyzerConfig::into_streaming`]).
+    NotStreamable {
+        /// Which option blocks streaming and how to fix it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -49,6 +55,9 @@ impl fmt::Display for AnalyzeError {
                  confidence floor (policy allows {allowed}); first unhealthy \
                  frame is {first_frame} ({detail})"
             ),
+            AnalyzeError::NotStreamable { reason } => {
+                write!(f, "configuration cannot stream: {reason}")
+            }
         }
     }
 }
@@ -59,7 +68,7 @@ impl std::error::Error for AnalyzeError {
             AnalyzeError::Segment(e) => Some(e),
             AnalyzeError::Tracking(e) => Some(e),
             AnalyzeError::Scoring(e) => Some(e),
-            AnalyzeError::DegradedClip { .. } => None,
+            AnalyzeError::DegradedClip { .. } | AnalyzeError::NotStreamable { .. } => None,
         }
     }
 }

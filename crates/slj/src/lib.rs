@@ -45,23 +45,28 @@ pub mod analyzer;
 pub mod error;
 pub mod measure;
 pub mod report;
+pub mod stream;
 pub mod viz;
 
 pub use analyzer::{
     AnalysisReport, AnalysisSummary, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
+    DEFAULT_WARMUP_FRAMES,
 };
 pub use error::AnalyzeError;
 pub use measure::{measure_jump, JumpMeasurement, MeasureError};
 pub use report::{health_timeline, markdown_report, suspect_frames};
 pub use slj_runtime::Parallelism;
+pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
 
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {
     pub use crate::analyzer::{
         AnalysisReport, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
+        DEFAULT_WARMUP_FRAMES,
     };
     pub use crate::error::AnalyzeError;
     pub use crate::measure::{measure_jump, JumpMeasurement};
+    pub use crate::stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
     pub use slj_ga::tracker::{TemporalTracker, TrackerConfig};
     pub use slj_motion::{
         synthesize_jump, Angle, BodyDims, JumpConfig, JumpFlaw, Pose, PoseSeq, StickKind,

@@ -1,0 +1,339 @@
+//! Frame-at-a-time analysis with O(1)-in-frames memory.
+//!
+//! [`StreamingAnalyzer`] is [`JumpAnalyzer`](crate::JumpAnalyzer)
+//! restructured around arrival order: frames go in one at a time via
+//! [`push_frame`](StreamingAnalyzer::push_frame), per-frame
+//! [`FrameHealth`] comes back incrementally, and
+//! [`finish`](StreamingAnalyzer::finish) closes the clip with the same
+//! degraded-frame policy and R1–R7 scoring as the batch path.
+//!
+//! The streaming state is O(1) in clip length: one reusable
+//! [`FrameStages`], one scratch arena inside the frame segmenter, the
+//! previous input frame (ghost suppression's reference), the tracker's
+//! previous pose, and small per-frame scalars (areas, poses, health) —
+//! never the frames or masks themselves. Before the background warmup
+//! window fills, pushed frames are buffered (bounded by the warmup
+//! length, not the clip length).
+//!
+//! **Byte-identity with batch:** a streamable configuration
+//! ([`AnalyzerConfig::into_streaming`]) confines the whole-clip
+//! dependencies — background estimation and quality references — to
+//! causal windows that [`JumpAnalyzer::analyze`](crate::JumpAnalyzer)
+//! honours identically, the segmentation engine is the same
+//! [`FrameSegmenter`] the batch pipeline runs, and tracking/scoring go
+//! through the very functions the batch path calls
+//! ([`TrackerStream`](slj_ga::tracker::TrackerStream) is the loop body
+//! of `track`). The `streaming_determinism` integration test asserts
+//! equality field-by-field on clean and fault-injected clips at every
+//! `Parallelism` setting.
+
+use crate::analyzer::{enforce_robustness, score_with_policy, AnalyzerConfig, FrameHealth};
+use crate::error::AnalyzeError;
+use slj_ga::tracker::{TemporalTracker, TrackResult, TrackerConfig, TrackerStream};
+use slj_motion::{Pose, PoseSeq};
+use slj_score::ScoreCard;
+use slj_segment::background::{BackgroundEstimator, EstimatedBackground};
+use slj_segment::pipeline::{FrameStages, PipelineConfig};
+use slj_segment::quality::{causal_reference_area, FrameQuality, ReferenceMode};
+use slj_segment::segmenter::{FrameSegmenter, PreparedBackground};
+use slj_video::{Camera, Frame, Video};
+use std::sync::Arc;
+
+/// What one [`StreamingAnalyzer::push_frame`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameUpdate {
+    /// Index of the frame just pushed.
+    pub frame: usize,
+    /// Whether that frame is still buffered awaiting the background
+    /// warmup window (its health will arrive with a later update).
+    pub buffered: bool,
+    /// Health of frames completed by this push, in frame order. Empty
+    /// while warming up; the whole backlog when the warmup window
+    /// fills; exactly one entry per push thereafter.
+    pub completed: Vec<FrameHealth>,
+}
+
+/// A finished streaming analysis: everything
+/// [`AnalysisReport`](crate::AnalysisReport) holds except the per-frame
+/// pixel data (stage masks), which a streaming run never retains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JumpAnalysis {
+    /// The estimated (smoothed) pose sequence.
+    pub poses: PoseSeq,
+    /// The rule verdicts and score.
+    pub score: ScoreCard,
+    /// Per-frame GA tracking diagnostics.
+    pub tracking: Vec<TrackResult>,
+    /// Per-frame health timeline.
+    pub health: Vec<FrameHealth>,
+    /// Per-frame silhouette quality.
+    pub quality: Vec<FrameQuality>,
+}
+
+impl JumpAnalysis {
+    /// A compact serialisable summary (no pixel data) — the same
+    /// [`AnalysisSummary`](crate::AnalysisSummary) a batch
+    /// [`AnalysisReport`](crate::AnalysisReport) over the same clip and
+    /// configuration produces.
+    pub fn summary(&self) -> crate::AnalysisSummary {
+        crate::analyzer::summarize(&self.poses, &self.score, &self.tracking, &self.health)
+    }
+}
+
+impl crate::AnalysisReport {
+    /// The streaming-comparable subset of this report: everything but
+    /// the retained pixel data. Equal (`==`) to the [`JumpAnalysis`]
+    /// of a streaming run over the same clip and configuration.
+    pub fn to_analysis(&self) -> JumpAnalysis {
+        JumpAnalysis {
+            poses: self.poses.clone(),
+            score: self.score.clone(),
+            tracking: self.tracking.clone(),
+            health: self.health.clone(),
+            quality: self.segmentation.quality.clone(),
+        }
+    }
+}
+
+/// Everything live segmentation + tracking needs once the background
+/// warmup window has filled.
+#[derive(Debug)]
+struct LiveState {
+    background: EstimatedBackground,
+    segmenter: FrameSegmenter,
+    /// The one reusable stage buffer — masks never accumulate.
+    stages: FrameStages,
+    tracker: TrackerStream,
+    /// Previous *input* frame: ghost suppression's motion reference.
+    previous_input: Option<Frame>,
+    /// Per-frame final-mask areas, for the causal quality reference.
+    areas: Vec<usize>,
+    poses: Vec<Pose>,
+    tracking: Vec<TrackResult>,
+    quality: Vec<FrameQuality>,
+    health: Vec<FrameHealth>,
+}
+
+/// The frame-at-a-time analyzer. See the module docs for the contract;
+/// see [`AnalyzerConfig::into_streaming`] for what makes a
+/// configuration streamable.
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    segmentation: PipelineConfig,
+    config: AnalyzerConfig,
+    camera: Camera,
+    first_pose: Pose,
+    fps: f64,
+    warmup: usize,
+    /// Presmoothed frames awaiting the warmup window (≤ `warmup`).
+    pending: Vec<Frame>,
+    live: Option<LiveState>,
+    frames_pushed: usize,
+}
+
+impl StreamingAnalyzer {
+    /// Creates a streaming analyzer for one clip.
+    ///
+    /// `first_pose` and `camera` play the same roles as in
+    /// [`JumpAnalyzer::analyze`](crate::JumpAnalyzer::analyze); `fps`
+    /// is the clip frame rate (batch reads it off the `Video`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::NotStreamable`] unless the configuration
+    /// is causal: a background warmup window of at least 2 frames and
+    /// [`ReferenceMode::Causal`] quality references (use
+    /// [`AnalyzerConfig::into_streaming`]).
+    pub fn new(
+        config: AnalyzerConfig,
+        camera: &Camera,
+        first_pose: Pose,
+        fps: f64,
+    ) -> Result<Self, AnalyzeError> {
+        let warmup = match config.segmentation.background.warmup {
+            Some(w) if w >= 2 => w,
+            Some(w) => {
+                return Err(AnalyzeError::NotStreamable {
+                    reason: format!(
+                        "background warmup window is {w}, but estimation needs at \
+                         least 2 frames"
+                    ),
+                })
+            }
+            None => {
+                return Err(AnalyzeError::NotStreamable {
+                    reason: "background estimation reads the whole clip; set \
+                             `segmentation.background.warmup` (see \
+                             AnalyzerConfig::into_streaming)"
+                        .to_owned(),
+                })
+            }
+        };
+        if config.segmentation.quality.reference != ReferenceMode::Causal {
+            return Err(AnalyzeError::NotStreamable {
+                reason: "quality references use the whole-clip median; set \
+                         `segmentation.quality.reference = ReferenceMode::Causal` \
+                         (see AnalyzerConfig::into_streaming)"
+                    .to_owned(),
+            });
+        }
+        // As in batch: the analyzer-level parallelism knob is
+        // authoritative for every phase. Frames arrive one at a time,
+        // so here it parallelises the GA's per-genome fitness
+        // evaluation (bit-identical at any thread count, tested).
+        let segmentation = PipelineConfig {
+            parallelism: config.parallelism,
+            ..config.segmentation.clone()
+        };
+        Ok(StreamingAnalyzer {
+            segmentation,
+            camera: *camera,
+            first_pose,
+            fps,
+            warmup,
+            pending: Vec::new(),
+            live: None,
+            frames_pushed: 0,
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Frames pushed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frames_pushed
+    }
+
+    /// The background estimate, once the warmup window has filled.
+    pub fn background(&self) -> Option<&EstimatedBackground> {
+        self.live.as_ref().map(|l| &l.background)
+    }
+
+    /// Feeds the next frame, in arrival order.
+    ///
+    /// Until the background warmup window fills, frames are buffered
+    /// and the update carries no health entries. The push that fills
+    /// the window estimates the background, drains the backlog and
+    /// returns every buffered frame's health at once; every later push
+    /// segments, tracks and assesses its frame immediately and returns
+    /// exactly one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::Segment`] / [`AnalyzeError::Tracking`]
+    /// exactly where the batch path would.
+    pub fn push_frame(&mut self, frame: &Frame) -> Result<FrameUpdate, AnalyzeError> {
+        let index = self.frames_pushed;
+        let smoothed = self.segmentation.presmooth.apply(frame);
+        let completed = if self.live.is_some() {
+            vec![self.process(smoothed)?]
+        } else {
+            self.pending.push(smoothed);
+            if self.pending.len() >= self.warmup {
+                self.go_live()?
+            } else {
+                Vec::new()
+            }
+        };
+        self.frames_pushed = index + 1;
+        Ok(FrameUpdate {
+            frame: index,
+            buffered: completed.is_empty(),
+            completed,
+        })
+    }
+
+    /// Closes the clip: flushes any still-buffered frames (a clip
+    /// shorter than the warmup window goes live here, estimating the
+    /// background from what arrived — exactly what batch does when the
+    /// clip is shorter than the window), applies the robustness policy
+    /// and scores.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`JumpAnalyzer::analyze`](crate::JumpAnalyzer::analyze):
+    /// too few frames, a degraded clip under the policy's budget, or a
+    /// sequence too short to score.
+    pub fn finish(mut self) -> Result<JumpAnalysis, AnalyzeError> {
+        if self.live.is_none() {
+            self.go_live()?;
+        }
+        let live = self.live.expect("go_live sets live state");
+        let mut poses = PoseSeq::new(live.poses, self.fps);
+        if self.config.smoothing_window > 1 {
+            poses = poses.median_smoothed(self.config.smoothing_window);
+        }
+        enforce_robustness(&live.health, self.config.robustness)?;
+        let score = score_with_policy(&poses, &live.health, self.config.robustness)?;
+        Ok(JumpAnalysis {
+            poses,
+            score,
+            tracking: live.tracking,
+            health: live.health,
+            quality: live.quality,
+        })
+    }
+
+    /// Estimates the background from the buffered warmup frames, builds
+    /// the live state and drains the backlog through it.
+    fn go_live(&mut self) -> Result<Vec<FrameHealth>, AnalyzeError> {
+        let backlog = std::mem::take(&mut self.pending);
+        // `estimate` windows itself to `min(warmup, len)` frames; the
+        // buffer never exceeds the warmup, so this reads all of it —
+        // identical to batch on both full-length and short clips.
+        let video = Video::new(backlog, self.fps);
+        let background = BackgroundEstimator::new(self.segmentation.background).estimate(&video)?;
+        let prepared = Arc::new(PreparedBackground::new(&background.image));
+        let segmenter = FrameSegmenter::new(&self.segmentation, prepared);
+        let tracker_config = TrackerConfig {
+            parallelism: self.config.parallelism,
+            ..self.config.tracker
+        };
+        let tracker = TemporalTracker::new(tracker_config).stream(
+            self.first_pose,
+            &self.config.dims,
+            &self.camera,
+        );
+        self.live = Some(LiveState {
+            background,
+            segmenter,
+            stages: FrameStages::empty(),
+            tracker,
+            previous_input: None,
+            areas: Vec::new(),
+            poses: Vec::new(),
+            tracking: Vec::new(),
+            quality: Vec::new(),
+            health: Vec::new(),
+        });
+        video
+            .iter()
+            .map(|frame| self.process(frame.clone()))
+            .collect()
+    }
+
+    /// Segments, quality-assesses, tracks and health-scores one frame,
+    /// taking ownership of it as the next ghost-suppression reference.
+    fn process(&mut self, frame: Frame) -> Result<FrameHealth, AnalyzeError> {
+        let live = self.live.as_mut().expect("process requires live state");
+        let k = live.health.len();
+        live.segmenter
+            .segment_into(&frame, live.previous_input.as_ref(), &mut live.stages)?;
+        let final_mask = &live.stages.final_mask;
+        live.areas.push(final_mask.count());
+        let reference = causal_reference_area(&live.areas, k);
+        let quality = FrameQuality::measure(final_mask, reference, &self.segmentation.quality);
+        let track = live.tracker.push(final_mask)?;
+        let health = FrameHealth::new(k, quality.clone(), &track);
+        live.poses.push(track.pose);
+        live.tracking.push(track);
+        live.quality.push(quality);
+        live.health.push(health.clone());
+        live.previous_input = Some(frame);
+        Ok(health)
+    }
+}

@@ -1,0 +1,186 @@
+//! Streaming-vs-batch identity suite: feeding a clip frame by frame
+//! through [`StreamingAnalyzer`] must produce byte-identical results to
+//! handing the whole clip to [`JumpAnalyzer::analyze`] with the same
+//! (streamable) configuration — poses, score card, tracking
+//! diagnostics, health timeline and silhouette quality — on a clean
+//! clip and on a fault-injected one, at every `Parallelism` setting.
+
+use slj::prelude::*;
+use slj::JumpAnalysis;
+
+fn streamable_fast() -> AnalyzerConfig {
+    AnalyzerConfig::fast().into_streaming(14)
+}
+
+fn batch_analysis(
+    config: &AnalyzerConfig,
+    video: &Video,
+    camera: &Camera,
+    first: slj_motion::Pose,
+) -> JumpAnalysis {
+    JumpAnalyzer::new(config.clone())
+        .analyze(video, camera, first)
+        .expect("batch analysis should succeed")
+        .to_analysis()
+}
+
+fn stream_analysis(
+    config: &AnalyzerConfig,
+    video: &Video,
+    camera: &Camera,
+    first: slj_motion::Pose,
+) -> JumpAnalysis {
+    let mut stream = StreamingAnalyzer::new(config.clone(), camera, first, video.fps())
+        .expect("config is streamable");
+    let mut completed = 0usize;
+    for (k, frame) in video.iter().enumerate() {
+        let update = stream.push_frame(frame).expect("push should succeed");
+        assert_eq!(update.frame, k);
+        completed += update.completed.len();
+        // Incremental health arrives in frame order with no gaps.
+        assert_eq!(update.buffered, update.completed.is_empty());
+    }
+    assert_eq!(
+        completed,
+        video.len().min(stream.frames_pushed()),
+        "every pushed frame's health must be delivered before finish"
+    );
+    stream.finish().expect("finish should succeed")
+}
+
+#[test]
+fn clean_clip_streaming_matches_batch() {
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 81);
+    let first = jump.poses.poses()[0];
+    let config = streamable_fast();
+    let batch = batch_analysis(&config, &jump.video, &scene.camera, first);
+    let streamed = stream_analysis(&config, &jump.video, &scene.camera, first);
+    assert_eq!(batch, streamed, "clean clip: streaming != batch");
+}
+
+#[test]
+fn fault_injected_clip_streaming_matches_batch() {
+    // Faults exercise the recovery ladder, degraded accounting and
+    // best-effort scoring — the stateful paths where a streaming
+    // reimplementation would first drift from batch.
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::default()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 82);
+    let (faulty, _) = FaultInjector::new(FaultConfig {
+        seed: 7,
+        occlusion_bars: 2,
+        ..FaultConfig::default()
+    })
+    .inject(&jump.video);
+    let config = AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 10,
+        },
+        ..streamable_fast()
+    };
+    let first = jump.poses.poses()[0];
+    let batch = batch_analysis(&config, &faulty, &scene.camera, first);
+    let streamed = stream_analysis(&config, &faulty, &scene.camera, first);
+    assert_eq!(batch, streamed, "fault-injected clip: streaming != batch");
+}
+
+#[test]
+fn streaming_matches_batch_at_every_parallelism() {
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 83);
+    let first = jump.poses.poses()[0];
+    let serial = batch_analysis(&streamable_fast(), &jump.video, &scene.camera, first);
+    for parallelism in [
+        Parallelism::Serial,
+        Parallelism::Fixed(2),
+        Parallelism::Fixed(4),
+        Parallelism::Auto,
+    ] {
+        let config = AnalyzerConfig {
+            parallelism,
+            ..streamable_fast()
+        };
+        let streamed = stream_analysis(&config, &jump.video, &scene.camera, first);
+        assert_eq!(
+            serial, streamed,
+            "parallelism {parallelism}: streaming != serial batch"
+        );
+    }
+}
+
+#[test]
+fn clip_shorter_than_warmup_still_matches_batch() {
+    // finish() on a short clip estimates the background from whatever
+    // arrived — exactly what batch does when the clip is shorter than
+    // the warmup window.
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 84);
+    let short = Video::new(jump.video.frames()[..8].to_vec(), jump.video.fps());
+    let config = AnalyzerConfig {
+        // 8 frames cannot satisfy every scoring window strictly; use a
+        // generous best-effort budget so both paths reach scoring.
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 8,
+        },
+        ..streamable_fast()
+    };
+    let first = jump.poses.poses()[0];
+    let batch = JumpAnalyzer::new(config.clone()).analyze(&short, &scene.camera, first);
+    let mut stream = StreamingAnalyzer::new(config, &scene.camera, first, short.fps()).unwrap();
+    for frame in short.iter() {
+        let update = stream.push_frame(frame).unwrap();
+        assert!(update.buffered, "8 < warmup 14: everything stays buffered");
+    }
+    let streamed = stream.finish();
+    match (batch, streamed) {
+        (Ok(b), Ok(s)) => assert_eq!(b.to_analysis(), s),
+        (Err(b), Err(s)) => assert_eq!(b.to_string(), s.to_string()),
+        (b, s) => panic!(
+            "batch and streaming disagree on whether the short clip analyses: \
+             batch ok = {}, streaming ok = {}",
+            b.is_ok(),
+            s.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn non_streamable_configs_are_rejected_up_front() {
+    let camera = Camera::compact();
+    let pose = slj_motion::Pose::standing(&slj_motion::BodyDims::default());
+    // Default config: whole-clip background.
+    let err = StreamingAnalyzer::new(AnalyzerConfig::fast(), &camera, pose, 10.0).unwrap_err();
+    assert!(
+        err.to_string().contains("cannot stream"),
+        "unexpected error: {err}"
+    );
+    // Warmup set but quality still clip-median.
+    let mut config = AnalyzerConfig::fast();
+    config.segmentation.background.warmup = Some(12);
+    let err = StreamingAnalyzer::new(config, &camera, pose, 10.0).unwrap_err();
+    assert!(
+        err.to_string().contains("Causal"),
+        "unexpected error: {err}"
+    );
+    // A 1-frame warmup cannot estimate a background.
+    let config = AnalyzerConfig::fast().into_streaming(1);
+    let err = StreamingAnalyzer::new(config, &camera, pose, 10.0).unwrap_err();
+    assert!(
+        err.to_string().contains("at least 2"),
+        "unexpected error: {err}"
+    );
+    // The blessed presets pass validation.
+    assert!(StreamingAnalyzer::new(AnalyzerConfig::streaming(), &camera, pose, 10.0).is_ok());
+}
