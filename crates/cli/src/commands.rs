@@ -304,6 +304,81 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `slj eval` — ground-truth accuracy evaluation over the synthetic
+/// fault matrix, or the threshold-calibration sweep.
+///
+/// Exactly one mode must be selected: `--matrix small|full` runs the
+/// seeded clip × fault-profile × gap-policy grid and writes the
+/// `slj-eval/1` accuracy report; `--sweep` ROC-scores the quality-gate
+/// thresholds and fits per-rung confidence factors against the same
+/// ground truth.
+pub fn eval<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["matrix", "out", "summary-md", "threads"],
+        &["sweep"],
+    )?;
+    let matrix_size = flags.value("matrix");
+    if flags.switch("sweep") && matrix_size.is_some() {
+        return Err(CliError::Usage(
+            "--sweep and --matrix are exclusive; pick one mode".into(),
+        ));
+    }
+    if !flags.switch("sweep") && matrix_size.is_none() {
+        return Err(CliError::Usage(
+            "one of --matrix small|full or --sweep is required".into(),
+        ));
+    }
+    let parallelism = match flags.value("threads") {
+        None => Parallelism::Auto,
+        Some(raw) => raw
+            .parse::<Parallelism>()
+            .map_err(|e| CliError::Usage(format!("--threads: {e}")))?,
+    };
+
+    if flags.switch("sweep") {
+        if flags.value("summary-md").is_some() {
+            return Err(CliError::Usage(
+                "--summary-md only makes sense with --matrix".into(),
+            ));
+        }
+        let config = slj_eval::MatrixConfig {
+            parallelism,
+            ..slj_eval::MatrixConfig::small()
+        };
+        let report = slj_eval::calibrate(&config, &slj_eval::SweepConfig::default());
+        write!(out, "{}", slj_eval::calibrate::markdown_summary(&report))?;
+        let path = flags.value("out").unwrap_or("EVAL_calibration.json");
+        std::fs::write(path, report.to_json())?;
+        writeln!(out, "calibration report written to {path}")?;
+    } else {
+        let config = match matrix_size.unwrap_or_default() {
+            "small" => slj_eval::MatrixConfig::small(),
+            "full" => slj_eval::MatrixConfig::full(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--matrix must be 'small' or 'full', got '{other}'"
+                )))
+            }
+        };
+        let config = slj_eval::MatrixConfig {
+            parallelism,
+            ..config
+        };
+        let report = slj_eval::run_matrix(&config);
+        let summary = slj_eval::markdown_summary(&report);
+        write!(out, "{summary}")?;
+        let path = flags.value("out").unwrap_or("EVAL_accuracy.json");
+        std::fs::write(path, report.to_json())?;
+        writeln!(out, "accuracy report written to {path}")?;
+        if let Some(md_path) = flags.value("summary-md") {
+            std::fs::write(md_path, &summary)?;
+            writeln!(out, "markdown summary written to {md_path}")?;
+        }
+    }
+    Ok(())
+}
+
 /// `slj score` — score a clip's ground-truth poses (no vision).
 pub fn score<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["clip"], &[])?;

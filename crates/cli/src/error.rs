@@ -67,6 +67,16 @@ impl From<slj::AnalyzeError> for CliError {
     }
 }
 
+impl From<slj_video::TruthError> for CliError {
+    fn from(e: slj_video::TruthError) -> Self {
+        match e {
+            slj_video::TruthError::Io(io) => CliError::Io(io),
+            slj_video::TruthError::Json(json) => CliError::Json(json),
+            _ => CliError::Usage(e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

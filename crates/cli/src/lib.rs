@@ -40,6 +40,8 @@ USAGE:
               [--best-effort [--max-degraded N]] [--inject-faults SPEC]
               [--stream [--warmup N]]
   slj score   --clip DIR
+  slj eval    (--matrix small|full | --sweep) [--out FILE.json]
+              [--summary-md FILE.md] [--threads N|auto|serial]
   slj flaws
   slj help
 
@@ -57,6 +59,12 @@ COMMANDS:
              14) and results are byte-identical to a batch run of the
              same streamable configuration)
   score     score a clip's ground-truth poses (no vision)
+  eval      measure tracking accuracy against synthetic ground truth
+            (--matrix runs the seeded clip x fault-profile x gap-policy
+             grid and writes a deterministic slj-eval/1 JSON report;
+             --sweep ROC-scores the segmentation quality-gate
+             thresholds and fits per-rung confidence factors; the two
+             modes are exclusive and exactly one is required)
   flaws     list the injectable technique faults
 ";
 
@@ -73,6 +81,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("synth") => commands::synth(&args[1..], out),
         Some("analyze") => commands::analyze(&args[1..], out),
         Some("score") => commands::score(&args[1..], out),
+        Some("eval") => commands::eval(&args[1..], out),
         Some("flaws") => commands::flaws(out),
         Some("help") | None => {
             out.write_all(USAGE.as_bytes())?;

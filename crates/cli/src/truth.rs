@@ -1,95 +1,7 @@
-//! The `truth.json` sidecar: scene calibration and ground truth for a
-//! synthesised clip.
+//! The `truth.json` sidecar, re-exported for compatibility.
 //!
-//! Real deployments would calibrate the camera once and have a person
-//! annotate the first frame (the paper's procedure); for synthetic clips
-//! the sidecar carries exactly that information — plus the full true
-//! pose sequence, which lets `slj score` and accuracy checks run without
-//! any vision.
+//! [`ClipTruth`] moved to `slj-video` (`slj_video::truth`) so libraries
+//! and tests can load ground truth without a CLI dependency; this
+//! module keeps the old `slj_cli::truth::ClipTruth` path working.
 
-use serde::{Deserialize, Serialize};
-use slj_motion::{BodyDims, Pose, PoseSeq};
-use slj_video::Camera;
-use std::path::Path;
-
-/// Calibration + ground truth for one clip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ClipTruth {
-    /// The fixed camera the clip was rendered with.
-    pub camera: Camera,
-    /// The athlete's body dimensions.
-    pub dims: BodyDims,
-    /// The hand-drawn/first-frame stick model for tracker initialisation.
-    pub first_pose: Pose,
-    /// The full ground-truth pose sequence.
-    pub poses: PoseSeq,
-    /// Names of the injected technique faults (empty = good jump).
-    pub flaws: Vec<String>,
-    /// The generation seed.
-    pub seed: u64,
-}
-
-/// File name of the sidecar inside a clip directory.
-pub const TRUTH_FILE: &str = "truth.json";
-
-impl ClipTruth {
-    /// Saves the sidecar into a clip directory.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on serialisation or filesystem failure.
-    pub fn save<P: AsRef<Path>>(&self, clip_dir: P) -> Result<(), crate::CliError> {
-        let json = serde_json::to_string_pretty(self)?;
-        std::fs::create_dir_all(clip_dir.as_ref())?;
-        std::fs::write(clip_dir.as_ref().join(TRUTH_FILE), json)?;
-        Ok(())
-    }
-
-    /// Loads the sidecar from a clip directory.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the file is missing or malformed.
-    pub fn load<P: AsRef<Path>>(clip_dir: P) -> Result<ClipTruth, crate::CliError> {
-        let raw = std::fs::read_to_string(clip_dir.as_ref().join(TRUTH_FILE))?;
-        Ok(serde_json::from_str(&raw)?)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use slj_motion::{synthesize_jump, JumpConfig};
-
-    #[test]
-    fn sidecar_roundtrip() {
-        let dir = std::env::temp_dir().join("slj_cli_truth_test");
-        std::fs::remove_dir_all(&dir).ok();
-        let cfg = JumpConfig::default();
-        let poses = synthesize_jump(&cfg);
-        let truth = ClipTruth {
-            camera: Camera::compact(),
-            dims: cfg.dims.clone(),
-            first_pose: poses.poses()[0],
-            poses,
-            flaws: vec!["shallow-crouch".into()],
-            seed: 9,
-        };
-        truth.save(&dir).unwrap();
-        let back = ClipTruth::load(&dir).unwrap();
-        assert_eq!(back.camera, truth.camera);
-        assert_eq!(back.seed, 9);
-        assert_eq!(back.flaws, truth.flaws);
-        assert_eq!(back.poses.len(), truth.poses.len());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn missing_sidecar_errors() {
-        let dir = std::env::temp_dir().join("slj_cli_truth_missing");
-        std::fs::remove_dir_all(&dir).ok();
-        std::fs::create_dir_all(&dir).unwrap();
-        assert!(ClipTruth::load(&dir).is_err());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-}
+pub use slj_video::truth::{ClipTruth, TruthError, TRUTH_FILE};

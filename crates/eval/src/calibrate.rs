@@ -1,0 +1,551 @@
+//! Calibration of the quality thresholds and the confidence model
+//! against ground truth.
+//!
+//! The segmentation health thresholds ([`QualityConfig`]) and the
+//! per-rung confidence factors ([`ConfidenceModel`]) were hand-picked
+//! when the pipeline was built. This module replaces the hand-picking
+//! with measurement:
+//!
+//! 1. **Corpus** — every frame of the fault matrix (interpolate
+//!    policy), carrying its threshold-independent quality metrics
+//!    (area ratio, fragmentation, border clip), the recovery rung that
+//!    produced its pose, and its true endpoint RMSE. Because the
+//!    metrics are stored raw, thresholds can be re-applied offline —
+//!    the grid sweep never re-runs the pipeline.
+//! 2. **ROC sweep** — a grid over the four quality thresholds, each
+//!    point scored as a classifier of "frame has high pose error"
+//!    (above [`SweepConfig::error_threshold_m`]). The winner maximises
+//!    Youden's J = TPR − FPR; ties keep the earlier grid point, and the
+//!    shipped defaults lead every axis, so a tie never churns them.
+//! 3. **Confidence fit** — per-rung factors from the measured error
+//!    ratio `baseline / rung mean RMSE` (baseline = plain tracked
+//!    frames), and the per-issue penalty by least squares on the same
+//!    relative-accuracy scale.
+//!
+//! The emitted [`CalibrationReport`] is deterministic and is the
+//! provenance trail for the defaults committed into `slj-segment` and
+//! `slj`.
+
+use crate::matrix::{self, rung_key, MatrixConfig};
+use crate::metrics;
+use serde::{Deserialize, Serialize};
+use slj::ConfidenceModel;
+use slj_ga::tracker::RecoveryAction;
+use slj_segment::quality::QualityConfig;
+use std::collections::BTreeMap;
+
+/// Schema identifier written into every calibration report.
+pub const SCHEMA: &str = "slj-eval-calibration/1";
+
+/// One frame of the calibration corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusFrame {
+    /// Clip generation seed.
+    pub clip_seed: u64,
+    /// Fault profile name.
+    pub profile: String,
+    /// Frame index within the clip.
+    pub frame: usize,
+    /// Foreground area over the clip's reference area.
+    pub area_ratio: f64,
+    /// Fraction of foreground outside the largest component.
+    pub fragmentation: f64,
+    /// Fraction of foreground within the border band.
+    pub border_clip: f64,
+    /// Recovery rung that produced the pose (report key form).
+    pub rung: String,
+    /// Quality issues flagged under the *shipped* thresholds.
+    pub issues: usize,
+    /// True endpoint RMSE of the raw per-frame estimate, metres.
+    pub endpoint_rmse_m: f64,
+}
+
+/// Collects the calibration corpus by running every (seed × profile)
+/// cell of the matrix under the default (interpolate) ladder.
+///
+/// Cells whose analysis aborts are skipped — the corpus only describes
+/// frames that produced a pose to score.
+pub fn collect_corpus(config: &MatrixConfig) -> Vec<CorpusFrame> {
+    let mut corpus = Vec::new();
+    for &seed in &config.seeds {
+        for profile in &config.profiles {
+            let run = matrix::analyze_cell(seed, &profile.fault, true, config.max_degraded_frames);
+            let Ok(report) = run.report else { continue };
+            let dims = &slj_motion::JumpConfig::default().dims;
+            let raw_poses: Vec<_> = report.tracking.iter().map(|t| t.pose).collect();
+            let errors = metrics::pose_seq_errors(&raw_poses, &run.truth, dims);
+            for (health, err) in report.health.iter().zip(&errors) {
+                corpus.push(CorpusFrame {
+                    clip_seed: seed,
+                    profile: profile.name.clone(),
+                    frame: health.frame,
+                    area_ratio: health.quality.area_ratio,
+                    fragmentation: health.quality.fragmentation,
+                    border_clip: health.quality.border_clip,
+                    rung: rung_key(health.recovery).to_owned(),
+                    issues: health.quality.issues.len(),
+                    endpoint_rmse_m: err.endpoint_rmse_m,
+                });
+            }
+        }
+    }
+    corpus
+}
+
+/// Grid and labelling for the threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// A frame counts as "bad" when its endpoint RMSE exceeds this.
+    /// The default sits at roughly twice the clean-clip tracked
+    /// baseline of the fast profile on the compact camera (~0.15 m):
+    /// below it a frame is within normal GA noise, above it something
+    /// materially went wrong — the separation the quality gate exists
+    /// to detect.
+    pub error_threshold_m: f64,
+    /// Candidate `min_area_ratio` values (shipped default first).
+    pub min_area_ratio: Vec<f64>,
+    /// Candidate `max_area_ratio` values.
+    pub max_area_ratio: Vec<f64>,
+    /// Candidate `max_fragmentation` values.
+    pub max_fragmentation: Vec<f64>,
+    /// Candidate `max_border_clip` values.
+    pub max_border_clip: Vec<f64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            error_threshold_m: 0.25,
+            min_area_ratio: vec![0.45, 0.3, 0.55, 0.65],
+            max_area_ratio: vec![2.2, 1.6, 2.8],
+            max_fragmentation: vec![0.35, 0.2, 0.5],
+            max_border_clip: vec![0.25, 0.15, 0.4],
+        }
+    }
+}
+
+/// One grid point of the ROC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub min_area_ratio: f64,
+    pub max_area_ratio: f64,
+    pub max_fragmentation: f64,
+    pub max_border_clip: f64,
+    /// Fraction of truly-bad frames the thresholds flag.
+    pub true_positive_rate: f64,
+    /// Fraction of good frames the thresholds flag.
+    pub false_positive_rate: f64,
+    /// TPR − FPR.
+    pub youden_j: f64,
+}
+
+/// The full ROC sweep over the quality-threshold grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSweep {
+    /// Labelling threshold used, metres.
+    pub error_threshold_m: f64,
+    /// Corpus frames scored.
+    pub frames: usize,
+    /// Frames labelled bad (RMSE above the threshold).
+    pub bad_frames: usize,
+    /// The J-maximising grid point.
+    pub best: SweepPoint,
+    /// Every grid point, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Scores every grid point of `config` as a bad-frame classifier.
+pub fn sweep_quality_thresholds(corpus: &[CorpusFrame], config: &SweepConfig) -> ThresholdSweep {
+    let bad: Vec<bool> = corpus
+        .iter()
+        .map(|f| f.endpoint_rmse_m > config.error_threshold_m)
+        .collect();
+    let bad_frames = bad.iter().filter(|b| **b).count();
+    let good_frames = corpus.len() - bad_frames;
+
+    let mut points = Vec::new();
+    for &min_ar in &config.min_area_ratio {
+        for &max_ar in &config.max_area_ratio {
+            for &max_frag in &config.max_fragmentation {
+                for &max_border in &config.max_border_clip {
+                    let mut tp = 0usize;
+                    let mut fp = 0usize;
+                    for (f, &is_bad) in corpus.iter().zip(&bad) {
+                        let flagged = f.area_ratio < min_ar
+                            || f.area_ratio > max_ar
+                            || f.fragmentation > max_frag
+                            || f.border_clip > max_border;
+                        if flagged {
+                            if is_bad {
+                                tp += 1;
+                            } else {
+                                fp += 1;
+                            }
+                        }
+                    }
+                    let tpr = if bad_frames > 0 {
+                        tp as f64 / bad_frames as f64
+                    } else {
+                        0.0
+                    };
+                    let fpr = if good_frames > 0 {
+                        fp as f64 / good_frames as f64
+                    } else {
+                        0.0
+                    };
+                    points.push(SweepPoint {
+                        min_area_ratio: min_ar,
+                        max_area_ratio: max_ar,
+                        max_fragmentation: max_frag,
+                        max_border_clip: max_border,
+                        true_positive_rate: tpr,
+                        false_positive_rate: fpr,
+                        youden_j: tpr - fpr,
+                    });
+                }
+            }
+        }
+    }
+
+    // Strictly-greater comparison: ties keep the earliest grid point,
+    // and the shipped defaults lead the grid.
+    let best = *points
+        .iter()
+        .reduce(|a, b| if b.youden_j > a.youden_j { b } else { a })
+        .expect("grid is non-empty");
+    ThresholdSweep {
+        error_threshold_m: config.error_threshold_m,
+        frames: corpus.len(),
+        bad_frames,
+        best,
+        points,
+    }
+}
+
+/// Measured accuracy of one recovery rung.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RungFit {
+    /// Corpus frames the rung produced.
+    pub frames: usize,
+    /// Mean endpoint RMSE of those frames, metres.
+    pub mean_endpoint_rmse_m: f64,
+    /// `clamp(baseline / mean RMSE, 0, 1)` — the rung's measured
+    /// relative accuracy, i.e. the fitted confidence factor.
+    pub factor: f64,
+}
+
+/// The fitted confidence model plus its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceFit {
+    /// Mean endpoint RMSE of plain tracked frames — the accuracy every
+    /// factor is measured against.
+    pub baseline_rmse_m: f64,
+    /// Per-rung measurements, keyed like the matrix report.
+    pub rungs: BTreeMap<String, RungFit>,
+    /// Tracked frames with ≥ 1 quality issue used for the penalty fit.
+    pub issue_frames: usize,
+    /// Least-squares per-issue confidence penalty.
+    pub issue_penalty: f64,
+    /// The model to ship: fitted factors, with the gap rungs
+    /// (interpolated / carried) capped below the degraded-confidence
+    /// floor so synthesised poses can never be scored as trusted.
+    pub recommended: ConfidenceModel,
+}
+
+/// Highest factor a gap rung may receive: just under the analyzer's
+/// degraded-confidence floor (0.5), so interpolated and carried frames
+/// always stay excluded from best-effort scoring no matter how well
+/// interpolation does on a particular corpus.
+pub const GAP_FACTOR_CAP: f64 = 0.45;
+
+/// Fits the confidence model to the corpus.
+pub fn fit_confidence(corpus: &[CorpusFrame]) -> ConfidenceFit {
+    let mut by_rung: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for f in corpus {
+        by_rung
+            .entry(f.rung.as_str())
+            .or_default()
+            .push(f.endpoint_rmse_m);
+    }
+    let rung_mean = |key: &str| -> Option<f64> {
+        let v = by_rung.get(key)?;
+        (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    };
+    let baseline = rung_mean(rung_key(RecoveryAction::None)).unwrap_or(0.0);
+
+    let factor_of = |mean: f64| -> f64 {
+        if mean <= 0.0 {
+            1.0
+        } else {
+            (baseline / mean).clamp(0.0, 1.0)
+        }
+    };
+    let rungs: BTreeMap<String, RungFit> = by_rung
+        .iter()
+        .map(|(key, v)| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (
+                (*key).to_owned(),
+                RungFit {
+                    frames: v.len(),
+                    mean_endpoint_rmse_m: mean,
+                    factor: factor_of(mean),
+                },
+            )
+        })
+        .collect();
+    let fitted = |action: RecoveryAction, fallback: f64| -> f64 {
+        rungs.get(rung_key(action)).map_or(fallback, |r| r.factor)
+    };
+
+    // Per-issue penalty: over tracked frames with k ≥ 1 issues, the
+    // model predicts relative accuracy 1 − p·k; least squares on
+    // a_k = clamp(baseline / rmse, 0, 1) gives p = Σ k(1 − a_k) / Σ k².
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut issue_frames = 0usize;
+    let tracked = rung_key(RecoveryAction::None);
+    for f in corpus {
+        if f.rung != tracked || f.issues == 0 {
+            continue;
+        }
+        issue_frames += 1;
+        let k = f.issues as f64;
+        let a = factor_of(f.endpoint_rmse_m);
+        num += k * (1.0 - a);
+        den += k * k;
+    }
+    let defaults = ConfidenceModel::default();
+    let issue_penalty = if den > 0.0 {
+        (num / den).clamp(0.0, 1.0)
+    } else {
+        defaults.issue_penalty
+    };
+
+    let recommended = ConfidenceModel {
+        issue_penalty,
+        widened_factor: fitted(RecoveryAction::WidenedSearch, defaults.widened_factor),
+        cold_restart_factor: fitted(RecoveryAction::ColdRestart, defaults.cold_restart_factor),
+        interpolated_factor: fitted(RecoveryAction::Interpolated, defaults.interpolated_factor)
+            .min(GAP_FACTOR_CAP),
+        carried_factor: fitted(RecoveryAction::CarriedOver, defaults.carried_factor)
+            .min(GAP_FACTOR_CAP),
+    };
+    ConfidenceFit {
+        baseline_rmse_m: baseline,
+        rungs,
+        issue_frames,
+        issue_penalty,
+        recommended,
+    }
+}
+
+/// The deterministic calibration report (schema [`SCHEMA`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Clip seeds the corpus came from.
+    pub seeds: Vec<u64>,
+    /// Profile names the corpus came from.
+    pub profiles: Vec<String>,
+    /// Corpus size, frames.
+    pub frames: usize,
+    /// The quality-threshold ROC sweep.
+    pub sweep: ThresholdSweep,
+    /// The quality thresholds to ship (the sweep winner over the
+    /// shipped `border_margin` / reference mode).
+    pub recommended_quality: QualityConfig,
+    /// The confidence-model fit.
+    pub confidence: ConfidenceFit,
+}
+
+impl CalibrationReport {
+    /// The canonical serialisation: pretty JSON + trailing newline.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises") + "\n"
+    }
+}
+
+/// Runs the whole calibration: corpus → sweep → fit.
+pub fn calibrate(matrix: &MatrixConfig, sweep_config: &SweepConfig) -> CalibrationReport {
+    let corpus = collect_corpus(matrix);
+    let sweep = sweep_quality_thresholds(&corpus, sweep_config);
+    let confidence = fit_confidence(&corpus);
+    let recommended_quality = QualityConfig {
+        min_area_ratio: sweep.best.min_area_ratio,
+        max_area_ratio: sweep.best.max_area_ratio,
+        max_fragmentation: sweep.best.max_fragmentation,
+        max_border_clip: sweep.best.max_border_clip,
+        ..QualityConfig::default()
+    };
+    CalibrationReport {
+        schema: SCHEMA.to_owned(),
+        seeds: matrix.seeds.clone(),
+        profiles: matrix.profiles.iter().map(|p| p.name.clone()).collect(),
+        frames: corpus.len(),
+        sweep,
+        recommended_quality,
+        confidence,
+    }
+}
+
+/// Renders the human-facing summary of a calibration report.
+pub fn markdown_summary(report: &CalibrationReport) -> String {
+    let mut out = String::new();
+    out.push_str("# Calibration report\n\n");
+    out.push_str(&format!(
+        "Schema `{}` · {} corpus frames from {} seed(s) × {} profile(s); \
+         {} frames ({:.0}%) labelled bad at {:.0} mm endpoint RMSE.\n\n",
+        report.schema,
+        report.frames,
+        report.seeds.len(),
+        report.profiles.len(),
+        report.sweep.bad_frames,
+        100.0 * report.sweep.bad_frames as f64 / report.frames.max(1) as f64,
+        1000.0 * report.sweep.error_threshold_m,
+    ));
+
+    let b = &report.sweep.best;
+    out.push_str("## Quality thresholds (ROC sweep winner)\n\n");
+    out.push_str(&format!(
+        "`min_area_ratio` {} · `max_area_ratio` {} · `max_fragmentation` {} \
+         · `max_border_clip` {}\n\nTPR {:.3}, FPR {:.3}, Youden's J {:.3} \
+         over a {}-point grid.\n\n",
+        b.min_area_ratio,
+        b.max_area_ratio,
+        b.max_fragmentation,
+        b.max_border_clip,
+        b.true_positive_rate,
+        b.false_positive_rate,
+        b.youden_j,
+        report.sweep.points.len(),
+    ));
+
+    out.push_str("## Confidence factors\n\n");
+    out.push_str(&format!(
+        "Baseline (tracked) endpoint RMSE: {:.4} m.\n\n",
+        report.confidence.baseline_rmse_m
+    ));
+    out.push_str("| rung | frames | RMSE (m) | fitted factor |\n|---|---|---|---|\n");
+    for (name, fit) in &report.confidence.rungs {
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.3} |\n",
+            name, fit.frames, fit.mean_endpoint_rmse_m, fit.factor
+        ));
+    }
+    let m = &report.confidence.recommended;
+    out.push_str(&format!(
+        "\nRecommended model: issue_penalty {:.3} ({} issue frames), widened {:.3}, \
+         cold restart {:.3}, interpolated {:.3}, carried {:.3} \
+         (gap rungs capped at {GAP_FACTOR_CAP}).\n",
+        m.issue_penalty,
+        report.confidence.issue_frames,
+        m.widened_factor,
+        m.cold_restart_factor,
+        m.interpolated_factor,
+        m.carried_factor,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::FaultProfile;
+    use slj_runtime::Parallelism;
+    use slj_video::FaultConfig;
+
+    fn mini_matrix() -> MatrixConfig {
+        MatrixConfig {
+            seeds: vec![21],
+            profiles: vec![
+                FaultProfile {
+                    name: "clean".into(),
+                    fault: FaultConfig::default(),
+                },
+                FaultProfile {
+                    name: "occlusion-dropout".into(),
+                    fault: FaultConfig {
+                        occlusion_bars: 1,
+                        bar_width_px: 22,
+                        ..FaultConfig::default()
+                    },
+                },
+            ],
+            max_degraded_frames: 20,
+            parallelism: Parallelism::Serial,
+        }
+    }
+
+    fn synthetic_corpus() -> Vec<CorpusFrame> {
+        // 10 clean tracked frames, 5 blurred bad frames with clear
+        // metric separation, 3 carried frames, 2 tracked frames with
+        // one issue each.
+        let mut corpus = Vec::new();
+        let frame = |i: usize, ar: f64, rung: &str, issues: usize, rmse: f64| CorpusFrame {
+            clip_seed: 1,
+            profile: "synthetic".into(),
+            frame: i,
+            area_ratio: ar,
+            fragmentation: 0.05,
+            border_clip: 0.0,
+            rung: rung.into(),
+            issues,
+            endpoint_rmse_m: rmse,
+        };
+        for i in 0..10 {
+            corpus.push(frame(i, 1.0, "tracked", 0, 0.02));
+        }
+        for i in 10..15 {
+            corpus.push(frame(i, 0.2, "tracked", 1, 0.3));
+        }
+        for i in 15..18 {
+            corpus.push(frame(i, 0.1, "carried_over", 1, 0.4));
+        }
+        corpus
+    }
+
+    #[test]
+    fn sweep_flags_low_area_frames() {
+        let corpus = synthetic_corpus();
+        let sweep = sweep_quality_thresholds(&corpus, &SweepConfig::default());
+        assert_eq!(sweep.frames, 18);
+        assert_eq!(sweep.bad_frames, 8);
+        // Perfect separation exists (bad frames all have tiny area
+        // ratio), so the best point is a perfect classifier.
+        assert_eq!(sweep.best.youden_j, 1.0, "{:?}", sweep.best);
+        assert_eq!(sweep.points.len(), 4 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn confidence_fit_orders_rungs_and_caps_gap_factors() {
+        let corpus = synthetic_corpus();
+        let fit = fit_confidence(&corpus);
+        // Baseline over all tracked frames (incl. the bad ones).
+        assert!(fit.baseline_rmse_m > 0.02 && fit.baseline_rmse_m < 0.2);
+        let carried = fit.rungs["carried_over"];
+        assert_eq!(carried.frames, 3);
+        assert!(carried.factor < 1.0);
+        assert!(fit.recommended.carried_factor <= GAP_FACTOR_CAP);
+        assert!(fit.recommended.interpolated_factor <= GAP_FACTOR_CAP);
+        // Issue penalty is fitted from the 5 one-issue tracked frames
+        // and positive (they really are worse).
+        assert_eq!(fit.issue_frames, 5);
+        assert!(fit.issue_penalty > 0.0 && fit.issue_penalty <= 1.0);
+    }
+
+    #[test]
+    fn calibration_report_is_deterministic() {
+        let config = mini_matrix();
+        let sweep = SweepConfig::default();
+        let a = calibrate(&config, &sweep);
+        let b = calibrate(&config, &sweep);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.schema, SCHEMA);
+        assert!(a.frames > 0);
+        let md = markdown_summary(&a);
+        assert!(md.contains("Quality thresholds"));
+        assert!(md.contains("Recommended model"));
+    }
+}

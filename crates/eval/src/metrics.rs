@@ -1,0 +1,237 @@
+//! Ground-truth accuracy metrics for tracked poses and segmented
+//! silhouettes.
+//!
+//! The paper validates its tracker by eye (Figs. 5–7); synthetic clips
+//! carry the exact pose and silhouette per frame, so accuracy can be a
+//! number instead. Three views of the same comparison:
+//!
+//! * **Endpoint RMSE** — root-mean-square distance, in metres, over the
+//!   16 stick endpoints (both ends of all 8 sticks) between the
+//!   estimated and true pose. The headline metric: it weighs centre
+//!   drift and every joint angle in one world-space unit.
+//! * **Per-stick angle error** — absolute wrapped angle difference per
+//!   paper stick index, degrees. Localises *which* joint went wrong.
+//! * **Segmentation IoU** — intersection-over-union between the
+//!   pipeline's final mask and the silhouette re-rendered from the true
+//!   pose. Separates "segmentation handed the GA garbage" from "the GA
+//!   mis-fit a good silhouette".
+
+use serde::{Deserialize, Serialize};
+use slj_imgproc::mask::Mask;
+use slj_motion::model::STICK_COUNT;
+use slj_motion::{BodyDims, Pose};
+use slj_video::render::render_silhouette;
+use slj_video::Camera;
+
+/// Accuracy of one frame's pose estimate against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FramePoseError {
+    /// Frame index.
+    pub frame: usize,
+    /// Distance between estimated and true trunk centres, metres.
+    pub center_distance_m: f64,
+    /// RMS distance over the 16 stick endpoints, metres.
+    pub endpoint_rmse_m: f64,
+    /// Absolute wrapped per-stick angle error, degrees, by paper index.
+    pub angle_errors_deg: [f64; STICK_COUNT],
+}
+
+impl FramePoseError {
+    /// Mean of the per-stick angle errors, degrees.
+    pub fn mean_angle_error_deg(&self) -> f64 {
+        self.angle_errors_deg.iter().sum::<f64>() / STICK_COUNT as f64
+    }
+}
+
+/// Compares one estimated pose against the true one.
+pub fn frame_pose_error(
+    frame: usize,
+    estimated: &Pose,
+    truth: &Pose,
+    dims: &BodyDims,
+) -> FramePoseError {
+    let err = estimated.error_against(truth);
+    let est = estimated.segments(dims);
+    let tru = truth.segments(dims);
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    for ((_, e), (_, t)) in est.iter().zip(tru.iter()) {
+        for (pe, pt) in [(e.a, t.a), (e.b, t.b)] {
+            let dx = pe.x - pt.x;
+            let dy = pe.y - pt.y;
+            sum_sq += dx * dx + dy * dy;
+            n += 1;
+        }
+    }
+    FramePoseError {
+        frame,
+        center_distance_m: err.center_distance,
+        endpoint_rmse_m: (sum_sq / n as f64).sqrt(),
+        angle_errors_deg: err.angle_errors,
+    }
+}
+
+/// Compares an estimated pose sequence against the true one, frame by
+/// frame. The sequences must be index-aligned; the shorter length wins.
+pub fn pose_seq_errors(estimated: &[Pose], truth: &[Pose], dims: &BodyDims) -> Vec<FramePoseError> {
+    estimated
+        .iter()
+        .zip(truth.iter())
+        .enumerate()
+        .map(|(k, (e, t))| frame_pose_error(k, e, t, dims))
+        .collect()
+}
+
+/// Per-frame IoU of the pipeline's final masks against silhouettes
+/// re-rendered from the true poses.
+///
+/// Rendering from `ClipTruth.poses` (rather than trusting any stored
+/// mask) keeps the reference independent of the pipeline under test.
+pub fn segmentation_iou(
+    final_masks: &[&Mask],
+    truth_poses: &[Pose],
+    dims: &BodyDims,
+    camera: &Camera,
+) -> Vec<f64> {
+    final_masks
+        .iter()
+        .zip(truth_poses.iter())
+        .map(|(mask, pose)| {
+            let truth_mask = render_silhouette(pose, dims, camera);
+            mask.iou(&truth_mask)
+                .expect("final mask and rendered truth share the camera dims")
+        })
+        .collect()
+}
+
+/// Aggregate pose accuracy over a set of frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseAccuracy {
+    /// Frames aggregated.
+    pub frames: usize,
+    /// Mean endpoint RMSE, metres.
+    pub mean_endpoint_rmse_m: f64,
+    /// Worst single-frame endpoint RMSE, metres.
+    pub max_endpoint_rmse_m: f64,
+    /// Mean trunk-centre distance, metres.
+    pub mean_center_distance_m: f64,
+    /// Mean per-stick angle error, degrees.
+    pub mean_angle_error_deg: f64,
+}
+
+impl PoseAccuracy {
+    /// Aggregates a set of per-frame errors; `None` when empty.
+    pub fn over(errors: &[FramePoseError]) -> Option<PoseAccuracy> {
+        if errors.is_empty() {
+            return None;
+        }
+        let n = errors.len() as f64;
+        Some(PoseAccuracy {
+            frames: errors.len(),
+            mean_endpoint_rmse_m: errors.iter().map(|e| e.endpoint_rmse_m).sum::<f64>() / n,
+            max_endpoint_rmse_m: errors.iter().map(|e| e.endpoint_rmse_m).fold(0.0, f64::max),
+            mean_center_distance_m: errors.iter().map(|e| e.center_distance_m).sum::<f64>() / n,
+            mean_angle_error_deg: errors.iter().map(|e| e.mean_angle_error_deg()).sum::<f64>() / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_motion::synth::{synthesize_jump, JumpConfig};
+    use slj_motion::{Angle, StickKind};
+
+    #[test]
+    fn identical_poses_have_zero_error() {
+        let dims = BodyDims::default();
+        let p = Pose::standing(&dims);
+        let e = frame_pose_error(0, &p, &p, &dims);
+        assert_eq!(e.endpoint_rmse_m, 0.0);
+        assert_eq!(e.center_distance_m, 0.0);
+        assert_eq!(e.mean_angle_error_deg(), 0.0);
+    }
+
+    #[test]
+    fn pure_translation_moves_every_endpoint_equally() {
+        let dims = BodyDims::default();
+        let p = Pose::standing(&dims);
+        let q = p.with_center(p.center + slj_imgproc::geometry::Vec2::new(0.1, 0.0));
+        let e = frame_pose_error(0, &q, &p, &dims);
+        // Every endpoint translates by exactly 0.1 m, so the RMS is too.
+        assert!(
+            (e.endpoint_rmse_m - 0.1).abs() < 1e-12,
+            "{}",
+            e.endpoint_rmse_m
+        );
+        assert!((e.center_distance_m - 0.1).abs() < 1e-12);
+        assert_eq!(e.mean_angle_error_deg(), 0.0);
+    }
+
+    #[test]
+    fn single_joint_rotation_is_localised() {
+        let dims = BodyDims::default();
+        let p = Pose::standing(&dims);
+        let rotated = p.angle(StickKind::Forearm).degrees() + 30.0;
+        let q = p.with_angle(StickKind::Forearm, Angle::from_degrees(rotated));
+        let e = frame_pose_error(0, &q, &p, &dims);
+        let idx = StickKind::Forearm.index();
+        assert!((e.angle_errors_deg[idx] - 30.0).abs() < 1e-9);
+        for (i, a) in e.angle_errors_deg.iter().enumerate() {
+            if i != idx {
+                assert_eq!(*a, 0.0, "stick {i}");
+            }
+        }
+        // Only the forearm's distal endpoint moved: RMSE is positive but
+        // far below the moved endpoint's own displacement.
+        assert!(e.endpoint_rmse_m > 0.0);
+        let chord = 2.0 * dims.length(StickKind::Forearm) * (15.0f64.to_radians()).sin();
+        assert!(e.endpoint_rmse_m < chord);
+    }
+
+    #[test]
+    fn seq_errors_align_frames() {
+        let cfg = JumpConfig::default();
+        let poses = synthesize_jump(&cfg);
+        let truth = poses.poses();
+        let errors = pose_seq_errors(truth, truth, &cfg.dims);
+        assert_eq!(errors.len(), truth.len());
+        assert!(errors.iter().all(|e| e.endpoint_rmse_m == 0.0));
+        assert_eq!(errors[3].frame, 3);
+    }
+
+    #[test]
+    fn iou_of_rendered_truth_is_one() {
+        let cfg = JumpConfig::default();
+        let camera = Camera::compact();
+        let poses = synthesize_jump(&cfg);
+        let truth = &poses.poses()[..3];
+        let rendered: Vec<Mask> = truth
+            .iter()
+            .map(|p| render_silhouette(p, &cfg.dims, &camera))
+            .collect();
+        let refs: Vec<&Mask> = rendered.iter().collect();
+        let ious = segmentation_iou(&refs, truth, &cfg.dims, &camera);
+        assert_eq!(ious, vec![1.0; 3]);
+        // A blank estimate scores 0 against a non-trivial truth.
+        let blank = Mask::new(camera.width, camera.height);
+        let ious = segmentation_iou(&[&blank], truth, &cfg.dims, &camera);
+        assert_eq!(ious, vec![0.0]);
+    }
+
+    #[test]
+    fn accuracy_aggregates() {
+        let dims = BodyDims::default();
+        let p = Pose::standing(&dims);
+        let q = p.with_center(p.center + slj_imgproc::geometry::Vec2::new(0.2, 0.0));
+        let errors = vec![
+            frame_pose_error(0, &p, &p, &dims),
+            frame_pose_error(1, &q, &p, &dims),
+        ];
+        let acc = PoseAccuracy::over(&errors).unwrap();
+        assert_eq!(acc.frames, 2);
+        assert!((acc.mean_endpoint_rmse_m - 0.1).abs() < 1e-12);
+        assert!((acc.max_endpoint_rmse_m - 0.2).abs() < 1e-12);
+        assert!(PoseAccuracy::over(&[]).is_none());
+    }
+}

@@ -11,9 +11,11 @@
 //! further than the Δ windows allow, or segmentation handed back debris
 //! — the tracker climbs a [`RecoveryPolicy`] escalation ladder instead
 //! of silently freezing: retry the GA with widened Δ-centre/Δρ windows,
-//! then cold-restart from the silhouette centroid, and only then carry
-//! the previous pose over. Each frame's [`TrackResult`] records which
-//! rung fired in [`TrackResult::recovery`].
+//! then cold-restart from the silhouette centroid, then interpolate the
+//! pose kinematically from the neighbouring healthy estimates, and only
+//! then carry the previous pose over verbatim. Each frame's
+//! [`TrackResult`] records which rung fired in
+//! [`TrackResult::recovery`].
 
 use crate::engine::{evolve, GaConfig, GaRun};
 use crate::error::GaError;
@@ -22,6 +24,7 @@ use crate::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use slj_imgproc::geometry::Point2;
 use slj_imgproc::mask::Mask;
 use slj_imgproc::moments;
 use slj_motion::model::STICK_COUNT;
@@ -66,8 +69,14 @@ pub struct TrackerConfig {
 /// 3. **Cold restart** — the previous pose re-centred on the silhouette
 ///    centroid with widened windows: catches a body that teleported
 ///    (camera jitter, frames lost in a burst).
-/// 4. **Carry over** — the previous estimate, flagged; the rung of last
-///    resort.
+/// 4. **Kinematic interpolation** — when no GA candidate exists at all
+///    (blank or unfittable silhouette), continue the trunk centre
+///    through the gap at damped constant velocity from the two most
+///    recent accepted estimates, keeping the joint angles of the last
+///    estimate.
+/// 5. **Carry over** — the previous estimate verbatim, flagged; the
+///    rung of last resort (frame 1 has no penultimate estimate to
+///    interpolate from, and the policy may disable interpolation).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryPolicy {
     /// Scale applied to `delta_center` and `delta_angles` on the
@@ -79,6 +88,19 @@ pub struct RecoveryPolicy {
     pub max_acceptable_fitness: Option<f64>,
     /// Whether the cold-restart rung is attempted at all.
     pub cold_restart: bool,
+    /// Whether unfittable frames interpolate the pose kinematically
+    /// from the neighbouring accepted estimates instead of carrying the
+    /// previous pose over verbatim.
+    pub interpolate: bool,
+    /// Per-gap-frame damping λ applied to the centre velocity on the
+    /// interpolation rung: each consecutive unusable frame advances the
+    /// trunk centre by λ times the previous step, so a long gap
+    /// asymptotically coasts to a stop instead of diverging. 1.0 is
+    /// undamped constant velocity; 0.0 degenerates to carry-over.
+    /// The default (0.9) was chosen by the `slj-eval` fault-matrix
+    /// sweep (see EXPERIMENTS.md): real jumps decelerate into landing,
+    /// so a mild damp beats both extremes.
+    pub interpolate_damping: f64,
 }
 
 impl Default for RecoveryPolicy {
@@ -87,6 +109,8 @@ impl Default for RecoveryPolicy {
             widen_factor: 2.0,
             max_acceptable_fitness: Some(3.0),
             cold_restart: true,
+            interpolate: true,
+            interpolate_damping: 0.9,
         }
     }
 }
@@ -99,6 +123,8 @@ impl RecoveryPolicy {
             widen_factor: 1.0,
             max_acceptable_fitness: None,
             cold_restart: false,
+            interpolate: false,
+            interpolate_damping: 0.9,
         }
     }
 
@@ -118,6 +144,10 @@ pub enum RecoveryAction {
     /// The cold restart from the silhouette centroid produced the
     /// estimate.
     ColdRestart,
+    /// No GA candidate existed; the trunk centre was extrapolated at
+    /// damped constant velocity from the two most recent accepted
+    /// estimates, with the last estimate's joint angles kept.
+    Interpolated,
     /// Every rung failed; the previous pose was carried over.
     CarriedOver,
 }
@@ -128,6 +158,7 @@ impl std::fmt::Display for RecoveryAction {
             RecoveryAction::None => "tracked",
             RecoveryAction::WidenedSearch => "widened search",
             RecoveryAction::ColdRestart => "cold restart",
+            RecoveryAction::Interpolated => "interpolated",
             RecoveryAction::CarriedOver => "carried over",
         };
         f.write_str(s)
@@ -205,6 +236,19 @@ pub struct TrackResult {
     pub history: Vec<f64>,
 }
 
+impl TrackResult {
+    /// True when the pose came out of a GA run on this frame's own
+    /// silhouette (rungs temporal/widened/cold-restart) — the frames
+    /// whose convergence statistics are meaningful. Interpolated and
+    /// carried frames are synthesised without evaluating the frame.
+    pub fn ga_estimated(&self) -> bool {
+        !matches!(
+            self.recovery,
+            RecoveryAction::Interpolated | RecoveryAction::CarriedOver
+        )
+    }
+}
+
 /// The whole-clip tracking output.
 #[derive(Debug, Clone)]
 pub struct TrackingRun {
@@ -230,7 +274,7 @@ impl TrackingRun {
             self.frames
                 .iter()
                 .skip(1)
-                .filter(|f| !f.carried_over)
+                .filter(|f| f.ga_estimated())
                 .map(|f| f.generation_of_best),
         )
     }
@@ -243,7 +287,7 @@ impl TrackingRun {
             self.frames
                 .iter()
                 .skip(1)
-                .filter(|f| !f.carried_over)
+                .filter(|f| f.ga_estimated())
                 .map(|f| f.generations_to_near_best),
         )
     }
@@ -328,16 +372,21 @@ impl TemporalTracker {
             dims: dims.clone(),
             camera: *camera,
             previous: first_pose,
+            penultimate: None,
             next_frame: 0,
         }
     }
 
     /// Estimates one frame, climbing the recovery ladder as needed.
+    /// `penultimate` is the accepted estimate before `previous` (absent
+    /// until two frames have been accepted) — the second anchor of the
+    /// kinematic-interpolation rung.
     fn estimate_frame(
         &self,
         k: usize,
         sil: &Mask,
         previous: Pose,
+        penultimate: Option<Pose>,
         dims: &BodyDims,
         camera: &Camera,
     ) -> Result<TrackResult, GaError> {
@@ -442,20 +491,50 @@ impl TemporalTracker {
                 b.evaluations = spent_evaluations;
                 b
             }
-            // Rung of last resort: the silhouette was unusable (blank,
-            // or so inconsistent with every seed that no valid
-            // chromosome exists) — carry the previous estimate, flagged.
-            None => TrackResult {
-                pose: previous,
-                fitness: f64::INFINITY,
-                generation_of_best: 0,
-                generations_run: 0,
-                generations_to_near_best: 0,
-                evaluations: spent_evaluations,
-                carried_over: true,
-                recovery: RecoveryAction::CarriedOver,
-                history: Vec::new(),
-            },
+            // No GA candidate exists: the silhouette was unusable
+            // (blank, or so inconsistent with every seed that no valid
+            // chromosome exists). Interpolate the trajectory through
+            // the gap when the policy allows and two accepted estimates
+            // anchor it: advance the trunk centre by λ times the last
+            // observed step and keep the joint angles — translation is
+            // the kinematically predictable part of a jump, while
+            // extrapolating the noisy per-stick angles doubles their GA
+            // noise and can coast into poses no later init can recover
+            // from. Causal — no future frame needed — so streaming and
+            // batch stay identical. Fitness stays infinite: the pose
+            // was never matched against this frame's (unusable)
+            // silhouette.
+            None => {
+                let interpolated = if policy.interpolate {
+                    let lambda = policy.interpolate_damping.max(0.0);
+                    penultimate.map(|pen| {
+                        let c = previous.center;
+                        previous.with_center(Point2::new(
+                            c.x + lambda * (c.x - pen.center.x),
+                            c.y + lambda * (c.y - pen.center.y),
+                        ))
+                    })
+                } else {
+                    None
+                };
+                let (pose, recovery, carried_over) = match interpolated {
+                    Some(p) => (p, RecoveryAction::Interpolated, false),
+                    // Rung of last resort: carry the previous estimate
+                    // verbatim, flagged.
+                    None => (previous, RecoveryAction::CarriedOver, true),
+                };
+                TrackResult {
+                    pose,
+                    fitness: f64::INFINITY,
+                    generation_of_best: 0,
+                    generations_run: 0,
+                    generations_to_near_best: 0,
+                    evaluations: spent_evaluations,
+                    carried_over,
+                    recovery,
+                    history: Vec::new(),
+                }
+            }
         })
     }
 
@@ -491,6 +570,10 @@ pub struct TrackerStream {
     camera: Camera,
     /// Seed for the next frame: the last non-carried estimate.
     previous: Pose,
+    /// The accepted estimate before `previous` — the second anchor of
+    /// the kinematic-interpolation rung. `None` until two estimates
+    /// have been accepted.
+    penultimate: Option<Pose>,
     next_frame: usize,
 }
 
@@ -532,11 +615,24 @@ impl TrackerStream {
                 history: Vec::new(),
             }
         } else {
-            self.tracker
-                .estimate_frame(k, sil, self.previous, &self.dims, &self.camera)?
+            self.tracker.estimate_frame(
+                k,
+                sil,
+                self.previous,
+                self.penultimate,
+                &self.dims,
+                &self.camera,
+            )?
         };
         self.next_frame = k + 1;
         if !result.carried_over {
+            // Interpolated poses advance the anchors too: each
+            // consecutive unusable frame then continues the trajectory
+            // with a further-damped step (λ, λ², …) instead of
+            // replaying the same one-frame step.
+            if k > 0 {
+                self.penultimate = Some(self.previous);
+            }
             self.previous = result.pose;
         }
         Ok(result)
@@ -605,16 +701,93 @@ mod tests {
     }
 
     #[test]
-    fn empty_silhouette_carries_previous_pose() {
-        let (mut sils, truth, dims, camera) = jump_silhouettes(4);
-        sils[2] = Mask::new(camera.width, camera.height);
+    fn empty_silhouette_interpolates_through_the_gap() {
+        // Blank a flight-phase frame: the centre is moving there, so
+        // the extrapolated pose is visibly distinct from a carry.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(12);
+        sils[10] = Mask::new(camera.width, camera.height);
         let tracker = TemporalTracker::new(TrackerConfig::fast());
         let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        let f = &run.frames[10];
+        assert_eq!(f.recovery, RecoveryAction::Interpolated);
+        assert!(!f.carried_over);
+        assert!(f.fitness.is_infinite());
+        assert!(!f.ga_estimated());
+        // The centre is the damped constant-velocity continuation of
+        // the frame 8 → 9 step; the angles are frame 9's verbatim —
+        // translation extrapolates, the noisy angle estimates do not.
+        let lambda = RecoveryPolicy::default().interpolate_damping;
+        let (c8, c9) = (run.frames[8].pose.center, run.frames[9].pose.center);
+        let expected = run.frames[9].pose.with_center(Point2::new(
+            c9.x + lambda * (c9.x - c8.x),
+            c9.y + lambda * (c9.y - c8.y),
+        ));
+        assert_eq!(f.pose.to_genes(), expected.to_genes());
+        assert_ne!(f.pose.to_genes(), run.frames[9].pose.to_genes());
+        assert_eq!(f.pose.angles, run.frames[9].pose.angles);
+        // Tracking resumes afterwards.
+        assert!(run.frames[11].ga_estimated());
+    }
+
+    #[test]
+    fn empty_silhouette_carries_when_interpolation_is_disabled() {
+        let (mut sils, truth, dims, camera) = jump_silhouettes(4);
+        sils[2] = Mask::new(camera.width, camera.height);
+        let tracker = TemporalTracker::new(TrackerConfig {
+            recovery: RecoveryPolicy {
+                interpolate: false,
+                ..RecoveryPolicy::default()
+            },
+            ..TrackerConfig::fast()
+        });
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         assert!(run.frames[2].carried_over);
+        assert_eq!(run.frames[2].recovery, RecoveryAction::CarriedOver);
         assert!(run.frames[2].fitness.is_infinite());
         assert_eq!(run.frames[2].pose.to_genes(), run.frames[1].pose.to_genes());
-        // Tracking resumes afterwards.
         assert!(!run.frames[3].carried_over);
+    }
+
+    #[test]
+    fn first_gap_without_penultimate_anchor_carries_over() {
+        // A blank frame 1 has only one accepted estimate behind it —
+        // no velocity to continue — so even with interpolation enabled
+        // the ladder falls through to the carry rung.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(4);
+        sils[1] = Mask::new(camera.width, camera.height);
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        assert_eq!(run.frames[1].recovery, RecoveryAction::CarriedOver);
+        assert!(run.frames[1].carried_over);
+        assert_eq!(run.frames[1].pose.to_genes(), run.frames[0].pose.to_genes());
+    }
+
+    #[test]
+    fn consecutive_gaps_continue_the_trajectory() {
+        // Two blank flight-phase frames in a row: each interpolated
+        // pose becomes the next anchor, so the centre keeps moving —
+        // by λ times the previous step each frame — instead of
+        // replaying one step.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(13);
+        sils[10] = Mask::new(camera.width, camera.height);
+        sils[11] = Mask::new(camera.width, camera.height);
+        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
+        assert_eq!(run.frames[10].recovery, RecoveryAction::Interpolated);
+        assert_eq!(run.frames[11].recovery, RecoveryAction::Interpolated);
+        let lambda = RecoveryPolicy::default().interpolate_damping;
+        let (c9, c10) = (run.frames[9].pose.center, run.frames[10].pose.center);
+        let step2 = run.frames[10].pose.with_center(Point2::new(
+            c10.x + lambda * (c10.x - c9.x),
+            c10.y + lambda * (c10.y - c9.y),
+        ));
+        assert_eq!(run.frames[11].pose.to_genes(), step2.to_genes());
+        assert_ne!(
+            run.frames[11].pose.to_genes(),
+            run.frames[10].pose.to_genes(),
+            "the second gap frame must keep moving"
+        );
+        assert!(!run.frames[12].carried_over);
     }
 
     #[test]
@@ -622,7 +795,7 @@ mod tests {
         // `track` is a loop over `push`, so this can only fail if the
         // stream mismanages its own state (previous pose or counter).
         let (mut sils, truth, dims, camera) = jump_silhouettes(5);
-        sils[2] = Mask::new(camera.width, camera.height); // exercise carry-over
+        sils[2] = Mask::new(camera.width, camera.height); // exercise the interpolation rung
         let tracker = TemporalTracker::new(TrackerConfig::fast());
         let batch = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         let mut stream = tracker.stream(truth[0], &dims, &camera);
@@ -700,11 +873,18 @@ mod tests {
     fn carried_frame_keeps_stats_and_resumes_with_fresh_previous() {
         // The carry-over branch in detail: stats are zeroed, the pose is
         // bit-identical to the last good estimate, and the *carried*
-        // pose (not the blank frame) seeds the next frame.
+        // pose (not the blank frame) seeds the next frame. Interpolation
+        // is disabled so the gap exercises the carry rung.
         let (mut sils, truth, dims, camera) = jump_silhouettes(5);
         sils[2] = Mask::new(camera.width, camera.height);
         sils[3] = Mask::new(camera.width, camera.height);
-        let tracker = TemporalTracker::new(TrackerConfig::fast());
+        let tracker = TemporalTracker::new(TrackerConfig {
+            recovery: RecoveryPolicy {
+                interpolate: false,
+                ..RecoveryPolicy::default()
+            },
+            ..TrackerConfig::fast()
+        });
         let run = tracker.track(&sils, truth[0], &dims, &camera).unwrap();
         for k in [2, 3] {
             let f = &run.frames[k];
@@ -789,14 +969,89 @@ mod tests {
     }
 
     #[test]
+    fn ladder_escalation_order_is_widen_cold_interpolate_carry() {
+        // The ladder's rung order, end to end on one clip shape:
+        // a trackable frame stays on rung 0; an outrun frame escalates
+        // to widen/cold-restart; an unusable frame interpolates when
+        // two anchors exist; and only when interpolation is impossible
+        // (disabled, or no penultimate anchor) does carry-over fire.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(5);
+        sils[3] = Mask::new(camera.width, camera.height);
+        let run = TemporalTracker::new(TrackerConfig::fast())
+            .track(&sils, truth[0], &dims, &camera)
+            .unwrap();
+        assert_eq!(run.frames[1].recovery, RecoveryAction::None);
+        assert_eq!(run.frames[3].recovery, RecoveryAction::Interpolated);
+
+        // GA rungs outrank interpolation: a frame with any usable
+        // silhouette never reaches the synthesis rungs.
+        for f in &run.frames {
+            if f.ga_estimated() {
+                assert!(f.fitness.is_finite());
+            } else {
+                assert!(f.fitness.is_infinite());
+            }
+        }
+
+        // With interpolation disabled the same gap carries over — the
+        // rung below interpolation, never above it.
+        let no_interp = TemporalTracker::new(TrackerConfig {
+            recovery: RecoveryPolicy {
+                interpolate: false,
+                ..RecoveryPolicy::default()
+            },
+            ..TrackerConfig::fast()
+        })
+        .track(&sils, truth[0], &dims, &camera)
+        .unwrap();
+        assert_eq!(no_interp.frames[3].recovery, RecoveryAction::CarriedOver);
+        // Frames untouched by the ladder are bit-identical across the
+        // two policies: the interpolation rung changes nothing else.
+        for k in [0, 1, 2] {
+            assert_eq!(run.frames[k], no_interp.frames[k], "frame {k}");
+        }
+    }
+
+    #[test]
+    fn interpolation_rung_is_bit_deterministic_across_parallelism() {
+        // The interpolation rung is pure arithmetic on accepted poses,
+        // but those poses come out of the (parallelism-invariant) GA —
+        // assert the whole chain stays bit-identical at any thread
+        // count, including the interpolated frames.
+        let (mut sils, truth, dims, camera) = jump_silhouettes(5);
+        sils[2] = Mask::new(camera.width, camera.height);
+        sils[3] = Mask::new(camera.width, camera.height);
+        let serial = TemporalTracker::new(TrackerConfig::fast())
+            .track(&sils, truth[0], &dims, &camera)
+            .unwrap();
+        assert_eq!(serial.frames[2].recovery, RecoveryAction::Interpolated);
+        assert_eq!(serial.frames[3].recovery, RecoveryAction::Interpolated);
+        for parallelism in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let run = TemporalTracker::new(TrackerConfig {
+                parallelism,
+                ..TrackerConfig::fast()
+            })
+            .track(&sils, truth[0], &dims, &camera)
+            .unwrap();
+            assert_eq!(run.frames, serial.frames, "parallelism = {parallelism}");
+        }
+    }
+
+    #[test]
     fn recovery_policy_defaults_are_sane() {
         let p = RecoveryPolicy::default();
         assert!(p.widen_factor > 1.0);
         assert!(p.cold_restart);
+        assert!(p.interpolate);
         assert!(p.accepts(1.0));
         assert!(!p.accepts(f64::INFINITY));
         let n = RecoveryPolicy::none();
         assert!(n.accepts(f64::INFINITY));
+        assert!(!n.interpolate);
     }
 
     #[test]

@@ -68,10 +68,16 @@ pub struct QualityConfig {
 
 impl Default for QualityConfig {
     fn default() -> Self {
+        // Thresholds chosen by the slj-eval ROC sweep against synthetic
+        // ground truth (Youden's J over the full fault matrix; see
+        // EXPERIMENTS.md): a frame whose area drops below 0.65× the
+        // reference or fragments beyond 0.2 is usually one whose pose
+        // estimate has gone materially wrong, while looser values let
+        // bad frames through without catching more good ones.
         QualityConfig {
-            min_area_ratio: 0.45,
+            min_area_ratio: 0.65,
             max_area_ratio: 2.2,
-            max_fragmentation: 0.35,
+            max_fragmentation: 0.2,
             max_border_clip: 0.25,
             border_margin: 2,
             reference: ReferenceMode::ClipMedian,

@@ -40,6 +40,9 @@ pub struct AnalyzerConfig {
     /// What to do when frames come back degraded (unhealthy silhouette,
     /// escalated or failed tracking).
     pub robustness: RobustnessPolicy,
+    /// How per-frame evidence (silhouette issues, recovery rungs) is
+    /// condensed into the [`FrameHealth`] confidence score.
+    pub confidence: ConfidenceModel,
     /// Worker threads for both parallelisable phases: segmentation's
     /// per-frame stages and the GA's per-genome fitness evaluation.
     /// Authoritative — it overwrites `segmentation.parallelism` and
@@ -72,6 +75,72 @@ pub enum RobustnessPolicy {
 /// [`RobustnessPolicy::BestEffort`]) excluded from scoring.
 pub const DEGRADED_CONFIDENCE: f64 = 0.5;
 
+/// The confidence model: how silhouette issues and recovery rungs map
+/// to a per-frame confidence in `[0, 1]`.
+///
+/// `confidence = seg_factor × rung_factor`, where `seg_factor` is
+/// `max(0, 1 − issue_penalty × #issues)` (1 for a healthy silhouette)
+/// and `rung_factor` is the per-rung factor below.
+///
+/// The defaults are *fitted*, not guessed: `slj eval --sweep` groups
+/// frames of the calibration corpus by rung and by silhouette issue
+/// count, measures each group's mean ground-truth pose error relative
+/// to clean frames, and solves for the factors (least squares for the
+/// per-issue penalty). See DESIGN.md §11 and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceModel {
+    /// Confidence lost per failed silhouette-quality check.
+    pub issue_penalty: f64,
+    /// Rung factor for [`RecoveryAction::WidenedSearch`].
+    pub widened_factor: f64,
+    /// Rung factor for [`RecoveryAction::ColdRestart`].
+    pub cold_restart_factor: f64,
+    /// Rung factor for [`RecoveryAction::Interpolated`]. Kept below
+    /// [`DEGRADED_CONFIDENCE`]: an interpolated pose is a prediction,
+    /// never verified against the frame, so it must stay excluded from
+    /// best-effort scoring no matter how clean the (blank) silhouette
+    /// metrics look.
+    pub interpolated_factor: f64,
+    /// Rung factor for [`RecoveryAction::CarriedOver`].
+    pub carried_factor: f64,
+}
+
+impl Default for ConfidenceModel {
+    fn default() -> Self {
+        // Factors fitted by the slj-eval calibration sweep: each rung's
+        // factor is the ratio of the clean tracked baseline RMSE to
+        // that rung's measured RMSE over the full fault matrix (see
+        // EXPERIMENTS.md), so confidence is a calibrated estimate of
+        // relative pose accuracy rather than a hand-tuned guess.
+        ConfidenceModel {
+            issue_penalty: 0.5,
+            widened_factor: 0.27,
+            cold_restart_factor: 0.22,
+            interpolated_factor: 0.27,
+            carried_factor: 0.0,
+        }
+    }
+}
+
+impl ConfidenceModel {
+    /// The rung factor for one recovery action.
+    pub fn rung_factor(&self, recovery: RecoveryAction) -> f64 {
+        match recovery {
+            RecoveryAction::None => 1.0,
+            RecoveryAction::WidenedSearch => self.widened_factor,
+            RecoveryAction::ColdRestart => self.cold_restart_factor,
+            RecoveryAction::Interpolated => self.interpolated_factor,
+            RecoveryAction::CarriedOver => self.carried_factor,
+        }
+    }
+
+    /// The segmentation factor for a frame with `issues` failed
+    /// quality checks.
+    pub fn seg_factor(&self, issues: usize) -> f64 {
+        (1.0 - self.issue_penalty * issues as f64).max(0.0)
+    }
+}
+
 /// Health of one analysed frame: what segmentation and tracking had to
 /// do to produce its pose estimate, condensed into a confidence score.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,21 +159,23 @@ pub struct FrameHealth {
 }
 
 impl FrameHealth {
-    pub(crate) fn new(frame: usize, quality: FrameQuality, track: &TrackResult) -> FrameHealth {
-        // Segmentation factor: each failed check costs 30%.
+    /// Condenses one frame's evidence into a confidence score under the
+    /// given model.
+    pub fn with_model(
+        frame: usize,
+        quality: FrameQuality,
+        track: &TrackResult,
+        model: &ConfidenceModel,
+    ) -> FrameHealth {
+        // Segmentation factor: each failed check costs `issue_penalty`.
         let seg = if quality.is_healthy() {
             1.0
         } else {
-            (1.0 - 0.3 * quality.issues.len() as f64).max(0.0)
+            model.seg_factor(quality.issues.len())
         };
         // Tracking factor: deeper recovery rungs mean the temporal
         // assumption broke harder.
-        let track_factor = match track.recovery {
-            RecoveryAction::None => 1.0,
-            RecoveryAction::WidenedSearch => 0.8,
-            RecoveryAction::ColdRestart => 0.65,
-            RecoveryAction::CarriedOver => 0.0,
-        };
+        let track_factor = model.rung_factor(track.recovery);
         FrameHealth {
             frame,
             quality,
@@ -128,6 +199,7 @@ impl Default for AnalyzerConfig {
             dims: BodyDims::default(),
             smoothing_window: 3,
             robustness: RobustnessPolicy::default(),
+            confidence: ConfidenceModel::default(),
             parallelism: Parallelism::Serial,
         }
     }
@@ -248,7 +320,7 @@ pub(crate) fn summarize(
             tracking
                 .iter()
                 .skip(1)
-                .filter(|t| !t.carried_over)
+                .filter(|t| t.ga_estimated())
                 .map(|t| t.generations_to_near_best as f64),
         ),
         total_evaluations: tracking.iter().map(|t| t.evaluations).sum(),
@@ -367,7 +439,7 @@ impl JumpAnalyzer {
             .iter()
             .zip(&tracking.frames)
             .enumerate()
-            .map(|(k, (q, t))| FrameHealth::new(k, q.clone(), t))
+            .map(|(k, (q, t))| FrameHealth::with_model(k, q.clone(), t, &self.config.confidence))
             .collect();
         enforce_robustness(&health, self.config.robustness)?;
         let score = score_with_policy(&poses, &health, self.config.robustness)?;

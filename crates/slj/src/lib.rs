@@ -49,8 +49,8 @@ pub mod stream;
 pub mod viz;
 
 pub use analyzer::{
-    AnalysisReport, AnalysisSummary, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
-    DEFAULT_WARMUP_FRAMES,
+    AnalysisReport, AnalysisSummary, AnalyzerConfig, ConfidenceModel, FrameHealth, JumpAnalyzer,
+    RobustnessPolicy, DEFAULT_WARMUP_FRAMES,
 };
 pub use error::AnalyzeError;
 pub use measure::{measure_jump, JumpMeasurement, MeasureError};
@@ -61,8 +61,8 @@ pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {
     pub use crate::analyzer::{
-        AnalysisReport, AnalyzerConfig, FrameHealth, JumpAnalyzer, RobustnessPolicy,
-        DEFAULT_WARMUP_FRAMES,
+        AnalysisReport, AnalyzerConfig, ConfidenceModel, FrameHealth, JumpAnalyzer,
+        RobustnessPolicy, DEFAULT_WARMUP_FRAMES,
     };
     pub use crate::error::AnalyzeError;
     pub use crate::measure::{measure_jump, JumpMeasurement};

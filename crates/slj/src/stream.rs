@@ -328,7 +328,7 @@ impl StreamingAnalyzer {
         let reference = causal_reference_area(&live.areas, k);
         let quality = FrameQuality::measure(final_mask, reference, &self.segmentation.quality);
         let track = live.tracker.push(final_mask)?;
-        let health = FrameHealth::new(k, quality.clone(), &track);
+        let health = FrameHealth::with_model(k, quality.clone(), &track, &self.config.confidence);
         live.poses.push(track.pose);
         live.tracking.push(track);
         live.quality.push(quality);

@@ -18,12 +18,15 @@
 //!   channel noise (gain spikes, compression glitches).
 //! * **Camera jitter** — per-frame integer translation with edge
 //!   replication (a shaky hand on a "fixed" camera).
+//! * **Horizontal motion blur** — a box filter along x with seeded
+//!   per-frame strength (a rolling pan or a too-slow shutter tracking
+//!   the jump direction smears the subject into the background).
 //! * **Occlusion bars** — static vertical poles between camera and
 //!   scene that cut the silhouette into pieces.
 //!
 //! Faults compose in acquisition order: transport (drop/duplicate),
-//! scene occluders, camera pose (jitter), illumination (flicker), and
-//! sensor noise last. Every fault family draws from its **own**
+//! scene occluders, camera pose (jitter), optics (motion blur),
+//! illumination (flicker), and sensor noise last. Every fault family draws from its **own**
 //! seed-derived per-frame stream, so enabling one fault never changes
 //! the realisation of another — configurations compose without
 //! cross-talk, and the same [`FaultConfig`] (same seed included) always
@@ -42,6 +45,7 @@ mod tag {
     pub const TRANSPORT: u64 = 0x7261_6e73_706f_7274;
     pub const OCCLUSION: u64 = 0x6f63_636c_7564_6572;
     pub const JITTER: u64 = 0x6a69_7474_6572_6a6a;
+    pub const BLUR: u64 = 0x6d6f_7469_6f6e_626c;
     pub const FLICKER: u64 = 0x666c_6963_6b65_7266;
     pub const NOISE: u64 = 0x6e6f_6973_6562_7273;
 }
@@ -77,8 +81,23 @@ pub struct FaultConfig {
     /// Maximum camera shake per frame, pixels (translation drawn
     /// uniformly from `[-jitter_px, jitter_px]` per axis).
     pub jitter_px: usize,
+    /// Maximum horizontal motion-blur radius, pixels: each frame is
+    /// box-filtered along x with a radius drawn uniformly from
+    /// `[0, blur_px]` (0 disables the config; a per-frame draw of 0
+    /// leaves that frame sharp). Blur severity in real footage tracks
+    /// the subject's apparent speed, so sharp frames interleaved with
+    /// heavily smeared ones are the expected realisation. The window is
+    /// `2 × radius + 1` pixels wide, so large radii smear the narrow
+    /// body into the background.
+    pub blur_px: usize,
     /// Number of static occlusion bars (vertical poles).
     pub occlusion_bars: usize,
+    /// Width of each occlusion bar, pixels. 0 picks the default
+    /// (frame width / 40, at least 2) — a thin pole the tracker sees
+    /// through. Widths at or above the subject's apparent width hide
+    /// the subject completely while it passes behind the bar, which is
+    /// the classic transient-dropout scenario for gap recovery.
+    pub bar_width_px: usize,
 }
 
 impl Default for FaultConfig {
@@ -90,7 +109,9 @@ impl Default for FaultConfig {
             flicker: 0.0,
             burst: None,
             jitter_px: 0,
+            blur_px: 0,
             occlusion_bars: 0,
+            bar_width_px: 0,
         }
     }
 }
@@ -125,6 +146,7 @@ impl FaultConfig {
                 .burst
                 .is_none_or(|b| b.count == 0 || b.len == 0 || b.amplitude == 0)
             && self.jitter_px == 0
+            && self.blur_px == 0
             && self.occlusion_bars == 0
     }
 
@@ -133,8 +155,10 @@ impl FaultConfig {
     ///
     /// Keys: `drop` and `dup` (probabilities in `[0, 1]`), `flicker`
     /// (amplitude ≥ 0), `burst=count:len:amplitude`, `jitter` (pixels),
-    /// `bars` (count), `seed`. Unknown keys and out-of-range values are
-    /// errors; omitted keys keep their no-fault defaults.
+    /// `blur` (max horizontal motion-blur radius, pixels), `bars`
+    /// (count), `barw` (bar width in pixels, 0 = default), `seed`.
+    /// Unknown keys and out-of-range values are errors; omitted keys
+    /// keep their no-fault defaults.
     pub fn parse(spec: &str) -> Result<FaultConfig, FaultSpecError> {
         let mut cfg = FaultConfig::default();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -178,11 +202,13 @@ impl FaultConfig {
                     }
                 }
                 "jitter" => cfg.jitter_px = parse_num(key, value)?,
+                "blur" => cfg.blur_px = parse_num(key, value)?,
                 "bars" => cfg.occlusion_bars = parse_num(key, value)?,
+                "barw" => cfg.bar_width_px = parse_num(key, value)?,
                 "seed" => cfg.seed = parse_num(key, value)?,
                 other => {
                     return Err(FaultSpecError::new(format!(
-                        "unknown key `{other}` (expected drop, dup, flicker, burst, jitter, bars, seed)"
+                        "unknown key `{other}` (expected drop, dup, flicker, burst, jitter, blur, bars, barw, seed)"
                     )))
                 }
             }
@@ -238,6 +264,12 @@ pub enum FrameFault {
         dx: i32,
         /// Pixels down (negative = up).
         dy: i32,
+    },
+    /// Horizontal motion blur: a box filter along x of this radius
+    /// (window `2 × radius + 1` pixels).
+    MotionBlur {
+        /// Blur radius, pixels.
+        radius: usize,
     },
     /// One or more occlusion bars overlap this frame (bars are static,
     /// so this marks every frame when bars are configured).
@@ -363,6 +395,15 @@ impl FaultInjector {
                 }
             }
 
+            if cfg.blur_px > 0 {
+                let mut rng = self.stream(tag::BLUR, j);
+                let radius = rng.gen_range(0..=cfg.blur_px);
+                if radius > 0 {
+                    frame = motion_blur_x(&frame, radius);
+                    faults[j].push(FrameFault::MotionBlur { radius });
+                }
+            }
+
             if cfg.flicker > 0.0 {
                 let mut rng = self.stream(tag::FLICKER, j);
                 let factor = apply_global_flicker(&mut frame, cfg.flicker, &mut rng);
@@ -413,7 +454,11 @@ impl FaultInjector {
         let mut rng = self.stream(tag::OCCLUSION, 0);
         (0..self.config.occlusion_bars)
             .map(|_| {
-                let bw = (frame_width / 40).clamp(2, frame_width);
+                let bw = if self.config.bar_width_px > 0 {
+                    self.config.bar_width_px.min(frame_width)
+                } else {
+                    (frame_width / 40).clamp(2, frame_width)
+                };
                 let x0 = rng.gen_range(0..frame_width.saturating_sub(bw).max(1));
                 let shade = rng.gen_range(25u8..70);
                 (x0, bw, Rgb::new(shade, shade, shade.saturating_add(8)))
@@ -447,6 +492,52 @@ fn draw_bar(frame: &mut Frame, x0: usize, width: usize, color: Rgb) {
             frame.set(x, y, color);
         }
     }
+}
+
+/// Box-filters the frame along x with the given radius (window
+/// `2 × radius + 1`, clamped at the frame edges), per channel with a
+/// running sum — the smear of a horizontal pan during exposure.
+fn motion_blur_x(frame: &Frame, radius: usize) -> Frame {
+    let (w, h) = frame.dims();
+    if radius == 0 || w == 0 {
+        return frame.clone();
+    }
+    let mut out = frame.clone();
+    for y in 0..h {
+        // Running per-channel sums over the clamped window.
+        let mut sum = [0u32; 3];
+        let mut lo = 0usize; // inclusive
+        let mut hi = 0usize; // exclusive
+        for x in 0..w {
+            let want_lo = x.saturating_sub(radius);
+            let want_hi = (x + radius + 1).min(w);
+            while hi < want_hi {
+                let p = frame.get(hi, y);
+                sum[0] += p.r as u32;
+                sum[1] += p.g as u32;
+                sum[2] += p.b as u32;
+                hi += 1;
+            }
+            while lo < want_lo {
+                let p = frame.get(lo, y);
+                sum[0] -= p.r as u32;
+                sum[1] -= p.g as u32;
+                sum[2] -= p.b as u32;
+                lo += 1;
+            }
+            let n = (hi - lo) as u32;
+            out.set(
+                x,
+                y,
+                Rgb::new(
+                    ((sum[0] + n / 2) / n) as u8,
+                    ((sum[1] + n / 2) / n) as u8,
+                    ((sum[2] + n / 2) / n) as u8,
+                ),
+            );
+        }
+    }
+    out
 }
 
 /// Translates the frame content by `(dx, dy)`, replicating edge pixels
@@ -486,7 +577,9 @@ mod tests {
                 amplitude: 40,
             }),
             jitter_px: 2,
+            blur_px: 2,
             occlusion_bars: 1,
+            bar_width_px: 0,
         }
     }
 
@@ -595,9 +688,67 @@ mod tests {
     }
 
     #[test]
+    fn motion_blur_smears_along_x_only() {
+        let cfg = FaultConfig {
+            seed: 13,
+            blur_px: 3,
+            ..FaultConfig::default()
+        };
+        let video = tiny_video(4);
+        let (out, report) = FaultInjector::new(cfg).inject(&video);
+        // Recorded radii stay inside the configured range; a frame with
+        // no record drew radius 0 and stays sharp.
+        let mut blurred_frames = 0usize;
+        for (j, faults) in report.frame_faults.iter().enumerate() {
+            let radius = faults.iter().find_map(|f| match f {
+                FrameFault::MotionBlur { radius } => Some(*radius),
+                _ => None,
+            });
+            match radius {
+                Some(radius) => {
+                    blurred_frames += 1;
+                    assert!((1..=3).contains(&radius), "radius {radius}");
+                    assert_ne!(out.frames()[j], video.frames()[j]);
+                }
+                None => assert_eq!(out.frames()[j], video.frames()[j]),
+            }
+        }
+        assert!(blurred_frames > 0, "seed 13 blurs at least one frame");
+        // On a blurred frame the x-gradient is averaged away, but the
+        // pure-y gradient of the green channel is untouched (the filter
+        // never mixes rows).
+        let j = report
+            .frame_faults
+            .iter()
+            .position(|faults| {
+                faults
+                    .iter()
+                    .any(|f| matches!(f, FrameFault::MotionBlur { .. }))
+            })
+            .unwrap();
+        let (w, h) = video.dims();
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(out.frames()[j].get(x, y).g, video.frames()[j].get(x, y).g);
+            }
+        }
+        assert_ne!(out.frames()[j], video.frames()[j]);
+        // Deterministic: same config, same output.
+        let (again, _) = FaultInjector::new(cfg).inject(&video);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn motion_blur_preserves_a_uniform_frame() {
+        let flat: Frame = ImageBuffer::from_fn(9, 5, |_, _| Rgb::new(120, 30, 200));
+        let blurred = motion_blur_x(&flat, 4);
+        assert_eq!(blurred, flat);
+    }
+
+    #[test]
     fn spec_round_trip_and_errors() {
         let cfg = FaultConfig::parse(
-            "drop=0.1, dup=0.05, flicker=0.08, burst=2:3:40, jitter=2, bars=1, seed=9",
+            "drop=0.1, dup=0.05, flicker=0.08, burst=2:3:40, jitter=2, blur=3, bars=1, seed=9",
         )
         .unwrap();
         assert_eq!(cfg.drop_prob, 0.1);
@@ -612,6 +763,7 @@ mod tests {
             })
         );
         assert_eq!(cfg.jitter_px, 2);
+        assert_eq!(cfg.blur_px, 3);
         assert_eq!(cfg.occlusion_bars, 1);
         assert_eq!(cfg.seed, 9);
 

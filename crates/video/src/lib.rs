@@ -25,8 +25,10 @@
 //! * [`io`] — clip persistence (PPM frame directories) for feeding the
 //!   analyzer real footage.
 //! * [`faults`] — seeded acquisition-fault injection (dropped frames,
-//!   flicker, noise bursts, camera jitter, occlusion bars) for
-//!   robustness testing.
+//!   flicker, noise bursts, camera jitter, motion blur, occlusion bars)
+//!   for robustness testing.
+//! * [`truth`] — the `truth.json` ground-truth sidecar a clip directory
+//!   carries alongside its frames.
 //!
 //! # Example
 //!
@@ -49,10 +51,12 @@ pub mod io;
 pub mod render;
 pub mod scene;
 pub mod synthjump;
+pub mod truth;
 pub mod video;
 
 pub use camera::Camera;
 pub use faults::{FaultConfig, FaultInjector, FrameFault, InjectionReport, NoiseBurst};
 pub use scene::SceneConfig;
 pub use synthjump::SyntheticJump;
+pub use truth::{ClipTruth, TruthError, TRUTH_FILE};
 pub use video::{Frame, Video};

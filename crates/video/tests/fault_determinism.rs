@@ -26,10 +26,11 @@ fn arb_config() -> impl Strategy<Value = FaultConfig> {
         0.0..0.3f64,
         0usize..3,
         0usize..4,
-        0usize..3,
+        0usize..4,
+        (0usize..3, 0usize..12),
     )
         .prop_map(
-            |(seed, drop, dup, flicker, bursts, jitter, bars)| FaultConfig {
+            |(seed, drop, dup, flicker, bursts, jitter, blur, (bars, barw))| FaultConfig {
                 seed,
                 drop_prob: drop,
                 duplicate_prob: dup,
@@ -44,7 +45,9 @@ fn arb_config() -> impl Strategy<Value = FaultConfig> {
                     None
                 },
                 jitter_px: jitter,
+                blur_px: blur,
                 occlusion_bars: bars,
+                bar_width_px: barw,
             },
         )
 }

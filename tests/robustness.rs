@@ -139,9 +139,12 @@ fn robust_pipeline_handles_paper_background_mode() {
             ..PipelineConfig::default()
         },
         // Last-stable background still fragments a few tail frames;
-        // best-effort keeps the run alive while masking them out.
+        // best-effort keeps the run alive while masking them out. The
+        // calibrated confidence model counts every ladder-recovered
+        // frame as degraded too (their measured pose error is ~4-5×
+        // the tracked baseline), so the budget covers both.
         robustness: RobustnessPolicy::BestEffort {
-            max_degraded_frames: 6,
+            max_degraded_frames: 13,
         },
         ..AnalyzerConfig::fast()
     };

@@ -9,7 +9,17 @@ use slj::prelude::*;
 use slj::JumpAnalysis;
 
 fn streamable_fast() -> AnalyzerConfig {
-    AnalyzerConfig::fast().into_streaming(14)
+    // The 14-frame warmup background ghosts the subject's standing
+    // spot, so one flight-apex frame comes out small and fragmented;
+    // the calibrated quality gate rightly flags it, and a small
+    // best-effort budget keeps the run alive. Degraded accounting is
+    // part of the streaming-vs-batch identity under test.
+    AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 2,
+        },
+        ..AnalyzerConfig::fast().into_streaming(14)
+    }
 }
 
 fn batch_analysis(

@@ -361,6 +361,28 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        // BTreeMap iteration is key-sorted, so the object's entry order
+        // is deterministic for a given map.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeMap<String, T>, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), T::from_value(item)?)))
+            .collect()
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
