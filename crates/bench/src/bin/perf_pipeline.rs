@@ -68,7 +68,7 @@ use slj_runtime::available_threads;
 use slj_segment::background::BackgroundEstimator;
 use slj_segment::ghosts::GhostConfig;
 use slj_segment::pipeline::{FrameStages, PipelineConfig, SegmentPipeline};
-use slj_segment::{FrameSegmenter, PreparedBackground, StageTimings};
+use slj_segment::{spans, FrameSegmenter, PreparedBackground, Profiler};
 use slj_video::Frame;
 use std::sync::Arc;
 use std::time::Instant;
@@ -232,25 +232,21 @@ fn time_ms<T>(repeats: usize, mut work: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("repeats >= 1"))
 }
 
-/// Best-of-`repeats` wall time of a kernel loop, keeping the stage
-/// breakdown of the best run.
-fn time_kernel(repeats: usize, mut work: impl FnMut() -> StageTimings) -> (f64, StageTimings) {
+/// Best-of-`repeats` wall time of a kernel loop, keeping the
+/// span-profiled stage breakdown of the best run.
+fn time_kernel(repeats: usize, mut work: impl FnMut() -> Profiler) -> (f64, Profiler) {
     let mut best = f64::INFINITY;
-    let mut best_timings = StageTimings::default();
+    let mut best_profile = Profiler::default();
     for _ in 0..repeats {
         let start = Instant::now();
-        let timings = work();
+        let profile = work();
         let ms = start.elapsed().as_secs_f64() * 1e3;
         if ms < best {
             best = ms;
-            best_timings = timings;
+            best_profile = profile;
         }
     }
-    (best, best_timings)
-}
-
-fn ms(d: std::time::Duration) -> f64 {
-    d.as_secs_f64() * 1e3
+    (best, best_profile)
 }
 
 fn kernel_report(
@@ -258,30 +254,19 @@ fn kernel_report(
     threads_requested: usize,
     threads: usize,
     kernel_ms: f64,
-    t: &StageTimings,
+    p: &Profiler,
 ) -> KernelReport {
     KernelReport {
         name,
         threads_requested,
         threads,
-        extract_ms: ms(t.extract),
-        denoise_ms: ms(t.denoise),
-        despot_ms: ms(t.despot),
-        deghost_ms: ms(t.deghost),
-        fill_ms: ms(t.fill),
-        shadow_ms: ms(t.shadow),
+        extract_ms: p.ms(spans::SEGMENT_EXTRACT),
+        denoise_ms: p.ms(spans::SEGMENT_DENOISE),
+        despot_ms: p.ms(spans::SEGMENT_DESPOT),
+        deghost_ms: p.ms(spans::SEGMENT_DEGHOST),
+        fill_ms: p.ms(spans::SEGMENT_FILL),
+        shadow_ms: p.ms(spans::SEGMENT_SHADOW),
         kernel_ms,
-    }
-}
-
-fn add_timings(a: StageTimings, b: StageTimings) -> StageTimings {
-    StageTimings {
-        extract: a.extract + b.extract,
-        denoise: a.denoise + b.denoise,
-        despot: a.despot + b.despot,
-        deghost: a.deghost + b.deghost,
-        fill: a.fill + b.fill,
-        shadow: a.shadow + b.shadow,
     }
 }
 
@@ -451,9 +436,9 @@ fn run_segmentation_section(
     // the packed engines also pay for their cache.
     let (scalar_ms, scalar_timings) = time_kernel(repeats, || {
         let scalar = ScalarSegmenter::new(&seg_config, &background.image);
-        let mut t = StageTimings::default();
+        let mut t = Profiler::default();
         for (k, frame) in inputs.iter().enumerate() {
-            let stages = scalar.segment_timed(frame, previous_input(inputs, k), &mut t);
+            let stages = scalar.segment_profiled(frame, previous_input(inputs, k), &mut t);
             std::hint::black_box(&stages);
         }
         t
@@ -465,10 +450,10 @@ fn run_segmentation_section(
             Arc::new(PreparedBackground::new(&background.image)),
         );
         let mut out = FrameStages::empty();
-        let mut t = StageTimings::default();
+        let mut t = Profiler::default();
         for (k, frame) in inputs.iter().enumerate() {
             segmenter
-                .segment_into_timed(frame, previous_input(inputs, k), &mut out, &mut t)
+                .segment_into_profiled(frame, previous_input(inputs, k), &mut out, &mut t)
                 .expect("packed-serial");
             std::hint::black_box(&out);
         }
@@ -479,7 +464,7 @@ fn run_segmentation_section(
         let prepared = Arc::new(PreparedBackground::new(&background.image));
         let chunk = inputs.len().div_ceil(threads_resolved);
         let workers = inputs.len().div_ceil(chunk);
-        let mut timings = vec![StageTimings::default(); workers];
+        let mut timings = vec![Profiler::default(); workers];
         let config = &seg_config;
         crossbeam::scope(|scope| {
             for (ci, slot) in timings.chunks_mut(1).enumerate() {
@@ -487,10 +472,10 @@ fn run_segmentation_section(
                 scope.spawn(move |_| {
                     let mut segmenter = FrameSegmenter::new(config, prepared);
                     let mut out = FrameStages::empty();
-                    let mut t = StageTimings::default();
+                    let mut t = Profiler::default();
                     for k in ci * chunk..((ci + 1) * chunk).min(inputs.len()) {
                         segmenter
-                            .segment_into_timed(
+                            .segment_into_profiled(
                                 &inputs[k],
                                 previous_input(inputs, k),
                                 &mut out,
@@ -504,9 +489,11 @@ fn run_segmentation_section(
             }
         })
         .expect("segmentation worker panicked");
-        timings
-            .into_iter()
-            .fold(StageTimings::default(), add_timings)
+        let mut merged = Profiler::default();
+        for t in &timings {
+            merged.absorb(t);
+        }
+        merged
     });
 
     let (streaming_ms, streaming_timings) = time_kernel(repeats, || {
@@ -516,10 +503,10 @@ fn run_segmentation_section(
         );
         let mut out = FrameStages::empty();
         let mut prev: Option<Frame> = None;
-        let mut t = StageTimings::default();
+        let mut t = Profiler::default();
         for frame in inputs {
             segmenter
-                .segment_into_timed(frame, prev.as_ref(), &mut out, &mut t)
+                .segment_into_profiled(frame, prev.as_ref(), &mut out, &mut t)
                 .expect("packed-streaming");
             std::hint::black_box(&out);
             match prev.as_mut() {

@@ -18,7 +18,7 @@ use slj_imgproc::mask::Mask;
 use slj_segment::cleanup::HoleFillMode;
 use slj_segment::pipeline::PipelineConfig;
 use slj_segment::shadow::ShadowDetector;
-use slj_segment::StageTimings;
+use slj_segment::{spans, Profiler};
 use slj_video::Frame;
 use std::time::Instant;
 
@@ -73,22 +73,23 @@ impl ScalarSegmenter {
         }
     }
 
-    /// Segments one frame, accumulating per-stage wall time into
-    /// `timings` (the same accumulator the packed engine fills, so the
-    /// bench compares like with like).
-    pub fn segment_timed(
+    /// Segments one frame, billing per-stage wall time to the shared
+    /// segmentation span names (the same spans the packed engine's
+    /// profiled entry point fills, so the bench compares like with
+    /// like).
+    pub fn segment_profiled(
         &self,
         frame: &Frame,
         previous: Option<&Frame>,
-        timings: &mut StageTimings,
+        profiler: &mut Profiler,
     ) -> ScalarStages {
         let (width, height) = frame.dims();
         assert_eq!(frame.dims(), self.background.dims(), "dims");
 
         let mut clock = Instant::now();
-        let mut lap = |slot: &mut std::time::Duration| {
+        let mut lap = |profiler: &mut Profiler, span: &'static str| {
             let now = Instant::now();
-            *slot += now - clock;
+            profiler.record(span, now - clock);
             clock = now;
         };
 
@@ -99,13 +100,13 @@ impl ScalarSegmenter {
                 frame.get(x, y).l1_distance(self.background.get(x, y)) > threshold
             })
             .collect();
-        lap(&mut timings.extract);
+        lap(profiler, spans::SEGMENT_EXTRACT);
 
         let denoised = neighbor_vote(&raw, width, height, self.config.noise.neighbor_threshold);
-        lap(&mut timings.denoise);
+        lap(profiler, spans::SEGMENT_DENOISE);
 
         let despotted = remove_small(&denoised, width, height, self.config.spots.min_area);
-        lap(&mut timings.despot);
+        lap(profiler, spans::SEGMENT_DESPOT);
 
         let deghosted = match (&self.config.ghosts, previous) {
             (Some(cfg), Some(prev)) => {
@@ -140,7 +141,7 @@ impl ScalarSegmenter {
             }
             _ => despotted.clone(),
         };
-        lap(&mut timings.deghost);
+        lap(profiler, spans::SEGMENT_DEGHOST);
 
         let filled = match self.config.holes {
             HoleFillMode::PaperRule { max_iters } => {
@@ -148,7 +149,7 @@ impl ScalarSegmenter {
             }
             HoleFillMode::FloodFill => flood_fill(&deghosted, width, height),
         };
-        lap(&mut timings.fill);
+        lap(profiler, spans::SEGMENT_FILL);
 
         let (shadow, final_mask) = match &self.shadow {
             Some(det) => {
@@ -169,7 +170,7 @@ impl ScalarSegmenter {
             }
             None => (vec![false; width * height], filled.clone()),
         };
-        lap(&mut timings.shadow);
+        lap(profiler, spans::SEGMENT_SHADOW);
 
         ScalarStages {
             raw,
@@ -186,8 +187,8 @@ impl ScalarSegmenter {
 
     /// Segments one frame without timing.
     pub fn segment(&self, frame: &Frame, previous: Option<&Frame>) -> ScalarStages {
-        let mut scratch = StageTimings::default();
-        self.segment_timed(frame, previous, &mut scratch)
+        let mut scratch = Profiler::default();
+        self.segment_profiled(frame, previous, &mut scratch)
     }
 }
 

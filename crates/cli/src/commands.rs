@@ -95,8 +95,16 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             "max-degraded",
             "threads",
             "warmup",
+            "trace",
         ],
-        &["fast", "paper", "half-res", "best-effort", "stream"],
+        &[
+            "fast",
+            "paper",
+            "half-res",
+            "best-effort",
+            "stream",
+            "metrics",
+        ],
     )?;
     let clip_dir = flags.required("clip")?.to_owned();
     // Worker threads for segmentation and GA fitness evaluation.
@@ -289,6 +297,16 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         angle_err / analysis.poses.len().max(1) as f64
     )?;
 
+    // Observability: the deterministic metrics block and the JSONL
+    // trace are derived from the same span data and are byte-identical
+    // at every --threads setting.
+    if flags.switch("metrics") {
+        write!(out, "{}", analysis.obs.metrics().render())?;
+    }
+    if let Some(path) = flags.value("trace") {
+        std::fs::write(path, analysis.obs.render_trace())?;
+        writeln!(out, "trace ({}) written to {path}", slj::TRACE_SCHEMA)?;
+    }
     if let Some(path) = flags.value("report") {
         let json = serde_json::to_string_pretty(&summary)?;
         std::fs::write(path, json)?;

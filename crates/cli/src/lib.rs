@@ -38,7 +38,7 @@ USAGE:
   slj analyze --clip DIR [--report FILE.json] [--report-md FILE.md]
               [--fast | --paper] [--half-res] [--threads N|auto|serial]
               [--best-effort [--max-degraded N]] [--inject-faults SPEC]
-              [--stream [--warmup N]]
+              [--stream [--warmup N]] [--trace FILE.jsonl] [--metrics]
   slj score   --clip DIR
   slj eval    (--matrix small|full | --sweep) [--out FILE.json]
               [--summary-md FILE.md] [--threads N|auto|serial]
@@ -57,7 +57,11 @@ COMMANDS:
              --stream analyses frame by frame in O(1) memory — the
              background comes from the first --warmup frames (default
              14) and results are byte-identical to a batch run of the
-             same streamable configuration)
+             same streamable configuration;
+             --trace writes the slj-trace/1 JSONL span trace and
+             --metrics prints the deterministic metrics registry — both
+             derived from analysis results only, so they are
+             byte-identical at every --threads setting)
   score     score a clip's ground-truth poses (no vision)
   eval      measure tracking accuracy against synthetic ground truth
             (--matrix runs the seeded clip x fault-profile x gap-policy

@@ -46,6 +46,21 @@ const MODEL_SAMPLES_PER_STICK: usize = 7;
 /// stick could never have won — pruning stays bit-exact.
 const PRUNE_SLACK: f64 = 1.0 + 1e-12;
 
+/// Branch-and-bound accounting for one pruned Eq. 3 scoring pass
+/// ([`SilhouetteFitness::prune_stats`]): how many stick distances were
+/// computed exactly and how many the AABB lower bound skipped.
+/// `candidates + pruned == 8 × sample pixels` always. Deterministic by
+/// construction — the scan is sequential over scanline-ordered pixels —
+/// so it is safe to expose through the observability layer at any
+/// `Parallelism`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Sticks scored exactly.
+    pub candidates: u64,
+    /// Sticks skipped by the lower-bound test.
+    pub pruned: u64,
+}
+
 /// One stick of a candidate pose, prepared once per genome for the
 /// per-pixel distance loop: endpoints, direction and squared length
 /// (hoisted out of `Segment::distance_to`), the normalising inverse
@@ -335,6 +350,39 @@ impl SilhouetteFitness {
         (best, argmin)
     }
 
+    /// Branch-and-bound accounting for one scoring pass over the
+    /// silhouette with the given pose (see [`PruneStats`]). Runs the
+    /// same pruned scan as [`SilhouetteFitness::evaluate`] but with
+    /// counters, off the hot path: the observability layer calls this
+    /// once per frame on the winning pose, never inside the GA loop.
+    pub fn prune_stats(&self, pose: &Pose, dims: &BodyDims) -> PruneStats {
+        let sticks = self.project(pose, dims);
+        let mut stats = PruneStats::default();
+        let mut hint = 0usize;
+        for &p in &self.points {
+            let mut best = sticks[hint].scaled_distance_sq(p);
+            let mut argmin = hint;
+            stats.candidates += 1;
+            for (i, s) in sticks.iter().enumerate() {
+                if i == hint {
+                    continue;
+                }
+                if s.scaled_lower_bound_sq(p) >= best * PRUNE_SLACK {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stats.candidates += 1;
+                let v = s.scaled_distance_sq(p);
+                if v < best {
+                    best = v;
+                    argmin = i;
+                }
+            }
+            hint = argmin;
+        }
+        stats
+    }
+
     fn outside_penalty_from_sticks(&self, sticks: &[PreparedStick; 8]) -> f64 {
         let df = &self.distance_field;
         let (w, h) = (df.width(), df.height());
@@ -426,6 +474,23 @@ mod tests {
         let mut bad = pose;
         bad.center.x += 0.3;
         assert!(strided.evaluate(&bad, &dims) > b);
+    }
+
+    #[test]
+    fn prune_stats_account_for_every_stick() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 1).unwrap();
+        let stats = fit.prune_stats(&pose, &dims);
+        // Every pixel tests all 8 sticks: each is either scored exactly
+        // or pruned, and the hint warm-start makes pruning the common
+        // case on a well-fitting pose.
+        assert_eq!(
+            stats.candidates + stats.pruned,
+            8 * fit.sample_count() as u64
+        );
+        assert!(stats.pruned > stats.candidates, "{stats:?}");
+        assert_eq!(fit.prune_stats(&pose, &dims), stats);
     }
 
     #[test]

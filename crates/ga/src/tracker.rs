@@ -19,7 +19,7 @@
 
 use crate::engine::{evolve, GaConfig, GaRun};
 use crate::error::GaError;
-use crate::fitness::SilhouetteFitness;
+use crate::fitness::{PruneStats, SilhouetteFitness};
 use crate::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, DEFAULT_DELTA_ANGLES};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -234,6 +234,22 @@ pub struct TrackResult {
     /// the seeded initial population). Empty for frame 0 and carried
     /// frames.
     pub history: Vec<f64>,
+    /// Recovery-ladder rungs that completed a GA run for this frame (0
+    /// for frame 0 and synthesised frames; 1 when the temporal seed
+    /// succeeded first try).
+    pub rungs_attempted: usize,
+    /// Distinct genomes evaluated across all rungs (fitness-memo
+    /// insertions; 0 when the memo is disabled). A set size, so it is
+    /// invariant under the parallel fitness fan-out even though the
+    /// racy hit/miss split is not.
+    pub unique_genomes: usize,
+    /// Exact Eq. 3 stick evaluations when re-scoring the final pose
+    /// through the branch-and-bound path (observability accounting,
+    /// computed once per frame off the GA hot path).
+    pub bb_candidates: u64,
+    /// Stick evaluations the branch-and-bound pruned on that same
+    /// pass; `bb_candidates + bb_pruned = 8 × sample pixels`.
+    pub bb_pruned: u64,
 }
 
 impl TrackResult {
@@ -444,6 +460,8 @@ impl TemporalTracker {
 
         let ga = self.effective_ga();
         let mut spent_evaluations = 0usize;
+        let mut rungs_attempted = 0usize;
+        let mut unique_genomes = 0usize;
         let mut best: Option<TrackResult> = None;
         for (rung_index, (action, init)) in rungs.into_iter().enumerate() {
             let Some(fitness) = shared_fitness.as_ref() else {
@@ -475,6 +493,10 @@ impl TemporalTracker {
                 Err(e) => return Err(e),
             };
             spent_evaluations += run.evaluations;
+            rungs_attempted += 1;
+            // The memo is per-rung, so its final size is exactly this
+            // rung's distinct-genome count.
+            unique_genomes += problem.memo().len();
             let candidate = Self::to_result(run, action, spent_evaluations);
             let acceptable = policy.accepts(candidate.fitness);
             if best.as_ref().is_none_or(|b| candidate.fitness < b.fitness) {
@@ -489,6 +511,13 @@ impl TemporalTracker {
             Some(mut b) => {
                 // All rungs' work is billed to the frame, whichever won.
                 b.evaluations = spent_evaluations;
+                b.rungs_attempted = rungs_attempted;
+                b.unique_genomes = unique_genomes;
+                if let Some(fitness) = shared_fitness.as_ref() {
+                    let stats = fitness.prune_stats(&b.pose, dims);
+                    b.bb_candidates = stats.candidates;
+                    b.bb_pruned = stats.pruned;
+                }
                 b
             }
             // No GA candidate exists: the silhouette was unusable
@@ -533,12 +562,18 @@ impl TemporalTracker {
                     carried_over,
                     recovery,
                     history: Vec::new(),
+                    rungs_attempted,
+                    unique_genomes,
+                    bb_candidates: 0,
+                    bb_pruned: 0,
                 }
             }
         })
     }
 
     fn to_result(run: GaRun<Pose>, action: RecoveryAction, evaluations: usize) -> TrackResult {
+        // The rung/memo/branch-and-bound accounting is frame-level, not
+        // run-level; `estimate_frame` fills it in on the winner.
         TrackResult {
             pose: run.best,
             fitness: run.best_fitness,
@@ -549,6 +584,10 @@ impl TemporalTracker {
             carried_over: false,
             recovery: action,
             history: run.history,
+            rungs_attempted: 0,
+            unique_genomes: 0,
+            bb_candidates: 0,
+            bb_pruned: 0,
         }
     }
 }
@@ -593,14 +632,17 @@ impl TrackerStream {
         let result = if k == 0 {
             // Frame 0: the provided (hand-drawn) pose, evaluated for
             // the record.
-            let fitness = match SilhouetteFitness::new(
+            let (fitness, bb) = match SilhouetteFitness::new(
                 sil,
                 &self.dims,
                 &self.camera,
                 self.tracker.config.problem.stride,
             ) {
-                Ok(f) => f.evaluate(&self.first_pose, &self.dims),
-                Err(GaError::EmptySilhouette) => f64::INFINITY,
+                Ok(f) => (
+                    f.evaluate(&self.first_pose, &self.dims),
+                    f.prune_stats(&self.first_pose, &self.dims),
+                ),
+                Err(GaError::EmptySilhouette) => (f64::INFINITY, PruneStats::default()),
                 Err(e) => return Err(e),
             };
             TrackResult {
@@ -613,6 +655,10 @@ impl TrackerStream {
                 carried_over: false,
                 recovery: RecoveryAction::None,
                 history: Vec::new(),
+                rungs_attempted: 0,
+                unique_genomes: 0,
+                bb_candidates: bb.candidates,
+                bb_pruned: bb.pruned,
             }
         } else {
             self.tracker.estimate_frame(

@@ -31,10 +31,15 @@ pub fn score_jump(seq: &PoseSeq) -> Result<ScoreCard, MotionError> {
 /// extrema are taken over trusted frames only, so one garbage estimate
 /// cannot flip a verdict.
 ///
+/// A rule whose whole window is excluded comes back as
+/// [`Verdict::Masked`](crate::rules::Verdict::Masked) rather than an
+/// error: see
+/// [`Rule::evaluate_masked`](crate::rules::Rule::evaluate_masked).
+///
 /// # Errors
 ///
-/// Returns [`MotionError::SequenceTooShort`] when either stage window
-/// is empty after exclusion.
+/// Returns [`MotionError::SequenceTooShort`] when a stage window is
+/// empty before exclusion (the sequence is genuinely too short).
 pub fn score_jump_masked(seq: &PoseSeq, excluded: &[bool]) -> Result<ScoreCard, MotionError> {
     let mut results = Vec::with_capacity(RuleId::ALL.len());
     for id in RuleId::ALL {
@@ -64,7 +69,7 @@ impl ScoreCard {
 
     /// Number of satisfied rules, 0–7 — the jump's score.
     pub fn score(&self) -> usize {
-        self.results.iter().filter(|r| r.satisfied).count()
+        self.results.iter().filter(|r| r.satisfied()).count()
     }
 
     /// Whether every rule is satisfied.
@@ -72,11 +77,23 @@ impl ScoreCard {
         self.score() == self.results.len()
     }
 
-    /// The violated rules, in table order.
+    /// The violated rules, in table order. Masked rules are *not*
+    /// violations: an unobservable window is missing evidence, not
+    /// evidence of a flaw.
     pub fn violations(&self) -> Vec<RuleId> {
         self.results
             .iter()
-            .filter(|r| !r.satisfied)
+            .filter(|r| r.violated())
+            .map(|r| r.rule)
+            .collect()
+    }
+
+    /// The rules whose whole stage window was confidence-masked, in
+    /// table order (always empty on the non-masked scoring path).
+    pub fn masked(&self) -> Vec<RuleId> {
+        self.results
+            .iter()
+            .filter(|r| r.masked())
             .map(|r| r.rule)
             .collect()
     }
@@ -181,7 +198,7 @@ mod tests {
         // frame satisfies R1; masked, the true violation survives.
         let flawed = synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::ShallowCrouch));
         let flawed_card = score_jump(&flawed).unwrap();
-        assert!(!flawed_card.result(RuleId::R1).satisfied);
+        assert!(!flawed_card.result(RuleId::R1).satisfied());
 
         let mut poses = flawed.poses().to_vec();
         let k = 2; // inside the initiation window
@@ -192,34 +209,45 @@ mod tests {
 
         let unmasked = score_jump(&corrupted).unwrap();
         assert!(
-            unmasked.result(RuleId::R1).satisfied,
+            unmasked.result(RuleId::R1).satisfied(),
             "the garbage frame should fake R1"
         );
 
         let mut excluded = vec![false; corrupted.len()];
         excluded[k] = true;
         let masked = score_jump_masked(&corrupted, &excluded).unwrap();
-        assert!(!masked.result(RuleId::R1).satisfied);
+        assert!(!masked.result(RuleId::R1).satisfied());
         assert_eq!(masked.score(), flawed_card.score());
 
         // An all-false mask reproduces the plain path exactly.
         let none = score_jump_masked(&flawed, &vec![false; flawed.len()]).unwrap();
         for (a, b) in none.results().iter().zip(flawed_card.results()) {
             assert_eq!(a.observed, b.observed);
-            assert_eq!(a.satisfied, b.satisfied);
+            assert_eq!(a.verdict, b.verdict);
         }
     }
 
     #[test]
-    fn masked_scoring_errors_when_a_window_empties() {
+    fn masked_scoring_reports_masked_when_a_window_empties() {
         let seq = synthesize_jump(&JumpConfig::default());
-        // Exclude the whole initiation window.
+        // Exclude the whole initiation window: the four initiation
+        // rules surface as Masked (no evidence), the three air/landing
+        // rules still score normally, and nothing errors out.
         let split = seq.stage_range(slj_motion::seq::Stage::Initiation).end;
         let mut excluded = vec![false; seq.len()];
         for e in excluded.iter_mut().take(split) {
             *e = true;
         }
-        assert!(score_jump_masked(&seq, &excluded).is_err());
+        let card = score_jump_masked(&seq, &excluded).unwrap();
+        let masked: Vec<usize> = card.masked().iter().map(|r| r.number()).collect();
+        assert_eq!(masked, vec![1, 2, 3, 4]);
+        assert!(card.violations().is_empty());
+        assert_eq!(card.score(), 3);
+        assert!(!card.is_perfect());
+        for id in [RuleId::R5, RuleId::R6, RuleId::R7] {
+            assert!(card.result(id).satisfied(), "{id}");
+        }
+        assert!(card.to_string().contains("MASKED"));
     }
 
     #[test]
@@ -232,8 +260,9 @@ mod tests {
         assert_eq!(back.score(), card.score());
         for (a, b) in back.results().iter().zip(card.results()) {
             assert_eq!(a.rule, b.rule);
-            assert_eq!(a.satisfied, b.satisfied);
-            assert!((a.observed - b.observed).abs() < 1e-9);
+            assert_eq!(a.verdict, b.verdict);
+            let (x, y) = (a.observed.unwrap(), b.observed.unwrap());
+            assert!((x - y).abs() < 1e-9);
         }
     }
 }

@@ -22,7 +22,7 @@
 //!
 //! let flawed = synthesize_jump(&JumpConfig::with_flaw(JumpFlaw::ShallowCrouch));
 //! let card = score_jump(&flawed).unwrap();
-//! assert!(!card.result(slj_score::rules::RuleId::R1).satisfied);
+//! assert!(!card.result(slj_score::rules::RuleId::R1).satisfied());
 //! ```
 
 pub mod card;
@@ -31,6 +31,6 @@ pub mod standards;
 pub mod trace;
 
 pub use card::{score_jump, score_jump_masked, ScoreCard};
-pub use rules::{Rule, RuleId, RuleResult};
+pub use rules::{Direction, Rule, RuleId, RuleResult, Verdict};
 pub use standards::Standard;
 pub use trace::RuleTrace;

@@ -201,15 +201,26 @@ impl Rule {
     /// tail entries count as included). This is the best-effort path:
     /// low-confidence estimates must not decide a window extremum.
     ///
+    /// A non-empty window whose every frame is excluded is *not* an
+    /// error: the clip simply holds no trustworthy evidence for this
+    /// rule, and the result carries [`Verdict::Masked`] with no
+    /// observation.
+    ///
     /// # Errors
     ///
     /// Returns [`MotionError::SequenceTooShort`] when the stage window
-    /// is empty, or empty after exclusion.
+    /// itself is empty (a genuinely too-short sequence).
     pub fn evaluate_masked(
         &self,
         seq: &PoseSeq,
         excluded: &[bool],
     ) -> Result<RuleResult, MotionError> {
+        if seq.stage_range(self.stage).is_empty() {
+            return Err(MotionError::SequenceTooShort {
+                got: seq.len(),
+                need: 2,
+            });
+        }
         let poses = seq.poses();
         let values = seq
             .stage_range(self.stage)
@@ -220,7 +231,14 @@ impl Rule {
             Direction::Below => values.fold(f64::INFINITY, f64::min),
         };
         if !observed.is_finite() {
-            return Err(MotionError::SequenceTooShort { got: 0, need: 1 });
+            // Every frame in the window was confidence-masked.
+            return Ok(RuleResult {
+                rule: self.id,
+                stage: self.stage,
+                observed: None,
+                threshold: self.threshold,
+                verdict: Verdict::Masked,
+            });
         }
         Ok(self.verdict(observed))
     }
@@ -233,9 +251,13 @@ impl Rule {
         RuleResult {
             rule: self.id,
             stage: self.stage,
-            observed,
+            observed: Some(observed),
             threshold: self.threshold,
-            satisfied,
+            verdict: if satisfied {
+                Verdict::Satisfied
+            } else {
+                Verdict::Violated
+            },
         }
     }
 }
@@ -254,6 +276,28 @@ impl fmt::Display for Rule {
     }
 }
 
+/// The three-way outcome of evaluating one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The observed extremum satisfies the rule's condition.
+    Satisfied,
+    /// The observed extremum does not.
+    Violated,
+    /// Every frame of the rule's stage window was confidence-masked:
+    /// the clip carries no trustworthy evidence either way.
+    Masked,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Satisfied => "ok",
+            Verdict::Violated => "VIOLATED",
+            Verdict::Masked => "MASKED",
+        })
+    }
+}
+
 /// The verdict of one rule on one jump.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuleResult {
@@ -261,25 +305,48 @@ pub struct RuleResult {
     pub rule: RuleId,
     /// The stage it was evaluated over.
     pub stage: Stage,
-    /// The aggregated (max or min) observed value, degrees.
-    pub observed: f64,
+    /// The aggregated (max or min) observed value, degrees. `None` when
+    /// the verdict is [`Verdict::Masked`] — no frame survived the
+    /// confidence mask, so there is nothing to observe.
+    pub observed: Option<f64>,
     /// The rule threshold, degrees.
     pub threshold: f64,
-    /// Whether the rule is satisfied.
-    pub satisfied: bool,
+    /// The three-way outcome.
+    pub verdict: Verdict,
+}
+
+impl RuleResult {
+    /// Whether the rule is satisfied (false for masked results).
+    pub fn satisfied(&self) -> bool {
+        self.verdict == Verdict::Satisfied
+    }
+
+    /// Whether the rule is violated (false for masked results — an
+    /// unobservable rule is *not* evidence of a flaw).
+    pub fn violated(&self) -> bool {
+        self.verdict == Verdict::Violated
+    }
+
+    /// Whether the rule's whole window was confidence-masked.
+    pub fn masked(&self) -> bool {
+        self.verdict == Verdict::Masked
+    }
 }
 
 impl fmt::Display for RuleResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} [{}]: observed {:.1}° vs {:.1}° -> {}",
-            self.rule,
-            self.stage,
-            self.observed,
-            self.threshold,
-            if self.satisfied { "ok" } else { "VIOLATED" }
-        )
+        match self.observed {
+            Some(observed) => write!(
+                f,
+                "{} [{}]: observed {:.1}° vs {:.1}° -> {}",
+                self.rule, self.stage, observed, self.threshold, self.verdict
+            ),
+            None => write!(
+                f,
+                "{} [{}]: no unmasked frames vs {:.1}° -> {}",
+                self.rule, self.stage, self.threshold, self.verdict
+            ),
+        }
     }
 }
 
@@ -343,7 +410,7 @@ mod tests {
         let seq = synthesize_jump(&JumpConfig::default());
         for id in RuleId::ALL {
             let r = id.rule().evaluate(&seq).unwrap();
-            assert!(r.satisfied, "{r}");
+            assert!(r.satisfied(), "{r}");
         }
     }
 
@@ -354,7 +421,7 @@ mod tests {
             let seq = synthesize_jump(&JumpConfig::with_flaw(flaw));
             let id = RuleId::ALL[flaw.rule_number() - 1];
             let r = id.rule().evaluate(&seq).unwrap();
-            assert!(!r.satisfied, "flaw {flaw:?} should violate {id}: {r}");
+            assert!(r.violated(), "flaw {flaw:?} should violate {id}: {r}");
         }
     }
 
@@ -365,7 +432,7 @@ mod tests {
             let seq = synthesize_jump(&JumpConfig::with_flaw(flaw));
             let mut violated: Vec<usize> = RuleId::ALL
                 .iter()
-                .filter(|id| !id.rule().evaluate(&seq).unwrap().satisfied)
+                .filter(|id| id.rule().evaluate(&seq).unwrap().violated())
                 .map(|id| id.number())
                 .collect();
             violated.sort_unstable();
@@ -385,6 +452,41 @@ mod tests {
         assert!(RuleId::R1.rule().evaluate(&seq).is_err());
         // But the air/landing window holds the single frame.
         assert!(RuleId::R6.rule().evaluate(&seq).is_ok());
+    }
+
+    #[test]
+    fn fully_masked_window_yields_masked_verdict_for_every_rule() {
+        // A healthy-length clip whose every frame is confidence-masked
+        // in one stage: the rule must report Masked, not error out as
+        // SequenceTooShort — the sequence isn't short, it's untrusted.
+        let seq = synthesize_jump(&JumpConfig::default());
+        for id in RuleId::ALL {
+            let rule = id.rule();
+            let mut excluded = vec![false; seq.len()];
+            for k in seq.stage_range(rule.stage) {
+                excluded[k] = true;
+            }
+            let r = rule.evaluate_masked(&seq, &excluded).unwrap();
+            assert!(r.masked(), "{id}: {r}");
+            assert!(!r.satisfied() && !r.violated(), "{id}");
+            assert_eq!(r.observed, None, "{id}");
+            assert!(r.to_string().contains("MASKED"), "{id}: {r}");
+            // The *other* stage's mask leaves this rule observable.
+            let other = vec![false; seq.len()];
+            assert!(!rule.evaluate_masked(&seq, &other).unwrap().masked());
+        }
+    }
+
+    #[test]
+    fn masked_path_still_errors_on_genuinely_empty_window() {
+        let dims = BodyDims::default();
+        let seq = PoseSeq::new(vec![slj_motion::Pose::standing(&dims)], 10.0);
+        // One frame -> the initiation window itself is empty: that is a
+        // too-short sequence, not a masked one.
+        assert!(matches!(
+            RuleId::R1.rule().evaluate_masked(&seq, &[false]),
+            Err(MotionError::SequenceTooShort { .. })
+        ));
     }
 
     #[test]

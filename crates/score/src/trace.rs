@@ -42,7 +42,7 @@ impl RuleTrace {
             values: seq.poses().iter().map(|p| rule.measure(p)).collect(),
             window: (range.start, range.end),
             threshold: rule.threshold,
-            satisfied: result.satisfied,
+            satisfied: result.satisfied(),
         })
     }
 
@@ -130,14 +130,14 @@ mod tests {
             let rule = id.rule();
             let trace = RuleTrace::new(&rule, &seq).unwrap();
             let result = rule.evaluate(&seq).unwrap();
-            assert_eq!(trace.satisfied, result.satisfied, "{id}");
+            assert_eq!(trace.satisfied, result.satisfied(), "{id}");
             // The window extremum of the trace equals the observed value.
             let window = &trace.values[trace.window.0..trace.window.1];
             let extremum = match rule.direction {
                 Direction::Above => window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                 Direction::Below => window.iter().copied().fold(f64::INFINITY, f64::min),
             };
-            assert!((extremum - result.observed).abs() < 1e-12, "{id}");
+            assert!((extremum - result.observed.unwrap()).abs() < 1e-12, "{id}");
         }
     }
 

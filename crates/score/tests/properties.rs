@@ -33,12 +33,14 @@ proptest! {
         for id in RuleId::ALL {
             let rule = id.rule();
             let result = rule.evaluate(&seq).unwrap();
-            prop_assert!(result.observed.is_finite(), "{id}");
+            let observed = result.observed.unwrap();
+            prop_assert!(observed.is_finite(), "{id}");
             let expected = match rule.direction {
-                Direction::Above => result.observed > rule.threshold,
-                Direction::Below => result.observed < rule.threshold,
+                Direction::Above => observed > rule.threshold,
+                Direction::Below => observed < rule.threshold,
             };
-            prop_assert_eq!(result.satisfied, expected, "{}", id);
+            prop_assert_eq!(result.satisfied(), expected, "{}", id);
+            prop_assert!(!result.masked(), "{}", id);
             prop_assert_eq!(result.rule, id);
             prop_assert_eq!(result.threshold, rule.threshold);
             prop_assert_eq!(result.stage, rule.stage);
@@ -56,9 +58,10 @@ proptest! {
                 Direction::Above => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                 Direction::Below => values.iter().copied().fold(f64::INFINITY, f64::min),
             };
-            prop_assert!((result.observed - expected).abs() < 1e-12, "{}", id);
+            let observed = result.observed.unwrap();
+            prop_assert!((observed - expected).abs() < 1e-12, "{}", id);
             // The observed extremum is attained by some frame.
-            prop_assert!(values.iter().any(|v| (v - result.observed).abs() < 1e-12));
+            prop_assert!(values.iter().any(|v| (v - observed).abs() < 1e-12));
         }
     }
 
@@ -68,7 +71,7 @@ proptest! {
         prop_assert_eq!(card.results().len(), 7);
         prop_assert_eq!(
             card.score(),
-            card.results().iter().filter(|r| r.satisfied).count()
+            card.results().iter().filter(|r| r.satisfied()).count()
         );
         prop_assert_eq!(card.violations().len(), 7 - card.score());
         prop_assert_eq!(card.advice().len(), card.violations().len());
@@ -90,10 +93,10 @@ proptest! {
             .with_angle(slj_motion::StickKind::Neck, slj_motion::Angle::from_degrees(360.0 - backward_lean));
         let seq = PoseSeq::new(vec![pose; 4], 10.0);
         let r6 = RuleId::R6.rule().evaluate(&seq).unwrap();
-        prop_assert!(!r6.satisfied, "backward lean {backward_lean} read as forward");
-        prop_assert!(r6.observed < 0.0);
+        prop_assert!(!r6.satisfied(), "backward lean {backward_lean} read as forward");
+        prop_assert!(r6.observed.unwrap() < 0.0);
         let r2 = RuleId::R2.rule().evaluate(&seq).unwrap();
-        prop_assert!(!r2.satisfied);
+        prop_assert!(!r2.satisfied());
     }
 
     #[test]

@@ -57,4 +57,5 @@ pub mod shadow;
 pub use error::SegmentError;
 pub use pipeline::{FrameStages, PipelineConfig, Presmooth, SegmentPipeline, SegmentationResult};
 pub use quality::{FrameQuality, QualityConfig, QualityIssue, ReferenceMode};
-pub use segmenter::{FrameArena, FrameSegmenter, PreparedBackground, StageTimings};
+pub use segmenter::{FrameArena, FrameSegmenter, PreparedBackground};
+pub use slj_obs::{spans, Profiler, SegmentObs};

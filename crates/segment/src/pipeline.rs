@@ -166,6 +166,24 @@ impl FrameStages {
             final_mask: Mask::new(0, 0),
         }
     }
+
+    /// The frame's segmentation span: the pixel population after every
+    /// stage, read straight from the stage masks. A pure function of
+    /// the masks, so the observation is identical at every
+    /// `Parallelism` setting by construction.
+    pub fn observe(&self) -> slj_obs::SegmentObs {
+        slj_obs::SegmentObs {
+            raw_px: self.raw.count() as u64,
+            denoised_px: self.denoised.count() as u64,
+            despotted_px: self.despotted.count() as u64,
+            deghosted_px: self.deghosted.count() as u64,
+            ghost_components: self.ghost_verdicts.len() as u64,
+            ghosts_removed: self.ghost_verdicts.iter().filter(|v| v.is_ghost).count() as u64,
+            filled_px: self.filled.count() as u64,
+            shadow_px: self.shadow.count() as u64,
+            final_px: self.final_mask.count() as u64,
+        }
+    }
 }
 
 /// The output of the pipeline over a clip.

@@ -40,48 +40,19 @@ use slj_imgproc::components::Labeling;
 use slj_imgproc::mask::Mask;
 use slj_imgproc::morph::Connectivity;
 use slj_imgproc::pixel::Hsv;
+use slj_obs::{spans, Profiler};
 use slj_video::Frame;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Wall-clock time spent in each stage of
-/// [`FrameSegmenter::segment_into_timed`], accumulated across calls so
-/// a caller can sum a whole clip with one instance. The background
-/// estimate and presmoothing are clip-level costs outside the
-/// per-frame engine and are not represented here.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageTimings {
-    /// Fused background subtraction + Eq. 1 shadow predicate.
-    pub extract: Duration,
-    /// 8-neighbour noise vote.
-    pub denoise: Duration,
-    /// Small-spot removal (labelling + area filter).
-    pub despot: Duration,
-    /// Motion-based ghost suppression.
-    pub deghost: Duration,
-    /// Hole filling.
-    pub fill: Duration,
-    /// Shadow-mask assembly and final difference.
-    pub shadow: Duration,
-}
-
-impl StageTimings {
-    /// Total time across all stages.
-    pub fn total(&self) -> Duration {
-        self.extract + self.denoise + self.despot + self.deghost + self.fill + self.shadow
-    }
-}
-
-/// Accumulates the time since the last stamp into one timing field;
-/// no-ops (and never reads the clock) when timing is off.
-fn stamp(
-    clock: &mut Option<Instant>,
-    timings: Option<&mut StageTimings>,
-    field: impl FnOnce(&mut StageTimings) -> &mut Duration,
-) {
-    if let (Some(clock), Some(timings)) = (clock.as_mut(), timings) {
+/// Accumulates the time since the last stamp into one profiler span;
+/// no-ops (and never reads the clock) when profiling is off. The
+/// background estimate and presmoothing are clip-level costs outside
+/// the per-frame engine and are never stamped here.
+fn stamp(clock: &mut Option<Instant>, profiler: Option<&mut Profiler>, span: &'static str) {
+    if let (Some(clock), Some(profiler)) = (clock.as_mut(), profiler) {
         let now = Instant::now();
-        *field(timings) += now - *clock;
+        profiler.record(span, now - *clock);
         *clock = now;
     }
 }
@@ -288,21 +259,22 @@ impl FrameSegmenter {
     }
 
     /// [`segment_into`](FrameSegmenter::segment_into) with per-stage
-    /// wall-clock accounting accumulated into `timings` (the perf bench
-    /// uses this to attribute time to individual kernels). The untimed
-    /// path never reads the clock.
+    /// wall-clock accounting recorded into `profiler` against the
+    /// [`spans::SEGMENT_STAGES`] span names (the perf bench uses this to
+    /// attribute time to individual kernels). The untimed path never
+    /// reads the clock.
     ///
     /// # Panics / Errors
     ///
     /// As [`segment_into`](FrameSegmenter::segment_into).
-    pub fn segment_into_timed(
+    pub fn segment_into_profiled(
         &mut self,
         frame: &Frame,
         previous: Option<&Frame>,
         out: &mut FrameStages,
-        timings: &mut StageTimings,
+        profiler: &mut Profiler,
     ) -> Result<(), SegmentError> {
-        self.segment_inner(frame, previous, out, Some(timings))
+        self.segment_inner(frame, previous, out, Some(profiler))
     }
 
     fn segment_inner(
@@ -310,14 +282,14 @@ impl FrameSegmenter {
         frame: &Frame,
         previous: Option<&Frame>,
         out: &mut FrameStages,
-        mut timings: Option<&mut StageTimings>,
+        mut profiler: Option<&mut Profiler>,
     ) -> Result<(), SegmentError> {
         assert_eq!(
             frame.dims(),
             self.background.frame().dims(),
             "frame and background must share dimensions"
         );
-        let mut clock = timings.as_ref().map(|_| Instant::now());
+        let mut clock = profiler.as_ref().map(|_| Instant::now());
         let FrameSegmenter {
             config,
             shadow_detector,
@@ -335,13 +307,13 @@ impl FrameSegmenter {
             &mut out.raw,
             &mut arena.pred,
         );
-        stamp(&mut clock, timings.as_deref_mut(), |t| &mut t.extract);
+        stamp(&mut clock, profiler.as_deref_mut(), spans::SEGMENT_EXTRACT);
 
         // Step 3a: word-parallel 8-neighbour vote.
         out.raw
             .bits()
             .neighbor_filter_into(config.noise.neighbor_threshold, out.denoised.bits_mut());
-        stamp(&mut clock, timings.as_deref_mut(), |t| &mut t.denoise);
+        stamp(&mut clock, profiler.as_deref_mut(), spans::SEGMENT_DENOISE);
 
         // Step 3b: small-spot removal via the reusable labelling.
         arena.labeling.relabel(&out.denoised, Connectivity::Eight);
@@ -350,11 +322,11 @@ impl FrameSegmenter {
             config.spots.min_area,
             &mut out.despotted,
         );
-        stamp(&mut clock, timings.as_deref_mut(), |t| &mut t.despot);
+        stamp(&mut clock, profiler.as_deref_mut(), spans::SEGMENT_DESPOT);
 
         // Step 3c (extension): motion-based ghost suppression.
         suppress_ghosts(config, arena, frame, previous, out)?;
-        stamp(&mut clock, timings.as_deref_mut(), |t| &mut t.deghost);
+        stamp(&mut clock, profiler.as_deref_mut(), spans::SEGMENT_DEGHOST);
 
         // Step 4: hole filling.
         match config.holes {
@@ -371,7 +343,7 @@ impl FrameSegmenter {
                     .fill_enclosed_holes_into(out.filled.bits_mut(), &mut arena.flood);
             }
         }
-        stamp(&mut clock, timings.as_deref_mut(), |t| &mut t.fill);
+        stamp(&mut clock, profiler.as_deref_mut(), spans::SEGMENT_FILL);
 
         // Step 5b: assemble the shadow mask. `pred` already covers
         // every raw pixel, so `filled ∩ pred` is the shadow verdict for
@@ -402,7 +374,7 @@ impl FrameSegmenter {
             out.shadow.reset(w, h);
             out.final_mask.clone_from(&out.filled);
         }
-        stamp(&mut clock, timings, |t| &mut t.shadow);
+        stamp(&mut clock, profiler, spans::SEGMENT_SHADOW);
         Ok(())
     }
 }
@@ -629,28 +601,25 @@ mod tests {
         let prepared = Arc::new(PreparedBackground::new(&background.image));
         let mut plain = FrameSegmenter::new(&config, Arc::clone(&prepared));
         let mut timed = FrameSegmenter::new(&config, prepared);
-        let mut timings = StageTimings::default();
+        let mut profiler = Profiler::default();
         let frames = j.video.frames();
         for (k, frame) in frames.iter().enumerate() {
             let previous = k.checked_sub(1).map(|p| &frames[p]);
             let expected = plain.segment(frame, previous).unwrap();
             let mut out = FrameStages::empty();
             timed
-                .segment_into_timed(frame, previous, &mut out, &mut timings)
+                .segment_into_profiled(frame, previous, &mut out, &mut profiler)
                 .unwrap();
             assert_eq!(out, expected, "frame {k}");
         }
-        // Every stage ran at least once, and the accumulator adds up.
-        assert!(timings.total() > Duration::ZERO);
-        assert!(timings.extract > Duration::ZERO);
+        // Every stage ran at least once, only the six stage spans were
+        // recorded, and the accumulator adds up.
+        assert!(profiler.total() > std::time::Duration::ZERO);
+        assert!(profiler.get(spans::SEGMENT_EXTRACT) > std::time::Duration::ZERO);
+        assert_eq!(profiler.iter().count(), spans::SEGMENT_STAGES.len());
         assert_eq!(
-            timings.total(),
-            timings.extract
-                + timings.denoise
-                + timings.despot
-                + timings.deghost
-                + timings.fill
-                + timings.shadow
+            profiler.total(),
+            spans::SEGMENT_STAGES.iter().map(|s| profiler.get(s)).sum()
         );
     }
 

@@ -278,6 +278,11 @@ pub struct AnalysisReport {
     /// Per-frame health timeline: silhouette quality × tracking
     /// recovery, condensed to a confidence score.
     pub health: Vec<FrameHealth>,
+    /// The observability spans: per-frame segmentation/tracking data
+    /// and per-rule scoring windows, ready to render as a `slj-trace/1`
+    /// JSONL trace or aggregate into a metrics registry. Deterministic:
+    /// identical at every [`Parallelism`] setting.
+    pub obs: slj_obs::ClipObs,
 }
 
 impl AnalysisReport {
@@ -443,12 +448,20 @@ impl JumpAnalyzer {
             .collect();
         enforce_robustness(&health, self.config.robustness)?;
         let score = score_with_policy(&poses, &health, self.config.robustness)?;
+        let obs = crate::obs::clip_obs(
+            segmentation.frames.iter().map(|s| s.observe()).collect(),
+            &tracking.frames,
+            &poses,
+            &crate::obs::excluded_frames(&health, self.config.robustness),
+            &score,
+        );
         Ok(AnalysisReport {
             segmentation,
             tracking: tracking.frames,
             poses,
             score,
             health,
+            obs,
         })
     }
 }
@@ -492,7 +505,7 @@ pub(crate) fn score_with_policy(
     Ok(match robustness {
         RobustnessPolicy::Strict => score_jump(poses)?,
         RobustnessPolicy::BestEffort { .. } => {
-            let excluded: Vec<bool> = health.iter().map(FrameHealth::is_degraded).collect();
+            let excluded = crate::obs::excluded_frames(health, robustness);
             score_jump_masked(poses, &excluded)?
         }
     })

@@ -35,6 +35,16 @@ pub enum AnalyzeError {
         /// Which option blocks streaming and how to fix it.
         reason: String,
     },
+    /// [`finish`](crate::StreamingAnalyzer::finish) was called before
+    /// enough frames arrived to estimate any background. A clip shorter
+    /// than the warmup window degrades to a whole-backlog estimate, but
+    /// that still needs the estimator's two-frame minimum.
+    InsufficientWarmup {
+        /// Frames pushed before `finish` was called.
+        pushed: usize,
+        /// The configured background warmup window.
+        warmup: usize,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -58,6 +68,11 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::NotStreamable { reason } => {
                 write!(f, "configuration cannot stream: {reason}")
             }
+            AnalyzeError::InsufficientWarmup { pushed, warmup } => write!(
+                f,
+                "streaming clip closed after {pushed} frame(s): background \
+                 estimation needs at least 2 (warmup window is {warmup})"
+            ),
         }
     }
 }
@@ -68,7 +83,9 @@ impl std::error::Error for AnalyzeError {
             AnalyzeError::Segment(e) => Some(e),
             AnalyzeError::Tracking(e) => Some(e),
             AnalyzeError::Scoring(e) => Some(e),
-            AnalyzeError::DegradedClip { .. } | AnalyzeError::NotStreamable { .. } => None,
+            AnalyzeError::DegradedClip { .. }
+            | AnalyzeError::NotStreamable { .. }
+            | AnalyzeError::InsufficientWarmup { .. } => None,
         }
     }
 }

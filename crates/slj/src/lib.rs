@@ -44,6 +44,7 @@
 pub mod analyzer;
 pub mod error;
 pub mod measure;
+pub mod obs;
 pub mod report;
 pub mod stream;
 pub mod viz;
@@ -55,6 +56,9 @@ pub use analyzer::{
 pub use error::AnalyzeError;
 pub use measure::{measure_jump, JumpMeasurement, MeasureError};
 pub use report::{health_timeline, markdown_report, suspect_frames};
+pub use slj_obs::{
+    ClipObs, FrameObs, MetricsRegistry, Profiler, RuleObs, SegmentObs, TrackObs, TRACE_SCHEMA,
+};
 pub use slj_runtime::Parallelism;
 pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
 
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use slj_motion::{
         synthesize_jump, Angle, BodyDims, JumpConfig, JumpFlaw, Pose, PoseSeq, StickKind,
     };
+    pub use slj_obs::{ClipObs, MetricsRegistry, TRACE_SCHEMA};
     pub use slj_runtime::Parallelism;
     pub use slj_score::{score_jump, RuleId, ScoreCard, Standard};
     pub use slj_segment::pipeline::{PipelineConfig, SegmentPipeline};

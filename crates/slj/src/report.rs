@@ -12,6 +12,21 @@ use slj_motion::{classify_phases, BodyDims, JumpPhase};
 use slj_score::RuleTrace;
 use std::fmt::Write as _;
 
+/// Writes one line into the report buffer. `fmt::Write` for `String`
+/// cannot fail — appending to a `String` aborts on allocation failure
+/// rather than returning an error — so the `fmt::Result` here is
+/// provably `Ok`. This macro documents that invariant in one place
+/// instead of scattering panicking `unwrap()`s through the library
+/// path.
+macro_rules! mdln {
+    ($md:expr) => {
+        let _ = writeln!($md);
+    };
+    ($md:expr, $($arg:tt)*) => {
+        let _ = writeln!($md, $($arg)*);
+    };
+}
+
 /// Renders a full markdown coaching report.
 ///
 /// The report degrades gracefully: sections whose inputs are
@@ -21,8 +36,8 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
     let mut md = String::new();
     let score = &report.score;
 
-    writeln!(md, "# Standing long jump — analysis report\n").unwrap();
-    writeln!(
+    mdln!(md, "# Standing long jump — analysis report\n");
+    mdln!(
         md,
         "**Score: {}/{}**{}\n",
         score.score(),
@@ -32,45 +47,52 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
         } else {
             ""
         }
-    )
-    .unwrap();
+    );
 
     // Rule table.
-    writeln!(md, "## Technique rules (Table 2 of Hsu et al.)\n").unwrap();
-    writeln!(md, "| rule | stage | observed | threshold | verdict |").unwrap();
-    writeln!(md, "|---|---|---|---|---|").unwrap();
+    mdln!(md, "## Technique rules (Table 2 of Hsu et al.)\n");
+    mdln!(md, "| rule | stage | observed | threshold | verdict |");
+    mdln!(md, "|---|---|---|---|---|");
     for r in score.results() {
-        writeln!(
+        let observed = match r.observed {
+            Some(v) => format!("{v:.1}°"),
+            None => "—".to_owned(),
+        };
+        let verdict = match r.verdict {
+            slj_score::Verdict::Satisfied => "ok",
+            slj_score::Verdict::Violated => "**violated**",
+            slj_score::Verdict::Masked => "_masked_",
+        };
+        mdln!(
             md,
-            "| {} | {} | {:.1}° | {:.0}° | {} |",
+            "| {} | {} | {} | {:.0}° | {} |",
             r.rule,
             r.stage,
-            r.observed,
+            observed,
             r.threshold,
-            if r.satisfied { "ok" } else { "**violated**" }
-        )
-        .unwrap();
+            verdict
+        );
     }
-    writeln!(md).unwrap();
+    mdln!(md);
 
     // Advice.
     let advice = score.advice();
     if !advice.is_empty() {
-        writeln!(md, "## Coaching advice\n").unwrap();
+        mdln!(md, "## Coaching advice\n");
         for (standard, text) in advice {
-            writeln!(md, "* **{standard}** — {text}").unwrap();
+            mdln!(md, "* **{standard}** — {text}");
         }
-        writeln!(md).unwrap();
+        mdln!(md);
     }
 
     // Traces.
     if let Ok(traces) = RuleTrace::all(&report.poses) {
-        writeln!(md, "## Per-frame traces\n").unwrap();
-        writeln!(md, "```text").unwrap();
+        mdln!(md, "## Per-frame traces\n");
+        mdln!(md, "```text");
         for t in traces {
-            writeln!(md, "{t}").unwrap();
+            mdln!(md, "{t}");
         }
-        writeln!(md, "```\n").unwrap();
+        mdln!(md, "```\n");
     }
 
     // Phases.
@@ -87,50 +109,50 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
                 JumpPhase::Recovery => 'R',
             })
             .collect();
-        writeln!(md, "## Phases\n").unwrap();
-        writeln!(
+        mdln!(md, "## Phases\n");
+        mdln!(
             md,
             "`{timeline}` (S standing, C crouch, T takeoff, F flight, L landing, R recovery)\n"
-        )
-        .unwrap();
+        );
     }
 
     // Measurement.
-    writeln!(md, "## Measurement\n").unwrap();
+    mdln!(md, "## Measurement\n");
     match measure_jump(&report.poses, dims) {
         Ok(m) => {
-            writeln!(
+            mdln!(
                 md,
                 "* distance: **{:.2} m** (takeoff toe → landing heel)",
                 m.distance_m
-            )
-            .unwrap();
-            writeln!(
+            );
+            mdln!(
                 md,
                 "* flight: {} frames (takeoff frame {}, landing frame {})",
-                m.flight_frames, m.takeoff_frame, m.landing_frame
-            )
-            .unwrap();
-            writeln!(md, "* peak clearance: {:.2} m\n", m.peak_clearance_m).unwrap();
+                m.flight_frames,
+                m.takeoff_frame,
+                m.landing_frame
+            );
+            mdln!(md, "* peak clearance: {:.2} m\n", m.peak_clearance_m);
         }
-        Err(e) => writeln!(md, "_not available: {e}_\n").unwrap(),
+        Err(e) => {
+            mdln!(md, "_not available: {e}_\n");
+        }
     }
 
     // Frame health.
     if !report.health.is_empty() {
         let mean_conf =
             report.health.iter().map(|h| h.confidence).sum::<f64>() / report.health.len() as f64;
-        writeln!(md, "## Frame health\n").unwrap();
-        writeln!(
+        mdln!(md, "## Frame health\n");
+        mdln!(
             md,
             "`{}` (# clean, + minor, ~ shaky, ! degraded) — mean confidence {:.2}\n",
             health_timeline(&report.health),
             mean_conf
-        )
-        .unwrap();
+        );
         for h in report.health.iter().filter(|h| h.is_degraded()) {
             let issues: Vec<String> = h.quality.issues.iter().map(|i| i.to_string()).collect();
-            writeln!(
+            mdln!(
                 md,
                 "* frame {}: confidence {:.2} — {}{}{}",
                 h.frame,
@@ -142,32 +164,29 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
                 },
                 if issues.is_empty() { "" } else { "; " },
                 format_args!("tracking {}", h.recovery),
-            )
-            .unwrap();
+            );
         }
         if report.health.iter().any(|h| h.is_degraded()) {
-            writeln!(md).unwrap();
+            mdln!(md);
         }
     }
 
     // Tracking diagnostics.
-    writeln!(md, "## Tracking diagnostics\n").unwrap();
+    mdln!(md, "## Tracking diagnostics\n");
     let suspects = suspect_frames(report);
-    writeln!(
+    mdln!(
         md,
         "* frames analysed: {} ({} carried over)",
         report.tracking.len(),
         report.tracking.iter().filter(|t| t.carried_over).count()
-    )
-    .unwrap();
+    );
     if suspects.is_empty() {
-        writeln!(md, "* no suspect frames (fitness uniform across the clip)").unwrap();
+        mdln!(md, "* no suspect frames (fitness uniform across the clip)");
     } else {
-        writeln!(
+        mdln!(
             md,
             "* suspect frames (fitness ≥ 1.5× clip median — treat the pose there with care): {suspects:?}"
-        )
-        .unwrap();
+        );
     }
     md
 }

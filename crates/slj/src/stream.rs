@@ -51,6 +51,11 @@ pub struct FrameUpdate {
     /// while warming up; the whole backlog when the warmup window
     /// fills; exactly one entry per push thereafter.
     pub completed: Vec<FrameHealth>,
+    /// Observability spans of the same completed frames (index-aligned
+    /// with `completed`): segmentation stage populations and GA
+    /// tracking accounting, identical to what the batch report's
+    /// [`ClipObs`](slj_obs::ClipObs) holds for those frames.
+    pub observed: Vec<slj_obs::FrameObs>,
 }
 
 /// A finished streaming analysis: everything
@@ -68,6 +73,10 @@ pub struct JumpAnalysis {
     pub health: Vec<FrameHealth>,
     /// Per-frame silhouette quality.
     pub quality: Vec<FrameQuality>,
+    /// The observability spans — bit-identical to the batch report's
+    /// [`obs`](crate::AnalysisReport::obs) over the same clip and
+    /// configuration.
+    pub obs: slj_obs::ClipObs,
 }
 
 impl JumpAnalysis {
@@ -91,6 +100,7 @@ impl crate::AnalysisReport {
             tracking: self.tracking.clone(),
             health: self.health.clone(),
             quality: self.segmentation.quality.clone(),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -112,6 +122,10 @@ struct LiveState {
     tracking: Vec<TrackResult>,
     quality: Vec<FrameQuality>,
     health: Vec<FrameHealth>,
+    /// Per-frame observability spans, collected as each frame
+    /// completes (the stage masks are reused, so `SegmentObs` must be
+    /// taken before the next frame overwrites them).
+    obs_frames: Vec<slj_obs::FrameObs>,
 }
 
 /// The frame-at-a-time analyzer. See the module docs for the contract;
@@ -228,6 +242,7 @@ impl StreamingAnalyzer {
     /// exactly where the batch path would.
     pub fn push_frame(&mut self, frame: &Frame) -> Result<FrameUpdate, AnalyzeError> {
         let index = self.frames_pushed;
+        let observed_from = self.live.as_ref().map_or(0, |l| l.obs_frames.len());
         let smoothed = self.segmentation.presmooth.apply(frame);
         let completed = if self.live.is_some() {
             vec![self.process(smoothed)?]
@@ -240,10 +255,16 @@ impl StreamingAnalyzer {
             }
         };
         self.frames_pushed = index + 1;
+        let observed = self
+            .live
+            .as_ref()
+            .map(|l| l.obs_frames[observed_from..].to_vec())
+            .unwrap_or_default();
         Ok(FrameUpdate {
             frame: index,
             buffered: completed.is_empty(),
             completed,
+            observed,
         })
     }
 
@@ -260,6 +281,16 @@ impl StreamingAnalyzer {
     /// sequence too short to score.
     pub fn finish(mut self) -> Result<JumpAnalysis, AnalyzeError> {
         if self.live.is_none() {
+            // Degrading to a whole-backlog background estimate still
+            // needs the estimator's two-frame minimum; fail the 0/1
+            // frame case cleanly instead of surfacing a confusing
+            // segmentation error from deep inside `go_live`.
+            if self.frames_pushed < 2 {
+                return Err(AnalyzeError::InsufficientWarmup {
+                    pushed: self.frames_pushed,
+                    warmup: self.warmup,
+                });
+            }
             self.go_live()?;
         }
         let live = self.live.expect("go_live sets live state");
@@ -269,12 +300,18 @@ impl StreamingAnalyzer {
         }
         enforce_robustness(&live.health, self.config.robustness)?;
         let score = score_with_policy(&poses, &live.health, self.config.robustness)?;
+        let excluded = crate::obs::excluded_frames(&live.health, self.config.robustness);
+        let obs = slj_obs::ClipObs {
+            frames: live.obs_frames,
+            rules: crate::obs::rule_obs(&poses, &excluded, &score),
+        };
         Ok(JumpAnalysis {
             poses,
             score,
             tracking: live.tracking,
             health: live.health,
             quality: live.quality,
+            obs,
         })
     }
 
@@ -309,6 +346,7 @@ impl StreamingAnalyzer {
             tracking: Vec::new(),
             quality: Vec::new(),
             health: Vec::new(),
+            obs_frames: Vec::new(),
         });
         video
             .iter()
@@ -329,6 +367,13 @@ impl StreamingAnalyzer {
         let quality = FrameQuality::measure(final_mask, reference, &self.segmentation.quality);
         let track = live.tracker.push(final_mask)?;
         let health = FrameHealth::with_model(k, quality.clone(), &track, &self.config.confidence);
+        // The stage buffer is reused by the next frame: take its span
+        // data now, while the masks are still this frame's.
+        live.obs_frames.push(slj_obs::FrameObs {
+            frame: k as u64,
+            segment: live.stages.observe(),
+            track: crate::obs::track_obs(&track),
+        });
         live.poses.push(track.pose);
         live.tracking.push(track);
         live.quality.push(quality);

@@ -95,7 +95,7 @@ proptest! {
         prop_assert_eq!(traces.len(), 7);
         for (trace, result) in traces.iter().zip(card.results()) {
             prop_assert_eq!(trace.rule, result.rule);
-            prop_assert_eq!(trace.satisfied, result.satisfied);
+            prop_assert_eq!(trace.satisfied, result.satisfied());
             prop_assert_eq!(trace.values.len(), frames);
             // The sparkline is one char per frame.
             prop_assert_eq!(trace.sparkline().chars().count(), frames);

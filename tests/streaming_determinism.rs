@@ -194,3 +194,87 @@ fn non_streamable_configs_are_rejected_up_front() {
     // The blessed presets pass validation.
     assert!(StreamingAnalyzer::new(AnalyzerConfig::streaming(), &camera, pose, 10.0).is_ok());
 }
+
+#[test]
+fn finish_before_two_frames_reports_insufficient_warmup() {
+    // Regression: finish() used to funnel a 0- or 1-frame backlog into
+    // background estimation and surface its "segmentation failed: too
+    // few frames" — misattributed for a streaming caller that simply
+    // closed the clip too early.
+    let camera = Camera::compact();
+    let pose = slj_motion::Pose::standing(&slj_motion::BodyDims::default());
+
+    let stream = StreamingAnalyzer::new(AnalyzerConfig::streaming(), &camera, pose, 10.0).unwrap();
+    let err = stream.finish().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AnalyzeError::InsufficientWarmup {
+                pushed: 0,
+                warmup: 14
+            }
+        ),
+        "unexpected error: {err}"
+    );
+    assert!(err.to_string().contains("at least 2"), "{err}");
+
+    let scene = SceneConfig {
+        camera,
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 85);
+    let mut stream = StreamingAnalyzer::new(
+        AnalyzerConfig::streaming(),
+        &camera,
+        jump.poses.poses()[0],
+        10.0,
+    )
+    .unwrap();
+    stream.push_frame(&jump.video.frames()[0]).unwrap();
+    let err = stream.finish().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AnalyzeError::InsufficientWarmup {
+                pushed: 1,
+                warmup: 14
+            }
+        ),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn finish_with_warmup_minus_one_frames_degrades_to_backlog_background() {
+    // One frame short of the warmup window: nothing has gone live yet,
+    // and finish() must estimate the background from the 13-frame
+    // backlog and still agree with batch on the same truncated clip.
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 86);
+    let config = AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 13,
+        },
+        ..streamable_fast()
+    };
+    let warmup = config.segmentation.background.warmup.unwrap();
+    let short = Video::new(jump.video.frames()[..warmup - 1].to_vec(), jump.video.fps());
+    let first = jump.poses.poses()[0];
+    let mut stream =
+        StreamingAnalyzer::new(config.clone(), &scene.camera, first, short.fps()).unwrap();
+    for frame in short.iter() {
+        let update = stream.push_frame(frame).unwrap();
+        assert!(update.buffered, "warmup-1 frames must all stay buffered");
+        assert!(update.observed.is_empty());
+    }
+    let streamed = stream.finish().expect("finish should degrade, not fail");
+    assert_eq!(streamed.poses.len(), warmup - 1);
+    let batch = JumpAnalyzer::new(config)
+        .analyze(&short, &scene.camera, first)
+        .expect("batch on the truncated clip should succeed")
+        .to_analysis();
+    assert_eq!(batch, streamed, "warmup-1 backlog: streaming != batch");
+}
