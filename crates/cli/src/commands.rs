@@ -322,6 +322,203 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `slj serve` — run clips through the supervised multi-session
+/// service core.
+///
+/// Session 0 analyses the clip exactly as stored; with
+/// `--inject-faults` every further session streams an independently
+/// seeded perturbation of it (seed, seed+1, …), so one command
+/// exercises the service against a small fleet of degraded producers.
+/// Every session is one [`StreamingAnalyzer`] behind a bounded frame
+/// queue; panics, deadline overruns, stalls and mid-stream shape
+/// changes are contained per session by the supervisor.
+pub fn serve<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "clip",
+            "sessions",
+            "max-sessions",
+            "queue-depth",
+            "frame-deadline-ms",
+            "inject-faults",
+            "events",
+            "threads",
+            "max-degraded",
+            "warmup",
+        ],
+        &["fast", "best-effort"],
+    )?;
+    let clip_dir = flags.required("clip")?.to_owned();
+    let sessions: usize = flags.get_or("sessions", 4)?;
+    if sessions == 0 {
+        return Err(CliError::Usage("--sessions must be at least 1".into()));
+    }
+    let max_sessions: usize = flags.get_or("max-sessions", sessions.max(8))?;
+    if max_sessions < sessions {
+        return Err(CliError::Usage(format!(
+            "--max-sessions {max_sessions} cannot admit --sessions {sessions}"
+        )));
+    }
+    let queue_depth: usize = flags.get_or("queue-depth", 16)?;
+    if queue_depth == 0 {
+        return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+    }
+    let frame_deadline: u64 = flags.get_or("frame-deadline-ms", 0)?;
+    let parallelism = match flags.value("threads") {
+        None => Parallelism::Auto,
+        Some(raw) => raw
+            .parse::<Parallelism>()
+            .map_err(|e| CliError::Usage(format!("--threads: {e}")))?,
+    };
+    if flags.value("max-degraded").is_some() && !flags.switch("best-effort") {
+        return Err(CliError::Usage(
+            "--max-degraded only makes sense with --best-effort".into(),
+        ));
+    }
+    let fault_cfg = flags
+        .value("inject-faults")
+        .map(FaultConfig::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--inject-faults: {e}")))?;
+
+    let video = load_video(&clip_dir)?;
+    let truth = ClipTruth::load(&clip_dir)?;
+    let warmup: usize = flags.get_or("warmup", slj::DEFAULT_WARMUP_FRAMES)?;
+    let mut config = if flags.switch("fast") {
+        AnalyzerConfig::fast()
+    } else {
+        AnalyzerConfig::default()
+    };
+    config.dims = truth.dims.clone();
+    // Concurrency lives at the manager (whole sessions step in
+    // parallel); each session's analyzer stays serial inside its step.
+    config.parallelism = Parallelism::Serial;
+    if flags.switch("best-effort") {
+        let max_degraded: usize = flags.get_or("max-degraded", video.len().div_ceil(4))?;
+        config.robustness = RobustnessPolicy::BestEffort {
+            max_degraded_frames: max_degraded,
+        };
+    }
+    let config = config.into_streaming(warmup);
+
+    // One clip per session: the original, then seeded perturbations.
+    let mut clips = Vec::with_capacity(sessions);
+    for k in 0..sessions {
+        match (&fault_cfg, k) {
+            (Some(cfg), k) if k > 0 => {
+                let per_session = FaultConfig {
+                    seed: cfg.seed.wrapping_add(k as u64),
+                    ..*cfg
+                };
+                let (faulty, report) = FaultInjector::new(per_session).inject(&video);
+                writeln!(
+                    out,
+                    "session {k}: faults injected into {}/{} frames (seed {})",
+                    report.faulty_frames(),
+                    faulty.len(),
+                    per_session.seed
+                )?;
+                clips.push(faulty);
+            }
+            _ => clips.push(video.clone()),
+        }
+    }
+
+    let mut manager = slj_serve::SessionManager::new(slj_serve::ServeConfig {
+        max_sessions,
+        queue_depth,
+        frame_deadline,
+        parallelism,
+        ..slj_serve::ServeConfig::default()
+    });
+    for clip in &clips {
+        manager.open(slj_serve::SessionConfig {
+            analyzer: config.clone(),
+            camera: truth.camera,
+            first_pose: truth.first_pose,
+            fps: clip.fps(),
+        })?;
+    }
+
+    // Interleaved producers: one frame per session per tick. A shed
+    // offer is retried after ticking the queue down; a session the
+    // supervisor has already removed from service just stops being fed.
+    let mut shed_retries = 0u64;
+    for i in 0..video.len() {
+        for (id, clip) in clips.iter().enumerate() {
+            loop {
+                match manager.offer(id, &clip.frames()[i]) {
+                    Ok(slj_serve::OfferReply::Accepted { .. }) => break,
+                    Ok(slj_serve::OfferReply::Overloaded { .. }) => {
+                        shed_retries += 1;
+                        manager.tick();
+                    }
+                    Err(slj_serve::ServeError::SessionTerminal { .. }) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        manager.tick();
+    }
+    for id in 0..sessions {
+        match manager.close(id) {
+            Ok(()) | Err(slj_serve::ServeError::SessionTerminal { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    manager.run_until_idle();
+
+    let events = manager.drain_events();
+    writeln!(
+        out,
+        "service: {sessions} sessions, {} ticks, {} health events, {shed_retries} backpressure retries",
+        manager.ticks(),
+        events.len()
+    )?;
+    for id in 0..sessions {
+        let metrics = manager.metrics(id).expect("session was opened");
+        let restarts = metrics.counter(slj_obs::serve_keys::RESTARTS);
+        let degraded = manager.degraded(id).expect("session was opened");
+        match manager.state(id).expect("session was opened").clone() {
+            slj_serve::SessionState::Finished => {
+                let analysis = manager
+                    .take_result(id)
+                    .expect("finished session has a result")
+                    .expect("finished session result is Ok");
+                writeln!(
+                    out,
+                    "session {id}: finished — {} frames, score {}/7, {degraded} degraded, {restarts} restarts",
+                    analysis.health.len(),
+                    analysis.score.score()
+                )?;
+            }
+            slj_serve::SessionState::Failed => {
+                let error = manager
+                    .take_result(id)
+                    .expect("failed session has a result")
+                    .expect_err("failed session result is Err");
+                writeln!(out, "session {id}: failed — {error}")?;
+            }
+            slj_serve::SessionState::Quarantined { reason } => {
+                writeln!(out, "session {id}: quarantined — {reason}")?;
+            }
+            slj_serve::SessionState::Live => {
+                writeln!(out, "session {id}: still live (producer never closed)")?;
+            }
+        }
+    }
+    if let Some(path) = flags.value("events") {
+        std::fs::write(path, slj_serve::render_events(&events))?;
+        writeln!(
+            out,
+            "health events ({}) written to {path}",
+            slj_serve::SERVE_SCHEMA
+        )?;
+    }
+    Ok(())
+}
+
 /// `slj eval` — ground-truth accuracy evaluation over the synthetic
 /// fault matrix, or the threshold-calibration sweep.
 ///

@@ -17,6 +17,8 @@ pub enum CliError {
     Image(slj_imgproc::ImgError),
     /// The analysis itself failed.
     Analyze(slj::AnalyzeError),
+    /// The service layer refused a request.
+    Serve(slj_serve::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -27,6 +29,7 @@ impl fmt::Display for CliError {
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Image(e) => write!(f, "clip error: {e}"),
             CliError::Analyze(e) => write!(f, "analysis error: {e}"),
+            CliError::Serve(e) => write!(f, "service error: {e}"),
         }
     }
 }
@@ -39,6 +42,7 @@ impl std::error::Error for CliError {
             CliError::Json(e) => Some(e),
             CliError::Image(e) => Some(e),
             CliError::Analyze(e) => Some(e),
+            CliError::Serve(e) => Some(e),
         }
     }
 }
@@ -64,6 +68,12 @@ impl From<slj_imgproc::ImgError> for CliError {
 impl From<slj::AnalyzeError> for CliError {
     fn from(e: slj::AnalyzeError) -> Self {
         CliError::Analyze(e)
+    }
+}
+
+impl From<slj_serve::ServeError> for CliError {
+    fn from(e: slj_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

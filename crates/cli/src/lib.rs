@@ -40,6 +40,10 @@ USAGE:
               [--best-effort [--max-degraded N]] [--inject-faults SPEC]
               [--stream [--warmup N]] [--trace FILE.jsonl] [--metrics]
   slj score   --clip DIR
+  slj serve   --clip DIR [--sessions N] [--max-sessions N] [--queue-depth N]
+              [--frame-deadline-ms N] [--inject-faults SPEC]
+              [--events FILE.jsonl] [--threads N|auto|serial] [--fast]
+              [--best-effort [--max-degraded N]] [--warmup N]
   slj eval    (--matrix small|full | --sweep) [--out FILE.json]
               [--summary-md FILE.md] [--threads N|auto|serial]
   slj flaws
@@ -63,6 +67,18 @@ COMMANDS:
              derived from analysis results only, so they are
              byte-identical at every --threads setting)
   score     score a clip's ground-truth poses (no vision)
+  serve     run clips through the supervised multi-session service core
+            (each session is an independent streaming analysis behind a
+             bounded frame queue with reject-newest backpressure;
+             panics, deadline overruns, stalled producers and
+             mid-stream shape changes are contained per session by a
+             restart ladder — checkpoint restore, cold restart,
+             quarantine — and a degraded-frame circuit breaker; session
+             0 analyses the clip as stored, and with --inject-faults
+             every further session streams an independently seeded
+             perturbation; --events writes the slj-serve/1 JSONL
+             health-event log; --threads fans session steps out over
+             worker threads with byte-identical events and results)
   eval      measure tracking accuracy against synthetic ground truth
             (--matrix runs the seeded clip x fault-profile x gap-policy
              grid and writes a deterministic slj-eval/1 JSON report;
@@ -85,6 +101,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("synth") => commands::synth(&args[1..], out),
         Some("analyze") => commands::analyze(&args[1..], out),
         Some("score") => commands::score(&args[1..], out),
+        Some("serve") => commands::serve(&args[1..], out),
         Some("eval") => commands::eval(&args[1..], out),
         Some("flaws") => commands::flaws(out),
         Some("help") | None => {

@@ -320,3 +320,91 @@ fn eval_matrix_small_writes_schema_tagged_report() {
     assert!(md.contains("occlusion-dropout"), "profiles in summary");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_streams_sessions_and_writes_health_events() {
+    let dir = temp_clip("serve");
+    invoke(&format!(
+        "synth --out {} --seed 21 --compact --clean",
+        dir.display()
+    ))
+    .unwrap();
+    let events_path = dir.join("events.jsonl");
+    let text = invoke(&format!(
+        "serve --clip {} --sessions 4 --fast --best-effort --threads serial \
+         --inject-faults bars=1,seed=9 --events {}",
+        dir.display(),
+        events_path.display()
+    ))
+    .unwrap();
+    // Session 0 streams the clip as stored; 1..3 get seeded faults.
+    assert!(text.contains("session 1: faults injected into"), "{text}");
+    assert!(text.contains("session 3: faults injected into"), "{text}");
+    assert!(text.contains("service: 4 sessions"), "{text}");
+    assert!(text.contains("session 0: finished — 20 frames"), "{text}");
+    let jsonl = std::fs::read_to_string(&events_path).unwrap();
+    let header = jsonl.lines().next().unwrap();
+    assert!(header.contains("\"schema\":\"slj-serve/1\""), "{header}");
+    assert!(jsonl.contains("\"event\":\"finished\""), "{jsonl}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_is_byte_identical_across_thread_counts() {
+    let dir = temp_clip("serve_threads");
+    invoke(&format!(
+        "synth --out {} --seed 22 --compact --clean",
+        dir.display()
+    ))
+    .unwrap();
+    let run = |spec: &str| {
+        let events = dir.join(format!("events_{spec}.jsonl"));
+        let text = invoke(&format!(
+            "serve --clip {} --sessions 3 --fast --best-effort --threads {spec} \
+             --inject-faults bars=1,seed=5 --events {}",
+            dir.display(),
+            events.display()
+        ))
+        .unwrap();
+        (text, std::fs::read_to_string(&events).unwrap())
+    };
+    let serial = run("serial");
+    for spec in ["2", "auto"] {
+        let other = run(spec);
+        // The event files differ only in the path echoed on stdout, so
+        // compare the JSONL byte-for-byte and stdout minus that line.
+        assert_eq!(serial.1, other.1, "--threads {spec} changed the events");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("health events"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&serial.0),
+            strip(&other.0),
+            "--threads {spec} changed the summary"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_flags_are_validated() {
+    let err = invoke("serve --clip nowhere --sessions 0").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    let err = invoke("serve --clip nowhere --sessions 4 --max-sessions 2").unwrap_err();
+    assert!(
+        matches!(err, CliError::Usage(_)) && err.to_string().contains("--max-sessions"),
+        "an under-sized session cap should explain itself: {err}"
+    );
+    let err = invoke("serve --clip nowhere --queue-depth 0").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    let err = invoke("serve --clip nowhere --max-degraded 3").unwrap_err();
+    assert!(
+        err.to_string().contains("--best-effort"),
+        "--max-degraded without --best-effort should explain itself: {err}"
+    );
+    let err = invoke("serve --clip nowhere --inject-faults nonsense=1").unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+}

@@ -34,6 +34,45 @@ use std::time::Duration;
 /// The trace schema identifier emitted in the JSONL header line.
 pub const TRACE_SCHEMA: &str = "slj-trace/1";
 
+/// The health-event schema identifier the `slj-serve` supervisor emits
+/// in its JSONL header line.
+pub const SERVE_SCHEMA: &str = "slj-serve/1";
+
+/// Static metric keys for the `slj-serve` supervisor's per-session
+/// [`MetricsRegistry`]. Shared here (like [`spans`]) so the service,
+/// its tests and any dashboard agree on the schema by construction.
+pub mod serve_keys {
+    /// Frames successfully analysed.
+    pub const FRAMES: &str = "serve.frames";
+    /// Frames shed at the queue (backpressure rejects).
+    pub const SHEDS: &str = "serve.sheds";
+    /// Frames that blew their per-frame deadline budget.
+    pub const DEADLINE_MISSES: &str = "serve.deadline_misses";
+    /// Panics caught by the supervisor.
+    pub const PANICS: &str = "serve.panics";
+    /// Supervisor restarts (checkpoint or cold).
+    pub const RESTARTS: &str = "serve.restarts";
+    /// Frames rejected for a mid-stream shape mismatch.
+    pub const REJECTED: &str = "serve.rejected";
+    /// Degraded frames charged against the session budget.
+    pub const DEGRADED: &str = "serve.degraded";
+    /// Stall strikes recorded against an idle producer.
+    pub const STALLS: &str = "serve.stalls";
+
+    /// Every key, for pre-warming a registry so the supervisor's hot
+    /// paths never insert (allocation-free rejects).
+    pub const ALL: [&str; 8] = [
+        FRAMES,
+        SHEDS,
+        DEADLINE_MISSES,
+        PANICS,
+        RESTARTS,
+        REJECTED,
+        DEGRADED,
+        STALLS,
+    ];
+}
+
 /// Static span names for the segmentation stage kernels, shared by the
 /// profiling hooks ([`Profiler`]) and the bench harness so stage
 /// attribution survives refactors of either side.

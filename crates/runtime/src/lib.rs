@@ -17,6 +17,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
+pub mod backoff;
+
+pub use backoff::{Backoff, BackoffConfig};
+
 /// The number of hardware threads actually available to this process,
 /// via [`std::thread::available_parallelism`] (1 when the runtime
 /// cannot report a count).

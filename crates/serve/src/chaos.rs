@@ -1,0 +1,93 @@
+//! Deterministic service-level fault scripting.
+//!
+//! [`ServiceFaultPlan`] is the service half of the chaos story: where
+//! `slj_video::FaultInjector` corrupts *pixels* (what a bad camera
+//! does), this plan corrupts *service behaviour* — frames that panic
+//! the analysis step mid-flight and steps that blow their deadline
+//! budget. Faults are keyed by `(session, offer ordinal)`, so a plan is
+//! a pure function of the frame schedule: replaying the same offers
+//! replays the same faults, which is what lets the chaos suite assert
+//! byte-identical outcomes. The orthogonal service scenarios need no
+//! hook here — a *stalled producer* is simply a producer that stops
+//! offering, a *burst* is more offers than queue slots, and a
+//! *mid-stream shape change* is an offered frame with different
+//! dimensions.
+
+use crate::session::SessionId;
+
+/// The panic message poisoned frames carry (also what the supervisor
+/// reports in the `panicked` health event).
+pub const POISON_MESSAGE: &str = "chaos: poisoned frame";
+
+/// A scripted set of service faults for a chaos run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceFaultPlan {
+    /// `(session, ordinal)` pairs whose analysis step panics.
+    poison: Vec<(SessionId, u64)>,
+    /// `(session, ordinal, extra_ticks)` scripted deadline overruns
+    /// (only observed under [`DeadlineClock::Scripted`]
+    /// (crate::DeadlineClock::Scripted)).
+    overruns: Vec<(SessionId, u64, u64)>,
+}
+
+impl ServiceFaultPlan {
+    /// An empty plan: no service faults.
+    pub fn none() -> Self {
+        ServiceFaultPlan::default()
+    }
+
+    /// Poisons the frame a session's producer offers as its
+    /// `ordinal`-th (0-based): its analysis step panics when the
+    /// supervisor processes it. The poisoned frame is dropped on
+    /// restart-with-replay, so the panic fires exactly once.
+    pub fn poison(mut self, session: SessionId, ordinal: u64) -> Self {
+        self.poison.push((session, ordinal));
+        self
+    }
+
+    /// Scripts a deadline overrun: the given offered frame costs
+    /// `extra` ticks beyond the nominal 1 under the scripted clock.
+    pub fn overrun(mut self, session: SessionId, ordinal: u64, extra: u64) -> Self {
+        self.overruns.push((session, ordinal, extra));
+        self
+    }
+
+    /// Whether this offered frame is poisoned.
+    pub fn is_poisoned(&self, session: SessionId, ordinal: u64) -> bool {
+        self.poison.contains(&(session, ordinal))
+    }
+
+    /// Scripted extra ticks for this offered frame (0 when unscripted).
+    pub fn overrun_for(&self, session: SessionId, ordinal: u64) -> u64 {
+        self.overruns
+            .iter()
+            .find(|(s, o, _)| *s == session && *o == ordinal)
+            .map_or(0, |(_, _, extra)| *extra)
+    }
+
+    /// Whether the plan scripts anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.poison.is_empty() && self.overruns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_keyed_by_session_and_ordinal() {
+        let plan = ServiceFaultPlan::none()
+            .poison(3, 7)
+            .overrun(1, 2, 9)
+            .overrun(1, 4, 1);
+        assert!(plan.is_poisoned(3, 7));
+        assert!(!plan.is_poisoned(3, 8));
+        assert!(!plan.is_poisoned(2, 7));
+        assert_eq!(plan.overrun_for(1, 2), 9);
+        assert_eq!(plan.overrun_for(1, 4), 1);
+        assert_eq!(plan.overrun_for(1, 3), 0);
+        assert!(!plan.is_empty());
+        assert!(ServiceFaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! The supervisor's health-event stream and its `slj-serve/1` JSONL
+//! rendering.
+//!
+//! Events are the client-facing half of supervision: every frame
+//! outcome, every supervisor decision (restart, escalation, breaker
+//! trip) and every terminal transition appears exactly once, in a
+//! deterministic order (session order within a tick, tick order across
+//! ticks), with a contiguous sequence number. Rendering follows the
+//! obs-crate convention: the vendored serde derive has no `flatten`,
+//! so each record is built as an insertion-ordered `Value::Object` and
+//! the key order *is* the schema.
+
+use serde::Value;
+use slj::FrameUpdate;
+
+pub use slj_obs::SERVE_SCHEMA;
+
+use crate::session::SessionId;
+
+/// How a crashed session was brought back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Restored from the last checkpoint; `replayed` retained frames
+    /// were re-processed (their updates are suppressed — the client
+    /// already saw them).
+    Checkpoint {
+        /// Frames replayed after the restore.
+        replayed: usize,
+    },
+    /// A fresh analyzer: earlier frames are lost and the session's
+    /// eventual analysis covers only the tail.
+    Cold,
+}
+
+/// One supervisor observation about one session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A frame was analysed; the incremental update batch-clients
+    /// would get from `push_frame` directly.
+    Frame {
+        /// The analyzer's update for this frame.
+        update: FrameUpdate,
+    },
+    /// A frame's dimensions differed from the clip's established shape;
+    /// it was dropped (typed, no pixel loop ran) and the session
+    /// continued.
+    FrameRejected {
+        /// Arrival ordinal of the rejected frame (offer order).
+        ordinal: u64,
+        /// The clip's established `(width, height)`.
+        expected: (usize, usize),
+        /// The rejected frame's `(width, height)`.
+        got: (usize, usize),
+    },
+    /// A frame's analysis step exceeded the per-frame deadline budget.
+    DeadlineMiss {
+        /// Arrival ordinal of the late frame.
+        ordinal: u64,
+        /// What the step cost (ticks or ms, per the manager's clock).
+        cost: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The supervisor caught a panic in this session's analysis step.
+    Panicked {
+        /// Arrival ordinal of the frame being processed.
+        ordinal: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The session was brought back after a crash.
+    Restarted {
+        /// Which rung of the ladder ran.
+        mode: RestartMode,
+        /// Backoff delay (ticks) before the session processes again.
+        delay: u64,
+    },
+    /// An open session's producer went quiet for a full stall window.
+    Stalled {
+        /// Consecutive idle ticks observed.
+        idle_ticks: usize,
+        /// Stall strikes so far (quarantine when they run out).
+        strikes: u32,
+    },
+    /// The degraded budget crossed `escalate_after`: the session's
+    /// robustness policy was relaxed so it can still finish.
+    PolicyEscalated {
+        /// Degraded frames charged so far.
+        degraded: usize,
+        /// The new degraded-frame allowance.
+        allowance: usize,
+    },
+    /// The degraded budget crossed `trip_after`: terminal.
+    CircuitBreakerTripped {
+        /// Degraded frames charged.
+        degraded: usize,
+        /// The allowance that was exhausted.
+        allowance: usize,
+    },
+    /// Terminal: the session was removed from service.
+    Quarantined {
+        /// Why (`panic ladder exhausted`, `stalled`, `circuit breaker`).
+        reason: String,
+    },
+    /// Terminal: the clip closed cleanly and scored.
+    Finished {
+        /// Frames in the final analysis.
+        frames: usize,
+        /// The jump score (paper scale).
+        score: u32,
+        /// Degraded frames charged to the session.
+        degraded: usize,
+    },
+    /// Terminal: `finish()` returned a typed error.
+    Failed {
+        /// The analyzer error, rendered.
+        error: String,
+    },
+}
+
+impl EventKind {
+    /// The `event` field value in the JSONL rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Frame { .. } => "frame",
+            EventKind::FrameRejected { .. } => "frame_rejected",
+            EventKind::DeadlineMiss { .. } => "deadline_miss",
+            EventKind::Panicked { .. } => "panicked",
+            EventKind::Restarted { .. } => "restarted",
+            EventKind::Stalled { .. } => "stalled",
+            EventKind::PolicyEscalated { .. } => "policy_escalated",
+            EventKind::CircuitBreakerTripped { .. } => "circuit_breaker_tripped",
+            EventKind::Quarantined { .. } => "quarantined",
+            EventKind::Finished { .. } => "finished",
+            EventKind::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether this event ends the session.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Quarantined { .. } | EventKind::Finished { .. } | EventKind::Failed { .. }
+        )
+    }
+}
+
+/// One entry of the manager's event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Contiguous sequence number across all sessions.
+    pub seq: u64,
+    /// The session observed.
+    pub session: SessionId,
+    /// The manager tick that produced the event.
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn kind_fields(kind: &EventKind) -> Vec<(&'static str, Value)> {
+    match kind {
+        EventKind::Frame { update } => {
+            let degraded = update.completed.iter().filter(|h| h.is_degraded()).count() as u64;
+            vec![
+                ("frame", Value::U64(update.frame as u64)),
+                ("buffered", Value::Bool(update.buffered)),
+                ("completed", Value::U64(update.completed.len() as u64)),
+                ("degraded", Value::U64(degraded)),
+            ]
+        }
+        EventKind::FrameRejected {
+            ordinal,
+            expected,
+            got,
+        } => vec![
+            ("ordinal", Value::U64(*ordinal)),
+            ("expected_w", Value::U64(expected.0 as u64)),
+            ("expected_h", Value::U64(expected.1 as u64)),
+            ("got_w", Value::U64(got.0 as u64)),
+            ("got_h", Value::U64(got.1 as u64)),
+        ],
+        EventKind::DeadlineMiss {
+            ordinal,
+            cost,
+            budget,
+        } => vec![
+            ("ordinal", Value::U64(*ordinal)),
+            ("cost", Value::U64(*cost)),
+            ("budget", Value::U64(*budget)),
+        ],
+        EventKind::Panicked { ordinal, message } => vec![
+            ("ordinal", Value::U64(*ordinal)),
+            ("message", Value::Str(message.clone())),
+        ],
+        EventKind::Restarted { mode, delay } => {
+            let (mode_name, replayed) = match mode {
+                RestartMode::Checkpoint { replayed } => ("checkpoint", *replayed as u64),
+                RestartMode::Cold => ("cold", 0),
+            };
+            vec![
+                ("mode", Value::Str(mode_name.to_owned())),
+                ("replayed", Value::U64(replayed)),
+                ("delay", Value::U64(*delay)),
+            ]
+        }
+        EventKind::Stalled {
+            idle_ticks,
+            strikes,
+        } => vec![
+            ("idle_ticks", Value::U64(*idle_ticks as u64)),
+            ("strikes", Value::U64(u64::from(*strikes))),
+        ],
+        EventKind::PolicyEscalated {
+            degraded,
+            allowance,
+        }
+        | EventKind::CircuitBreakerTripped {
+            degraded,
+            allowance,
+        } => vec![
+            ("degraded", Value::U64(*degraded as u64)),
+            ("allowance", Value::U64(*allowance as u64)),
+        ],
+        EventKind::Quarantined { reason } => vec![("reason", Value::Str(reason.clone()))],
+        EventKind::Finished {
+            frames,
+            score,
+            degraded,
+        } => vec![
+            ("frames", Value::U64(*frames as u64)),
+            ("score", Value::U64(u64::from(*score))),
+            ("degraded", Value::U64(*degraded as u64)),
+        ],
+        EventKind::Failed { error } => vec![("error", Value::Str(error.clone()))],
+    }
+}
+
+/// Renders events as an `slj-serve/1` JSONL document: a header line
+/// carrying the schema tag and event count, then one line per event in
+/// stream order. Key order is fixed (`seq`, `session`, `tick`,
+/// `event`, then event-specific fields); no wall-clock values appear,
+/// so the document is byte-identical for a given deterministic run.
+pub fn render_events(events: &[HealthEvent]) -> String {
+    let mut out = String::new();
+    let header = object(vec![
+        ("schema", Value::Str(SERVE_SCHEMA.to_owned())),
+        ("events", Value::U64(events.len() as u64)),
+    ]);
+    out.push_str(&serde_json::to_string(&header).expect("header serialises"));
+    out.push('\n');
+    for e in events {
+        let mut fields = vec![
+            ("seq", Value::U64(e.seq)),
+            ("session", Value::U64(e.session as u64)),
+            ("tick", Value::U64(e.tick)),
+            ("event", Value::Str(e.kind.name().to_owned())),
+        ];
+        fields.extend(kind_fields(&e.kind));
+        out.push_str(&serde_json::to_string(&object(fields)).expect("event serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_schema_tagged_and_ordered() {
+        let events = vec![
+            HealthEvent {
+                seq: 0,
+                session: 2,
+                tick: 1,
+                kind: EventKind::Panicked {
+                    ordinal: 5,
+                    message: "chaos".to_owned(),
+                },
+            },
+            HealthEvent {
+                seq: 1,
+                session: 2,
+                tick: 1,
+                kind: EventKind::Restarted {
+                    mode: RestartMode::Checkpoint { replayed: 3 },
+                    delay: 1,
+                },
+            },
+            HealthEvent {
+                seq: 2,
+                session: 0,
+                tick: 9,
+                kind: EventKind::Finished {
+                    frames: 20,
+                    score: 8,
+                    degraded: 1,
+                },
+            },
+        ];
+        let text = render_events(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"schema\":\"slj-serve/1\",\"events\":3}"));
+        assert!(lines[1].contains("\"event\":\"panicked\""));
+        assert!(
+            lines[2].contains("\"mode\":\"checkpoint\"") && lines[2].contains("\"replayed\":3")
+        );
+        assert!(lines[3].contains("\"event\":\"finished\"") && lines[3].contains("\"score\":8"));
+        // Key order is fixed: seq leads every event line.
+        assert!(lines[1].starts_with("{\"seq\":0,\"session\":2,\"tick\":1,"));
+        assert_eq!(text, render_events(&events), "rendering is reproducible");
+    }
+
+    #[test]
+    fn terminal_kinds_are_flagged() {
+        assert!(EventKind::Quarantined {
+            reason: "x".to_owned()
+        }
+        .is_terminal());
+        assert!(EventKind::Failed {
+            error: "e".to_owned()
+        }
+        .is_terminal());
+        assert!(!EventKind::Stalled {
+            idle_ticks: 4,
+            strikes: 1
+        }
+        .is_terminal());
+    }
+}

@@ -35,6 +35,18 @@ pub enum AnalyzeError {
         /// Which option blocks streaming and how to fix it.
         reason: String,
     },
+    /// A streamed frame's dimensions differ from the clip's established
+    /// shape (the warm-up frames / estimated background). The frame is
+    /// rejected before any pixel loop runs and the analyzer state is
+    /// untouched — the caller may drop the frame and continue.
+    FrameShapeMismatch {
+        /// Index the rejected frame would have had.
+        frame: usize,
+        /// The clip's established `(width, height)`.
+        expected: (usize, usize),
+        /// The rejected frame's `(width, height)`.
+        got: (usize, usize),
+    },
     /// [`finish`](crate::StreamingAnalyzer::finish) was called before
     /// enough frames arrived to estimate any background. A clip shorter
     /// than the warmup window degrades to a whole-backlog estimate, but
@@ -68,6 +80,16 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::NotStreamable { reason } => {
                 write!(f, "configuration cannot stream: {reason}")
             }
+            AnalyzeError::FrameShapeMismatch {
+                frame,
+                expected,
+                got,
+            } => write!(
+                f,
+                "frame {frame} is {}x{} but the clip is {}x{}: mid-stream \
+                 dimension changes are rejected",
+                got.0, got.1, expected.0, expected.1
+            ),
             AnalyzeError::InsufficientWarmup { pushed, warmup } => write!(
                 f,
                 "streaming clip closed after {pushed} frame(s): background \
@@ -85,6 +107,7 @@ impl std::error::Error for AnalyzeError {
             AnalyzeError::Scoring(e) => Some(e),
             AnalyzeError::DegradedClip { .. }
             | AnalyzeError::NotStreamable { .. }
+            | AnalyzeError::FrameShapeMismatch { .. }
             | AnalyzeError::InsufficientWarmup { .. } => None,
         }
     }

@@ -60,7 +60,7 @@ pub use slj_obs::{
     ClipObs, FrameObs, MetricsRegistry, Profiler, RuleObs, SegmentObs, TrackObs, TRACE_SCHEMA,
 };
 pub use slj_runtime::Parallelism;
-pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
+pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer, StreamingCheckpoint};
 
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {
@@ -70,7 +70,7 @@ pub mod prelude {
     };
     pub use crate::error::AnalyzeError;
     pub use crate::measure::{measure_jump, JumpMeasurement};
-    pub use crate::stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer};
+    pub use crate::stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer, StreamingCheckpoint};
     pub use slj_ga::tracker::{TemporalTracker, TrackerConfig};
     pub use slj_motion::{
         synthesize_jump, Angle, BodyDims, JumpConfig, JumpFlaw, Pose, PoseSeq, StickKind,

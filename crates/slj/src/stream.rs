@@ -107,7 +107,7 @@ impl crate::AnalysisReport {
 
 /// Everything live segmentation + tracking needs once the background
 /// warmup window has filled.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LiveState {
     background: EstimatedBackground,
     segmenter: FrameSegmenter,
@@ -131,7 +131,7 @@ struct LiveState {
 /// The frame-at-a-time analyzer. See the module docs for the contract;
 /// see [`AnalyzerConfig::into_streaming`] for what makes a
 /// configuration streamable.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamingAnalyzer {
     segmentation: PipelineConfig,
     config: AnalyzerConfig,
@@ -227,6 +227,30 @@ impl StreamingAnalyzer {
         self.live.as_ref().map(|l| &l.background)
     }
 
+    /// Replaces the robustness policy applied at
+    /// [`finish`](StreamingAnalyzer::finish). Robustness is only read
+    /// when the clip closes, so a supervisor may relax the policy
+    /// mid-stream (e.g. escalating `Strict` to `BestEffort` once a
+    /// degraded-frame budget is spent) without perturbing any per-frame
+    /// output.
+    pub fn set_robustness(&mut self, policy: crate::RobustnessPolicy) {
+        self.config.robustness = policy;
+    }
+
+    /// Captures the complete analysis state as a resumable
+    /// [`StreamingCheckpoint`].
+    ///
+    /// The checkpoint is a deep copy: segmenter scratch arenas are
+    /// reset rather than copied (they are per-frame scratch and carry
+    /// no cross-frame state), so resuming and replaying the frames
+    /// pushed after the checkpoint yields output byte-identical to the
+    /// uninterrupted run — the supervisor's crash-recovery contract.
+    pub fn checkpoint(&self) -> StreamingCheckpoint {
+        StreamingCheckpoint {
+            state: self.clone(),
+        }
+    }
+
     /// Feeds the next frame, in arrival order.
     ///
     /// Until the background warmup window fills, frames are buffered
@@ -238,10 +262,27 @@ impl StreamingAnalyzer {
     ///
     /// # Errors
     ///
-    /// Returns [`AnalyzeError::Segment`] / [`AnalyzeError::Tracking`]
+    /// Returns [`AnalyzeError::FrameShapeMismatch`] — with the analyzer
+    /// state untouched, so the caller may drop the frame and continue —
+    /// when the frame's dimensions differ from the clip's established
+    /// shape, and [`AnalyzeError::Segment`] / [`AnalyzeError::Tracking`]
     /// exactly where the batch path would.
     pub fn push_frame(&mut self, frame: &Frame) -> Result<FrameUpdate, AnalyzeError> {
         let index = self.frames_pushed;
+        let expected = self
+            .live
+            .as_ref()
+            .map(|l| l.background.image.dims())
+            .or_else(|| self.pending.first().map(Frame::dims));
+        if let Some(expected) = expected {
+            if frame.dims() != expected {
+                return Err(AnalyzeError::FrameShapeMismatch {
+                    frame: index,
+                    expected,
+                    got: frame.dims(),
+                });
+            }
+        }
         let observed_from = self.live.as_ref().map_or(0, |l| l.obs_frames.len());
         let smoothed = self.segmentation.presmooth.apply(frame);
         let completed = if self.live.is_some() {
@@ -380,5 +421,35 @@ impl StreamingAnalyzer {
         live.health.push(health.clone());
         live.previous_input = Some(frame);
         Ok(health)
+    }
+}
+
+/// A frozen copy of a [`StreamingAnalyzer`] mid-clip, taken with
+/// [`checkpoint`](StreamingAnalyzer::checkpoint).
+///
+/// Resuming yields an analyzer byte-identical to the original at the
+/// moment of capture: replaying the same subsequent frames produces the
+/// same [`FrameUpdate`]s and the same final [`JumpAnalysis`] as the
+/// uninterrupted run. `slj-serve` uses this as the first rung of its
+/// restart ladder — restore the last checkpoint, replay the retained
+/// frames minus the poisoned one, and the session continues as if the
+/// panic never happened.
+#[derive(Debug, Clone)]
+pub struct StreamingCheckpoint {
+    state: StreamingAnalyzer,
+}
+
+impl StreamingCheckpoint {
+    /// Frames the captured analyzer had ingested — the index the next
+    /// pushed frame will get after [`resume`](StreamingCheckpoint::resume).
+    pub fn frames_pushed(&self) -> usize {
+        self.state.frames_pushed
+    }
+
+    /// Reconstructs a live analyzer from this checkpoint. The
+    /// checkpoint is reusable: cloning before resuming lets a
+    /// supervisor restore the same point more than once.
+    pub fn resume(self) -> StreamingAnalyzer {
+        self.state
     }
 }

@@ -245,6 +245,109 @@ fn finish_before_two_frames_reports_insufficient_warmup() {
 }
 
 #[test]
+fn mismatched_frame_dims_are_rejected_without_state_damage() {
+    // Regression: a frame whose dimensions differ from the warm-up
+    // background used to reach the segmenter's pixel loops and trip its
+    // dims assertion (a panic). It must instead come back as a typed
+    // `FrameShapeMismatch` that leaves the analyzer fully usable.
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::clean()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 87);
+    let first = jump.poses.poses()[0];
+    let (w, h) = jump.video.dims();
+    let alien = slj_video::Frame::filled(w + 3, h, slj_imgproc::pixel::Rgb::splat(120));
+
+    let config = streamable_fast();
+    let mut clean =
+        StreamingAnalyzer::new(config.clone(), &scene.camera, first, jump.video.fps()).unwrap();
+    let mut poked = StreamingAnalyzer::new(config, &scene.camera, first, jump.video.fps()).unwrap();
+    for (k, frame) in jump.video.iter().enumerate() {
+        clean.push_frame(frame).unwrap();
+        poked.push_frame(frame).unwrap();
+        // Mid-warmup (k = 3) and live (k = 17): both paths must reject.
+        if k == 3 || k == 17 {
+            let err = poked.push_frame(&alien).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    AnalyzeError::FrameShapeMismatch { frame, expected, got }
+                        if frame == k + 1 && expected == (w, h) && got == (w + 3, h)
+                ),
+                "unexpected error at frame {k}: {err}"
+            );
+            assert_eq!(
+                poked.frames_pushed(),
+                k + 1,
+                "a rejected frame must not advance the stream"
+            );
+        }
+    }
+    // The rejected pushes left no trace: both runs finish identically.
+    assert_eq!(
+        clean.finish().unwrap(),
+        poked.finish().unwrap(),
+        "rejected frames must not perturb the analysis"
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical() {
+    // The supervisor's crash-recovery contract: restore the last
+    // checkpoint, replay the frames pushed since, and the session is
+    // byte-identical to one that never crashed — per-frame updates and
+    // final analysis alike. Checkpoints are exercised both during
+    // warm-up (frame 5) and live (frame 16).
+    let scene = SceneConfig {
+        camera: Camera::compact(),
+        ..SceneConfig::default()
+    };
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 88);
+    let first = jump.poses.poses()[0];
+    let config = AnalyzerConfig {
+        robustness: RobustnessPolicy::BestEffort {
+            max_degraded_frames: 10,
+        },
+        ..streamable_fast()
+    };
+    for checkpoint_at in [5usize, 16] {
+        let mut baseline =
+            StreamingAnalyzer::new(config.clone(), &scene.camera, first, jump.video.fps()).unwrap();
+        let mut snapshot = None;
+        let mut tail_updates = Vec::new();
+        for (k, frame) in jump.video.iter().enumerate() {
+            let update = baseline.push_frame(frame).unwrap();
+            if k >= checkpoint_at {
+                tail_updates.push(update);
+            }
+            if k + 1 == checkpoint_at {
+                snapshot = Some(baseline.checkpoint());
+            }
+        }
+        let snapshot = snapshot.expect("checkpoint taken mid-clip");
+        assert_eq!(snapshot.frames_pushed(), checkpoint_at);
+
+        let mut resumed = snapshot.resume();
+        for (update, frame) in tail_updates
+            .iter()
+            .zip(&jump.video.frames()[checkpoint_at..])
+        {
+            assert_eq!(
+                &resumed.push_frame(frame).unwrap(),
+                update,
+                "checkpoint@{checkpoint_at}: replayed update diverged"
+            );
+        }
+        assert_eq!(
+            baseline.finish().unwrap(),
+            resumed.finish().unwrap(),
+            "checkpoint@{checkpoint_at}: resumed analysis diverged"
+        );
+    }
+}
+
+#[test]
 fn finish_with_warmup_minus_one_frames_degrades_to_backlog_background() {
     // One frame short of the warmup window: nothing has gone live yet,
     // and finish() must estimate the background from the 13-frame
