@@ -31,6 +31,19 @@ pub trait Problem: Sync {
     /// genomes.
     fn fitness(&self, genome: &Self::Genome) -> f64;
 
+    /// Evaluates a slice of genomes into `out` (same length). The
+    /// default delegates to [`Problem::fitness`] one genome at a time;
+    /// implementations may override it to amortise shared work across
+    /// the batch (deduplication, shared frame walks), but **must**
+    /// write exactly the value `fitness` would return for each genome —
+    /// the engine calls this per worker chunk, so any batch-shape
+    /// dependence would break thread-count determinism.
+    fn fitness_batch(&self, genomes: &[Self::Genome], out: &mut [f64]) {
+        for (genome, slot) in genomes.iter().zip(out.iter_mut()) {
+            *slot = self.fitness(genome);
+        }
+    }
+
     /// Samples a fresh genome from the problem's initial distribution.
     fn random_genome(&self, rng: &mut StdRng) -> Self::Genome;
 
@@ -194,28 +207,19 @@ fn evaluate_batch<P: Problem>(
     threads: usize,
 ) -> Vec<Individual<P::Genome>> {
     let threads = threads.min(genomes.len());
-    if threads <= 1 || genomes.len() < MIN_GENOMES_PER_THREAD * threads {
-        return genomes
-            .into_iter()
-            .map(|g| {
-                let fitness = problem.fitness(&g);
-                Individual { genome: g, fitness }
-            })
-            .collect();
-    }
     let n = genomes.len();
     let mut fitnesses = vec![0.0f64; n];
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (gs, fs) in genomes.chunks(chunk).zip(fitnesses.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (g, f) in gs.iter().zip(fs.iter_mut()) {
-                    *f = problem.fitness(g);
-                }
-            });
-        }
-    })
-    .expect("fitness worker panicked");
+    if threads <= 1 || n < MIN_GENOMES_PER_THREAD * threads {
+        problem.fitness_batch(&genomes, &mut fitnesses);
+    } else {
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (gs, fs) in genomes.chunks(chunk).zip(fitnesses.chunks_mut(chunk)) {
+                scope.spawn(move |_| problem.fitness_batch(gs, fs));
+            }
+        })
+        .expect("fitness worker panicked");
+    }
     genomes
         .into_iter()
         .zip(fitnesses)

@@ -26,13 +26,57 @@
 //! property-tested in `tests/properties.rs` — because the AABB distance
 //! never exceeds the true stick distance and the skip test carries a
 //! slack factor that dominates the rounding error of both computations.
+//!
+//! On top of the scalar paths sits the **lane kernel**
+//! ([`SilhouetteFitness::evaluate_lanes`] /
+//! [`SilhouetteFitness::evaluate_batch`]): the sampled points live in a
+//! [`PreparedFrame`] — structure-of-arrays x[]/y[] planes chunked
+//! [`LANES`] wide — and the per-pixel min-over-sticks runs across a
+//! whole chunk at a time, with the branch-and-bound test lifted to
+//! chunk granularity (skip a stick for all 8 lanes when the distance
+//! between the chunk's bounding box and the stick's AABB already
+//! exceeds the worst lane's current best). Every lane performs exactly
+//! the scalar arithmetic on exactly the same values and the final sum
+//! is accumulated in original pixel order, so the result is
+//! bit-identical to both scalar paths — that equivalence is what the
+//! `lanes_*` property tests pin down.
 
 use crate::error::GaError;
 use slj_imgproc::geometry::{Point2, Vec2};
+use slj_imgproc::lanes::{ChunkBounds, PreparedFrame, LANES};
 use slj_imgproc::mask::Mask;
 use slj_motion::model::ALL_STICKS;
 use slj_motion::{BodyDims, Pose};
 use slj_video::Camera;
+
+/// Which Eq. 3 kernel a [`crate::PoseProblem`] evaluation uses. Both
+/// produce bit-identical fitness values; the choice is a throughput
+/// setting, kept explicit so the perf harness can race the live scalar
+/// reference against the lane kernel forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub enum Eq3Kernel {
+    /// Genome-at-a-time scalar scan with the per-pixel warm-started
+    /// branch-and-bound — the pre-vectorisation hot path, kept live.
+    Scalar,
+    /// Chunked structure-of-arrays kernel with chunk-granular pruning
+    /// and batched population evaluation.
+    #[default]
+    Lanes,
+}
+
+// Manual impl so a missing/null field deserialises to the default —
+// configs serialised before the kernel knob existed must still load
+// (the vendored serde derive has no `#[serde(default)]` support).
+impl serde::Deserialize for Eq3Kernel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Null => Ok(Eq3Kernel::default()),
+            serde::Value::Str(s) if s == "Scalar" => Ok(Eq3Kernel::Scalar),
+            serde::Value::Str(s) if s == "Lanes" => Ok(Eq3Kernel::Lanes),
+            other => Err(serde::DeError::expected("Eq3Kernel variant", other)),
+        }
+    }
+}
 
 /// Number of axis samples per stick for the model→silhouette coverage
 /// term.
@@ -135,8 +179,10 @@ impl PreparedStick {
 /// `outside_weight` (0 recovers the paper's pure Eq. 3).
 #[derive(Debug, Clone)]
 pub struct SilhouetteFitness {
-    /// Silhouette pixel centres, image space.
-    points: Vec<Point2>,
+    /// Silhouette pixel centres in image space, laid out as
+    /// lane-chunked structure-of-arrays planes. The scalar paths read
+    /// the same coordinates through [`PreparedFrame::iter`].
+    frame: PreparedFrame,
     /// Total silhouette pixel count N (before subsampling).
     total_points: usize,
     /// Per-stick thickness t_l in pixels, paper order.
@@ -196,17 +242,13 @@ impl SilhouetteFitness {
         if total_points == 0 {
             return Err(GaError::EmptySilhouette);
         }
-        let points: Vec<Point2> = silhouette
-            .foreground_pixels()
-            .step_by(stride)
-            .map(|(x, y)| Point2::new(x as f64, y as f64))
-            .collect();
+        let frame = PreparedFrame::from_mask(silhouette, stride);
         let mut thickness_px = [0.0; 8];
         for s in ALL_STICKS {
             thickness_px[s.index()] = camera.length_to_pixels(dims.thickness(s)).max(1e-6);
         }
         Ok(SilhouetteFitness {
-            points,
+            frame,
             total_points,
             thickness_px,
             camera: *camera,
@@ -217,7 +259,7 @@ impl SilhouetteFitness {
 
     /// Number of points actually evaluated per call.
     pub fn sample_count(&self) -> usize {
-        self.points.len()
+        self.frame.len()
     }
 
     /// Total silhouette pixel count N.
@@ -257,6 +299,63 @@ impl SilhouetteFitness {
             eq3
         } else {
             eq3 + self.outside_weight * self.outside_penalty_from_sticks(&sticks)
+        }
+    }
+
+    /// Evaluates the full cost via the lane kernel: chunked
+    /// structure-of-arrays Eq. 3 with chunk-granular branch-and-bound.
+    /// Bit-identical to [`SilhouetteFitness::evaluate`] and
+    /// [`SilhouetteFitness::evaluate_unpruned`] (property-tested).
+    pub fn evaluate_lanes(&self, pose: &Pose, dims: &BodyDims) -> f64 {
+        let sticks = self.project(pose, dims);
+        let eq3 = lanes_eq3_sum(&self.frame, &sticks) / self.frame.len() as f64;
+        if self.outside_weight == 0.0 {
+            eq3
+        } else {
+            eq3 + self.outside_weight * self.outside_penalty_from_sticks(&sticks)
+        }
+    }
+
+    /// Evaluates a whole batch of poses against the prepared frame in
+    /// one pass: every pose is projected up front, then the frame is
+    /// walked chunk-outer / genome-inner so each chunk's coordinates
+    /// stay hot across the population, and the per-chunk prune hints in
+    /// `scratch` are shared across genomes (and across calls — hints
+    /// only steer which redundant sticks get bound-tested first, never
+    /// the returned values). `out[i]` receives exactly what
+    /// [`SilhouetteFitness::evaluate`] returns for `poses[i]`.
+    ///
+    /// With a warmed `scratch`, the call performs no heap allocation
+    /// (asserted by `tests/zero_alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `poses` and `out` differ in length.
+    pub fn evaluate_batch(
+        &self,
+        poses: &[Pose],
+        dims: &BodyDims,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(poses.len(), out.len(), "evaluate_batch length mismatch");
+        scratch.sticks.clear();
+        scratch.sticks.reserve(poses.len());
+        for pose in poses {
+            scratch.sticks.push(self.project(pose, dims));
+        }
+        if scratch.hints.len() != self.frame.num_chunks() {
+            scratch.hints.clear();
+            scratch.hints.resize(self.frame.num_chunks(), 0);
+        }
+        out.fill(0.0);
+        lanes_eq3_batch(&self.frame, &scratch.sticks, &mut scratch.hints, out);
+        let n = self.frame.len() as f64;
+        for (slot, sticks) in out.iter_mut().zip(&scratch.sticks) {
+            *slot /= n;
+            if self.outside_weight != 0.0 {
+                *slot += self.outside_weight * self.outside_penalty_from_sticks(sticks);
+            }
         }
     }
 
@@ -300,7 +399,7 @@ impl SilhouetteFitness {
         // sticks get evaluated*, never the minimum itself, so the sum
         // stays bit-identical to the exhaustive scan.
         let mut hint = 0usize;
-        for &p in &self.points {
+        for p in self.frame.iter() {
             let best_sq = if prune {
                 let (b, argmin) = Self::best_scaled_sq_pruned(sticks, p, hint);
                 hint = argmin;
@@ -310,7 +409,7 @@ impl SilhouetteFitness {
             };
             total += best_sq.sqrt();
         }
-        total / self.points.len() as f64
+        total / self.frame.len() as f64
     }
 
     /// `min_l d²(p, S_l) / t_l²` by scanning every stick.
@@ -359,7 +458,7 @@ impl SilhouetteFitness {
         let sticks = self.project(pose, dims);
         let mut stats = PruneStats::default();
         let mut hint = 0usize;
-        for &p in &self.points {
+        for p in self.frame.iter() {
             let mut best = sticks[hint].scaled_distance_sq(p);
             let mut argmin = hint;
             stats.candidates += 1;
@@ -390,7 +489,7 @@ impl SilhouetteFitness {
         let mut count = 0usize;
         for (stick, &t) in sticks.iter().zip(&self.thickness_px) {
             let seg = slj_imgproc::geometry::Segment::new(stick.a, stick.b);
-            for p in seg.sample(MODEL_SAMPLES_PER_STICK) {
+            for p in seg.sample_iter(MODEL_SAMPLES_PER_STICK) {
                 count += 1;
                 let (x, y) = (p.x.round(), p.y.round());
                 let d = if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
@@ -404,6 +503,838 @@ impl SilhouetteFitness {
         }
         total / count.max(1) as f64
     }
+}
+
+/// Reusable scratch for [`SilhouetteFitness::evaluate_batch`]: the
+/// batch's prepared stick sets plus the per-chunk prune hints shared
+/// across genomes. Hints persist across calls on purpose — a hint only
+/// decides which stick seeds a chunk's lane minima (work saving), never
+/// the returned values, so carrying them between generations is free
+/// warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    sticks: Vec<[PreparedStick; 8]>,
+    hints: Vec<u32>,
+}
+
+// --- lane kernel -----------------------------------------------------
+//
+// The kernel processes one LANES-wide chunk of silhouette points per
+// iteration. Bit-exactness with the scalar paths rests on three facts:
+//
+// 1. Each lane performs the exact scalar `scaled_distance_sq` f64
+//    sequence on the same coordinates, and a minimum over the same
+//    positive values is order-independent — so per-lane minima match
+//    the scalar per-pixel minima bit-for-bit.
+// 2. The chunk-level skip test only ever under-prunes: the stick-AABB
+//    to chunk-bounds distance lower-bounds every lane's point-to-AABB
+//    bound, and the test compares it against the *worst* lane's current
+//    best (times the same `PRUNE_SLACK` the scalar test uses), so a
+//    skipped stick could not have won in any lane.
+// 3. f64 addition is order-sensitive, so the final sum is accumulated
+//    lane by lane in original pixel order — per-chunk partial sums
+//    would round differently.
+//
+// `#[target_feature]` wrappers recompile the same `#[inline(always)]`
+// body for wider ISAs, selected once per walk via
+// `is_x86_feature_detected!` (the baseline build targets SSE2, so
+// without the runtime dispatch the 8-wide lanes would lower to 2-wide
+// vectors). Every tier executes identical IEEE-754 operations —
+// vectorised min/max/sqrt are exact — so the dispatch, too, is a pure
+// throughput setting.
+
+/// One lane of [`PreparedStick::scaled_distance_sq`]: identical f64
+/// operations in identical order, with the degenerate-stick test
+/// hoisted (it is uniform across lanes) so the lane loop stays
+/// branch-free and vectorises.
+#[inline(always)]
+fn lane_scaled_distance_sq(s: &PreparedStick, degenerate: bool, px: f64, py: f64) -> f64 {
+    let qx = px - s.a.x;
+    let qy = py - s.a.y;
+    let raw = (qx * s.d.x + qy * s.d.y) / s.len_sq;
+    let t = if degenerate { 0.0 } else { raw.clamp(0.0, 1.0) };
+    let cx = s.a.x + s.d.x * t;
+    let cy = s.a.y + s.d.y * t;
+    let dx = px - cx;
+    let dy = py - cy;
+    (dx * dx + dy * dy) * s.inv_t_sq
+}
+
+/// Scores one chunk for one genome: exact min-over-sticks per lane with
+/// the branch-and-bound lifted to chunk granularity, square roots taken
+/// per lane, and the results accumulated into `total` in original pixel
+/// order. Returns the last live lane's winning stick — the next hint.
+#[inline(always)]
+fn eq3_chunk(
+    xs: &[f64; LANES],
+    ys: &[f64; LANES],
+    bounds: ChunkBounds,
+    live: usize,
+    sticks: &[PreparedStick; 8],
+    hint: u32,
+    total: &mut f64,
+) -> u32 {
+    let mut best = [0.0f64; LANES];
+    let mut arg = [hint; LANES];
+    {
+        // The hint stick seeds every lane's current best exactly,
+        // mirroring the scalar warm start.
+        let s = &sticks[hint as usize];
+        let degenerate = s.len_sq <= f64::EPSILON;
+        for l in 0..LANES {
+            best[l] = lane_scaled_distance_sq(s, degenerate, xs[l], ys[l]);
+        }
+    }
+    // The worst lane's current best bounds the whole chunk: a stick
+    // whose box-to-box lower bound cannot beat it cannot win anywhere.
+    let mut chunk_ub = best[0];
+    for &b in &best[1..] {
+        if b > chunk_ub {
+            chunk_ub = b;
+        }
+    }
+    for (i, s) in sticks.iter().enumerate() {
+        if i as u32 == hint {
+            continue;
+        }
+        let dx = (s.min_x - bounds.max_x)
+            .max(bounds.min_x - s.max_x)
+            .max(0.0);
+        let dy = (s.min_y - bounds.max_y)
+            .max(bounds.min_y - s.max_y)
+            .max(0.0);
+        if (dx * dx + dy * dy) * s.inv_t_sq >= chunk_ub * PRUNE_SLACK {
+            continue;
+        }
+        let degenerate = s.len_sq <= f64::EPSILON;
+        for l in 0..LANES {
+            let v = lane_scaled_distance_sq(s, degenerate, xs[l], ys[l]);
+            if v < best[l] {
+                best[l] = v;
+                arg[l] = i as u32;
+            }
+        }
+        chunk_ub = best[0];
+        for &b in &best[1..] {
+            if b > chunk_ub {
+                chunk_ub = b;
+            }
+        }
+    }
+    let mut roots = [0.0f64; LANES];
+    for l in 0..LANES {
+        roots[l] = best[l].sqrt();
+    }
+    // In-order accumulation over the live lanes only — dead tail lanes
+    // duplicate a real point and must not be counted.
+    for &r in &roots[..live] {
+        *total += r;
+    }
+    arg[live - 1]
+}
+
+/// Raw Eq. 3 sum (before `/ N`) for one genome over the whole frame,
+/// carrying the chunk hint forward like the scalar scanline warm start.
+#[inline(always)]
+fn lanes_eq3_sum_impl(frame: &PreparedFrame, sticks: &[PreparedStick; 8]) -> f64 {
+    let mut total = 0.0;
+    let mut hint = 0u32;
+    for c in 0..frame.num_chunks() {
+        let (xs, ys) = frame.chunk(c);
+        hint = eq3_chunk(
+            xs,
+            ys,
+            frame.chunk_bounds(c),
+            frame.chunk_live(c),
+            sticks,
+            hint,
+            &mut total,
+        );
+    }
+    total
+}
+
+/// Raw Eq. 3 sums for a whole batch, genome-outer with a persistent
+/// per-chunk hint table: `hints[c]` — the previous genome's winner at
+/// chunk `c` — warm-starts the next genome there (converged
+/// populations are full of near-identical genomes, so the carried hint
+/// is usually right). Genome-outer keeps the tiny frame SoA and the
+/// hint table hot in L1 and loads each genome's stick set exactly
+/// once; the walk order cannot affect the returned sums because the
+/// hint only picks which stick seeds the (exact, conservative)
+/// branch-and-bound — the per-lane minimum is the same whatever seeds
+/// it.
+#[allow(clippy::needless_range_loop)] // `c` indexes the frame's chunk tables and `hints` in lockstep
+#[inline(always)]
+fn lanes_eq3_batch_impl(
+    frame: &PreparedFrame,
+    sticks: &[[PreparedStick; 8]],
+    hints: &mut [u32],
+    totals: &mut [f64],
+) {
+    for (genome, total) in sticks.iter().zip(totals.iter_mut()) {
+        for c in 0..frame.num_chunks() {
+            let (xs, ys) = frame.chunk(c);
+            hints[c] = eq3_chunk(
+                xs,
+                ys,
+                frame.chunk_bounds(c),
+                frame.chunk_live(c),
+                genome,
+                hints[c],
+                total,
+            );
+        }
+    }
+}
+
+/// Hand-vectorised x86-64 tiers. The autovectoriser reliably refuses
+/// the generic chunk kernel (the conditional best/arg update compiles
+/// to per-lane compare-and-branch), so the AVX-512 and AVX2 tiers spell
+/// the same computation out in intrinsics: identical IEEE-754
+/// operations per lane — sub/mul/add/div/min/max/sqrt are all
+/// correctly rounded, the compare-and-blend reproduces the scalar
+/// strict-less update, and no FMA contraction is introduced — so every
+/// lane matches the scalar kernel bitwise (asserted by the unit and
+/// property tests, which run on whatever tier the host dispatches to).
+// The range loops index several chunk tables in lockstep, and the chunk
+// kernels take the full per-genome argument spread on purpose — hot-path
+// shape over style lints.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// A genome's stick AABBs transposed stick-per-lane, built once per
+    /// frame walk: eight sticks fill one 8-wide register, so a chunk's
+    /// seven scalar (and branchy) box-to-box bound tests collapse into
+    /// a single vector evaluation.
+    struct StickBounds {
+        min_x: [f64; 8],
+        max_x: [f64; 8],
+        min_y: [f64; 8],
+        max_y: [f64; 8],
+        inv_t_sq: [f64; 8],
+    }
+
+    impl StickBounds {
+        fn new(sticks: &[PreparedStick; 8]) -> Self {
+            let mut b = StickBounds {
+                min_x: [0.0; 8],
+                max_x: [0.0; 8],
+                min_y: [0.0; 8],
+                max_y: [0.0; 8],
+                inv_t_sq: [0.0; 8],
+            };
+            for (i, s) in sticks.iter().enumerate() {
+                b.min_x[i] = s.min_x;
+                b.max_x[i] = s.max_x;
+                b.min_y[i] = s.min_y;
+                b.max_y[i] = s.max_y;
+                b.inv_t_sq[i] = s.inv_t_sq;
+            }
+            b
+        }
+    }
+
+    /// All eight sticks' box-to-box lower bounds against one chunk in a
+    /// single 8-lane pass, returned with the survivor bitmask of lanes
+    /// beating `threshold` — the same per-stick arithmetic and the same
+    /// `>= chunk_ub * PRUNE_SLACK → skip` predicate as the scalar prune
+    /// test, evaluated for all sticks at once. In the common case the
+    /// hint stick already prunes everything and the mask comes back
+    /// empty, so the per-stick loop never runs. Bounds only steer the
+    /// conservative prune, so they cannot affect the returned sums.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn stick_survivors_avx512(
+        sb: &StickBounds,
+        bounds: ChunkBounds,
+        threshold: f64,
+        lbs: &mut [f64; 8],
+    ) -> u32 {
+        let zero = _mm512_setzero_pd();
+        let bdx = _mm512_max_pd(
+            _mm512_max_pd(
+                _mm512_sub_pd(
+                    _mm512_loadu_pd(sb.min_x.as_ptr()),
+                    _mm512_set1_pd(bounds.max_x),
+                ),
+                _mm512_sub_pd(
+                    _mm512_set1_pd(bounds.min_x),
+                    _mm512_loadu_pd(sb.max_x.as_ptr()),
+                ),
+            ),
+            zero,
+        );
+        let bdy = _mm512_max_pd(
+            _mm512_max_pd(
+                _mm512_sub_pd(
+                    _mm512_loadu_pd(sb.min_y.as_ptr()),
+                    _mm512_set1_pd(bounds.max_y),
+                ),
+                _mm512_sub_pd(
+                    _mm512_set1_pd(bounds.min_y),
+                    _mm512_loadu_pd(sb.max_y.as_ptr()),
+                ),
+            ),
+            zero,
+        );
+        let lb = _mm512_mul_pd(
+            _mm512_add_pd(_mm512_mul_pd(bdx, bdx), _mm512_mul_pd(bdy, bdy)),
+            _mm512_loadu_pd(sb.inv_t_sq.as_ptr()),
+        );
+        let mask = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(lb, _mm512_set1_pd(threshold));
+        if mask != 0 {
+            _mm512_storeu_pd(lbs.as_mut_ptr(), lb);
+        }
+        u32::from(mask)
+    }
+
+    /// [`stick_survivors_avx512`] on the AVX2 tier: two 4-wide halves,
+    /// survivor bits via `movmsk` on the compare result.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn stick_survivors_avx2(
+        sb: &StickBounds,
+        bounds: ChunkBounds,
+        threshold: f64,
+        lbs: &mut [f64; 8],
+    ) -> u32 {
+        let mut mask = 0u32;
+        for half in 0..2 {
+            let o = half * 4;
+            let zero = _mm256_setzero_pd();
+            let bdx = _mm256_max_pd(
+                _mm256_max_pd(
+                    _mm256_sub_pd(
+                        _mm256_loadu_pd(sb.min_x.as_ptr().add(o)),
+                        _mm256_set1_pd(bounds.max_x),
+                    ),
+                    _mm256_sub_pd(
+                        _mm256_set1_pd(bounds.min_x),
+                        _mm256_loadu_pd(sb.max_x.as_ptr().add(o)),
+                    ),
+                ),
+                zero,
+            );
+            let bdy = _mm256_max_pd(
+                _mm256_max_pd(
+                    _mm256_sub_pd(
+                        _mm256_loadu_pd(sb.min_y.as_ptr().add(o)),
+                        _mm256_set1_pd(bounds.max_y),
+                    ),
+                    _mm256_sub_pd(
+                        _mm256_set1_pd(bounds.min_y),
+                        _mm256_loadu_pd(sb.max_y.as_ptr().add(o)),
+                    ),
+                ),
+                zero,
+            );
+            let lb = _mm256_mul_pd(
+                _mm256_add_pd(_mm256_mul_pd(bdx, bdx), _mm256_mul_pd(bdy, bdy)),
+                _mm256_loadu_pd(sb.inv_t_sq.as_ptr().add(o)),
+            );
+            let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(lb, _mm256_set1_pd(threshold));
+            let half_mask = _mm256_movemask_pd(lt) as u32;
+            if half_mask != 0 {
+                _mm256_storeu_pd(lbs.as_mut_ptr().add(o), lb);
+            }
+            mask |= half_mask << o;
+        }
+        mask
+    }
+
+    /// [`lane_scaled_distance_sq`] over one 8-wide register.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn dist_avx512(s: &PreparedStick, px: __m512d, py: __m512d) -> __m512d {
+        let ax = _mm512_set1_pd(s.a.x);
+        let ay = _mm512_set1_pd(s.a.y);
+        let dx = _mm512_set1_pd(s.d.x);
+        let dy = _mm512_set1_pd(s.d.y);
+        let qx = _mm512_sub_pd(px, ax);
+        let qy = _mm512_sub_pd(py, ay);
+        let num = _mm512_add_pd(_mm512_mul_pd(qx, dx), _mm512_mul_pd(qy, dy));
+        let raw = _mm512_div_pd(num, _mm512_set1_pd(s.len_sq));
+        // `clamp(0.0, 1.0)` on a guaranteed-finite value: max then min.
+        let clamped = _mm512_min_pd(_mm512_max_pd(raw, _mm512_setzero_pd()), _mm512_set1_pd(1.0));
+        let t = if s.len_sq <= f64::EPSILON {
+            _mm512_setzero_pd()
+        } else {
+            clamped
+        };
+        let cx = _mm512_add_pd(ax, _mm512_mul_pd(dx, t));
+        let cy = _mm512_add_pd(ay, _mm512_mul_pd(dy, t));
+        let ddx = _mm512_sub_pd(px, cx);
+        let ddy = _mm512_sub_pd(py, cy);
+        let dsq = _mm512_add_pd(_mm512_mul_pd(ddx, ddx), _mm512_mul_pd(ddy, ddy));
+        _mm512_mul_pd(dsq, _mm512_set1_pd(s.inv_t_sq))
+    }
+
+    /// [`eq3_chunk`] on the AVX-512 tier: best/arg kept in registers,
+    /// the strict-less update as mask + blend.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn eq3_chunk_avx512(
+        xs: &[f64; LANES],
+        ys: &[f64; LANES],
+        bounds: ChunkBounds,
+        live: usize,
+        sticks: &[PreparedStick; 8],
+        sb: &StickBounds,
+        hint: u32,
+        total: &mut f64,
+    ) -> u32 {
+        let px = _mm512_loadu_pd(xs.as_ptr());
+        let py = _mm512_loadu_pd(ys.as_ptr());
+        let mut best = dist_avx512(&sticks[hint as usize], px, py);
+        let mut arg = _mm512_set1_pd(hint as f64);
+        // Distances are non-negative, so the lane maximum is
+        // order-independent and matches the generic reduction exactly.
+        let mut chunk_ub = _mm512_reduce_max_pd(best);
+        let mut lbs = [0.0f64; 8];
+        let mut pending =
+            stick_survivors_avx512(sb, bounds, chunk_ub * PRUNE_SLACK, &mut lbs) & !(1u32 << hint);
+        while pending != 0 {
+            let i = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            // Re-test against the refreshed upper bound — an earlier
+            // survivor's exact score may have pruned this one since.
+            if lbs[i] >= chunk_ub * PRUNE_SLACK {
+                continue;
+            }
+            let v = dist_avx512(&sticks[i], px, py);
+            let smaller = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(v, best);
+            best = _mm512_mask_blend_pd(smaller, best, v);
+            arg = _mm512_mask_blend_pd(smaller, arg, _mm512_set1_pd(i as f64));
+            chunk_ub = _mm512_reduce_max_pd(best);
+        }
+        let mut roots = [0.0f64; LANES];
+        _mm512_storeu_pd(roots.as_mut_ptr(), _mm512_sqrt_pd(best));
+        for &r in &roots[..live] {
+            *total += r;
+        }
+        // Stick indices 0..7 are exact in f64, so blending the arg
+        // lanes as doubles loses nothing.
+        let mut args = [0.0f64; LANES];
+        _mm512_storeu_pd(args.as_mut_ptr(), arg);
+        args[live - 1] as u32
+    }
+
+    /// [`lane_scaled_distance_sq`] over one 4-wide register.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn dist_avx2(s: &PreparedStick, px: __m256d, py: __m256d) -> __m256d {
+        let ax = _mm256_set1_pd(s.a.x);
+        let ay = _mm256_set1_pd(s.a.y);
+        let dx = _mm256_set1_pd(s.d.x);
+        let dy = _mm256_set1_pd(s.d.y);
+        let qx = _mm256_sub_pd(px, ax);
+        let qy = _mm256_sub_pd(py, ay);
+        let num = _mm256_add_pd(_mm256_mul_pd(qx, dx), _mm256_mul_pd(qy, dy));
+        let raw = _mm256_div_pd(num, _mm256_set1_pd(s.len_sq));
+        let clamped = _mm256_min_pd(_mm256_max_pd(raw, _mm256_setzero_pd()), _mm256_set1_pd(1.0));
+        let t = if s.len_sq <= f64::EPSILON {
+            _mm256_setzero_pd()
+        } else {
+            clamped
+        };
+        let cx = _mm256_add_pd(ax, _mm256_mul_pd(dx, t));
+        let cy = _mm256_add_pd(ay, _mm256_mul_pd(dy, t));
+        let ddx = _mm256_sub_pd(px, cx);
+        let ddy = _mm256_sub_pd(py, cy);
+        let dsq = _mm256_add_pd(_mm256_mul_pd(ddx, ddx), _mm256_mul_pd(ddy, ddy));
+        _mm256_mul_pd(dsq, _mm256_set1_pd(s.inv_t_sq))
+    }
+
+    /// Lane maximum across an 8-wide pair of 4-wide registers.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn hmax_avx2(a: __m256d, b: __m256d) -> f64 {
+        let m = _mm256_max_pd(a, b);
+        let lo = _mm256_castpd256_pd128(m);
+        let hi = _mm256_extractf128_pd::<1>(m);
+        let m2 = _mm_max_pd(lo, hi);
+        let s = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+        _mm_cvtsd_f64(s)
+    }
+
+    /// [`eq3_chunk`] on the AVX2 tier: the 8 lanes as two 4-wide
+    /// halves, strict-less update as compare + blendv (the compare's
+    /// all-ones lanes drive the blend sign bit).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn eq3_chunk_avx2(
+        xs: &[f64; LANES],
+        ys: &[f64; LANES],
+        bounds: ChunkBounds,
+        live: usize,
+        sticks: &[PreparedStick; 8],
+        sb: &StickBounds,
+        hint: u32,
+        total: &mut f64,
+    ) -> u32 {
+        let px0 = _mm256_loadu_pd(xs.as_ptr());
+        let px1 = _mm256_loadu_pd(xs.as_ptr().add(4));
+        let py0 = _mm256_loadu_pd(ys.as_ptr());
+        let py1 = _mm256_loadu_pd(ys.as_ptr().add(4));
+        let h = &sticks[hint as usize];
+        let mut best0 = dist_avx2(h, px0, py0);
+        let mut best1 = dist_avx2(h, px1, py1);
+        let mut arg0 = _mm256_set1_pd(hint as f64);
+        let mut arg1 = arg0;
+        let mut chunk_ub = hmax_avx2(best0, best1);
+        let mut lbs = [0.0f64; 8];
+        let mut pending =
+            stick_survivors_avx2(sb, bounds, chunk_ub * PRUNE_SLACK, &mut lbs) & !(1u32 << hint);
+        while pending != 0 {
+            let i = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            if lbs[i] >= chunk_ub * PRUNE_SLACK {
+                continue;
+            }
+            let s = &sticks[i];
+            let v0 = dist_avx2(s, px0, py0);
+            let v1 = dist_avx2(s, px1, py1);
+            let idx = _mm256_set1_pd(i as f64);
+            let lt0 = _mm256_cmp_pd::<_CMP_LT_OQ>(v0, best0);
+            let lt1 = _mm256_cmp_pd::<_CMP_LT_OQ>(v1, best1);
+            best0 = _mm256_blendv_pd(best0, v0, lt0);
+            best1 = _mm256_blendv_pd(best1, v1, lt1);
+            arg0 = _mm256_blendv_pd(arg0, idx, lt0);
+            arg1 = _mm256_blendv_pd(arg1, idx, lt1);
+            chunk_ub = hmax_avx2(best0, best1);
+        }
+        let mut roots = [0.0f64; LANES];
+        _mm256_storeu_pd(roots.as_mut_ptr(), _mm256_sqrt_pd(best0));
+        _mm256_storeu_pd(roots.as_mut_ptr().add(4), _mm256_sqrt_pd(best1));
+        for &r in &roots[..live] {
+            *total += r;
+        }
+        let mut args = [0.0f64; LANES];
+        _mm256_storeu_pd(args.as_mut_ptr(), arg0);
+        _mm256_storeu_pd(args.as_mut_ptr().add(4), arg1);
+        args[live - 1] as u32
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn eq3_sum_avx512(frame: &PreparedFrame, sticks: &[PreparedStick; 8]) -> f64 {
+        let sb = StickBounds::new(sticks);
+        let mut total = 0.0;
+        let mut hint = 0u32;
+        for c in 0..frame.num_chunks() {
+            let (xs, ys) = frame.chunk(c);
+            hint = eq3_chunk_avx512(
+                xs,
+                ys,
+                frame.chunk_bounds(c),
+                frame.chunk_live(c),
+                sticks,
+                &sb,
+                hint,
+                &mut total,
+            );
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn eq3_sum_avx2(frame: &PreparedFrame, sticks: &[PreparedStick; 8]) -> f64 {
+        let sb = StickBounds::new(sticks);
+        let mut total = 0.0;
+        let mut hint = 0u32;
+        for c in 0..frame.num_chunks() {
+            let (xs, ys) = frame.chunk(c);
+            hint = eq3_chunk_avx2(
+                xs,
+                ys,
+                frame.chunk_bounds(c),
+                frame.chunk_live(c),
+                sticks,
+                &sb,
+                hint,
+                &mut total,
+            );
+        }
+        total
+    }
+
+    /// One chunk for a *pair* of genomes: the in-order accumulation
+    /// that bit-exactness demands is a serial `f64` add chain (~4
+    /// cycles per point), so a single genome's walk is latency-bound on
+    /// its own running total. Two genomes give the out-of-order core
+    /// two independent chains to overlap — nearly doubling throughput —
+    /// while each genome's arithmetic stays the exact per-genome
+    /// sequence (the pair shares only the chunk's coordinate loads and
+    /// the incoming hint, neither of which can affect the sums).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn eq3_chunk_avx512_x2(
+        xs: &[f64; LANES],
+        ys: &[f64; LANES],
+        bounds: ChunkBounds,
+        live: usize,
+        a: (&[PreparedStick; 8], &StickBounds, &mut f64),
+        b: (&[PreparedStick; 8], &StickBounds, &mut f64),
+        hint: u32,
+    ) -> u32 {
+        let px = _mm512_loadu_pd(xs.as_ptr());
+        let py = _mm512_loadu_pd(ys.as_ptr());
+        let (sticks_a, sb_a, total_a) = a;
+        let (sticks_b, sb_b, total_b) = b;
+        let mut best_a = dist_avx512(&sticks_a[hint as usize], px, py);
+        let mut best_b = dist_avx512(&sticks_b[hint as usize], px, py);
+        let mut arg_b = _mm512_set1_pd(hint as f64);
+        let mut ub_a = _mm512_reduce_max_pd(best_a);
+        let mut ub_b = _mm512_reduce_max_pd(best_b);
+        let mut lbs_a = [0.0f64; 8];
+        let mut lbs_b = [0.0f64; 8];
+        let mut pend_a =
+            stick_survivors_avx512(sb_a, bounds, ub_a * PRUNE_SLACK, &mut lbs_a) & !(1u32 << hint);
+        let mut pend_b =
+            stick_survivors_avx512(sb_b, bounds, ub_b * PRUNE_SLACK, &mut lbs_b) & !(1u32 << hint);
+        while pend_a != 0 {
+            let i = pend_a.trailing_zeros() as usize;
+            pend_a &= pend_a - 1;
+            if lbs_a[i] >= ub_a * PRUNE_SLACK {
+                continue;
+            }
+            let v = dist_avx512(&sticks_a[i], px, py);
+            let smaller = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(v, best_a);
+            best_a = _mm512_mask_blend_pd(smaller, best_a, v);
+            ub_a = _mm512_reduce_max_pd(best_a);
+        }
+        while pend_b != 0 {
+            let i = pend_b.trailing_zeros() as usize;
+            pend_b &= pend_b - 1;
+            if lbs_b[i] >= ub_b * PRUNE_SLACK {
+                continue;
+            }
+            let v = dist_avx512(&sticks_b[i], px, py);
+            let smaller = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(v, best_b);
+            best_b = _mm512_mask_blend_pd(smaller, best_b, v);
+            arg_b = _mm512_mask_blend_pd(smaller, arg_b, _mm512_set1_pd(i as f64));
+            ub_b = _mm512_reduce_max_pd(best_b);
+        }
+        let mut roots_a = [0.0f64; LANES];
+        let mut roots_b = [0.0f64; LANES];
+        _mm512_storeu_pd(roots_a.as_mut_ptr(), _mm512_sqrt_pd(best_a));
+        _mm512_storeu_pd(roots_b.as_mut_ptr(), _mm512_sqrt_pd(best_b));
+        // Two independent in-order chains; the hardware interleaves
+        // them, each one identical to its scalar-reference order.
+        for l in 0..live {
+            *total_a += roots_a[l];
+            *total_b += roots_b[l];
+        }
+        let mut args = [0.0f64; LANES];
+        _mm512_storeu_pd(args.as_mut_ptr(), arg_b);
+        args[live - 1] as u32
+    }
+
+    /// [`eq3_chunk_avx512_x2`] generalised to `N` interleaved genomes:
+    /// `N` independent accumulation chains for the out-of-order core to
+    /// overlap (two f64 add ports at 4-cycle latency saturate around
+    /// 4–8 chains), each chain still the exact scalar-order sum.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn eq3_chunk_avx512_xn<const N: usize>(
+        xs: &[f64; LANES],
+        ys: &[f64; LANES],
+        bounds: ChunkBounds,
+        live: usize,
+        sticks: &[[PreparedStick; 8]],
+        sbs: &[StickBounds; N],
+        totals: &mut [f64],
+        hint: u32,
+    ) -> u32 {
+        let px = _mm512_loadu_pd(xs.as_ptr());
+        let py = _mm512_loadu_pd(ys.as_ptr());
+        let mut best = [_mm512_setzero_pd(); N];
+        let mut ub = [0.0f64; N];
+        for g in 0..N {
+            best[g] = dist_avx512(&sticks[g][hint as usize], px, py);
+            ub[g] = _mm512_reduce_max_pd(best[g]);
+        }
+        let mut arg_last = _mm512_set1_pd(hint as f64);
+        for g in 0..N {
+            let mut lbs = [0.0f64; 8];
+            let mut pending =
+                stick_survivors_avx512(&sbs[g], bounds, ub[g] * PRUNE_SLACK, &mut lbs)
+                    & !(1u32 << hint);
+            while pending != 0 {
+                let i = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                if lbs[i] >= ub[g] * PRUNE_SLACK {
+                    continue;
+                }
+                let v = dist_avx512(&sticks[g][i], px, py);
+                let smaller = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(v, best[g]);
+                best[g] = _mm512_mask_blend_pd(smaller, best[g], v);
+                if g == N - 1 {
+                    arg_last = _mm512_mask_blend_pd(smaller, arg_last, _mm512_set1_pd(i as f64));
+                }
+                ub[g] = _mm512_reduce_max_pd(best[g]);
+            }
+        }
+        let mut roots = [[0.0f64; LANES]; N];
+        for g in 0..N {
+            _mm512_storeu_pd(roots[g].as_mut_ptr(), _mm512_sqrt_pd(best[g]));
+        }
+        // N independent in-order chains; the hardware interleaves them,
+        // each one identical to its scalar-reference order.
+        for l in 0..live {
+            for g in 0..N {
+                totals[g] += roots[g][l];
+            }
+        }
+        let mut args = [0.0f64; LANES];
+        _mm512_storeu_pd(args.as_mut_ptr(), arg_last);
+        args[live - 1] as u32
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn eq3_batch_avx512(
+        frame: &PreparedFrame,
+        sticks: &[[PreparedStick; 8]],
+        hints: &mut [u32],
+        totals: &mut [f64],
+    ) {
+        let mut done = 0usize;
+        while sticks.len() - done >= 8 {
+            let group = &sticks[done..done + 8];
+            let sbs = std::array::from_fn::<_, 8, _>(|g| StickBounds::new(&group[g]));
+            for c in 0..frame.num_chunks() {
+                let (xs, ys) = frame.chunk(c);
+                hints[c] = eq3_chunk_avx512_xn::<8>(
+                    xs,
+                    ys,
+                    frame.chunk_bounds(c),
+                    frame.chunk_live(c),
+                    group,
+                    &sbs,
+                    &mut totals[done..done + 8],
+                    hints[c],
+                );
+            }
+            done += 8;
+        }
+        while sticks.len() - done >= 4 {
+            let quad = &sticks[done..done + 4];
+            let sbs = std::array::from_fn::<_, 4, _>(|g| StickBounds::new(&quad[g]));
+            for c in 0..frame.num_chunks() {
+                let (xs, ys) = frame.chunk(c);
+                hints[c] = eq3_chunk_avx512_xn::<4>(
+                    xs,
+                    ys,
+                    frame.chunk_bounds(c),
+                    frame.chunk_live(c),
+                    quad,
+                    &sbs,
+                    &mut totals[done..done + 4],
+                    hints[c],
+                );
+            }
+            done += 4;
+        }
+        if sticks.len() - done >= 2 {
+            let pair = &sticks[done..done + 2];
+            let sbs = [StickBounds::new(&pair[0]), StickBounds::new(&pair[1])];
+            let (t0, t1) = totals[done..done + 2].split_at_mut(1);
+            for c in 0..frame.num_chunks() {
+                let (xs, ys) = frame.chunk(c);
+                hints[c] = eq3_chunk_avx512_x2(
+                    xs,
+                    ys,
+                    frame.chunk_bounds(c),
+                    frame.chunk_live(c),
+                    (&pair[0], &sbs[0], &mut t0[0]),
+                    (&pair[1], &sbs[1], &mut t1[0]),
+                    hints[c],
+                );
+            }
+            done += 2;
+        }
+        // Odd tail: the single-genome walk.
+        for (genome, total) in sticks[done..].iter().zip(totals[done..].iter_mut()) {
+            let sb = StickBounds::new(genome);
+            for c in 0..frame.num_chunks() {
+                let (xs, ys) = frame.chunk(c);
+                hints[c] = eq3_chunk_avx512(
+                    xs,
+                    ys,
+                    frame.chunk_bounds(c),
+                    frame.chunk_live(c),
+                    genome,
+                    &sb,
+                    hints[c],
+                    total,
+                );
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn eq3_batch_avx2(
+        frame: &PreparedFrame,
+        sticks: &[[PreparedStick; 8]],
+        hints: &mut [u32],
+        totals: &mut [f64],
+    ) {
+        for (genome, total) in sticks.iter().zip(totals.iter_mut()) {
+            let sb = StickBounds::new(genome);
+            for c in 0..frame.num_chunks() {
+                let (xs, ys) = frame.chunk(c);
+                hints[c] = eq3_chunk_avx2(
+                    xs,
+                    ys,
+                    frame.chunk_bounds(c),
+                    frame.chunk_live(c),
+                    genome,
+                    &sb,
+                    hints[c],
+                    total,
+                );
+            }
+        }
+    }
+}
+
+fn lanes_eq3_sum(frame: &PreparedFrame, sticks: &[PreparedStick; 8]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was detected at runtime.
+            return unsafe { x86::eq3_sum_avx512(frame, sticks) };
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: the feature was detected at runtime.
+            return unsafe { x86::eq3_sum_avx2(frame, sticks) };
+        }
+    }
+    lanes_eq3_sum_impl(frame, sticks)
+}
+
+fn lanes_eq3_batch(
+    frame: &PreparedFrame,
+    sticks: &[[PreparedStick; 8]],
+    hints: &mut [u32],
+    totals: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was detected at runtime.
+            return unsafe { x86::eq3_batch_avx512(frame, sticks, hints, totals) };
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: the feature was detected at runtime.
+            return unsafe { x86::eq3_batch_avx2(frame, sticks, hints, totals) };
+        }
+    }
+    lanes_eq3_batch_impl(frame, sticks, hints, totals)
 }
 
 #[cfg(test)]
@@ -601,6 +1532,66 @@ mod tests {
                 "candidate {k}: pruned and unpruned Eq. 3 diverge"
             );
         }
+    }
+
+    #[test]
+    fn lanes_evaluation_is_bit_identical_to_scalar() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        // Strides 1/3/5 exercise full, ragged-tail and short frames.
+        for stride in [1usize, 3, 5] {
+            let fit = SilhouetteFitness::new(&sil, &dims, &camera, stride).unwrap();
+            let mut candidates = vec![pose];
+            for step in 1..=4 {
+                let mut p = pose;
+                p.center.x += step as f64 * 0.12;
+                p.center.y -= step as f64 * 0.03;
+                candidates.push(p);
+                candidates
+                    .push(p.with_angle(StickKind::Trunk, Angle::from_degrees(35.0 * step as f64)));
+            }
+            for (k, p) in candidates.iter().enumerate() {
+                let lanes = fit.evaluate_lanes(p, &dims);
+                assert_eq!(
+                    lanes.to_bits(),
+                    fit.evaluate(p, &dims).to_bits(),
+                    "stride {stride} candidate {k}: lanes vs pruned scalar"
+                );
+                assert_eq!(
+                    lanes.to_bits(),
+                    fit.evaluate_unpruned(p, &dims).to_bits(),
+                    "stride {stride} candidate {k}: lanes vs unpruned scalar"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single_calls() {
+        let (dims, camera, pose) = setup();
+        let sil = render_silhouette(&pose, &dims, &camera);
+        let fit = SilhouetteFitness::new(&sil, &dims, &camera, 2).unwrap();
+        let mut poses = vec![pose];
+        for step in 1..=6 {
+            let mut p = pose;
+            p.center.x += step as f64 * 0.07;
+            poses.push(p);
+            poses.push(p.with_angle(StickKind::Thigh, Angle::from_degrees(10.0 * step as f64)));
+        }
+        // Duplicates in the batch share hint state but must still get
+        // the exact per-pose value.
+        poses.push(pose);
+        let mut out = vec![0.0; poses.len()];
+        let mut scratch = BatchScratch::default();
+        fit.evaluate_batch(&poses, &dims, &mut out, &mut scratch);
+        for (p, &got) in poses.iter().zip(&out) {
+            assert_eq!(got.to_bits(), fit.evaluate(p, &dims).to_bits());
+        }
+        // A second pass with warmed (carried) hints returns the same
+        // bits — hints never change values.
+        let mut again = vec![0.0; poses.len()];
+        fit.evaluate_batch(&poses, &dims, &mut again, &mut scratch);
+        assert_eq!(out, again);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::engine::Problem;
 use crate::error::GaError;
-use crate::fitness::SilhouetteFitness;
+use crate::fitness::{BatchScratch, Eq3Kernel, SilhouetteFitness};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -93,6 +93,14 @@ pub struct PoseProblemConfig {
     /// re-walking the silhouette. Evaluation is pure, so a hit is
     /// always exactly the value a fresh evaluation would produce.
     pub fitness_memo: bool,
+    /// Which Eq. 3 kernel to use (bit-identical results either way):
+    /// `Lanes` is the chunked SoA kernel with batched population
+    /// evaluation; `Scalar` keeps the genome-at-a-time warm-started
+    /// scan alive as the perf harness's reference. Only meaningful with
+    /// `eq3_pruning` — the unpruned baseline is always scalar.
+    /// (Deserialises to the default when absent, so configs serialised
+    /// before this field existed still load.)
+    pub eq3_kernel: Eq3Kernel,
 }
 
 impl Default for PoseProblemConfig {
@@ -107,6 +115,7 @@ impl Default for PoseProblemConfig {
             validity_samples: 5,
             eq3_pruning: true,
             fitness_memo: true,
+            eq3_kernel: Eq3Kernel::default(),
         }
     }
 }
@@ -118,10 +127,40 @@ impl Default for PoseProblemConfig {
 /// both preserve bit-identical GA trajectories.
 #[derive(Default)]
 pub struct FitnessMemo {
-    map: Mutex<HashMap<[u64; GENE_COUNT], f64>>,
+    map: Mutex<HashMap<[u64; GENE_COUNT], f64, BuildChromoHasher>>,
+    validity: Mutex<HashMap<[u64; GENE_COUNT], bool, BuildChromoHasher>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
+
+/// Multiply-xor hasher for chromosome keys (12 `u64` gene-bit words).
+/// The default SipHash is keyed against adversarial collisions, which a
+/// memo over trusted keys does not need; this folds each word in a few
+/// cycles instead. Deterministic, and the maps are only ever probed
+/// (`get`/`insert`/`len`), so the table order can never leak into
+/// results.
+#[derive(Clone, Copy, Default)]
+struct ChromoHasher(u64);
+
+impl std::hash::Hasher for ChromoHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        // fxhash-style fold: rotate, mix, multiply by an odd constant
+        // derived from pi. Good avalanche for full-width float bits.
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type BuildChromoHasher = std::hash::BuildHasherDefault<ChromoHasher>;
 
 impl FitnessMemo {
     fn key(genome: &Pose) -> [u64; GENE_COUNT] {
@@ -139,6 +178,21 @@ impl FitnessMemo {
 
     fn insert(&self, key: [u64; GENE_COUNT], fitness: f64) {
         self.map.lock().expect("memo poisoned").insert(key, fitness);
+    }
+
+    fn get_validity(&self, key: &[u64; GENE_COUNT]) -> Option<bool> {
+        self.validity
+            .lock()
+            .expect("memo poisoned")
+            .get(key)
+            .copied()
+    }
+
+    fn insert_validity(&self, key: [u64; GENE_COUNT], valid: bool) {
+        self.validity
+            .lock()
+            .expect("memo poisoned")
+            .insert(key, valid);
     }
 
     /// `(hits, misses)` so far — perf diagnostics only.
@@ -164,6 +218,7 @@ impl Clone for FitnessMemo {
     fn clone(&self) -> Self {
         FitnessMemo {
             map: Mutex::new(self.map.lock().expect("memo poisoned").clone()),
+            validity: Mutex::new(self.validity.lock().expect("memo poisoned").clone()),
             hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
         }
@@ -181,6 +236,49 @@ impl std::fmt::Debug for FitnessMemo {
     }
 }
 
+/// Per-call scratch for the batched evaluation path: the memo-miss
+/// work list, the deduplicated poses, their values, and the evaluator's
+/// own [`BatchScratch`]. Pooled on the problem so steady-state batch
+/// evaluation performs no heap allocation (`tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+struct EvalScratch {
+    /// `(chromosome bits, genome index)` for every genome the memo did
+    /// not already answer. Sorted to group exact duplicates.
+    pending: Vec<([u64; GENE_COUNT], u32)>,
+    /// First occurrence of each distinct pending chromosome.
+    poses: Vec<Pose>,
+    /// One fitness value per entry of `poses`.
+    values: Vec<f64>,
+    /// Stick-set and prune-hint storage for the lane kernel.
+    fit: BatchScratch,
+}
+
+/// A lock-guarded stack of [`EvalScratch`] buffers: each concurrent
+/// batch evaluation pops one (or starts fresh) and pushes it back
+/// warmed. Purely a cache — cloning a problem starts an empty pool.
+#[derive(Debug, Default)]
+struct ScratchPool(Mutex<Vec<EvalScratch>>);
+
+impl ScratchPool {
+    fn take(&self) -> EvalScratch {
+        self.0
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put(&self, scratch: EvalScratch) {
+        self.0.lock().expect("scratch pool poisoned").push(scratch);
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        ScratchPool::default()
+    }
+}
+
 /// The pose-estimation problem for one silhouette.
 #[derive(Debug, Clone)]
 pub struct PoseProblem {
@@ -195,6 +293,9 @@ pub struct PoseProblem {
     init: InitStrategy,
     config: PoseProblemConfig,
     memo: FitnessMemo,
+    /// Pooled scratch for batched lane evaluation — a pure cache, so
+    /// clones start with a fresh (empty) pool.
+    scratch: ScratchPool,
     /// Silhouette centroid in world coordinates.
     centroid_world: Point2,
     /// Silhouette bounding box in world coordinates
@@ -279,6 +380,7 @@ impl PoseProblem {
             init,
             config,
             memo: FitnessMemo::default(),
+            scratch: ScratchPool::default(),
             centroid_world: camera.image_to_world(centroid_px),
             bbox_world: (tl.x, tl.y, br.x, br.y),
         })
@@ -314,10 +416,13 @@ impl PoseProblem {
     /// chromosome, honouring the configured pruning flag but bypassing
     /// the memo.
     fn evaluate_genome(&self, genome: &Pose) -> f64 {
-        if self.config.eq3_pruning {
-            self.fitness.evaluate(genome, &self.dims)
-        } else {
+        if !self.config.eq3_pruning {
+            // The unpruned baseline is always the scalar reference scan.
             self.fitness.evaluate_unpruned(genome, &self.dims)
+        } else if self.config.eq3_kernel == Eq3Kernel::Lanes {
+            self.fitness.evaluate_lanes(genome, &self.dims)
+        } else {
+            self.fitness.evaluate(genome, &self.dims)
         }
     }
 
@@ -337,7 +442,7 @@ impl PoseProblem {
         for (stick, seg) in segs.iter() {
             let s_px = self.camera.segment_to_image(seg);
             let tol = self.thickness_px[stick.index()];
-            for p in s_px.sample(n) {
+            for p in s_px.sample_iter(n) {
                 total += 1;
                 let (x, y) = (p.x.round(), p.y.round());
                 if x >= 0.0
@@ -368,6 +473,80 @@ impl Problem for PoseProblem {
         let value = self.evaluate_genome(genome);
         self.memo.insert(key, value);
         value
+    }
+
+    /// Batched evaluation: memo lookups first, then the distinct
+    /// missing chromosomes are projected and walked against the
+    /// prepared frame in one chunk-outer pass (`Eq3Kernel::Lanes`
+    /// only — the scalar kernel and the unpruned baseline keep the
+    /// genome-at-a-time reference path). Each distinct chromosome is
+    /// evaluated and memoised exactly once however often it repeats in
+    /// the batch, so `memo.len()` — the observability layer's
+    /// `unique_genomes` — counts exactly what the scalar path counts.
+    /// Values are bit-identical to per-genome `fitness` calls at any
+    /// batch split (property-tested).
+    fn fitness_batch(&self, genomes: &[Pose], out: &mut [f64]) {
+        if self.config.eq3_kernel != Eq3Kernel::Lanes || !self.config.eq3_pruning {
+            for (genome, slot) in genomes.iter().zip(out.iter_mut()) {
+                *slot = self.fitness(genome);
+            }
+            return;
+        }
+        let mut scratch = self.scratch.take();
+        scratch.pending.clear();
+        for (i, genome) in genomes.iter().enumerate() {
+            let key = FitnessMemo::key(genome);
+            if self.config.fitness_memo {
+                if let Some(cached) = self.memo.get(&key) {
+                    out[i] = cached;
+                    continue;
+                }
+            }
+            scratch.pending.push((key, i as u32));
+        }
+        if scratch.pending.is_empty() {
+            self.scratch.put(scratch);
+            return;
+        }
+        // Group exact duplicates; ties keep the lowest genome index
+        // first, so `poses` holds each distinct chromosome's first
+        // occurrence (any occurrence has identical bits anyway).
+        scratch.pending.sort_unstable();
+        scratch.poses.clear();
+        let mut previous: Option<&[u64; GENE_COUNT]> = None;
+        for (key, idx) in &scratch.pending {
+            if previous != Some(key) {
+                scratch.poses.push(genomes[*idx as usize]);
+                previous = Some(key);
+            }
+        }
+        scratch.values.clear();
+        scratch.values.resize(scratch.poses.len(), 0.0);
+        self.fitness.evaluate_batch(
+            &scratch.poses,
+            &self.dims,
+            &mut scratch.values,
+            &mut scratch.fit,
+        );
+        // Scatter each group's value to every duplicate and memoise the
+        // chromosome once.
+        let mut unique = 0usize;
+        let mut start = 0usize;
+        while start < scratch.pending.len() {
+            let key = scratch.pending[start].0;
+            let value = scratch.values[unique];
+            let mut end = start;
+            while end < scratch.pending.len() && scratch.pending[end].0 == key {
+                out[scratch.pending[end].1 as usize] = value;
+                end += 1;
+            }
+            if self.config.fitness_memo {
+                self.memo.insert(key, value);
+            }
+            unique += 1;
+            start = end;
+        }
+        self.scratch.put(scratch);
     }
 
     fn random_genome(&self, rng: &mut StdRng) -> Pose {
@@ -451,7 +630,19 @@ impl Problem for PoseProblem {
     }
 
     fn is_valid(&self, genome: &Pose) -> bool {
-        self.inside_fraction(genome) >= self.config.validity_fraction
+        if !self.config.fitness_memo {
+            return self.inside_fraction(genome) >= self.config.validity_fraction;
+        }
+        // Offspring of a converged population repeat chromosomes
+        // bit-for-bit (typically >70% of validity checks in a tracking
+        // run), so the boolean is memoised alongside the fitness value.
+        let key = FitnessMemo::key(genome);
+        if let Some(cached) = self.memo.get_validity(&key) {
+            return cached;
+        }
+        let valid = self.inside_fraction(genome) >= self.config.validity_fraction;
+        self.memo.insert_validity(key, valid);
+        valid
     }
 
     fn seeds(&self) -> Vec<Pose> {

@@ -248,4 +248,89 @@ proptest! {
             p.mutate(&mut genome, &mut rng);
         }
     }
+
+    // ---------- lane kernel / batched evaluation ----------
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_unpruned_reference(
+        seed in any::<u64>(),
+        stride in 1usize..7,
+        height in 1.1f64..1.9,
+        weight_pick in 0usize..3,
+    ) {
+        // Random dims + silhouette + stride (stride varies the tail:
+        // point counts that are not a multiple of the lane width) and
+        // all three outside-weight regimes, including the pure Eq. 3
+        // term with the penalty disabled.
+        let dims = BodyDims::for_height(height);
+        let camera = Camera::compact();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sil_pose = Pose::standing(&dims);
+        sil_pose.center.x = rng.gen_range(0.3..1.0);
+        let sil = render_silhouette(&sil_pose, &dims, &camera);
+        prop_assume!(sil.count() > 0);
+        let weight = [0.0, 1.0, 0.35][weight_pick];
+        let fitness =
+            SilhouetteFitness::with_outside_weight(&sil, &dims, &camera, stride, weight).unwrap();
+        let p = PoseProblem::new(
+            &sil,
+            &dims,
+            &camera,
+            InitStrategy::FullRange,
+            PoseProblemConfig::default(),
+        )
+        .unwrap();
+        let poses: Vec<Pose> = (0..9).map(|_| p.random_genome(&mut rng)).collect();
+        let mut batch = vec![0.0f64; poses.len()];
+        let mut scratch = slj_ga::fitness::BatchScratch::default();
+        fitness.evaluate_batch(&poses, &dims, &mut batch, &mut scratch);
+        for (pose, &batched) in poses.iter().zip(&batch) {
+            let reference = fitness.evaluate_unpruned(pose, &dims);
+            prop_assert_eq!(fitness.evaluate_lanes(pose, &dims).to_bits(), reference.to_bits());
+            prop_assert_eq!(fitness.evaluate(pose, &dims).to_bits(), reference.to_bits());
+            // The shared prune-hint walk across genomes never changes
+            // the returned fitness.
+            prop_assert_eq!(batched.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_problem_fitness_matches_scalar_kernel(
+        seed in any::<u64>(),
+        memo in any::<bool>(),
+        split in 1usize..11,
+    ) {
+        // `PoseProblem::fitness_batch` with the lane kernel must agree
+        // bitwise with the scalar-kernel per-genome path, regardless of
+        // memoisation, in-batch duplicates, or how the population is
+        // split into batches (thread-chunk independence).
+        let (sil, dims, camera, _pose) = fixture();
+        let config = |kernel| PoseProblemConfig {
+            eq3_kernel: kernel,
+            fitness_memo: memo,
+            ..PoseProblemConfig::default()
+        };
+        let lanes = PoseProblem::new(
+            &sil, &dims, &camera, InitStrategy::FullRange, config(slj_ga::fitness::Eq3Kernel::Lanes),
+        )
+        .unwrap();
+        let scalar = PoseProblem::new(
+            &sil, &dims, &camera, InitStrategy::FullRange, config(slj_ga::fitness::Eq3Kernel::Scalar),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut genomes: Vec<Pose> = (0..10).map(|_| lanes.random_genome(&mut rng)).collect();
+        genomes.push(genomes[3]);
+        genomes.push(genomes[3]);
+        let mut whole = vec![0.0f64; genomes.len()];
+        lanes.fitness_batch(&genomes, &mut whole);
+        let mut chunked = vec![0.0f64; genomes.len()];
+        for (gs, out) in genomes.chunks(split).zip(chunked.chunks_mut(split)) {
+            lanes.fitness_batch(gs, out);
+        }
+        for ((genome, &value), &split_value) in genomes.iter().zip(&whole).zip(&chunked) {
+            prop_assert_eq!(value.to_bits(), scalar.fitness(genome).to_bits());
+            prop_assert_eq!(split_value.to_bits(), value.to_bits());
+        }
+    }
 }

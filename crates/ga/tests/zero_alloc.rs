@@ -1,0 +1,129 @@
+//! Allocation regression test: steady-state batched fitness
+//! evaluation must not touch the heap.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up batch (growing the pooled [`EvalScratch`] buffers to their
+//! high-water mark), a second batch through the same
+//! `PoseProblem::fitness_batch` path is asserted to perform **zero**
+//! allocations — through pose projection, the lane Eq. 3 kernel, and
+//! the outside-penalty term. A separate test covers the memoised
+//! all-hit path.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slj_ga::engine::Problem;
+use slj_ga::fitness::Eq3Kernel;
+use slj_ga::pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
+use slj_motion::{BodyDims, Pose};
+use slj_video::render::render_silhouette;
+use slj_video::Camera;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, so concurrently running
+/// tests would pollute each other's deltas; take this before measuring.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// System allocator plus a global allocation counter.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+// SAFETY: defers to the system allocator; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A pose problem over a rendered standing silhouette plus a batch of
+/// random genomes with deliberate duplicates (exercising the dedup
+/// path).
+fn fixture(config: PoseProblemConfig) -> (PoseProblem, Vec<Pose>) {
+    let dims = BodyDims::default();
+    let camera = Camera::compact();
+    let mut pose = Pose::standing(&dims);
+    pose.center.x = 0.6;
+    let sil = render_silhouette(&pose, &dims, &camera);
+    let problem = PoseProblem::new(&sil, &dims, &camera, InitStrategy::FullRange, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut genomes: Vec<Pose> = (0..12).map(|_| problem.random_genome(&mut rng)).collect();
+    // Duplicates: in-batch repeats must share one projection.
+    genomes.push(genomes[0]);
+    genomes.push(genomes[5]);
+    genomes.push(genomes[5]);
+    (problem, genomes)
+}
+
+#[test]
+fn batched_evaluation_is_allocation_free() {
+    // Memo off: every batch takes the full dedup → project → lane
+    // kernel → outside-penalty path.
+    let (problem, genomes) = fixture(PoseProblemConfig {
+        eq3_kernel: Eq3Kernel::Lanes,
+        fitness_memo: false,
+        ..PoseProblemConfig::default()
+    });
+    let mut out = vec![0.0f64; genomes.len()];
+    // Warm-up batch grows every pooled scratch buffer.
+    problem.fitness_batch(&genomes, &mut out);
+    let expected = out.clone();
+
+    let _guard = MEASURE.lock().unwrap();
+    let before = allocations();
+    problem.fitness_batch(&genomes, &mut out);
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "steady-state batch performed {delta} allocations");
+    assert_eq!(
+        out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn memoised_batch_is_allocation_free_on_full_hit() {
+    // Memo on: the warm-up batch pays the HashMap inserts; a repeat of
+    // the same genomes is answered entirely from the memo without
+    // touching the heap.
+    let (problem, genomes) = fixture(PoseProblemConfig {
+        eq3_kernel: Eq3Kernel::Lanes,
+        fitness_memo: true,
+        ..PoseProblemConfig::default()
+    });
+    let mut out = vec![0.0f64; genomes.len()];
+    problem.fitness_batch(&genomes, &mut out);
+    let expected = out.clone();
+
+    let _guard = MEASURE.lock().unwrap();
+    let before = allocations();
+    problem.fitness_batch(&genomes, &mut out);
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "memoised batch performed {delta} allocations");
+    assert_eq!(
+        out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+}

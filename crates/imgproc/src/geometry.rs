@@ -278,13 +278,27 @@ impl Segment {
     ///
     /// Panics if `n == 0`.
     pub fn sample(&self, n: usize) -> Vec<Point2> {
+        self.sample_iter(n).collect()
+    }
+
+    /// As [`Segment::sample`] but yielding the points lazily — the
+    /// allocation-free form for hot loops. Same values in the same
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn sample_iter(&self, n: usize) -> impl Iterator<Item = Point2> {
         assert!(n > 0, "sample count must be positive");
-        if n == 1 {
-            return vec![self.midpoint()];
-        }
-        (0..n)
-            .map(|i| self.a.lerp(self.b, i as f64 / (n - 1) as f64))
-            .collect()
+        let (a, b) = (self.a, self.b);
+        let mid = self.midpoint();
+        (0..n).map(move |i| {
+            if n == 1 {
+                mid
+            } else {
+                a.lerp(b, i as f64 / (n - 1) as f64)
+            }
+        })
     }
 }
 
@@ -393,6 +407,11 @@ mod tests {
         assert_eq!(pts[2], p(2.0, 0.0));
         // n = 1 returns the midpoint.
         assert_eq!(s.sample(1), vec![p(2.0, 0.0)]);
+        // The lazy form yields the same points in the same order.
+        let t = Segment::new(p(1.0, -2.0), p(-3.0, 7.5));
+        for n in [1, 2, 5, 7] {
+            assert_eq!(t.sample_iter(n).collect::<Vec<_>>(), t.sample(n));
+        }
     }
 
     #[test]

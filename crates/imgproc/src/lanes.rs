@@ -1,0 +1,239 @@
+//! Structure-of-arrays point lanes for data-parallel kernels.
+//!
+//! [`PreparedFrame`] materialises a sampled point set (typically every
+//! `stride`-th silhouette pixel) into separate `x[]` / `y[]` f64 planes,
+//! padded to a whole number of [`LANES`]-wide chunks so a kernel can
+//! process a fixed-width chunk per iteration with no tail branch in the
+//! inner loop. The padding lanes duplicate the last real point — they
+//! hold valid, in-bounds coordinates, so chunk-level bounding boxes and
+//! per-lane arithmetic need no masking; consumers simply do not
+//! *accumulate* the dead lanes (see [`PreparedFrame::chunk_live`]).
+//!
+//! Each chunk also carries its points' bounding box
+//! ([`PreparedFrame::chunk_bounds`]): because points arrive in scanline
+//! order, consecutive points are spatially close and the box stays
+//! tight, which is what makes chunk-granular branch-and-bound tests
+//! (one lower-bound test per chunk instead of one per point) effective.
+
+use crate::geometry::Point2;
+use crate::mask::Mask;
+
+/// Lane width of a [`PreparedFrame`] chunk. Eight f64 lanes: one
+/// AVX-512 vector, two AVX2 vectors, or four SSE2 vectors — wide enough
+/// for every tier the dispatching kernels target, narrow enough that
+/// chunk bounding boxes stay tight under scanline ordering.
+pub const LANES: usize = 8;
+
+/// Axis-aligned bounding box of one chunk's real points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkBounds {
+    /// Smallest x coordinate in the chunk.
+    pub min_x: f64,
+    /// Smallest y coordinate in the chunk.
+    pub min_y: f64,
+    /// Largest x coordinate in the chunk.
+    pub max_x: f64,
+    /// Largest y coordinate in the chunk.
+    pub max_y: f64,
+}
+
+/// A point set laid out as `LANES`-chunked structure-of-arrays planes.
+///
+/// Built once per frame, read many times (every genome of every GA
+/// generation walks it). See the module docs for the layout invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedFrame {
+    /// X coordinates, padded to a multiple of [`LANES`].
+    xs: Vec<f64>,
+    /// Y coordinates, padded to a multiple of [`LANES`].
+    ys: Vec<f64>,
+    /// Per-chunk bounding boxes (over the chunk's real points; padding
+    /// duplicates a real point so it never widens the box).
+    bounds: Vec<ChunkBounds>,
+    /// Number of real (un-padded) points.
+    len: usize,
+}
+
+impl PreparedFrame {
+    /// Prepares every `stride`-th foreground pixel of `mask`, in
+    /// scanline order, as a lane-chunked point set. `stride` must be
+    /// positive; an empty mask yields an empty frame.
+    pub fn from_mask(mask: &Mask, stride: usize) -> PreparedFrame {
+        Self::from_points(
+            mask.foreground_pixels()
+                .step_by(stride)
+                .map(|(x, y)| Point2::new(x as f64, y as f64)),
+        )
+    }
+
+    /// Prepares an explicit point sequence (kept in iteration order).
+    pub fn from_points(points: impl IntoIterator<Item = Point2>) -> PreparedFrame {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for p in points {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        let len = xs.len();
+        if len > 0 {
+            let pad = len.next_multiple_of(LANES);
+            xs.resize(pad, xs[len - 1]);
+            ys.resize(pad, ys[len - 1]);
+        }
+        let bounds = xs
+            .chunks_exact(LANES)
+            .zip(ys.chunks_exact(LANES))
+            .map(|(cx, cy)| {
+                let mut b = ChunkBounds {
+                    min_x: cx[0],
+                    min_y: cy[0],
+                    max_x: cx[0],
+                    max_y: cy[0],
+                };
+                for l in 1..LANES {
+                    b.min_x = b.min_x.min(cx[l]);
+                    b.min_y = b.min_y.min(cy[l]);
+                    b.max_x = b.max_x.max(cx[l]);
+                    b.max_y = b.max_y.max(cy[l]);
+                }
+                b
+            })
+            .collect();
+        PreparedFrame {
+            xs,
+            ys,
+            bounds,
+            len,
+        }
+    }
+
+    /// Number of real points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the frame holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `LANES`-wide chunks (including the padded tail chunk).
+    pub fn num_chunks(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The `i`-th real point (same value the source iterator yielded).
+    pub fn point(&self, i: usize) -> Point2 {
+        debug_assert!(i < self.len);
+        Point2::new(self.xs[i], self.ys[i])
+    }
+
+    /// Iterates the real points in their original order.
+    pub fn iter(&self) -> impl Iterator<Item = Point2> + '_ {
+        self.xs[..self.len]
+            .iter()
+            .zip(&self.ys[..self.len])
+            .map(|(&x, &y)| Point2::new(x, y))
+    }
+
+    /// Chunk `c`'s coordinate lanes, always exactly [`LANES`] wide.
+    pub fn chunk(&self, c: usize) -> (&[f64; LANES], &[f64; LANES]) {
+        let s = c * LANES;
+        (
+            self.xs[s..s + LANES].try_into().expect("chunk width"),
+            self.ys[s..s + LANES].try_into().expect("chunk width"),
+        )
+    }
+
+    /// Bounding box of chunk `c`'s real points.
+    pub fn chunk_bounds(&self, c: usize) -> ChunkBounds {
+        self.bounds[c]
+    }
+
+    /// Number of real (non-padding) lanes in chunk `c`: [`LANES`] for
+    /// every chunk but possibly the last.
+    pub fn chunk_live(&self, c: usize) -> usize {
+        (self.len - c * LANES).min(LANES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_with(points: &[(usize, usize)]) -> Mask {
+        let mut m = Mask::new(16, 16);
+        for &(x, y) in points {
+            m.set(x, y, true);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_mask_yields_empty_frame() {
+        let f = PreparedFrame::from_mask(&Mask::new(8, 8), 1);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.num_chunks(), 0);
+        assert_eq!(f.iter().count(), 0);
+    }
+
+    #[test]
+    fn points_survive_in_scanline_order() {
+        let m = mask_with(&[(3, 0), (1, 2), (5, 2), (0, 7)]);
+        let f = PreparedFrame::from_mask(&m, 1);
+        let got: Vec<(f64, f64)> = f.iter().map(|p| (p.x, p.y)).collect();
+        assert_eq!(got, vec![(3.0, 0.0), (1.0, 2.0), (5.0, 2.0), (0.0, 7.0)]);
+        for (i, &(x, y)) in got.iter().enumerate() {
+            assert_eq!(f.point(i), Point2::new(x, y));
+        }
+    }
+
+    #[test]
+    fn padding_duplicates_last_point() {
+        let m = mask_with(&[(3, 0), (1, 2), (5, 2)]);
+        let f = PreparedFrame::from_mask(&m, 1);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.num_chunks(), 1);
+        assert_eq!(f.chunk_live(0), 3);
+        let (xs, ys) = f.chunk(0);
+        for l in 3..LANES {
+            assert_eq!((xs[l], ys[l]), (5.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_their_points() {
+        let pts: Vec<Point2> = (0..19)
+            .map(|i| Point2::new((i * 3 % 11) as f64, (i * 7 % 5) as f64))
+            .collect();
+        let f = PreparedFrame::from_points(pts.clone());
+        assert_eq!(f.len(), 19);
+        assert_eq!(f.num_chunks(), 3);
+        assert_eq!(f.chunk_live(2), 3);
+        for c in 0..f.num_chunks() {
+            let b = f.chunk_bounds(c);
+            let live = f.chunk_live(c);
+            for l in 0..live {
+                let p = f.point(c * LANES + l);
+                assert!(p.x >= b.min_x && p.x <= b.max_x);
+                assert!(p.y >= b.min_y && p.y <= b.max_y);
+            }
+            // Padding must not widen the box: every lane (dead ones
+            // included) stays inside.
+            let (xs, ys) = f.chunk(c);
+            for l in 0..LANES {
+                assert!(xs[l] >= b.min_x && xs[l] <= b.max_x);
+                assert!(ys[l] >= b.min_y && ys[l] <= b.max_y);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_subsamples_like_step_by() {
+        let m = mask_with(&[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+        let f = PreparedFrame::from_mask(&m, 2);
+        let got: Vec<f64> = f.iter().map(|p| p.x).collect();
+        assert_eq!(got, vec![0.0, 2.0, 4.0]);
+    }
+}

@@ -54,6 +54,7 @@ pub mod geometry;
 pub mod holes;
 pub mod image;
 pub mod io;
+pub mod lanes;
 pub mod mask;
 pub mod moments;
 pub mod morph;

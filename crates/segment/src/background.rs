@@ -106,6 +106,24 @@ impl EstimatedBackground {
     }
 }
 
+/// Reusable scratch for [`BackgroundEstimator::estimate_into`]: the
+/// per-pixel observation cursor and the flat per-channel observation
+/// planes the median mode packs stable samples into. Warmed buffers
+/// make repeat estimation allocation-free (`tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct BackgroundScratch {
+    /// Pass 1: per-pixel stable-pair count; then exclusive prefix sums
+    /// (each pixel's start offset into the planes); after pass 2, each
+    /// pixel's end offset.
+    cursor: Vec<u32>,
+    /// Red-channel observations, packed per pixel in pair order.
+    r: Vec<u8>,
+    /// Green-channel observations.
+    g: Vec<u8>,
+    /// Blue-channel observations.
+    b: Vec<u8>,
+}
+
 /// Estimates the static background of a fixed-camera clip.
 #[derive(Debug, Clone, Default)]
 pub struct BackgroundEstimator {
@@ -131,6 +149,41 @@ impl BackgroundEstimator {
     /// Returns [`SegmentError::TooFewFrames`] for clips (or warmup
     /// windows) with fewer than two frames.
     pub fn estimate(&self, video: &Video) -> Result<EstimatedBackground, SegmentError> {
+        let mut out = EstimatedBackground {
+            image: ImageBuffer::new(0, 0),
+            support: ImageBuffer::new(0, 0),
+        };
+        self.estimate_into(video, &mut out, &mut BackgroundScratch::default())?;
+        Ok(out)
+    }
+
+    /// As [`BackgroundEstimator::estimate`], but reusing the output and
+    /// scratch buffers: with warmed buffers of matching dimensions the
+    /// call performs no heap allocation. Results are byte-identical to
+    /// `estimate`.
+    ///
+    /// Both modes run as flat row-contiguous slice passes (the
+    /// per-pixel `get`/`set` formulation cost ~80% of the whole
+    /// segmentation stage): `LastStable` is a single fused
+    /// compare-and-overwrite sweep per frame pair; `MedianOfStable`
+    /// counts stable pairs per pixel, prefix-sums the counts into
+    /// offsets, packs each channel's stable observations into one flat
+    /// plane (replacing the per-pixel `Vec<Rgb>` allocation storm), and
+    /// takes each pixel's channel medians by sorting its plane slices
+    /// in place — the median of a multiset does not depend on
+    /// observation order, so the result matches the old per-pixel
+    /// collection bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentError::TooFewFrames`] for clips (or warmup
+    /// windows) with fewer than two frames.
+    pub fn estimate_into(
+        &self,
+        video: &Video,
+        out: &mut EstimatedBackground,
+        scratch: &mut BackgroundScratch,
+    ) -> Result<(), SegmentError> {
         if video.len() < 2 {
             return Err(SegmentError::TooFewFrames {
                 got: video.len(),
@@ -149,70 +202,113 @@ impl BackgroundEstimator {
         }
         let (w, h) = video.dims();
         let frames = &video.frames()[..limit];
-        let mut support: ImageBuffer<u16> = ImageBuffer::new(w, h);
+        let n = w * h;
+        if out.image.dims() != (w, h) {
+            out.image = ImageBuffer::new(w, h);
+            out.support = ImageBuffer::new(w, h);
+        }
+        out.support.fill(0);
+        let threshold = self.config.diff_threshold;
 
         match self.config.mode {
             UpdateMode::LastStable => {
                 // Initialise from the first frame (pixels that never
                 // stabilise keep it), then overwrite with stable pairs.
-                let mut image = frames[0].clone();
+                out.image
+                    .as_mut_slice()
+                    .copy_from_slice(frames[0].as_slice());
                 for k in 0..frames.len() - 1 {
-                    let (a, b) = (&frames[k], &frames[k + 1]);
-                    for y in 0..h {
-                        for x in 0..w {
-                            let pa = a.get(x, y);
-                            if pa.l1_distance(b.get(x, y)) <= self.config.diff_threshold {
-                                image.set(x, y, pa);
-                                support.set(x, y, support.get(x, y).saturating_add(1));
-                            }
+                    let a = frames[k].as_slice();
+                    let b = frames[k + 1].as_slice();
+                    let image = out.image.as_mut_slice();
+                    let support = out.support.as_mut_slice();
+                    for (((pa, pb), bg), sup) in a
+                        .iter()
+                        .zip(b)
+                        .zip(image.iter_mut())
+                        .zip(support.iter_mut())
+                    {
+                        if pa.l1_distance(*pb) <= threshold {
+                            *bg = *pa;
+                            *sup = sup.saturating_add(1);
                         }
                     }
                 }
-                Ok(EstimatedBackground { image, support })
             }
             UpdateMode::MedianOfStable => {
-                // Collect stable observations per pixel, then take the
-                // per-channel median.
-                let mut obs: Vec<Vec<Rgb>> = vec![Vec::new(); w * h];
+                // Pass 1: count stable pairs per pixel.
+                scratch.cursor.clear();
+                scratch.cursor.resize(n, 0);
                 for k in 0..frames.len() - 1 {
-                    let (a, b) = (&frames[k], &frames[k + 1]);
-                    for y in 0..h {
-                        for x in 0..w {
-                            let pa = a.get(x, y);
-                            if pa.l1_distance(b.get(x, y)) <= self.config.diff_threshold {
-                                obs[y * w + x].push(pa);
-                            }
+                    let a = frames[k].as_slice();
+                    let b = frames[k + 1].as_slice();
+                    for ((pa, pb), count) in a.iter().zip(b).zip(scratch.cursor.iter_mut()) {
+                        *count += (pa.l1_distance(*pb) <= threshold) as u32;
+                    }
+                }
+                // Exclusive prefix sum: counts become start offsets.
+                let mut acc = 0u32;
+                for c in scratch.cursor.iter_mut() {
+                    let start = acc;
+                    acc += *c;
+                    *c = start;
+                }
+                let total = acc as usize;
+                scratch.r.clear();
+                scratch.r.resize(total, 0);
+                scratch.g.clear();
+                scratch.g.resize(total, 0);
+                scratch.b.clear();
+                scratch.b.resize(total, 0);
+                // Pass 2: pack each channel's stable observations into
+                // its flat plane, in pair order; cursors land on each
+                // pixel's end offset.
+                for k in 0..frames.len() - 1 {
+                    let a = frames[k].as_slice();
+                    let b = frames[k + 1].as_slice();
+                    for ((pa, pb), cursor) in a.iter().zip(b).zip(scratch.cursor.iter_mut()) {
+                        if pa.l1_distance(*pb) <= threshold {
+                            let o = *cursor as usize;
+                            scratch.r[o] = pa.r;
+                            scratch.g[o] = pa.g;
+                            scratch.b[o] = pa.b;
+                            *cursor += 1;
                         }
                     }
                 }
-                let image = ImageBuffer::from_fn(w, h, |x, y| {
-                    let o = &obs[y * w + x];
-                    if o.is_empty() {
-                        frames[0].get(x, y)
+                // Median pass: sort each pixel's slice of every plane in
+                // place and take the upper median.
+                let image = out.image.as_mut_slice();
+                let support = out.support.as_mut_slice();
+                let first = frames[0].as_slice();
+                let mut start = 0usize;
+                for i in 0..n {
+                    let end = scratch.cursor[i] as usize;
+                    if end == start {
+                        image[i] = first[i];
                     } else {
-                        channel_median(o)
+                        image[i] = Rgb::new(
+                            plane_median(&mut scratch.r[start..end]),
+                            plane_median(&mut scratch.g[start..end]),
+                            plane_median(&mut scratch.b[start..end]),
+                        );
+                        support[i] = (end - start).min(u16::MAX as usize) as u16;
                     }
-                });
-                for y in 0..h {
-                    for x in 0..w {
-                        support.set(x, y, obs[y * w + x].len().min(u16::MAX as usize) as u16);
-                    }
+                    start = end;
                 }
-                Ok(EstimatedBackground { image, support })
             }
         }
+        Ok(())
     }
 }
 
-/// Per-channel median of a non-empty set of colours.
-fn channel_median(obs: &[Rgb]) -> Rgb {
-    debug_assert!(!obs.is_empty());
-    let med = |extract: fn(&Rgb) -> u8| -> u8 {
-        let mut v: Vec<u8> = obs.iter().map(extract).collect();
-        v.sort_unstable();
-        v[v.len() / 2]
-    };
-    Rgb::new(med(|p| p.r), med(|p| p.g), med(|p| p.b))
+/// Upper median of a non-empty channel slice, sorted in place — the
+/// same `sort_unstable` + `v[len / 2]` rule the per-pixel collection
+/// used, so results are bit-identical.
+fn plane_median(v: &mut [u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    v.sort_unstable();
+    v[v.len() / 2]
 }
 
 #[cfg(test)]
@@ -405,12 +501,44 @@ mod tests {
 
     #[test]
     fn channel_median_is_per_channel() {
-        let m = channel_median(&[
+        let obs = [
             Rgb::new(10, 200, 5),
             Rgb::new(20, 100, 6),
             Rgb::new(30, 0, 7),
-        ]);
+        ];
+        let m = Rgb::new(
+            plane_median(&mut obs.map(|p| p.r)),
+            plane_median(&mut obs.map(|p| p.g)),
+            plane_median(&mut obs.map(|p| p.b)),
+        );
         assert_eq!(m, Rgb::new(20, 100, 6));
+    }
+
+    #[test]
+    fn estimate_into_reuse_matches_estimate() {
+        // A warmed output + scratch re-fed different clips must produce
+        // exactly what a fresh `estimate` produces — this equality (plus
+        // the zero-alloc integration test) is what makes buffer reuse a
+        // pure throughput setting.
+        let mut out = EstimatedBackground {
+            image: ImageBuffer::new(0, 0),
+            support: ImageBuffer::new(0, 0),
+        };
+        let mut scratch = BackgroundScratch::default();
+        for mode in [UpdateMode::LastStable, UpdateMode::MedianOfStable] {
+            let est = BackgroundEstimator::new(BackgroundConfig {
+                diff_threshold: 10,
+                mode,
+                warmup: None,
+            });
+            for frames in [6usize, 8, 4] {
+                let video = walker_video(frames, 6);
+                est.estimate_into(&video, &mut out, &mut scratch).unwrap();
+                let fresh = est.estimate(&video).unwrap();
+                assert_eq!(out.image.as_slice(), fresh.image.as_slice(), "{mode:?}");
+                assert_eq!(out.support.as_slice(), fresh.support.as_slice());
+            }
+        }
     }
 
     #[test]

@@ -251,7 +251,35 @@ impl SegmentPipeline {
         };
         let background = BackgroundEstimator::new(self.config.background).estimate(video)?;
         let prepared = Arc::new(PreparedBackground::new(&background.image));
+        self.run_prepared(video, background, prepared)
+    }
 
+    /// Runs the per-frame stages (Steps 2–5) over a clip whose Step-1
+    /// background has already been estimated and prepared.
+    ///
+    /// This is the entry point for callers that amortise the background
+    /// work across several runs of the same scene — the perf bench and
+    /// repeated re-analysis share one [`EstimatedBackground`] and one
+    /// HSV-converted [`PreparedBackground`] per configuration instead
+    /// of re-deriving both on every run. `video` must already be
+    /// presmoothed according to [`PipelineConfig::presmooth`] ([`run`]
+    /// takes care of that; with the default `Presmooth::None` the raw
+    /// clip is correct as-is).
+    ///
+    /// [`run`]: SegmentPipeline::run
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SegmentError`] from the per-frame stages; the
+    /// too-few-frames validation lives in background estimation, so
+    /// this entry point accepts any clip the caller has a background
+    /// for.
+    pub fn run_prepared(
+        &self,
+        video: &Video,
+        background: EstimatedBackground,
+        prepared: Arc<PreparedBackground>,
+    ) -> Result<SegmentationResult, SegmentError> {
         let inputs = video.frames();
         let threads = self.config.parallelism.threads().min(inputs.len());
         let frames = if threads <= 1 {

@@ -9,7 +9,9 @@
 //! shadow removal enabled.
 
 use slj_motion::JumpConfig;
-use slj_segment::background::BackgroundEstimator;
+use slj_segment::background::{
+    BackgroundConfig, BackgroundEstimator, BackgroundScratch, EstimatedBackground, UpdateMode,
+};
 use slj_segment::pipeline::{FrameStages, PipelineConfig};
 use slj_segment::segmenter::{FrameSegmenter, PreparedBackground};
 use slj_video::{SceneConfig, SyntheticJump};
@@ -87,6 +89,45 @@ fn assert_steady_state_is_allocation_free(config: PipelineConfig, label: &str) {
             .unwrap();
         let delta = allocations() - before;
         assert_eq!(delta, 0, "{label}: frame {k} performed {delta} allocations");
+    }
+}
+
+#[test]
+fn background_estimation_reuse_is_allocation_free() {
+    // Both update modes through `estimate_into` with warmed output +
+    // scratch buffers: steady-state re-estimation (the streaming
+    // analyzer's warm-up refresh pattern) must not touch the heap.
+    let jump = SyntheticJump::generate(
+        &SceneConfig::default(),
+        &JumpConfig {
+            frames: 10,
+            ..JumpConfig::default()
+        },
+        43,
+    );
+    for mode in [UpdateMode::LastStable, UpdateMode::MedianOfStable] {
+        let estimator = BackgroundEstimator::new(BackgroundConfig {
+            mode,
+            ..BackgroundConfig::default()
+        });
+        let mut out = EstimatedBackground {
+            image: slj_imgproc::ImageBuffer::new(0, 0),
+            support: slj_imgproc::ImageBuffer::new(0, 0),
+        };
+        let mut scratch = BackgroundScratch::default();
+        // Warm-up pass grows every buffer to its high-water mark.
+        estimator
+            .estimate_into(&jump.video, &mut out, &mut scratch)
+            .unwrap();
+        let before = allocations();
+        estimator
+            .estimate_into(&jump.video, &mut out, &mut scratch)
+            .unwrap();
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "{mode:?}: estimation performed {delta} allocations"
+        );
     }
 }
 
