@@ -42,7 +42,8 @@ USAGE:
   slj score   --clip DIR
   slj serve   --clip DIR [--sessions N] [--max-sessions N] [--queue-depth N]
               [--frame-deadline-ms N] [--inject-faults SPEC]
-              [--events FILE.jsonl] [--threads N|auto|serial] [--fast]
+              [--events FILE.jsonl] [--threads N|auto|serial]
+              [--worker-mode pool|spawn] [--slot-pool on|off] [--fast]
               [--best-effort [--max-degraded N]] [--warmup N]
   slj eval    (--matrix small|full | --sweep) [--out FILE.json]
               [--summary-md FILE.md] [--threads N|auto|serial]
@@ -78,7 +79,11 @@ COMMANDS:
              every further session streams an independently seeded
              perturbation; --events writes the slj-serve/1 JSONL
              health-event log; --threads fans session steps out over
-             worker threads with byte-identical events and results)
+             worker threads with byte-identical events and results;
+             --worker-mode picks the persistent worker pool (default)
+             or per-tick thread spawning, and --slot-pool on|off
+             controls recycling of retired sessions' buffers — every
+             combination is byte-identical)
   eval      measure tracking accuracy against synthetic ground truth
             (--matrix runs the seeded clip x fault-profile x gap-policy
              grid and writes a deterministic slj-eval/1 JSON report;

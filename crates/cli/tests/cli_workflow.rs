@@ -357,8 +357,8 @@ fn serve_is_byte_identical_across_thread_counts() {
         dir.display()
     ))
     .unwrap();
-    let run = |spec: &str| {
-        let events = dir.join(format!("events_{spec}.jsonl"));
+    let run = |tag: &str, spec: &str| {
+        let events = dir.join(format!("events_{tag}.jsonl"));
         let text = invoke(&format!(
             "serve --clip {} --sessions 3 --fast --best-effort --threads {spec} \
              --inject-faults bars=1,seed=5 --events {}",
@@ -368,9 +368,14 @@ fn serve_is_byte_identical_across_thread_counts() {
         .unwrap();
         (text, std::fs::read_to_string(&events).unwrap())
     };
-    let serial = run("serial");
-    for spec in ["2", "auto"] {
-        let other = run(spec);
+    let serial = run("serial", "serial");
+    for (tag, spec) in [
+        ("2", "2"),
+        ("auto", "auto"),
+        ("spawn", "2 --worker-mode spawn"),
+        ("nopool", "2 --slot-pool off"),
+    ] {
+        let other = run(tag, spec);
         // The event files differ only in the path echoed on stdout, so
         // compare the JSONL byte-for-byte and stdout minus that line.
         assert_eq!(serial.1, other.1, "--threads {spec} changed the events");
@@ -407,4 +412,14 @@ fn serve_flags_are_validated() {
     );
     let err = invoke("serve --clip nowhere --inject-faults nonsense=1").unwrap_err();
     assert!(matches!(err, CliError::Usage(_)), "{err}");
+    let err = invoke("serve --clip nowhere --worker-mode turbo").unwrap_err();
+    assert!(
+        matches!(err, CliError::Usage(_)) && err.to_string().contains("pool|spawn"),
+        "a bad worker mode should list the valid ones: {err}"
+    );
+    let err = invoke("serve --clip nowhere --slot-pool maybe").unwrap_err();
+    assert!(
+        matches!(err, CliError::Usage(_)) && err.to_string().contains("on` or `off"),
+        "a bad slot-pool value should explain itself: {err}"
+    );
 }

@@ -257,6 +257,45 @@ impl SilhouetteFitness {
         })
     }
 
+    /// Rebuilds this evaluator in place for a new silhouette, reusing
+    /// the prepared-frame planes and the distance-field storage.
+    /// Value-identical to replacing it with a fresh
+    /// [`SilhouetteFitness::with_outside_weight`] at the current
+    /// `outside_weight` (which is configuration, not per-frame state,
+    /// and is kept). On error the evaluator is left unusable for the
+    /// rejected silhouette and must not be evaluated until a successful
+    /// rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::EmptySilhouette`] when the mask has no
+    /// foreground and [`GaError::BadConfig`] when `stride == 0`.
+    pub fn rebuild(
+        &mut self,
+        silhouette: &Mask,
+        dims: &BodyDims,
+        camera: &Camera,
+        stride: usize,
+    ) -> Result<(), GaError> {
+        if stride == 0 {
+            return Err(GaError::BadConfig {
+                what: "stride must be positive",
+            });
+        }
+        let total_points = silhouette.count();
+        if total_points == 0 {
+            return Err(GaError::EmptySilhouette);
+        }
+        self.frame.rebuild_from_mask(silhouette, stride);
+        for s in ALL_STICKS {
+            self.thickness_px[s.index()] = camera.length_to_pixels(dims.thickness(s)).max(1e-6);
+        }
+        self.total_points = total_points;
+        self.camera = *camera;
+        self.distance_field.rebuild(silhouette);
+        Ok(())
+    }
+
     /// Number of points actually evaluated per call.
     pub fn sample_count(&self) -> usize {
         self.frame.len()

@@ -49,7 +49,8 @@ pub use engine::{evolve, GaConfig, GaRun, Problem};
 pub use error::GaError;
 pub use fitness::{BatchScratch, Eq3Kernel, PruneStats, SilhouetteFitness};
 pub use particle::{ParticleFilter, ParticleFilterConfig, ParticleRun};
-pub use pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig};
+pub use pose_problem::{InitStrategy, PoseProblem, PoseProblemConfig, ProblemScratch};
 pub use tracker::{
-    RecoveryAction, RecoveryPolicy, TemporalTracker, TrackResult, TrackerConfig, TrackerStream,
+    RecoveryAction, RecoveryPolicy, TemporalTracker, TrackResult, TrackScratch, TrackerConfig,
+    TrackerStream,
 };

@@ -208,6 +208,17 @@ impl FitnessMemo {
         self.map.lock().expect("memo poisoned").len()
     }
 
+    /// Empties both memo tables — keeping their (large) hash-table
+    /// storage — and zeroes the hit/miss counters. Called when a memo
+    /// is recycled for a different silhouette: stale values can never
+    /// leak because every key is gone.
+    pub fn clear(&self) {
+        self.map.lock().expect("memo poisoned").clear();
+        self.validity.lock().expect("memo poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
     /// Whether the memo has cached anything yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -279,6 +290,19 @@ impl Clone for ScratchPool {
     }
 }
 
+/// A problem's recyclable heavy state: the fitness/validity memo maps
+/// (hash tables that grow to thousands of entries over a GA run) and
+/// the batched-evaluation scratch pool. Reclaim it from a finished
+/// problem with [`PoseProblem::reclaim`] and thread it into the next
+/// frame's problem with [`PoseProblem::with_fitness_scratch`]; the memo
+/// is cleared (not dropped) on adoption, so steady-state tracking
+/// re-uses the table storage without any cross-silhouette leakage.
+#[derive(Debug, Default)]
+pub struct ProblemScratch {
+    memo: FitnessMemo,
+    pool: ScratchPool,
+}
+
 /// The pose-estimation problem for one silhouette.
 #[derive(Debug, Clone)]
 pub struct PoseProblem {
@@ -344,6 +368,35 @@ impl PoseProblem {
         init: InitStrategy,
         config: PoseProblemConfig,
     ) -> Result<Self, GaError> {
+        Self::with_fitness_scratch(
+            silhouette,
+            fitness,
+            dims,
+            camera,
+            init,
+            config,
+            ProblemScratch::default(),
+        )
+    }
+
+    /// Like [`PoseProblem::with_fitness`] but adopting recycled memo
+    /// tables and scratch buffers from a previous problem (see
+    /// [`ProblemScratch`]). The memo is cleared on entry, so results
+    /// are identical to a fresh problem; only allocations differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GaError::EmptySilhouette`] for a blank mask and
+    /// [`GaError::BadConfig`] for out-of-range operator parameters.
+    pub fn with_fitness_scratch(
+        silhouette: &Mask,
+        fitness: Arc<SilhouetteFitness>,
+        dims: &BodyDims,
+        camera: &Camera,
+        init: InitStrategy,
+        config: PoseProblemConfig,
+        scratch: ProblemScratch,
+    ) -> Result<Self, GaError> {
         if !(0.0..=1.0).contains(&config.crossover_rate) {
             return Err(GaError::BadConfig {
                 what: "crossover_rate must be in [0, 1]",
@@ -372,6 +425,7 @@ impl PoseProblem {
         for s in slj_motion::model::ALL_STICKS {
             thickness_px[s.index()] = camera.length_to_pixels(dims.thickness(s)).max(1.0);
         }
+        scratch.memo.clear();
         Ok(PoseProblem {
             fitness,
             thickness_px,
@@ -379,11 +433,22 @@ impl PoseProblem {
             camera: *camera,
             init,
             config,
-            memo: FitnessMemo::default(),
-            scratch: ScratchPool::default(),
+            memo: scratch.memo,
+            scratch: scratch.pool,
             centroid_world: camera.image_to_world(centroid_px),
             bbox_world: (tl.x, tl.y, br.x, br.y),
         })
+    }
+
+    /// Dismantles the problem into its recyclable heavy state for the
+    /// next frame's [`PoseProblem::with_fitness_scratch`]. Read any
+    /// memo statistics you need (e.g. `memo().len()`) *before* calling
+    /// this.
+    pub fn reclaim(self) -> ProblemScratch {
+        ProblemScratch {
+            memo: self.memo,
+            pool: self.scratch,
+        }
     }
 
     /// The silhouette centroid, world metres.

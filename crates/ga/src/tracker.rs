@@ -390,6 +390,7 @@ impl TemporalTracker {
             previous: first_pose,
             penultimate: None,
             next_frame: 0,
+            scratch: TrackScratch::default(),
         }
     }
 
@@ -397,6 +398,7 @@ impl TemporalTracker {
     /// `penultimate` is the accepted estimate before `previous` (absent
     /// until two frames have been accepted) — the second anchor of the
     /// kinematic-interpolation rung.
+    #[allow(clippy::too_many_arguments)]
     fn estimate_frame(
         &self,
         k: usize,
@@ -405,6 +407,7 @@ impl TemporalTracker {
         penultimate: Option<Pose>,
         dims: &BodyDims,
         camera: &Camera,
+        scratch: &mut TrackScratch,
     ) -> Result<TrackResult, GaError> {
         let policy = self.config.recovery;
         let widen = policy.widen_factor.max(1.0);
@@ -451,11 +454,25 @@ impl TemporalTracker {
         // One Eq. 3 evaluator serves every rung: the silhouette's point
         // list and distance field don't depend on the init strategy, so
         // escalation costs a config re-validation, not a re-preparation.
+        // A spare evaluator reclaimed from the previous frame is rebuilt
+        // in place (value-identical to a fresh build) so steady-state
+        // tracking re-uses the point planes and distance field storage.
         let shared_fitness: Option<Arc<SilhouetteFitness>> =
-            match SilhouetteFitness::new(sil, dims, camera, self.config.problem.stride) {
-                Ok(f) => Some(Arc::new(f)),
-                Err(GaError::EmptySilhouette) => None,
-                Err(e) => return Err(e),
+            if let Some(mut f) = scratch.fitness.take() {
+                match f.rebuild(sil, dims, camera, self.config.problem.stride) {
+                    Ok(()) => Some(Arc::new(f)),
+                    Err(GaError::EmptySilhouette) => {
+                        scratch.fitness = Some(f);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                match SilhouetteFitness::new(sil, dims, camera, self.config.problem.stride) {
+                    Ok(f) => Some(Arc::new(f)),
+                    Err(GaError::EmptySilhouette) => None,
+                    Err(e) => return Err(e),
+                }
             };
 
         let ga = self.effective_ga();
@@ -467,13 +484,19 @@ impl TemporalTracker {
             let Some(fitness) = shared_fitness.as_ref() else {
                 break; // blank silhouette: fall through to carry-over
             };
-            let problem = match PoseProblem::with_fitness(
+            if scratch.problems.len() <= rung_index {
+                scratch
+                    .problems
+                    .resize_with(rung_index + 1, Default::default);
+            }
+            let problem = match PoseProblem::with_fitness_scratch(
                 sil,
                 Arc::clone(fitness),
                 dims,
                 camera,
                 init,
                 self.config.problem,
+                std::mem::take(&mut scratch.problems[rung_index]),
             ) {
                 Ok(p) => p,
                 Err(GaError::EmptySilhouette) | Err(GaError::InitFailed { .. }) => continue,
@@ -495,8 +518,10 @@ impl TemporalTracker {
             spent_evaluations += run.evaluations;
             rungs_attempted += 1;
             // The memo is per-rung, so its final size is exactly this
-            // rung's distinct-genome count.
+            // rung's distinct-genome count (read before the problem's
+            // heavy state goes back to the per-rung scratch slot).
             unique_genomes += problem.memo().len();
+            scratch.problems[rung_index] = problem.reclaim();
             let candidate = Self::to_result(run, action, spent_evaluations);
             let acceptable = policy.accepts(candidate.fitness);
             if best.as_ref().is_none_or(|b| candidate.fitness < b.fitness) {
@@ -507,7 +532,7 @@ impl TemporalTracker {
             }
         }
 
-        Ok(match best {
+        let result = match best {
             Some(mut b) => {
                 // All rungs' work is billed to the frame, whichever won.
                 b.evaluations = spent_evaluations;
@@ -568,7 +593,15 @@ impl TemporalTracker {
                     bb_pruned: 0,
                 }
             }
-        })
+        };
+        // Every per-rung problem has been dismantled, so this frame's
+        // Arc is unique again: reclaim the evaluator for the next frame.
+        if let Some(f) = shared_fitness {
+            if let Ok(f) = Arc::try_unwrap(f) {
+                scratch.fitness = Some(f);
+            }
+        }
+        Ok(result)
     }
 
     fn to_result(run: GaRun<Pose>, action: RecoveryAction, evaluations: usize) -> TrackResult {
@@ -589,6 +622,26 @@ impl TemporalTracker {
             bb_candidates: 0,
             bb_pruned: 0,
         }
+    }
+}
+
+/// A tracker stream's recyclable heavy state: the spare Eq. 3 evaluator
+/// (point planes + distance field, rebuilt in place per frame) and each
+/// recovery rung's [`ProblemScratch`] (memo tables + batch buffers).
+/// Purely an allocation cache — results never depend on its contents —
+/// so cloning a stream starts the clone with a fresh scratch.
+#[derive(Debug, Default)]
+pub struct TrackScratch {
+    /// Evaluator reclaimed via `Arc::try_unwrap` once a frame's rung
+    /// problems have released their handles.
+    fitness: Option<SilhouetteFitness>,
+    /// Per-rung problem state, indexed by rung position in the ladder.
+    problems: Vec<crate::pose_problem::ProblemScratch>,
+}
+
+impl Clone for TrackScratch {
+    fn clone(&self) -> Self {
+        TrackScratch::default()
     }
 }
 
@@ -614,6 +667,8 @@ pub struct TrackerStream {
     /// have been accepted.
     penultimate: Option<Pose>,
     next_frame: usize,
+    /// Recyclable per-frame heavy state (see [`TrackScratch`]).
+    scratch: TrackScratch,
 }
 
 impl TrackerStream {
@@ -631,19 +686,36 @@ impl TrackerStream {
         let k = self.next_frame;
         let result = if k == 0 {
             // Frame 0: the provided (hand-drawn) pose, evaluated for
-            // the record.
-            let (fitness, bb) = match SilhouetteFitness::new(
-                sil,
-                &self.dims,
-                &self.camera,
-                self.tracker.config.problem.stride,
-            ) {
-                Ok(f) => (
-                    f.evaluate(&self.first_pose, &self.dims),
-                    f.prune_stats(&self.first_pose, &self.dims),
-                ),
-                Err(GaError::EmptySilhouette) => (f64::INFINITY, PruneStats::default()),
-                Err(e) => return Err(e),
+            // the record. A recycled evaluator (a stream re-seeded via
+            // `with_scratch`) is rebuilt in place instead of allocated.
+            let stride = self.tracker.config.problem.stride;
+            let evaluator = match self.scratch.fitness.take() {
+                Some(mut f) => match f.rebuild(sil, &self.dims, &self.camera, stride) {
+                    Ok(()) => Some(f),
+                    Err(GaError::EmptySilhouette) => {
+                        self.scratch.fitness = Some(f);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                },
+                None => match SilhouetteFitness::new(sil, &self.dims, &self.camera, stride) {
+                    Ok(f) => Some(f),
+                    Err(GaError::EmptySilhouette) => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            let (fitness, bb) = match evaluator {
+                Some(f) => {
+                    let record = (
+                        f.evaluate(&self.first_pose, &self.dims),
+                        f.prune_stats(&self.first_pose, &self.dims),
+                    );
+                    // Seed the scratch so frame 1 starts the rebuild
+                    // cycle with this frame's buffers.
+                    self.scratch.fitness = Some(f);
+                    record
+                }
+                None => (f64::INFINITY, PruneStats::default()),
             };
             TrackResult {
                 pose: self.first_pose,
@@ -668,6 +740,7 @@ impl TrackerStream {
                 self.penultimate,
                 &self.dims,
                 &self.camera,
+                &mut self.scratch,
             )?
         };
         self.next_frame = k + 1;
@@ -693,6 +766,21 @@ impl TrackerStream {
     /// non-carried estimate (the first pose before any push).
     pub fn previous_pose(&self) -> &Pose {
         &self.previous
+    }
+
+    /// Installs recycled scratch (typically a retired stream's
+    /// [`reclaim_scratch`](TrackerStream::reclaim_scratch)). Purely an
+    /// allocation cache: every estimate is byte-identical with or
+    /// without it.
+    pub fn with_scratch(mut self, scratch: TrackScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Consumes the stream, handing its recyclable heavy state to the
+    /// next clip's tracker.
+    pub fn reclaim_scratch(self) -> TrackScratch {
+        self.scratch
     }
 }
 

@@ -27,6 +27,19 @@ pub const CHAMFER_SCALE: u32 = 3;
 /// Sentinel for "no foreground anywhere" (blank source mask).
 const INF: u32 = u32::MAX / 2;
 
+/// Reusable backing storage for [`DistanceField::build_into`].
+///
+/// The transform allocates one `u32` per pixel; rebuilding a field for
+/// every frame of every session makes that a steady-state allocation.
+/// A scratch handed back via [`DistanceField::recycle`] (or threaded
+/// through `build_into` directly) keeps one buffer alive across frames
+/// — and across pooled serve sessions — so steady-state rebuilds are
+/// allocation-free once the capacity has been reached.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceScratch {
+    data: Vec<u32>,
+}
+
 impl DistanceField {
     /// Computes the chamfer distance transform of `mask`: distance from
     /// each pixel to the nearest **foreground** pixel.
@@ -34,8 +47,20 @@ impl DistanceField {
     /// A blank mask yields a field that reports [`f64::INFINITY`]
     /// everywhere.
     pub fn new(mask: &Mask) -> Self {
+        Self::build_into(mask, &mut DistanceScratch::default())
+    }
+
+    /// Computes the transform reusing the scratch's backing buffer.
+    ///
+    /// Value-identical to [`DistanceField::new`] (property-tested): the
+    /// scratch only donates capacity, every element is rewritten before
+    /// it is read. Return the field's storage with
+    /// [`DistanceField::recycle`] to complete the reuse cycle.
+    pub fn build_into(mask: &Mask, scratch: &mut DistanceScratch) -> Self {
         let (w, h) = mask.dims();
-        let mut d = vec![INF; w * h];
+        let mut d = std::mem::take(&mut scratch.data);
+        d.clear();
+        d.resize(w * h, INF);
         for (x, y) in mask.foreground_pixels() {
             d[y * w + x] = 0;
         }
@@ -93,6 +118,22 @@ impl DistanceField {
             height: h,
             data: d,
         }
+    }
+
+    /// Rebuilds this field in place for a new mask, reusing the
+    /// existing storage. Equivalent to `*self = DistanceField::new(mask)`
+    /// without the allocation.
+    pub fn rebuild(&mut self, mask: &Mask) {
+        let mut scratch = DistanceScratch {
+            data: std::mem::take(&mut self.data),
+        };
+        *self = DistanceField::build_into(mask, &mut scratch);
+    }
+
+    /// Returns the field's backing buffer to a scratch for reuse by a
+    /// later [`DistanceField::build_into`].
+    pub fn recycle(self, scratch: &mut DistanceScratch) {
+        scratch.data = self.data;
     }
 
     /// Field width in pixels.
@@ -238,6 +279,57 @@ mod tests {
         let mut m = Mask::new(3, 3);
         m.set(1, 1, true);
         DistanceField::new(&m).distance(3, 0);
+    }
+
+    #[test]
+    fn build_into_reuses_capacity_and_recycle_round_trips() {
+        let mut m = Mask::new(16, 12);
+        m.set(5, 5, true);
+        let mut scratch = DistanceScratch::default();
+        let first = DistanceField::build_into(&m, &mut scratch);
+        first.recycle(&mut scratch);
+        let ptr = scratch.data.as_ptr();
+        // Same-or-smaller rebuilds reuse the exact buffer.
+        let second = DistanceField::build_into(&m, &mut scratch);
+        assert_eq!(second.data.as_ptr(), ptr);
+        let reference = DistanceField::new(&m);
+        assert_eq!(second.data, reference.data);
+        // In-place rebuild for a different mask matches a fresh build.
+        let mut third = second;
+        let mut m2 = Mask::new(16, 12);
+        m2.set(1, 9, true);
+        m2.set(14, 2, true);
+        third.rebuild(&m2);
+        assert_eq!(third.data, DistanceField::new(&m2).data);
+    }
+
+    proptest::proptest! {
+        /// The scratch-reusing path is value-identical to the allocating
+        /// one, across a sequence of differently-sized masks rebuilt
+        /// into one shared scratch (the cross-frame / cross-session
+        /// reuse pattern).
+        #[test]
+        fn build_into_matches_new_for_any_mask_sequence(
+            clips in proptest::collection::vec(
+                (1usize..20, 1usize..20, proptest::collection::vec(proptest::prelude::any::<bool>(), 0..400)),
+                1..8,
+            )
+        ) {
+            let mut scratch = DistanceScratch::default();
+            for (w, h, bits) in clips {
+                let mut m = Mask::new(w, h);
+                for (k, set) in bits.iter().enumerate().take(w * h) {
+                    if *set {
+                        m.set(k % w, k / w, true);
+                    }
+                }
+                let reused = DistanceField::build_into(&m, &mut scratch);
+                let fresh = DistanceField::new(&m);
+                proptest::prop_assert_eq!(&reused.data, &fresh.data);
+                proptest::prop_assert_eq!((reused.width, reused.height), (fresh.width, fresh.height));
+                reused.recycle(&mut scratch);
+            }
+        }
     }
 
     #[test]

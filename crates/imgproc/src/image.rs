@@ -246,6 +246,17 @@ impl<P: Copy> ImageBuffer<P> {
         self.data.fill(value);
     }
 
+    /// Makes this image a copy of `src`, reusing the existing pixel
+    /// storage. Value-identical to `*self = src.clone()`, but does not
+    /// allocate when the current capacity covers `src` — even when the
+    /// two images have different dimensions.
+    pub fn copy_from(&mut self, src: &ImageBuffer<P>) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Extracts a rectangular sub-image. The rectangle is clipped to the
     /// image bounds; an empty intersection yields a `0x0` image.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> ImageBuffer<P> {
@@ -387,6 +398,21 @@ mod tests {
         let mut img = ImageBuffer::from_fn(3, 3, |x, _| Gray(x as u8));
         img.fill(Gray(7));
         assert!(img.as_slice().iter().all(|&p| p == Gray(7)));
+    }
+
+    #[test]
+    fn copy_from_matches_clone_and_reuses_capacity() {
+        let src = ImageBuffer::from_fn(4, 3, |x, y| Gray((4 * y + x) as u8));
+        let mut dst = ImageBuffer::filled(5, 5, Gray(0));
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr, "capacity was not reused");
+        // Shrinking and re-growing within capacity also stays in place.
+        let small = ImageBuffer::filled(2, 2, Gray(9));
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
+        assert_eq!(dst.as_slice().as_ptr(), ptr);
     }
 
     #[test]

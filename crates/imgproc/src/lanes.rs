@@ -68,43 +68,65 @@ impl PreparedFrame {
 
     /// Prepares an explicit point sequence (kept in iteration order).
     pub fn from_points(points: impl IntoIterator<Item = Point2>) -> PreparedFrame {
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
+        let mut frame = PreparedFrame {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            bounds: Vec::new(),
+            len: 0,
+        };
+        frame.rebuild_from_points(points);
+        frame
+    }
+
+    /// Rebuilds this frame in place from `mask`, reusing the existing
+    /// plane and bounds storage. Value-identical to replacing it with
+    /// [`PreparedFrame::from_mask`]; with warmed buffers of sufficient
+    /// capacity the rebuild performs no heap allocation.
+    pub fn rebuild_from_mask(&mut self, mask: &Mask, stride: usize) {
+        self.rebuild_from_points(
+            mask.foreground_pixels()
+                .step_by(stride)
+                .map(|(x, y)| Point2::new(x as f64, y as f64)),
+        );
+    }
+
+    /// In-place twin of [`PreparedFrame::from_points`].
+    pub fn rebuild_from_points(&mut self, points: impl IntoIterator<Item = Point2>) {
+        self.xs.clear();
+        self.ys.clear();
         for p in points {
-            xs.push(p.x);
-            ys.push(p.y);
+            self.xs.push(p.x);
+            self.ys.push(p.y);
         }
-        let len = xs.len();
+        let len = self.xs.len();
+        self.len = len;
         if len > 0 {
             let pad = len.next_multiple_of(LANES);
-            xs.resize(pad, xs[len - 1]);
-            ys.resize(pad, ys[len - 1]);
+            let (last_x, last_y) = (self.xs[len - 1], self.ys[len - 1]);
+            self.xs.resize(pad, last_x);
+            self.ys.resize(pad, last_y);
         }
-        let bounds = xs
-            .chunks_exact(LANES)
-            .zip(ys.chunks_exact(LANES))
-            .map(|(cx, cy)| {
-                let mut b = ChunkBounds {
-                    min_x: cx[0],
-                    min_y: cy[0],
-                    max_x: cx[0],
-                    max_y: cy[0],
-                };
-                for l in 1..LANES {
-                    b.min_x = b.min_x.min(cx[l]);
-                    b.min_y = b.min_y.min(cy[l]);
-                    b.max_x = b.max_x.max(cx[l]);
-                    b.max_y = b.max_y.max(cy[l]);
-                }
-                b
-            })
-            .collect();
-        PreparedFrame {
-            xs,
-            ys,
-            bounds,
-            len,
-        }
+        let PreparedFrame { xs, ys, bounds, .. } = self;
+        bounds.clear();
+        bounds.extend(
+            xs.chunks_exact(LANES)
+                .zip(ys.chunks_exact(LANES))
+                .map(|(cx, cy)| {
+                    let mut b = ChunkBounds {
+                        min_x: cx[0],
+                        min_y: cy[0],
+                        max_x: cx[0],
+                        max_y: cy[0],
+                    };
+                    for l in 1..LANES {
+                        b.min_x = b.min_x.min(cx[l]);
+                        b.min_y = b.min_y.min(cy[l]);
+                        b.max_x = b.max_x.max(cx[l]);
+                        b.max_y = b.max_y.max(cy[l]);
+                    }
+                    b
+                }),
+        );
     }
 
     /// Number of real points.
@@ -199,6 +221,24 @@ mod tests {
         let (xs, ys) = f.chunk(0);
         for l in 3..LANES {
             assert_eq!((xs[l], ys[l]), (5.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_across_reuse() {
+        // One frame rebuilt for a sequence of differently-shaped masks
+        // must equal a fresh build every time (the cross-frame reuse
+        // pattern), including the shrink-to-empty and regrow cases.
+        let mut reused = PreparedFrame::from_mask(&Mask::new(4, 4), 1);
+        for (pixels, stride) in [
+            (vec![(3usize, 0usize), (1, 2), (5, 2), (0, 7), (7, 7)], 1),
+            (vec![(0, 0)], 1),
+            (vec![], 1),
+            ((0..30).map(|i| (i % 9, i / 9)).collect::<Vec<_>>(), 2),
+        ] {
+            let m = mask_with(&pixels);
+            reused.rebuild_from_mask(&m, stride);
+            assert_eq!(reused, PreparedFrame::from_mask(&m, stride));
         }
     }
 

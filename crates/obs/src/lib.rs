@@ -412,6 +412,24 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ — merging histograms of
+    /// different shapes is a schema bug, not data.
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "absorbing histograms with different bounds"
+        );
+        for (count, more) in self.counts.iter_mut().zip(&other.counts) {
+            *count += more;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, value: u64) {
         let bucket = self
@@ -494,6 +512,26 @@ impl MetricsRegistry {
     /// All counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// (same bounds) merge bucket-wise. `slj-serve` uses this to roll a
+    /// retired session's counters into a service-lifetime aggregate, so
+    /// recycling session slots never loses observability data.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.inc(name, value);
+        }
+        for (&name, histogram) in &other.histograms {
+            match self.histograms.entry(name) {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().absorb(histogram);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(histogram.clone());
+                }
+            }
+        }
     }
 
     /// Renders the registry as a deterministic text block (names in
@@ -711,6 +749,27 @@ mod tests {
         assert_eq!(buckets, vec![(Some(1), 2), (Some(10), 1), (None, 2)]);
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 117);
+    }
+
+    #[test]
+    fn registry_absorb_folds_counters_and_histograms() {
+        let mut a = MetricsRegistry::default();
+        a.inc("serve.frames", 3);
+        a.observe("h", &[1, 10], 5);
+        let mut b = MetricsRegistry::default();
+        b.inc("serve.frames", 4);
+        b.inc("serve.sheds", 1);
+        b.observe("h", &[1, 10], 50);
+        b.observe("other", &[2], 1);
+        a.absorb(&b);
+        assert_eq!(a.counter("serve.frames"), 7);
+        assert_eq!(a.counter("serve.sheds"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 55);
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(1), 0), (Some(10), 1), (None, 1)]);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
     }
 
     #[test]

@@ -18,8 +18,10 @@ use std::fmt;
 use std::str::FromStr;
 
 pub mod backoff;
+pub mod pool;
 
 pub use backoff::{Backoff, BackoffConfig};
+pub use pool::WorkerPool;
 
 /// The number of hardware threads actually available to this process,
 /// via [`std::thread::available_parallelism`] (1 when the runtime

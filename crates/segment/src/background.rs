@@ -122,6 +122,11 @@ pub struct BackgroundScratch {
     g: Vec<u8>,
     /// Blue-channel observations.
     b: Vec<u8>,
+    /// Per-pair stability verdicts from pass 1, one bit per pixel
+    /// (`pairs × ceil(n/64)` words): pass 2 replays these instead of
+    /// re-evaluating the L1 distance of every pixel pair, and all-zero
+    /// words (64 unstable pixels) are skipped wholesale.
+    stable: Vec<u64>,
 }
 
 /// Estimates the static background of a fixed-camera clip.
@@ -169,10 +174,13 @@ impl BackgroundEstimator {
     /// counts stable pairs per pixel, prefix-sums the counts into
     /// offsets, packs each channel's stable observations into one flat
     /// plane (replacing the per-pixel `Vec<Rgb>` allocation storm), and
-    /// takes each pixel's channel medians by sorting its plane slices
-    /// in place — the median of a multiset does not depend on
+    /// takes each pixel's channel medians by in-place selection on its
+    /// plane slices — the median of a multiset does not depend on
     /// observation order, so the result matches the old per-pixel
-    /// collection bit for bit.
+    /// collection bit for bit. Pass 1's stability verdicts are kept in
+    /// a bitmask so pass 2 replays them (skipping all-unstable words)
+    /// instead of re-evaluating distances, and a clip where nothing
+    /// stabilises skips the plane passes entirely.
     ///
     /// # Errors
     ///
@@ -236,14 +244,25 @@ impl BackgroundEstimator {
                 }
             }
             UpdateMode::MedianOfStable => {
-                // Pass 1: count stable pairs per pixel.
+                // Pass 1: count stable pairs per pixel, recording every
+                // verdict in a per-pair bitmask so pass 2 never
+                // re-evaluates an L1 distance.
+                let pairs = frames.len() - 1;
+                let words_per_pair = n.div_ceil(64);
                 scratch.cursor.clear();
                 scratch.cursor.resize(n, 0);
-                for k in 0..frames.len() - 1 {
+                scratch.stable.clear();
+                scratch.stable.resize(pairs * words_per_pair, 0);
+                for k in 0..pairs {
                     let a = frames[k].as_slice();
                     let b = frames[k + 1].as_slice();
-                    for ((pa, pb), count) in a.iter().zip(b).zip(scratch.cursor.iter_mut()) {
-                        *count += (pa.l1_distance(*pb) <= threshold) as u32;
+                    let bits = &mut scratch.stable[k * words_per_pair..(k + 1) * words_per_pair];
+                    for (i, ((pa, pb), count)) in
+                        a.iter().zip(b).zip(scratch.cursor.iter_mut()).enumerate()
+                    {
+                        let stable = (pa.l1_distance(*pb) <= threshold) as u32;
+                        *count += stable;
+                        bits[i / 64] |= u64::from(stable) << (i % 64);
                     }
                 }
                 // Exclusive prefix sum: counts become start offsets.
@@ -254,25 +273,38 @@ impl BackgroundEstimator {
                     *c = start;
                 }
                 let total = acc as usize;
+                if total == 0 {
+                    // Nothing ever stabilised: every pixel falls back to
+                    // the first frame; the plane passes have no work.
+                    out.image
+                        .as_mut_slice()
+                        .copy_from_slice(frames[0].as_slice());
+                    return Ok(());
+                }
                 scratch.r.clear();
                 scratch.r.resize(total, 0);
                 scratch.g.clear();
                 scratch.g.resize(total, 0);
                 scratch.b.clear();
                 scratch.b.resize(total, 0);
-                // Pass 2: pack each channel's stable observations into
-                // its flat plane, in pair order; cursors land on each
-                // pixel's end offset.
-                for k in 0..frames.len() - 1 {
-                    let a = frames[k].as_slice();
-                    let b = frames[k + 1].as_slice();
-                    for ((pa, pb), cursor) in a.iter().zip(b).zip(scratch.cursor.iter_mut()) {
-                        if pa.l1_distance(*pb) <= threshold {
-                            let o = *cursor as usize;
-                            scratch.r[o] = pa.r;
-                            scratch.g[o] = pa.g;
-                            scratch.b[o] = pa.b;
-                            *cursor += 1;
+                // Pass 2: replay the pass-1 verdicts, packing each
+                // channel's stable observations into its flat plane in
+                // pair order; cursors land on each pixel's end offset.
+                // All-zero words skip 64 pixels at a time.
+                for (k, frame) in frames.iter().take(pairs).enumerate() {
+                    let a = frame.as_slice();
+                    let words = &scratch.stable[k * words_per_pair..(k + 1) * words_per_pair];
+                    for (wi, &word) in words.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let i = wi * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let o = scratch.cursor[i] as usize;
+                            let p = a[i];
+                            scratch.r[o] = p.r;
+                            scratch.g[o] = p.g;
+                            scratch.b[o] = p.b;
+                            scratch.cursor[i] = o as u32 + 1;
                         }
                     }
                 }
@@ -302,13 +334,14 @@ impl BackgroundEstimator {
     }
 }
 
-/// Upper median of a non-empty channel slice, sorted in place — the
-/// same `sort_unstable` + `v[len / 2]` rule the per-pixel collection
-/// used, so results are bit-identical.
+/// Upper median of a non-empty channel slice via in-place selection.
+/// The `len / 2`-th order statistic of a multiset is a unique value, so
+/// this matches the historical `sort_unstable` + `v[len / 2]` rule bit
+/// for bit while doing O(len) work instead of O(len log len).
 fn plane_median(v: &mut [u8]) -> u8 {
     debug_assert!(!v.is_empty());
-    v.sort_unstable();
-    v[v.len() / 2]
+    let mid = v.len() / 2;
+    *v.select_nth_unstable(mid).1
 }
 
 #[cfg(test)]
@@ -539,6 +572,76 @@ mod tests {
                 assert_eq!(out.support.as_slice(), fresh.support.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn median_path_matches_naive_per_pixel_reference() {
+        // The packed-plane + bitmask-replay + selection median must equal
+        // the obvious formulation: per pixel, collect every stable
+        // observation into a Vec, sort, take v[len/2].
+        let mut state = 0x5EED_u32;
+        let mut rng = move || {
+            state = state.wrapping_mul(747_796_405).wrapping_add(2_891_336_453);
+            (state >> 24) as u8
+        };
+        let (w, h, frames_n) = (13, 9, 7);
+        let frames: Vec<Frame> = (0..frames_n)
+            .map(|_| {
+                ImageBuffer::from_fn(w, h, |_, _| Rgb::new(rng() % 40, rng() % 40, rng() % 40))
+            })
+            .collect();
+        let video = Video::new(frames, 10.0);
+        let threshold = 30u32;
+        let est = BackgroundEstimator::new(BackgroundConfig {
+            diff_threshold: threshold,
+            mode: UpdateMode::MedianOfStable,
+            warmup: None,
+        });
+        let bg = est.estimate(&video).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                let mut obs: Vec<Rgb> = Vec::new();
+                for k in 0..frames_n - 1 {
+                    let pa = video.frames()[k].get(x, y);
+                    let pb = video.frames()[k + 1].get(x, y);
+                    if pa.l1_distance(pb) <= threshold {
+                        obs.push(pa);
+                    }
+                }
+                let expected = if obs.is_empty() {
+                    video.frames()[0].get(x, y)
+                } else {
+                    let channel = |f: fn(&Rgb) -> u8| {
+                        let mut v: Vec<u8> = obs.iter().map(&f).collect();
+                        v.sort_unstable();
+                        v[v.len() / 2]
+                    };
+                    Rgb::new(channel(|p| p.r), channel(|p| p.g), channel(|p| p.b))
+                };
+                assert_eq!(bg.image.get(x, y), expected, "pixel ({x}, {y})");
+                assert_eq!(bg.support.get(x, y) as usize, obs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_stable_skips_plane_passes_and_falls_back_to_first_frame() {
+        // Every consecutive pair differs by more than the threshold:
+        // total == 0 takes the early-out, which must still equal the
+        // naive fallback (first frame everywhere, zero support).
+        let frames: Vec<Frame> = (0..5)
+            .map(|k| ImageBuffer::filled(6, 4, Rgb::splat(40 * k as u8)))
+            .collect();
+        let video = Video::new(frames, 10.0);
+        let est = BackgroundEstimator::new(BackgroundConfig {
+            diff_threshold: 10,
+            mode: UpdateMode::MedianOfStable,
+            warmup: None,
+        });
+        let bg = est.estimate(&video).unwrap();
+        assert_eq!(bg.image.as_slice(), video.frames()[0].as_slice());
+        assert!(bg.support.as_slice().iter().all(|&s| s == 0));
+        assert_eq!(bg.coverage(), 0.0);
     }
 
     #[test]

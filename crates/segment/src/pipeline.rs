@@ -52,6 +52,17 @@ impl Presmooth {
             Presmooth::Median => slj_imgproc::filter::median_filter(frame),
         }
     }
+
+    /// As [`Presmooth::apply`], writing into a reused output frame.
+    /// Value-identical; with `None` (the default) and a warmed `out`
+    /// this performs no heap allocation, which keeps the streaming
+    /// per-frame path alloc-free.
+    pub fn apply_into(&self, frame: &slj_video::Frame, out: &mut slj_video::Frame) {
+        match self {
+            Presmooth::None => out.copy_from(frame),
+            smoothing => *out = smoothing.apply(frame),
+        }
+    }
 }
 
 /// Configuration of the full pipeline.

@@ -23,7 +23,7 @@
 //! and flags each frame healthy or not against a [`QualityConfig`].
 
 use serde::{Deserialize, Serialize};
-use slj_imgproc::components::label_components;
+use slj_imgproc::components::Labeling;
 use slj_imgproc::mask::Mask;
 use slj_imgproc::morph::Connectivity;
 
@@ -136,11 +136,25 @@ impl FrameQuality {
     }
 
     /// Measures one mask against a reference area and thresholds.
+    ///
+    /// Allocating wrapper over [`FrameQuality::measure_with`].
     pub fn measure(mask: &Mask, reference_area: usize, config: &QualityConfig) -> FrameQuality {
+        Self::measure_with(mask, reference_area, config, &mut Labeling::empty())
+    }
+
+    /// Like [`FrameQuality::measure`], but labels connected components
+    /// into the caller's [`Labeling`] so a per-frame caller (the
+    /// streaming analyzer) does no full-frame allocation.
+    pub fn measure_with(
+        mask: &Mask,
+        reference_area: usize,
+        config: &QualityConfig,
+        labeling: &mut Labeling,
+    ) -> FrameQuality {
         let area_px = mask.count();
         let (w, h) = mask.dims();
 
-        let labeling = label_components(mask, Connectivity::Eight);
+        labeling.relabel(mask, Connectivity::Eight);
         let largest = labeling.largest().map_or(0, |c| c.area);
         let fragmentation = if area_px == 0 {
             1.0
@@ -232,12 +246,13 @@ fn median_area(mut areas: Vec<usize>) -> usize {
 /// Assesses every final mask of a clip against the thresholds. Returns
 /// one [`FrameQuality`] per frame, in frame order.
 pub fn assess_masks(masks: &[&Mask], config: &QualityConfig) -> Vec<FrameQuality> {
+    let mut labeling = Labeling::empty();
     match config.reference {
         ReferenceMode::ClipMedian => {
             let reference = reference_area(masks);
             masks
                 .iter()
-                .map(|m| FrameQuality::measure(m, reference, config))
+                .map(|m| FrameQuality::measure_with(m, reference, config, &mut labeling))
                 .collect()
         }
         ReferenceMode::Causal => {
@@ -245,7 +260,14 @@ pub fn assess_masks(masks: &[&Mask], config: &QualityConfig) -> Vec<FrameQuality
             masks
                 .iter()
                 .enumerate()
-                .map(|(k, m)| FrameQuality::measure(m, causal_reference_area(&areas, k), config))
+                .map(|(k, m)| {
+                    FrameQuality::measure_with(
+                        m,
+                        causal_reference_area(&areas, k),
+                        config,
+                        &mut labeling,
+                    )
+                })
                 .collect()
         }
     }

@@ -88,7 +88,7 @@ impl PreparedBackground {
         {
             return false;
         }
-        self.frame = background.clone();
+        self.frame.copy_from(background);
         self.hsv.clear();
         self.hsv
             .extend(background.as_slice().iter().map(|p| p.to_hsv()));
@@ -202,7 +202,18 @@ impl FrameSegmenter {
     /// background. The arena is pre-reserved for the background's
     /// dimensions.
     pub fn new(config: &PipelineConfig, background: Arc<PreparedBackground>) -> Self {
-        let mut arena = FrameArena::default();
+        Self::new_with_arena(config, background, FrameArena::default())
+    }
+
+    /// As [`FrameSegmenter::new`], but adopting an existing (typically
+    /// already-warmed) arena instead of allocating a fresh one — the
+    /// reuse half of [`FrameSegmenter::into_parts`]. Scratch contents
+    /// never influence results, so this is a pure allocation saving.
+    pub fn new_with_arena(
+        config: &PipelineConfig,
+        background: Arc<PreparedBackground>,
+        mut arena: FrameArena,
+    ) -> Self {
         let (w, h) = background.frame().dims();
         arena.reserve_for(w, h);
         FrameSegmenter {
@@ -211,6 +222,14 @@ impl FrameSegmenter {
             background,
             arena,
         }
+    }
+
+    /// Dismantles the segmenter into its heavy reusable parts: the
+    /// shared prepared background and the scratch arena. A session pool
+    /// reclaims both when a stream ends so the next stream in the slot
+    /// starts with warmed buffers.
+    pub fn into_parts(self) -> (Arc<PreparedBackground>, FrameArena) {
+        (self.background, self.arena)
     }
 
     /// The prepared background in use.

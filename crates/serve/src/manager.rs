@@ -10,15 +10,16 @@
 //! at every thread count.
 
 use std::fmt;
+use std::sync::Mutex;
 
 use slj::{AnalyzeError, JumpAnalysis};
 use slj_obs::MetricsRegistry;
-use slj_runtime::{BackoffConfig, Parallelism};
+use slj_runtime::{BackoffConfig, Parallelism, WorkerPool};
 use slj_video::Frame;
 
 use crate::chaos::ServiceFaultPlan;
 use crate::events::{EventKind, HealthEvent};
-use crate::session::{Session, SessionConfig, SessionId, SessionState};
+use crate::session::{Session, SessionConfig, SessionId, SessionSlot, SessionState};
 
 /// How the per-frame deadline budget is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +31,47 @@ pub enum DeadlineClock {
     /// [`ServiceFaultPlan::overrun`] — the chaos-test setting (no
     /// wall-clock read at all).
     Scripted,
+}
+
+/// How `tick` fans sessions out across threads when the configured
+/// [`Parallelism`] resolves to more than one.
+///
+/// Both modes shard sessions into the same contiguous chunks and merge
+/// per-chunk event buffers back in session order, so events, analyses
+/// and metrics are byte-identical between them (and with serial) — the
+/// choice is throughput-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerMode {
+    /// A persistent [`WorkerPool`]: threads are spawned once (lazily,
+    /// on the first parallel tick) and parked between ticks, so the
+    /// per-tick cost is an epoch wake-up instead of thread
+    /// create/join. The production setting.
+    #[default]
+    Pool,
+    /// Scoped threads spawned and joined every tick. Kept as the
+    /// baseline the throughput bench races the pool against.
+    Spawn,
+}
+
+impl fmt::Display for WorkerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WorkerMode::Pool => "pool",
+            WorkerMode::Spawn => "spawn",
+        })
+    }
+}
+
+impl std::str::FromStr for WorkerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pool" => Ok(WorkerMode::Pool),
+            "spawn" => Ok(WorkerMode::Spawn),
+            other => Err(format!("unknown worker mode `{other}` (pool|spawn)")),
+        }
+    }
 }
 
 /// Service-level knobs. Every bound is explicit; nothing in the
@@ -65,6 +107,13 @@ pub struct ServeConfig {
     /// tick. Throughput-only, like every `Parallelism` in the
     /// workspace.
     pub parallelism: Parallelism,
+    /// How the fan-out is executed (persistent pool vs per-tick
+    /// spawn). Byte-identical results either way.
+    pub worker_mode: WorkerMode,
+    /// Recycle retired sessions' heavy state (frame arenas, queue
+    /// storage, GA scratch) into the next `open`, so steady-state
+    /// session churn does no large allocations.
+    pub slot_pool: bool,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +131,8 @@ impl Default for ServeConfig {
             clean_frames_to_reset: 8,
             restart: BackoffConfig::default(),
             parallelism: Parallelism::Serial,
+            worker_mode: WorkerMode::Pool,
+            slot_pool: true,
         }
     }
 }
@@ -131,6 +182,11 @@ pub enum ServeError {
         /// The session.
         id: SessionId,
     },
+    /// `retire` was asked to remove a session that is still live.
+    SessionActive {
+        /// The session.
+        id: SessionId,
+    },
     /// The session config failed analyzer validation (e.g. not
     /// streamable).
     Analyzer(AnalyzeError),
@@ -146,6 +202,12 @@ impl fmt::Display for ServeError {
             ServeError::SessionClosed { id } => write!(f, "session {id} is closed"),
             ServeError::SessionTerminal { id } => {
                 write!(f, "session {id} has left service")
+            }
+            ServeError::SessionActive { id } => {
+                write!(
+                    f,
+                    "session {id} is still active (retire needs a terminal session)"
+                )
             }
             ServeError::Analyzer(e) => write!(f, "session rejected: {e}"),
         }
@@ -167,10 +229,16 @@ impl std::error::Error for ServeError {
 pub struct SessionManager {
     config: ServeConfig,
     chaos: ServiceFaultPlan,
+    /// In service, ascending by id (ids are monotonic and never
+    /// reused, so a push keeps the order and lookups binary-search).
     sessions: Vec<Session>,
     events: Vec<HealthEvent>,
     seq: u64,
     tick: u64,
+    next_id: SessionId,
+    slots: Vec<SessionSlot>,
+    aggregate: MetricsRegistry,
+    workers: Option<WorkerPool>,
 }
 
 impl SessionManager {
@@ -183,6 +251,10 @@ impl SessionManager {
             events: Vec::new(),
             seq: 0,
             tick: 0,
+            next_id: 0,
+            slots: Vec::new(),
+            aggregate: MetricsRegistry::default(),
+            workers: None,
         }
     }
 
@@ -214,10 +286,30 @@ impl SessionManager {
                 max: self.config.max_sessions,
             });
         }
-        let id = self.sessions.len();
-        let session = Session::new(id, config, &self.config).map_err(ServeError::Analyzer)?;
+        let id = self.next_id;
+        let slot = if self.config.slot_pool {
+            self.slots.pop().unwrap_or_default()
+        } else {
+            SessionSlot::default()
+        };
+        let session = Session::new(id, config, &self.config, slot).map_err(ServeError::Analyzer)?;
+        self.next_id += 1;
         self.sessions.push(session);
         Ok(id)
+    }
+
+    fn find(&self, id: SessionId) -> Option<&Session> {
+        self.sessions
+            .binary_search_by_key(&id, Session::id)
+            .ok()
+            .map(|i| &self.sessions[i])
+    }
+
+    fn find_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        match self.sessions.binary_search_by_key(&id, Session::id) {
+            Ok(i) => Some(&mut self.sessions[i]),
+            Err(_) => None,
+        }
     }
 
     /// Offers one frame to a session. Backpressure is synchronous:
@@ -231,10 +323,7 @@ impl SessionManager {
     /// [`OfferReply::Overloaded`] reply.
     pub fn offer(&mut self, id: SessionId, frame: &Frame) -> Result<OfferReply, ServeError> {
         let queue_depth = self.config.queue_depth;
-        let session = self
-            .sessions
-            .get_mut(id)
-            .ok_or(ServeError::UnknownSession { id })?;
+        let session = self.find_mut(id).ok_or(ServeError::UnknownSession { id })?;
         if session.state().is_terminal() {
             return Err(ServeError::SessionTerminal { id });
         }
@@ -251,14 +340,40 @@ impl SessionManager {
     ///
     /// [`ServeError::UnknownSession`] / [`ServeError::SessionTerminal`].
     pub fn close(&mut self, id: SessionId) -> Result<(), ServeError> {
-        let session = self
-            .sessions
-            .get_mut(id)
-            .ok_or(ServeError::UnknownSession { id })?;
+        let session = self.find_mut(id).ok_or(ServeError::UnknownSession { id })?;
         if session.state().is_terminal() {
             return Err(ServeError::SessionTerminal { id });
         }
         session.close();
+        Ok(())
+    }
+
+    /// Retires a **terminal** session: removes it from service (freeing
+    /// a `max_sessions` slot for a fresh `open`), folds its metrics
+    /// into the service-lifetime aggregate
+    /// ([`SessionManager::aggregate_metrics`]) and — when `slot_pool`
+    /// is on — recycles its heavy state (frame arenas, queue storage,
+    /// GA scratch) into the next `open`. Any untaken analysis result
+    /// is discarded, so call [`SessionManager::take_result`] first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an id never opened or
+    /// already retired; [`ServeError::SessionActive`] while the
+    /// session is still live.
+    pub fn retire(&mut self, id: SessionId) -> Result<(), ServeError> {
+        let index = self
+            .sessions
+            .binary_search_by_key(&id, Session::id)
+            .map_err(|_| ServeError::UnknownSession { id })?;
+        if !self.sessions[index].state().is_terminal() {
+            return Err(ServeError::SessionActive { id });
+        }
+        let (slot, metrics) = self.sessions.remove(index).retire();
+        self.aggregate.absorb(&metrics);
+        if self.config.slot_pool && self.slots.len() < self.config.max_sessions {
+            self.slots.push(slot);
+        }
         Ok(())
     }
 
@@ -283,7 +398,7 @@ impl SessionManager {
                     progressed += 1;
                 }
             }
-        } else {
+        } else if self.config.worker_mode == WorkerMode::Spawn {
             let chunk_size = self.sessions.len().div_ceil(threads);
             let config = &self.config;
             let chaos = &self.chaos;
@@ -314,6 +429,51 @@ impl SessionManager {
                 merged.extend(buffer);
             }
             progressed = counts.iter().sum();
+        } else {
+            // Persistent pool: same contiguous sharding as the spawn
+            // path, so the merged stream is byte-identical — only the
+            // thread lifecycle differs (parked workers woken by an
+            // epoch bump instead of spawn/join).
+            struct Shard<'a> {
+                sessions: &'a mut [Session],
+                events: Vec<(SessionId, EventKind)>,
+                progressed: usize,
+            }
+            let pool_threads = self.config.parallelism.threads();
+            let workers = self
+                .workers
+                .get_or_insert_with(|| WorkerPool::new(pool_threads));
+            let chunk_size = self.sessions.len().div_ceil(threads);
+            let config = &self.config;
+            let chaos = &self.chaos;
+            let shards: Vec<Mutex<Shard<'_>>> = self
+                .sessions
+                .chunks_mut(chunk_size)
+                .map(|sessions| {
+                    Mutex::new(Shard {
+                        sessions,
+                        events: Vec::new(),
+                        progressed: 0,
+                    })
+                })
+                .collect();
+            workers.run(shards.len(), &|i| {
+                // Worker i is the only thread that touches shard i, so
+                // the lock is uncontended — it exists to hand the
+                // `&mut` through the shared borrow the pool requires.
+                let mut shard = shards[i].lock().expect("shard lock");
+                let shard = &mut *shard;
+                for session in shard.sessions.iter_mut() {
+                    if session.step(config, chaos, &mut shard.events) {
+                        shard.progressed += 1;
+                    }
+                }
+            });
+            for shard in shards {
+                let shard = shard.into_inner().expect("shard lock");
+                merged.extend(shard.events);
+                progressed += shard.progressed;
+            }
         }
         for (session, kind) in merged {
             self.events.push(HealthEvent {
@@ -348,34 +508,60 @@ impl SessionManager {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains the buffered health events by appending them to `out`
+    /// (in order), reusing the caller's storage — the churn-free twin
+    /// of [`SessionManager::drain_events`].
+    pub fn drain_events_into(&mut self, out: &mut Vec<HealthEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// A session's lifecycle state.
     pub fn state(&self, id: SessionId) -> Option<&SessionState> {
-        self.sessions.get(id).map(Session::state)
+        self.find(id).map(Session::state)
     }
 
     /// A session's supervisor metrics.
     pub fn metrics(&self, id: SessionId) -> Option<&MetricsRegistry> {
-        self.sessions.get(id).map(Session::metrics)
+        self.find(id).map(Session::metrics)
     }
 
     /// A session's queued-frame count.
     pub fn queue_len(&self, id: SessionId) -> Option<usize> {
-        self.sessions.get(id).map(Session::queue_len)
+        self.find(id).map(Session::queue_len)
     }
 
     /// Degraded frames charged to a session so far.
     pub fn degraded(&self, id: SessionId) -> Option<usize> {
-        self.sessions.get(id).map(Session::degraded)
+        self.find(id).map(Session::degraded)
     }
 
     /// Takes a finished/failed session's analysis result (once).
     pub fn take_result(&mut self, id: SessionId) -> Option<Result<JumpAnalysis, AnalyzeError>> {
-        self.sessions.get_mut(id).and_then(Session::take_result)
+        self.find_mut(id).and_then(Session::take_result)
     }
 
-    /// Ids of all sessions ever opened.
+    /// Ids of every session still in service (live or
+    /// terminal-but-unretired), ascending.
     pub fn session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
-        0..self.sessions.len()
+        self.sessions.iter().map(Session::id)
+    }
+
+    /// Sessions currently in service.
+    pub fn sessions_in_service(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Recycled slots waiting for the next `open`.
+    pub fn pooled_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The service-lifetime metrics aggregate: every retired session's
+    /// counters and histograms, folded in at `retire`. Live sessions
+    /// are read individually via [`SessionManager::metrics`] until
+    /// retirement.
+    pub fn aggregate_metrics(&self) -> &MetricsRegistry {
+        &self.aggregate
     }
 }
 

@@ -11,8 +11,8 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use slj::{
-    AnalyzeError, AnalyzerConfig, JumpAnalysis, RobustnessPolicy, StreamingAnalyzer,
-    StreamingCheckpoint,
+    AnalyzeError, AnalyzerConfig, AnalyzerScratch, JumpAnalysis, RobustnessPolicy,
+    StreamingAnalyzer, StreamingCheckpoint,
 };
 use slj_motion::Pose;
 use slj_obs::{serve_keys, MetricsRegistry};
@@ -73,6 +73,21 @@ struct QueuedFrame {
     frame: Frame,
 }
 
+/// The recyclable storage of a retired session: the analyzer's heavy
+/// scratch plus the queue/replay containers and spare frame buffers.
+/// [`SessionManager`](crate::SessionManager) pools these so
+/// steady-state session churn — retire a terminal session, admit a new
+/// one into the freed slot — performs no large allocations. Purely an
+/// allocation cache: a session built on a recycled slot is
+/// byte-identical to one built fresh.
+#[derive(Debug, Default)]
+pub(crate) struct SessionSlot {
+    scratch: AnalyzerScratch,
+    queue: VecDeque<QueuedFrame>,
+    retained: Vec<Frame>,
+    spares: Vec<Frame>,
+}
+
 /// One supervised session. Crate-private: the manager is the API.
 #[derive(Debug)]
 pub(crate) struct Session {
@@ -102,6 +117,15 @@ pub(crate) struct Session {
     idle_ticks: usize,
     stall_strikes: u32,
     metrics: MetricsRegistry,
+    /// Analyzer scratch salvaged at teardown (finish, failure or
+    /// quarantine), held for [`Session::retire`].
+    scratch: Option<AnalyzerScratch>,
+    /// Spare frame buffers for `offer` copies, recycled from drained
+    /// queue/replay frames.
+    spares: Vec<Frame>,
+    /// Bound on `spares`: the most frames the session can hold at once
+    /// (queue + replay buffer + one in flight).
+    spare_cap: usize,
 }
 
 impl Session {
@@ -109,13 +133,15 @@ impl Session {
         id: SessionId,
         config: SessionConfig,
         serve: &ServeConfig,
+        mut slot: SessionSlot,
     ) -> Result<Self, AnalyzeError> {
         let analyzer = StreamingAnalyzer::new(
             config.analyzer.clone(),
             &config.camera,
             config.first_pose,
             config.fps,
-        )?;
+        )?
+        .with_scratch(std::mem::take(&mut slot.scratch));
         let checkpoint = analyzer.checkpoint();
         // Pre-warm every counter so the hot paths (notably the shed
         // reject) never insert into the registry — allocation-free by
@@ -124,13 +150,18 @@ impl Session {
         for key in serve_keys::ALL {
             metrics.inc(key, 0);
         }
+        let replay = serve.checkpoint_interval.max(1);
+        slot.retained.clear();
+        slot.retained.reserve(replay);
+        slot.queue.clear();
+        slot.queue.reserve(serve.queue_depth);
         Ok(Session {
             id,
             policy: config.analyzer.robustness,
             analyzer: Some(analyzer),
             checkpoint,
-            retained: Vec::with_capacity(serve.checkpoint_interval.max(1)),
-            queue: VecDeque::with_capacity(serve.queue_depth),
+            retained: slot.retained,
+            queue: slot.queue,
             offered: 0,
             closed: false,
             state: SessionState::Live,
@@ -147,8 +178,42 @@ impl Session {
             idle_ticks: 0,
             stall_strikes: 0,
             metrics,
+            scratch: None,
+            spares: slot.spares,
+            spare_cap: serve.queue_depth + replay + 1,
             config,
         })
+    }
+
+    pub(crate) fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Consumes a (terminal) session, separating the recyclable storage
+    /// from its metrics so the manager can pool the former and fold the
+    /// latter into the service-lifetime aggregate.
+    pub(crate) fn retire(mut self) -> (SessionSlot, MetricsRegistry) {
+        let mut scratch = self.scratch.take().unwrap_or_else(|| {
+            // A live session retired by force (the manager guards
+            // against this) still salvages its analyzer.
+            self.analyzer
+                .take()
+                .map(StreamingAnalyzer::into_scratch)
+                .unwrap_or_default()
+        });
+        while let Some(queued) = self.queue.pop_front() {
+            scratch.recycle_frame(queued.frame);
+        }
+        while let Some(frame) = self.retained.pop() {
+            scratch.recycle_frame(frame);
+        }
+        let slot = SessionSlot {
+            scratch,
+            queue: self.queue,
+            retained: self.retained,
+            spares: self.spares,
+        };
+        (slot, self.metrics)
     }
 
     pub(crate) fn state(&self) -> &SessionState {
@@ -183,10 +248,11 @@ impl Session {
         self.result.take()
     }
 
-    /// Offers one frame: clones it into the queue, or — when the queue
-    /// is at `queue_depth` — rejects it on a path that performs no
-    /// allocation and no copy. Every offer, accepted or shed, consumes
-    /// one ordinal.
+    /// Offers one frame: copies it into the queue (into a spare buffer
+    /// when one is pooled — allocation-free at steady state), or — when
+    /// the queue is at `queue_depth` — rejects it on a path that
+    /// performs no allocation and no copy. Every offer, accepted or
+    /// shed, consumes one ordinal.
     pub(crate) fn offer(&mut self, frame: &Frame, queue_depth: usize) -> OfferReply {
         let ordinal = self.offered;
         self.offered += 1;
@@ -197,13 +263,33 @@ impl Session {
                 depth: self.queue.len(),
             };
         }
+        let mut copy = self.spares.pop().unwrap_or_else(|| Frame::new(0, 0));
+        copy.copy_from(frame);
         self.queue.push_back(QueuedFrame {
             ordinal,
-            frame: frame.clone(),
+            frame: copy,
         });
         OfferReply::Accepted {
             ordinal,
             depth: self.queue.len(),
+        }
+    }
+
+    /// Returns a frame buffer to the spare pool (dropped when full).
+    fn recycle_frame(&mut self, frame: Frame) {
+        if self.spares.len() < self.spare_cap {
+            self.spares.push(frame);
+        }
+    }
+
+    /// Drains the queue and replay buffers into the spare pool — the
+    /// terminal paths' churn-free replacement for `clear()`.
+    fn recycle_buffers(&mut self) {
+        while let Some(queued) = self.queue.pop_front() {
+            self.recycle_frame(queued.frame);
+        }
+        while let Some(frame) = self.retained.pop() {
+            self.recycle_frame(frame);
         }
     }
 
@@ -298,7 +384,9 @@ impl Session {
                         .as_ref()
                         .expect("analyzer survives a successful step")
                         .checkpoint();
-                    self.retained.clear();
+                    while let Some(frame) = self.retained.pop() {
+                        self.recycle_frame(frame);
+                    }
                 }
                 self.clean_streak += 1;
                 if self.clean_streak >= serve.clean_frames_to_reset && self.backoff.attempt() > 0 {
@@ -346,9 +434,10 @@ impl Session {
                 ));
                 self.state = SessionState::Failed;
                 self.result = Some(Err(error));
-                self.analyzer = None;
-                self.queue.clear();
-                self.retained.clear();
+                if let Some(analyzer) = self.analyzer.take() {
+                    self.scratch = Some(analyzer.into_scratch());
+                }
+                self.recycle_buffers();
             }
             Err(payload) => {
                 self.metrics.inc(serve_keys::PANICS, 1);
@@ -373,7 +462,16 @@ impl Session {
         match rung {
             0 => {
                 let replayed = self.retained.len();
-                let mut restored = self.checkpoint.clone().resume();
+                // The crashed analyzer's buffers are still structurally
+                // sound (they are rewritten wholesale on reuse), so the
+                // restore replays with warmed scratch instead of
+                // reallocating it.
+                let salvaged = self
+                    .analyzer
+                    .take()
+                    .map(StreamingAnalyzer::into_scratch)
+                    .unwrap_or_default();
+                let mut restored = self.checkpoint.clone().resume().with_scratch(salvaged);
                 let replay = catch_unwind(AssertUnwindSafe(|| {
                     for frame in &self.retained {
                         restored.push_frame(frame)?;
@@ -410,16 +508,24 @@ impl Session {
     /// A fresh analyzer from the session config: earlier frames are
     /// lost, the escalated policy (if any) carries over.
     fn cold_restart(&mut self, delay: u64, out: &mut Vec<(SessionId, EventKind)>) {
+        let salvaged = self
+            .analyzer
+            .take()
+            .map(StreamingAnalyzer::into_scratch)
+            .unwrap_or_default();
         let mut analyzer = StreamingAnalyzer::new(
             self.config.analyzer.clone(),
             &self.config.camera,
             self.config.first_pose,
             self.config.fps,
         )
-        .expect("session config was validated at open");
+        .expect("session config was validated at open")
+        .with_scratch(salvaged);
         analyzer.set_robustness(self.policy);
         self.checkpoint = analyzer.checkpoint();
-        self.retained.clear();
+        while let Some(frame) = self.retained.pop() {
+            self.recycle_frame(frame);
+        }
         self.analyzer = Some(analyzer);
         self.metrics.inc(serve_keys::RESTARTS, 1);
         out.push((
@@ -481,18 +587,19 @@ impl Session {
         self.state = SessionState::Quarantined {
             reason: reason.to_owned(),
         };
-        self.analyzer = None;
-        self.queue.clear();
-        self.queue.shrink_to_fit();
-        self.retained.clear();
+        if let Some(analyzer) = self.analyzer.take() {
+            self.scratch = Some(analyzer.into_scratch());
+        }
+        self.recycle_buffers();
     }
 
     /// Closes the clip: `finish()` under `catch_unwind` (scoring is
     /// analyzer code too), producing the terminal event either way.
     fn finalize(&mut self, out: &mut Vec<(SessionId, EventKind)>) {
         let analyzer = self.analyzer.take().expect("live session has analyzer");
-        match catch_unwind(AssertUnwindSafe(|| analyzer.finish())) {
-            Ok(Ok(analysis)) => {
+        match catch_unwind(AssertUnwindSafe(|| analyzer.finish_reclaimed())) {
+            Ok((Ok(analysis), scratch)) => {
+                self.scratch = Some(scratch);
                 out.push((
                     self.id,
                     EventKind::Finished {
@@ -504,7 +611,8 @@ impl Session {
                 self.state = SessionState::Finished;
                 self.result = Some(Ok(analysis));
             }
-            Ok(Err(error)) => {
+            Ok((Err(error), scratch)) => {
+                self.scratch = Some(scratch);
                 out.push((
                     self.id,
                     EventKind::Failed {
@@ -522,7 +630,7 @@ impl Session {
                 );
             }
         }
-        self.retained.clear();
+        self.recycle_buffers();
     }
 }
 

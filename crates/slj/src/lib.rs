@@ -60,7 +60,9 @@ pub use slj_obs::{
     ClipObs, FrameObs, MetricsRegistry, Profiler, RuleObs, SegmentObs, TrackObs, TRACE_SCHEMA,
 };
 pub use slj_runtime::Parallelism;
-pub use stream::{FrameUpdate, JumpAnalysis, StreamingAnalyzer, StreamingCheckpoint};
+pub use stream::{
+    AnalyzerScratch, FrameUpdate, JumpAnalysis, StreamingAnalyzer, StreamingCheckpoint,
+};
 
 /// Convenience re-exports of the workspace's primary types.
 pub mod prelude {

@@ -29,13 +29,15 @@
 
 use crate::analyzer::{enforce_robustness, score_with_policy, AnalyzerConfig, FrameHealth};
 use crate::error::AnalyzeError;
-use slj_ga::tracker::{TemporalTracker, TrackResult, TrackerConfig, TrackerStream};
+use slj_ga::tracker::{TemporalTracker, TrackResult, TrackScratch, TrackerConfig, TrackerStream};
+use slj_imgproc::components::Labeling;
+use slj_imgproc::image::ImageBuffer;
 use slj_motion::{Pose, PoseSeq};
 use slj_score::ScoreCard;
-use slj_segment::background::{BackgroundEstimator, EstimatedBackground};
+use slj_segment::background::{BackgroundEstimator, BackgroundScratch, EstimatedBackground};
 use slj_segment::pipeline::{FrameStages, PipelineConfig};
 use slj_segment::quality::{causal_reference_area, FrameQuality, ReferenceMode};
-use slj_segment::segmenter::{FrameSegmenter, PreparedBackground};
+use slj_segment::segmenter::{FrameArena, FrameSegmenter, PreparedBackground};
 use slj_video::{Camera, Frame, Video};
 use std::sync::Arc;
 
@@ -105,6 +107,107 @@ impl crate::AnalysisReport {
     }
 }
 
+/// Cap on the spare input-frame pool a scratch carries: enough to cover
+/// any realistic warmup backlog plus the in-flight frame, small enough
+/// that a retired session never pins more than a few dozen frames.
+const MAX_SPARE_FRAMES: usize = 32;
+
+/// The recyclable heavy state of a retired [`StreamingAnalyzer`]:
+/// every buffer whose size scales with the frame area or the GA
+/// configuration, reclaimed by [`finish_reclaimed`] and re-installed
+/// into a successor with [`with_scratch`]. Purely an allocation cache —
+/// analyses are byte-identical with or without it — which is what lets
+/// `slj-serve` recycle session slots with zero steady-state large
+/// allocations.
+///
+/// Cloning yields an *empty* scratch: checkpoints deep-copy analysis
+/// state, never allocation caches.
+///
+/// [`finish_reclaimed`]: StreamingAnalyzer::finish_reclaimed
+/// [`with_scratch`]: StreamingAnalyzer::with_scratch
+#[derive(Debug)]
+pub struct AnalyzerScratch {
+    /// Background estimate planes (image + support), re-estimated in
+    /// place per clip.
+    background: Option<EstimatedBackground>,
+    /// Median-stack scratch for background estimation.
+    estimator: BackgroundScratch,
+    /// Channel-split background planes, refreshed in place on reuse.
+    prepared: Option<PreparedBackground>,
+    /// The frame segmenter's per-frame scratch arena.
+    arena: FrameArena,
+    /// The reusable segmentation stage buffer.
+    stages: FrameStages,
+    /// The tracker's recyclable state (Eq. 3 evaluator + rung memos).
+    track: TrackScratch,
+    /// The quality assessor's connected-component label map.
+    labeling: Labeling,
+    /// Spare input-frame buffers, capped at [`MAX_SPARE_FRAMES`].
+    frames: Vec<Frame>,
+}
+
+impl Default for AnalyzerScratch {
+    fn default() -> Self {
+        AnalyzerScratch {
+            background: None,
+            estimator: BackgroundScratch::default(),
+            prepared: None,
+            arena: FrameArena::default(),
+            stages: FrameStages::empty(),
+            track: TrackScratch::default(),
+            labeling: Labeling::empty(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+impl Clone for AnalyzerScratch {
+    fn clone(&self) -> Self {
+        AnalyzerScratch::default()
+    }
+}
+
+impl AnalyzerScratch {
+    /// A spare frame buffer (empty when the pool is dry).
+    pub fn take_frame(&mut self) -> Frame {
+        self.frames.pop().unwrap_or_else(|| Frame::new(0, 0))
+    }
+
+    /// Returns a frame buffer to the pool (e.g. a queued frame a
+    /// supervisor is discarding), dropping it when the pool is full.
+    pub fn recycle_frame(&mut self, frame: Frame) {
+        if self.frames.len() < MAX_SPARE_FRAMES {
+            self.frames.push(frame);
+        }
+    }
+
+    /// Reabsorbs a retired live state's heavy buffers. The prepared
+    /// background is recovered only when nothing else (a checkpoint)
+    /// still shares it.
+    fn absorb_live(
+        &mut self,
+        background: EstimatedBackground,
+        segmenter: FrameSegmenter,
+        stages: FrameStages,
+        tracker: TrackerStream,
+        labeling: Labeling,
+        previous_input: Option<Frame>,
+    ) {
+        self.background = Some(background);
+        let (prepared, arena) = segmenter.into_parts();
+        self.arena = arena;
+        if let Ok(p) = Arc::try_unwrap(prepared) {
+            self.prepared = Some(p);
+        }
+        self.stages = stages;
+        self.track = tracker.reclaim_scratch();
+        self.labeling = labeling;
+        if let Some(frame) = previous_input {
+            self.recycle_frame(frame);
+        }
+    }
+}
+
 /// Everything live segmentation + tracking needs once the background
 /// warmup window has filled.
 #[derive(Debug, Clone)]
@@ -114,6 +217,8 @@ struct LiveState {
     /// The one reusable stage buffer — masks never accumulate.
     stages: FrameStages,
     tracker: TrackerStream,
+    /// The quality assessor's reusable component label map.
+    labeling: Labeling,
     /// Previous *input* frame: ghost suppression's motion reference.
     previous_input: Option<Frame>,
     /// Per-frame final-mask areas, for the causal quality reference.
@@ -143,6 +248,9 @@ pub struct StreamingAnalyzer {
     pending: Vec<Frame>,
     live: Option<LiveState>,
     frames_pushed: usize,
+    /// Recyclable heavy state (see [`AnalyzerScratch`]); cloned (i.e.
+    /// checkpointed) analyzers start with an empty one.
+    scratch: AnalyzerScratch,
 }
 
 impl StreamingAnalyzer {
@@ -209,7 +317,19 @@ impl StreamingAnalyzer {
             live: None,
             frames_pushed: 0,
             config,
+            scratch: AnalyzerScratch::default(),
         })
+    }
+
+    /// Installs heavy state reclaimed from a finished analyzer
+    /// ([`finish_reclaimed`](StreamingAnalyzer::finish_reclaimed)).
+    /// With warmed buffers the whole steady-state analysis loop —
+    /// presmoothing, background estimation, segmentation, Eq. 3
+    /// tracking — performs no large allocations; results are
+    /// byte-identical either way.
+    pub fn with_scratch(mut self, scratch: AnalyzerScratch) -> Self {
+        self.scratch = scratch;
+        self
     }
 
     /// The configuration in use.
@@ -284,7 +404,8 @@ impl StreamingAnalyzer {
             }
         }
         let observed_from = self.live.as_ref().map_or(0, |l| l.obs_frames.len());
-        let smoothed = self.segmentation.presmooth.apply(frame);
+        let mut smoothed = self.scratch.take_frame();
+        self.segmentation.presmooth.apply_into(frame, &mut smoothed);
         let completed = if self.live.is_some() {
             vec![self.process(smoothed)?]
         } else {
@@ -320,7 +441,27 @@ impl StreamingAnalyzer {
     /// The same errors as [`JumpAnalyzer::analyze`](crate::JumpAnalyzer::analyze):
     /// too few frames, a degraded clip under the policy's budget, or a
     /// sequence too short to score.
-    pub fn finish(mut self) -> Result<JumpAnalysis, AnalyzeError> {
+    pub fn finish(self) -> Result<JumpAnalysis, AnalyzeError> {
+        self.finish_reclaimed().0
+    }
+
+    /// [`finish`](StreamingAnalyzer::finish), additionally handing back
+    /// the analyzer's recyclable heavy state — returned on the error
+    /// paths too, so a supervisor recycles the buffers of failed
+    /// sessions just like clean ones. Feed it to the next clip's
+    /// analyzer with [`with_scratch`](StreamingAnalyzer::with_scratch).
+    pub fn finish_reclaimed(mut self) -> (Result<JumpAnalysis, AnalyzeError>, AnalyzerScratch) {
+        let result = self.close();
+        let pending = std::mem::take(&mut self.pending);
+        for frame in pending {
+            self.scratch.recycle_frame(frame);
+        }
+        (result, std::mem::take(&mut self.scratch))
+    }
+
+    /// `finish` by mutation, so `finish_reclaimed` can salvage scratch
+    /// state afterwards whatever the outcome.
+    fn close(&mut self) -> Result<JumpAnalysis, AnalyzeError> {
         if self.live.is_none() {
             // Degrading to a whole-backlog background estimate still
             // needs the estimator's two-frame minimum; fail the 0/1
@@ -334,26 +475,78 @@ impl StreamingAnalyzer {
             }
             self.go_live()?;
         }
-        let live = self.live.expect("go_live sets live state");
-        let mut poses = PoseSeq::new(live.poses, self.fps);
+        let LiveState {
+            background,
+            segmenter,
+            stages,
+            tracker,
+            labeling,
+            previous_input,
+            areas: _,
+            poses,
+            tracking,
+            quality,
+            health,
+            obs_frames,
+        } = self.live.take().expect("go_live sets live state");
+        // Salvage the heavy state before scoring, so even a robustness
+        // rejection leaves the buffers reclaimed.
+        self.scratch.absorb_live(
+            background,
+            segmenter,
+            stages,
+            tracker,
+            labeling,
+            previous_input,
+        );
+        let mut poses = PoseSeq::new(poses, self.fps);
         if self.config.smoothing_window > 1 {
             poses = poses.median_smoothed(self.config.smoothing_window);
         }
-        enforce_robustness(&live.health, self.config.robustness)?;
-        let score = score_with_policy(&poses, &live.health, self.config.robustness)?;
-        let excluded = crate::obs::excluded_frames(&live.health, self.config.robustness);
+        enforce_robustness(&health, self.config.robustness)?;
+        let score = score_with_policy(&poses, &health, self.config.robustness)?;
+        let excluded = crate::obs::excluded_frames(&health, self.config.robustness);
         let obs = slj_obs::ClipObs {
-            frames: live.obs_frames,
+            frames: obs_frames,
             rules: crate::obs::rule_obs(&poses, &excluded, &score),
         };
         Ok(JumpAnalysis {
             poses,
             score,
-            tracking: live.tracking,
-            health: live.health,
-            quality: live.quality,
+            tracking,
+            health,
+            quality,
             obs,
         })
+    }
+
+    /// Discards the analysis mid-clip, salvaging the recyclable heavy
+    /// state — the supervisor's path for sessions torn down before
+    /// `finish` (quarantine, hard failure).
+    pub fn into_scratch(mut self) -> AnalyzerScratch {
+        if let Some(live) = self.live.take() {
+            let LiveState {
+                background,
+                segmenter,
+                stages,
+                tracker,
+                labeling,
+                previous_input,
+                ..
+            } = live;
+            self.scratch.absorb_live(
+                background,
+                segmenter,
+                stages,
+                tracker,
+                labeling,
+                previous_input,
+            );
+        }
+        for frame in std::mem::take(&mut self.pending) {
+            self.scratch.recycle_frame(frame);
+        }
+        std::mem::take(&mut self.scratch)
     }
 
     /// Estimates the background from the buffered warmup frames, builds
@@ -364,23 +557,44 @@ impl StreamingAnalyzer {
         // buffer never exceeds the warmup, so this reads all of it —
         // identical to batch on both full-length and short clips.
         let video = Video::new(backlog, self.fps);
-        let background = BackgroundEstimator::new(self.segmentation.background).estimate(&video)?;
-        let prepared = Arc::new(PreparedBackground::new(&background.image));
-        let segmenter = FrameSegmenter::new(&self.segmentation, prepared);
+        let mut background = self
+            .scratch
+            .background
+            .take()
+            .unwrap_or(EstimatedBackground {
+                image: Frame::new(0, 0),
+                support: ImageBuffer::new(0, 0),
+            });
+        BackgroundEstimator::new(self.segmentation.background).estimate_into(
+            &video,
+            &mut background,
+            &mut self.scratch.estimator,
+        )?;
+        let prepared = match self.scratch.prepared.take() {
+            Some(mut p) => {
+                p.update(&background.image);
+                Arc::new(p)
+            }
+            None => Arc::new(PreparedBackground::new(&background.image)),
+        };
+        let segmenter = FrameSegmenter::new_with_arena(
+            &self.segmentation,
+            prepared,
+            std::mem::take(&mut self.scratch.arena),
+        );
         let tracker_config = TrackerConfig {
             parallelism: self.config.parallelism,
             ..self.config.tracker
         };
-        let tracker = TemporalTracker::new(tracker_config).stream(
-            self.first_pose,
-            &self.config.dims,
-            &self.camera,
-        );
+        let tracker = TemporalTracker::new(tracker_config)
+            .stream(self.first_pose, &self.config.dims, &self.camera)
+            .with_scratch(std::mem::take(&mut self.scratch.track));
         self.live = Some(LiveState {
             background,
             segmenter,
-            stages: FrameStages::empty(),
+            stages: std::mem::replace(&mut self.scratch.stages, FrameStages::empty()),
             tracker,
+            labeling: std::mem::take(&mut self.scratch.labeling),
             previous_input: None,
             areas: Vec::new(),
             poses: Vec::new(),
@@ -389,10 +603,11 @@ impl StreamingAnalyzer {
             health: Vec::new(),
             obs_frames: Vec::new(),
         });
-        video
-            .iter()
-            .map(|frame| self.process(frame.clone()))
-            .collect()
+        let mut completed = Vec::with_capacity(video.len());
+        for frame in video.into_frames() {
+            completed.push(self.process(frame)?);
+        }
+        Ok(completed)
     }
 
     /// Segments, quality-assesses, tracks and health-scores one frame,
@@ -405,7 +620,12 @@ impl StreamingAnalyzer {
         let final_mask = &live.stages.final_mask;
         live.areas.push(final_mask.count());
         let reference = causal_reference_area(&live.areas, k);
-        let quality = FrameQuality::measure(final_mask, reference, &self.segmentation.quality);
+        let quality = FrameQuality::measure_with(
+            final_mask,
+            reference,
+            &self.segmentation.quality,
+            &mut live.labeling,
+        );
         let track = live.tracker.push(final_mask)?;
         let health = FrameHealth::with_model(k, quality.clone(), &track, &self.config.confidence);
         // The stage buffer is reused by the next frame: take its span
@@ -419,7 +639,9 @@ impl StreamingAnalyzer {
         live.tracking.push(track);
         live.quality.push(quality);
         live.health.push(health.clone());
-        live.previous_input = Some(frame);
+        if let Some(old) = live.previous_input.replace(frame) {
+            self.scratch.recycle_frame(old);
+        }
         Ok(health)
     }
 }

@@ -66,6 +66,13 @@ impl Video {
         &self.frames
     }
 
+    /// Consumes the clip and returns its frames, in order. Lets a
+    /// caller that owns the clip hand the frames on by value instead of
+    /// cloning each one.
+    pub fn into_frames(self) -> Vec<Frame> {
+        self.frames
+    }
+
     /// The frame at an index, if present.
     pub fn get(&self, index: usize) -> Option<&Frame> {
         self.frames.get(index)

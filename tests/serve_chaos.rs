@@ -25,8 +25,8 @@ use slj::prelude::*;
 use slj::JumpAnalysis;
 use slj_runtime::BackoffConfig;
 use slj_serve::{
-    DeadlineClock, EventKind, HealthEvent, OfferReply, RestartMode, ServeConfig, ServiceFaultPlan,
-    SessionConfig, SessionManager, SessionState,
+    DeadlineClock, EventKind, HealthEvent, OfferReply, RestartMode, ServeConfig, ServeError,
+    ServiceFaultPlan, SessionConfig, SessionManager, SessionState, WorkerMode,
 };
 
 fn streamable_fast() -> AnalyzerConfig {
@@ -79,6 +79,8 @@ fn serve_config() -> ServeConfig {
             seed: 0,
         },
         parallelism: Parallelism::Serial,
+        worker_mode: WorkerMode::Pool,
+        slot_pool: true,
     }
 }
 
@@ -485,6 +487,179 @@ fn deadline_overruns_escalate_policy_then_trip_the_breaker() {
     let metrics = manager.metrics(id).unwrap();
     assert!(metrics.counter(slj_obs::serve_keys::DEADLINE_MISSES) >= 2);
     assert!(metrics.counter(slj_obs::serve_keys::DEGRADED) >= 4);
+}
+
+/// One churn soak: `WAVES` waves of sessions through a
+/// `max_sessions`-bounded manager. Every wave closes, has its results
+/// taken and is retired before the next opens, so waves after the
+/// first run entirely in recycled slots when `slot_pool` is on. One
+/// session per wave is poisoned, so the checkpoint-restart ladder also
+/// executes inside a recycled slot. Returns the event stream, every
+/// session's result, every session's metrics rendering and the
+/// manager's aggregate-metrics rendering.
+#[allow(clippy::type_complexity)]
+fn churn_run(
+    parallelism: Parallelism,
+    slot_pool: bool,
+    jump: &SyntheticJump,
+    camera: &Camera,
+) -> (
+    Vec<HealthEvent>,
+    Vec<Option<JumpAnalysis>>,
+    Vec<String>,
+    String,
+) {
+    const WAVES: usize = 3;
+    const PER_WAVE: usize = 3;
+
+    let mut chaos = ServiceFaultPlan::none();
+    for wave in 0..WAVES {
+        // Session ids are monotonic across retires, so wave w's middle
+        // session is id w*PER_WAVE + 1.
+        chaos = chaos.poison(wave * PER_WAVE + 1, 16);
+    }
+    let mut manager = SessionManager::new(ServeConfig {
+        max_sessions: PER_WAVE,
+        parallelism,
+        slot_pool,
+        ..serve_config()
+    })
+    .with_chaos(chaos);
+
+    let mut events = Vec::new();
+    let mut results = Vec::new();
+    let mut metrics = Vec::new();
+    for wave in 0..WAVES {
+        let ids: Vec<usize> = (0..PER_WAVE)
+            .map(|_| {
+                manager
+                    .open(session_config(streamable_fast(), jump, camera))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids[0], wave * PER_WAVE, "ids stay monotonic across waves");
+        for frame in jump.video.iter() {
+            for &id in &ids {
+                let reply = manager.offer(id, frame).unwrap();
+                assert!(matches!(reply, OfferReply::Accepted { .. }));
+            }
+            manager.tick();
+        }
+        for &id in &ids {
+            manager.close(id).unwrap();
+        }
+        manager.run_until_idle();
+        manager.drain_events_into(&mut events);
+        for &id in &ids {
+            results.push(manager.take_result(id).and_then(Result::ok));
+            metrics.push(manager.metrics(id).unwrap().render());
+            manager.retire(id).unwrap();
+            assert!(manager.metrics(id).is_none(), "retired id {id} is gone");
+        }
+    }
+    assert_eq!(manager.sessions_in_service(), 0);
+    assert_eq!(manager.session_ids().count(), 0);
+    assert_eq!(
+        manager.pooled_slots(),
+        if slot_pool { PER_WAVE } else { 0 },
+        "slot pool holds at most one slot per capacity unit"
+    );
+    (
+        events,
+        results,
+        metrics,
+        manager.aggregate_metrics().render(),
+    )
+}
+
+#[test]
+fn session_churn_reuses_slots_byte_identically_and_bounds_metrics() {
+    const WAVES: usize = 3;
+    const PER_WAVE: usize = 3;
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 97);
+    let reference = reference_run(&streamable_fast(), &jump, &scene.camera);
+
+    let pooled = churn_run(Parallelism::Serial, true, &jump, &scene.camera);
+    // Recycled slots must be invisible to results: a run with pooling
+    // off (every session builds fresh state) is byte-identical.
+    let fresh = churn_run(Parallelism::Serial, false, &jump, &scene.camera);
+    assert_eq!(pooled.0, fresh.0, "recycled slots changed the events");
+    assert_eq!(pooled.1, fresh.1, "recycled slots changed the analyses");
+    assert_eq!(pooled.2, fresh.2, "recycled slots changed the metrics");
+    assert_eq!(pooled.3, fresh.3, "recycled slots changed the aggregate");
+    // And churn must stay deterministic across the fan-out settings.
+    for parallelism in [Parallelism::Fixed(4), Parallelism::Auto] {
+        let run = churn_run(parallelism, true, &jump, &scene.camera);
+        assert_eq!(pooled.0, run.0, "{parallelism}: events differ");
+        assert_eq!(pooled.1, run.1, "{parallelism}: analyses differ");
+        assert_eq!(pooled.2, run.2, "{parallelism}: metrics differ");
+        assert_eq!(pooled.3, run.3, "{parallelism}: aggregate differs");
+    }
+
+    let (events, results, _metrics, aggregate) = pooled;
+    for wave in 0..WAVES {
+        for lane in 0..PER_WAVE {
+            let id = wave * PER_WAVE + lane;
+            if lane == 1 {
+                // The poisoned lane crashed, resumed from its
+                // checkpoint inside a recycled slot, and finished.
+                assert_eq!(
+                    decision_trail(&events, id),
+                    vec!["panicked", "restarted", "finished"],
+                    "session {id}"
+                );
+                assert!(results[id].is_some(), "poisoned session {id} finishes");
+            } else {
+                assert_eq!(
+                    results[id].as_ref(),
+                    Some(&reference),
+                    "healthy churned session {id} must match the unsupervised run"
+                );
+                assert_eq!(decision_trail(&events, id), vec!["finished"]);
+            }
+        }
+    }
+    // Satellite contract: retirement folds per-session metrics into
+    // one bounded aggregate instead of leaking a registry per session.
+    assert!(
+        aggregate.contains("serve.panics = 3"),
+        "one panic per wave on the aggregate record:\n{aggregate}"
+    );
+    assert!(aggregate.contains("serve.restarts = 3"), "{aggregate}");
+}
+
+#[test]
+fn retire_is_terminal_only_and_frees_capacity() {
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 98);
+    let mut manager = SessionManager::new(ServeConfig {
+        max_sessions: 1,
+        ..serve_config()
+    });
+    let id = manager
+        .open(session_config(streamable_fast(), &jump, &scene.camera))
+        .unwrap();
+    // Live sessions cannot be retired out from under their producer.
+    assert!(matches!(
+        manager.retire(id),
+        Err(ServeError::SessionActive { id: 0 })
+    ));
+    // An empty close fails the session — terminal, hence retirable.
+    manager.close(id).unwrap();
+    manager.run_until_idle();
+    assert!(manager.state(id).unwrap().is_terminal());
+    let rendered = manager.metrics(id).unwrap().render();
+    manager.retire(id).unwrap();
+    assert_eq!(manager.aggregate_metrics().render(), rendered);
+    assert!(matches!(
+        manager.retire(id),
+        Err(ServeError::UnknownSession { id: 0 })
+    ));
+    // Retirement freed the capacity slot; the next open gets a fresh
+    // id, never the retired one.
+    let next = manager.open(session_config(streamable_fast(), &jump, &scene.camera));
+    assert_eq!(next.unwrap(), 1);
 }
 
 #[test]
