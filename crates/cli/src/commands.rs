@@ -8,6 +8,26 @@ use slj_video::io::{load_video, save_video};
 use std::io::Write;
 use std::str::FromStr;
 
+/// Writes a CLI output file (`--report`, `--events`, `--trace`, …),
+/// creating missing parent directories first. Failures become a typed
+/// [`CliError::Output`] naming the path, instead of a bare I/O error
+/// that loses it.
+fn write_output(path: &str, contents: &str) -> Result<(), CliError> {
+    let target = std::path::Path::new(path);
+    let attempt = (|| {
+        if let Some(parent) = target.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(target, contents)
+    })();
+    attempt.map_err(|error| CliError::Output {
+        path: path.to_owned(),
+        error,
+    })
+}
+
 /// `slj synth` — render a synthetic clip with ground truth.
 pub fn synth<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let flags = Flags::parse(
@@ -304,19 +324,19 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         write!(out, "{}", analysis.obs.metrics().render())?;
     }
     if let Some(path) = flags.value("trace") {
-        std::fs::write(path, analysis.obs.render_trace())?;
+        write_output(path, &analysis.obs.render_trace())?;
         writeln!(out, "trace ({}) written to {path}", slj::TRACE_SCHEMA)?;
     }
     if let Some(path) = flags.value("report") {
         let json = serde_json::to_string_pretty(&summary)?;
-        std::fs::write(path, json)?;
+        write_output(path, &json)?;
         writeln!(out, "summary written to {path}")?;
     }
     if let Some(path) = flags.value("report-md") {
         let report = full_report
             .as_ref()
             .expect("--report-md with --stream is rejected at flag validation");
-        std::fs::write(path, slj::markdown_report(report, &truth.dims))?;
+        write_output(path, &slj::markdown_report(report, &truth.dims))?;
         writeln!(out, "markdown report written to {path}")?;
     }
     Ok(())
@@ -481,13 +501,17 @@ pub fn serve<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         }
         manager.tick();
     }
+    // End of input: close every clip, then drain — the manager stops
+    // admitting and ticks until every in-flight session is terminal,
+    // so no scripted tick count is needed.
     for id in 0..sessions {
         match manager.close(id) {
             Ok(()) | Err(slj_serve::ServeError::SessionTerminal { .. }) => {}
             Err(e) => return Err(e.into()),
         }
     }
-    manager.run_until_idle();
+    manager.run_until_drained();
+    debug_assert!(manager.is_drained());
 
     let events = manager.drain_events();
     writeln!(
@@ -529,12 +553,171 @@ pub fn serve<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         }
     }
     if let Some(path) = flags.value("events") {
-        std::fs::write(path, slj_serve::render_events(&events))?;
+        write_output(path, &slj_serve::render_events(&events))?;
         writeln!(
             out,
             "health events ({}) written to {path}",
             slj_serve::SERVE_SCHEMA
         )?;
+    }
+    Ok(())
+}
+
+/// `slj daemon` — run the long-lived socket service in front of the
+/// session manager.
+///
+/// Listens on one or more `tcp:HOST:PORT` / `unix:PATH` addresses
+/// (comma-separated) speaking `slj-wire/1`, and blocks until a client
+/// sends `DRAIN` (`slj submit --connect ADDR --drain`): in-flight
+/// sessions finish, new opens are refused with a typed rejection, then
+/// the daemon exits and prints its lifetime counters.
+pub fn daemon<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "listen",
+            "max-sessions",
+            "queue-depth",
+            "frame-deadline-ms",
+            "threads",
+            "trace-dir",
+            "max-frame-mb",
+            "idle-timeout-ms",
+        ],
+        &[],
+    )?;
+    let mut addrs = Vec::new();
+    for raw in flags.required("listen")?.split(',') {
+        addrs.push(
+            slj_daemon::Addr::parse(raw).map_err(|e| CliError::Usage(format!("--listen: {e}")))?,
+        );
+    }
+    let mut config = slj_daemon::DaemonConfig::default();
+    config.serve.max_sessions = flags.get_or("max-sessions", config.serve.max_sessions)?;
+    config.serve.queue_depth = flags.get_or("queue-depth", config.serve.queue_depth)?;
+    config.serve.frame_deadline = flags.get_or("frame-deadline-ms", config.serve.frame_deadline)?;
+    if config.serve.queue_depth == 0 {
+        return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+    }
+    config.serve.parallelism = match flags.value("threads") {
+        None => Parallelism::Auto,
+        Some(raw) => raw
+            .parse::<Parallelism>()
+            .map_err(|e| CliError::Usage(format!("--threads: {e}")))?,
+    };
+    let max_frame_mb: usize = flags.get_or("max-frame-mb", 0)?;
+    if max_frame_mb > 0 {
+        config.max_frame = max_frame_mb * 1024 * 1024;
+    }
+    let idle_timeout_ms: u64 = flags.get_or("idle-timeout-ms", 0)?;
+    if idle_timeout_ms > 0 {
+        // The reaper counts consecutive quiet read polls.
+        config.idle_timeouts = idle_timeout_ms.div_ceil(config.read_timeout_ms).max(1) as u32;
+    }
+    config.trace_dir = flags.value("trace-dir").map(std::path::PathBuf::from);
+
+    let handle = slj_daemon::Daemon::start(&addrs, config)?;
+    for addr in &handle.addrs {
+        writeln!(out, "listening on {addr} ({})", slj_daemon::WIRE_SCHEMA)?;
+    }
+    out.flush()?;
+    let stats = handle.join();
+    writeln!(
+        out,
+        "daemon drained: {} connections, {} sessions ({} finished, {} failed, {} aborted), \
+         {} events dropped, {} connections torn down, {} ticks",
+        stats.connections,
+        stats.sessions_opened,
+        stats.sessions_finished,
+        stats.sessions_failed,
+        stats.sessions_aborted,
+        stats.events_dropped,
+        stats.conns_torn_down,
+        stats.ticks
+    )?;
+    Ok(())
+}
+
+/// `slj submit` — stream a saved clip to a running daemon and collect
+/// the analysis.
+///
+/// The returned summary JSON is byte-identical to what
+/// `slj analyze --stream --report` writes for the same clip and
+/// configuration, and `--trace` captures the identical `slj-trace/1`
+/// JSONL — the daemon adds transport, not drift. With `--drain` the
+/// command instead asks the daemon to shut down gracefully.
+pub fn submit<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "connect",
+            "clip",
+            "warmup",
+            "max-degraded",
+            "report",
+            "trace",
+            "events",
+        ],
+        &["fast", "best-effort", "drain"],
+    )?;
+    let addr = slj_daemon::Addr::parse(flags.required("connect")?)
+        .map_err(|e| CliError::Usage(format!("--connect: {e}")))?;
+    if flags.switch("drain") {
+        let in_flight = slj_daemon::client::drain_daemon(&addr)?;
+        writeln!(out, "daemon draining ({in_flight} sessions in flight)")?;
+        return Ok(());
+    }
+    let clip_dir = flags.required("clip")?.to_owned();
+    if flags.value("max-degraded").is_some() && !flags.switch("best-effort") {
+        return Err(CliError::Usage(
+            "--max-degraded only makes sense with --best-effort".into(),
+        ));
+    }
+    let video = load_video(&clip_dir)?;
+    let truth = ClipTruth::load(&clip_dir)?;
+    let warmup: usize = flags.get_or("warmup", slj::DEFAULT_WARMUP_FRAMES)?;
+    let max_degraded = if flags.switch("best-effort") {
+        Some(flags.get_or("max-degraded", video.len().div_ceil(4))?)
+    } else {
+        None
+    };
+    let request = slj_daemon::OpenRequest {
+        camera: truth.camera,
+        dims: truth.dims.clone(),
+        first_pose: truth.first_pose,
+        fps: video.fps(),
+        warmup,
+        fast: flags.switch("fast"),
+        max_degraded,
+        want_trace: flags.value("trace").is_some(),
+    };
+
+    let mut client = slj_daemon::Client::connect(&addr, slj_daemon::ClientOptions::default())?;
+    writeln!(out, "connected: {} at {addr}", client.proto())?;
+    let analysis = client.analyze_clip(&request, video.frames())?;
+    writeln!(
+        out,
+        "session {}: analysis received ({} frames sent, {} health events)",
+        analysis.session,
+        video.len(),
+        analysis.events.len()
+    )?;
+    if let Some(path) = flags.value("events") {
+        let mut lines = analysis.events.join("\n");
+        lines.push('\n');
+        write_output(path, &lines)?;
+        writeln!(out, "health events written to {path}")?;
+    }
+    if let Some(path) = flags.value("trace") {
+        write_output(path, &analysis.trace_jsonl)?;
+        writeln!(out, "trace written to {path}")?;
+    }
+    match flags.value("report") {
+        Some(path) => {
+            write_output(path, &analysis.summary_json)?;
+            writeln!(out, "summary written to {path}")?;
+        }
+        None => writeln!(out, "{}", analysis.summary_json)?,
     }
     Ok(())
 }
@@ -584,7 +767,7 @@ pub fn eval<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         let report = slj_eval::calibrate(&config, &slj_eval::SweepConfig::default());
         write!(out, "{}", slj_eval::calibrate::markdown_summary(&report))?;
         let path = flags.value("out").unwrap_or("EVAL_calibration.json");
-        std::fs::write(path, report.to_json())?;
+        write_output(path, &report.to_json())?;
         writeln!(out, "calibration report written to {path}")?;
     } else {
         let config = match matrix_size.unwrap_or_default() {
@@ -604,10 +787,10 @@ pub fn eval<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         let summary = slj_eval::markdown_summary(&report);
         write!(out, "{summary}")?;
         let path = flags.value("out").unwrap_or("EVAL_accuracy.json");
-        std::fs::write(path, report.to_json())?;
+        write_output(path, &report.to_json())?;
         writeln!(out, "accuracy report written to {path}")?;
         if let Some(md_path) = flags.value("summary-md") {
-            std::fs::write(md_path, &summary)?;
+            write_output(md_path, &summary)?;
             writeln!(out, "markdown summary written to {md_path}")?;
         }
     }

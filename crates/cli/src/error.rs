@@ -19,6 +19,16 @@ pub enum CliError {
     Analyze(slj::AnalyzeError),
     /// The service layer refused a request.
     Serve(slj_serve::ServeError),
+    /// The daemon transport failed (connect, wire protocol, session).
+    Daemon(slj_daemon::ClientError),
+    /// An output file (`--report`, `--events`, `--trace`, …) could not
+    /// be written. Unlike a bare [`CliError::Io`], this names the path.
+    Output {
+        /// The file that could not be written.
+        path: String,
+        /// The underlying failure.
+        error: std::io::Error,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -30,6 +40,10 @@ impl fmt::Display for CliError {
             CliError::Image(e) => write!(f, "clip error: {e}"),
             CliError::Analyze(e) => write!(f, "analysis error: {e}"),
             CliError::Serve(e) => write!(f, "service error: {e}"),
+            CliError::Daemon(e) => write!(f, "daemon error: {e}"),
+            CliError::Output { path, error } => {
+                write!(f, "cannot write output file '{path}': {error}")
+            }
         }
     }
 }
@@ -43,6 +57,8 @@ impl std::error::Error for CliError {
             CliError::Image(e) => Some(e),
             CliError::Analyze(e) => Some(e),
             CliError::Serve(e) => Some(e),
+            CliError::Daemon(e) => Some(e),
+            CliError::Output { error, .. } => Some(error),
         }
     }
 }
@@ -74,6 +90,12 @@ impl From<slj::AnalyzeError> for CliError {
 impl From<slj_serve::ServeError> for CliError {
     fn from(e: slj_serve::ServeError) -> Self {
         CliError::Serve(e)
+    }
+}
+
+impl From<slj_daemon::ClientError> for CliError {
+    fn from(e: slj_daemon::ClientError) -> Self {
+        CliError::Daemon(e)
     }
 }
 

@@ -45,6 +45,12 @@ USAGE:
               [--events FILE.jsonl] [--threads N|auto|serial]
               [--worker-mode pool|spawn] [--slot-pool on|off] [--fast]
               [--best-effort [--max-degraded N]] [--warmup N]
+  slj daemon  --listen ADDR[,ADDR...] [--max-sessions N] [--queue-depth N]
+              [--frame-deadline-ms N] [--threads N|auto|serial]
+              [--trace-dir DIR] [--max-frame-mb N] [--idle-timeout-ms N]
+  slj submit  --connect ADDR (--clip DIR | --drain) [--warmup N] [--fast]
+              [--best-effort [--max-degraded N]] [--report FILE.json]
+              [--trace FILE.jsonl] [--events FILE.jsonl]
   slj eval    (--matrix small|full | --sweep) [--out FILE.json]
               [--summary-md FILE.md] [--threads N|auto|serial]
   slj flaws
@@ -84,6 +90,20 @@ COMMANDS:
              or per-tick thread spawning, and --slot-pool on|off
              controls recycling of retired sessions' buffers — every
              combination is byte-identical)
+  daemon    run the long-lived slj-wire/1 socket service (TCP and/or
+            Unix-domain, ADDR = tcp:HOST:PORT or unix:PATH) in front of
+            the session manager: concurrent clients open sessions,
+            stream frames under bounded queues with typed Overloaded
+            backpressure, and receive health events plus the final
+            analysis; malformed, oversized, idle or vanished clients
+            are contained per connection, and a wire DRAIN (see
+            `slj submit --drain`) finishes in-flight sessions and exits
+            (--trace-dir additionally exports each session's
+             slj-trace/1 JSONL server-side)
+  submit    stream a saved clip to a running daemon; the summary JSON
+            (--report) and trace (--trace) are byte-identical to
+            `slj analyze --stream` on the same clip and configuration,
+            and --drain asks the daemon to shut down gracefully
   eval      measure tracking accuracy against synthetic ground truth
             (--matrix runs the seeded clip x fault-profile x gap-policy
              grid and writes a deterministic slj-eval/1 JSON report;
@@ -107,6 +127,8 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("analyze") => commands::analyze(&args[1..], out),
         Some("score") => commands::score(&args[1..], out),
         Some("serve") => commands::serve(&args[1..], out),
+        Some("daemon") => commands::daemon(&args[1..], out),
+        Some("submit") => commands::submit(&args[1..], out),
         Some("eval") => commands::eval(&args[1..], out),
         Some("flaws") => commands::flaws(out),
         Some("help") | None => {

@@ -1,0 +1,92 @@
+//! Listen/connect address syntax shared by the daemon and the client:
+//! `tcp:HOST:PORT` (or a bare `HOST:PORT`) and `unix:PATH`.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A transport endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A TCP socket address string (`127.0.0.1:4500`; port 0 asks the
+    /// OS for an ephemeral port when listening).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Addr {
+    /// Parses an address. Accepted forms: `unix:PATH`, `tcp:HOST:PORT`
+    /// and bare `HOST:PORT`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is wrong with the string.
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: address needs a socket path".to_owned());
+            }
+            return Ok(Addr::Unix(PathBuf::from(path)));
+        }
+        let hostport = s.strip_prefix("tcp:").unwrap_or(s);
+        match hostport.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Addr::Tcp(hostport.to_owned()))
+            }
+            _ => Err(format!(
+                "cannot parse address '{s}': expected unix:PATH, tcp:HOST:PORT or HOST:PORT"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+            Addr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for Addr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Addr::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_forms() {
+        assert_eq!(
+            Addr::parse("unix:/tmp/slj.sock").unwrap(),
+            Addr::Unix(PathBuf::from("/tmp/slj.sock"))
+        );
+        assert_eq!(
+            Addr::parse("tcp:127.0.0.1:4500").unwrap(),
+            Addr::Tcp("127.0.0.1:4500".to_owned())
+        );
+        assert_eq!(
+            Addr::parse("127.0.0.1:0").unwrap(),
+            Addr::Tcp("127.0.0.1:0".to_owned())
+        );
+        assert_eq!(
+            Addr::parse("tcp:localhost:80").unwrap().to_string(),
+            "tcp:localhost:80"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Addr::parse("unix:").is_err());
+        assert!(Addr::parse("justahost").is_err());
+        assert!(Addr::parse("host:notaport").is_err());
+        assert!(Addr::parse(":4500").is_err());
+        assert!(Addr::parse("tcp:host:99999").is_err());
+    }
+}

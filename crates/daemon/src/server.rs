@@ -1,0 +1,416 @@
+//! Listener/acceptor/reader/writer threads around the
+//! [`Engine`](crate::engine): everything that touches a socket.
+//!
+//! One acceptor thread per listener polls a nonblocking accept loop so
+//! it can notice the drain flag promptly; each accepted connection gets
+//! a reader thread (socket → decoder → bounded request channel) and a
+//! writer thread (bounded reply channel → encoder → socket). Readers
+//! *block* on the request channel when the engine is saturated — that
+//! is the design: the unread bytes stay in the kernel socket buffer and
+//! the peer's sends stall, which is exactly the backpressure the wire
+//! protocol promises instead of unbounded buffering.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::addr::Addr;
+use crate::engine::{DaemonConfig, DaemonStats, Engine, Out, Request};
+use crate::wire::Decoder;
+
+/// How long acceptors sleep between nonblocking accept polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// One live transport stream: the TCP/UDS split stops here.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(d),
+            Stream::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
+    /// Closes both directions; unblocks a reader stuck in `read`.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// The daemon entry point: bind listeners, start the engine, accept.
+pub struct Daemon;
+
+/// A running daemon. Dropping the handle does **not** stop it — call
+/// [`drain`](DaemonHandle::drain) then [`join`](DaemonHandle::join).
+pub struct DaemonHandle {
+    /// The addresses actually bound — with OS-assigned ports resolved,
+    /// so `tcp:127.0.0.1:0` comes back as the real endpoint to dial.
+    pub addrs: Vec<Addr>,
+    drain_flag: Arc<AtomicBool>,
+    engine: JoinHandle<DaemonStats>,
+    acceptors: Vec<JoinHandle<()>>,
+    unix_paths: Vec<PathBuf>,
+}
+
+impl DaemonHandle {
+    /// Begins a graceful drain: listeners stop accepting, in-flight
+    /// sessions finish, then the engine exits. Idempotent.
+    pub fn drain(&self) {
+        self.drain_flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested (by this handle or a wire
+    /// `DRAIN`).
+    pub fn is_draining(&self) -> bool {
+        self.drain_flag.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to complete and returns the engine's
+    /// lifetime counters. Call [`drain`](DaemonHandle::drain) first or
+    /// this blocks until a client sends `DRAIN`.
+    pub fn join(self) -> DaemonStats {
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        let stats = self.engine.join().unwrap_or_default();
+        for path in &self.unix_paths {
+            let _ = std::fs::remove_file(path);
+        }
+        stats
+    }
+}
+
+impl Daemon {
+    /// Binds every address and starts the engine + acceptor threads.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure (the socket path's parent directory is created
+    /// for Unix addresses; a stale socket file is removed first).
+    pub fn start(addrs: &[Addr], config: DaemonConfig) -> io::Result<DaemonHandle> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "daemon needs at least one listen address",
+            ));
+        }
+        let mut listeners = Vec::new();
+        let mut bound = Vec::new();
+        let mut unix_paths = Vec::new();
+        for addr in addrs {
+            match addr {
+                Addr::Tcp(hostport) => {
+                    let listener = TcpListener::bind(hostport.as_str())?;
+                    let local = listener.local_addr()?;
+                    bound.push(Addr::Tcp(local.to_string()));
+                    listeners.push(Listener::Tcp(listener));
+                }
+                Addr::Unix(path) => {
+                    if let Some(parent) = path.parent() {
+                        if !parent.as_os_str().is_empty() {
+                            std::fs::create_dir_all(parent)?;
+                        }
+                    }
+                    // A stale socket file from a dead daemon blocks
+                    // bind; connecting distinguishes stale from live.
+                    if path.exists() {
+                        match UnixStream::connect(path) {
+                            Ok(_) => {
+                                return Err(io::Error::new(
+                                    ErrorKind::AddrInUse,
+                                    format!("{} already has a live daemon", path.display()),
+                                ));
+                            }
+                            Err(_) => std::fs::remove_file(path)?,
+                        }
+                    }
+                    let listener = UnixListener::bind(path)?;
+                    bound.push(Addr::Unix(path.clone()));
+                    unix_paths.push(path.clone());
+                    listeners.push(Listener::Unix(listener, path.clone()));
+                }
+            }
+        }
+
+        let drain_flag = Arc::new(AtomicBool::new(false));
+        let (request_tx, request_rx) = sync_channel::<Request>(config.request_depth);
+        let reply_depth = config.reply_depth;
+        let read_timeout = Duration::from_millis(config.read_timeout_ms);
+        let write_timeout = Duration::from_millis(config.write_timeout_ms);
+        let idle_timeouts = config.idle_timeouts;
+        let max_frame = config.max_frame;
+
+        let engine = {
+            let requests = request_rx;
+            let flag = Arc::clone(&drain_flag);
+            thread::Builder::new()
+                .name("slj-daemon-engine".to_owned())
+                .spawn(move || Engine::new(config, requests, flag).run())
+                .expect("spawn engine thread")
+        };
+
+        let conn_ids = Arc::new(AtomicU64::new(0));
+        let mut acceptors = Vec::new();
+        for listener in listeners {
+            let requests = request_tx.clone();
+            let flag = Arc::clone(&drain_flag);
+            let conn_ids = Arc::clone(&conn_ids);
+            let handle = thread::Builder::new()
+                .name("slj-daemon-accept".to_owned())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        requests,
+                        flag,
+                        conn_ids,
+                        reply_depth,
+                        read_timeout,
+                        write_timeout,
+                        idle_timeouts,
+                        max_frame,
+                    )
+                })
+                .expect("spawn acceptor thread");
+            acceptors.push(handle);
+        }
+        // The engine exits when every request sender hangs up *or* a
+        // drain completes; acceptors hold clones until they stop.
+        drop(request_tx);
+
+        Ok(DaemonHandle {
+            addrs: bound,
+            drain_flag,
+            engine,
+            acceptors,
+            unix_paths,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: Listener,
+    requests: SyncSender<Request>,
+    drain_flag: Arc<AtomicBool>,
+    conn_ids: Arc<AtomicU64>,
+    reply_depth: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeouts: u32,
+    max_frame: usize,
+) {
+    match &listener {
+        Listener::Tcp(l) => l.set_nonblocking(true).expect("nonblocking listener"),
+        Listener::Unix(l, _) => l.set_nonblocking(true).expect("nonblocking listener"),
+    }
+    loop {
+        if drain_flag.load(Ordering::SeqCst) {
+            if let Listener::Unix(_, path) = &listener {
+                let _ = std::fs::remove_file(path);
+            }
+            return;
+        }
+        let accepted = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                let conn = conn_ids.fetch_add(1, Ordering::SeqCst);
+                if spawn_connection(
+                    conn,
+                    stream,
+                    &requests,
+                    reply_depth,
+                    read_timeout,
+                    write_timeout,
+                    idle_timeouts,
+                    max_frame,
+                )
+                .is_err()
+                {
+                    // The engine is gone; nothing left to accept for.
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Registers the connection with the engine and starts its reader and
+/// writer threads. Returns `Err` only when the engine has hung up.
+#[allow(clippy::too_many_arguments)]
+fn spawn_connection(
+    conn: u64,
+    stream: Stream,
+    requests: &SyncSender<Request>,
+    reply_depth: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeouts: u32,
+    max_frame: usize,
+) -> Result<(), ()> {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return Ok(()), // connection stillborn; accept the next
+    };
+    let (reply_tx, reply_rx) = sync_channel::<Out>(reply_depth);
+    requests
+        .send(Request::Connect {
+            conn,
+            writer: reply_tx,
+        })
+        .map_err(|_| ())?;
+    let reader_requests = requests.clone();
+    thread::Builder::new()
+        .name(format!("slj-daemon-read-{conn}"))
+        .spawn(move || reader_loop(conn, stream, &reader_requests, idle_timeouts, max_frame))
+        .expect("spawn reader thread");
+    thread::Builder::new()
+        .name(format!("slj-daemon-write-{conn}"))
+        .spawn(move || writer_loop(write_half, &reply_rx))
+        .expect("spawn writer thread");
+    Ok(())
+}
+
+/// Socket → decoder → request channel. A send into the bounded channel
+/// blocks when the engine is saturated; the socket keeps its unread
+/// bytes and the peer stalls — backpressure, not buffering.
+fn reader_loop(
+    conn: u64,
+    mut stream: Stream,
+    requests: &SyncSender<Request>,
+    idle_timeouts: u32,
+    max_frame: usize,
+) {
+    let mut decoder = Decoder::new(max_frame);
+    let mut chunk = [0u8; 64 * 1024];
+    let mut quiet_polls: u32 = 0;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let _ = requests.send(Request::Gone { conn });
+                return;
+            }
+            Ok(n) => {
+                quiet_polls = 0;
+                decoder.push(&chunk[..n]);
+                loop {
+                    match decoder.next_msg() {
+                        Ok(Some(msg)) => {
+                            if requests.send(Request::Msg { conn, msg }).is_err() {
+                                return; // engine gone
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(err) => {
+                            // Framing is lost for good: report and stop
+                            // reading. The engine replies with a typed
+                            // ERROR and closes via the writer.
+                            let _ = requests.send(Request::BadWire { conn, err });
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                quiet_polls = quiet_polls.saturating_add(1);
+                if idle_timeouts > 0 && quiet_polls >= idle_timeouts {
+                    let _ = requests.send(Request::Idle { conn });
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                let _ = requests.send(Request::Gone { conn });
+                return;
+            }
+        }
+    }
+}
+
+/// Reply channel → encoder → socket. Exits on `Close`, channel
+/// disconnect (engine dropped the connection) or write failure (the
+/// write deadline turns a wedged peer into an error here).
+fn writer_loop(mut stream: Stream, replies: &Receiver<Out>) {
+    let mut buf = Vec::new();
+    while let Ok(out) = replies.recv() {
+        match out {
+            Out::Msg(msg) => {
+                buf.clear();
+                crate::wire::encode(&msg, &mut buf);
+                if stream.write_all(&buf).is_err() {
+                    break;
+                }
+            }
+            Out::Close => break,
+        }
+    }
+    let _ = stream.flush();
+    stream.shutdown();
+}

@@ -240,11 +240,25 @@ fn kind_fields(kind: &EventKind) -> Vec<(&'static str, Value)> {
     }
 }
 
+/// Renders one event as its `slj-serve/1` JSONL line (no trailing
+/// newline). Key order is fixed (`seq`, `session`, `tick`, `event`,
+/// then event-specific fields); no wall-clock values appear, so the
+/// line is byte-identical for a given deterministic run. The daemon
+/// streams these to clients one at a time.
+pub fn render_event(e: &HealthEvent) -> String {
+    let mut fields = vec![
+        ("seq", Value::U64(e.seq)),
+        ("session", Value::U64(e.session as u64)),
+        ("tick", Value::U64(e.tick)),
+        ("event", Value::Str(e.kind.name().to_owned())),
+    ];
+    fields.extend(kind_fields(&e.kind));
+    serde_json::to_string(&object(fields)).expect("event serialises")
+}
+
 /// Renders events as an `slj-serve/1` JSONL document: a header line
-/// carrying the schema tag and event count, then one line per event in
-/// stream order. Key order is fixed (`seq`, `session`, `tick`,
-/// `event`, then event-specific fields); no wall-clock values appear,
-/// so the document is byte-identical for a given deterministic run.
+/// carrying the schema tag and event count, then one [`render_event`]
+/// line per event in stream order.
 pub fn render_events(events: &[HealthEvent]) -> String {
     let mut out = String::new();
     let header = object(vec![
@@ -254,14 +268,7 @@ pub fn render_events(events: &[HealthEvent]) -> String {
     out.push_str(&serde_json::to_string(&header).expect("header serialises"));
     out.push('\n');
     for e in events {
-        let mut fields = vec![
-            ("seq", Value::U64(e.seq)),
-            ("session", Value::U64(e.session as u64)),
-            ("tick", Value::U64(e.tick)),
-            ("event", Value::Str(e.kind.name().to_owned())),
-        ];
-        fields.extend(kind_fields(&e.kind));
-        out.push_str(&serde_json::to_string(&object(fields)).expect("event serialises"));
+        out.push_str(&render_event(e));
         out.push('\n');
     }
     out

@@ -50,6 +50,6 @@ pub mod manager;
 pub mod session;
 
 pub use chaos::ServiceFaultPlan;
-pub use events::{render_events, EventKind, HealthEvent, RestartMode, SERVE_SCHEMA};
+pub use events::{render_event, render_events, EventKind, HealthEvent, RestartMode, SERVE_SCHEMA};
 pub use manager::{DeadlineClock, OfferReply, ServeConfig, ServeError, SessionManager, WorkerMode};
 pub use session::{SessionConfig, SessionId, SessionState};

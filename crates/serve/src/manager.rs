@@ -187,6 +187,9 @@ pub enum ServeError {
         /// The session.
         id: SessionId,
     },
+    /// The manager is draining: in-flight sessions finish, new ones
+    /// are refused.
+    Draining,
     /// The session config failed analyzer validation (e.g. not
     /// streamable).
     Analyzer(AnalyzeError),
@@ -207,6 +210,12 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "session {id} is still active (retire needs a terminal session)"
+                )
+            }
+            ServeError::Draining => {
+                write!(
+                    f,
+                    "draining: finishing in-flight sessions, not admitting new ones"
                 )
             }
             ServeError::Analyzer(e) => write!(f, "session rejected: {e}"),
@@ -239,6 +248,7 @@ pub struct SessionManager {
     slots: Vec<SessionSlot>,
     aggregate: MetricsRegistry,
     workers: Option<WorkerPool>,
+    draining: bool,
 }
 
 impl SessionManager {
@@ -255,6 +265,7 @@ impl SessionManager {
             slots: Vec::new(),
             aggregate: MetricsRegistry::default(),
             workers: None,
+            draining: false,
         }
     }
 
@@ -278,9 +289,13 @@ impl SessionManager {
     ///
     /// # Errors
     ///
+    /// [`ServeError::Draining`] after [`SessionManager::drain`];
     /// [`ServeError::AtCapacity`] past `max_sessions`;
     /// [`ServeError::Analyzer`] when the config is not streamable.
     pub fn open(&mut self, config: SessionConfig) -> Result<SessionId, ServeError> {
+        if self.draining {
+            return Err(ServeError::Draining);
+        }
         if self.sessions.len() >= self.config.max_sessions {
             return Err(ServeError::AtCapacity {
                 max: self.config.max_sessions,
@@ -373,6 +388,75 @@ impl SessionManager {
         self.aggregate.absorb(&metrics);
         if self.config.slot_pool && self.slots.len() < self.config.max_sessions {
             self.slots.push(slot);
+        }
+        Ok(())
+    }
+
+    /// Begins a graceful drain: every further `open` is refused with
+    /// [`ServeError::Draining`], while sessions already in flight keep
+    /// processing to their natural end. Non-blocking — the caller keeps
+    /// ticking (or calls [`SessionManager::run_until_drained`]) and
+    /// polls [`SessionManager::is_drained`]. Idempotent.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether [`SessionManager::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the drain is complete: draining was requested and every
+    /// session still in service has reached a terminal state (finished,
+    /// failed or quarantined — retired sessions are gone already).
+    pub fn is_drained(&self) -> bool {
+        self.draining && self.sessions.iter().all(|s| s.state().is_terminal())
+    }
+
+    /// Drains and ticks until every in-flight session is terminal.
+    /// Returns the ticks run.
+    ///
+    /// An open session whose producer never closes it only terminates
+    /// through stall detection, so with `stall_ticks == 0` callers must
+    /// [`SessionManager::close`] every session first or this loops
+    /// forever.
+    pub fn run_until_drained(&mut self) -> u64 {
+        self.drain();
+        let mut ticks = 0;
+        while !self.is_drained() {
+            self.tick();
+            ticks += 1;
+        }
+        ticks
+    }
+
+    /// Force-terminates a **live** session — the ingress layer's hook
+    /// for a producer that vanished (client disconnect) rather than
+    /// closed. The session is quarantined with `reason`, emitting the
+    /// usual terminal health event (stamped with the current tick), and
+    /// becomes eligible for [`SessionManager::retire`] immediately. Any
+    /// partial analysis is discarded; there is no result to take.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] /
+    /// [`ServeError::SessionTerminal`] (aborting twice is the latter).
+    pub fn abort(&mut self, id: SessionId, reason: &str) -> Result<(), ServeError> {
+        let tick = self.tick;
+        let session = self.find_mut(id).ok_or(ServeError::UnknownSession { id })?;
+        if session.state().is_terminal() {
+            return Err(ServeError::SessionTerminal { id });
+        }
+        let mut buffer = Vec::new();
+        session.abort(reason, &mut buffer);
+        for (session, kind) in buffer {
+            self.events.push(HealthEvent {
+                seq: self.seq,
+                session,
+                tick,
+                kind,
+            });
+            self.seq += 1;
         }
         Ok(())
     }
@@ -715,6 +799,66 @@ mod tests {
         let frame = Frame::filled(8, 6, slj_imgproc_rgb(0));
         assert!(matches!(
             m.offer(id, &frame),
+            Err(ServeError::SessionTerminal { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_refuses_opens_and_completes_in_flight() {
+        let mut m = SessionManager::new(scripted(ServeConfig::default()));
+        let id = m.open(session_config()).unwrap();
+        let frame = Frame::filled(8, 6, slj_imgproc_rgb(40));
+        assert!(matches!(
+            m.offer(id, &frame).unwrap(),
+            OfferReply::Accepted { .. }
+        ));
+        m.drain();
+        assert!(m.is_draining());
+        assert!(!m.is_drained(), "in-flight session still live");
+        assert!(matches!(
+            m.open(session_config()),
+            Err(ServeError::Draining)
+        ));
+        // The in-flight session still processes and terminates.
+        m.close(id).unwrap();
+        let ticks = m.run_until_drained();
+        assert!(ticks > 0);
+        assert!(m.is_drained());
+        assert!(m.state(id).unwrap().is_terminal());
+        // Draining an empty manager is immediately drained.
+        let mut m = SessionManager::new(scripted(ServeConfig::default()));
+        assert_eq!(m.run_until_drained(), 0);
+    }
+
+    #[test]
+    fn abort_terminalizes_a_live_session_for_retire() {
+        let mut m = SessionManager::new(scripted(ServeConfig::default()));
+        let id = m.open(session_config()).unwrap();
+        let frame = Frame::filled(8, 6, slj_imgproc_rgb(40));
+        m.offer(id, &frame).unwrap();
+        m.abort(id, "client disconnected").unwrap();
+        assert!(matches!(
+            m.state(id),
+            Some(SessionState::Quarantined { reason }) if reason == "client disconnected"
+        ));
+        let events = m.drain_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::Quarantined { reason } if reason == "client disconnected"
+        ));
+        // Aborted sessions retire (and free their slot) immediately.
+        m.retire(id).unwrap();
+        assert_eq!(m.sessions_in_service(), 0);
+        // Aborting twice / unknown ids are typed errors.
+        assert!(matches!(
+            m.abort(id, "again"),
+            Err(ServeError::UnknownSession { .. })
+        ));
+        let id2 = m.open(session_config()).unwrap();
+        m.abort(id2, "gone").unwrap();
+        assert!(matches!(
+            m.abort(id2, "gone"),
             Err(ServeError::SessionTerminal { .. })
         ));
     }

@@ -576,6 +576,12 @@ impl Session {
         }
     }
 
+    /// The manager's disconnect hook: quarantines a live session so it
+    /// can be retired (the ingress layer's "producer vanished" path).
+    pub(crate) fn abort(&mut self, reason: &str, out: &mut Vec<(SessionId, EventKind)>) {
+        self.quarantine(reason, out);
+    }
+
     /// Terminal removal from service; frees the session's memory.
     fn quarantine(&mut self, reason: &str, out: &mut Vec<(SessionId, EventKind)>) {
         out.push((

@@ -663,6 +663,69 @@ fn retire_is_terminal_only_and_frees_capacity() {
 }
 
 #[test]
+fn client_disconnect_mid_stream_recycles_the_slot_byte_identically() {
+    // The daemon scenario: a remote client vanishes mid-stream, so the
+    // transport aborts the session and retires it, recycling its slot.
+    // The abandoned session must terminalise with a typed event, and
+    // the recycled slot must be invisible to the next tenant — its
+    // analysis byte-identical to an unsupervised run.
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 99);
+    let reference = reference_run(&streamable_fast(), &jump, &scene.camera);
+
+    let mut manager = SessionManager::new(ServeConfig {
+        max_sessions: 1,
+        ..serve_config()
+    });
+    let id = manager
+        .open(session_config(streamable_fast(), &jump, &scene.camera))
+        .unwrap();
+    for frame in jump.video.iter().take(9) {
+        assert!(matches!(
+            manager.offer(id, frame).unwrap(),
+            OfferReply::Accepted { .. }
+        ));
+        manager.tick();
+    }
+    // Mid-stream disconnect: abort is exactly what the daemon calls.
+    manager.abort(id, "client disconnected").unwrap();
+    assert!(manager.state(id).unwrap().is_terminal());
+    assert!(
+        manager.take_result(id).is_none(),
+        "an aborted session has no analysis to hand out"
+    );
+    let events = manager.drain_events();
+    assert!(
+        events.iter().any(|e| e.session == id
+            && matches!(&e.kind, EventKind::Quarantined { reason } if reason == "client disconnected")),
+        "abort must surface as a typed terminal event"
+    );
+    manager.retire(id).unwrap();
+    assert_eq!(manager.pooled_slots(), 1, "the slot went back to the pool");
+
+    // The next tenant lands in the recycled slot (max_sessions = 1, so
+    // there is nowhere else) and must match the unsupervised run.
+    let id2 = manager
+        .open(session_config(streamable_fast(), &jump, &scene.camera))
+        .unwrap();
+    assert_eq!(id2, 1, "ids stay monotonic across the recycle");
+    for frame in jump.video.iter() {
+        assert!(matches!(
+            manager.offer(id2, frame).unwrap(),
+            OfferReply::Accepted { .. }
+        ));
+        manager.tick();
+    }
+    manager.close(id2).unwrap();
+    manager.run_until_idle();
+    assert_eq!(
+        manager.take_result(id2).unwrap().unwrap(),
+        reference,
+        "recycled slot changed the analysis"
+    );
+}
+
+#[test]
 fn acquisition_faults_ride_through_the_service_unsupervised() {
     // The existing pixel-level FaultInjector composes with the service
     // layer: a fault-injected clip analysed through a session is
