@@ -297,13 +297,32 @@ pub fn analyze<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         )?;
     }
 
-    match slj::measure_jump(&analysis.poses, &truth.dims) {
-        Ok(m) => writeln!(
-            out,
-            "measured jump: {:.2} m (takeoff frame {}, landing frame {}, {} airborne frames)",
-            m.distance_m, m.takeoff_frame, m.landing_frame, m.flight_frames
-        )?,
-        Err(e) => writeln!(out, "measurement unavailable: {e}")?,
+    // The measurement carried by the analysis itself — the same one the
+    // JSON summary, serve results and daemon ANALYSIS payload surface.
+    match analysis.measurement {
+        Some(m) => {
+            let dir = match m.direction {
+                slj::JumpDirection::LeftToRight => "left-to-right",
+                slj::JumpDirection::RightToLeft => "right-to-left",
+            };
+            let partial = if m.is_complete() {
+                ""
+            } else if !m.takeoff_observed {
+                " [partial: clip starts airborne]"
+            } else {
+                " [partial: clip ends airborne]"
+            };
+            writeln!(
+                out,
+                "measured jump: {:.2} m {dir} (takeoff frame {}, landing frame {}, {} airborne frames){partial}",
+                m.distance_m, m.takeoff_frame, m.landing_frame, m.flight_frames
+            )?;
+        }
+        None => {
+            if let Err(e) = slj::measure_jump(&analysis.poses, &truth.dims) {
+                writeln!(out, "measurement unavailable: {e}")?;
+            }
+        }
     }
 
     // Accuracy against ground truth (available for synthetic clips).
@@ -624,17 +643,84 @@ pub fn daemon<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let stats = handle.join();
     writeln!(
         out,
-        "daemon drained: {} connections, {} sessions ({} finished, {} failed, {} aborted), \
-         {} events dropped, {} connections torn down, {} ticks",
+        "daemon drained: {} connections, {} sessions ({} finished, {} failed, {} aborted, \
+         {} clip-ingested), {} events dropped, {} connections torn down, {} ticks",
         stats.connections,
         stats.sessions_opened,
         stats.sessions_finished,
         stats.sessions_failed,
         stats.sessions_aborted,
+        stats.clip_sessions,
         stats.events_dropped,
         stats.conns_torn_down,
         stats.ticks
     )?;
+    Ok(())
+}
+
+/// `slj gateway` — run the HTTP front end against a running daemon.
+///
+/// Listens on one `tcp:HOST:PORT` / `unix:PATH` address and serves the
+/// `/v1` job API: `POST /v1/jobs` ingests a clip (one open-request JSON
+/// line followed by concatenated PPM frames) through the daemon's
+/// `OPEN_CLIP` path, `GET /v1/jobs/{id}` returns the report JSON
+/// byte-identical to `slj analyze --stream --report`, and
+/// `POST /v1/drain` drains gateway and daemon both. Blocks until a
+/// drain is requested, then finishes in-flight jobs and prints the
+/// final metrics.
+pub fn gateway<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "listen",
+            "connect",
+            "max-jobs",
+            "max-body-mb",
+            "max-conns",
+            "read-timeout-ms",
+            "write-timeout-ms",
+            "retry-after",
+        ],
+        &[],
+    )?;
+    let listen = slj_daemon::Addr::parse(flags.required("listen")?)
+        .map_err(|e| CliError::Usage(format!("--listen: {e}")))?;
+    let daemon = slj_daemon::Addr::parse(flags.required("connect")?)
+        .map_err(|e| CliError::Usage(format!("--connect: {e}")))?;
+    let mut config = slj_gateway::GatewayConfig::default();
+    config.max_jobs = flags.get_or("max-jobs", config.max_jobs)?;
+    config.max_conns = flags.get_or("max-conns", config.max_conns)?;
+    let max_body_mb: usize = flags.get_or("max-body-mb", 0)?;
+    if max_body_mb > 0 {
+        config.max_body = max_body_mb * 1024 * 1024;
+    }
+    let read_timeout_ms: u64 = flags.get_or("read-timeout-ms", 0)?;
+    if read_timeout_ms > 0 {
+        config.read_timeout = std::time::Duration::from_millis(read_timeout_ms);
+    }
+    let write_timeout_ms: u64 = flags.get_or("write-timeout-ms", 0)?;
+    if write_timeout_ms > 0 {
+        config.write_timeout = std::time::Duration::from_millis(write_timeout_ms);
+    }
+    config.retry_after = flags.get_or("retry-after", config.retry_after)?;
+
+    let handle = slj_gateway::Gateway::start(&listen, daemon.clone(), config)?;
+    writeln!(
+        out,
+        "gateway listening on {} -> daemon {daemon}",
+        handle.addr
+    )?;
+    out.flush()?;
+    while !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    // Finish in-flight jobs before tearing the acceptor down.
+    while handle.jobs_running() > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let metrics = handle.shutdown();
+    writeln!(out, "gateway drained")?;
+    write!(out, "{}", metrics.render())?;
     Ok(())
 }
 

@@ -51,6 +51,9 @@ USAGE:
   slj submit  --connect ADDR (--clip DIR | --drain) [--warmup N] [--fast]
               [--best-effort [--max-degraded N]] [--report FILE.json]
               [--trace FILE.jsonl] [--events FILE.jsonl]
+  slj gateway --listen ADDR --connect ADDR [--max-jobs N] [--max-conns N]
+              [--max-body-mb N] [--read-timeout-ms N] [--write-timeout-ms N]
+              [--retry-after SECS]
   slj eval    (--matrix small|full | --sweep) [--out FILE.json]
               [--summary-md FILE.md] [--threads N|auto|serial]
   slj flaws
@@ -104,6 +107,17 @@ COMMANDS:
             (--report) and trace (--trace) are byte-identical to
             `slj analyze --stream` on the same clip and configuration,
             and --drain asks the daemon to shut down gracefully
+  gateway   run the HTTP/1.1 front end for a running daemon: POST
+            /v1/jobs ingests a clip (one open-request JSON line, then
+            the clip as concatenated binary PPM frames) through the
+            daemon's OPEN_CLIP path — the daemon decodes and feeds the
+            frames itself; GET /v1/jobs/ID returns the report JSON
+            byte-identical to `slj analyze --stream --report`, GET
+            /v1/jobs/ID/events the health JSONL; daemon capacity sheds
+            map to 429 + Retry-After, draining to 503, malformed or
+            oversized bodies to typed 4xx before any session is opened;
+            POST /v1/drain drains gateway and daemon, after which the
+            command exits and prints the gateway metrics
   eval      measure tracking accuracy against synthetic ground truth
             (--matrix runs the seeded clip x fault-profile x gap-policy
              grid and writes a deterministic slj-eval/1 JSON report;
@@ -129,6 +143,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("serve") => commands::serve(&args[1..], out),
         Some("daemon") => commands::daemon(&args[1..], out),
         Some("submit") => commands::submit(&args[1..], out),
+        Some("gateway") => commands::gateway(&args[1..], out),
         Some("eval") => commands::eval(&args[1..], out),
         Some("flaws") => commands::flaws(out),
         Some("help") | None => {

@@ -423,3 +423,125 @@ fn serve_flags_are_validated() {
         "a bad slot-pool value should explain itself: {err}"
     );
 }
+
+#[test]
+fn gateway_serves_a_clip_over_http_byte_identical_to_analyze() {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    let dir = temp_clip("gateway");
+    let clip = dir.to_string_lossy().into_owned();
+    invoke(&format!("synth --out {clip} --seed 31 --compact --clean")).unwrap();
+    let report_path = dir.join("report.json");
+    // A small best-effort budget tolerates the warmup background
+    // ghosting a flight frame or two (see the stream analyze test).
+    invoke(&format!(
+        "analyze --clip {clip} --stream --fast --best-effort --max-degraded 10 --report {}",
+        report_path.display()
+    ))
+    .unwrap();
+    let reference = std::fs::read_to_string(&report_path).unwrap();
+
+    let daemon_sock = std::env::temp_dir().join(format!("slj-cli-gwd-{}.sock", std::process::id()));
+    let gateway_sock =
+        std::env::temp_dir().join(format!("slj-cli-gwg-{}.sock", std::process::id()));
+    std::fs::remove_file(&gateway_sock).ok();
+    let daemon = slj_daemon::Daemon::start(
+        &[slj_daemon::Addr::Unix(daemon_sock.clone())],
+        slj_daemon::DaemonConfig::default(),
+    )
+    .unwrap();
+
+    // The gateway command blocks until drained; run it as the binary
+    // would, on its own thread, and wait for its socket to appear.
+    let command = {
+        let cmd = format!(
+            "gateway --listen unix:{} --connect unix:{}",
+            gateway_sock.display(),
+            daemon_sock.display()
+        );
+        std::thread::spawn(move || invoke(&cmd).unwrap())
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !gateway_sock.exists() {
+        assert!(std::time::Instant::now() < deadline, "gateway never bound");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // One HTTP exchange per connection, like any plain HTTP client.
+    let exchange = |request: &[u8]| -> (u16, Vec<u8>) {
+        let mut sock = UnixStream::connect(&gateway_sock).unwrap();
+        sock.write_all(request).unwrap();
+        let mut raw = Vec::new();
+        sock.read_to_end(&mut raw).unwrap();
+        let split = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let head = std::str::from_utf8(&raw[..split]).unwrap();
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<u16>()
+            .unwrap();
+        (status, raw[split + 4..].to_vec())
+    };
+
+    // Submit the clip exactly as the analyze run was configured.
+    let video = slj_video::io::load_video(&dir).unwrap();
+    let truth = slj_cli::truth::ClipTruth::load(&dir).unwrap();
+    let open = slj_daemon::OpenRequest {
+        camera: truth.camera,
+        dims: truth.dims.clone(),
+        first_pose: truth.first_pose,
+        fps: video.fps(),
+        warmup: slj::DEFAULT_WARMUP_FRAMES,
+        fast: true,
+        max_degraded: Some(10),
+        want_trace: false,
+    };
+    let mut body = serde_json::to_string(&open).unwrap().into_bytes();
+    body.push(b'\n');
+    body.extend_from_slice(&slj_video::io::ppm_stream(&video));
+    let mut request = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: gw\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&body);
+    let (status, reply) = exchange(&request);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&reply));
+    let reply = String::from_utf8(reply).unwrap();
+    let job: u64 = reply
+        .split("\"job\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+
+    let report = loop {
+        let (status, body) =
+            exchange(format!("GET /v1/jobs/{job} HTTP/1.1\r\nHost: gw\r\n\r\n").as_bytes());
+        match status {
+            200 => break String::from_utf8(body).unwrap(),
+            202 => std::thread::sleep(std::time::Duration::from_millis(10)),
+            other => panic!("job failed: {other}"),
+        }
+        assert!(std::time::Instant::now() < deadline, "job never finished");
+    };
+    assert_eq!(
+        report, reference,
+        "HTTP report must be byte-identical to `slj analyze --stream --report`"
+    );
+
+    let (status, _) = exchange(b"POST /v1/drain HTTP/1.1\r\nHost: gw\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200);
+    let output = command.join().unwrap();
+    assert!(output.contains("gateway listening on"), "{output}");
+    assert!(output.contains("gateway drained"), "{output}");
+    assert!(output.contains("gateway_jobs_admitted = 1"), "{output}");
+    let stats = daemon.join();
+    assert_eq!(stats.clip_sessions, 1);
+    assert_eq!(stats.sessions_finished, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

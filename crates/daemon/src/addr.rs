@@ -16,7 +16,12 @@ pub enum Addr {
 
 impl Addr {
     /// Parses an address. Accepted forms: `unix:PATH`, `tcp:HOST:PORT`
-    /// and bare `HOST:PORT`.
+    /// and bare `HOST:PORT`. IPv6 hosts must be bracketed
+    /// (`[::1]:4500`) — that is the only form the standard library's
+    /// resolver accepts, so an unbracketed multi-colon host is rejected
+    /// here rather than failing later at connect time. Port `0` is
+    /// accepted: it means "pick an ephemeral port" when listening (and
+    /// is refused by the OS on connect).
     ///
     /// # Errors
     ///
@@ -29,14 +34,41 @@ impl Addr {
             return Ok(Addr::Unix(PathBuf::from(path)));
         }
         let hostport = s.strip_prefix("tcp:").unwrap_or(s);
-        match hostport.rsplit_once(':') {
-            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
-                Ok(Addr::Tcp(hostport.to_owned()))
+        let (host, port) = match hostport.rsplit_once(':') {
+            Some(split) => split,
+            None => {
+                return Err(format!(
+                    "cannot parse address '{s}': expected unix:PATH, tcp:HOST:PORT or HOST:PORT"
+                ))
             }
-            _ => Err(format!(
-                "cannot parse address '{s}': expected unix:PATH, tcp:HOST:PORT or HOST:PORT"
-            )),
+        };
+        if let Some(inner) = host.strip_prefix('[') {
+            let Some(inner) = inner.strip_suffix(']') else {
+                return Err(format!(
+                    "cannot parse address '{s}': bracketed host has no closing ']' before the port"
+                ));
+            };
+            if inner.parse::<std::net::Ipv6Addr>().is_err() {
+                return Err(format!(
+                    "cannot parse address '{s}': '[{inner}]' is not an IPv6 address"
+                ));
+            }
+        } else if host.contains(':') {
+            return Err(format!(
+                "cannot parse address '{s}': IPv6 hosts must be bracketed, like [{host}]:{port}"
+            ));
+        } else if host.is_empty() {
+            return Err(format!("cannot parse address '{s}': empty host"));
         }
+        if port.is_empty() {
+            return Err(format!("cannot parse address '{s}': empty port"));
+        }
+        if port.parse::<u16>().is_err() {
+            return Err(format!(
+                "cannot parse address '{s}': '{port}' is not a port (0-65535)"
+            ));
+        }
+        Ok(Addr::Tcp(hostport.to_owned()))
     }
 }
 
@@ -88,5 +120,47 @@ mod tests {
         assert!(Addr::parse("host:notaport").is_err());
         assert!(Addr::parse(":4500").is_err());
         assert!(Addr::parse("tcp:host:99999").is_err());
+    }
+
+    #[test]
+    fn ipv6_hosts_require_brackets() {
+        assert_eq!(
+            Addr::parse("[::1]:4500").unwrap(),
+            Addr::Tcp("[::1]:4500".to_owned())
+        );
+        assert_eq!(
+            Addr::parse("tcp:[2001:db8::7]:80").unwrap(),
+            Addr::Tcp("[2001:db8::7]:80".to_owned())
+        );
+        // A bare IPv6 address must not be sliced at its last colon into
+        // a bogus host/port pair (the resolver would never accept it).
+        let err = Addr::parse("::1").unwrap_err();
+        assert!(err.contains("bracketed"), "{err}");
+        let err = Addr::parse("::1:4500").unwrap_err();
+        assert!(err.contains("[::1]:4500"), "suggests the fix: {err}");
+        // Bracket forms that are not actually IPv6, or are torn.
+        assert!(Addr::parse("[::1]").is_err(), "brackets without a port");
+        assert!(Addr::parse("[::1:4500").is_err(), "unclosed bracket");
+        assert!(Addr::parse("[nonsense]:4500").is_err());
+    }
+
+    #[test]
+    fn port_zero_is_accepted_for_ephemeral_listening() {
+        assert_eq!(
+            Addr::parse("127.0.0.1:0").unwrap(),
+            Addr::Tcp("127.0.0.1:0".to_owned())
+        );
+        assert_eq!(
+            Addr::parse("[::1]:0").unwrap(),
+            Addr::Tcp("[::1]:0".to_owned())
+        );
+    }
+
+    #[test]
+    fn empty_port_is_a_specific_error() {
+        let err = Addr::parse("tcp:host:").unwrap_err();
+        assert!(err.contains("empty port"), "{err}");
+        let err = Addr::parse("[::1]:").unwrap_err();
+        assert!(err.contains("empty port"), "{err}");
     }
 }

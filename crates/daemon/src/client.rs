@@ -367,6 +367,80 @@ impl Client {
         self.flush(session)
     }
 
+    /// Opens a session *and* ships the whole clip in one `OPEN_CLIP`
+    /// message — the clip as concatenated P6 PPM frames, decoded and
+    /// fed daemon-side — then waits for the terminal analysis. The
+    /// daemon validates the clip before admitting the session, so a
+    /// malformed clip is a [`ClientError::Rejected`] with no session
+    /// ever opened.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] (draining, full, or a clip that does
+    /// not decode), [`ClientError::SessionFailed`], plus the transport
+    /// errors.
+    pub fn analyze_clip_ppm(
+        &mut self,
+        request: &OpenRequest,
+        ppm: Vec<u8>,
+    ) -> Result<RemoteAnalysis, ClientError> {
+        let session = self.open_clip(request, ppm)?;
+        self.await_result(session)
+    }
+
+    /// Sends one `OPEN_CLIP` and waits only for the admission verdict;
+    /// the daemon feeds the frames itself and the terminal reply comes
+    /// later (see [`Client::await_result`]). The split lets a front end
+    /// (the HTTP gateway) acknowledge admission immediately while the
+    /// analysis runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] when the daemon refuses (draining,
+    /// full, or a clip that does not decode), plus the transport
+    /// errors.
+    pub fn open_clip(&mut self, request: &OpenRequest, ppm: Vec<u8>) -> Result<u64, ClientError> {
+        let config_json = serde_json::to_string(request).expect("open request serialises");
+        self.send(&WireMsg::OpenClip { config_json, ppm })?;
+        self.recv_until(|msg| match msg {
+            WireMsg::Opened { session } => Ok(Some(session)),
+            WireMsg::Rejected { reason } => Err(ClientError::Rejected { reason }),
+            other => Err(ClientError::Protocol {
+                got: other.name().to_owned(),
+            }),
+        })
+    }
+
+    /// Blocks until `session`'s terminal reply arrives, collecting
+    /// interleaved events.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::SessionFailed`] when the session ended in a typed
+    /// failure or quarantine; plus the transport errors.
+    pub fn await_result(&mut self, session: u64) -> Result<RemoteAnalysis, ClientError> {
+        let (summary_json, trace_jsonl) = self.recv_until(|msg| match msg {
+            WireMsg::Analysis {
+                session: s,
+                summary_json,
+                trace_jsonl,
+            } if s == session => Ok(Some((summary_json, trace_jsonl))),
+            WireMsg::Failed { session: s, error } if s == session => {
+                Err(ClientError::SessionFailed { error })
+            }
+            other => Err(ClientError::Protocol {
+                got: other.name().to_owned(),
+            }),
+        })?;
+        let events = self.take_events(session);
+        Ok(RemoteAnalysis {
+            session,
+            summary_json,
+            trace_jsonl,
+            events,
+        })
+    }
+
     /// Abandons a session (its slot recycles server-side; no terminal
     /// reply will come).
     ///

@@ -185,6 +185,8 @@ pub struct DaemonStats {
     pub sessions_failed: u64,
     /// Sessions aborted because their client vanished or misbehaved.
     pub sessions_aborted: u64,
+    /// Sessions opened through `OPEN_CLIP` (daemon-side ingestion).
+    pub clip_sessions: u64,
     /// Best-effort EVENT messages dropped for slow readers.
     pub events_dropped: u64,
     /// Connections torn down for protocol violations, oversized or
@@ -202,6 +204,14 @@ struct SessionMeta {
     /// The client abandoned the session (`RETIRE`); suppress the
     /// terminal reply.
     suppress_reply: bool,
+    /// Decoded clip frames an `OPEN_CLIP` session still owes the
+    /// manager. The engine feeds them itself, pacing around its own
+    /// backpressure (an `Overloaded` offer leaves the frame queued for
+    /// the next pass), so ingestion can never shed its own frames.
+    pending: VecDeque<Frame>,
+    /// Close (flush) the session once `pending` runs dry — set for
+    /// `OPEN_CLIP` sessions, cleared after the close is issued.
+    auto_close: bool,
 }
 
 /// Per-connection state inside the engine.
@@ -442,6 +452,9 @@ impl Engine {
                 );
             }
             WireMsg::Open { config_json } => self.handle_open(conn, &config_json),
+            WireMsg::OpenClip { config_json, ppm } => {
+                self.handle_open_clip(conn, &config_json, &ppm)
+            }
             WireMsg::Frame {
                 session,
                 width,
@@ -522,20 +535,62 @@ impl Engine {
     }
 
     fn handle_open(&mut self, conn: u64, config_json: &str) {
+        let Some(request) = self.parse_open(conn, config_json) else {
+            return;
+        };
+        self.admit(conn, request, VecDeque::new());
+    }
+
+    /// `OPEN_CLIP`: parse the request and decode the whole clip
+    /// *before* admitting a session — a malformed clip is `Rejected`
+    /// without ever costing a slot — then let [`Engine::feed_clips`]
+    /// stream the decoded frames into the manager at the pace its
+    /// backpressure allows.
+    fn handle_open_clip(&mut self, conn: u64, config_json: &str, ppm: &[u8]) {
+        let Some(request) = self.parse_open(conn, config_json) else {
+            return;
+        };
+        let frames = match slj_video::io::frames_from_ppm_stream(ppm) {
+            Ok(frames) => frames,
+            Err(e) => {
+                return self.must_deliver(
+                    conn,
+                    WireMsg::Rejected {
+                        reason: format!("clip does not decode: {e}"),
+                    },
+                );
+            }
+        };
+        if self.admit(conn, request, frames.into()) {
+            self.stats.clip_sessions += 1;
+        }
+    }
+
+    /// Parses an open request, replying `Rejected` (and returning
+    /// `None`) when it does not parse.
+    fn parse_open(&mut self, conn: u64, config_json: &str) -> Option<OpenRequest> {
         if self.drain_flag.load(Ordering::SeqCst) {
             self.manager.drain();
         }
-        let request: OpenRequest = match serde_json::from_str(config_json) {
-            Ok(r) => r,
+        match serde_json::from_str(config_json) {
+            Ok(r) => Some(r),
             Err(e) => {
-                return self.must_deliver(
+                self.must_deliver(
                     conn,
                     WireMsg::Rejected {
                         reason: format!("open request does not parse: {e}"),
                     },
                 );
+                None
             }
-        };
+        }
+    }
+
+    /// Asks the manager for a session slot and records the metadata;
+    /// `pending` non-empty makes it an engine-fed clip session. Returns
+    /// whether the session was admitted.
+    fn admit(&mut self, conn: u64, request: OpenRequest, pending: VecDeque<Frame>) -> bool {
+        let auto_close = !pending.is_empty();
         match self.manager.open(request.to_session_config()) {
             Ok(id) => {
                 self.stats.sessions_opened += 1;
@@ -544,15 +599,21 @@ impl Engine {
                     conn,
                     want_trace: request.want_trace,
                     suppress_reply: false,
+                    pending,
+                    auto_close,
                 });
                 self.must_deliver(conn, WireMsg::Opened { session: id as u64 });
+                true
             }
-            Err(e) => self.must_deliver(
-                conn,
-                WireMsg::Rejected {
-                    reason: e.to_string(),
-                },
-            ),
+            Err(e) => {
+                self.must_deliver(
+                    conn,
+                    WireMsg::Rejected {
+                        reason: e.to_string(),
+                    },
+                );
+                false
+            }
         }
     }
 
@@ -610,6 +671,74 @@ impl Engine {
                     error: e.to_string(),
                 },
             ),
+        }
+    }
+
+    /// Feeds pending clip frames into the manager, one session at a
+    /// time, stopping a session's feed the moment an offer comes back
+    /// `Overloaded` (the frame goes back to the front of its queue and
+    /// the next pass retries after a tick has drained the session's
+    /// queue). When a clip session's frames are all accepted it is
+    /// closed, which makes the terminal `ANALYSIS`/`FAILED` flow from
+    /// the event router like any lockstep session's.
+    fn feed_clips(&mut self) {
+        let feeding: Vec<slj_serve::SessionId> = self
+            .sessions
+            .iter()
+            .filter(|m| !m.pending.is_empty() || m.auto_close)
+            .map(|m| m.id)
+            .collect();
+        for id in feeding {
+            // Re-find each round: a must_deliver below can tear the
+            // owning connection down and drop the meta entirely.
+            while let Some(ix) = self.sessions.iter().position(|m| m.id == id) {
+                let session = id as u64;
+                let conn = self.sessions[ix].conn;
+                let Some(frame) = self.sessions[ix].pending.pop_front() else {
+                    if self.sessions[ix].auto_close {
+                        self.sessions[ix].auto_close = false;
+                        match self.manager.close(id) {
+                            Ok(()) | Err(ServeError::SessionTerminal { .. }) => {}
+                            Err(e) => self.must_deliver(
+                                conn,
+                                WireMsg::Failed {
+                                    session,
+                                    error: e.to_string(),
+                                },
+                            ),
+                        }
+                    }
+                    break;
+                };
+                match self.manager.offer(id, &frame) {
+                    Ok(OfferReply::Accepted { .. }) => {}
+                    Ok(OfferReply::Overloaded { .. }) => {
+                        // The session queue is full; retry after a tick.
+                        self.sessions[ix].pending.push_front(frame);
+                        break;
+                    }
+                    // Terminal mid-feed (quarantine/failure): the event
+                    // router delivers the terminal reply; the rest of
+                    // the clip is moot.
+                    Err(ServeError::SessionTerminal { .. }) => {
+                        self.sessions[ix].pending.clear();
+                        self.sessions[ix].auto_close = false;
+                        break;
+                    }
+                    Err(e) => {
+                        self.sessions[ix].pending.clear();
+                        self.sessions[ix].auto_close = false;
+                        self.must_deliver(
+                            conn,
+                            WireMsg::Failed {
+                                session,
+                                error: e.to_string(),
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -775,16 +904,19 @@ impl Engine {
             if self.drain_flag.load(Ordering::SeqCst) {
                 self.manager.drain();
             }
-            // 2. One supervision tick (skipped when nothing is open).
+            // 2. Feed engine-owned clip sessions (OPEN_CLIP) as far as
+            //    backpressure allows.
+            self.feed_clips();
+            // 3. One supervision tick (skipped when nothing is open).
             if self.manager.sessions_in_service() > 0 {
                 self.manager.tick();
                 self.stats.ticks += 1;
             }
-            // 3. Route events, deliver terminals, retire.
+            // 4. Route events, deliver terminals, retire.
             self.route_events();
-            // 4. Outbound progress and connection reaping.
+            // 5. Outbound progress and connection reaping.
             self.flush_and_reap();
-            // 5. Drain-complete check.
+            // 6. Drain-complete check.
             if self.manager.is_draining()
                 && self.manager.sessions_in_service() == 0
                 && self.sessions.is_empty()

@@ -27,28 +27,48 @@ use crate::wire::Decoder;
 /// How long acceptors sleep between nonblocking accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
-/// One live transport stream: the TCP/UDS split stops here.
-pub(crate) enum Stream {
+/// One live transport stream: the TCP/UDS split stops here. Public so
+/// other front ends (the HTTP gateway) can serve the same dual
+/// transports without duplicating the socket plumbing.
+pub enum Stream {
+    /// A TCP connection.
     Tcp(TcpStream),
+    /// A Unix-domain connection.
     Unix(UnixStream),
 }
 
 impl Stream {
-    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+    /// Clones the handle so reads and writes can live on different
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket's `try_clone` failure.
+    pub fn try_clone(&self) -> io::Result<Stream> {
         match self {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
         }
     }
 
-    pub(crate) fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+    /// Sets the read deadline for subsequent reads.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket's setter failure.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => s.set_read_timeout(d),
             Stream::Unix(s) => s.set_read_timeout(d),
         }
     }
 
-    pub(crate) fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+    /// Sets the write deadline for subsequent writes.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket's setter failure.
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => s.set_write_timeout(d),
             Stream::Unix(s) => s.set_write_timeout(d),
@@ -56,7 +76,7 @@ impl Stream {
     }
 
     /// Closes both directions; unblocks a reader stuck in `read`.
-    pub(crate) fn shutdown(&self) {
+    pub fn shutdown(&self) {
         match self {
             Stream::Tcp(s) => {
                 let _ = s.shutdown(std::net::Shutdown::Both);
@@ -93,9 +113,91 @@ impl Write for Stream {
     }
 }
 
-enum Listener {
+/// A bound listening socket on either transport.
+pub enum Listener {
+    /// A TCP listener.
     Tcp(TcpListener),
+    /// A Unix-domain listener plus the socket path to unlink on close.
     Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `addr`, returning the listener and the address actually
+    /// bound — with an OS-assigned port resolved, so `tcp:127.0.0.1:0`
+    /// comes back as the real endpoint to dial. For Unix addresses the
+    /// parent directory is created and a *stale* socket file (one no
+    /// daemon answers on) is removed; a live one is `AddrInUse`.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn bind(addr: &Addr) -> io::Result<(Listener, Addr)> {
+        match addr {
+            Addr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport.as_str())?;
+                let local = listener.local_addr()?;
+                Ok((Listener::Tcp(listener), Addr::Tcp(local.to_string())))
+            }
+            Addr::Unix(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                // A stale socket file from a dead process blocks bind;
+                // connecting distinguishes stale from live.
+                if path.exists() {
+                    match UnixStream::connect(path) {
+                        Ok(_) => {
+                            return Err(io::Error::new(
+                                ErrorKind::AddrInUse,
+                                format!("{} already has a live listener", path.display()),
+                            ));
+                        }
+                        Err(_) => std::fs::remove_file(path)?,
+                    }
+                }
+                let listener = UnixListener::bind(path)?;
+                Ok((
+                    Listener::Unix(listener, path.clone()),
+                    Addr::Unix(path.clone()),
+                ))
+            }
+        }
+    }
+
+    /// Switches the accept loop between blocking and polling modes.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket's setter failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` in nonblocking mode with nobody waiting, or any
+    /// accept failure.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    /// The socket file to unlink when a Unix listener shuts down.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        match self {
+            Listener::Tcp(_) => None,
+            Listener::Unix(_, path) => Some(path),
+        }
+    }
 }
 
 /// The daemon entry point: bind listeners, start the engine, accept.
@@ -159,38 +261,12 @@ impl Daemon {
         let mut bound = Vec::new();
         let mut unix_paths = Vec::new();
         for addr in addrs {
-            match addr {
-                Addr::Tcp(hostport) => {
-                    let listener = TcpListener::bind(hostport.as_str())?;
-                    let local = listener.local_addr()?;
-                    bound.push(Addr::Tcp(local.to_string()));
-                    listeners.push(Listener::Tcp(listener));
-                }
-                Addr::Unix(path) => {
-                    if let Some(parent) = path.parent() {
-                        if !parent.as_os_str().is_empty() {
-                            std::fs::create_dir_all(parent)?;
-                        }
-                    }
-                    // A stale socket file from a dead daemon blocks
-                    // bind; connecting distinguishes stale from live.
-                    if path.exists() {
-                        match UnixStream::connect(path) {
-                            Ok(_) => {
-                                return Err(io::Error::new(
-                                    ErrorKind::AddrInUse,
-                                    format!("{} already has a live daemon", path.display()),
-                                ));
-                            }
-                            Err(_) => std::fs::remove_file(path)?,
-                        }
-                    }
-                    let listener = UnixListener::bind(path)?;
-                    bound.push(Addr::Unix(path.clone()));
-                    unix_paths.push(path.clone());
-                    listeners.push(Listener::Unix(listener, path.clone()));
-                }
+            let (listener, local) = Listener::bind(addr)?;
+            if let Some(path) = listener.unix_path() {
+                unix_paths.push(path.to_path_buf());
             }
+            bound.push(local);
+            listeners.push(listener);
         }
 
         let drain_flag = Arc::new(AtomicBool::new(false));
@@ -260,22 +336,17 @@ fn accept_loop(
     idle_timeouts: u32,
     max_frame: usize,
 ) {
-    match &listener {
-        Listener::Tcp(l) => l.set_nonblocking(true).expect("nonblocking listener"),
-        Listener::Unix(l, _) => l.set_nonblocking(true).expect("nonblocking listener"),
-    }
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
     loop {
         if drain_flag.load(Ordering::SeqCst) {
-            if let Listener::Unix(_, path) = &listener {
+            if let Some(path) = listener.unix_path() {
                 let _ = std::fs::remove_file(path);
             }
             return;
         }
-        let accepted = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
-            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
-        };
-        match accepted {
+        match listener.accept() {
             Ok(stream) => {
                 let conn = conn_ids.fetch_add(1, Ordering::SeqCst);
                 if spawn_connection(

@@ -164,6 +164,23 @@ pub enum WireMsg {
     },
     /// The server is closing this connection cleanly.
     Bye,
+    /// Open a session *and* submit the whole clip in one message: the
+    /// open request plus the clip's frames as concatenated binary P6
+    /// PPM images (exactly the bytes of the on-disk clip format's
+    /// `frame_*.ppm` files, in order). The server decodes the clip
+    /// *before* admitting a session — a malformed clip is `Rejected`
+    /// with no session ever opened — then feeds the frames itself,
+    /// pacing around its own backpressure, and replies `Opened`
+    /// followed by the terminal `Analysis`/`Failed`. This is the
+    /// ingestion path the HTTP gateway uses: clients ship the clip
+    /// format, never raw RGB.
+    OpenClip {
+        /// Serialized open request (same JSON as `Open`). The open
+        /// request's `fps` governs; per-frame timing is implicit.
+        config_json: String,
+        /// Concatenated P6 PPM frames, decoded server-side.
+        ppm: Vec<u8>,
+    },
 }
 
 impl WireMsg {
@@ -186,6 +203,7 @@ impl WireMsg {
             WireMsg::Drain => 0x0E,
             WireMsg::Draining { .. } => 0x0F,
             WireMsg::Bye => 0x10,
+            WireMsg::OpenClip { .. } => 0x11,
         }
     }
 
@@ -208,6 +226,7 @@ impl WireMsg {
             WireMsg::Drain => "DRAIN",
             WireMsg::Draining { .. } => "DRAINING",
             WireMsg::Bye => "BYE",
+            WireMsg::OpenClip { .. } => "OPEN_CLIP",
         }
     }
 }
@@ -334,6 +353,12 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
         }
         WireMsg::Drain | WireMsg::Bye => {}
         WireMsg::Draining { in_flight } => put_u64(out, *in_flight),
+        WireMsg::OpenClip { config_json, ppm } => {
+            put_str(out, config_json);
+            // The clip runs to the end of the body; the frame's length
+            // prefix (not an inner count) bounds it.
+            out.extend_from_slice(ppm);
+        }
     }
     let body_len = (out.len() - start - 4) as u32;
     out[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
@@ -476,6 +501,12 @@ pub fn decode_body(body: &[u8]) -> Result<WireMsg, WireError> {
             in_flight: c.u64()?,
         },
         0x10 => WireMsg::Bye,
+        0x11 => {
+            let config_json = c.string()?;
+            let rest = c.bytes.len() - c.pos;
+            let ppm = c.take(rest)?.to_vec();
+            WireMsg::OpenClip { config_json, ppm }
+        }
         other => return Err(malformed(format!("unknown message tag 0x{other:02X}"))),
     };
     c.finish()?;
@@ -603,6 +634,10 @@ mod tests {
             WireMsg::Drain,
             WireMsg::Draining { in_flight: 2 },
             WireMsg::Bye,
+            WireMsg::OpenClip {
+                config_json: "{\"fps\":25.0}".to_owned(),
+                ppm: b"P6\n2 1\n255\n\x00\x01\x02\x03\x04\x05".to_vec(),
+            },
         ]
     }
 

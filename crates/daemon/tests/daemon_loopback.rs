@@ -488,6 +488,89 @@ fn drain_refuses_new_opens_and_finishes_in_flight() {
 }
 
 #[test]
+fn clip_ingestion_matches_streamed_and_inprocess_runs() {
+    let scene = scene();
+    let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 67);
+    let request = open_request(&jump, &scene, true);
+    let (ref_summary, ref_trace) = reference(&jump, &request);
+
+    let socket = uds_path("clip");
+    let handle = Daemon::start(
+        &[
+            Addr::Tcp("127.0.0.1:0".to_owned()),
+            Addr::Unix(socket.clone()),
+        ],
+        daemon_config(),
+    )
+    .unwrap();
+    let tcp = handle.addrs[0].clone();
+    let unix = handle.addrs[1].clone();
+
+    // Clip-ingest clients (daemon-side decode) run concurrently with a
+    // lockstep frame-streaming client: all three transports of the same
+    // clip must land on identical bytes.
+    let workers: Vec<_> = (0..3)
+        .map(|k| {
+            let addr = if k % 2 == 0 {
+                tcp.clone()
+            } else {
+                unix.clone()
+            };
+            let request = request.clone();
+            let ppm = slj_video::io::ppm_stream(&jump.video);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, ClientOptions::default()).unwrap();
+                client.analyze_clip_ppm(&request, ppm).unwrap()
+            })
+        })
+        .collect();
+    let mut lockstep = Client::connect(&tcp, ClientOptions::default()).unwrap();
+    let frames: Vec<_> = jump.video.iter().cloned().collect();
+    let streamed = lockstep.analyze_clip(&request, &frames).unwrap();
+    assert_eq!(streamed.summary_json, ref_summary);
+
+    for worker in workers {
+        let analysis = worker.join().unwrap();
+        assert_eq!(analysis.summary_json, ref_summary, "clip summary drifted");
+        assert_eq!(analysis.trace_jsonl, ref_trace, "clip trace drifted");
+        assert!(analysis
+            .events
+            .iter()
+            .any(|line| line.contains("\"event\":\"finished\"")));
+    }
+
+    // A clip that does not decode is Rejected before any session is
+    // opened: no slot is consumed and the connection stays usable.
+    let mut client = Client::connect(&tcp, ClientOptions::default()).unwrap();
+    match client.open_clip(&request, b"P6\n9999 9999\n255\nxy".to_vec()) {
+        Err(ClientError::Rejected { reason }) => {
+            assert!(
+                reason.contains("clip does not decode"),
+                "typed decode rejection: {reason}"
+            );
+        }
+        other => panic!("malformed clip must be Rejected, got {other:?}"),
+    }
+    // Same connection immediately ingests a good clip: the rejection
+    // was a reply, not a teardown.
+    let retry = client
+        .analyze_clip_ppm(&request, slj_video::io::ppm_stream(&jump.video))
+        .unwrap();
+    assert_eq!(retry.summary_json, ref_summary);
+
+    handle.drain();
+    let stats = handle.join();
+    assert_eq!(
+        stats.sessions_opened, 5,
+        "the malformed clip never opened a session"
+    );
+    assert_eq!(stats.clip_sessions, 4);
+    assert_eq!(stats.sessions_finished, 5);
+    assert_eq!(stats.sessions_failed, 0);
+    assert_eq!(stats.conns_torn_down, 0);
+}
+
+#[test]
 fn retire_mid_stream_recycles_into_an_identical_fresh_session() {
     let scene = scene();
     let jump = SyntheticJump::generate(&scene, &JumpConfig::default(), 59);

@@ -32,10 +32,10 @@ fn frame_parts() -> impl Strategy<Value = (u32, u32, Vec<u8>)> {
         })
 }
 
-/// One arbitrary message of any of the 16 wire types.
+/// One arbitrary message of any of the 17 wire types.
 fn msg_strategy() -> impl Strategy<Value = WireMsg> {
     (
-        0usize..16,
+        0usize..17,
         any::<(u64, u64, u32, u16)>(),
         string_strategy(),
         string_strategy(),
@@ -83,6 +83,13 @@ fn msg_strategy() -> impl Strategy<Value = WireMsg> {
                 12 => WireMsg::Error { code, message: s1 },
                 13 => WireMsg::Drain,
                 14 => WireMsg::Draining { in_flight: a },
+                // OPEN_CLIP's payload is opaque bytes (PPM decoding
+                // happens above the codec), so any byte soup must
+                // round-trip — reuse the frame strategy's buffer.
+                15 => WireMsg::OpenClip {
+                    config_json: s1,
+                    ppm: rgb,
+                },
                 _ => WireMsg::Bye,
             },
         )

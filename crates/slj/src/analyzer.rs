@@ -11,6 +11,7 @@
 //!    pose sequence and attach coaching advice.
 
 use crate::error::AnalyzeError;
+use crate::measure::{measure_jump, JumpMeasurement};
 use serde::{Deserialize, Serialize};
 use slj_ga::tracker::{RecoveryAction, TemporalTracker, TrackResult, TrackerConfig};
 use slj_imgproc::mask::Mask;
@@ -283,6 +284,10 @@ pub struct AnalysisReport {
     /// JSONL trace or aggregate into a metrics registry. Deterministic:
     /// identical at every [`Parallelism`] setting.
     pub obs: slj_obs::ClipObs,
+    /// Jump-performance measurement (takeoff → landing distance, flight
+    /// apex) from the final pose sequence; `None` when the clip holds no
+    /// measurable jump (e.g. too short, or no airborne phase).
+    pub measurement: Option<JumpMeasurement>,
 }
 
 impl AnalysisReport {
@@ -297,7 +302,13 @@ impl AnalysisReport {
 
     /// A compact serialisable summary (no pixel data).
     pub fn summary(&self) -> AnalysisSummary {
-        summarize(&self.poses, &self.score, &self.tracking, &self.health)
+        summarize(
+            &self.poses,
+            &self.score,
+            &self.tracking,
+            &self.health,
+            self.measurement,
+        )
     }
 }
 
@@ -309,6 +320,7 @@ pub(crate) fn summarize(
     score: &ScoreCard,
     tracking: &[TrackResult],
     health: &[FrameHealth],
+    measurement: Option<JumpMeasurement>,
 ) -> AnalysisSummary {
     AnalysisSummary {
         frames: poses.len(),
@@ -335,6 +347,7 @@ pub(crate) fn summarize(
             .map(|h| h.frame)
             .collect(),
         mean_confidence: mean(health.iter().map(|h| h.confidence)).unwrap_or(0.0),
+        measurement,
     }
 }
 
@@ -376,6 +389,9 @@ pub struct AnalysisSummary {
     pub degraded_frames: Vec<usize>,
     /// Mean per-frame confidence, 0–1.
     pub mean_confidence: f64,
+    /// Jump-performance measurement; `None` (JSON `null`) when the clip
+    /// holds no measurable jump.
+    pub measurement: Option<JumpMeasurement>,
 }
 
 /// The end-to-end analyzer.
@@ -455,6 +471,7 @@ impl JumpAnalyzer {
             &crate::obs::excluded_frames(&health, self.config.robustness),
             &score,
         );
+        let measurement = measure_jump(&poses, &self.config.dims).ok();
         Ok(AnalysisReport {
             segmentation,
             tracking: tracking.frames,
@@ -462,6 +479,7 @@ impl JumpAnalyzer {
             score,
             health,
             obs,
+            measurement,
         })
     }
 }
@@ -702,6 +720,7 @@ mod tests {
             total_evaluations: 0,
             degraded_frames: Vec::new(),
             mean_confidence: 0.0,
+            measurement: None,
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: AnalysisSummary = serde_json::from_str(&json).unwrap();

@@ -54,7 +54,7 @@ pub use analyzer::{
     RobustnessPolicy, DEFAULT_WARMUP_FRAMES,
 };
 pub use error::AnalyzeError;
-pub use measure::{measure_jump, JumpMeasurement, MeasureError};
+pub use measure::{measure_jump, JumpDirection, JumpMeasurement, MeasureError};
 pub use report::{health_timeline, markdown_report, suspect_frames};
 pub use slj_obs::{
     ClipObs, FrameObs, MetricsRegistry, Profiler, RuleObs, SegmentObs, TrackObs, TRACE_SCHEMA,

@@ -9,21 +9,71 @@
 use serde::{Deserialize, Serialize};
 use slj_motion::{BodyDims, PoseSeq, StickKind};
 
+/// Which way the jumper travelled, detected from the centre-of-mass
+/// displacement between takeoff and landing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JumpDirection {
+    /// Travel toward +x (the synthesizer's canonical orientation).
+    LeftToRight,
+    /// Travel toward −x (e.g. a mirrored or reversed camera).
+    RightToLeft,
+}
+
+impl JumpDirection {
+    /// The sign that maps a +x-convention displacement onto the travel
+    /// axis: `+1.0` for left-to-right, `−1.0` for right-to-left.
+    pub fn sign(self) -> f64 {
+        match self {
+            JumpDirection::LeftToRight => 1.0,
+            JumpDirection::RightToLeft => -1.0,
+        }
+    }
+}
+
 /// What was measured from one jump.
+///
+/// Sign convention: `distance_m` is measured *along the direction of
+/// travel* and is therefore positive for a valid forward jump whichever
+/// way the jumper faces; the raw x-axis displacement is
+/// `distance_m * direction.sign()`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JumpMeasurement {
-    /// Last frame with ground contact before flight.
+    /// Last frame with ground contact before flight. When
+    /// `takeoff_observed` is false the clip starts airborne and this is
+    /// clamped to the first frame instead of a true contact.
     pub takeoff_frame: usize,
-    /// First frame with ground contact after flight.
+    /// First frame with ground contact after flight. When
+    /// `landing_observed` is false the clip ends airborne and this is
+    /// clamped to the last frame instead of a true contact.
     pub landing_frame: usize,
     /// Official distance: from the toe at takeoff to the heel (ankle)
-    /// at landing, metres.
+    /// at landing, metres, along the direction of travel (positive for
+    /// a normal jump in either screen direction). A lower bound when
+    /// either contact was not observed.
     pub distance_m: f64,
+    /// Detected direction of travel.
+    pub direction: JumpDirection,
     /// Number of airborne frames.
     pub flight_frames: usize,
     /// Maximum clearance of the lowest body point during flight,
     /// metres.
     pub peak_clearance_m: f64,
+    /// True when a real pre-flight contact frame exists in the clip;
+    /// false when the recording starts with the jumper already airborne
+    /// (partial measurement).
+    pub takeoff_observed: bool,
+    /// True when a real post-flight contact frame exists in the clip;
+    /// false when the recording ends mid-flight (partial measurement).
+    pub landing_observed: bool,
+}
+
+impl JumpMeasurement {
+    /// True when both contact frames were actually observed in the
+    /// clip; false marks a typed partial measurement whose
+    /// `distance_m` is only a lower bound.
+    pub fn is_complete(&self) -> bool {
+        self.takeoff_observed && self.landing_observed
+    }
 }
 
 /// Why a measurement could not be produced.
@@ -114,23 +164,39 @@ pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, M
 
     // Hysteresis: the high threshold found the flight; the contact
     // frames are where clearance returns to near its baseline. Walk
-    // outward from the flight to the nearest low-clearance frames.
+    // outward from the flight to the nearest low-clearance frames. When
+    // no such frame exists on a side the clip starts (or ends) airborne:
+    // falling back *into* the flight would measure a mid-air pose as a
+    // contact, so instead clamp to the clip edge and mark that side as
+    // unobserved — a typed partial measurement.
     let low = min_c + 2.0 * dims.thickness(StickKind::Foot);
-    let takeoff_frame = (0..flight_start)
-        .rev()
-        .find(|&k| clearances[k] <= low)
-        .unwrap_or(flight_start.saturating_sub(1));
-    let landing_frame = (flight_end..seq.len())
-        .find(|&k| clearances[k] <= low)
-        .unwrap_or(seq.len() - 1);
+    let (takeoff_frame, takeoff_observed) =
+        match (0..flight_start).rev().find(|&k| clearances[k] <= low) {
+            Some(k) => (k, true),
+            None => (0, false),
+        };
+    let (landing_frame, landing_observed) =
+        match (flight_end..seq.len()).find(|&k| clearances[k] <= low) {
+            Some(k) => (k, true),
+            None => (seq.len() - 1, false),
+        };
 
     // Official measurement: toe position at takeoff, heel (ankle) at
-    // landing — the rearmost contact decides.
+    // landing — the rearmost contact decides. The raw heel−toe gap is a
+    // +x-convention displacement; normalising by the detected travel
+    // direction keeps the reported distance positive for a valid jump
+    // whichever way the jumper crosses the frame.
     let takeoff_pose = &seq.poses()[takeoff_frame];
     let landing_pose = &seq.poses()[landing_frame];
+    let travel = landing_pose.center.x - takeoff_pose.center.x;
+    let direction = if travel < 0.0 {
+        JumpDirection::RightToLeft
+    } else {
+        JumpDirection::LeftToRight
+    };
     let toe = takeoff_pose.segments(dims).segment(StickKind::Foot).b.x;
     let heel = landing_pose.segments(dims).segment(StickKind::Foot).a.x;
-    let distance_m = heel - toe;
+    let distance_m = (heel - toe) * direction.sign();
 
     let peak_clearance_m = clearances[flight_start..flight_end]
         .iter()
@@ -141,8 +207,11 @@ pub fn measure_jump(seq: &PoseSeq, dims: &BodyDims) -> Result<JumpMeasurement, M
         takeoff_frame,
         landing_frame,
         distance_m,
+        direction,
         flight_frames: flight_end - flight_start,
         peak_clearance_m,
+        takeoff_observed,
+        landing_observed,
     })
 }
 
@@ -173,6 +242,91 @@ mod tests {
             m.distance_m
         );
         assert!(m.peak_clearance_m > 0.05, "peak {}", m.peak_clearance_m);
+        assert_eq!(m.direction, JumpDirection::LeftToRight);
+        assert!(m.is_complete());
+    }
+
+    /// Mirrors a pose about the vertical axis: `x → −x` and every limb
+    /// angle `ρ → 360 − ρ` (the paper's ρ is measured from vertical, so
+    /// reflection negates it).
+    fn mirror(seq: &PoseSeq) -> PoseSeq {
+        let poses = seq
+            .poses()
+            .iter()
+            .map(|p| {
+                let mut angles = p.angles;
+                for a in &mut angles {
+                    *a = slj_motion::Angle::from_degrees(360.0 - a.degrees());
+                }
+                Pose::new(slj_imgproc::Point2::new(-p.center.x, p.center.y), angles)
+            })
+            .collect();
+        PoseSeq::new(poses, seq.fps())
+    }
+
+    #[test]
+    fn mirrored_clip_measures_the_same_positive_distance() {
+        // Regression: `distance_m = heel − toe` assumed +x travel, so a
+        // right-to-left jump measured negative. The distance must be
+        // reported along the direction of travel.
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let m = measure_jump(&seq, &cfg.dims).unwrap();
+        let mm = measure_jump(&mirror(&seq), &cfg.dims).unwrap();
+        assert_eq!(mm.direction, JumpDirection::RightToLeft);
+        assert!(mm.distance_m > 0.0, "mirrored distance {}", mm.distance_m);
+        assert!(
+            (mm.distance_m - m.distance_m).abs() < 1e-9,
+            "mirror changed the measurement: {} vs {}",
+            mm.distance_m,
+            m.distance_m
+        );
+        assert_eq!(mm.takeoff_frame, m.takeoff_frame);
+        assert_eq!(mm.landing_frame, m.landing_frame);
+        assert_eq!(mm.flight_frames, m.flight_frames);
+    }
+
+    /// The frame with the greatest ground clearance (the flight apex).
+    fn apex_frame(seq: &PoseSeq, dims: &BodyDims) -> usize {
+        (0..seq.len())
+            .max_by(|&a, &b| {
+                clearance(&seq.poses()[a], dims).total_cmp(&clearance(&seq.poses()[b], dims))
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn clip_starting_airborne_is_a_typed_partial_measurement() {
+        // Regression: with no pre-flight contact the hysteresis walk
+        // fell back to frame 0 *inside* the flight and presented it as
+        // a takeoff. Starting the clip at the flight apex must instead
+        // clamp to the edge and mark the takeoff unobserved.
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let apex = apex_frame(&seq, &cfg.dims);
+        let cut = PoseSeq::new(seq.poses()[apex..].to_vec(), seq.fps());
+        let m = measure_jump(&cut, &cfg.dims).unwrap();
+        assert!(!m.takeoff_observed, "takeoff cannot be observed: {m:?}");
+        assert_eq!(m.takeoff_frame, 0);
+        assert!(m.landing_observed, "landing is in the clip: {m:?}");
+        assert!(!m.is_complete());
+        assert!(m.distance_m > 0.0, "partial distance {}", m.distance_m);
+    }
+
+    #[test]
+    fn clip_ending_airborne_is_a_typed_partial_measurement() {
+        // The symmetric edge: the recording stops mid-flight, so the
+        // landing contact never appears. The old walk picked the last
+        // frame and presented a mid-air pose as the landing.
+        let cfg = JumpConfig::default();
+        let seq = synthesize_jump(&cfg);
+        let apex = apex_frame(&seq, &cfg.dims);
+        let cut = PoseSeq::new(seq.poses()[..=apex].to_vec(), seq.fps());
+        let m = measure_jump(&cut, &cfg.dims).unwrap();
+        assert!(m.takeoff_observed, "takeoff is in the clip: {m:?}");
+        assert!(!m.landing_observed, "landing cannot be observed: {m:?}");
+        assert_eq!(m.landing_frame, cut.len() - 1);
+        assert!(!m.is_complete());
     }
 
     #[test]

@@ -116,13 +116,19 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
         );
     }
 
-    // Measurement.
+    // Measurement. Prefer the one the analysis itself carries (computed
+    // with the analyzer's calibrated dims); fall back to measuring here
+    // only to surface the typed error message.
     mdln!(md, "## Measurement\n");
-    match measure_jump(&report.poses, dims) {
-        Ok(m) => {
+    match report.measurement {
+        Some(m) => {
+            let dir = match m.direction {
+                crate::JumpDirection::LeftToRight => "left-to-right",
+                crate::JumpDirection::RightToLeft => "right-to-left",
+            };
             mdln!(
                 md,
-                "* distance: **{:.2} m** (takeoff toe → landing heel)",
+                "* distance: **{:.2} m** {dir} (takeoff toe → landing heel)",
                 m.distance_m
             );
             mdln!(
@@ -132,10 +138,21 @@ pub fn markdown_report(report: &AnalysisReport, dims: &BodyDims) -> String {
                 m.takeoff_frame,
                 m.landing_frame
             );
+            if !m.is_complete() {
+                mdln!(
+                    md,
+                    "* **partial**: the clip {} airborne, so the distance is a lower bound",
+                    if m.takeoff_observed { "ends" } else { "starts" }
+                );
+            }
             mdln!(md, "* peak clearance: {:.2} m\n", m.peak_clearance_m);
         }
-        Err(e) => {
-            mdln!(md, "_not available: {e}_\n");
+        None => {
+            let why = match measure_jump(&report.poses, dims) {
+                Err(e) => e.to_string(),
+                Ok(_) => "not measured".to_owned(),
+            };
+            mdln!(md, "_not available: {why}_\n");
         }
     }
 

@@ -79,6 +79,11 @@ pub struct JumpAnalysis {
     /// [`obs`](crate::AnalysisReport::obs) over the same clip and
     /// configuration.
     pub obs: slj_obs::ClipObs,
+    /// Jump-performance measurement from the final pose sequence —
+    /// identical to the batch report's
+    /// [`measurement`](crate::AnalysisReport::measurement); `None` when
+    /// the clip holds no measurable jump.
+    pub measurement: Option<crate::JumpMeasurement>,
 }
 
 impl JumpAnalysis {
@@ -87,7 +92,13 @@ impl JumpAnalysis {
     /// [`AnalysisReport`](crate::AnalysisReport) over the same clip and
     /// configuration produces.
     pub fn summary(&self) -> crate::AnalysisSummary {
-        crate::analyzer::summarize(&self.poses, &self.score, &self.tracking, &self.health)
+        crate::analyzer::summarize(
+            &self.poses,
+            &self.score,
+            &self.tracking,
+            &self.health,
+            self.measurement,
+        )
     }
 }
 
@@ -103,6 +114,7 @@ impl crate::AnalysisReport {
             health: self.health.clone(),
             quality: self.segmentation.quality.clone(),
             obs: self.obs.clone(),
+            measurement: self.measurement,
         }
     }
 }
@@ -510,6 +522,7 @@ impl StreamingAnalyzer {
             frames: obs_frames,
             rules: crate::obs::rule_obs(&poses, &excluded, &score),
         };
+        let measurement = crate::measure::measure_jump(&poses, &self.config.dims).ok();
         Ok(JumpAnalysis {
             poses,
             score,
@@ -517,6 +530,7 @@ impl StreamingAnalyzer {
             health,
             quality,
             obs,
+            measurement,
         })
     }
 

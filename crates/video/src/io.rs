@@ -63,6 +63,117 @@ pub fn load_video<P: AsRef<Path>>(dir: P) -> Result<Video, ImgError> {
     Ok(Video::new(frames, meta.fps))
 }
 
+/// Renders a video as one byte stream of concatenated binary P6 PPM
+/// frames — exactly the bytes of the on-disk clip format's
+/// `frame_*.ppm` files laid end to end, in order. This is the wire
+/// shape of a clip for `OPEN_CLIP` ingestion (the frame rate travels
+/// separately in the open request).
+pub fn ppm_stream(video: &Video) -> Vec<u8> {
+    let mut out = Vec::new();
+    for frame in video.iter() {
+        img_io::write_ppm(frame, &mut out).expect("writing to a Vec cannot fail");
+    }
+    out
+}
+
+/// One whitespace-delimited PPM header token from the front of `rest`,
+/// skipping `#` comments — the slice-cursor twin of the imgproc
+/// reader's tokenizer, needed because concatenated frames share one
+/// buffer and a buffered reader would consume past the current frame.
+fn ppm_token(rest: &mut &[u8]) -> Result<String, ImgError> {
+    use std::io::{BufRead, Read};
+    let mut token = String::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if rest.read(&mut byte)? == 0 {
+            return Err(ImgError::Decode("unexpected end of clip stream".into()));
+        }
+        match byte[0] {
+            b'#' => {
+                let mut line = String::new();
+                rest.read_line(&mut line)?;
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                token.push(c as char);
+                break;
+            }
+        }
+    }
+    loop {
+        if rest.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0].is_ascii_whitespace() {
+            break;
+        }
+        token.push(byte[0] as char);
+    }
+    Ok(token)
+}
+
+/// Decodes a [`ppm_stream`] back into frames. The inverse is not
+/// byte-exact in general (comments and whitespace variants are
+/// accepted) but `frames_from_ppm_stream(&ppm_stream(v))` reproduces
+/// `v`'s frames exactly.
+///
+/// Every declared pixel payload is validated against the bytes
+/// actually present *before* any buffer is allocated, so a malicious
+/// header cannot force a large allocation.
+///
+/// # Errors
+///
+/// [`ImgError::Decode`] naming the failing frame on any malformed
+/// header, truncated pixel data, or an empty stream.
+pub fn frames_from_ppm_stream(bytes: &[u8]) -> Result<Vec<Frame>, ImgError> {
+    use std::io::Read;
+    let mut rest = bytes;
+    let mut frames: Vec<Frame> = Vec::new();
+    while !rest.is_empty() {
+        let k = frames.len();
+        let frame_err = |detail: String| ImgError::Decode(format!("clip frame {k}: {detail}"));
+        let magic = ppm_token(&mut rest)?;
+        if magic != "P6" {
+            return Err(frame_err(format!("expected magic P6, got {magic}")));
+        }
+        let w: usize = ppm_token(&mut rest)?
+            .parse()
+            .map_err(|e| frame_err(format!("bad width: {e}")))?;
+        let h: usize = ppm_token(&mut rest)?
+            .parse()
+            .map_err(|e| frame_err(format!("bad height: {e}")))?;
+        let maxval: usize = ppm_token(&mut rest)?
+            .parse()
+            .map_err(|e| frame_err(format!("bad maxval: {e}")))?;
+        if maxval != 255 {
+            return Err(frame_err(format!(
+                "only maxval 255 supported, got {maxval}"
+            )));
+        }
+        let n = w
+            .checked_mul(h)
+            .and_then(|px| px.checked_mul(3))
+            .ok_or_else(|| frame_err("frame dimensions overflow".into()))?;
+        if n > rest.len() {
+            return Err(frame_err(format!(
+                "truncated pixel data: {n} bytes declared, {} left",
+                rest.len()
+            )));
+        }
+        let mut buf = vec![0u8; n];
+        rest.read_exact(&mut buf)?;
+        let pixels: Vec<slj_imgproc::Rgb> = buf
+            .chunks_exact(3)
+            .map(|c| slj_imgproc::Rgb::new(c[0], c[1], c[2]))
+            .collect();
+        frames.push(slj_imgproc::ImageBuffer::from_vec(w, h, pixels)?);
+    }
+    if frames.is_empty() {
+        return Err(ImgError::Decode("empty clip stream".into()));
+    }
+    Ok(frames)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +236,47 @@ mod tests {
         let err = load_video(&dir).unwrap_err();
         assert!(err.to_string().contains("frame 1"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ppm_stream_round_trips_frames() {
+        let scene = SceneConfig {
+            camera: crate::Camera::compact(),
+            ..SceneConfig::default()
+        };
+        let jump = SyntheticJump::generate(
+            &scene,
+            &JumpConfig {
+                frames: 4,
+                ..JumpConfig::default()
+            },
+            6,
+        );
+        let bytes = ppm_stream(&jump.video);
+        let frames = frames_from_ppm_stream(&bytes).unwrap();
+        assert_eq!(frames, jump.video.frames());
+    }
+
+    #[test]
+    fn ppm_stream_decode_rejects_malformed_input() {
+        // Empty stream.
+        assert!(frames_from_ppm_stream(b"").is_err());
+        // Wrong magic.
+        assert!(frames_from_ppm_stream(b"P5\n1 1\n255\n\x00").is_err());
+        // Declared pixels past the bytes present — rejected before any
+        // allocation, naming the frame.
+        let err = frames_from_ppm_stream(b"P6\n9999 9999\n255\nxy").unwrap_err();
+        assert!(err.to_string().contains("clip frame 0"), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // A valid frame followed by a torn one names frame 1.
+        let mut bytes = b"P6\n1 1\n255\nabc".to_vec();
+        bytes.extend_from_slice(b"P6\n1 1\n255\na");
+        let err = frames_from_ppm_stream(&bytes).unwrap_err();
+        assert!(err.to_string().contains("clip frame 1"), "{err}");
+        // Trailing garbage after the last frame is a malformed header.
+        let mut bytes = b"P6\n1 1\n255\nabc".to_vec();
+        bytes.extend_from_slice(b"junk");
+        assert!(frames_from_ppm_stream(&bytes).is_err());
     }
 
     #[test]
